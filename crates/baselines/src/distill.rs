@@ -1,0 +1,221 @@
+//! Knowledge distillation (Hinton et al.) — the DistilBERT / TinyBERT
+//! stand-ins for Table 4.
+//!
+//! A smaller student is trained on the GLUE task with the blended loss
+//! `α·CE(student, labels) + (1 − α)·T²·KL(p_T(teacher) ‖ p_T(student))`,
+//! where `p_T` is the temperature-softened softmax.
+
+use crate::util::LoopCfg;
+use cuttlefish::adapter::{GlueAdapter, TaskAdapter, Target};
+use cuttlefish::{CfResult, CuttlefishError};
+use cuttlefish_data::text::GlueTask;
+use cuttlefish_nn::{Act, Mode, Network};
+use cuttlefish_tensor::Matrix;
+use rand::rngs::StdRng;
+
+/// Distillation hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistillConfig {
+    /// Weight of the hard-label cross-entropy.
+    pub alpha: f32,
+    /// Softmax temperature.
+    pub temperature: f32,
+}
+
+impl Default for DistillConfig {
+    fn default() -> Self {
+        DistillConfig {
+            alpha: 0.5,
+            temperature: 2.0,
+        }
+    }
+}
+
+fn softmax_rows_with_t(logits: &Matrix, t: f32) -> Matrix {
+    let mut out = Matrix::zeros(logits.rows(), logits.cols());
+    for i in 0..logits.rows() {
+        let row = logits.row(i);
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b / t));
+        let mut denom = 0.0f32;
+        let dst = out.row_mut(i);
+        for (j, &v) in row.iter().enumerate() {
+            let e = (v / t - max).exp();
+            dst[j] = e;
+            denom += e;
+        }
+        for v in dst.iter_mut() {
+            *v /= denom.max(f32::MIN_POSITIVE);
+        }
+    }
+    out
+}
+
+/// Soft cross-entropy gradient for distillation: `(p_s − p_t)·T / B`,
+/// following the standard `T²`-weighted KL whose gradient w.r.t. student
+/// logits is `T·(softmax(z_s/T) − softmax(z_t/T))`.
+fn soft_ce_grad(student_logits: &Matrix, teacher_logits: &Matrix, t: f32) -> Matrix {
+    let ps = softmax_rows_with_t(student_logits, t);
+    let pt = softmax_rows_with_t(teacher_logits, t);
+    ps.sub(&pt)
+        .expect("student/teacher widths agree")
+        .scale(t / student_logits.rows().max(1) as f32)
+}
+
+/// Trains `student` on `task` distilling from the (already fine-tuned)
+/// `teacher`; returns the student's best validation metric.
+///
+/// # Errors
+///
+/// Propagates adapter/network errors; rejects regression tasks (the paper
+/// distills classification heads).
+pub fn distill_train(
+    student: &mut Network,
+    teacher: &mut Network,
+    task: &GlueTask,
+    cfg: &LoopCfg,
+    dcfg: &DistillConfig,
+    rng: &mut StdRng,
+) -> CfResult<f32> {
+    if task.classes < 2 {
+        return Err(CuttlefishError::BadConfig {
+            detail: "distillation requires a classification task".to_string(),
+        });
+    }
+    let mut adapter = GlueAdapter::new(task.clone());
+    let alpha = dcfg.alpha;
+    let temp = dcfg.temperature;
+
+    // Custom loop: the hook interface can't inject a second model into the
+    // loss, so distillation runs its own batch loop reusing the adapter.
+    let mut best = f32::NEG_INFINITY;
+    for epoch in 0..cfg.epochs {
+        let lr = cfg.schedule.lr_at(epoch);
+        let batches = adapter.train_batches(epoch, cfg.batch_size, rng)?;
+        let mut opt = match cfg.optimizer {
+            cuttlefish::OptimizerKind::AdamW { weight_decay } => {
+                cuttlefish_nn::optim::AdamW::new(weight_decay)
+            }
+            cuttlefish::OptimizerKind::Sgd { .. } => {
+                return Err(CuttlefishError::BadConfig {
+                    detail: "distillation preset uses AdamW".to_string(),
+                })
+            }
+        };
+        for batch in batches {
+            let Target::Classes(labels) = &batch.target else {
+                continue;
+            };
+            let teacher_logits = teacher.forward(batch.input.clone(), Mode::Eval)?;
+            let student_logits = student.forward(batch.input, Mode::Train)?;
+            let (_, hard_grad) =
+                cuttlefish_nn::loss::cross_entropy(student_logits.data(), labels, 0.0)?;
+            let soft_grad = soft_ce_grad(student_logits.data(), teacher_logits.data(), temp);
+            let grad = hard_grad
+                .scale(alpha)
+                .add(&soft_grad.scale(1.0 - alpha))?;
+            student.backward(Act::flat(grad))?;
+            opt.next_step();
+            student.step(&mut opt, lr);
+            student.zero_grads();
+        }
+        let m = adapter.evaluate(student)?;
+        best = best.max(m);
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuttlefish::OptimizerKind;
+    use cuttlefish_data::glue_suite;
+    use cuttlefish_nn::models::{build_micro_bert, BertHead, MicroBertConfig};
+    use cuttlefish_nn::schedule::LrSchedule;
+    use rand::SeedableRng;
+
+    #[test]
+    fn soft_grad_vanishes_when_models_agree() {
+        let logits = Matrix::from_rows(&[vec![1.0, -1.0], vec![0.3, 0.7]]).unwrap();
+        let g = soft_ce_grad(&logits, &logits, 2.0);
+        assert!(g.max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn soft_grad_points_toward_teacher() {
+        // Teacher prefers class 1; student uniform → gradient pushes
+        // logit 1 up (negative grad on class 1).
+        let student = Matrix::from_rows(&[vec![0.0, 0.0]]).unwrap();
+        let teacher = Matrix::from_rows(&[vec![-2.0, 2.0]]).unwrap();
+        let g = soft_ce_grad(&student, &teacher, 1.0);
+        assert!(g.get(0, 1) < 0.0);
+        assert!(g.get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn distillation_improves_student() {
+        let suite = glue_suite(24, 8, 0);
+        let task = suite.iter().find(|t| t.name == "SST-2").unwrap().clone();
+        let mut rng = StdRng::seed_from_u64(0);
+        let teacher_cfg = MicroBertConfig {
+            vocab: 24,
+            max_tokens: 8,
+            dim: 16,
+            depth: 2,
+            heads: 2,
+            mlp_ratio: 2,
+            head: BertHead::Classification { classes: 2 },
+        };
+        let mut teacher = build_micro_bert(&teacher_cfg, &mut rng);
+        // Fine-tune the teacher briefly.
+        let cfg = LoopCfg {
+            epochs: 5,
+            batch_size: 16,
+            schedule: LrSchedule::Constant { lr: 2e-3 },
+            optimizer: OptimizerKind::AdamW { weight_decay: 0.0 },
+            label_smoothing: 0.0,
+        };
+        let mut ad = GlueAdapter::new(task.clone());
+        crate::util::train_with_hook(&mut teacher, &mut ad, &cfg, &mut rng, &mut |_, _| Ok(()))
+            .unwrap();
+
+        // Student: half depth/width.
+        let student_cfg = MicroBertConfig {
+            dim: 8,
+            depth: 1,
+            heads: 2,
+            ..teacher_cfg
+        };
+        let mut student = build_micro_bert(&student_cfg, &mut rng);
+        let metric = distill_train(
+            &mut student,
+            &mut teacher,
+            &task,
+            &cfg,
+            &DistillConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(metric > 0.55, "student metric {metric}");
+    }
+
+    #[test]
+    fn regression_tasks_rejected() {
+        let suite = glue_suite(24, 8, 0);
+        let sts = suite.iter().find(|t| t.name == "STS-B").unwrap().clone();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfgs = MicroBertConfig::tiny(2);
+        let mut a = build_micro_bert(&cfgs, &mut rng);
+        let mut b = build_micro_bert(&cfgs, &mut rng);
+        let cfg = LoopCfg {
+            epochs: 1,
+            batch_size: 8,
+            schedule: LrSchedule::Constant { lr: 1e-3 },
+            optimizer: OptimizerKind::AdamW { weight_decay: 0.0 },
+            label_smoothing: 0.0,
+        };
+        assert!(
+            distill_train(&mut a, &mut b, &sts, &cfg, &DistillConfig::default(), &mut rng)
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! EB-Train (You et al., ICLR 2020): "early-bird" structured tickets.
+//!
+//! Train with an L1 penalty on BatchNorm scales (network slimming); each
+//! epoch, form the channel-pruning mask that removes the `prune_fraction`
+//! smallest `|γ|` globally, and compare it against a short FIFO of recent
+//! masks. When the maximum pairwise Hamming distance falls below a
+//! threshold the *early-bird ticket* has emerged: prune those channels
+//! (zeroing their γ/β permanently) and continue training the slimmed
+//! network.
+
+use crate::util::{train_with_hook, LoopCfg, Phase};
+use cuttlefish::adapter::TaskAdapter;
+use cuttlefish::CfResult;
+use cuttlefish_nn::{Network, TargetKind};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// EB-Train configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EbConfig {
+    /// Fraction of channels pruned (the paper evaluates 30% and 50%).
+    pub prune_fraction: f32,
+    /// L1 coefficient on BN γ during the search phase.
+    pub l1_gamma: f32,
+    /// FIFO length for mask-stability detection.
+    pub fifo_len: usize,
+    /// Hamming-distance threshold declaring the ticket stable.
+    pub distance_threshold: f32,
+}
+
+impl Default for EbConfig {
+    fn default() -> Self {
+        EbConfig {
+            prune_fraction: 0.3,
+            l1_gamma: 1e-4,
+            fifo_len: 3,
+            distance_threshold: 0.05,
+        }
+    }
+}
+
+/// EB-Train outcome.
+#[derive(Debug, Clone)]
+pub struct EbResult {
+    /// Epoch at which the early-bird ticket emerged (0-based), if it did.
+    pub eb_epoch: Option<usize>,
+    /// Best metric after pruned training.
+    pub best_metric: f32,
+    /// Estimated parameter count of the channel-pruned architecture.
+    pub params_estimate: usize,
+    /// Fraction of channels kept.
+    pub kept_fraction: f32,
+}
+
+/// Current global channel mask: true = kept. Exactly the
+/// `prune_fraction` smallest `|γ|` are pruned, ties broken by channel
+/// index (so identical initial γ values still yield a well-defined mask).
+fn channel_mask(net: &mut Network, prune_fraction: f32) -> Vec<bool> {
+    let mut gammas: Vec<f32> = Vec::new();
+    net.visit_gammas(&mut |_, g, _| {
+        gammas.extend(g.value.as_slice().iter().map(|v| v.abs()));
+    });
+    let k = ((gammas.len() as f32) * prune_fraction) as usize;
+    let mut order: Vec<usize> = (0..gammas.len()).collect();
+    order.sort_by(|&a, &b| {
+        gammas[a]
+            .partial_cmp(&gammas[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut mask = vec![true; gammas.len()];
+    for &i in order.iter().take(k) {
+        mask[i] = false;
+    }
+    mask
+}
+
+fn hamming(a: &[bool], b: &[bool]) -> f32 {
+    let diff = a.iter().zip(b).filter(|(x, y)| x != y).count();
+    diff as f32 / a.len().max(1) as f32
+}
+
+/// Estimates the parameter count of the pruned architecture: each conv
+/// keeps `kept_out` of its filters and sees `kept_in` of its inputs, so
+/// its parameters scale by `kept_in · kept_out` (linear heads scale by
+/// `kept_in` only). `kept` is a single global kept-fraction — adequate for
+/// the table-level comparison.
+fn pruned_params_estimate(net: &mut Network, kept: f32) -> usize {
+    net.targets()
+        .iter()
+        .map(|t| {
+            let (r, c) = t.matrix_shape();
+            let full = r * c;
+            match t.kind {
+                TargetKind::Conv { .. } => (full as f32 * kept * kept) as usize,
+                TargetKind::Linear { .. } => (full as f32 * kept) as usize,
+            }
+        })
+        .sum()
+}
+
+/// Runs EB-Train end to end.
+///
+/// # Errors
+///
+/// Propagates adapter/network errors.
+pub fn run_eb(
+    net: &mut Network,
+    adapter: &mut dyn TaskAdapter,
+    cfg: &LoopCfg,
+    eb: &EbConfig,
+    rng: &mut rand::rngs::StdRng,
+) -> CfResult<EbResult> {
+    let mut fifo: VecDeque<Vec<bool>> = VecDeque::new();
+    let mut eb_epoch: Option<usize> = None;
+    let mut final_mask: Option<Vec<bool>> = None;
+
+    let prune_fraction = eb.prune_fraction;
+    let l1 = eb.l1_gamma;
+    let fifo_len = eb.fifo_len;
+    let threshold = eb.distance_threshold;
+
+    let stats = train_with_hook(net, adapter, cfg, rng, &mut |n, phase| {
+        match phase {
+            Phase::BeforeStep => {
+                if eb_epoch.is_none() {
+                    // Slimming: L1 subgradient on every BN γ.
+                    n.visit_gammas(&mut |_, g, _| {
+                        let sign = g.value.map(|v| v.signum());
+                        g.accumulate_grad(l1, &sign);
+                    });
+                }
+            }
+            Phase::AfterStep => {
+                if let Some(mask) = &final_mask {
+                    // Keep pruned channels dead.
+                    let mut idx = 0usize;
+                    n.visit_gammas(&mut |_, g, b| {
+                        for j in 0..g.value.cols() {
+                            if !mask[idx] {
+                                g.value.set(0, j, 0.0);
+                                b.value.set(0, j, 0.0);
+                            }
+                            idx += 1;
+                        }
+                    });
+                }
+            }
+            Phase::AfterEpoch(epoch) => {
+                if eb_epoch.is_none() {
+                    let mask = channel_mask(n, prune_fraction);
+                    let stable = fifo.len() == fifo_len
+                        && fifo.iter().all(|m| hamming(m, &mask) < threshold);
+                    fifo.push_back(mask.clone());
+                    if fifo.len() > fifo_len {
+                        fifo.pop_front();
+                    }
+                    if stable {
+                        eb_epoch = Some(epoch);
+                        final_mask = Some(mask);
+                    }
+                }
+            }
+            Phase::BeforeForward => {}
+        }
+        Ok(())
+    })?;
+
+    // If the ticket never stabilized, prune at the end anyway (the paper's
+    // fallback is the full slimming schedule).
+    let mask = final_mask.unwrap_or_else(|| channel_mask(net, eb.prune_fraction));
+    let kept = mask.iter().filter(|&&m| m).count() as f32 / mask.len().max(1) as f32;
+    Ok(EbResult {
+        eb_epoch,
+        best_metric: stats.best_metric,
+        params_estimate: pruned_params_estimate(net, kept),
+        kept_fraction: kept,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuttlefish::adapter::VisionAdapter;
+    use cuttlefish::OptimizerKind;
+    use cuttlefish_data::vision::{VisionSpec, VisionTask};
+    use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
+    use cuttlefish_nn::schedule::LrSchedule;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hamming_distance_basics() {
+        assert_eq!(hamming(&[true, true], &[true, true]), 0.0);
+        assert_eq!(hamming(&[true, false], &[false, true]), 1.0);
+    }
+
+    #[test]
+    fn channel_mask_prunes_requested_fraction() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut rng);
+        let mask = channel_mask(&mut net, 0.3);
+        let kept = mask.iter().filter(|&&m| m).count() as f32 / mask.len() as f32;
+        assert!((kept - 0.7).abs() < 0.05, "kept {kept}");
+    }
+
+    #[test]
+    fn eb_run_finds_ticket_and_learns() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut rng);
+        let full = net.param_count();
+        let mut ad = VisionAdapter::new(VisionTask::generate(&VisionSpec::tiny(), 0));
+        let cfg = LoopCfg {
+            epochs: 8,
+            batch_size: 32,
+            schedule: LrSchedule::Constant { lr: 0.05 },
+            optimizer: OptimizerKind::Sgd {
+                momentum: 0.9,
+                weight_decay: 1e-4,
+            },
+            label_smoothing: 0.0,
+        };
+        let eb = EbConfig {
+            fifo_len: 2,
+            distance_threshold: 0.2,
+            ..EbConfig::default()
+        };
+        let res = run_eb(&mut net, &mut ad, &cfg, &eb, &mut rng).unwrap();
+        assert!(res.kept_fraction < 0.8);
+        assert!(res.params_estimate < full);
+        assert!(res.best_metric > 0.35, "{}", res.best_metric);
+    }
+}

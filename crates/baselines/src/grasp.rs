@@ -1,0 +1,213 @@
+//! GraSP (Wang, Zhang & Grosse, ICLR 2020): pruning at initialization by
+//! Gradient Signal Preservation.
+//!
+//! The score of weight θ is `S(θ) = -θ ⊙ (H·g)` where `g` is the loss
+//! gradient and `H` the Hessian at initialization; weights with the
+//! *largest* scores most reduce the post-pruning gradient norm and are
+//! removed. `H·g` is estimated by the finite difference
+//! `(∇L(θ + δ·g) − ∇L(θ)) / δ`.
+
+use crate::masking::WeightMasks;
+use crate::util::{train_with_hook, LoopCfg, Phase};
+use cuttlefish::adapter::{TaskAdapter, TaskBatch};
+use cuttlefish::CfResult;
+use cuttlefish_nn::{Mode, Network};
+use cuttlefish_tensor::Matrix;
+use std::collections::HashMap;
+
+/// GraSP outcome.
+#[derive(Debug, Clone)]
+pub struct GraspResult {
+    /// Best metric of the masked training run.
+    pub best_metric: f32,
+    /// Surviving weight count among prunable weights.
+    pub remaining_params: usize,
+    /// Kept fraction.
+    pub density: f32,
+}
+
+/// Collects per-target dense-weight gradients into a map.
+fn target_grads(net: &mut Network) -> HashMap<String, Matrix> {
+    let mut grads = HashMap::new();
+    net.visit_weights(&mut |name, w| {
+        let name = name.to_string();
+        let mut first = true;
+        w.visit_params(&mut |p| {
+            // For a dense weight the first (and only) param is W itself.
+            if first {
+                grads.insert(name.clone(), p.grad.clone());
+                first = false;
+            }
+        });
+    });
+    grads
+}
+
+fn backward_once(
+    net: &mut Network,
+    adapter: &mut dyn TaskAdapter,
+    batch: &TaskBatch,
+) -> CfResult<()> {
+    net.zero_grads();
+    let logits = net.forward(batch.input.clone(), Mode::Train)?;
+    let (_, grad) = adapter.loss_and_grad(&logits, &batch.target, 0.0)?;
+    net.backward(grad)?;
+    Ok(())
+}
+
+/// Computes GraSP masks keeping `keep_fraction` of prunable weights.
+///
+/// # Errors
+///
+/// Propagates adapter/network errors.
+pub fn grasp_masks(
+    net: &mut Network,
+    adapter: &mut dyn TaskAdapter,
+    batch_size: usize,
+    keep_fraction: f32,
+    rng: &mut rand::rngs::StdRng,
+) -> CfResult<WeightMasks> {
+    let batches = adapter.train_batches(0, batch_size, rng)?;
+    let batch = &batches[0];
+    // g = ∇L(θ).
+    backward_once(net, adapter, batch)?;
+    let g = target_grads(net);
+    // θ ← θ + δ·g (per target weight only).
+    let delta = 1e-3f32;
+    net.visit_weights(&mut |name, w| {
+        if let (Some(gm), Some(dense)) = (g.get(name), w.dense_mut()) {
+            dense.axpy(delta, gm).expect("gradient shape matches weight");
+        }
+    });
+    // g' = ∇L(θ + δ·g); Hg ≈ (g' − g)/δ.
+    backward_once(net, adapter, batch)?;
+    let g2 = target_grads(net);
+    // Restore θ.
+    net.visit_weights(&mut |name, w| {
+        if let (Some(gm), Some(dense)) = (g.get(name), w.dense_mut()) {
+            dense.axpy(-delta, gm).expect("gradient shape matches weight");
+        }
+    });
+    net.zero_grads();
+
+    // Scores S = -θ ⊙ Hg. Per GraSP, removing the weights with the
+    // *highest* scores best preserves the post-pruning gradient norm, so
+    // exactly the lowest `keep_fraction` of scores survive (index-based
+    // selection handles the many exactly-zero scores from inactive units).
+    let mut scores: Vec<f32> = Vec::new();
+    let mut per_target: Vec<(String, Matrix)> = Vec::new();
+    net.visit_weights(&mut |name, w| {
+        if let (Some(g1), Some(g2m), Some(dense)) = (g.get(name), g2.get(name), w.dense()) {
+            let hg = g2m.sub(g1).expect("shapes agree").scale(1.0 / delta);
+            let s = dense.hadamard(&hg).expect("shapes agree").scale(-1.0);
+            scores.extend_from_slice(s.as_slice());
+            per_target.push((name.to_string(), s));
+        }
+    });
+    let keep = ((scores.len() as f32) * keep_fraction).round() as usize;
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut keep_flags = vec![false; scores.len()];
+    for &i in order.iter().take(keep) {
+        keep_flags[i] = true;
+    }
+
+    let mut masks = HashMap::new();
+    let mut offset = 0usize;
+    for (name, s) in per_target {
+        let len = s.len();
+        let flags = &keep_flags[offset..offset + len];
+        let mask = Matrix::from_fn(s.rows(), s.cols(), |i, j| {
+            if flags[i * s.cols() + j] {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        masks.insert(name, mask);
+        offset += len;
+    }
+    Ok(WeightMasks::from_map(masks))
+}
+
+/// Runs GraSP: mask at init, then ordinary masked training.
+///
+/// # Errors
+///
+/// Propagates adapter/network errors.
+pub fn run_grasp(
+    net: &mut Network,
+    adapter: &mut dyn TaskAdapter,
+    cfg: &LoopCfg,
+    keep_fraction: f32,
+    rng: &mut rand::rngs::StdRng,
+) -> CfResult<GraspResult> {
+    let masks = grasp_masks(net, adapter, cfg.batch_size, keep_fraction, rng)?;
+    masks.apply(net);
+    let stats = train_with_hook(net, adapter, cfg, rng, &mut |n, phase| {
+        if phase == Phase::AfterStep {
+            masks.apply(n);
+        }
+        Ok(())
+    })?;
+    Ok(GraspResult {
+        best_metric: stats.best_metric,
+        remaining_params: masks.remaining_count(),
+        density: masks.density(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuttlefish::adapter::VisionAdapter;
+    use cuttlefish::OptimizerKind;
+    use cuttlefish_data::vision::{VisionSpec, VisionTask};
+    use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
+    use cuttlefish_nn::schedule::LrSchedule;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn masks_keep_requested_fraction() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut rng);
+        let mut ad = VisionAdapter::new(VisionTask::generate(&VisionSpec::tiny(), 0));
+        let masks = grasp_masks(&mut net, &mut ad, 32, 0.4, &mut rng).unwrap();
+        let d = masks.density();
+        assert!((d - 0.4).abs() < 0.1, "density {d}");
+    }
+
+    #[test]
+    fn grasp_trains_masked_and_learns() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut rng);
+        let mut ad = VisionAdapter::new(VisionTask::generate(&VisionSpec::tiny(), 0));
+        let cfg = LoopCfg {
+            epochs: 3,
+            batch_size: 32,
+            schedule: LrSchedule::Constant { lr: 0.05 },
+            optimizer: OptimizerKind::Sgd {
+                momentum: 0.9,
+                weight_decay: 1e-4,
+            },
+            label_smoothing: 0.0,
+        };
+        let res = run_grasp(&mut net, &mut ad, &cfg, 0.5, &mut rng).unwrap();
+        assert!(res.density < 0.62, "{}", res.density);
+        assert!(res.best_metric > 0.35, "{}", res.best_metric);
+        // Masked weights stay zero after training.
+        let mut zeros = 0usize;
+        net.visit_weights(&mut |_, w| {
+            if let Some(d) = w.dense() {
+                zeros += d.as_slice().iter().filter(|&&v| v == 0.0).count();
+            }
+        });
+        assert!(zeros > 0);
+    }
+}

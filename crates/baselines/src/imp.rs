@@ -1,0 +1,192 @@
+//! Iterative Magnitude Pruning with weight rewinding (Frankle et al.,
+//! "Stabilizing the Lottery Ticket Hypothesis", 2019).
+//!
+//! Each round: train to completion, prune 20% of the remaining weights by
+//! global magnitude, rewind the survivors to their values at an early
+//! epoch, repeat. The total compute is `rounds + 1` full trainings — which
+//! is why the paper's Table 1 reports IMP at 0.09–0.14× the speed of
+//! ordinary training despite its excellent accuracy.
+
+use crate::masking::{WeightMasks, WeightSnapshot};
+use crate::util::{train_with_hook, LoopCfg, Phase};
+use cuttlefish::adapter::TaskAdapter;
+use cuttlefish::CfResult;
+use cuttlefish_nn::{Network, TargetInfo};
+use cuttlefish_perf::TrainingClock;
+use serde::{Deserialize, Serialize};
+
+/// IMP configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImpConfig {
+    /// Pruning rounds (each removes `prune_fraction` of survivors).
+    pub rounds: usize,
+    /// Fraction of remaining weights pruned per round (paper: 0.2).
+    pub prune_fraction: f32,
+    /// Epoch whose weights are rewound to (paper: epoch 6).
+    pub rewind_epoch: usize,
+}
+
+impl Default for ImpConfig {
+    fn default() -> Self {
+        ImpConfig {
+            rounds: 5,
+            prune_fraction: 0.2,
+            rewind_epoch: 1,
+        }
+    }
+}
+
+/// IMP outcome.
+#[derive(Debug, Clone)]
+pub struct ImpResult {
+    /// Best metric of the final (most pruned) training round.
+    pub best_metric: f32,
+    /// Surviving (nonzero) weight count among prunable weights.
+    pub remaining_params: usize,
+    /// Kept fraction among prunable weights.
+    pub density: f32,
+    /// Simulated end-to-end hours — all rounds included.
+    pub sim_hours: f64,
+}
+
+/// Runs IMP end to end.
+///
+/// # Errors
+///
+/// Propagates adapter/network errors.
+pub fn run_imp(
+    net: &mut Network,
+    adapter: &mut dyn TaskAdapter,
+    cfg: &LoopCfg,
+    imp: &ImpConfig,
+    rng: &mut rand::rngs::StdRng,
+    clock_targets: &[TargetInfo],
+    device: cuttlefish_perf::DeviceProfile,
+    sim_batch: usize,
+    sim_iters_per_epoch: usize,
+) -> CfResult<ImpResult> {
+    let mut masks = WeightMasks::full(net);
+    let mut clock = TrainingClock::new(device);
+
+    // Warm up to the rewind epoch once and snapshot.
+    let warm = LoopCfg {
+        epochs: imp.rewind_epoch.max(1),
+        ..cfg.clone()
+    };
+    train_with_hook(net, adapter, &warm, rng, &mut |_, _| Ok(()))?;
+    clock.add_training_iterations(clock_targets, sim_batch, sim_iters_per_epoch * warm.epochs, |_| None);
+    let snapshot = WeightSnapshot::capture(net);
+
+    let mut last_best = 0.0f32;
+    for round in 0..=imp.rounds {
+        let stats = train_with_hook(net, adapter, cfg, rng, &mut |n, phase| {
+            if phase == Phase::AfterStep {
+                masks.apply(n);
+            }
+            Ok(())
+        })?;
+        clock.add_training_iterations(
+            clock_targets,
+            sim_batch,
+            sim_iters_per_epoch * cfg.epochs,
+            |_| None,
+        );
+        last_best = stats.best_metric;
+        if round < imp.rounds {
+            masks.prune_smallest_remaining(net, imp.prune_fraction);
+            snapshot.restore(net);
+            masks.apply(net);
+        }
+    }
+    Ok(ImpResult {
+        best_metric: last_best,
+        remaining_params: masks.remaining_count(),
+        density: masks.density(),
+        sim_hours: clock.hours(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuttlefish::adapter::VisionAdapter;
+    use cuttlefish::OptimizerKind;
+    use cuttlefish_data::vision::{VisionSpec, VisionTask};
+    use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
+    use cuttlefish_nn::schedule::LrSchedule;
+    use cuttlefish_perf::arch::resnet18_cifar;
+    use cuttlefish_perf::DeviceProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_cfg(epochs: usize) -> LoopCfg {
+        LoopCfg {
+            epochs,
+            batch_size: 32,
+            schedule: LrSchedule::Constant { lr: 0.05 },
+            optimizer: OptimizerKind::Sgd {
+                momentum: 0.9,
+                weight_decay: 1e-4,
+            },
+            label_smoothing: 0.0,
+        }
+    }
+
+    #[test]
+    fn imp_prunes_and_still_learns() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut rng);
+        let mut ad = VisionAdapter::new(VisionTask::generate(&VisionSpec::tiny(), 0));
+        let imp = ImpConfig {
+            rounds: 2,
+            prune_fraction: 0.3,
+            rewind_epoch: 1,
+        };
+        let res = run_imp(
+            &mut net,
+            &mut ad,
+            &quick_cfg(2),
+            &imp,
+            &mut rng,
+            &resnet18_cifar(10),
+            DeviceProfile::v100(),
+            1024,
+            49,
+        )
+        .unwrap();
+        // Two rounds of 30%: density ≈ 0.49.
+        assert!(res.density < 0.55 && res.density > 0.4, "{}", res.density);
+        assert!(res.best_metric > 0.4, "{}", res.best_metric);
+        assert!(res.sim_hours > 0.0);
+    }
+
+    #[test]
+    fn imp_time_scales_with_rounds() {
+        let mut run_with = |rounds: usize| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut net = build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut rng);
+            let mut ad = VisionAdapter::new(VisionTask::generate(&VisionSpec::tiny(), 0));
+            let imp = ImpConfig {
+                rounds,
+                prune_fraction: 0.2,
+                rewind_epoch: 1,
+            };
+            run_imp(
+                &mut net,
+                &mut ad,
+                &quick_cfg(1),
+                &imp,
+                &mut rng,
+                &resnet18_cifar(10),
+                DeviceProfile::v100(),
+                1024,
+                49,
+            )
+            .unwrap()
+            .sim_hours
+        };
+        let one = run_with(1);
+        let three = run_with(3);
+        assert!(three > 1.5 * one, "{three} vs {one}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Baseline training methods from the Cuttlefish paper's evaluation
+//! (§4.1 "Baseline methods").
+//!
+//! | Module | Paper baseline | Approach |
+//! |---|---|---|
+//! | [`pufferfish`] | Pufferfish (Wang et al. 2021) | manually tuned `E`, `K`, fixed global ρ = 1/4 |
+//! | [`si_fd`] | SI&FD (Khodak et al. 2020) | spectral init at `E = 0`, `K = 1`, tuned ρ, Frobenius decay |
+//! | [`lc`] | LC compression (Idelbayev & Carreira-Perpiñán 2020) | alternating L/C optimization that *learns* per-layer ranks |
+//! | [`masking`] + [`imp`] | IMP (Frankle et al. 2019) | iterative magnitude pruning with weight rewinding |
+//! | [`grasp`] | GraSP (Wang et al. 2020) | prune-at-init by gradient signal preservation |
+//! | [`eb`] | EB-Train (You et al. 2020) | early-bird structured tickets from BN-γ slimming |
+//! | [`xnor`] | XNOR-Net (Rastegari et al. 2016) | binary weights via straight-through estimator |
+//! | [`distill`] | DistilBERT / TinyBERT | smaller students trained with logit distillation |
+//!
+//! Pufferfish and SI&FD reuse the `cuttlefish` crate's trainer with its
+//! `Manual` / `SpectralInit` switch policies; the others implement their
+//! own training loops on the same substrate so every method sees identical
+//! data, models, and optimizers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distill;
+pub mod eb;
+pub mod grasp;
+pub mod imp;
+pub mod lc;
+pub mod masking;
+pub mod pufferfish;
+pub mod si_fd;
+pub mod util;
+pub mod xnor;

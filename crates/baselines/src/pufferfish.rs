@@ -1,0 +1,77 @@
+//! Pufferfish (Wang et al., MLSys 2021): low-rank training with manually
+//! tuned hyperparameters — fixed global rank ratio ρ = 1/4, hand-picked
+//! full-rank epochs `E` and hybrid boundary `K`.
+//!
+//! This module provides the paper's tuned settings (Tables 8–10) as
+//! [`cuttlefish::SwitchPolicy::Manual`] values so the shared trainer can
+//! run them on identical data/models.
+
+use cuttlefish::SwitchPolicy;
+
+/// The tuned (E, K) pairs the paper reports for Pufferfish (Tables 8–10),
+/// scaled to a micro run of `total_epochs` by keeping the paper's E/T
+/// fraction (E = 80 of 300 ⇒ ~27%).
+pub fn policy_for(model: &str, total_epochs: usize) -> SwitchPolicy {
+    let e = |frac: f64| ((total_epochs as f64 * frac).round() as usize).max(1);
+    let (full_rank_epochs, k) = match model {
+        // Table 8: ResNet-18 uses E = 80/300, K = 3; VGG-19 E = 80/300, K = 9.
+        "resnet18" => (e(80.0 / 300.0), 3),
+        "vgg19" => (e(80.0 / 300.0), 9),
+        // Table 9: ImageNet CNNs use E = 10/90, K = 40 (of 54); scaled by
+        // stack position for micro models the bench maps K by fraction.
+        "resnet50" => (e(10.0 / 90.0), 17),
+        "wideresnet50" => (e(10.0 / 90.0), 17),
+        // Table 10: DeiT/ResMLP use E = 80/300 and a K tuned to match the
+        // Cuttlefish model sizes.
+        "deit" => (e(80.0 / 300.0), 7),
+        "resmlp" => (e(80.0 / 300.0), 7),
+        _ => (e(80.0 / 300.0), 1),
+    };
+    SwitchPolicy::Manual {
+        full_rank_epochs,
+        k,
+        rank_ratio: 0.25,
+        extra_bn: false,
+        frobenius_decay: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_follow_paper_fractions() {
+        let SwitchPolicy::Manual {
+            full_rank_epochs,
+            k,
+            rank_ratio,
+            ..
+        } = policy_for("resnet18", 30)
+        else {
+            panic!("manual policy expected")
+        };
+        assert_eq!(full_rank_epochs, 8); // 80/300 of 30
+        assert_eq!(k, 3);
+        assert!((rank_ratio - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vgg_keeps_more_layers() {
+        let SwitchPolicy::Manual { k: k_vgg, .. } = policy_for("vgg19", 300) else {
+            panic!()
+        };
+        let SwitchPolicy::Manual { k: k_rn, .. } = policy_for("resnet18", 300) else {
+            panic!()
+        };
+        assert!(k_vgg > k_rn, "paper: VGG K = 9 vs ResNet K = 3");
+    }
+
+    #[test]
+    fn unknown_model_gets_default() {
+        assert!(matches!(
+            policy_for("mystery", 10),
+            SwitchPolicy::Manual { k: 1, .. }
+        ));
+    }
+}

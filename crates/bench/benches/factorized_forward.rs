@@ -1,0 +1,50 @@
+//! Real-substrate companion to Figures 4/6: forward time of a micro
+//! ResNet-18 with stacks full-rank vs. factorized at ρ = 1/4 on this
+//! machine's CPU. (Absolute numbers differ from the GPU roofline; the
+//! kernel-splitting overhead and FLOP savings are real.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cuttlefish::factorize::{switch_to_low_rank, RankPlan, SwitchOptions};
+use cuttlefish_bench::scenarios::{build_model, VisionModel};
+use cuttlefish_nn::{Act, Mode};
+use cuttlefish_tensor::init::randn_matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let x = randn_matrix(16, 3 * 256, 1.0, &mut rng);
+
+    let mut full = build_model(VisionModel::ResNet18, 10, 0);
+    let mut fact = build_model(VisionModel::ResNet18, 10, 0);
+    switch_to_low_rank(
+        &mut fact,
+        &SwitchOptions {
+            k: 5,
+            plan: RankPlan::FixedRatio { rho: 0.25 },
+            extra_bn: false,
+            frobenius_decay: None,
+        },
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("resnet18_forward_batch16");
+    group.sample_size(10);
+    group.bench_function("full_rank", |b| {
+        b.iter(|| {
+            let a = Act::image(x.clone(), 3, 16, 16).unwrap();
+            black_box(full.forward(a, Mode::Eval).unwrap())
+        })
+    });
+    group.bench_function("factorized_rho_quarter", |b| {
+        b.iter(|| {
+            let a = Act::image(x.clone(), 3, 16, 16).unwrap();
+            black_box(fact.forward(a, Mode::Eval).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Kernel-level micro-benchmarks: matmul and SVD primitives underlying
+//! every training step and every rank estimate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cuttlefish_tensor::init::randn_matrix;
+use cuttlefish_tensor::svd::{svdvals, Svd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = randn_matrix(n, n, 1.0, &mut rng);
+        let b = randn_matrix(n, n, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd");
+    group.sample_size(10);
+    // Conv-shaped matrices: (m·k², n) with the Gram trick making svdvals
+    // much cheaper than the full decomposition.
+    for &(rows, cols) in &[(108usize, 24usize), (216, 48), (432, 96)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = randn_matrix(rows, cols, 1.0, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("svdvals", format!("{rows}x{cols}")),
+            &w,
+            |bench, w| bench.iter(|| black_box(svdvals(w).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_svd", format!("{rows}x{cols}")),
+            &w,
+            |bench, w| bench.iter(|| black_box(Svd::compute(w).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_svd);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Cost of the Algorithm 2 profiling decision itself (the roofline scan
+//! over all stacks of the paper-scale architectures) — it must be
+//! negligible next to training.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cuttlefish::profile::Profiler;
+use cuttlefish_perf::arch::{deit_base, resnet18_cifar, resnet50_imagenet, vgg19_cifar};
+use cuttlefish_perf::DeviceProfile;
+use std::hint::black_box;
+
+fn bench_profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm2_determine_k");
+    for (name, targets, batch) in [
+        ("resnet18_cifar", resnet18_cifar(10), 1024usize),
+        ("vgg19_cifar", vgg19_cifar(10), 1024),
+        ("resnet50_imagenet", resnet50_imagenet(), 256),
+        ("deit_base", deit_base(), 256),
+    ] {
+        let profiler = Profiler::new(DeviceProfile::v100(), batch);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &targets, |b, t| {
+            b.iter(|| black_box(profiler.determine_k(t)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiling);
+criterion_main!(benches);

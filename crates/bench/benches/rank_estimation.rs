@@ -1,0 +1,39 @@
+//! §4.3 companion: the real cost of one epoch of stable-rank estimation
+//! over a whole micro network — the exact `svdvals` path vs. the
+//! power-iteration fast path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cuttlefish::rank::{stable_rank_fast, stable_rank_of};
+use cuttlefish_bench::scenarios::{build_model, VisionModel};
+use cuttlefish_tensor::Matrix;
+use std::hint::black_box;
+
+fn bench_rank_estimation(c: &mut Criterion) {
+    let mut net = build_model(VisionModel::ResNet18, 10, 0);
+    let names: Vec<String> = net.targets().iter().map(|t| t.name.clone()).collect();
+    let weights: Vec<Matrix> = names
+        .iter()
+        .map(|n| net.weight_matrix(n).unwrap())
+        .collect();
+
+    let mut group = c.benchmark_group("rank_estimation_per_epoch");
+    group.sample_size(10);
+    group.bench_function("svdvals_all_layers", |b| {
+        b.iter(|| {
+            for w in &weights {
+                black_box(stable_rank_of(w).unwrap());
+            }
+        })
+    });
+    group.bench_function("power_iteration_all_layers", |b| {
+        b.iter(|| {
+            for w in &weights {
+                black_box(stable_rank_fast(w).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_estimation);
+criterion_main!(benches);

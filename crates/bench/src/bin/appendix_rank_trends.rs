@@ -1,0 +1,68 @@
+//! Appendix Figures 10–17: stable-rank trajectories on every other
+//! (model, dataset) pair — ResNet-18 and VGG-19 on the CIFAR-100- and
+//! SVHN-like tasks. The paper's appendix point: the stabilize-then-flat
+//! shape holds across all of them.
+
+use cuttlefish::{run_training, SwitchPolicy};
+use cuttlefish_bench::{default_epochs, save_json, scenarios};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Trend {
+    model: String,
+    dataset: String,
+    early_drift: f32,
+    late_drift: f32,
+    final_mean_rank: f32,
+}
+
+fn main() {
+    let epochs = default_epochs().max(10);
+    let mut trends = Vec::new();
+    for model in [scenarios::VisionModel::ResNet18, scenarios::VisionModel::Vgg19] {
+        for dataset in ["cifar100", "svhn"] {
+            let classes = scenarios::dataset_spec(dataset).classes;
+            let mut net = scenarios::build_model(model, classes, 0);
+            let mut adapter = scenarios::vision_adapter(dataset, 42);
+            let mut tcfg = scenarios::trainer_config(model, dataset, epochs, 0);
+            tcfg.track_ranks = true;
+            let res = run_training(&mut net, &mut adapter, &tcfg, &SwitchPolicy::FullRankOnly, None)
+                .expect("run");
+            let drift = |range: std::ops::Range<usize>| -> f32 {
+                let mut acc = 0.0f32;
+                let mut n = 0usize;
+                for e in range {
+                    if e == 0 || e >= res.rank_history.len() {
+                        continue;
+                    }
+                    for l in 0..res.tracked.len() {
+                        acc += (res.rank_history[e][l] - res.rank_history[e - 1][l]).abs();
+                        n += 1;
+                    }
+                }
+                acc / n.max(1) as f32
+            };
+            let half = res.rank_history.len() / 2;
+            let last = res.rank_history.last().expect("history");
+            let trend = Trend {
+                model: model.name().to_string(),
+                dataset: dataset.to_string(),
+                early_drift: drift(1..half.max(2)),
+                late_drift: drift(half..res.rank_history.len()),
+                final_mean_rank: last.iter().sum::<f32>() / last.len() as f32,
+            };
+            println!(
+                "{:<10} {:<9} early |d rank/dt| {:>6.3}  late {:>6.3}  final mean rank {:>6.1}  (stabilized: {})",
+                trend.model,
+                trend.dataset,
+                trend.early_drift,
+                trend.late_drift,
+                trend.final_mean_rank,
+                trend.late_drift < 0.5 * trend.early_drift
+            );
+            trends.push(trend);
+        }
+    }
+    println!("\nAppendix Figures 10–17 shape: every pair stabilizes (late drift << early drift).");
+    save_json("appendix_rank_trends", &trends);
+}

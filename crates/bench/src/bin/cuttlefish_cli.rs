@@ -1,0 +1,105 @@
+//! A small CLI over the whole system: pick a model, a synthetic dataset,
+//! and a training method; get the discovered hyperparameters, the
+//! accuracy/size trade-off, and the simulated paper-hardware time.
+//!
+//! ```text
+//! cargo run --release -p cuttlefish-bench --bin cuttlefish_cli -- \
+//!     --model resnet18 --dataset cifar10 --epochs 12 --method cuttlefish
+//! ```
+
+use cuttlefish_bench::methods::{run_vision, Method};
+use cuttlefish_bench::scenarios::VisionModel;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cuttlefish_cli [--model resnet18|vgg19|resnet50|wideresnet50|deit|resmlp]\n\
+         \x20                  [--dataset cifar10|cifar100|svhn|imagenet]\n\
+         \x20                  [--method cuttlefish|full|pufferfish|sifd|imp|xnor|lc]\n\
+         \x20                  [--epochs N] [--seed N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut model = VisionModel::ResNet18;
+    let mut dataset = "cifar10".to_string();
+    let mut method_name = "cuttlefish".to_string();
+    let mut epochs = 12usize;
+    let mut seed = 0u64;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, value) = (args[i].as_str(), args.get(i + 1));
+        let Some(value) = value else {
+            return usage();
+        };
+        match flag {
+            "--model" => {
+                model = match value.as_str() {
+                    "resnet18" => VisionModel::ResNet18,
+                    "vgg19" => VisionModel::Vgg19,
+                    "resnet50" => VisionModel::ResNet50,
+                    "wideresnet50" => VisionModel::WideResNet50,
+                    "deit" => VisionModel::Deit,
+                    "resmlp" => VisionModel::Mixer,
+                    _ => return usage(),
+                }
+            }
+            "--dataset" => dataset = value.clone(),
+            "--method" => method_name = value.clone(),
+            "--epochs" => match value.parse() {
+                Ok(v) => epochs = v,
+                Err(_) => return usage(),
+            },
+            "--seed" => match value.parse() {
+                Ok(v) => seed = v,
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 2;
+    }
+
+    let method = match method_name.as_str() {
+        "cuttlefish" => Method::Cuttlefish,
+        "full" => Method::FullRank,
+        "pufferfish" => Method::Pufferfish,
+        "sifd" => Method::SiFd { rho: 0.25 },
+        "imp" => Method::Imp { rounds: 3 },
+        "xnor" => Method::Xnor,
+        "lc" => Method::Lc,
+        _ => return usage(),
+    };
+
+    println!(
+        "training {} on {dataset}-like with {method_name} for {epochs} epochs (seed {seed})...",
+        model.name()
+    );
+    match run_vision(&method, model, &dataset, epochs, seed) {
+        Ok(row) => {
+            println!("\nmethod     : {}", row.method);
+            println!(
+                "params     : {} -> {} ({:.1}%)",
+                row.params_full,
+                row.params,
+                100.0 * row.params as f64 / row.params_full.max(1) as f64
+            );
+            println!("val metric : {:.3}", row.metric);
+            println!("sim hours  : {:.3} (paper-hardware workload)", row.hours);
+            if let (Some(e), Some(k)) = (row.e_hat, row.k_hat) {
+                println!("E, K       : {e}, {k}");
+            }
+            if !row.decisions.is_empty() {
+                let factored = row.decisions.iter().filter(|d| d.chosen.is_some()).count();
+                println!("factorized : {factored}/{} layers", row.decisions.len());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 2 (and the appendix Figures 10–17): per-layer stable-rank
+//! trajectories of a micro ResNet-18 trained on the CIFAR-10-like task.
+//! The reproduction target is the *shape*: ranks move quickly early and
+//! flatten to constants.
+
+use cuttlefish::{run_training, SwitchPolicy};
+use cuttlefish_bench::{default_epochs, print_table, save_json, scenarios};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Trajectories {
+    tracked: Vec<String>,
+    history: Vec<Vec<f32>>,
+    early_drift: f32,
+    late_drift: f32,
+}
+
+fn main() {
+    let epochs = default_epochs().max(10);
+    let model = scenarios::VisionModel::ResNet18;
+    let mut net = scenarios::build_model(model, 10, 0);
+    let mut adapter = scenarios::vision_adapter("cifar10", 42);
+    let mut tcfg = scenarios::trainer_config(model, "cifar10", epochs, 0);
+    tcfg.track_ranks = true;
+    let res = run_training(
+        &mut net,
+        &mut adapter,
+        &tcfg,
+        &SwitchPolicy::FullRankOnly,
+        Some(&scenarios::clock_targets(model)),
+    )
+    .expect("training succeeds");
+
+    // Print a subset of layers over epochs.
+    let show: Vec<usize> = (0..res.tracked.len()).step_by(4.max(res.tracked.len() / 5)).collect();
+    let mut headers: Vec<String> = vec!["epoch".into()];
+    headers.extend(show.iter().map(|&l| res.tracked[l].clone()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = res
+        .rank_history
+        .iter()
+        .enumerate()
+        .map(|(e, row)| {
+            let mut cells = vec![e.to_string()];
+            cells.extend(show.iter().map(|&l| format!("{:.2}", row[l])));
+            cells
+        })
+        .collect();
+    print_table("Figure 2 — stable-rank trajectories (micro ResNet-18, cifar10-like)", &header_refs, &rows);
+
+    // Stabilization check: mean |Δrank| early vs late.
+    let drift = |range: std::ops::Range<usize>| -> f32 {
+        let mut acc = 0.0f32;
+        let mut n = 0usize;
+        for e in range {
+            if e == 0 || e >= res.rank_history.len() {
+                continue;
+            }
+            for l in 0..res.tracked.len() {
+                acc += (res.rank_history[e][l] - res.rank_history[e - 1][l]).abs();
+                n += 1;
+            }
+        }
+        acc / n.max(1) as f32
+    };
+    let half = res.rank_history.len() / 2;
+    let early = drift(1..half.max(2));
+    let late = drift(half..res.rank_history.len());
+    println!("\nmean |d rank/dt| early epochs: {early:.3}   late epochs: {late:.3}");
+    println!("Paper shape: ranks change rapidly early, then stabilize (late << early).");
+    save_json(
+        "fig2_rank_trajectories",
+        &Trajectories {
+            tracked: res.tracked,
+            history: res.rank_history,
+            early_drift: early,
+            late_drift: late,
+        },
+    );
+}

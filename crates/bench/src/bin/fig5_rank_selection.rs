@@ -1,0 +1,131 @@
+//! Figures 5/7: the per-layer ranks R chosen by Cuttlefish, Pufferfish
+//! (ρ = 1/4), and LC compression for VGG-19 on the three CIFAR-class
+//! tasks. The reproduction target: Cuttlefish's selections track LC's
+//! *learned* ranks far better than the fixed global ratio does, and harder
+//! tasks get higher ranks.
+
+use cuttlefish_baselines::lc;
+use cuttlefish_baselines::util::LoopCfg;
+use cuttlefish_bench::methods::{run_vision, Method};
+use cuttlefish_bench::scenarios::{self, VisionModel};
+use cuttlefish_bench::{default_epochs, print_table, save_json};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::collections::HashMap;
+
+#[derive(Serialize)]
+struct Selection {
+    dataset: String,
+    layers: Vec<String>,
+    full_ranks: Vec<usize>,
+    cuttlefish: Vec<Option<usize>>,
+    pufferfish: Vec<Option<usize>>,
+    lc: Vec<Option<usize>>,
+}
+
+fn main() {
+    let epochs = default_epochs();
+    let model = VisionModel::Vgg19;
+    let mut all = Vec::new();
+    for dataset in ["cifar10", "cifar100", "svhn"] {
+        // Cuttlefish + Pufferfish rank decisions via the shared runner.
+        let cf = run_vision(&Method::Cuttlefish, model, dataset, epochs, 0).expect("cuttlefish run");
+        let pf = run_vision(&Method::Pufferfish, model, dataset, epochs, 0).expect("pufferfish run");
+
+        // LC's learned ranks.
+        let classes = scenarios::dataset_spec(dataset).classes;
+        let mut net = scenarios::build_model(model, classes, 0);
+        let mut adapter = scenarios::vision_adapter(dataset, 1000);
+        let tcfg = scenarios::trainer_config(model, dataset, epochs, 0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let lc_res = lc::run_lc(
+            &mut net,
+            &mut adapter,
+            &LoopCfg {
+                epochs,
+                batch_size: tcfg.batch_size,
+                schedule: tcfg.schedule.clone(),
+                optimizer: tcfg.optimizer,
+                label_smoothing: 0.0,
+            },
+            &lc::LcConfig {
+                alpha: 2e-3,
+                c_every: 2,
+                ..lc::LcConfig::default()
+            },
+            &mut rng,
+            &scenarios::clock_targets(model),
+            tcfg.device.clone(),
+            tcfg.sim_batch,
+            tcfg.sim_iters_per_epoch,
+        )
+        .expect("lc run");
+
+        let cf_map: HashMap<&str, Option<usize>> =
+            cf.decisions.iter().map(|d| (d.name.as_str(), d.chosen)).collect();
+        let pf_map: HashMap<&str, Option<usize>> =
+            pf.decisions.iter().map(|d| (d.name.as_str(), d.chosen)).collect();
+
+        let targets = scenarios::build_model(model, classes, 0);
+        let layers: Vec<String> = targets.targets().iter().map(|t| t.name.clone()).collect();
+        let full_ranks: Vec<usize> = targets.targets().iter().map(|t| t.full_rank()).collect();
+        let rows: Vec<Vec<String>> = layers
+            .iter()
+            .zip(&full_ranks)
+            .map(|(name, &fr)| {
+                let show = |v: Option<&Option<usize>>| match v.copied().flatten() {
+                    Some(r) => r.to_string(),
+                    None => "-".to_string(),
+                };
+                vec![
+                    name.clone(),
+                    fr.to_string(),
+                    show(cf_map.get(name.as_str())),
+                    show(pf_map.get(name.as_str())),
+                    lc_res
+                        .learned_ranks
+                        .get(name)
+                        .map(|r| r.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Figure 5 — selected ranks, VGG-19 on {dataset} ('-' = kept full-rank)"),
+            &["layer", "full rank", "Cuttlefish", "Pufferfish", "LC"],
+            &rows,
+        );
+        all.push(Selection {
+            dataset: dataset.to_string(),
+            cuttlefish: layers.iter().map(|n| cf_map.get(n.as_str()).copied().flatten()).collect(),
+            pufferfish: layers.iter().map(|n| pf_map.get(n.as_str()).copied().flatten()).collect(),
+            lc: layers.iter().map(|n| lc_res.learned_ranks.get(n).copied()).collect(),
+            layers,
+            full_ranks,
+        });
+    }
+    // Alignment metric: mean |cf − lc| vs |pf − lc| over layers both chose.
+    for sel in &all {
+        let mut cf_err = Vec::new();
+        let mut pf_err = Vec::new();
+        for i in 0..sel.layers.len() {
+            if let Some(lc_r) = sel.lc[i] {
+                if let Some(cf_r) = sel.cuttlefish[i] {
+                    cf_err.push((cf_r as f32 - lc_r as f32).abs());
+                }
+                if let Some(pf_r) = sel.pufferfish[i] {
+                    pf_err.push((pf_r as f32 - lc_r as f32).abs());
+                }
+            }
+        }
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
+        println!(
+            "{}: mean |rank - LC rank| — Cuttlefish {:.1}, Pufferfish {:.1}",
+            sel.dataset,
+            mean(&cf_err),
+            mean(&pf_err)
+        );
+    }
+    save_json("fig5_rank_selection", &all);
+}

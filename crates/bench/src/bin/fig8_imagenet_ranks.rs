@@ -1,0 +1,48 @@
+//! Figure 8: the ranks chosen by Cuttlefish vs. Pufferfish (ρ = 1/4) for
+//! ResNet-50 and WideResNet-50-2 on the ImageNet-like task. Shape target:
+//! Cuttlefish picks *lower* ranks than Pufferfish in deep layers while
+//! training full-rank for longer.
+
+use cuttlefish_bench::methods::{run_vision, Method};
+use cuttlefish_bench::scenarios::VisionModel;
+use cuttlefish_bench::{default_epochs, print_table, save_json};
+
+fn main() {
+    let epochs = default_epochs();
+    let mut snapshots = Vec::new();
+    for model in [VisionModel::ResNet50, VisionModel::WideResNet50] {
+        let cf = run_vision(&Method::Cuttlefish, model, "imagenet", epochs, 0).expect("cf run");
+        let pf = run_vision(&Method::Pufferfish, model, "imagenet", epochs, 0).expect("pf run");
+        let rows: Vec<Vec<String>> = cf
+            .decisions
+            .iter()
+            .zip(&pf.decisions)
+            .map(|(c, p)| {
+                vec![
+                    c.name.clone(),
+                    c.full_rank.to_string(),
+                    c.chosen.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+                    p.chosen.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Figure 8 — ranks for {} (E_hat={:?} vs Pufferfish E={:?})", model.name(), cf.e_hat, pf.e_hat),
+            &["layer", "full rank", "Cuttlefish", "Pufferfish"],
+            &rows,
+        );
+        snapshots.push((model.name(), cf, pf));
+    }
+    let payload: Vec<_> = snapshots
+        .iter()
+        .map(|(name, cf, pf)| {
+            serde_json::json!({
+                "model": name,
+                "cuttlefish": cf.decisions,
+                "pufferfish": pf.decisions,
+                "cf_e": cf.e_hat, "pf_e": pf.e_hat,
+            })
+        })
+        .collect();
+    save_json("fig8_imagenet_ranks", &payload);
+}

@@ -1,0 +1,60 @@
+//! Tables 13–14: Frobenius-decay ablation — Cuttlefish with FD on vs. off
+//! across the CIFAR-class tasks (and the ImageNet-like ResNet-50).
+//! Paper shape: FD sometimes helps (notably CIFAR-100 / ImageNet) but not
+//! consistently.
+
+use cuttlefish::{run_training, SwitchPolicy};
+use cuttlefish_bench::scenarios::{self, VisionModel};
+use cuttlefish_bench::{default_epochs, fmt_params, print_table, save_json};
+
+fn main() {
+    let epochs = default_epochs();
+    let mut json = Vec::new();
+    for (model, dataset) in [
+        (VisionModel::ResNet18, "cifar10"),
+        (VisionModel::ResNet18, "cifar100"),
+        (VisionModel::ResNet18, "svhn"),
+        (VisionModel::Vgg19, "cifar10"),
+        (VisionModel::ResNet50, "imagenet"),
+    ] {
+        let mut rows = Vec::new();
+        for fd in [None, Some(1e-4f32)] {
+            let mut cfg = scenarios::bench_cuttlefish_config();
+            cfg.frobenius_decay = fd;
+            let classes = scenarios::dataset_spec(dataset).classes;
+            let mut net = scenarios::build_model(model, classes, 0);
+            let mut adapter = scenarios::vision_adapter(dataset, 1000);
+            let tcfg = scenarios::trainer_config(model, dataset, epochs, 0);
+            let res = run_training(
+                &mut net,
+                &mut adapter,
+                &tcfg,
+                &SwitchPolicy::Cuttlefish(cfg),
+                Some(&scenarios::clock_targets(model)),
+            )
+            .expect("run");
+            rows.push((fd, res));
+        }
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|(fd, r)| {
+                vec![
+                    if fd.is_some() { "Cuttlefish w. FD" } else { "Cuttlefish wo. FD" }.to_string(),
+                    fmt_params(r.params_final, r.params_full),
+                    format!("{:.3}", r.best_metric),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Tables 13–14 — FD ablation, {} on {dataset}-like", model.name()),
+            &["variant", "params", "val acc"],
+            &table,
+        );
+        json.push(serde_json::json!({
+            "model": model.name(), "dataset": dataset,
+            "without_fd": {"params": rows[0].1.params_final, "acc": rows[0].1.best_metric},
+            "with_fd": {"params": rows[1].1.params_final, "acc": rows[1].1.best_metric},
+        }));
+    }
+    save_json("table13_fd_ablation", &json);
+}

@@ -1,0 +1,38 @@
+//! Table 18: Cuttlefish vs. EB-Train (30%/50%) and GraSP (30%/60%) on the
+//! ImageNet-like ResNet-50 task. Shape target: Cuttlefish reaches higher
+//! accuracy at a comparable or smaller size.
+
+use cuttlefish_bench::methods::{run_vision, Method};
+use cuttlefish_bench::scenarios::VisionModel;
+use cuttlefish_bench::{default_epochs, fmt_params, print_table, save_json};
+
+fn main() {
+    let epochs = default_epochs();
+    let model = VisionModel::ResNet50;
+    let methods = [
+        Method::FullRank,
+        Method::Pufferfish,
+        Method::EbTrain { prune_fraction: 0.3 },
+        Method::EbTrain { prune_fraction: 0.5 },
+        Method::Grasp { keep: 0.7 },
+        Method::Grasp { keep: 0.4 },
+        Method::Cuttlefish,
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for m in &methods {
+        let r = run_vision(m, model, "imagenet", epochs, 0).expect("run");
+        rows.push(vec![
+            r.method.clone(),
+            fmt_params(r.params, r.params_full),
+            format!("{:.3}", r.metric),
+        ]);
+        json.push(r);
+    }
+    print_table(
+        &format!("Table 18 — ResNet-50 on imagenet-like (T = {epochs})"),
+        &["method", "params", "top-1 acc"],
+        &rows,
+    );
+    save_json("table18_eb_grasp", &json);
+}

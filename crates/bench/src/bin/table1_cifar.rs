@@ -1,0 +1,53 @@
+//! Table 1: ResNet-18 and VGG-19 on the CIFAR-10/CIFAR-100-like tasks —
+//! params / accuracy / simulated end-to-end time for Full-rank,
+//! Pufferfish, SI&FD (size-matched), IMP, XNOR-Net, LC (VGG only, as in
+//! the paper) and Cuttlefish.
+
+use cuttlefish_bench::methods::{mean_chosen_ratio, run_vision, Method, MethodRow};
+use cuttlefish_bench::scenarios::VisionModel;
+use cuttlefish_bench::{default_epochs, fmt_hours, fmt_params, print_table, save_json};
+
+fn main() {
+    let epochs = default_epochs();
+    let mut all = Vec::new();
+    for model in [VisionModel::ResNet18, VisionModel::Vgg19] {
+        for dataset in ["cifar10", "cifar100"] {
+            let mut rows: Vec<MethodRow> = Vec::new();
+            let full = run_vision(&Method::FullRank, model, dataset, epochs, 0).expect("full");
+            let cf = run_vision(&Method::Cuttlefish, model, dataset, epochs, 0).expect("cf");
+            let si_rho = mean_chosen_ratio(&cf.decisions);
+            rows.push(full.clone());
+            rows.push(run_vision(&Method::Pufferfish, model, dataset, epochs, 0).expect("pf"));
+            rows.push(
+                run_vision(&Method::SiFd { rho: si_rho }, model, dataset, epochs, 0).expect("sifd"),
+            );
+            rows.push(run_vision(&Method::Imp { rounds: 2 }, model, dataset, epochs, 0).expect("imp"));
+            rows.push(run_vision(&Method::Xnor, model, dataset, epochs, 0).expect("xnor"));
+            if model == VisionModel::Vgg19 {
+                rows.push(run_vision(&Method::Lc, model, dataset, epochs, 0).expect("lc"));
+            }
+            rows.push(cf);
+
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.method.clone(),
+                        fmt_params(r.params, r.params_full),
+                        format!("{:.3}", r.metric),
+                        fmt_hours(r.hours, full.hours),
+                    ]
+                })
+                .collect();
+            print_table(
+                &format!("Table 1 — {} on {dataset}-like (T = {epochs})", model.name()),
+                &["method", "params", "val acc", "sim hrs (speedup)"],
+                &table,
+            );
+            all.push(serde_json::json!({
+                "model": model.name(), "dataset": dataset, "rows": rows,
+            }));
+        }
+    }
+    save_json("table1_cifar", &all);
+}

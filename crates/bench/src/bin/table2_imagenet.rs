@@ -1,0 +1,50 @@
+//! Table 2: ResNet-50 and WideResNet-50-2 on the ImageNet-like task —
+//! params / accuracy / FLOPs / simulated time for vanilla, Pufferfish, and
+//! Cuttlefish. FLOPs are computed on the paper-scale architecture shapes
+//! (224×224 inputs) with the micro ranks projected stack-by-stack.
+
+use cuttlefish::factorize::project_ranks;
+use cuttlefish_bench::methods::{run_vision, Method, MethodRow};
+use cuttlefish_bench::scenarios::{clock_targets, VisionModel};
+use cuttlefish_bench::{default_epochs, fmt_hours, fmt_params, print_table, save_json};
+use cuttlefish_perf::arch::total_flops;
+
+fn gflops(row: &MethodRow, model: VisionModel) -> f64 {
+    let clock = clock_targets(model);
+    if row.decisions.is_empty() {
+        total_flops(&clock, |_| None) / 1e9
+    } else {
+        let projected = project_ranks(&row.decisions, &clock);
+        total_flops(&clock, |t| projected.get(t.index - 1).copied().flatten()) / 1e9
+    }
+}
+
+fn main() {
+    let epochs = default_epochs();
+    let mut all = Vec::new();
+    for model in [VisionModel::WideResNet50, VisionModel::ResNet50] {
+        let full = run_vision(&Method::FullRank, model, "imagenet", epochs, 0).expect("full");
+        let pf = run_vision(&Method::Pufferfish, model, "imagenet", epochs, 0).expect("pf");
+        let cf = run_vision(&Method::Cuttlefish, model, "imagenet", epochs, 0).expect("cf");
+        let rows = vec![full.clone(), pf, cf];
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.method.clone(),
+                    fmt_params(r.params, r.params_full),
+                    format!("{:.3}", r.metric),
+                    format!("{:.1}", gflops(r, model)),
+                    fmt_hours(r.hours, full.hours),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Table 2 — {} on imagenet-like (T = {epochs})", model.name()),
+            &["method", "params", "top-1 acc", "GFLOPs@224", "sim hrs (speedup)"],
+            &table,
+        );
+        all.push(serde_json::json!({"model": model.name(), "rows": rows}));
+    }
+    save_json("table2_imagenet", &all);
+}

@@ -1,0 +1,219 @@
+//! Table 4: GLUE fine-tuning — vanilla micro-BERT, DistilBERT-like and
+//! TinyBERT-like students (logit distillation), and Cuttlefish micro-BERT
+//! (fine-tune full-rank for E = 1–2 epochs, then factorize with the
+//! transformer rank rule). A shared encoder is MLM-pre-trained once and
+//! its weights are transplanted into every fine-tuning run.
+
+use cuttlefish::adapter::{GlueAdapter, MlmAdapter};
+use cuttlefish::{run_training, CuttlefishConfig, OptimizerKind, SwitchPolicy, TrainerConfig};
+use cuttlefish_baselines::distill::{distill_train, DistillConfig};
+use cuttlefish_baselines::util::{train_with_hook, LoopCfg};
+use cuttlefish_bench::{default_epochs, print_table, save_json};
+use cuttlefish_data::{glue_suite, MlmStream};
+use cuttlefish_nn::models::{build_micro_bert, BertHead, MicroBertConfig};
+use cuttlefish_nn::schedule::LrSchedule;
+use cuttlefish_nn::Network;
+use cuttlefish_perf::DeviceProfile;
+use cuttlefish_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const VOCAB: usize = 48;
+const TOKENS: usize = 10;
+const DIM: usize = 24;
+const DEPTH: usize = 3;
+const HEADS: usize = 3;
+
+fn encoder_cfg(head: BertHead) -> MicroBertConfig {
+    MicroBertConfig {
+        vocab: VOCAB,
+        max_tokens: TOKENS,
+        dim: DIM,
+        depth: DEPTH,
+        heads: HEADS,
+        mlp_ratio: 2,
+        head,
+    }
+}
+
+/// Copies parameter values between nets while shapes line up (the heads
+/// differ, everything before them matches by construction order).
+fn transplant(src: &mut Network, dst: &mut Network) {
+    let mut values: Vec<Matrix> = Vec::new();
+    src.visit_params(&mut |p| values.push(p.value.clone()));
+    let mut i = 0usize;
+    dst.visit_params(&mut |p| {
+        if i < values.len() && p.value.shape() == values[i].shape() {
+            p.value = values[i].clone();
+        }
+        i += 1;
+    });
+}
+
+fn finetune_cfg(epochs: usize, seed: u64) -> TrainerConfig {
+    let mut c = TrainerConfig::transformer_default(epochs, seed);
+    c.batch_size = 24;
+    c.schedule = LrSchedule::Constant { lr: 2e-3 };
+    c.optimizer = OptimizerKind::AdamW { weight_decay: 0.0 };
+    c.label_smoothing = 0.0;
+    c.device = DeviceProfile::v100();
+    c.sim_batch = 32;
+    c.sim_iters_per_epoch = 1000;
+    c
+}
+
+fn main() {
+    let ft_epochs = default_epochs().max(6).min(8);
+    let mut rng = StdRng::seed_from_u64(0);
+
+    // --- Shared MLM pre-training ---------------------------------------
+    println!("pre-training the shared encoder (MLM)...");
+    let mut pretrained = build_micro_bert(&encoder_cfg(BertHead::MaskedLm), &mut rng);
+    let mut mlm = MlmAdapter::new(MlmStream::new(VOCAB, TOKENS, 3), 24, 48);
+    let pre_cfg = LoopCfg {
+        epochs: 10,
+        batch_size: 24,
+        schedule: LrSchedule::Constant { lr: 2e-3 },
+        optimizer: OptimizerKind::AdamW { weight_decay: 0.0 },
+        label_smoothing: 0.0,
+    };
+    let stats = train_with_hook(&mut pretrained, &mut mlm, &pre_cfg, &mut rng, &mut |_, _| Ok(()))
+        .expect("pretraining");
+    println!("pre-training MLM loss: {:.3} -> {:.3}", stats.loss_curve[0], stats.loss_curve.last().unwrap());
+
+    let suite = glue_suite(VOCAB, TOKENS, 11);
+    let mut header = vec!["Model".to_string(), "Params".to_string()];
+    header.extend(suite.iter().map(|t| t.name.to_string()));
+    header.push("Avg.".to_string());
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_rows = Vec::new();
+
+    // Method closures produce (params, per-task metric).
+    for variant in ["BERT_BASE", "Distil-BERT", "TinyBERT", "Cuttlefish"] {
+        let mut metrics = Vec::new();
+        let mut params = 0usize;
+        for task in &suite {
+            let head = BertHead::Classification {
+                classes: task.classes.max(1),
+            };
+            let seed = 100 + task.name.len() as u64;
+            let metric = match variant {
+                "BERT_BASE" => {
+                    let mut net = build_micro_bert(&encoder_cfg(head), &mut StdRng::seed_from_u64(seed));
+                    transplant(&mut pretrained, &mut net);
+                    let mut ad = GlueAdapter::new(task.clone());
+                    let res = run_training(
+                        &mut net,
+                        &mut ad,
+                        &finetune_cfg(ft_epochs, seed),
+                        &SwitchPolicy::FullRankOnly,
+                        None,
+                    )
+                    .expect("bert ft");
+                    params = res.params_final;
+                    res.best_metric
+                }
+                "Cuttlefish" => {
+                    let mut net = build_micro_bert(&encoder_cfg(head), &mut StdRng::seed_from_u64(seed));
+                    transplant(&mut pretrained, &mut net);
+                    let mut ad = GlueAdapter::new(task.clone());
+                    // Short fine-tunes: switch as soon as the tracker has a
+                    // derivative (E ≈ 2), matching the paper's E = 1.
+                    let cfg = CuttlefishConfig {
+                        epsilon: f32::INFINITY,
+                        window: 1,
+                        max_full_rank_fraction: 0.34,
+                        ..CuttlefishConfig::default()
+                    };
+                    let res = run_training(
+                        &mut net,
+                        &mut ad,
+                        &finetune_cfg(ft_epochs, seed),
+                        &SwitchPolicy::Cuttlefish(cfg),
+                        None,
+                    )
+                    .expect("cf ft");
+                    params = res.params_final;
+                    res.best_metric
+                }
+                student => {
+                    // Distilled students: teacher = fine-tuned BERT_BASE.
+                    if task.classes < 2 {
+                        // STS-B regression is not distilled; student
+                        // fine-tunes directly (paper trains all heads).
+                        let cfgv = if student == "Distil-BERT" {
+                            MicroBertConfig { depth: 2, head, ..encoder_cfg(head) }
+                        } else {
+                            MicroBertConfig { depth: 2, dim: 20, heads: 2, head, ..encoder_cfg(head) }
+                        };
+                        let mut net = build_micro_bert(&cfgv, &mut StdRng::seed_from_u64(seed));
+                        transplant(&mut pretrained, &mut net);
+                        let mut ad = GlueAdapter::new(task.clone());
+                        let res = run_training(
+                            &mut net,
+                            &mut ad,
+                            &finetune_cfg(ft_epochs, seed),
+                            &SwitchPolicy::FullRankOnly,
+                            None,
+                        )
+                        .expect("student ft");
+                        params = res.params_final;
+                        res.best_metric
+                    } else {
+                        let mut teacher =
+                            build_micro_bert(&encoder_cfg(head), &mut StdRng::seed_from_u64(seed));
+                        transplant(&mut pretrained, &mut teacher);
+                        let mut t_ad = GlueAdapter::new(task.clone());
+                        run_training(
+                            &mut teacher,
+                            &mut t_ad,
+                            &finetune_cfg(ft_epochs, seed),
+                            &SwitchPolicy::FullRankOnly,
+                            None,
+                        )
+                        .expect("teacher ft");
+                        let (cfgv, dcfg) = if student == "Distil-BERT" {
+                            (
+                                MicroBertConfig { depth: 2, head, ..encoder_cfg(head) },
+                                DistillConfig { alpha: 0.5, temperature: 2.0 },
+                            )
+                        } else {
+                            (
+                                MicroBertConfig { depth: 2, dim: 20, heads: 2, head, ..encoder_cfg(head) },
+                                DistillConfig { alpha: 0.3, temperature: 4.0 },
+                            )
+                        };
+                        let mut net = build_micro_bert(&cfgv, &mut StdRng::seed_from_u64(seed));
+                        transplant(&mut pretrained, &mut net);
+                        let loop_cfg = LoopCfg {
+                            epochs: ft_epochs,
+                            batch_size: 24,
+                            schedule: LrSchedule::Constant { lr: 2e-3 },
+                            optimizer: OptimizerKind::AdamW { weight_decay: 0.0 },
+                            label_smoothing: 0.0,
+                        };
+                        let m = distill_train(&mut net, &mut teacher, task, &loop_cfg, &dcfg, &mut rng)
+                            .expect("distill");
+                        params = net.param_count();
+                        m
+                    }
+                }
+            };
+            metrics.push(metric);
+        }
+        let avg: f32 = metrics.iter().sum::<f32>() / metrics.len() as f32;
+        let mut row = vec![variant.to_string(), format!("{:.0}k", params as f64 / 1e3)];
+        row.extend(metrics.iter().map(|m| format!("{:.3}", m)));
+        row.push(format!("{avg:.3}"));
+        json_rows.push(serde_json::json!({"model": variant, "params": params, "metrics": metrics, "avg": avg}));
+        rows.push(row);
+    }
+
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table(
+        &format!("Table 4 — GLUE fine-tuning ({ft_epochs} epochs per task; F1 for QQP/MRPC, Spearman for STS-B)"),
+        &header_refs,
+        &rows,
+    );
+    save_json("table4_glue", &json_rows);
+}

@@ -1,0 +1,66 @@
+//! Tables 8–10: the hyperparameters (Ê, K̂) Cuttlefish discovers on every
+//! task, next to the manually tuned Pufferfish and SI&FD values, over
+//! three seeds (the paper reports mean ± std of Ê).
+
+use cuttlefish_baselines::pufferfish;
+use cuttlefish_bench::methods::{run_vision, Method};
+use cuttlefish_bench::scenarios::VisionModel;
+use cuttlefish_bench::{default_epochs, print_table, save_json};
+use cuttlefish::SwitchPolicy;
+
+fn main() {
+    let epochs = default_epochs();
+    let seeds = [0u64, 1];
+    let mut json = Vec::new();
+    let mut rows = Vec::new();
+    for (model, dataset) in [
+        (VisionModel::ResNet18, "cifar10"),
+        (VisionModel::ResNet18, "cifar100"),
+        (VisionModel::ResNet18, "svhn"),
+        (VisionModel::Vgg19, "cifar10"),
+        (VisionModel::Vgg19, "svhn"),
+    ] {
+        let mut es = Vec::new();
+        let mut ks = Vec::new();
+        for &seed in &seeds {
+            let cf = run_vision(&Method::Cuttlefish, model, dataset, epochs, seed).expect("cf");
+            es.push(cf.e_hat.unwrap_or(0) as f32);
+            ks.push(cf.k_hat.unwrap_or(0) as f32);
+        }
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        let std = |v: &[f32]| {
+            let m = mean(v);
+            (v.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / v.len() as f32).sqrt()
+        };
+        let SwitchPolicy::Manual {
+            full_rank_epochs: pf_e,
+            k: pf_k,
+            ..
+        } = pufferfish::policy_for(model.pufferfish_key(), epochs)
+        else {
+            unreachable!()
+        };
+        rows.push(vec![
+            format!("{} / {dataset}", model.name()),
+            format!("{:.1} ± {:.1}", mean(&es), std(&es)),
+            format!("{:.0}", mean(&ks)),
+            format!("{pf_e}"),
+            format!("{pf_k}"),
+            "0".into(),
+            "1".into(),
+        ]);
+        json.push(serde_json::json!({
+            "model": model.name(), "dataset": dataset,
+            "cuttlefish_e_mean": mean(&es), "cuttlefish_e_std": std(&es),
+            "cuttlefish_k": mean(&ks), "pufferfish_e": pf_e, "pufferfish_k": pf_k,
+        }));
+    }
+    print_table(
+        &format!("Tables 8 — discovered vs tuned hyperparameters (T = {epochs}, 2 seeds)"),
+        &["scenario", "CF E_hat", "CF K_hat", "PF E", "PF K", "SI&FD E", "SI&FD K"],
+        &rows,
+    );
+    println!("\nPaper shape: Cuttlefish finds larger K than Pufferfish on ResNet-18 and smaller on VGG-19;");
+    println!("E_hat varies across seeds (the paper's Table 8 reports 82.3±10.1 of 300 for ResNet-18/CIFAR-10).");
+    save_json("table8_hyperparams", &json);
+}

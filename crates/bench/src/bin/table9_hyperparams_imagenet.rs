@@ -1,0 +1,49 @@
+//! Tables 9–10: discovered (Ê, K̂) on the ImageNet-scale models (ResNet-50,
+//! WideResNet-50-2, DeiT, ResMLP) vs. Pufferfish's manual values.
+
+use cuttlefish_baselines::pufferfish;
+use cuttlefish_bench::methods::{run_vision, Method};
+use cuttlefish_bench::scenarios::VisionModel;
+use cuttlefish_bench::{default_epochs, print_table, save_json};
+use cuttlefish::SwitchPolicy;
+
+fn main() {
+    let epochs = default_epochs();
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for model in [
+        VisionModel::ResNet50,
+        VisionModel::WideResNet50,
+        VisionModel::Deit,
+        VisionModel::Mixer,
+    ] {
+        let cf = run_vision(&Method::Cuttlefish, model, "imagenet", epochs, 0).expect("cf");
+        let SwitchPolicy::Manual {
+            full_rank_epochs: pf_e,
+            k: pf_k,
+            ..
+        } = pufferfish::policy_for(model.pufferfish_key(), epochs)
+        else {
+            unreachable!()
+        };
+        rows.push(vec![
+            model.name().to_string(),
+            format!("{:?}", cf.e_hat),
+            format!("{:?}", cf.k_hat),
+            pf_e.to_string(),
+            pf_k.to_string(),
+        ]);
+        json.push(serde_json::json!({
+            "model": model.name(), "cf_e": cf.e_hat, "cf_k": cf.k_hat,
+            "pf_e": pf_e, "pf_k": pf_k,
+        }));
+    }
+    print_table(
+        &format!("Tables 9–10 — ImageNet-scale hyperparameters (T = {epochs})"),
+        &["model", "CF E_hat", "CF K_hat", "PF E", "PF K"],
+        &rows,
+    );
+    println!("\nPaper shape: CNNs keep a long full-rank prefix (K = 40 of 54); transformers keep only");
+    println!("the embedding (K = 1) and switch later than Pufferfish's manual E.");
+    save_json("table9_hyperparams_imagenet", &json);
+}

@@ -1,0 +1,120 @@
+//! Benchmark harness for the Cuttlefish reproduction.
+//!
+//! One binary per paper table/figure (see `src/bin/`), all built on the
+//! shared [`scenarios`] (model/task/trainer constructors per paper
+//! experiment) and [`methods`] (uniform runner for Cuttlefish and every
+//! baseline). Results print as aligned text tables and are also saved as
+//! JSON under `bench_results/` so EXPERIMENTS.md entries are regenerable.
+//!
+//! Scale: training runs use micro models and synthetic tasks (single CPU
+//! core); "Time (hrs.)" columns are simulated on the paper's device/batch
+//! workload via the `cuttlefish-perf` roofline clock. Set the
+//! `CUTTLEFISH_EPOCHS` environment variable to change the default epoch
+//! budget.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod methods;
+pub mod scenarios;
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Default epoch budget for table runs (override with `CUTTLEFISH_EPOCHS`).
+pub fn default_epochs() -> usize {
+    std::env::var("CUTTLEFISH_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12)
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Directory where JSON results land.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("bench_results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Saves a serializable result snapshot under `bench_results/<name>.json`.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Formats a parameter count as `M` with the share of full size.
+pub fn fmt_params(params: usize, full: usize) -> String {
+    format!(
+        "{:.3}M ({:.1}%)",
+        params as f64 / 1e6,
+        100.0 * params as f64 / full.max(1) as f64
+    )
+}
+
+/// Formats simulated hours with the speedup vs. a reference.
+pub fn fmt_hours(hours: f64, reference: f64) -> String {
+    if reference > 0.0 {
+        format!("{hours:.2} ({:.2}x)", reference / hours.max(1e-9))
+    } else {
+        format!("{hours:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_params_shows_percentage() {
+        let s = fmt_params(500_000, 1_000_000);
+        assert!(s.contains("0.500M"));
+        assert!(s.contains("50.0%"));
+    }
+
+    #[test]
+    fn fmt_hours_shows_speedup() {
+        let s = fmt_hours(0.5, 1.0);
+        assert!(s.contains("2.00x"));
+    }
+
+    #[test]
+    fn default_epochs_reads_env() {
+        if std::env::var("CUTTLEFISH_EPOCHS").is_err() {
+            assert_eq!(default_epochs(), 12);
+        }
+    }
+}

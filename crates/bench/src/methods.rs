@@ -1,0 +1,378 @@
+//! Uniform runner for Cuttlefish and every baseline on a vision scenario.
+
+use crate::scenarios::{
+    bench_cuttlefish_config, build_model, clock_targets, trainer_config, vision_adapter,
+    VisionModel,
+};
+use cuttlefish::config::RankRule;
+use cuttlefish::factorize::RankDecision;
+use cuttlefish::{run_training, CfResult, CuttlefishConfig, SwitchPolicy, TrainerConfig};
+use cuttlefish_baselines::util::LoopCfg;
+use cuttlefish_baselines::{eb, grasp, imp, lc, pufferfish, si_fd, xnor};
+use cuttlefish_nn::TargetInfo;
+use cuttlefish_perf::TrainingClock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// A training method under comparison.
+#[derive(Debug, Clone)]
+pub enum Method {
+    /// Vanilla full-rank training.
+    FullRank,
+    /// Cuttlefish with the bench defaults (FD on/off both tried, best
+    /// reported, per the paper's `*` footnote).
+    Cuttlefish,
+    /// Cuttlefish with an explicit configuration.
+    CuttlefishWith(CuttlefishConfig),
+    /// Pufferfish with the paper's tuned (E, K, ρ = 1/4).
+    Pufferfish,
+    /// SI&FD with ρ tuned to (approximately) match Cuttlefish's size.
+    SiFd {
+        /// Global rank ratio.
+        rho: f32,
+    },
+    /// Iterative magnitude pruning.
+    Imp {
+        /// Number of pruning rounds.
+        rounds: usize,
+    },
+    /// XNOR-Net binary training.
+    Xnor,
+    /// LC compression (learned ranks).
+    Lc,
+    /// EB-Train structured pruning.
+    EbTrain {
+        /// Channel prune fraction.
+        prune_fraction: f32,
+    },
+    /// GraSP pruning at init.
+    Grasp {
+        /// Kept weight fraction.
+        keep: f32,
+    },
+}
+
+impl Method {
+    /// Row label matching the paper's tables.
+    pub fn label(&self) -> String {
+        match self {
+            Method::FullRank => "Full-rank".into(),
+            Method::Cuttlefish | Method::CuttlefishWith(_) => "Cuttlefish".into(),
+            Method::Pufferfish => "Pufferfish".into(),
+            Method::SiFd { .. } => "SI&FD".into(),
+            Method::Imp { .. } => "IMP".into(),
+            Method::Xnor => "XNOR-Net".into(),
+            Method::Lc => "LC Compress.".into(),
+            Method::EbTrain { prune_fraction } => format!("EB Train ({:.0}%)", prune_fraction * 100.0),
+            Method::Grasp { keep } => format!("GraSP ({:.0}%)", (1.0 - keep) * 100.0),
+        }
+    }
+}
+
+/// One table row.
+#[derive(Debug, Clone, Serialize)]
+pub struct MethodRow {
+    /// Method label.
+    pub method: String,
+    /// Final trainable parameter count (nonzero count for pruning methods).
+    pub params: usize,
+    /// Full-rank parameter count of the same model.
+    pub params_full: usize,
+    /// Best validation metric.
+    pub metric: f32,
+    /// Simulated end-to-end hours on the paper's hardware workload.
+    pub hours: f64,
+    /// Discovered/imposed full-rank epochs.
+    pub e_hat: Option<usize>,
+    /// Discovered/imposed K.
+    pub k_hat: Option<usize>,
+    /// Rank decisions (empty for non-factorizing methods).
+    pub decisions: Vec<RankDecision>,
+}
+
+fn loop_cfg(t: &TrainerConfig) -> LoopCfg {
+    LoopCfg {
+        epochs: t.total_epochs,
+        batch_size: t.batch_size,
+        schedule: t.schedule.clone(),
+        optimizer: t.optimizer,
+        label_smoothing: t.label_smoothing,
+    }
+}
+
+fn full_rank_hours(t: &TrainerConfig, clock: &[TargetInfo]) -> f64 {
+    let mut c = TrainingClock::new(t.device.clone());
+    c.add_training_iterations(clock, t.sim_batch, t.sim_iters_per_epoch * t.total_epochs, |_| None);
+    c.hours()
+}
+
+/// Runs one method on one (model, dataset) scenario.
+///
+/// # Errors
+///
+/// Propagates training errors.
+pub fn run_vision(
+    method: &Method,
+    model: VisionModel,
+    dataset: &str,
+    epochs: usize,
+    seed: u64,
+) -> CfResult<MethodRow> {
+    let tcfg = trainer_config(model, dataset, epochs, seed);
+    let clock = clock_targets(model);
+    let mut net = build_model(model, crate::scenarios::dataset_spec(dataset).classes, seed);
+    let mut adapter = vision_adapter(dataset, seed.wrapping_add(1000));
+    let params_full = net.param_count();
+    let mut rng = StdRng::seed_from_u64(tcfg.seed.wrapping_add(7));
+
+    let row = match method {
+        Method::FullRank => {
+            let res = run_training(&mut net, &mut adapter, &tcfg, &SwitchPolicy::FullRankOnly, Some(&clock))?;
+            MethodRow {
+                method: method.label(),
+                params: res.params_final,
+                params_full,
+                metric: res.best_metric,
+                hours: res.sim_hours,
+                e_hat: None,
+                k_hat: None,
+                decisions: vec![],
+            }
+        }
+        Method::Cuttlefish => {
+            // Try FD off and on; report the better (paper footnote `*`).
+            let mut base = bench_cuttlefish_config();
+            if matches!(model, VisionModel::Deit | VisionModel::Mixer) {
+                base.rank_rule = RankRule::ScaledWithAccumulative { p: 0.8 };
+                base.post_switch_lr_scale = 0.5;
+            }
+            let mut with_fd = base.clone();
+            with_fd.frobenius_decay = Some(1e-4);
+            let res_a = run_one_cuttlefish(&base, model, dataset, &tcfg, &clock, seed)?;
+            let res_b = run_one_cuttlefish(&with_fd, model, dataset, &tcfg, &clock, seed)?;
+            if res_a.metric >= res_b.metric {
+                res_a
+            } else {
+                res_b
+            }
+        }
+        Method::CuttlefishWith(cfg) => run_one_cuttlefish(cfg, model, dataset, &tcfg, &clock, seed)?,
+        Method::Pufferfish => {
+            let policy = pufferfish::policy_for(model.pufferfish_key(), epochs);
+            let res = run_training(&mut net, &mut adapter, &tcfg, &policy, Some(&clock))?;
+            MethodRow {
+                method: method.label(),
+                params: res.params_final,
+                params_full,
+                metric: res.best_metric,
+                hours: res.sim_hours,
+                e_hat: res.e_hat,
+                k_hat: res.k_hat,
+                decisions: res.decisions,
+            }
+        }
+        Method::SiFd { rho } => {
+            let policy = si_fd::policy_with_rho(*rho);
+            let res = run_training(&mut net, &mut adapter, &tcfg, &policy, Some(&clock))?;
+            MethodRow {
+                method: method.label(),
+                params: res.params_final,
+                params_full,
+                metric: res.best_metric,
+                hours: res.sim_hours,
+                e_hat: res.e_hat,
+                k_hat: res.k_hat,
+                decisions: res.decisions,
+            }
+        }
+        Method::Imp { rounds } => {
+            let cfg = imp::ImpConfig {
+                rounds: *rounds,
+                prune_fraction: 0.2,
+                rewind_epoch: 1,
+            };
+            let res = imp::run_imp(
+                &mut net,
+                &mut adapter,
+                &loop_cfg(&tcfg),
+                &cfg,
+                &mut rng,
+                &clock,
+                tcfg.device.clone(),
+                tcfg.sim_batch,
+                tcfg.sim_iters_per_epoch,
+            )?;
+            MethodRow {
+                method: method.label(),
+                params: res.remaining_params,
+                params_full,
+                metric: res.best_metric,
+                hours: res.sim_hours,
+                e_hat: None,
+                k_hat: None,
+                decisions: vec![],
+            }
+        }
+        Method::Xnor => {
+            let res = xnor::run_xnor(&mut net, &mut adapter, &loop_cfg(&tcfg), &mut rng)?;
+            MethodRow {
+                method: method.label(),
+                // Paper convention: same parameter count, quantized to 1
+                // bit → reported as the 3.1% storage row.
+                params: (params_full as f32 * res.effective_compression) as usize,
+                params_full,
+                metric: res.best_metric,
+                hours: full_rank_hours(&tcfg, &clock) * res.time_multiplier,
+                e_hat: None,
+                k_hat: None,
+                decisions: vec![],
+            }
+        }
+        Method::Lc => {
+            let cfg = lc::LcConfig {
+                alpha: 2e-3,
+                c_every: 2,
+                ..lc::LcConfig::default()
+            };
+            let res = lc::run_lc(
+                &mut net,
+                &mut adapter,
+                &loop_cfg(&tcfg),
+                &cfg,
+                &mut rng,
+                &clock,
+                tcfg.device.clone(),
+                tcfg.sim_batch,
+                tcfg.sim_iters_per_epoch,
+            )?;
+            MethodRow {
+                method: method.label(),
+                params: res.params_final,
+                params_full,
+                metric: res.best_metric,
+                hours: res.sim_hours,
+                e_hat: None,
+                k_hat: None,
+                decisions: vec![],
+            }
+        }
+        Method::EbTrain { prune_fraction } => {
+            let cfg = eb::EbConfig {
+                prune_fraction: *prune_fraction,
+                ..eb::EbConfig::default()
+            };
+            let res = eb::run_eb(&mut net, &mut adapter, &loop_cfg(&tcfg), &cfg, &mut rng)?;
+            MethodRow {
+                method: method.label(),
+                params: res.params_estimate,
+                params_full,
+                metric: res.best_metric,
+                hours: full_rank_hours(&tcfg, &clock),
+                e_hat: res.eb_epoch.map(|e| e + 1),
+                k_hat: None,
+                decisions: vec![],
+            }
+        }
+        Method::Grasp { keep } => {
+            let res = grasp::run_grasp(&mut net, &mut adapter, &loop_cfg(&tcfg), *keep, &mut rng)?;
+            MethodRow {
+                method: method.label(),
+                params: res.remaining_params,
+                params_full,
+                metric: res.best_metric,
+                hours: full_rank_hours(&tcfg, &clock),
+                e_hat: None,
+                k_hat: None,
+                decisions: vec![],
+            }
+        }
+    };
+    Ok(row)
+}
+
+fn run_one_cuttlefish(
+    cfg: &CuttlefishConfig,
+    model: VisionModel,
+    dataset: &str,
+    tcfg: &TrainerConfig,
+    clock: &[TargetInfo],
+    seed: u64,
+) -> CfResult<MethodRow> {
+    let mut net = build_model(model, crate::scenarios::dataset_spec(dataset).classes, seed);
+    let mut adapter = vision_adapter(dataset, seed.wrapping_add(1000));
+    let params_full = net.param_count();
+    let res = run_training(
+        &mut net,
+        &mut adapter,
+        tcfg,
+        &SwitchPolicy::Cuttlefish(cfg.clone()),
+        Some(clock),
+    )?;
+    Ok(MethodRow {
+        method: "Cuttlefish".into(),
+        params: res.params_final,
+        params_full,
+        metric: res.best_metric,
+        hours: res.sim_hours,
+        e_hat: res.e_hat,
+        k_hat: res.k_hat,
+        decisions: res.decisions,
+    })
+}
+
+/// Mean rank ratio chosen by a set of decisions (for SI&FD size matching).
+pub fn mean_chosen_ratio(decisions: &[RankDecision]) -> f32 {
+    let chosen: Vec<f32> = decisions
+        .iter()
+        .filter_map(|d| d.chosen.map(|r| r as f32 / d.full_rank.max(1) as f32))
+        .collect();
+    if chosen.is_empty() {
+        0.25
+    } else {
+        chosen.iter().sum::<f32>() / chosen.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_rows() {
+        assert_eq!(Method::FullRank.label(), "Full-rank");
+        assert_eq!(Method::EbTrain { prune_fraction: 0.3 }.label(), "EB Train (30%)");
+        assert_eq!(Method::Grasp { keep: 0.4 }.label(), "GraSP (60%)");
+    }
+
+    #[test]
+    fn full_rank_and_cuttlefish_rows_are_consistent() {
+        // Smoke test of the whole runner path. Long enough that the switch
+        // leaves low-rank epochs to amortize the rank-tracking overhead.
+        let epochs = 10;
+        let full =
+            run_vision(&Method::FullRank, VisionModel::ResNet18, "cifar10", epochs, 0).unwrap();
+        assert_eq!(full.params, full.params_full);
+        assert!(full.hours > 0.0);
+        let mut cfg = bench_cuttlefish_config();
+        cfg.max_full_rank_fraction = 0.3;
+        let cf = run_vision(
+            &Method::CuttlefishWith(cfg),
+            VisionModel::ResNet18,
+            "cifar10",
+            epochs,
+            0,
+        )
+        .unwrap();
+        assert!(cf.params < cf.params_full);
+        assert!(cf.e_hat.is_some());
+        // With a third of the run full-rank, the low-rank epochs must
+        // amortize the profiling/rank-tracking overhead.
+        assert!(
+            cf.hours < full.hours,
+            "cuttlefish {} vs full {}",
+            cf.hours,
+            full.hours
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Experiment scenarios: model builders, dataset presets, trainer configs,
+//! and paper-scale clock shapes for each (model, dataset) pair used by the
+//! paper's tables.
+
+use cuttlefish::adapter::VisionAdapter;
+use cuttlefish::{CuttlefishConfig, OptimizerKind, TrainerConfig};
+use cuttlefish_data::vision::{VisionSpec, VisionTask};
+use cuttlefish_nn::models::{
+    build_micro_deit, build_micro_mixer, build_micro_resnet18, build_micro_resnet50,
+    build_micro_vgg19, build_micro_wide_resnet50, MicroDeiTConfig, MicroMixerConfig,
+    MicroResNetConfig, MicroVggConfig,
+};
+use cuttlefish_nn::schedule::LrSchedule;
+use cuttlefish_nn::{Network, TargetInfo};
+use cuttlefish_perf::{arch, DeviceProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The vision models evaluated in Tables 1–3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VisionModel {
+    /// Micro ResNet-18 (CIFAR/SVHN tables).
+    ResNet18,
+    /// Micro VGG-19-BN (CIFAR/SVHN tables).
+    Vgg19,
+    /// Micro ResNet-50 (ImageNet table).
+    ResNet50,
+    /// Micro WideResNet-50-2 (ImageNet table).
+    WideResNet50,
+    /// Micro DeiT (Table 3).
+    Deit,
+    /// Micro ResMLP (Table 3).
+    Mixer,
+}
+
+impl VisionModel {
+    /// Display name matching the paper's rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            VisionModel::ResNet18 => "ResNet-18",
+            VisionModel::Vgg19 => "VGG-19",
+            VisionModel::ResNet50 => "ResNet-50",
+            VisionModel::WideResNet50 => "WideResNet-50",
+            VisionModel::Deit => "DeiT-base",
+            VisionModel::Mixer => "ResMLP-S36",
+        }
+    }
+
+    /// Key used by the Pufferfish preset table.
+    pub fn pufferfish_key(self) -> &'static str {
+        match self {
+            VisionModel::ResNet18 => "resnet18",
+            VisionModel::Vgg19 => "vgg19",
+            VisionModel::ResNet50 => "resnet50",
+            VisionModel::WideResNet50 => "wideresnet50",
+            VisionModel::Deit => "deit",
+            VisionModel::Mixer => "resmlp",
+        }
+    }
+}
+
+/// Dataset preset by paper name.
+pub fn dataset_spec(name: &str) -> VisionSpec {
+    match name {
+        "cifar10" => VisionSpec::cifar10_like(),
+        "cifar100" => VisionSpec::cifar100_like(),
+        "svhn" => VisionSpec::svhn_like(),
+        "imagenet" => VisionSpec::imagenet_like(),
+        other => {
+            let mut s = VisionSpec::cifar10_like();
+            s.name = other.to_string();
+            s
+        }
+    }
+}
+
+/// Builds the micro network for a model on a dataset's class count.
+pub fn build_model(model: VisionModel, classes: usize, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match model {
+        VisionModel::ResNet18 => build_micro_resnet18(&MicroResNetConfig::cifar(classes), &mut rng),
+        VisionModel::Vgg19 => build_micro_vgg19(&MicroVggConfig::cifar(classes), &mut rng),
+        VisionModel::ResNet50 => {
+            build_micro_resnet50(&MicroResNetConfig::imagenet50(classes), &mut rng)
+        }
+        VisionModel::WideResNet50 => {
+            build_micro_wide_resnet50(&MicroResNetConfig::imagenet_wide50(classes), &mut rng)
+        }
+        VisionModel::Deit => build_micro_deit(&MicroDeiTConfig::base(classes), &mut rng),
+        VisionModel::Mixer => build_micro_mixer(&MicroMixerConfig::s36(classes), &mut rng),
+    }
+}
+
+/// Paper-scale layer shapes used for the simulated clock and profiling.
+pub fn clock_targets(model: VisionModel) -> Vec<TargetInfo> {
+    match model {
+        VisionModel::ResNet18 => arch::resnet18_cifar(10),
+        VisionModel::Vgg19 => arch::vgg19_cifar(10),
+        VisionModel::ResNet50 => arch::resnet50_imagenet(),
+        VisionModel::WideResNet50 => arch::wide_resnet50_imagenet(),
+        VisionModel::Deit => arch::deit_base(),
+        VisionModel::Mixer => arch::resmlp_s36(),
+    }
+}
+
+/// Trainer config matching the paper's per-task setup (§4.1 / Appendix C):
+/// SGD + Goyal schedule on V100 for CIFAR/SVHN, SGD on T4 for ImageNet
+/// CNNs, AdamW + cosine on A100 for DeiT/ResMLP. Simulated batch sizes and
+/// iterations-per-epoch mirror the paper's hardware workloads.
+pub fn trainer_config(model: VisionModel, dataset: &str, epochs: usize, seed: u64) -> TrainerConfig {
+    let mut cfg = match model {
+        VisionModel::ResNet18 | VisionModel::Vgg19 => {
+            let mut c = TrainerConfig::cnn_default(epochs, seed);
+            c.device = DeviceProfile::v100();
+            // Micro-scale recalibration: the paper's 1e-4 weight decay
+            // over 300 epochs shrinks unused directions far more than 12
+            // micro epochs can; a stronger per-step decay reproduces the
+            // spectral dynamics (documented in EXPERIMENTS.md).
+            c.optimizer = OptimizerKind::Sgd { momentum: 0.9, weight_decay: 2e-2 };
+            c.sim_batch = 1024;
+            c.sim_iters_per_epoch = if dataset == "svhn" { 72 } else { 49 };
+            c.schedule = LrSchedule::WarmupMultiStep {
+                base_lr: 0.02,
+                peak_lr: 0.1,
+                warmup_epochs: (epochs / 6).max(1),
+                milestones: vec![epochs / 2, epochs * 3 / 4],
+                gamma: 0.1,
+            };
+            c
+        }
+        VisionModel::ResNet50 | VisionModel::WideResNet50 => {
+            let mut c = TrainerConfig::cnn_default(epochs, seed);
+            c.device = DeviceProfile::t4();
+            c.optimizer = OptimizerKind::Sgd { momentum: 0.9, weight_decay: 2e-2 };
+            c.sim_batch = 256;
+            c.sim_iters_per_epoch = 5004;
+            c.label_smoothing = 0.1;
+            c.schedule = LrSchedule::WarmupMultiStep {
+                base_lr: 0.02,
+                peak_lr: 0.1,
+                warmup_epochs: 1,
+                milestones: vec![epochs / 3, epochs * 2 / 3],
+                gamma: 0.1,
+            };
+            c
+        }
+        VisionModel::Deit | VisionModel::Mixer => {
+            let mut c = TrainerConfig::transformer_default(epochs, seed);
+            c.device = DeviceProfile::a100();
+            c.sim_batch = 256;
+            c.sim_iters_per_epoch = 5004;
+            c.optimizer = OptimizerKind::AdamW { weight_decay: 0.02 };
+            c.schedule = LrSchedule::WarmupCosine {
+                peak_lr: 2e-3,
+                min_lr: 1e-5,
+                warmup_epochs: (epochs / 6).max(1),
+                total_epochs: epochs,
+            };
+            c
+        }
+    };
+    cfg.batch_size = 40;
+    cfg
+}
+
+/// The Cuttlefish configuration used by the bench tables: paper constants
+/// (v = 1.5, ρ̄ = 1/4) with the stabilization threshold recalibrated for
+/// micro-scale ranks (our stable ranks live in ~5–60 instead of ~20–512,
+/// and 12-epoch runs see proportionally larger per-epoch drift).
+pub fn bench_cuttlefish_config() -> CuttlefishConfig {
+    CuttlefishConfig {
+        epsilon: 0.6,
+        window: 2,
+        max_full_rank_fraction: 0.5,
+        ..CuttlefishConfig::default()
+    }
+}
+
+/// Generates the task + adapter for a scenario.
+pub fn vision_adapter(dataset: &str, seed: u64) -> VisionAdapter {
+    VisionAdapter::new(VisionTask::generate(&dataset_spec(dataset), seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_and_clock_shapes_align_by_stack() {
+        // Micro ResNet-18 and the paper-scale spec must expose the same
+        // stack structure so K̂ and rank projection map across.
+        let net = build_model(VisionModel::ResNet18, 10, 0);
+        let clock = clock_targets(VisionModel::ResNet18);
+        let micro_stacks: std::collections::BTreeSet<usize> =
+            net.targets().iter().map(|t| t.stack).collect();
+        let clock_stacks: std::collections::BTreeSet<usize> =
+            clock.iter().map(|t| t.stack).collect();
+        assert_eq!(micro_stacks, clock_stacks);
+        assert_eq!(net.targets().len(), clock.len());
+    }
+
+    #[test]
+    fn configs_match_paper_devices() {
+        let cifar = trainer_config(VisionModel::ResNet18, "cifar10", 12, 0);
+        assert_eq!(cifar.device.name, "V100");
+        assert_eq!(cifar.sim_batch, 1024);
+        let imagenet = trainer_config(VisionModel::ResNet50, "imagenet", 12, 0);
+        assert_eq!(imagenet.device.name, "T4");
+        let deit = trainer_config(VisionModel::Deit, "imagenet", 12, 0);
+        assert_eq!(deit.device.name, "A100");
+        assert!(matches!(deit.optimizer, OptimizerKind::AdamW { .. }));
+    }
+
+    #[test]
+    fn all_models_build() {
+        for m in [
+            VisionModel::ResNet18,
+            VisionModel::Vgg19,
+            VisionModel::ResNet50,
+            VisionModel::WideResNet50,
+            VisionModel::Deit,
+            VisionModel::Mixer,
+        ] {
+            let mut net = build_model(m, 4, 1);
+            assert!(net.param_count() > 0, "{}", m.name());
+            assert!(!net.targets().is_empty());
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Task adapters: how a training run gets batches, losses, and metrics.
+//!
+//! The Cuttlefish controller is task-agnostic — the paper runs it on
+//! CIFAR-style pre-training, GLUE fine-tuning, and BERT MLM pre-training.
+//! Each modality implements [`TaskAdapter`].
+
+use crate::{CfResult, CuttlefishError};
+use cuttlefish_data::text::{f1_score, spearman, GlueTask, Labels, Metric};
+use cuttlefish_data::vision::VisionTask;
+use cuttlefish_data::MlmStream;
+use cuttlefish_nn::loss::{accuracy, cross_entropy, masked_lm_loss, mse};
+use cuttlefish_nn::{Act, Mode, Network};
+use cuttlefish_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Supervision for one batch.
+#[derive(Debug, Clone)]
+pub enum Target {
+    /// Classification labels.
+    Classes(Vec<usize>),
+    /// Regression scores (STS-B style).
+    Scores(Vec<f32>),
+    /// Masked-LM reconstruction targets.
+    Mlm {
+        /// Original token ids, row-major `(batch·tokens)`.
+        targets: Vec<usize>,
+        /// Which positions were masked.
+        mask: Vec<bool>,
+    },
+}
+
+/// One training batch: an input activation and its supervision.
+#[derive(Debug, Clone)]
+pub struct TaskBatch {
+    /// Model input.
+    pub input: Act,
+    /// Supervision.
+    pub target: Target,
+}
+
+/// A training task: batch source, loss, and validation metric.
+pub trait TaskAdapter {
+    /// Human-readable task name.
+    fn name(&self) -> &str;
+
+    /// Produces the (shuffled/augmented) batches of one epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns adapter-specific errors (shape problems in generated data).
+    fn train_batches(
+        &mut self,
+        epoch: usize,
+        batch_size: usize,
+        rng: &mut StdRng,
+    ) -> CfResult<Vec<TaskBatch>>;
+
+    /// Loss value and gradient w.r.t. the network output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CuttlefishError`] when logits and target disagree.
+    fn loss_and_grad(
+        &self,
+        logits: &Act,
+        target: &Target,
+        label_smoothing: f32,
+    ) -> CfResult<(f32, Act)>;
+
+    /// Validation metric of the current network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    fn evaluate(&self, net: &mut Network) -> CfResult<f32>;
+
+    /// Whether larger metric values are better (false for MLM loss).
+    fn higher_is_better(&self) -> bool {
+        true
+    }
+}
+
+/// Adapter for synthetic vision classification with flip/shift
+/// augmentation.
+#[derive(Debug)]
+pub struct VisionAdapter {
+    task: VisionTask,
+    /// Apply augmentation during training.
+    pub augment: bool,
+}
+
+impl VisionAdapter {
+    /// Wraps a generated vision task.
+    pub fn new(task: VisionTask) -> Self {
+        VisionAdapter {
+            task,
+            augment: true,
+        }
+    }
+
+    /// The underlying task.
+    pub fn task(&self) -> &VisionTask {
+        &self.task
+    }
+
+    fn to_image(&self, m: Matrix) -> CfResult<Act> {
+        let (c, (h, w)) = (self.task.spec.channels, self.task.spec.hw);
+        Ok(Act::image(m, c, h, w)?)
+    }
+}
+
+impl TaskAdapter for VisionAdapter {
+    fn name(&self) -> &str {
+        &self.task.spec.name
+    }
+
+    fn train_batches(
+        &mut self,
+        _epoch: usize,
+        batch_size: usize,
+        rng: &mut StdRng,
+    ) -> CfResult<Vec<TaskBatch>> {
+        let raw = cuttlefish_data::shuffled_batches(
+            &self.task.train_x,
+            &self.task.train_y,
+            batch_size,
+            rng,
+        );
+        raw.into_iter()
+            .map(|(x, y)| {
+                let x = if self.augment {
+                    self.task.augment(&x, rng)
+                } else {
+                    x
+                };
+                Ok(TaskBatch {
+                    input: self.to_image(x)?,
+                    target: Target::Classes(y),
+                })
+            })
+            .collect()
+    }
+
+    fn loss_and_grad(
+        &self,
+        logits: &Act,
+        target: &Target,
+        label_smoothing: f32,
+    ) -> CfResult<(f32, Act)> {
+        let Target::Classes(labels) = target else {
+            return Err(CuttlefishError::BadConfig {
+                detail: "vision adapter expects class labels".to_string(),
+            });
+        };
+        let (loss, grad) = cross_entropy(logits.data(), labels, label_smoothing)?;
+        Ok((loss, Act::flat(grad)))
+    }
+
+    fn evaluate(&self, net: &mut Network) -> CfResult<f32> {
+        let mut correct = 0.0f32;
+        let mut total = 0usize;
+        let n = self.task.val_x.rows();
+        let chunk = 64usize;
+        let mut i = 0;
+        while i < n {
+            let end = (i + chunk).min(n);
+            let mut x = Matrix::zeros(end - i, self.task.val_x.cols());
+            for (row, src) in (i..end).enumerate() {
+                x.row_mut(row).copy_from_slice(self.task.val_x.row(src));
+            }
+            let act = self.to_image(x)?;
+            let logits = net.forward(act, Mode::Eval)?;
+            let labels = &self.task.val_y[i..end];
+            correct += accuracy(logits.data(), labels) * (end - i) as f32;
+            total += end - i;
+            i = end;
+        }
+        Ok(correct / total.max(1) as f32)
+    }
+}
+
+/// Adapter for synthetic GLUE fine-tuning (classification, F1, or
+/// STS-B-style regression).
+#[derive(Debug)]
+pub struct GlueAdapter {
+    task: GlueTask,
+}
+
+impl GlueAdapter {
+    /// Wraps a generated GLUE task.
+    pub fn new(task: GlueTask) -> Self {
+        GlueAdapter { task }
+    }
+
+    /// The underlying task.
+    pub fn task(&self) -> &GlueTask {
+        &self.task
+    }
+}
+
+impl TaskAdapter for GlueAdapter {
+    fn name(&self) -> &str {
+        self.task.name
+    }
+
+    fn train_batches(
+        &mut self,
+        _epoch: usize,
+        batch_size: usize,
+        rng: &mut StdRng,
+    ) -> CfResult<Vec<TaskBatch>> {
+        match &self.task.train_labels {
+            Labels::Classes(y) => {
+                let raw =
+                    cuttlefish_data::shuffled_batches(&self.task.train_x, y, batch_size, rng);
+                Ok(raw
+                    .into_iter()
+                    .map(|(x, y)| TaskBatch {
+                        input: Act::flat(x),
+                        target: Target::Classes(y),
+                    })
+                    .collect())
+            }
+            Labels::Scores(s) => {
+                // Reuse the integer batching machinery via index labels.
+                let idx: Vec<usize> = (0..s.len()).collect();
+                let raw =
+                    cuttlefish_data::shuffled_batches(&self.task.train_x, &idx, batch_size, rng);
+                Ok(raw
+                    .into_iter()
+                    .map(|(x, ids)| TaskBatch {
+                        input: Act::flat(x),
+                        target: Target::Scores(ids.iter().map(|&i| s[i]).collect()),
+                    })
+                    .collect())
+            }
+        }
+    }
+
+    fn loss_and_grad(
+        &self,
+        logits: &Act,
+        target: &Target,
+        label_smoothing: f32,
+    ) -> CfResult<(f32, Act)> {
+        match target {
+            Target::Classes(labels) => {
+                let (loss, grad) = cross_entropy(logits.data(), labels, label_smoothing)?;
+                Ok((loss, Act::flat(grad)))
+            }
+            Target::Scores(scores) => {
+                let t = Matrix::from_fn(scores.len(), 1, |i, _| scores[i]);
+                let (loss, grad) = mse(logits.data(), &t)?;
+                Ok((loss, Act::flat(grad)))
+            }
+            Target::Mlm { .. } => Err(CuttlefishError::BadConfig {
+                detail: "glue adapter cannot consume MLM targets".to_string(),
+            }),
+        }
+    }
+
+    fn evaluate(&self, net: &mut Network) -> CfResult<f32> {
+        let logits = net.forward(Act::flat(self.task.val_x.clone()), Mode::Eval)?;
+        match (&self.task.val_labels, self.task.metric) {
+            (Labels::Classes(y), Metric::Accuracy) => Ok(accuracy(logits.data(), y)),
+            (Labels::Classes(y), Metric::F1) => {
+                let pred: Vec<usize> = (0..logits.data().rows())
+                    .map(|i| {
+                        let row = logits.data().row(i);
+                        (0..row.len()).max_by(|&a, &b| row[a].total_cmp(&row[b])).unwrap_or(0)
+                    })
+                    .collect();
+                Ok(f1_score(&pred, y, 1))
+            }
+            (Labels::Scores(s), Metric::Spearman) => {
+                let pred: Vec<f32> = (0..logits.data().rows())
+                    .map(|i| logits.data().get(i, 0))
+                    .collect();
+                Ok(spearman(&pred, s))
+            }
+            _ => Err(CuttlefishError::BadConfig {
+                detail: format!("metric/label mismatch on {}", self.task.name),
+            }),
+        }
+    }
+}
+
+/// Adapter for masked-LM pre-training; the metric is the (lower-is-better)
+/// validation MLM loss.
+#[derive(Debug)]
+pub struct MlmAdapter {
+    stream: MlmStream,
+    batches_per_epoch: usize,
+    eval_ids: Matrix,
+    eval_targets: Vec<usize>,
+    eval_mask: Vec<bool>,
+}
+
+impl MlmAdapter {
+    /// Creates the adapter with a fixed held-out evaluation batch.
+    pub fn new(mut stream: MlmStream, batches_per_epoch: usize, eval_batch: usize) -> Self {
+        let (eval_ids, eval_targets, eval_mask) = stream.sample_batch(eval_batch);
+        MlmAdapter {
+            stream,
+            batches_per_epoch,
+            eval_ids,
+            eval_targets,
+            eval_mask,
+        }
+    }
+}
+
+impl TaskAdapter for MlmAdapter {
+    fn name(&self) -> &str {
+        "mlm-pretrain"
+    }
+
+    fn train_batches(
+        &mut self,
+        _epoch: usize,
+        batch_size: usize,
+        _rng: &mut StdRng,
+    ) -> CfResult<Vec<TaskBatch>> {
+        Ok((0..self.batches_per_epoch)
+            .map(|_| {
+                let (ids, targets, mask) = self.stream.sample_batch(batch_size);
+                TaskBatch {
+                    input: Act::flat(ids),
+                    target: Target::Mlm { targets, mask },
+                }
+            })
+            .collect())
+    }
+
+    fn loss_and_grad(
+        &self,
+        logits: &Act,
+        target: &Target,
+        _label_smoothing: f32,
+    ) -> CfResult<(f32, Act)> {
+        let Target::Mlm { targets, mask } = target else {
+            return Err(CuttlefishError::BadConfig {
+                detail: "mlm adapter expects MLM targets".to_string(),
+            });
+        };
+        let (loss, grad) = masked_lm_loss(logits.data(), targets, mask)?;
+        Ok((loss, logits.with_data(grad)?))
+    }
+
+    fn evaluate(&self, net: &mut Network) -> CfResult<f32> {
+        let logits = net.forward(Act::flat(self.eval_ids.clone()), Mode::Eval)?;
+        let (loss, _) = masked_lm_loss(logits.data(), &self.eval_targets, &self.eval_mask)?;
+        Ok(loss)
+    }
+
+    fn higher_is_better(&self) -> bool {
+        false
+    }
+}
+
+/// Deterministic RNG for a run seed.
+pub fn run_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuttlefish_data::vision::VisionSpec;
+    use cuttlefish_data::{glue_suite, MlmStream};
+    use cuttlefish_nn::models::{
+        build_micro_bert, build_micro_resnet18, BertHead, MicroBertConfig, MicroResNetConfig,
+    };
+
+    #[test]
+    fn vision_adapter_batches_and_loss() {
+        let task = VisionTask::generate(&VisionSpec::tiny(), 0);
+        let mut ad = VisionAdapter::new(task);
+        let mut rng = run_rng(1);
+        let batches = ad.train_batches(0, 16, &mut rng).unwrap();
+        assert!(!batches.is_empty());
+        let b = &batches[0];
+        let logits = Act::flat(Matrix::zeros(b.input.data().rows(), 4));
+        let (loss, grad) = ad.loss_and_grad(&logits, &b.target, 0.0).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-4);
+        assert_eq!(grad.data().rows(), b.input.data().rows());
+    }
+
+    #[test]
+    fn vision_evaluate_runs_net() {
+        let task = VisionTask::generate(&VisionSpec::tiny(), 0);
+        let ad = VisionAdapter::new(task);
+        let mut rng = run_rng(2);
+        let mut net = build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut rng);
+        let acc = ad.evaluate(&mut net).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn glue_adapter_classification_and_regression() {
+        let suite = glue_suite(16, 6, 0);
+        for task in suite {
+            let is_reg = task.metric == Metric::Spearman;
+            let mut ad = GlueAdapter::new(task);
+            let mut rng = run_rng(3);
+            let batches = ad.train_batches(0, 8, &mut rng).unwrap();
+            let b = &batches[0];
+            let width = if is_reg { 1 } else { ad.task().classes };
+            let logits = Act::flat(Matrix::zeros(b.input.data().rows(), width));
+            let (loss, _) = ad.loss_and_grad(&logits, &b.target, 0.0).unwrap();
+            assert!(loss.is_finite());
+        }
+    }
+
+    #[test]
+    fn mlm_adapter_round_trip() {
+        let stream = MlmStream::new(32, 8, 0);
+        let mut ad = MlmAdapter::new(stream, 2, 4);
+        assert!(!ad.higher_is_better());
+        let mut rng = run_rng(4);
+        let batches = ad.train_batches(0, 4, &mut rng).unwrap();
+        assert_eq!(batches.len(), 2);
+        let mut net = build_micro_bert(
+            &MicroBertConfig {
+                head: BertHead::MaskedLm,
+                ..MicroBertConfig::tiny_mlm()
+            },
+            &mut rng,
+        );
+        let loss = ad.evaluate(&mut net).unwrap();
+        assert!(loss > 0.0 && loss.is_finite());
+    }
+
+    #[test]
+    fn wrong_target_kind_is_rejected() {
+        let task = VisionTask::generate(&VisionSpec::tiny(), 0);
+        let ad = VisionAdapter::new(task);
+        let logits = Act::flat(Matrix::zeros(2, 4));
+        let bad = Target::Scores(vec![0.5, 0.5]);
+        assert!(ad.loss_and_grad(&logits, &bad, 0.0).is_err());
+    }
+}

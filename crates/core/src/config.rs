@@ -1,0 +1,228 @@
+//! Controller configuration types.
+
+use cuttlefish_nn::schedule::LrSchedule;
+use cuttlefish_perf::DeviceProfile;
+use serde::{Deserialize, Serialize};
+
+/// How the factorization rank of a layer is derived from its spectrum at
+/// the switch epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RankRule {
+    /// Vanilla stable rank (ablated in Tables 15–16; aggressive).
+    Vanilla,
+    /// Scaled stable rank (§3.3) — the paper's default.
+    Scaled,
+    /// `max(scaled stable rank, accumulative rank(Σ, p))` — the Appendix
+    /// C.2 rule for transformer weights with flat spectra.
+    ScaledWithAccumulative {
+        /// Spectrum-mass fraction `p` (the appendix example uses 0.8).
+        p: f32,
+    },
+}
+
+/// Cuttlefish's own knobs. These are *not* tuned per task: the paper fixes
+/// ε = 0.1 and v = 1.5 everywhere, ρ̄ = 1/4 for profiling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CuttlefishConfig {
+    /// Rank-stabilization threshold ε.
+    pub epsilon: f32,
+    /// Derivative smoothing window (1 = the paper's raw single-step rule).
+    pub window: usize,
+    /// Profiling speedup threshold v.
+    pub v: f64,
+    /// Profiling probe rank ratio ρ̄.
+    pub rho_bar: f32,
+    /// Rank rule for CNN weights.
+    pub rank_rule: RankRule,
+    /// Rank rule for transformer weights (`TargetKind::Linear` with
+    /// `transformer = true`).
+    pub transformer_rank_rule: RankRule,
+    /// Insert an extra BatchNorm between factors (§4.1).
+    pub extra_bn: bool,
+    /// Frobenius-decay coefficient λ; `None` uses plain L2 on the factors.
+    pub frobenius_decay: Option<f32>,
+    /// Hard ceiling on full-rank epochs (fraction of total), so the switch
+    /// always happens with enough low-rank epochs left.
+    pub max_full_rank_fraction: f32,
+    /// Multiply the LR schedule by this factor after the switch
+    /// (Appendix C.2 decays the base LR for DeiT/ResMLP).
+    pub post_switch_lr_scale: f32,
+}
+
+impl Default for CuttlefishConfig {
+    fn default() -> Self {
+        CuttlefishConfig {
+            epsilon: 0.1,
+            window: 2,
+            v: 1.5,
+            rho_bar: 0.25,
+            rank_rule: RankRule::Scaled,
+            transformer_rank_rule: RankRule::ScaledWithAccumulative { p: 0.8 },
+            extra_bn: false,
+            frobenius_decay: None,
+            max_full_rank_fraction: 0.5,
+            post_switch_lr_scale: 1.0,
+        }
+    }
+}
+
+/// When and how the run transitions from full-rank to low-rank training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SwitchPolicy {
+    /// Train full-rank for the whole run (the "vanilla" rows).
+    FullRankOnly,
+    /// The paper's automated controller.
+    Cuttlefish(CuttlefishConfig),
+    /// Manually-tuned schedule (the Pufferfish baseline): switch at epoch
+    /// `full_rank_epochs`, keep the first `k` targets full-rank, and
+    /// factorize the rest at `rank_ratio · full_rank`.
+    Manual {
+        /// Full-rank warm-up epochs `E`.
+        full_rank_epochs: usize,
+        /// Number of leading targets kept full-rank `K`.
+        k: usize,
+        /// Global rank ratio ρ.
+        rank_ratio: f32,
+        /// Insert extra BatchNorms between factors.
+        extra_bn: bool,
+        /// Frobenius-decay coefficient.
+        frobenius_decay: Option<f32>,
+    },
+    /// Spectral initialization (the SI&FD baseline, Khodak et al.):
+    /// factorize at epoch 0 with `K = 1` and a tuned global ratio,
+    /// training with Frobenius decay from the start.
+    SpectralInit {
+        /// Global rank ratio ρ.
+        rank_ratio: f32,
+        /// Frobenius-decay coefficient.
+        frobenius_decay: Option<f32>,
+    },
+}
+
+/// Which optimizer drives the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// SGD with momentum and L2 weight decay (CNN experiments).
+    Sgd {
+        /// Momentum coefficient.
+        momentum: f32,
+        /// Weight-decay coefficient.
+        weight_decay: f32,
+    },
+    /// AdamW (transformer/mixer/BERT experiments).
+    AdamW {
+        /// Decoupled weight-decay coefficient.
+        weight_decay: f32,
+    },
+}
+
+/// Generic training-run configuration shared by Cuttlefish and every
+/// baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Total epochs `T`.
+    pub total_epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+    /// Optimizer.
+    pub optimizer: OptimizerKind,
+    /// Label smoothing for classification losses.
+    pub label_smoothing: f32,
+    /// Optional global gradient-norm clip.
+    pub grad_clip: Option<f32>,
+    /// RNG seed for batching/augmentation.
+    pub seed: u64,
+    /// Device model for the simulated clock and profiling.
+    pub device: DeviceProfile,
+    /// Batch size the *simulated* device runs (the paper's hardware batch,
+    /// e.g. 1024 on V100; may differ from the micro-training batch).
+    pub sim_batch: usize,
+    /// Iterations per epoch on the simulated workload (e.g. 49 for
+    /// CIFAR-50k at batch 1024, 5004 for ImageNet at batch 256).
+    pub sim_iters_per_epoch: usize,
+    /// Evaluate the validation metric every this many epochs.
+    pub eval_every: usize,
+    /// Record per-epoch stable ranks even when the policy doesn't need
+    /// them (Figures 2/3 on full-rank runs).
+    pub track_ranks: bool,
+}
+
+impl TrainerConfig {
+    /// Sensible defaults for micro CNN runs: SGD momentum 0.9, weight
+    /// decay 1e-4, Goyal-style schedule, V100 clock at batch 1024.
+    pub fn cnn_default(total_epochs: usize, seed: u64) -> Self {
+        TrainerConfig {
+            total_epochs,
+            batch_size: 64,
+            schedule: LrSchedule::goyal(0.4, total_epochs),
+            optimizer: OptimizerKind::Sgd {
+                momentum: 0.9,
+                weight_decay: 1e-4,
+            },
+            label_smoothing: 0.0,
+            grad_clip: None,
+            seed,
+            device: DeviceProfile::v100(),
+            sim_batch: 1024,
+            sim_iters_per_epoch: 49,
+            eval_every: 1,
+            track_ranks: false,
+        }
+    }
+
+    /// Defaults for transformer/mixer runs: AdamW + cosine schedule.
+    pub fn transformer_default(total_epochs: usize, seed: u64) -> Self {
+        TrainerConfig {
+            total_epochs,
+            batch_size: 32,
+            schedule: LrSchedule::WarmupCosine {
+                peak_lr: 3e-3,
+                min_lr: 1e-5,
+                warmup_epochs: (total_epochs / 10).max(1),
+                total_epochs,
+            },
+            optimizer: OptimizerKind::AdamW { weight_decay: 0.05 },
+            label_smoothing: 0.1,
+            grad_clip: Some(1.0),
+            seed,
+            device: DeviceProfile::a100(),
+            sim_batch: 256,
+            sim_iters_per_epoch: 5004,
+            eval_every: 1,
+            track_ranks: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_constants() {
+        let c = CuttlefishConfig::default();
+        assert_eq!(c.epsilon, 0.1);
+        assert_eq!(c.v, 1.5);
+        assert_eq!(c.rho_bar, 0.25);
+        assert!(matches!(c.rank_rule, RankRule::Scaled));
+    }
+
+    #[test]
+    fn presets_are_distinct() {
+        let cnn = TrainerConfig::cnn_default(30, 0);
+        let tfm = TrainerConfig::transformer_default(30, 0);
+        assert!(matches!(cnn.optimizer, OptimizerKind::Sgd { .. }));
+        assert!(matches!(tfm.optimizer, OptimizerKind::AdamW { .. }));
+        assert_ne!(cnn.device.name, tfm.device.name);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = CuttlefishConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CuttlefishConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

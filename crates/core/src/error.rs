@@ -1,0 +1,74 @@
+use cuttlefish_nn::NnError;
+use cuttlefish_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the Cuttlefish controller.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CuttlefishError {
+    /// A network operation failed.
+    Nn(NnError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// Invalid controller configuration.
+    BadConfig {
+        /// Explanation of the invalid configuration.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CuttlefishError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CuttlefishError::Nn(e) => write!(f, "network error: {e}"),
+            CuttlefishError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CuttlefishError::BadConfig { detail } => write!(f, "bad configuration: {detail}"),
+        }
+    }
+}
+
+impl Error for CuttlefishError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CuttlefishError::Nn(e) => Some(e),
+            CuttlefishError::Tensor(e) => Some(e),
+            CuttlefishError::BadConfig { .. } => None,
+        }
+    }
+}
+
+impl From<NnError> for CuttlefishError {
+    fn from(e: NnError) -> Self {
+        CuttlefishError::Nn(e)
+    }
+}
+
+impl From<TensorError> for CuttlefishError {
+    fn from(e: TensorError) -> Self {
+        CuttlefishError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let ne: CuttlefishError = NnError::BadConfig { detail: "x".into() }.into();
+        assert!(ne.source().is_some());
+        let te: CuttlefishError = TensorError::NoConvergence {
+            algorithm: "a",
+            iterations: 1,
+        }
+        .into();
+        assert!(te.to_string().contains("tensor"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CuttlefishError>();
+    }
+}

@@ -1,0 +1,413 @@
+//! The full-rank → low-rank switch (Algorithm 1, lines at `t = Ê + 1`).
+//!
+//! Every eligible layer is decomposed as `Ũ Σ Ṽᵀ = SVD(W)`, the rank is
+//! chosen by the configured [`RankRule`] (or a fixed ratio for the manual
+//! baselines), and the layer's weight is replaced in place by
+//! `U = Ũ Σ^{1/2}[:, :r]`, `Vᵀ = Σ^{1/2} Ṽᵀ[:r, :]`.
+//!
+//! Skip rules (in order): the first `K̂` targets stay full-rank; the final
+//! classifier never factorizes (§3.2); and — in automatic mode — layers
+//! whose chosen rank would not reduce parameters are left dense, which is
+//! exactly why square attention output projections survive at ρ = 1/2
+//! (Appendix C.2).
+
+use crate::config::RankRule;
+use crate::rank::{accumulative_rank, clamp_rank, scaled_stable_rank, stable_rank};
+use crate::CfResult;
+use cuttlefish_nn::{Network, TargetKind};
+use cuttlefish_tensor::svd::Svd;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Why a target was left at full rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SkipReason {
+    /// Within the first `K̂` layers.
+    WithinK,
+    /// The final classifier layer.
+    LastLayer,
+    /// Factorizing at the chosen rank would not reduce parameters.
+    NoReduction,
+}
+
+/// The per-target outcome of the switch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankDecision {
+    /// Target name.
+    pub name: String,
+    /// 1-based depth index.
+    pub index: usize,
+    /// Stack id.
+    pub stack: usize,
+    /// `min(rows, cols)` of the weight.
+    pub full_rank: usize,
+    /// The raw (possibly fractional) rank estimate before clamping.
+    pub estimate: f32,
+    /// `Some(r)` if factorized at rank `r`, `None` if skipped.
+    pub chosen: Option<usize>,
+    /// Skip reason when `chosen` is `None`.
+    pub skip: Option<SkipReason>,
+}
+
+impl RankDecision {
+    /// Rank ratio `r / full_rank` (1.0 when kept dense).
+    pub fn ratio(&self) -> f32 {
+        match self.chosen {
+            Some(r) => r as f32 / self.full_rank.max(1) as f32,
+            None => 1.0,
+        }
+    }
+}
+
+/// How ranks are assigned at the switch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RankPlan {
+    /// Cuttlefish: per-layer rank from the weight's spectrum at the switch
+    /// epoch, using `rule` for CNN weights and `transformer_rule` for
+    /// transformer weights, with the stored initial scales `ξ`.
+    Auto {
+        /// Rule for convolution/plain-linear weights.
+        rule: RankRule,
+        /// Rule for transformer weights.
+        transformer_rule: RankRule,
+        /// Per-target ξ (from [`crate::rank::initial_scale`] at epoch 0).
+        xi: HashMap<String, f32>,
+        /// Skip layers whose factorization would not shrink them.
+        skip_no_reduction: bool,
+    },
+    /// Fixed global ratio ρ (Pufferfish / SI&FD baselines).
+    FixedRatio {
+        /// The global rank ratio.
+        rho: f32,
+    },
+    /// Explicit per-target ranks (grid searches, LC-learned ranks).
+    Explicit {
+        /// `name → rank` map; missing names stay full-rank.
+        ranks: HashMap<String, usize>,
+    },
+}
+
+/// Options governing the switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchOptions {
+    /// Number of leading targets kept full-rank.
+    pub k: usize,
+    /// Rank assignment plan.
+    pub plan: RankPlan,
+    /// Insert an extra BatchNorm between factors (§4.1).
+    pub extra_bn: bool,
+    /// Frobenius-decay coefficient for the new factors.
+    pub frobenius_decay: Option<f32>,
+}
+
+fn rank_estimate(rule: RankRule, svals: &[f32], xi: f32) -> f32 {
+    match rule {
+        RankRule::Vanilla => stable_rank(svals),
+        RankRule::Scaled => scaled_stable_rank(svals, xi),
+        RankRule::ScaledWithAccumulative { p } => {
+            let scaled = scaled_stable_rank(svals, xi);
+            let acc = accumulative_rank(svals, p) as f32;
+            scaled.max(acc)
+        }
+    }
+}
+
+/// Performs the switch on `net`, returning one decision per target.
+///
+/// # Errors
+///
+/// Propagates SVD or network errors; the network is modified target by
+/// target, so on error the already-processed prefix remains factorized.
+pub fn switch_to_low_rank(net: &mut Network, opts: &SwitchOptions) -> CfResult<Vec<RankDecision>> {
+    let targets = net.targets().to_vec();
+    let depth = targets.len();
+    let mut decisions = Vec::with_capacity(depth);
+    for t in &targets {
+        let full_rank = t.full_rank();
+        let mut decision = RankDecision {
+            name: t.name.clone(),
+            index: t.index,
+            stack: t.stack,
+            full_rank,
+            estimate: full_rank as f32,
+            chosen: None,
+            skip: None,
+        };
+        if t.index <= opts.k {
+            decision.skip = Some(SkipReason::WithinK);
+            decisions.push(decision);
+            continue;
+        }
+        if t.index == depth {
+            decision.skip = Some(SkipReason::LastLayer);
+            decisions.push(decision);
+            continue;
+        }
+        if net.is_factored(&t.name)? {
+            // Already factorized (e.g. spectral init); leave untouched.
+            decision.chosen = net.rank_of(&t.name)?;
+            decisions.push(decision);
+            continue;
+        }
+
+        let w = net.weight_matrix(&t.name)?;
+        let (rows, cols) = w.shape();
+        let (estimate, skip_no_reduction) = match &opts.plan {
+            RankPlan::Auto {
+                rule,
+                transformer_rule,
+                xi,
+                skip_no_reduction,
+            } => {
+                let svd_vals = cuttlefish_tensor::svd::svdvals(&w)?;
+                let is_transformer = matches!(
+                    t.kind,
+                    TargetKind::Linear { transformer: true, .. }
+                );
+                let rule = if is_transformer { *transformer_rule } else { *rule };
+                let xi_l = xi.get(&t.name).copied().unwrap_or(1.0);
+                (rank_estimate(rule, &svd_vals, xi_l), *skip_no_reduction)
+            }
+            RankPlan::FixedRatio { rho } => ((full_rank as f32 * rho).max(1.0), false),
+            RankPlan::Explicit { ranks } => match ranks.get(&t.name) {
+                Some(&r) => (r as f32, false),
+                None => {
+                    decision.skip = Some(SkipReason::WithinK);
+                    decisions.push(decision);
+                    continue;
+                }
+            },
+        };
+        decision.estimate = estimate;
+        let r = clamp_rank(estimate, full_rank)?;
+        if skip_no_reduction && r * (rows + cols) >= rows * cols {
+            decision.skip = Some(SkipReason::NoReduction);
+            decisions.push(decision);
+            continue;
+        }
+        let svd = Svd::compute(&w)?;
+        let (u, vt) = svd.split_sqrt(r)?;
+        net.factorize_target(&t.name, u, vt, opts.extra_bn, opts.frobenius_decay)?;
+        decision.chosen = Some(r);
+        decisions.push(decision);
+    }
+    Ok(decisions)
+}
+
+/// Projects per-target rank decisions taken on one architecture onto
+/// another (e.g. micro ranks → paper-scale shapes for the simulated
+/// clock): each stack's mean chosen *ratio* is applied to the full rank of
+/// every factorized-stack member on the other side.
+pub fn project_ranks(
+    decisions: &[RankDecision],
+    onto: &[cuttlefish_nn::TargetInfo],
+) -> Vec<Option<usize>> {
+    // Mean ratio per stack (only over factorized members).
+    let mut stack_ratio: HashMap<usize, (f32, usize)> = HashMap::new();
+    for d in decisions {
+        if let Some(r) = d.chosen {
+            let entry = stack_ratio.entry(d.stack).or_insert((0.0, 0));
+            entry.0 += r as f32 / d.full_rank.max(1) as f32;
+            entry.1 += 1;
+        }
+    }
+    let last_index = onto.len();
+    onto.iter()
+        .map(|t| {
+            if t.index == last_index {
+                return None;
+            }
+            stack_ratio.get(&t.stack).map(|(sum, n)| {
+                let ratio = sum / *n as f32;
+                ((t.full_rank() as f32 * ratio).round() as usize).clamp(1, t.full_rank())
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
+    use cuttlefish_nn::{Act, Mode};
+    use cuttlefish_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> Network {
+        let mut rng = StdRng::seed_from_u64(0);
+        build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut rng)
+    }
+
+    fn auto_opts(k: usize) -> SwitchOptions {
+        SwitchOptions {
+            k,
+            plan: RankPlan::Auto {
+                rule: RankRule::Scaled,
+                transformer_rule: RankRule::ScaledWithAccumulative { p: 0.8 },
+                xi: HashMap::new(),
+                skip_no_reduction: true,
+            },
+            extra_bn: false,
+            frobenius_decay: None,
+        }
+    }
+
+    #[test]
+    fn switch_respects_k_and_last_layer() {
+        let mut n = net();
+        let decisions = switch_to_low_rank(&mut n, &auto_opts(3)).unwrap();
+        for d in &decisions {
+            if d.index <= 3 {
+                assert_eq!(d.skip, Some(SkipReason::WithinK), "{}", d.name);
+            }
+        }
+        let last = decisions.last().unwrap();
+        assert_eq!(last.skip, Some(SkipReason::LastLayer));
+        assert_eq!(last.name, "fc");
+        // At least one middle layer got factorized.
+        assert!(decisions.iter().any(|d| d.chosen.is_some()));
+    }
+
+    #[test]
+    fn switch_reduces_param_count_and_network_still_runs() {
+        let mut n = net();
+        let before = n.param_count();
+        let _ = switch_to_low_rank(&mut n, &auto_opts(1)).unwrap();
+        let after = n.param_count();
+        assert!(after < before, "{after} vs {before}");
+        let x = Act::image(Matrix::zeros(2, 3 * 64), 3, 8, 8).unwrap();
+        let y = n.forward(x, Mode::Eval).unwrap();
+        assert_eq!(y.data().shape(), (2, 4));
+    }
+
+    #[test]
+    fn fixed_ratio_plan_uses_rho() {
+        let mut n = net();
+        let opts = SwitchOptions {
+            k: 1,
+            plan: RankPlan::FixedRatio { rho: 0.25 },
+            extra_bn: false,
+            frobenius_decay: None,
+        };
+        let decisions = switch_to_low_rank(&mut n, &opts).unwrap();
+        for d in decisions.iter().filter(|d| d.chosen.is_some()) {
+            let expect = ((d.full_rank as f32) * 0.25).max(1.0).round() as usize;
+            assert_eq!(d.chosen, Some(expect.clamp(1, d.full_rank)), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn explicit_plan_targets_named_layers_only() {
+        let mut n = net();
+        let mut ranks = HashMap::new();
+        ranks.insert("s3.b0.conv1".to_string(), 2usize);
+        let opts = SwitchOptions {
+            k: 0,
+            plan: RankPlan::Explicit { ranks },
+            extra_bn: false,
+            frobenius_decay: None,
+        };
+        let decisions = switch_to_low_rank(&mut n, &opts).unwrap();
+        let hit: Vec<&RankDecision> = decisions.iter().filter(|d| d.chosen.is_some()).collect();
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].name, "s3.b0.conv1");
+        assert_eq!(hit[0].chosen, Some(2));
+    }
+
+    #[test]
+    fn skip_no_reduction_keeps_square_layers_dense() {
+        // With an explicit huge rank via FixedRatio 1.0 + skip flag, every
+        // layer is skipped. Easiest via Auto on a freshly initialized net:
+        // random weights have near-full scaled stable rank, so with
+        // skip_no_reduction nothing should factorize destructively.
+        let mut n = net();
+        let mut xi = HashMap::new();
+        for t in n.targets().to_vec() {
+            let w = n.weight_matrix(&t.name).unwrap();
+            xi.insert(t.name.clone(), crate::rank::initial_scale(&w).unwrap());
+        }
+        let opts = SwitchOptions {
+            k: 1,
+            plan: RankPlan::Auto {
+                rule: RankRule::Scaled,
+                transformer_rule: RankRule::Scaled,
+                xi,
+                skip_no_reduction: true,
+            },
+            extra_bn: false,
+            frobenius_decay: None,
+        };
+        let decisions = switch_to_low_rank(&mut n, &opts).unwrap();
+        // At init, scaled stable rank ≈ full rank ⇒ r(m+n) ≥ mn ⇒ skipped.
+        let no_red = decisions
+            .iter()
+            .filter(|d| d.skip == Some(SkipReason::NoReduction))
+            .count();
+        assert!(no_red > 0, "{decisions:?}");
+    }
+
+    #[test]
+    fn switch_preserves_function_approximately() {
+        // Factorizing at the (high) init-time scaled stable rank with
+        // skip_no_reduction disabled barely changes the function.
+        let mut n = net();
+        let x = Act::image(
+            cuttlefish_tensor::init::randn_matrix(2, 3 * 64, 1.0, &mut StdRng::seed_from_u64(5)),
+            3,
+            8,
+            8,
+        )
+        .unwrap();
+        let y_before = n.forward(x.clone(), Mode::Eval).unwrap();
+        let opts = SwitchOptions {
+            k: 1,
+            plan: RankPlan::FixedRatio { rho: 1.0 },
+            extra_bn: false,
+            frobenius_decay: None,
+        };
+        let _ = switch_to_low_rank(&mut n, &opts).unwrap();
+        let y_after = n.forward(x, Mode::Eval).unwrap();
+        let diff = y_before
+            .data()
+            .sub(y_after.data())
+            .unwrap()
+            .frobenius_norm();
+        assert!(diff < 1e-2 * y_before.data().frobenius_norm().max(1.0), "{diff}");
+    }
+
+    #[test]
+    fn project_ranks_maps_by_stack() {
+        let decisions = vec![
+            RankDecision {
+                name: "a".into(),
+                index: 2,
+                stack: 1,
+                full_rank: 8,
+                estimate: 4.0,
+                chosen: Some(4),
+                skip: None,
+            },
+            RankDecision {
+                name: "b".into(),
+                index: 3,
+                stack: 2,
+                full_rank: 16,
+                estimate: 4.0,
+                chosen: Some(4),
+                skip: None,
+            },
+        ];
+        let onto = cuttlefish_perf::arch::resnet18_cifar(10);
+        let projected = project_ranks(&decisions, &onto);
+        // Stack-1 members get ratio 0.5, stack-2 members ratio 0.25.
+        for (t, r) in onto.iter().zip(&projected) {
+            match t.stack {
+                1 => assert_eq!(*r, Some(t.full_rank() / 2), "{}", t.name),
+                2 => assert_eq!(*r, Some((t.full_rank() as f32 * 0.25).round() as usize)),
+                0 | 3 | 4 => assert_eq!(*r, None),
+                _ => assert_eq!(*r, None, "classifier stays dense"),
+            }
+        }
+    }
+}

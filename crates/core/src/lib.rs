@@ -1,0 +1,67 @@
+//! **Cuttlefish**: automated low-rank factorized training without
+//! factorization hyperparameter tuning — a from-scratch Rust reproduction
+//! of Wang et al., *Cuttlefish: Low-Rank Model Training without All the
+//! Tuning* (MLSys 2023).
+//!
+//! Low-rank training replaces a weight `W` with a product `U·Vᵀ`, cutting
+//! parameters and (for compute-bound layers) wall-clock time — but it
+//! introduces three hyperparameters: the full-rank warm-up length `E`, the
+//! number of leading layers `K` to leave unfactorized, and the per-layer
+//! ranks `R`. Cuttlefish picks all three automatically, during training:
+//!
+//! 1. **`R` and `E` from stable ranks** ([`rank`], [`tracker`]): the
+//!    *stable rank* `‖W‖_F² / σ_max²` of each layer changes rapidly early
+//!    in training and then flattens (paper Figure 2). Cuttlefish tracks the
+//!    (scaled) stable rank of every layer each epoch and switches from
+//!    full-rank to low-rank training the first epoch at which every
+//!    tracked layer's sequence has derivative ≤ ε, using the converged
+//!    values as the factorization ranks.
+//! 2. **`K` from profiling** ([`profile`]): factorizing early CNN stacks
+//!    buys no wall-clock (low arithmetic intensity / thin-kernel occupancy,
+//!    paper §3.5 and Figure 4), so Cuttlefish times each layer stack
+//!    full-rank vs. factorized at a probe ratio ρ̄ and only factorizes
+//!    stacks that speed up by at least `v×`.
+//! 3. **The switch itself** ([`factorize`]): each chosen layer is SVD-split
+//!    as `U = Ũ Σ^{1/2}`, `Vᵀ = Σ^{1/2} Ṽᵀ`, truncated at its chosen rank
+//!    (Algorithm 1), optionally with Frobenius decay and an extra BatchNorm
+//!    between the factors (§4.1).
+//!
+//! The end-to-end controller is [`trainer::run_training`], which also
+//! drives the manually-tuned ("Pufferfish"-style) and full-rank-only modes
+//! used by the paper's baselines, and charges a simulated
+//! [`cuttlefish_perf::TrainingClock`] so end-to-end "time" columns can be
+//! reproduced.
+//!
+//! # Example
+//!
+//! ```
+//! use cuttlefish::rank::{stable_rank, scaled_stable_rank};
+//!
+//! // A spectrum with one dominant direction has stable rank near 1...
+//! assert!((stable_rank(&[10.0, 0.1, 0.1]) - 1.0).abs() < 0.01);
+//! // ...and a flat spectrum has full stable rank.
+//! assert!((stable_rank(&[2.0, 2.0, 2.0]) - 3.0).abs() < 1e-4);
+//! // The scaling calibrates against the value at initialization (§3.3).
+//! let xi = 4.0 / stable_rank(&[1.0, 0.9, 0.8, 0.1]);
+//! assert!(scaled_stable_rank(&[1.0, 0.9, 0.8, 0.1], xi) > 3.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod adapter;
+pub mod config;
+pub mod factorize;
+pub mod profile;
+pub mod rank;
+pub mod tracker;
+pub mod trainer;
+
+pub use config::{CuttlefishConfig, OptimizerKind, RankRule, SwitchPolicy, TrainerConfig};
+pub use error::CuttlefishError;
+pub use trainer::{run_training, RunResult};
+
+/// Result alias for this crate.
+pub type CfResult<T> = std::result::Result<T, CuttlefishError>;

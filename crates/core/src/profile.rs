@@ -1,0 +1,211 @@
+//! Algorithm 2: profiling to determine `K̂`.
+//!
+//! For each layer stack (in depth order) the profiler compares the model's
+//! forward time with only that stack factorized at the probe ratio `ρ̄`
+//! against the full-rank forward time of the same layers. Scanning from
+//! the front, the first stack whose factorization speeds its layers up by
+//! at least `v×` sets the boundary: everything before it stays full-rank
+//! (`K̂` = number of earlier targets), everything from it on is eligible.
+//!
+//! Times come from the occupancy-aware roofline model
+//! ([`cuttlefish_perf`]), the reproduction's substitute for timed CUDA
+//! iterations — deterministic and resolution-independent, so `K̂` can be
+//! derived from the *paper-scale* layer shapes even while training runs on
+//! micro models.
+
+use cuttlefish_nn::TargetInfo;
+use cuttlefish_perf::{target_time, target_time_factored, DeviceProfile};
+use serde::{Deserialize, Serialize};
+
+/// Per-stack profiling measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackProfile {
+    /// Stack id.
+    pub stack: usize,
+    /// Simulated forward time of the stack's layers at full rank (s).
+    pub full_time: f64,
+    /// Simulated forward time with the stack factorized at ρ̄ (s).
+    pub factored_time: f64,
+}
+
+impl StackProfile {
+    /// `full_time / factored_time`.
+    pub fn speedup(&self) -> f64 {
+        if self.factored_time > 0.0 {
+            self.full_time / self.factored_time
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The outcome of Algorithm 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileOutcome {
+    /// Number of leading targets left at full rank (the paper's `K̂`).
+    pub k_hat: usize,
+    /// First stack id that is factorized (targets in earlier stacks are
+    /// kept full-rank).
+    pub cut_stack: usize,
+    /// Per-stack measurements, in stack order.
+    pub stacks: Vec<StackProfile>,
+}
+
+/// Profiler configuration.
+///
+/// # Example
+///
+/// ```
+/// use cuttlefish::profile::Profiler;
+/// use cuttlefish_perf::{arch, DeviceProfile};
+///
+/// let profiler = Profiler::new(DeviceProfile::v100(), 1024);
+/// let outcome = profiler.determine_k(&arch::resnet18_cifar(10));
+/// // The paper's Table 8 value for ResNet-18 on CIFAR-10.
+/// assert_eq!(outcome.k_hat, 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profiler {
+    /// Device model to time against.
+    pub device: DeviceProfile,
+    /// Training batch size (arithmetic intensity depends on it, §3.5).
+    pub batch: usize,
+    /// Probe rank ratio ρ̄ (the paper uses 1/4).
+    pub rho_bar: f32,
+    /// Required speedup threshold `v` (the paper uses 1.5).
+    pub v: f64,
+}
+
+impl Profiler {
+    /// Creates a profiler with the paper's defaults (ρ̄ = 1/4, v = 1.5).
+    pub fn new(device: DeviceProfile, batch: usize) -> Self {
+        Profiler {
+            device,
+            batch,
+            rho_bar: 0.25,
+            v: 1.5,
+        }
+    }
+
+    /// Profiles every stack and determines `K̂` over the given target list.
+    ///
+    /// The final stack (the classifier head) is never considered for
+    /// factorization by the paper and is excluded from the scan.
+    pub fn determine_k(&self, targets: &[TargetInfo]) -> ProfileOutcome {
+        let mut stack_ids: Vec<usize> = targets.iter().map(|t| t.stack).collect();
+        stack_ids.sort_unstable();
+        stack_ids.dedup();
+        let last_stack = stack_ids.last().copied().unwrap_or(0);
+
+        let mut stacks = Vec::new();
+        for &s in &stack_ids {
+            if s == last_stack && stack_ids.len() > 1 {
+                // Classifier stack: excluded (the last layer is never
+                // factorized, §3.2).
+                continue;
+            }
+            let members: Vec<&TargetInfo> = targets.iter().filter(|t| t.stack == s).collect();
+            let full: f64 = members
+                .iter()
+                .map(|t| target_time(&self.device, &t.kind, self.batch))
+                .sum();
+            let fact: f64 = members
+                .iter()
+                .map(|t| {
+                    let r = ((t.full_rank() as f32 * self.rho_bar).round() as usize).max(1);
+                    target_time_factored(&self.device, &t.kind, self.batch, r)
+                })
+                .sum();
+            stacks.push(StackProfile {
+                stack: s,
+                full_time: full,
+                factored_time: fact,
+            });
+        }
+
+        // Scan from the front: the first stack clearing the threshold is
+        // where factorization starts.
+        let cut_stack = stacks
+            .iter()
+            .find(|p| p.speedup() >= self.v)
+            .map(|p| p.stack)
+            .unwrap_or(last_stack); // nothing speeds up ⇒ keep all full-rank
+        let k_hat = targets.iter().filter(|t| t.stack < cut_stack).count();
+        ProfileOutcome {
+            k_hat,
+            cut_stack,
+            stacks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuttlefish_perf::arch::{deit_base, resnet18_cifar, resnet50_imagenet, vgg19_cifar};
+
+    #[test]
+    fn resnet18_keeps_first_stack_full_rank() {
+        // Paper Figure 4 / Table 8: the stem + stack 1 show no meaningful
+        // speedup at CIFAR scale (batch 1024, V100) ⇒ K̂ = 5.
+        let p = Profiler::new(DeviceProfile::v100(), 1024);
+        let out = p.determine_k(&resnet18_cifar(10));
+        assert_eq!(out.k_hat, 5, "stacks: {:?}", out.stacks);
+        assert_eq!(out.cut_stack, 2);
+        // First-stack speedup below threshold, deep-stack above.
+        let s1 = out.stacks.iter().find(|s| s.stack == 1).unwrap();
+        assert!(s1.speedup() < 1.5, "stack1 speedup {}", s1.speedup());
+        let s4 = out.stacks.iter().find(|s| s.stack == 4).unwrap();
+        assert!(s4.speedup() > 1.5, "stack4 speedup {}", s4.speedup());
+    }
+
+    #[test]
+    fn vgg19_keeps_early_groups_full_rank() {
+        let p = Profiler::new(DeviceProfile::v100(), 1024);
+        let out = p.determine_k(&vgg19_cifar(10));
+        // Paper Table 8: K̂ = 4 (first two width groups). The roofline
+        // reproduces "small but nonzero": at least the 64-wide group stays.
+        assert!(out.k_hat >= 2, "k_hat = {} ({:?})", out.k_hat, out.stacks);
+        assert!(out.k_hat <= 4);
+    }
+
+    #[test]
+    fn resnet50_imagenet_keeps_early_layers() {
+        // Paper Table 9: K = 40 of 54 — profiling at batch 256 on T4 keeps
+        // a large prefix full-rank.
+        let p = Profiler::new(DeviceProfile::t4(), 256);
+        let out = p.determine_k(&resnet50_imagenet());
+        assert!(out.k_hat >= 10, "k_hat = {}", out.k_hat);
+        assert!(out.k_hat < 54);
+    }
+
+    #[test]
+    fn transformer_factorizes_everything_after_embedding() {
+        // Paper §3.5: all transformer blocks have identical shapes and
+        // high intensity ⇒ K̂ = 1 (only the patch embedding stays).
+        let p = Profiler::new(DeviceProfile::a100(), 256);
+        let out = p.determine_k(&deit_base());
+        assert_eq!(out.k_hat, 1, "stacks: {:?}", out.stacks);
+    }
+
+    #[test]
+    fn higher_threshold_keeps_more_layers() {
+        let mut p = Profiler::new(DeviceProfile::v100(), 1024);
+        let base = p.determine_k(&resnet18_cifar(10)).k_hat;
+        p.v = 3.0;
+        let strict = p.determine_k(&resnet18_cifar(10)).k_hat;
+        assert!(strict >= base, "{strict} vs {base}");
+    }
+
+    #[test]
+    fn small_batch_reduces_speedups() {
+        // Arithmetic intensity grows with batch (§3.5): at batch 16 fewer
+        // stacks clear the threshold than at batch 1024.
+        let p_small = Profiler::new(DeviceProfile::v100(), 8);
+        let p_big = Profiler::new(DeviceProfile::v100(), 1024);
+        let t = resnet18_cifar(10);
+        let small_cut = p_small.determine_k(&t).k_hat;
+        let big_cut = p_big.determine_k(&t).k_hat;
+        assert!(small_cut >= big_cut, "{small_cut} vs {big_cut}");
+    }
+}

@@ -1,0 +1,208 @@
+//! Rank estimation metrics (paper §3.3 and Appendix C.2/D.1).
+//!
+//! The *stable rank* `Σᵢ σᵢ² / σ_max²` is a smooth proxy for the true rank
+//! that ignores tiny singular values and needs no extra hyperparameters.
+//! Because randomly-initialized weights are not estimated at full rank,
+//! the *scaled* stable rank multiplies by `ξ = rank(W⁰)/stable_rank(Σ⁰)`
+//! stored at initialization — without this, large-scale tasks lose
+//! accuracy (paper Tables 15–16). For transformer weights, whose spectra
+//! are much flatter (Figure 9), the appendix proposes taking the max with
+//! the *accumulative rank*: the smallest `r` whose leading singular values
+//! capture a fraction `p` of the spectrum's mass.
+
+use crate::{CfResult, CuttlefishError};
+use cuttlefish_tensor::svd::{power_iteration, svdvals};
+use cuttlefish_tensor::Matrix;
+
+/// Stable rank of a singular-value spectrum: `Σᵢ σᵢ² / σ_max²`.
+///
+/// Returns 0 for an all-zero (or empty) spectrum.
+pub fn stable_rank(svals: &[f32]) -> f32 {
+    let max = svals.iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+    if max == 0.0 {
+        return 0.0;
+    }
+    let sum_sq: f64 = svals.iter().map(|&s| (s as f64) * (s as f64)).sum();
+    (sum_sq / ((max as f64) * (max as f64))) as f32
+}
+
+/// Scaled stable rank `ξ · stable_rank(Σ)` (§3.3).
+pub fn scaled_stable_rank(svals: &[f32], xi: f32) -> f32 {
+    xi * stable_rank(svals)
+}
+
+/// The calibration factor `ξ = rank(W⁰) / stable_rank(Σ⁰)` computed from
+/// the weight at initialization.
+///
+/// # Errors
+///
+/// Propagates SVD failures; returns `ξ = 1` for degenerate zero weights.
+pub fn initial_scale(w0: &Matrix) -> CfResult<f32> {
+    let svals = svdvals(w0)?;
+    let sr = stable_rank(&svals);
+    if sr <= 0.0 {
+        return Ok(1.0);
+    }
+    Ok(w0.full_rank() as f32 / sr)
+}
+
+/// Accumulative rank (Appendix C.2): the smallest `r` such that
+/// `Σ_{i≤r} σᵢ ≥ p · Σᵢ σᵢ`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1]`.
+pub fn accumulative_rank(svals: &[f32], p: f32) -> usize {
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+    let total: f64 = svals.iter().map(|&s| s as f64).sum();
+    if total <= 0.0 {
+        return 1;
+    }
+    let mut acc = 0.0f64;
+    let mut sorted: Vec<f32> = svals.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    // Tolerance absorbs the f32→f64 widening of `p` (0.4f32 ≠ 0.4).
+    let threshold = p as f64 * total - 1e-6 * total;
+    for (i, &s) in sorted.iter().enumerate() {
+        acc += s as f64;
+        if acc >= threshold {
+            return i + 1;
+        }
+    }
+    sorted.len().max(1)
+}
+
+/// Estimates the stable rank of a weight matrix exactly, via singular
+/// values (`scipy.linalg.svdvals` path, §4.3).
+///
+/// # Errors
+///
+/// Propagates SVD convergence failures.
+pub fn stable_rank_of(w: &Matrix) -> CfResult<f32> {
+    let svals = svdvals(w)?;
+    Ok(stable_rank(&svals))
+}
+
+/// Fast stable-rank estimate using `‖W‖_F²` and a power-iteration
+/// `σ_max` — no full spectrum needed. Accurate to the power-iteration
+/// tolerance; used by the overhead ablation bench.
+///
+/// # Errors
+///
+/// Propagates power-iteration failures on empty inputs.
+pub fn stable_rank_fast(w: &Matrix) -> CfResult<f32> {
+    let sigma_max = power_iteration(w, 100, 1e-7)?;
+    if sigma_max == 0.0 {
+        return Ok(0.0);
+    }
+    Ok((w.frobenius_norm_sq() / ((sigma_max as f64) * (sigma_max as f64))) as f32)
+}
+
+/// Converts an estimated (possibly fractional) rank into a usable integer
+/// factorization rank, clamped to `[1, full_rank]`.
+///
+/// # Errors
+///
+/// Returns [`CuttlefishError::BadConfig`] if `full_rank == 0`.
+pub fn clamp_rank(estimate: f32, full_rank: usize) -> CfResult<usize> {
+    if full_rank == 0 {
+        return Err(CuttlefishError::BadConfig {
+            detail: "cannot clamp rank against a zero-dimensional weight".to_string(),
+        });
+    }
+    Ok((estimate.round() as i64).clamp(1, full_rank as i64) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuttlefish_tensor::init::randn_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stable_rank_flat_spectrum_is_count() {
+        assert!((stable_rank(&[3.0; 7]) - 7.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn stable_rank_dominant_direction_is_one() {
+        assert!((stable_rank(&[100.0, 0.01, 0.01]) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn stable_rank_zero_spectrum() {
+        assert_eq!(stable_rank(&[0.0, 0.0]), 0.0);
+        assert_eq!(stable_rank(&[]), 0.0);
+    }
+
+    #[test]
+    fn stable_rank_is_at_most_count_and_at_least_one() {
+        for seed in 0..5u64 {
+            let w = randn_matrix(20, 8, 1.0, &mut StdRng::seed_from_u64(seed));
+            let sr = stable_rank_of(&w).unwrap();
+            assert!(sr >= 1.0 && sr <= 8.0, "{sr}");
+        }
+    }
+
+    #[test]
+    fn scaled_stable_rank_calibrates_init_to_full() {
+        // By construction, ξ·stable_rank(Σ⁰) == full rank at epoch 0.
+        let w0 = randn_matrix(64, 32, 1.0, &mut StdRng::seed_from_u64(1));
+        let xi = initial_scale(&w0).unwrap();
+        let svals = svdvals(&w0).unwrap();
+        let scaled = scaled_stable_rank(&svals, xi);
+        assert!((scaled - 32.0).abs() < 0.5, "{scaled}");
+        assert!(xi > 1.0, "random init is never estimated at full rank");
+    }
+
+    #[test]
+    fn accumulative_rank_known_values() {
+        let svals = [4.0, 3.0, 2.0, 1.0]; // total 10
+        assert_eq!(accumulative_rank(&svals, 0.4), 1);
+        assert_eq!(accumulative_rank(&svals, 0.7), 2);
+        assert_eq!(accumulative_rank(&svals, 0.95), 4);
+        assert_eq!(accumulative_rank(&svals, 1.0), 4);
+    }
+
+    #[test]
+    fn accumulative_rank_handles_unsorted_input() {
+        assert_eq!(accumulative_rank(&[1.0, 4.0, 2.0, 3.0], 0.4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn accumulative_rank_rejects_bad_p() {
+        let _ = accumulative_rank(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn fast_estimate_matches_exact() {
+        for seed in 0..4u64 {
+            let w = randn_matrix(30, 12, 1.0, &mut StdRng::seed_from_u64(10 + seed));
+            let exact = stable_rank_of(&w).unwrap();
+            let fast = stable_rank_fast(&w).unwrap();
+            assert!((exact - fast).abs() < 0.05 * exact, "{exact} vs {fast}");
+        }
+    }
+
+    #[test]
+    fn low_rank_matrix_has_low_stable_rank() {
+        // Rank-2 matrix: stable rank ≤ 2 regardless of shape.
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = randn_matrix(40, 2, 1.0, &mut rng);
+        let b = randn_matrix(2, 30, 1.0, &mut rng);
+        let w = a.matmul(&b).unwrap();
+        let sr = stable_rank_of(&w).unwrap();
+        assert!(sr <= 2.0 + 1e-3, "{sr}");
+    }
+
+    #[test]
+    fn clamp_rank_bounds() {
+        assert_eq!(clamp_rank(5.4, 10).unwrap(), 5);
+        assert_eq!(clamp_rank(0.2, 10).unwrap(), 1);
+        assert_eq!(clamp_rank(99.0, 10).unwrap(), 10);
+        assert_eq!(clamp_rank(-3.0, 10).unwrap(), 1);
+        assert!(clamp_rank(1.0, 0).is_err());
+    }
+}

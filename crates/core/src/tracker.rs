@@ -1,0 +1,181 @@
+//! Per-layer stable-rank tracking and the switch-epoch detector (§3.4).
+//!
+//! Cuttlefish records `ϱ_l = {r⁰, r¹, …, rᵗ}` for every tracked layer and
+//! switches to low-rank training when `dϱ_l/dt ≤ ε` for all of them. At
+//! micro scale single-epoch differences are noisy, so the derivative is
+//! estimated as the mean absolute first difference over a short trailing
+//! window (window = 1 recovers the paper's raw rule; the window size is
+//! ablated in the bench suite).
+
+use serde::{Deserialize, Serialize};
+
+/// Records stable-rank sequences for a set of named layers and decides
+/// when they have all converged.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankTracker {
+    names: Vec<String>,
+    /// `history[t][l]` = stable rank of layer `l` at epoch `t`.
+    history: Vec<Vec<f32>>,
+    epsilon: f32,
+    window: usize,
+}
+
+impl RankTracker {
+    /// Creates a tracker for the given layers with stabilization threshold
+    /// `epsilon` (the paper uses 0.1) and derivative window `window ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `names` is empty.
+    pub fn new(names: Vec<String>, epsilon: f32, window: usize) -> Self {
+        assert!(window >= 1, "window must be at least 1");
+        assert!(!names.is_empty(), "tracker needs at least one layer");
+        RankTracker {
+            names,
+            history: Vec::new(),
+            epsilon,
+            window,
+        }
+    }
+
+    /// The tracked layer names, in recording order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of recorded epochs.
+    pub fn epochs(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Records one epoch of stable ranks (same order as `names`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks.len() != names.len()`.
+    pub fn record(&mut self, ranks: Vec<f32>) {
+        assert_eq!(ranks.len(), self.names.len(), "rank vector width mismatch");
+        self.history.push(ranks);
+    }
+
+    /// The full `epoch × layer` history (for Figures 2/3).
+    pub fn history(&self) -> &[Vec<f32>] {
+        &self.history
+    }
+
+    /// The recorded sequence of a single layer.
+    pub fn series(&self, layer: usize) -> Vec<f32> {
+        self.history.iter().map(|row| row[layer]).collect()
+    }
+
+    /// Mean absolute first difference of layer `l`'s sequence over the
+    /// trailing window — the `dϱ_l/dt` estimate.
+    ///
+    /// Returns `None` until enough epochs are recorded (`window + 1`).
+    pub fn derivative(&self, layer: usize) -> Option<f32> {
+        let t = self.history.len();
+        if t < self.window + 1 {
+            return None;
+        }
+        let mut acc = 0.0f32;
+        for i in (t - self.window)..t {
+            acc += (self.history[i][layer] - self.history[i - 1][layer]).abs();
+        }
+        Some(acc / self.window as f32)
+    }
+
+    /// Whether every tracked layer's derivative is ≤ ε — the Algorithm 1
+    /// switch condition.
+    pub fn converged(&self) -> bool {
+        if self.history.is_empty() {
+            return false;
+        }
+        (0..self.names.len()).all(|l| match self.derivative(l) {
+            Some(d) => d <= self.epsilon,
+            None => false,
+        })
+    }
+
+    /// The last recorded stable ranks (the values used as `R` at the
+    /// switch), if any epoch has been recorded.
+    pub fn latest(&self) -> Option<&[f32]> {
+        self.history.last().map(|v| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(eps: f32, window: usize) -> RankTracker {
+        RankTracker::new(vec!["a".into(), "b".into()], eps, window)
+    }
+
+    #[test]
+    fn not_converged_without_history() {
+        let t = tracker(0.1, 1);
+        assert!(!t.converged());
+        assert_eq!(t.latest(), None);
+    }
+
+    #[test]
+    fn needs_window_plus_one_epochs() {
+        let mut t = tracker(0.1, 2);
+        t.record(vec![5.0, 8.0]);
+        t.record(vec![5.0, 8.0]);
+        assert_eq!(t.derivative(0), None);
+        assert!(!t.converged());
+        t.record(vec![5.0, 8.0]);
+        assert_eq!(t.derivative(0), Some(0.0));
+        assert!(t.converged());
+    }
+
+    #[test]
+    fn converges_when_flat() {
+        let mut t = tracker(0.1, 1);
+        t.record(vec![10.0, 20.0]);
+        t.record(vec![10.05, 20.02]);
+        assert!(t.converged());
+    }
+
+    #[test]
+    fn one_moving_layer_blocks_convergence() {
+        let mut t = tracker(0.1, 1);
+        t.record(vec![10.0, 20.0]);
+        t.record(vec![10.0, 21.0]); // layer b still moving
+        assert!(!t.converged());
+        t.record(vec![10.0, 21.05]);
+        assert!(t.converged());
+    }
+
+    #[test]
+    fn window_smooths_single_epoch_noise() {
+        // A single noisy jump inside an otherwise flat tail should not
+        // block convergence when averaged over a window of 3.
+        let mut t = tracker(0.15, 3);
+        for r in [10.0, 10.0, 10.0, 10.3, 10.0, 10.0] {
+            t.record(vec![r, 5.0]);
+        }
+        // Mean |diff| over last 3 epochs: (0.3 + 0.3 + 0.0)/3 = 0.2 > ε at
+        // the jump, but once it falls out of the window we converge.
+        t.record(vec![10.0, 5.0]);
+        assert!(t.converged());
+    }
+
+    #[test]
+    fn series_and_latest() {
+        let mut t = tracker(0.1, 1);
+        t.record(vec![1.0, 2.0]);
+        t.record(vec![3.0, 4.0]);
+        assert_eq!(t.series(0), vec![1.0, 3.0]);
+        assert_eq!(t.latest().unwrap(), &[3.0, 4.0]);
+        assert_eq!(t.epochs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn record_checks_width() {
+        let mut t = tracker(0.1, 1);
+        t.record(vec![1.0]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Seeded synthetic dataset generators for the Cuttlefish reproduction.
+//!
+//! The paper evaluates on CIFAR-10/100, SVHN, ImageNet, the GLUE benchmark
+//! and Wikipedia/BookCorpus pre-training. None of those datasets are
+//! available in this environment, so this crate generates *synthetic
+//! equivalents* with controllable difficulty:
+//!
+//! * [`vision`] — Gaussian-prototype image classification. Each class has a
+//!   smooth spatial prototype; samples mix prototype, a shared background,
+//!   and pixel noise, with flip/shift augmentation. Presets mirror the
+//!   paper's difficulty ordering (SVHN easier than CIFAR-10, CIFAR-100 and
+//!   ImageNet harder with more classes).
+//! * [`text`] — class-conditioned Markov-chain token sequences forming a
+//!   GLUE-like suite of eight tasks (including an STS-B-style regression
+//!   task scored by Spearman correlation) plus metric helpers.
+//! * [`mlm`] — a masked-language-model stream for BERT-style pre-training.
+//! * [`batch`] — seeded shuffled mini-batching.
+//!
+//! Everything is deterministic given a seed, so experiments are exactly
+//! reproducible. Why the substitution is faithful: Cuttlefish's phenomena
+//! (stable-rank stabilization during training, low-rank compressibility of
+//! learned weights, accuracy/size trade-offs) are properties of gradient
+//! descent on structured data, not of specific pixels; the generators keep
+//! the structure while letting tests run in milliseconds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod mlm;
+pub mod text;
+pub mod vision;
+
+pub use batch::shuffled_batches;
+pub use mlm::MlmStream;
+pub use text::{glue_suite, GlueTask, Labels, Metric};
+pub use vision::{VisionSpec, VisionTask};

@@ -1,0 +1,189 @@
+//! Masked-language-model pre-training stream (Table 17's
+//! Wikipedia/BookCorpus stand-in).
+
+use cuttlefish_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An endless stream of token sequences from a fixed Markov chain, with
+/// BERT-style masking: 15% of positions are selected; selected tokens are
+/// replaced by the mask id (80%), a random token (10%), or left unchanged
+/// (10%), and the model must reconstruct the original token at every
+/// selected position.
+#[derive(Debug, Clone)]
+pub struct MlmStream {
+    vocab: usize,
+    seq_len: usize,
+    mask_id: usize,
+    chain: Vec<Vec<f32>>,
+    rng: StdRng,
+}
+
+impl MlmStream {
+    /// Creates a stream over a vocabulary of `vocab` tokens (the last id is
+    /// reserved as the mask token) with sequences of `seq_len` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab < 4` or `seq_len == 0`.
+    pub fn new(vocab: usize, seq_len: usize, seed: u64) -> Self {
+        assert!(vocab >= 4 && seq_len > 0, "vocab >= 4 and seq_len > 0 required");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data_vocab = vocab - 1;
+        let chain: Vec<Vec<f32>> = (0..data_vocab)
+            .map(|_| {
+                let mut row: Vec<f32> = (0..data_vocab).map(|_| rng.gen_range(0.02f32..1.0)).collect();
+                // Make the chain structured: strong self/successor links.
+                let len = row.len();
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v += if j % 4 == 0 { 1.5 } else { 0.0 };
+                    let _ = len;
+                }
+                let s: f32 = row.iter().sum();
+                row.iter_mut().for_each(|v| *v /= s);
+                row
+            })
+            .collect();
+        MlmStream {
+            vocab,
+            seq_len,
+            mask_id: vocab - 1,
+            chain,
+            rng,
+        }
+    }
+
+    /// Vocabulary size (including the mask token).
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// The reserved mask-token id.
+    pub fn mask_id(&self) -> usize {
+        self.mask_id
+    }
+
+    /// Sequence length.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Samples a masked batch: `(masked_ids (B, T), original targets
+    /// (B·T), mask flags (B·T))`, row-major by `(batch, token)` matching
+    /// the `Seq` activation layout.
+    pub fn sample_batch(&mut self, batch: usize) -> (Matrix, Vec<usize>, Vec<bool>) {
+        let data_vocab = self.vocab - 1;
+        let mut ids = Matrix::zeros(batch, self.seq_len);
+        let mut targets = Vec::with_capacity(batch * self.seq_len);
+        let mut mask = Vec::with_capacity(batch * self.seq_len);
+        for b in 0..batch {
+            let mut tok = self.rng.gen_range(0..data_vocab);
+            for t in 0..self.seq_len {
+                if t > 0 {
+                    let r: f32 = self.rng.gen();
+                    let mut acc = 0.0;
+                    let mut next = data_vocab - 1;
+                    for (j, &p) in self.chain[tok].iter().enumerate() {
+                        acc += p;
+                        if r <= acc {
+                            next = j;
+                            break;
+                        }
+                    }
+                    tok = next;
+                }
+                targets.push(tok);
+                let selected = self.rng.gen::<f32>() < 0.15;
+                mask.push(selected);
+                let visible = if selected {
+                    let r: f32 = self.rng.gen();
+                    if r < 0.8 {
+                        self.mask_id
+                    } else if r < 0.9 {
+                        self.rng.gen_range(0..data_vocab)
+                    } else {
+                        tok
+                    }
+                } else {
+                    tok
+                };
+                ids.set(b, t, visible as f32);
+            }
+        }
+        // Guarantee at least one masked position per batch.
+        if !mask.iter().any(|&m| m) {
+            mask[0] = true;
+            ids.set(0, 0, self.mask_id as f32);
+        }
+        (ids, targets, mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_shapes_consistent() {
+        let mut s = MlmStream::new(32, 8, 0);
+        let (ids, targets, mask) = s.sample_batch(4);
+        assert_eq!(ids.shape(), (4, 8));
+        assert_eq!(targets.len(), 32);
+        assert_eq!(mask.len(), 32);
+        assert!(mask.iter().any(|&m| m));
+    }
+
+    #[test]
+    fn mask_rate_near_fifteen_percent() {
+        let mut s = MlmStream::new(32, 16, 1);
+        let mut masked = 0usize;
+        let mut total = 0usize;
+        for _ in 0..50 {
+            let (_, _, mask) = s.sample_batch(8);
+            masked += mask.iter().filter(|&&m| m).count();
+            total += mask.len();
+        }
+        let rate = masked as f32 / total as f32;
+        assert!((rate - 0.15).abs() < 0.03, "mask rate {rate}");
+    }
+
+    #[test]
+    fn visible_ids_in_vocab_and_targets_exclude_mask() {
+        let mut s = MlmStream::new(16, 8, 2);
+        let (ids, targets, _) = s.sample_batch(8);
+        for v in ids.as_slice() {
+            assert!(*v >= 0.0 && (*v as usize) < 16);
+        }
+        for &t in &targets {
+            assert!(t < 15, "targets never include the mask id");
+        }
+    }
+
+    #[test]
+    fn masked_positions_usually_show_mask_token() {
+        let mut s = MlmStream::new(32, 16, 3);
+        let mut masked_shown = 0usize;
+        let mut masked_total = 0usize;
+        for _ in 0..30 {
+            let (ids, _, mask) = s.sample_batch(4);
+            for b in 0..4 {
+                for t in 0..16 {
+                    if mask[b * 16 + t] {
+                        masked_total += 1;
+                        if ids.get(b, t) as usize == s.mask_id() {
+                            masked_shown += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let frac = masked_shown as f32 / masked_total.max(1) as f32;
+        assert!(frac > 0.6, "mask-token fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "vocab >= 4")]
+    fn rejects_tiny_vocab() {
+        let _ = MlmStream::new(2, 4, 0);
+    }
+}

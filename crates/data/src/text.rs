@@ -1,0 +1,380 @@
+//! Synthetic GLUE-like text-classification suite.
+//!
+//! Each task draws token sequences from class-conditioned Markov chains
+//! over a shared vocabulary. Tasks differ in class count, sample budget,
+//! and how close the class chains are (difficulty), mirroring the real
+//! GLUE suite's spread (large MNLI/QQP, tiny RTE/MRPC/CoLA, and the
+//! regression task STS-B scored by Spearman correlation).
+
+use cuttlefish_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The evaluation metric a task reports (paper Table 4: accuracy for most,
+/// F1 for QQP/MRPC, Spearman for STS-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Fraction of correct argmax predictions.
+    Accuracy,
+    /// F1 of the positive class (binary tasks).
+    F1,
+    /// Spearman rank correlation of predicted scores vs. targets.
+    Spearman,
+}
+
+/// Task labels: integer classes or continuous scores.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Labels {
+    /// Classification labels.
+    Classes(Vec<usize>),
+    /// Regression targets in `[0, 1]`.
+    Scores(Vec<f32>),
+}
+
+impl Labels {
+    /// Number of labeled samples.
+    pub fn len(&self) -> usize {
+        match self {
+            Labels::Classes(v) => v.len(),
+            Labels::Scores(v) => v.len(),
+        }
+    }
+
+    /// Whether the label set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A synthetic GLUE-style task.
+#[derive(Debug, Clone)]
+pub struct GlueTask {
+    /// Task name (mirrors the paper's Table 4 columns).
+    pub name: &'static str,
+    /// Output width of the model head (classes, or 1 for regression).
+    pub classes: usize,
+    /// Reported metric.
+    pub metric: Metric,
+    /// Token-id matrices `(B, T)` for training.
+    pub train_x: Matrix,
+    /// Training labels.
+    pub train_labels: Labels,
+    /// Token-id matrices for validation.
+    pub val_x: Matrix,
+    /// Validation labels.
+    pub val_labels: Labels,
+}
+
+struct TaskSpec {
+    name: &'static str,
+    classes: usize,
+    metric: Metric,
+    train_n: usize,
+    val_n: usize,
+    /// Chain separation; lower is harder.
+    sep: f32,
+}
+
+/// Per-class Markov transition tables.
+fn class_chains(classes: usize, vocab: usize, sep: f32, rng: &mut StdRng) -> Vec<Vec<Vec<f32>>> {
+    // Shared base chain plus class-specific perturbation of strength `sep`.
+    let base: Vec<Vec<f32>> = (0..vocab)
+        .map(|_| {
+            let row: Vec<f32> = (0..vocab).map(|_| rng.gen_range(0.05f32..1.0)).collect();
+            normalize(row)
+        })
+        .collect();
+    (0..classes)
+        .map(|_| {
+            base.iter()
+                .map(|row| {
+                    let perturbed: Vec<f32> = row
+                        .iter()
+                        .map(|&p| (p + sep * rng.gen_range(0.0f32..1.0)).max(1e-4))
+                        .collect();
+                    normalize(perturbed)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn normalize(mut row: Vec<f32>) -> Vec<f32> {
+    let s: f32 = row.iter().sum();
+    for v in &mut row {
+        *v /= s;
+    }
+    row
+}
+
+fn sample_seq(chain: &[Vec<f32>], len: usize, rng: &mut StdRng) -> Vec<usize> {
+    let vocab = chain.len();
+    let mut tok = rng.gen_range(0..vocab);
+    let mut out = Vec::with_capacity(len);
+    out.push(tok);
+    for _ in 1..len {
+        let r: f32 = rng.gen();
+        let mut acc = 0.0;
+        let mut next = vocab - 1;
+        for (j, &p) in chain[tok].iter().enumerate() {
+            acc += p;
+            if r <= acc {
+                next = j;
+                break;
+            }
+        }
+        tok = next;
+        out.push(tok);
+    }
+    out
+}
+
+fn seqs_to_matrix(seqs: &[Vec<usize>]) -> Matrix {
+    let t = seqs[0].len();
+    Matrix::from_fn(seqs.len(), t, |i, j| seqs[i][j] as f32)
+}
+
+/// Generates the full eight-task suite over a shared `vocab`/`seq_len`.
+pub fn glue_suite(vocab: usize, seq_len: usize, seed: u64) -> Vec<GlueTask> {
+    let specs = [
+        TaskSpec { name: "MNLI", classes: 3, metric: Metric::Accuracy, train_n: 240, val_n: 90, sep: 0.55 },
+        TaskSpec { name: "QNLI", classes: 2, metric: Metric::Accuracy, train_n: 200, val_n: 80, sep: 0.6 },
+        TaskSpec { name: "QQP", classes: 2, metric: Metric::F1, train_n: 220, val_n: 80, sep: 0.6 },
+        TaskSpec { name: "RTE", classes: 2, metric: Metric::Accuracy, train_n: 80, val_n: 40, sep: 0.4 },
+        TaskSpec { name: "SST-2", classes: 2, metric: Metric::Accuracy, train_n: 180, val_n: 70, sep: 0.75 },
+        TaskSpec { name: "MRPC", classes: 2, metric: Metric::F1, train_n: 90, val_n: 40, sep: 0.55 },
+        TaskSpec { name: "CoLA", classes: 2, metric: Metric::Accuracy, train_n: 100, val_n: 40, sep: 0.35 },
+        TaskSpec { name: "STS-B", classes: 1, metric: Metric::Spearman, train_n: 140, val_n: 60, sep: 0.7 },
+    ];
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| generate_task(spec, vocab, seq_len, seed.wrapping_add(i as u64 * 7919)))
+        .collect()
+}
+
+fn generate_task(spec: &TaskSpec, vocab: usize, seq_len: usize, seed: u64) -> GlueTask {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if spec.metric == Metric::Spearman {
+        // Regression: mix two chains with coefficient λ; target = λ.
+        let chains = class_chains(2, vocab, spec.sep, &mut rng);
+        let make = |n: usize, rng: &mut StdRng| {
+            let mut seqs = Vec::with_capacity(n);
+            let mut targets = Vec::with_capacity(n);
+            for _ in 0..n {
+                let lambda: f32 = rng.gen();
+                let seq: Vec<usize> = (0..seq_len)
+                    .map(|_| {
+                        let chain = if rng.gen::<f32>() < lambda { &chains[0] } else { &chains[1] };
+                        sample_seq(chain, 1, rng)[0]
+                    })
+                    .collect();
+                seqs.push(seq);
+                targets.push(lambda);
+            }
+            (seqs_to_matrix(&seqs), Labels::Scores(targets))
+        };
+        let (train_x, train_labels) = make(spec.train_n, &mut rng);
+        let (val_x, val_labels) = make(spec.val_n, &mut rng);
+        return GlueTask {
+            name: spec.name,
+            classes: 1,
+            metric: spec.metric,
+            train_x,
+            train_labels,
+            val_x,
+            val_labels,
+        };
+    }
+    let chains = class_chains(spec.classes, vocab, spec.sep, &mut rng);
+    let make = |n: usize, rng: &mut StdRng| {
+        let mut seqs = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % spec.classes;
+            seqs.push(sample_seq(&chains[c], seq_len, rng));
+            labels.push(c);
+        }
+        (seqs_to_matrix(&seqs), Labels::Classes(labels))
+    };
+    let (train_x, train_labels) = make(spec.train_n, &mut rng);
+    let (val_x, val_labels) = make(spec.val_n, &mut rng);
+    GlueTask {
+        name: spec.name,
+        classes: spec.classes,
+        metric: spec.metric,
+        train_x,
+        train_labels,
+        val_x,
+        val_labels,
+    }
+}
+
+/// F1 score of the positive class for binary predictions.
+pub fn f1_score(pred: &[usize], gold: &[usize], positive: usize) -> f32 {
+    let mut tp = 0.0f32;
+    let mut fp = 0.0f32;
+    let mut fn_ = 0.0f32;
+    for (&p, &g) in pred.iter().zip(gold) {
+        match (p == positive, g == positive) {
+            (true, true) => tp += 1.0,
+            (true, false) => fp += 1.0,
+            (false, true) => fn_ += 1.0,
+            _ => {}
+        }
+    }
+    if tp == 0.0 {
+        return 0.0;
+    }
+    let precision = tp / (tp + fp);
+    let recall = tp / (tp + fn_);
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Spearman rank correlation between two score vectors.
+pub fn spearman(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "spearman requires equal-length inputs");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    // Pearson correlation of ranks.
+    let mean = (n as f32 - 1.0) / 2.0;
+    let mut num = 0.0f32;
+    let mut da = 0.0f32;
+    let mut db = 0.0f32;
+    for i in 0..n {
+        let xa = ra[i] - mean;
+        let xb = rb[i] - mean;
+        num += xa * xb;
+        da += xa * xa;
+        db += xb * xb;
+    }
+    if da == 0.0 || db == 0.0 {
+        0.0
+    } else {
+        num / (da.sqrt() * db.sqrt())
+    }
+}
+
+fn ranks(v: &[f32]) -> Vec<f32> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0f32; v.len()];
+    for (rank, &i) in idx.iter().enumerate() {
+        out[i] = rank as f32;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_eight_named_tasks() {
+        let suite = glue_suite(32, 8, 0);
+        assert_eq!(suite.len(), 8);
+        let names: Vec<&str> = suite.iter().map(|t| t.name).collect();
+        assert!(names.contains(&"MNLI"));
+        assert!(names.contains(&"STS-B"));
+        // STS-B is the only regression task.
+        for t in &suite {
+            match t.metric {
+                Metric::Spearman => assert!(matches!(t.train_labels, Labels::Scores(_))),
+                _ => assert!(matches!(t.train_labels, Labels::Classes(_))),
+            }
+        }
+    }
+
+    #[test]
+    fn token_ids_are_within_vocab() {
+        let suite = glue_suite(16, 6, 3);
+        for t in &suite {
+            for v in t.train_x.as_slice() {
+                assert!(*v >= 0.0 && *v < 16.0 && v.fract() == 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        let a = glue_suite(16, 6, 11);
+        let b = glue_suite(16, 6, 11);
+        assert_eq!(a[0].train_x, b[0].train_x);
+    }
+
+    #[test]
+    fn chains_are_class_distinguishable() {
+        // Bigram count statistics should separate the two SST-2 classes.
+        let suite = glue_suite(12, 16, 5);
+        let sst = suite.iter().find(|t| t.name == "SST-2").unwrap();
+        let Labels::Classes(train_y) = &sst.train_labels else {
+            panic!("classification labels")
+        };
+        // Learn per-class unigram histograms, classify val by likelihood.
+        let vocab = 12;
+        let mut hist = vec![vec![1.0f32; vocab]; 2];
+        for i in 0..sst.train_x.rows() {
+            for j in 0..sst.train_x.cols() {
+                hist[train_y[i]][sst.train_x.get(i, j) as usize] += 1.0;
+            }
+        }
+        for h in &mut hist {
+            let s: f32 = h.iter().sum();
+            for v in h.iter_mut() {
+                *v /= s;
+            }
+        }
+        let Labels::Classes(val_y) = &sst.val_labels else {
+            panic!()
+        };
+        let mut correct = 0;
+        for i in 0..sst.val_x.rows() {
+            let mut scores = [0.0f32; 2];
+            for j in 0..sst.val_x.cols() {
+                let tok = sst.val_x.get(i, j) as usize;
+                for c in 0..2 {
+                    scores[c] += hist[c][tok].ln();
+                }
+            }
+            let pred = if scores[1] > scores[0] { 1 } else { 0 };
+            if pred == val_y[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f32 / val_y.len() as f32;
+        assert!(acc > 0.6, "unigram accuracy only {acc}");
+    }
+
+    #[test]
+    fn f1_known_values() {
+        // pred: [1,1,0,0], gold: [1,0,1,0] → tp=1, fp=1, fn=1 → F1 = 0.5.
+        let f1 = f1_score(&[1, 1, 0, 0], &[1, 0, 1, 0], 1);
+        assert!((f1 - 0.5).abs() < 1e-6);
+        assert_eq!(f1_score(&[0, 0], &[1, 1], 1), 0.0);
+    }
+
+    #[test]
+    fn spearman_known_values() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &up) - 1.0).abs() < 1e-6);
+        assert!((spearman(&a, &down) + 1.0).abs() < 1e-6);
+        assert_eq!(spearman(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn sts_b_targets_in_unit_interval() {
+        let suite = glue_suite(16, 8, 2);
+        let sts = suite.iter().find(|t| t.name == "STS-B").unwrap();
+        let Labels::Scores(scores) = &sts.train_labels else {
+            panic!()
+        };
+        assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+}

@@ -1,0 +1,331 @@
+//! Synthetic image-classification tasks.
+
+use cuttlefish_tensor::init::standard_normal;
+use cuttlefish_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Specification of a synthetic vision task.
+///
+/// Difficulty knobs: more `classes` and lower `signal`/`noise` ratio make
+/// the task harder, mirroring the paper's SVHN < CIFAR-10 < CIFAR-100 <
+/// ImageNet ordering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VisionSpec {
+    /// Task name, used in experiment tables.
+    pub name: String,
+    /// Number of classes.
+    pub classes: usize,
+    /// Image channels.
+    pub channels: usize,
+    /// Image resolution.
+    pub hw: (usize, usize),
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Validation samples per class.
+    pub val_per_class: usize,
+    /// Prototype mixing strength (higher = easier).
+    pub signal: f32,
+    /// Pixel noise standard deviation.
+    pub noise: f32,
+}
+
+impl VisionSpec {
+    /// CIFAR-10-like preset: 10 classes, moderate noise.
+    pub fn cifar10_like() -> Self {
+        VisionSpec {
+            name: "cifar10-like".into(),
+            classes: 10,
+            channels: 3,
+            hw: (16, 16),
+            train_per_class: 40,
+            val_per_class: 16,
+            signal: 0.6,
+            noise: 1.5,
+        }
+    }
+
+    /// CIFAR-100-like preset: more classes, noisier.
+    pub fn cifar100_like() -> Self {
+        VisionSpec {
+            name: "cifar100-like".into(),
+            classes: 20,
+            channels: 3,
+            hw: (16, 16),
+            train_per_class: 20,
+            val_per_class: 8,
+            signal: 0.5,
+            noise: 1.5,
+        }
+    }
+
+    /// SVHN-like preset: easier (stronger signal), like the paper's
+    /// observation that SVHN admits more aggressive compression.
+    pub fn svhn_like() -> Self {
+        VisionSpec {
+            name: "svhn-like".into(),
+            classes: 10,
+            channels: 3,
+            hw: (16, 16),
+            train_per_class: 40,
+            val_per_class: 16,
+            signal: 0.85,
+            noise: 1.1,
+        }
+    }
+
+    /// ImageNet-like preset: many classes, used for the large-scale tables.
+    pub fn imagenet_like() -> Self {
+        VisionSpec {
+            name: "imagenet-like".into(),
+            classes: 20,
+            channels: 3,
+            hw: (16, 16),
+            train_per_class: 24,
+            val_per_class: 8,
+            signal: 0.55,
+            noise: 1.4,
+        }
+    }
+
+    /// Tiny preset for unit tests (8×8, 4 classes).
+    pub fn tiny() -> Self {
+        VisionSpec {
+            name: "tiny".into(),
+            classes: 4,
+            channels: 3,
+            hw: (8, 8),
+            train_per_class: 16,
+            val_per_class: 8,
+            signal: 1.2,
+            noise: 0.5,
+        }
+    }
+}
+
+/// A generated vision task: train/val splits of `(B, C·H·W)` image
+/// matrices (already normalized) with integer labels.
+///
+/// # Example
+///
+/// ```
+/// use cuttlefish_data::vision::{VisionSpec, VisionTask};
+/// let task = VisionTask::generate(&VisionSpec::tiny(), 42);
+/// assert_eq!(task.train_x.rows(), task.train_y.len());
+/// assert!(task.train_y.iter().all(|&y| y < task.spec.classes));
+/// ```
+#[derive(Debug, Clone)]
+pub struct VisionTask {
+    /// The generating spec.
+    pub spec: VisionSpec,
+    /// Training images, one row per sample.
+    pub train_x: Matrix,
+    /// Training labels.
+    pub train_y: Vec<usize>,
+    /// Validation images.
+    pub val_x: Matrix,
+    /// Validation labels.
+    pub val_y: Vec<usize>,
+}
+
+impl VisionTask {
+    /// Generates the task deterministically from `seed`.
+    pub fn generate(spec: &VisionSpec, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = spec.channels * spec.hw.0 * spec.hw.1;
+        // Smooth per-class prototypes: white noise box-blurred twice.
+        let protos: Vec<Vec<f32>> = (0..spec.classes)
+            .map(|_| {
+                let raw: Vec<f32> = (0..dim).map(|_| standard_normal(&mut rng)).collect();
+                blur(&blur(&raw, spec.channels, spec.hw), spec.channels, spec.hw)
+            })
+            .collect();
+        let background: Vec<f32> = {
+            let raw: Vec<f32> = (0..dim).map(|_| standard_normal(&mut rng)).collect();
+            blur(&raw, spec.channels, spec.hw)
+        };
+
+        let make_split = |per_class: usize, rng: &mut StdRng| {
+            let n = per_class * spec.classes;
+            let mut x = Matrix::zeros(n, dim);
+            let mut y = Vec::with_capacity(n);
+            for c in 0..spec.classes {
+                for s in 0..per_class {
+                    let row = x.row_mut(c * per_class + s);
+                    for j in 0..dim {
+                        row[j] = spec.signal * protos[c][j]
+                            + 0.3 * background[j]
+                            + spec.noise * standard_normal(rng);
+                    }
+                    y.push(c);
+                }
+            }
+            (x, y)
+        };
+        let (train_x, train_y) = make_split(spec.train_per_class, &mut rng);
+        let (val_x, val_y) = make_split(spec.val_per_class, &mut rng);
+        VisionTask {
+            spec: spec.clone(),
+            train_x,
+            train_y,
+            val_x,
+            val_y,
+        }
+    }
+
+    /// Image dimensionality `C·H·W`.
+    pub fn dim(&self) -> usize {
+        self.spec.channels * self.spec.hw.0 * self.spec.hw.1
+    }
+
+    /// Applies random horizontal flip and ±1-pixel shift to a batch of
+    /// image rows — the standard-augmentation stand-in (Appendix B.1).
+    pub fn augment<R: Rng + ?Sized>(&self, batch: &Matrix, rng: &mut R) -> Matrix {
+        let (c, h, w) = (self.spec.channels, self.spec.hw.0, self.spec.hw.1);
+        let mut out = Matrix::zeros(batch.rows(), batch.cols());
+        for i in 0..batch.rows() {
+            let flip = rng.gen_bool(0.5);
+            let dy = rng.gen_range(-1i32..=1);
+            let dx = rng.gen_range(-1i32..=1);
+            let src = batch.row(i);
+            let dst = out.row_mut(i);
+            for ci in 0..c {
+                for y in 0..h {
+                    for x in 0..w {
+                        let sy = y as i32 + dy;
+                        let sx0 = if flip { (w - 1 - x) as i32 } else { x as i32 };
+                        let sx = sx0 + dx;
+                        let val = if sy >= 0 && sy < h as i32 && sx >= 0 && sx < w as i32 {
+                            src[ci * h * w + sy as usize * w + sx as usize]
+                        } else {
+                            0.0
+                        };
+                        dst[ci * h * w + y * w + x] = val;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// 3×3 box blur per channel (clamped borders) used to make prototypes
+/// spatially smooth, so convolutional features are actually useful.
+fn blur(data: &[f32], channels: usize, hw: (usize, usize)) -> Vec<f32> {
+    let (h, w) = hw;
+    let mut out = vec![0.0f32; data.len()];
+    for c in 0..channels {
+        for y in 0..h {
+            for x in 0..w {
+                let mut acc = 0.0f32;
+                let mut cnt = 0.0f32;
+                for dy in -1i32..=1 {
+                    for dx in -1i32..=1 {
+                        let sy = y as i32 + dy;
+                        let sx = x as i32 + dx;
+                        if sy >= 0 && sy < h as i32 && sx >= 0 && sx < w as i32 {
+                            acc += data[c * h * w + sy as usize * w + sx as usize];
+                            cnt += 1.0;
+                        }
+                    }
+                }
+                out[c * h * w + y * w + x] = acc / cnt * 1.8; // rescale post-blur
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = VisionSpec::tiny();
+        let a = VisionTask::generate(&spec, 42);
+        let b = VisionTask::generate(&spec, 42);
+        assert_eq!(a.train_x, b.train_x);
+        assert_eq!(a.train_y, b.train_y);
+        let c = VisionTask::generate(&spec, 43);
+        assert_ne!(a.train_x, c.train_x);
+    }
+
+    #[test]
+    fn split_sizes_match_spec() {
+        let spec = VisionSpec::tiny();
+        let t = VisionTask::generate(&spec, 0);
+        assert_eq!(t.train_x.rows(), spec.classes * spec.train_per_class);
+        assert_eq!(t.val_x.rows(), spec.classes * spec.val_per_class);
+        assert_eq!(t.train_x.cols(), t.dim());
+        assert_eq!(t.train_y.len(), t.train_x.rows());
+        assert!(t.train_y.iter().all(|&y| y < spec.classes));
+    }
+
+    #[test]
+    fn classes_are_linearly_separable_enough() {
+        // Nearest-class-prototype classification on the noiseless class
+        // means should beat chance by a wide margin.
+        let spec = VisionSpec::tiny();
+        let t = VisionTask::generate(&spec, 7);
+        let dim = t.dim();
+        let per = spec.train_per_class;
+        // Class means from train.
+        let mut means = vec![vec![0.0f32; dim]; spec.classes];
+        for (i, &y) in t.train_y.iter().enumerate() {
+            for j in 0..dim {
+                means[y][j] += t.train_x.get(i, j) / per as f32;
+            }
+        }
+        let mut correct = 0;
+        for (i, &y) in t.val_y.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f32::INFINITY;
+            for (c, m) in means.iter().enumerate() {
+                let d: f32 = (0..dim)
+                    .map(|j| (t.val_x.get(i, j) - m[j]).powi(2))
+                    .sum();
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if best == y {
+                correct += 1;
+            }
+        }
+        let acc = correct as f32 / t.val_y.len() as f32;
+        assert!(acc > 0.6, "nearest-mean accuracy only {acc}");
+    }
+
+    #[test]
+    fn svhn_preset_is_easier_than_cifar100() {
+        let svhn = VisionSpec::svhn_like();
+        let c100 = VisionSpec::cifar100_like();
+        assert!(svhn.signal / svhn.noise > c100.signal / c100.noise);
+        assert!(c100.classes > svhn.classes);
+    }
+
+    #[test]
+    fn augmentation_preserves_shape_and_changes_content() {
+        let spec = VisionSpec::tiny();
+        let t = VisionTask::generate(&spec, 1);
+        let batch = t.train_x.take_rows(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let aug = t.augment(&batch, &mut rng);
+        assert_eq!(aug.shape(), batch.shape());
+        assert_ne!(aug, batch);
+    }
+
+    #[test]
+    fn blur_smooths() {
+        // Blurring a delta spreads mass to neighbours.
+        let mut data = vec![0.0f32; 25];
+        data[12] = 9.0;
+        let out = blur(&data, 1, (5, 5));
+        assert!(out[12] > 0.0);
+        assert!(out[11] > 0.0);
+        assert_eq!(out[0], 0.0);
+    }
+}

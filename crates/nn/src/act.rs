@@ -1,0 +1,200 @@
+use crate::{NnError, NnResult};
+use cuttlefish_tensor::Matrix;
+
+/// Logical shape of an activation batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActKind {
+    /// `(batch, features)` — dense features or token-id matrices.
+    Flat,
+    /// `(batch, channels·h·w)` with channel-major per-row layout.
+    Image {
+        /// Channels.
+        c: usize,
+        /// Height.
+        h: usize,
+        /// Width.
+        w: usize,
+    },
+    /// `(batch·tokens, dim)` — token sequences, row-major by (batch, token).
+    Seq {
+        /// Number of sequences in the batch.
+        batch: usize,
+        /// Tokens per sequence.
+        tokens: usize,
+    },
+}
+
+/// An activation batch flowing through the network: a dense matrix plus a
+/// logical shape tag.
+///
+/// * `Flat` activations are `(B, F)` matrices.
+/// * `Image` activations are `(B, C·H·W)` matrices (channel-major rows),
+///   convertible to/from [`cuttlefish_tensor::Tensor4`] by the conv layers.
+/// * `Seq` activations are `(B·T, D)` matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Act {
+    data: Matrix,
+    kind: ActKind,
+}
+
+impl Act {
+    /// Wraps a `(B, F)` matrix as a flat activation.
+    pub fn flat(data: Matrix) -> Self {
+        Act {
+            data,
+            kind: ActKind::Flat,
+        }
+    }
+
+    /// Wraps a `(B, c·h·w)` matrix as an image activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadActivation`] if the column count is not `c·h·w`.
+    pub fn image(data: Matrix, c: usize, h: usize, w: usize) -> NnResult<Self> {
+        if data.cols() != c * h * w {
+            return Err(NnError::BadActivation {
+                layer: "Act::image".to_string(),
+                detail: format!("{} cols cannot be viewed as {c}x{h}x{w}", data.cols()),
+            });
+        }
+        Ok(Act {
+            data,
+            kind: ActKind::Image { c, h, w },
+        })
+    }
+
+    /// Wraps a `(batch·tokens, dim)` matrix as a sequence activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadActivation`] if the row count is not
+    /// `batch·tokens`.
+    pub fn seq(data: Matrix, batch: usize, tokens: usize) -> NnResult<Self> {
+        if data.rows() != batch * tokens {
+            return Err(NnError::BadActivation {
+                layer: "Act::seq".to_string(),
+                detail: format!("{} rows cannot be viewed as {batch}x{tokens} sequences", data.rows()),
+            });
+        }
+        Ok(Act {
+            data,
+            kind: ActKind::Seq { batch, tokens },
+        })
+    }
+
+    /// The underlying matrix.
+    pub fn data(&self) -> &Matrix {
+        &self.data
+    }
+
+    /// Mutable access to the underlying matrix (shape must be preserved).
+    pub fn data_mut(&mut self) -> &mut Matrix {
+        &mut self.data
+    }
+
+    /// The logical shape tag.
+    pub fn kind(&self) -> ActKind {
+        self.kind
+    }
+
+    /// Consumes the activation, returning its matrix.
+    pub fn into_data(self) -> Matrix {
+        self.data
+    }
+
+    /// Number of samples in the batch (sequences count once).
+    pub fn batch_size(&self) -> usize {
+        match self.kind {
+            ActKind::Flat | ActKind::Image { .. } => self.data.rows(),
+            ActKind::Seq { batch, .. } => batch,
+        }
+    }
+
+    /// Replaces the matrix while keeping the kind; shapes must stay
+    /// consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadActivation`] when the new matrix shape
+    /// disagrees with the kind.
+    pub fn with_data(&self, data: Matrix) -> NnResult<Self> {
+        match self.kind {
+            ActKind::Flat => Ok(Act::flat(data)),
+            ActKind::Image { c, h, w } => Act::image(data, c, h, w),
+            ActKind::Seq { batch, tokens } => Act::seq(data, batch, tokens),
+        }
+    }
+
+    /// Interprets an image activation's dims, failing otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadActivation`] for non-image activations.
+    pub fn expect_image(&self, layer: &str) -> NnResult<(usize, usize, usize)> {
+        match self.kind {
+            ActKind::Image { c, h, w } => Ok((c, h, w)),
+            other => Err(NnError::BadActivation {
+                layer: layer.to_string(),
+                detail: format!("expected image activation, got {other:?}"),
+            }),
+        }
+    }
+
+    /// Interprets a sequence activation's dims, failing otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadActivation`] for non-sequence activations.
+    pub fn expect_seq(&self, layer: &str) -> NnResult<(usize, usize)> {
+        match self.kind {
+            ActKind::Seq { batch, tokens } => Ok((batch, tokens)),
+            other => Err(NnError::BadActivation {
+                layer: layer.to_string(),
+                detail: format!("expected sequence activation, got {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_roundtrip() {
+        let a = Act::flat(Matrix::zeros(4, 8));
+        assert_eq!(a.kind(), ActKind::Flat);
+        assert_eq!(a.batch_size(), 4);
+    }
+
+    #[test]
+    fn image_shape_checked() {
+        assert!(Act::image(Matrix::zeros(2, 12), 3, 2, 2).is_ok());
+        assert!(Act::image(Matrix::zeros(2, 13), 3, 2, 2).is_err());
+    }
+
+    #[test]
+    fn seq_shape_checked() {
+        let a = Act::seq(Matrix::zeros(6, 16), 2, 3).unwrap();
+        assert_eq!(a.batch_size(), 2);
+        assert!(Act::seq(Matrix::zeros(5, 16), 2, 3).is_err());
+    }
+
+    #[test]
+    fn expectations() {
+        let img = Act::image(Matrix::zeros(1, 4), 1, 2, 2).unwrap();
+        assert_eq!(img.expect_image("t").unwrap(), (1, 2, 2));
+        assert!(img.expect_seq("t").is_err());
+    }
+
+    #[test]
+    fn with_data_preserves_kind() {
+        let img = Act::image(Matrix::zeros(1, 4), 1, 2, 2).unwrap();
+        let replaced = img.with_data(Matrix::eye(2).take_rows(1).unwrap().take_cols(2).unwrap());
+        // 1x2 matrix does not match 1x(1*2*2): error.
+        assert!(replaced.is_err());
+        let ok = img.with_data(Matrix::zeros(3, 4)).unwrap();
+        assert_eq!(ok.kind(), img.kind());
+    }
+}

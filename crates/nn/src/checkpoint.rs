@@ -1,0 +1,281 @@
+//! Checkpointing: serialize and restore a network's trainable state.
+//!
+//! A [`Checkpoint`] captures every parameter value *and* the factorization
+//! state of every [`crate::weight::FactorableWeight`] (dense vs. `(U, Vᵀ)`
+//! with rank), so a Cuttlefish run can be saved after the switch and
+//! restored into a freshly built network of the same architecture — the
+//! restore re-factorizes targets as needed before loading values.
+//!
+//! The format is plain `serde` (JSON-friendly), keyed by parameter visit
+//! order, with the factorization layout validated on load.
+
+use crate::{Network, NnError, NnResult};
+use cuttlefish_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Factorization layout of one target at save time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetState {
+    /// Target name.
+    pub name: String,
+    /// `Some(rank)` if factored.
+    pub rank: Option<usize>,
+}
+
+/// A serializable snapshot of a network's trainable state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Network name (checked on load).
+    pub network: String,
+    /// Factorization layout per target.
+    pub targets: Vec<TargetState>,
+    /// Every parameter value, in visit order.
+    pub params: Vec<Matrix>,
+}
+
+impl Checkpoint {
+    /// Captures the current state of `net`.
+    pub fn capture(net: &mut Network) -> Self {
+        let mut targets = Vec::new();
+        net.visit_weights(&mut |name, w| {
+            targets.push(TargetState {
+                name: name.to_string(),
+                rank: w.rank(),
+            });
+        });
+        let mut params = Vec::new();
+        net.visit_params(&mut |p| params.push(p.value.clone()));
+        Checkpoint {
+            network: net.name().to_string(),
+            targets,
+            params,
+        }
+    }
+
+    /// Restores this checkpoint into `net`, which must be a freshly built
+    /// network of the same architecture (same name, same targets). Targets
+    /// that were factored at save time are factorized (at the saved rank,
+    /// placeholder values) before the parameter values are loaded over
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] on any architecture mismatch.
+    pub fn restore(&self, net: &mut Network) -> NnResult<()> {
+        if net.name() != self.network {
+            return Err(NnError::BadConfig {
+                detail: format!(
+                    "checkpoint is for `{}`, network is `{}`",
+                    self.network,
+                    net.name()
+                ),
+            });
+        }
+        // Recreate the factorization layout.
+        for ts in &self.targets {
+            let current = net.rank_of(&ts.name)?;
+            match (current, ts.rank) {
+                (None, Some(r)) => {
+                    // Factorize with placeholder factors of the right shape;
+                    // real values are loaded below.
+                    let t = net
+                        .targets()
+                        .iter()
+                        .find(|t| t.name == ts.name)
+                        .ok_or_else(|| NnError::UnknownTarget {
+                            name: ts.name.clone(),
+                        })?
+                        .clone();
+                    let (rows, cols) = t.matrix_shape();
+                    net.factorize_target(
+                        &ts.name,
+                        Matrix::zeros(rows, r),
+                        Matrix::zeros(r, cols),
+                        false,
+                        None,
+                    )?;
+                }
+                (Some(cur), Some(saved)) if cur != saved => {
+                    return Err(NnError::BadConfig {
+                        detail: format!(
+                            "target `{}` already factored at rank {cur}, checkpoint has {saved}",
+                            ts.name
+                        ),
+                    });
+                }
+                (Some(_), None) => {
+                    return Err(NnError::BadConfig {
+                        detail: format!(
+                            "target `{}` is factored but the checkpoint is dense",
+                            ts.name
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        }
+        // Load values.
+        let mut i = 0usize;
+        let mut err: Option<NnError> = None;
+        net.visit_params(&mut |p| {
+            if err.is_some() {
+                return;
+            }
+            match self.params.get(i) {
+                Some(v) if v.shape() == p.value.shape() => {
+                    p.value = v.clone();
+                    p.slots.clear();
+                    p.zero_grad();
+                }
+                Some(v) => {
+                    err = Some(NnError::BadConfig {
+                        detail: format!(
+                            "parameter {i} shape {:?} != checkpoint {:?}",
+                            p.value.shape(),
+                            v.shape()
+                        ),
+                    });
+                }
+                None => {
+                    err = Some(NnError::BadConfig {
+                        detail: format!("checkpoint has only {} params", self.params.len()),
+                    });
+                }
+            }
+            i += 1;
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        if i != self.params.len() {
+            return Err(NnError::BadConfig {
+                detail: format!("network has {i} params, checkpoint {}", self.params.len()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Serializes to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] on serialization failure.
+    pub fn to_json(&self) -> NnResult<String> {
+        serde_json::to_string(self).map_err(|e| NnError::BadConfig {
+            detail: format!("checkpoint serialization failed: {e}"),
+        })
+    }
+
+    /// Deserializes from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] on malformed input.
+    pub fn from_json(json: &str) -> NnResult<Self> {
+        serde_json::from_str(json).map_err(|e| NnError::BadConfig {
+            detail: format!("checkpoint deserialization failed: {e}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{build_micro_resnet18, MicroResNetConfig};
+    use crate::{Act, Mode};
+    use cuttlefish_tensor::svd::Svd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Network {
+        build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut StdRng::seed_from_u64(seed))
+    }
+
+    fn factorize_one(n: &mut Network, name: &str, rank: usize) {
+        let w = n.weight_matrix(name).unwrap();
+        let svd = Svd::compute(&w).unwrap();
+        let (u, vt) = svd.split_sqrt(rank).unwrap();
+        n.factorize_target(name, u, vt, false, None).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_dense_network() {
+        let mut a = net(1);
+        let ckpt = Checkpoint::capture(&mut a);
+        let mut b = net(2); // different init
+        ckpt.restore(&mut b).unwrap();
+        // Outputs now identical.
+        let x = Act::image(
+            cuttlefish_tensor::init::randn_matrix(2, 3 * 64, 1.0, &mut StdRng::seed_from_u64(3)),
+            3,
+            8,
+            8,
+        )
+        .unwrap();
+        let ya = a.forward(x.clone(), Mode::Eval).unwrap();
+        let yb = b.forward(x, Mode::Eval).unwrap();
+        assert_eq!(ya.data(), yb.data());
+    }
+
+    #[test]
+    fn roundtrip_factorized_network() {
+        let mut a = net(1);
+        factorize_one(&mut a, "s3.b0.conv1", 4);
+        factorize_one(&mut a, "s4.b0.conv2", 6);
+        let ckpt = Checkpoint::capture(&mut a);
+
+        let mut b = net(9);
+        ckpt.restore(&mut b).unwrap();
+        assert_eq!(b.rank_of("s3.b0.conv1").unwrap(), Some(4));
+        assert_eq!(b.rank_of("s4.b0.conv2").unwrap(), Some(6));
+        assert_eq!(a.param_count(), b.param_count());
+        let x = Act::image(
+            cuttlefish_tensor::init::randn_matrix(1, 3 * 64, 1.0, &mut StdRng::seed_from_u64(4)),
+            3,
+            8,
+            8,
+        )
+        .unwrap();
+        let ya = a.forward(x.clone(), Mode::Eval).unwrap();
+        let yb = b.forward(x, Mode::Eval).unwrap();
+        assert_eq!(ya.data(), yb.data());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut a = net(5);
+        factorize_one(&mut a, "s2.b0.conv1", 3);
+        let ckpt = Checkpoint::capture(&mut a);
+        let json = ckpt.to_json().unwrap();
+        let back = Checkpoint::from_json(&json).unwrap();
+        assert_eq!(ckpt, back);
+        assert!(Checkpoint::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_architecture() {
+        let mut a = net(1);
+        let ckpt = Checkpoint::capture(&mut a);
+        let mut other = crate::models::build_micro_vgg19(
+            &crate::models::MicroVggConfig::tiny(4),
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert!(ckpt.restore(&mut other).is_err());
+    }
+
+    #[test]
+    fn rejects_rank_conflicts() {
+        let mut a = net(1);
+        factorize_one(&mut a, "s3.b0.conv1", 4);
+        let ckpt = Checkpoint::capture(&mut a);
+        // Target already factored at a different rank.
+        let mut b = net(1);
+        factorize_one(&mut b, "s3.b0.conv1", 7);
+        assert!(ckpt.restore(&mut b).is_err());
+        // Dense checkpoint into factored net.
+        let mut c = net(1);
+        let dense_ckpt = Checkpoint::capture(&mut net(1));
+        factorize_one(&mut c, "s3.b0.conv1", 4);
+        assert!(dense_ckpt.restore(&mut c).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+use cuttlefish_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for neural-network construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A layer received an activation of the wrong kind or shape.
+    BadActivation {
+        /// The layer that rejected the activation.
+        layer: String,
+        /// What the layer expected vs. what it got.
+        detail: String,
+    },
+    /// `backward` was called without a preceding `forward` in train mode,
+    /// or a required cache is missing.
+    MissingCache {
+        /// The layer whose cache was missing.
+        layer: String,
+    },
+    /// A configuration value was invalid (zero dims, bad rank, …).
+    BadConfig {
+        /// Explanation of the invalid configuration.
+        detail: String,
+    },
+    /// A named factorization target does not exist in the network.
+    UnknownTarget {
+        /// The name that failed to resolve.
+        name: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadActivation { layer, detail } => {
+                write!(f, "bad activation for layer `{layer}`: {detail}")
+            }
+            NnError::MissingCache { layer } => {
+                write!(f, "backward called on `{layer}` without cached forward state")
+            }
+            NnError::BadConfig { detail } => write!(f, "bad configuration: {detail}"),
+            NnError::UnknownTarget { name } => {
+                write!(f, "unknown factorization target `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_error_converts_and_sources() {
+        let te = TensorError::InvalidDimension {
+            op: "x",
+            detail: "d".into(),
+        };
+        let ne: NnError = te.clone().into();
+        assert!(ne.to_string().contains("tensor error"));
+        assert!(ne.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,159 @@
+use super::Layer;
+use crate::{Act, Mode, NnError, NnResult};
+use cuttlefish_tensor::Matrix;
+
+/// Rectified linear unit.
+#[derive(Debug)]
+pub struct Relu {
+    name: String,
+    cache_mask: Option<Matrix>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Relu {
+            name: name.into(),
+            cache_mask: None,
+        }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Act, mode: Mode) -> NnResult<Act> {
+        let y = x.data().map(|v| v.max(0.0));
+        if mode.is_train() {
+            self.cache_mask = Some(x.data().map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+        }
+        x.with_data(y)
+    }
+
+    fn backward(&mut self, dy: Act) -> NnResult<Act> {
+        let mask = self.cache_mask.take().ok_or_else(|| NnError::MissingCache {
+            layer: self.name.clone(),
+        })?;
+        let dx = dy.data().hadamard(&mask)?;
+        dy.with_data(dx)
+    }
+}
+
+/// Gaussian error linear unit (tanh approximation), used by the
+/// transformer/mixer models.
+#[derive(Debug)]
+pub struct Gelu {
+    name: String,
+    cache_x: Option<Matrix>,
+}
+
+const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+const GELU_COEF: f32 = 0.044_715;
+
+fn gelu(v: f32) -> f32 {
+    0.5 * v * (1.0 + (SQRT_2_OVER_PI * (v + GELU_COEF * v * v * v)).tanh())
+}
+
+fn gelu_grad(v: f32) -> f32 {
+    let u = SQRT_2_OVER_PI * (v + GELU_COEF * v * v * v);
+    let t = u.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * v * sech2 * SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_COEF * v * v)
+}
+
+impl Gelu {
+    /// Creates a GELU layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Gelu {
+            name: name.into(),
+            cache_x: None,
+        }
+    }
+}
+
+impl Layer for Gelu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Act, mode: Mode) -> NnResult<Act> {
+        let y = x.data().map(gelu);
+        if mode.is_train() {
+            self.cache_x = Some(x.data().clone());
+        }
+        x.with_data(y)
+    }
+
+    fn backward(&mut self, dy: Act) -> NnResult<Act> {
+        let x = self.cache_x.take().ok_or_else(|| NnError::MissingCache {
+            layer: self.name.clone(),
+        })?;
+        let dx = dy.data().hadamard(&x.map(gelu_grad))?;
+        dy.with_data(dx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut r = Relu::new("relu");
+        let x = Act::flat(Matrix::from_rows(&[vec![-1.0, 0.0, 2.0]]).unwrap());
+        let y = r.forward(x, Mode::Eval).unwrap();
+        assert_eq!(y.data().row(0), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let mut r = Relu::new("relu");
+        let x = Act::flat(Matrix::from_rows(&[vec![-1.0, 3.0]]).unwrap());
+        let _ = r.forward(x, Mode::Train).unwrap();
+        let dx = r
+            .backward(Act::flat(Matrix::from_rows(&[vec![5.0, 5.0]]).unwrap()))
+            .unwrap();
+        assert_eq!(dx.data().row(0), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        // GELU(0) = 0; GELU(x) → x for large x; GELU(-x) → 0.
+        assert!(gelu(0.0).abs() < 1e-7);
+        assert!((gelu(10.0) - 10.0).abs() < 1e-3);
+        assert!(gelu(-10.0).abs() < 1e-3);
+        // GELU(1) ≈ 0.8412 (tanh approx).
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_gradcheck() {
+        for &v in &[-2.0f32, -0.5, 0.0, 0.7, 3.0] {
+            let eps = 1e-3;
+            let fd = (gelu(v + eps) - gelu(v - eps)) / (2.0 * eps);
+            assert!((gelu_grad(v) - fd).abs() < 1e-3, "at {v}: {} vs {fd}", gelu_grad(v));
+        }
+    }
+
+    #[test]
+    fn gelu_layer_backward() {
+        let mut g = Gelu::new("gelu");
+        let x = Act::flat(Matrix::from_rows(&[vec![0.5, -1.0]]).unwrap());
+        let _ = g.forward(x, Mode::Train).unwrap();
+        let dx = g
+            .backward(Act::flat(Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap()))
+            .unwrap();
+        assert!((dx.data().get(0, 0) - gelu_grad(0.5)).abs() < 1e-6);
+        assert!((dx.data().get(0, 1) - gelu_grad(-1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut r = Relu::new("relu");
+        assert!(r.backward(Act::flat(Matrix::zeros(1, 1))).is_err());
+        let mut g = Gelu::new("gelu");
+        assert!(g.backward(Act::flat(Matrix::zeros(1, 1))).is_err());
+    }
+}

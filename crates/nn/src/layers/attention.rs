@@ -1,0 +1,367 @@
+use super::Layer;
+use crate::weight::FactorableWeight;
+use crate::{Act, Mode, NnError, NnResult, Param};
+use cuttlefish_tensor::Matrix;
+use rand::Rng;
+
+/// Multi-head self-attention (§2.1 "Multi-head attention (MHA) layer").
+///
+/// All four projections (`W_q`, `W_k`, `W_v`, `W_o`) are
+/// [`FactorableWeight`]s and are factorized independently by Cuttlefish,
+/// matching the paper's per-weight decomposition of attention layers.
+/// Projections have no bias (matching the minimal DeiT formulation).
+#[derive(Debug)]
+pub struct MultiHeadAttention {
+    name: String,
+    wq: FactorableWeight,
+    wk: FactorableWeight,
+    wv: FactorableWeight,
+    wo: FactorableWeight,
+    heads: usize,
+    cache: Option<AttnCache>,
+}
+
+#[derive(Debug)]
+struct AttnCache {
+    batch: usize,
+    tokens: usize,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Softmax attention weights per (batch, head): `A[(b·H + h)]` is `T × T`.
+    attn: Vec<Matrix>,
+}
+
+impl MultiHeadAttention {
+    /// Creates an MHA layer over dimension `dim` with `heads` heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn new<R: Rng + ?Sized>(
+        name: impl Into<String>,
+        dim: usize,
+        heads: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(heads > 0 && dim % heads == 0, "dim must divide evenly into heads");
+        let proj = |rng: &mut R| {
+            FactorableWeight::new_full(cuttlefish_tensor::init::xavier_linear(dim, dim, rng))
+        };
+        MultiHeadAttention {
+            name: name.into(),
+            wq: proj(rng),
+            wk: proj(rng),
+            wv: proj(rng),
+            wo: proj(rng),
+            heads,
+            cache: None,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Extracts the `(T, dh)` block of head `h` for sequence `b` from a
+    /// `(B·T, D)` matrix.
+    fn head_block(m: &Matrix, b: usize, h: usize, tokens: usize, dh: usize) -> Matrix {
+        Matrix::from_fn(tokens, dh, |t, j| m.get(b * tokens + t, h * dh + j))
+    }
+
+    /// Adds a `(T, dh)` block back into the `(B·T, D)` accumulator.
+    fn add_head_block(acc: &mut Matrix, block: &Matrix, b: usize, h: usize, tokens: usize, dh: usize) {
+        for t in 0..tokens {
+            for j in 0..dh {
+                let cur = acc.get(b * tokens + t, h * dh + j);
+                acc.set(b * tokens + t, h * dh + j, cur + block.get(t, j));
+            }
+        }
+    }
+
+    fn softmax_rows(m: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(m.rows(), m.cols());
+        for i in 0..m.rows() {
+            let row = m.row(i);
+            let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let mut denom = 0.0f32;
+            let dst = out.row_mut(i);
+            for (j, &v) in row.iter().enumerate() {
+                let e = (v - max).exp();
+                dst[j] = e;
+                denom += e;
+            }
+            for v in dst.iter_mut() {
+                *v /= denom.max(f32::MIN_POSITIVE);
+            }
+        }
+        out
+    }
+}
+
+impl Layer for MultiHeadAttention {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Act, mode: Mode) -> NnResult<Act> {
+        let (batch, tokens) = x.expect_seq(&self.name)?;
+        let d = x.data().cols();
+        if d != self.wq.in_dim() {
+            return Err(NnError::BadActivation {
+                layer: self.name.clone(),
+                detail: format!("expected dim {}, got {d}", self.wq.in_dim()),
+            });
+        }
+        let dh = d / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let q = self.wq.forward(x.data(), mode)?;
+        let k = self.wk.forward(x.data(), mode)?;
+        let v = self.wv.forward(x.data(), mode)?;
+
+        let mut concat = Matrix::zeros(batch * tokens, d);
+        let mut attn_cache = Vec::new();
+        for b in 0..batch {
+            for h in 0..self.heads {
+                let qb = Self::head_block(&q, b, h, tokens, dh);
+                let kb = Self::head_block(&k, b, h, tokens, dh);
+                let vb = Self::head_block(&v, b, h, tokens, dh);
+                let scores = qb.matmul_nt(&kb)?.scale(scale);
+                let attn = Self::softmax_rows(&scores);
+                let out = attn.matmul(&vb)?;
+                Self::add_head_block(&mut concat, &out, b, h, tokens, dh);
+                if mode.is_train() {
+                    attn_cache.push(attn);
+                }
+            }
+        }
+        let y = self.wo.forward(&concat, mode)?;
+        if mode.is_train() {
+            self.cache = Some(AttnCache {
+                batch,
+                tokens,
+                q,
+                k,
+                v,
+                attn: attn_cache,
+            });
+        }
+        Act::seq(y, batch, tokens)
+    }
+
+    fn backward(&mut self, dy: Act) -> NnResult<Act> {
+        let cache = self.cache.take().ok_or_else(|| NnError::MissingCache {
+            layer: self.name.clone(),
+        })?;
+        let d = dy.data().cols();
+        let dh = d / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let (batch, tokens) = (cache.batch, cache.tokens);
+
+        // W_o backward (its input, `concat`, was cached inside the weight).
+        let dconcat = self.wo.backward(dy.data())?;
+
+        let mut dq = Matrix::zeros(batch * tokens, d);
+        let mut dk = Matrix::zeros(batch * tokens, d);
+        let mut dv = Matrix::zeros(batch * tokens, d);
+        for b in 0..batch {
+            for h in 0..self.heads {
+                let attn = &cache.attn[b * self.heads + h];
+                let dout = Self::head_block(&dconcat, b, h, tokens, dh);
+                let qb = Self::head_block(&cache.q, b, h, tokens, dh);
+                let kb = Self::head_block(&cache.k, b, h, tokens, dh);
+                let vb = Self::head_block(&cache.v, b, h, tokens, dh);
+
+                // dV = Aᵀ · dOut ; dA = dOut · Vᵀ.
+                let dvb = attn.matmul_tn(&dout)?;
+                let dattn = dout.matmul_nt(&vb)?;
+                // Softmax backward per row: dS = A ⊙ (dA − rowdot(dA, A)).
+                let mut dscores = Matrix::zeros(tokens, tokens);
+                for t in 0..tokens {
+                    let arow = attn.row(t);
+                    let darow = dattn.row(t);
+                    let dot: f32 = arow.iter().zip(darow).map(|(&a, &da)| a * da).sum();
+                    let dst = dscores.row_mut(t);
+                    for j in 0..tokens {
+                        dst[j] = arow[j] * (darow[j] - dot);
+                    }
+                }
+                // dQ = (dS · K)·scale ; dK = (dSᵀ · Q)·scale.
+                let dqb = dscores.matmul(&kb)?.scale(scale);
+                let dkb = dscores.matmul_tn(&qb)?.scale(scale); // dSᵀ·Q
+                Self::add_head_block(&mut dq, &dqb, b, h, tokens, dh);
+                Self::add_head_block(&mut dk, &dkb, b, h, tokens, dh);
+                Self::add_head_block(&mut dv, &dvb, b, h, tokens, dh);
+            }
+        }
+        let dx_q = self.wq.backward(&dq)?;
+        let dx_k = self.wk.backward(&dk)?;
+        let dx_v = self.wv.backward(&dv)?;
+        let dx = dx_q.add(&dx_k)?.add(&dx_v)?;
+        Act::seq(dx, batch, tokens)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.wq.visit_params(f);
+        self.wk.visit_params(f);
+        self.wv.visit_params(f);
+        self.wo.visit_params(f);
+    }
+
+    fn visit_weights(&mut self, f: &mut dyn FnMut(&str, &mut FactorableWeight)) {
+        let base = self.name.clone();
+        f(&format!("{base}.wq"), &mut self.wq);
+        f(&format!("{base}.wk"), &mut self.wk);
+        f(&format!("{base}.wv"), &mut self.wv);
+        f(&format!("{base}.wo"), &mut self.wo);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuttlefish_tensor::init::randn_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_preserved() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mha = MultiHeadAttention::new("attn", 8, 2, &mut rng);
+        let x = Act::seq(randn_matrix(6, 8, 1.0, &mut rng), 2, 3).unwrap();
+        let y = mha.forward(x, Mode::Eval).unwrap();
+        assert_eq!(y.data().shape(), (6, 8));
+        assert_eq!(y.expect_seq("t").unwrap(), (2, 3));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]).unwrap();
+        let s = MultiHeadAttention::softmax_rows(&m);
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        assert!(s.row(1)[2] > 0.99);
+    }
+
+    #[test]
+    fn attention_is_permutation_sensitive_but_bounded() {
+        // Output of attention with softmax weights is a convex combination
+        // of value rows: |out| <= max |v row| (per head block).
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mha = MultiHeadAttention::new("attn", 4, 1, &mut rng);
+        let x = Act::seq(randn_matrix(4, 4, 1.0, &mut rng), 1, 4).unwrap();
+        let y = mha.forward(x, Mode::Eval).unwrap();
+        assert!(y.data().max_abs().is_finite());
+    }
+
+    #[test]
+    fn gradcheck_attention() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mha = MultiHeadAttention::new("attn", 4, 2, &mut rng);
+        let x = randn_matrix(4, 4, 0.8, &mut rng);
+        let y = mha
+            .forward(Act::seq(x.clone(), 2, 2).unwrap(), Mode::Train)
+            .unwrap();
+        let dy = y.data().clone();
+        let dx = mha.backward(Act::seq(dy, 2, 2).unwrap()).unwrap();
+        let eps = 5e-3f32;
+        let mut loss = |mha: &mut MultiHeadAttention, x: &Matrix| -> f32 {
+            let y = mha
+                .forward(Act::seq(x.clone(), 2, 2).unwrap(), Mode::Eval)
+                .unwrap();
+            y.data().as_slice().iter().map(|v| v * v / 2.0).sum()
+        };
+        for (i, j) in [(0usize, 0usize), (1, 3), (3, 2)] {
+            let mut xp = x.clone();
+            xp.set(i, j, x.get(i, j) + eps);
+            let mut xm = x.clone();
+            xm.set(i, j, x.get(i, j) - eps);
+            let fd = (loss(&mut mha, &xp) - loss(&mut mha, &xm)) / (2.0 * eps);
+            let got = dx.data().get(i, j);
+            assert!(
+                (got - fd).abs() < 5e-2 * fd.abs().max(1.0),
+                "dx[{i},{j}]={got} fd={fd}"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradcheck_wq() {
+        // Finite-difference check on one entry of W_q.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mha = MultiHeadAttention::new("attn", 4, 1, &mut rng);
+        let x = randn_matrix(3, 4, 0.5, &mut rng);
+        let y = mha
+            .forward(Act::seq(x.clone(), 1, 3).unwrap(), Mode::Train)
+            .unwrap();
+        let dy = y.data().clone();
+        let _ = mha.backward(Act::seq(dy, 1, 3).unwrap()).unwrap();
+        let mut grads = Vec::new();
+        mha.visit_params(&mut |p| grads.push(p.grad.clone()));
+        let g_wq = grads[0].clone();
+
+        let eps = 5e-3f32;
+        let (i, j) = (1usize, 2usize);
+        let mut loss_with_wq_delta = |delta: f32| -> f32 {
+            let mut m2 = MultiHeadAttention::new("attn", 4, 1, &mut StdRng::seed_from_u64(3));
+            // Re-derive identical weights, then perturb wq[i][j].
+            let mut idx = 0;
+            m2.visit_params(&mut |p| {
+                if idx == 0 {
+                    let v = p.value.get(i, j);
+                    p.value.set(i, j, v + delta);
+                }
+                idx += 1;
+            });
+            let y = m2
+                .forward(Act::seq(x.clone(), 1, 3).unwrap(), Mode::Eval)
+                .unwrap();
+            y.data().as_slice().iter().map(|v| v * v / 2.0).sum()
+        };
+        let fd = (loss_with_wq_delta(eps) - loss_with_wq_delta(-eps)) / (2.0 * eps);
+        assert!(
+            (g_wq.get(i, j) - fd).abs() < 5e-2 * fd.abs().max(1.0),
+            "dWq[{i},{j}]={} fd={fd}",
+            g_wq.get(i, j)
+        );
+    }
+
+    #[test]
+    fn factorizing_all_projections_at_full_rank_preserves_output() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut mha = MultiHeadAttention::new("attn", 8, 2, &mut rng);
+        let x = Act::seq(randn_matrix(4, 8, 1.0, &mut rng), 1, 4).unwrap();
+        let y_full = mha.forward(x.clone(), Mode::Eval).unwrap();
+        mha.visit_weights(&mut |_, w| {
+            let dense = w.dense().unwrap().clone();
+            let svd = cuttlefish_tensor::svd::Svd::compute(&dense).unwrap();
+            let (u, vt) = svd.split_sqrt(dense.full_rank()).unwrap();
+            w.set_factored(u, vt, false, None).unwrap();
+        });
+        let y_fact = mha.forward(x, Mode::Eval).unwrap();
+        assert!(
+            y_full
+                .data()
+                .sub(y_fact.data())
+                .unwrap()
+                .frobenius_norm()
+                < 1e-3
+        );
+    }
+
+    #[test]
+    fn visit_weights_names_all_projections() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mha = MultiHeadAttention::new("enc0.attn", 8, 2, &mut rng);
+        let mut names = Vec::new();
+        mha.visit_weights(&mut |n, _| names.push(n.to_string()));
+        assert_eq!(
+            names,
+            vec!["enc0.attn.wq", "enc0.attn.wk", "enc0.attn.wv", "enc0.attn.wo"]
+        );
+    }
+}

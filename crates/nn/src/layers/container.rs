@@ -1,0 +1,243 @@
+use super::{BoxedLayer, Layer};
+use crate::weight::FactorableWeight;
+use crate::{Act, Mode, NnResult, Param};
+
+/// A chain of layers executed in order.
+#[derive(Debug)]
+pub struct Sequential {
+    name: String,
+    layers: Vec<BoxedLayer>,
+}
+
+impl Sequential {
+    /// Creates an empty chain.
+    pub fn new(name: impl Into<String>) -> Self {
+        Sequential {
+            name: name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a layer, builder-style.
+    #[must_use]
+    pub fn push(mut self, layer: impl Layer + Send + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer in place.
+    pub fn add(&mut self, layer: BoxedLayer) {
+        self.layers.push(layer);
+    }
+
+    /// Number of direct children.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, mut x: Act, mode: Mode) -> NnResult<Act> {
+        for layer in &mut self.layers {
+            x = layer.forward(x, mode)?;
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, mut dy: Act) -> NnResult<Act> {
+        for layer in self.layers.iter_mut().rev() {
+            dy = layer.backward(dy)?;
+        }
+        Ok(dy)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn visit_weights(&mut self, f: &mut dyn FnMut(&str, &mut FactorableWeight)) {
+        for layer in &mut self.layers {
+            layer.visit_weights(f);
+        }
+    }
+
+    fn visit_gammas(&mut self, f: &mut dyn FnMut(&str, &mut Param, &mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_gammas(f);
+        }
+    }
+}
+
+/// A residual connection: `y = body(x) + shortcut(x)` with an identity
+/// shortcut by default. Backward splits the incoming gradient between the
+/// two paths, matching the ResNet/Transformer skip pattern.
+#[derive(Debug)]
+pub struct Residual {
+    name: String,
+    body: Sequential,
+    shortcut: Option<Sequential>,
+}
+
+impl Residual {
+    /// Creates a residual block with an identity shortcut.
+    pub fn new(name: impl Into<String>, body: Sequential) -> Self {
+        Residual {
+            name: name.into(),
+            body,
+            shortcut: None,
+        }
+    }
+
+    /// Creates a residual block with a projection shortcut (e.g. the
+    /// strided 1×1 conv + BN used when a ResNet stack changes width).
+    pub fn with_shortcut(name: impl Into<String>, body: Sequential, shortcut: Sequential) -> Self {
+        Residual {
+            name: name.into(),
+            body,
+            shortcut: Some(shortcut),
+        }
+    }
+}
+
+impl Layer for Residual {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Act, mode: Mode) -> NnResult<Act> {
+        let skip = match &mut self.shortcut {
+            Some(s) => s.forward(x.clone(), mode)?,
+            None => x.clone(),
+        };
+        let y = self.body.forward(x, mode)?;
+        let sum = y.data().add(skip.data())?;
+        y.with_data(sum)
+    }
+
+    fn backward(&mut self, dy: Act) -> NnResult<Act> {
+        let d_body = self.body.backward(dy.clone())?;
+        let d_skip = match &mut self.shortcut {
+            Some(s) => s.backward(dy)?,
+            None => dy,
+        };
+        let dx = d_body.data().add(d_skip.data())?;
+        d_body.with_data(dx)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.body.visit_params(f);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_params(f);
+        }
+    }
+
+    fn visit_weights(&mut self, f: &mut dyn FnMut(&str, &mut FactorableWeight)) {
+        self.body.visit_weights(f);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_weights(f);
+        }
+    }
+
+    fn visit_gammas(&mut self, f: &mut dyn FnMut(&str, &mut Param, &mut Param)) {
+        self.body.visit_gammas(f);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_gammas(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use cuttlefish_tensor::init::randn_matrix;
+    use cuttlefish_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sequential_chains_layers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seq = Sequential::new("net")
+            .push(Linear::new("fc1", 4, 8, true, &mut rng))
+            .push(Relu::new("relu"))
+            .push(Linear::new("fc2", 8, 2, true, &mut rng));
+        assert_eq!(seq.len(), 3);
+        let y = seq
+            .forward(Act::flat(Matrix::zeros(3, 4)), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.data().shape(), (3, 2));
+    }
+
+    #[test]
+    fn sequential_backward_reverses() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seq = Sequential::new("net")
+            .push(Linear::new("fc1", 3, 5, false, &mut rng))
+            .push(Relu::new("relu"));
+        let x = randn_matrix(2, 3, 1.0, &mut rng);
+        let y = seq.forward(Act::flat(x), Mode::Train).unwrap();
+        let dx = seq.backward(y).unwrap();
+        assert_eq!(dx.data().shape(), (2, 3));
+    }
+
+    #[test]
+    fn residual_identity_adds_input() {
+        // Body = zero-weight linear ⇒ output == input.
+        let body = Sequential::new("body").push(Linear::from_weight("z", Matrix::zeros(4, 4), false));
+        let mut res = Residual::new("res", body);
+        let x = randn_matrix(2, 4, 1.0, &mut StdRng::seed_from_u64(2));
+        let y = res.forward(Act::flat(x.clone()), Mode::Eval).unwrap();
+        assert!(y.data().sub(&x).unwrap().frobenius_norm() < 1e-6);
+    }
+
+    #[test]
+    fn residual_backward_sums_paths() {
+        // Body = identity linear ⇒ dx = 2·dy.
+        let body = Sequential::new("body").push(Linear::from_weight("i", Matrix::eye(3), false));
+        let mut res = Residual::new("res", body);
+        let x = randn_matrix(2, 3, 1.0, &mut StdRng::seed_from_u64(3));
+        let _ = res.forward(Act::flat(x), Mode::Train).unwrap();
+        let dy = Matrix::from_fn(2, 3, |_, _| 1.0);
+        let dx = res.backward(Act::flat(dy)).unwrap();
+        for v in dx.data().as_slice() {
+            assert!((v - 2.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn residual_projection_shortcut() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let body = Sequential::new("body").push(Linear::new("fc", 4, 6, false, &mut rng));
+        let shortcut = Sequential::new("short").push(Linear::new("proj", 4, 6, false, &mut rng));
+        let mut res = Residual::with_shortcut("res", body, shortcut);
+        let y = res
+            .forward(Act::flat(Matrix::zeros(2, 4)), Mode::Train)
+            .unwrap();
+        assert_eq!(y.data().shape(), (2, 6));
+        let dx = res.backward(Act::flat(Matrix::zeros(2, 6))).unwrap();
+        assert_eq!(dx.data().shape(), (2, 4));
+    }
+
+    #[test]
+    fn visit_weights_recurses() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let body = Sequential::new("body").push(Linear::new("a", 2, 2, false, &mut rng));
+        let shortcut = Sequential::new("short").push(Linear::new("b", 2, 2, false, &mut rng));
+        let mut res = Residual::with_shortcut("res", body, shortcut);
+        let mut names = Vec::new();
+        res.visit_weights(&mut |n, _| names.push(n.to_string()));
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

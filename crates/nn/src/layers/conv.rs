@@ -1,0 +1,328 @@
+use super::Layer;
+use crate::weight::FactorableWeight;
+use crate::{Act, Mode, NnError, NnResult, Param};
+use cuttlefish_tensor::im2col::{col2im, im2col, ConvGeometry};
+use cuttlefish_tensor::{Matrix, Tensor4};
+use rand::Rng;
+
+/// A 2-D convolution computed as `im2col · W`, where `W` is the paper's
+/// unrolled `(in·k², out)` kernel matrix behind a [`FactorableWeight`].
+///
+/// When factorized, the layer *is* the paper's thin-conv + 1×1-conv pair:
+/// `patches · U` is a convolution with `r` filters and the `Vᵀ` matmul acts
+/// per spatial position, which is exactly a 1×1 convolution (§2.1).
+#[derive(Debug)]
+pub struct Conv2d {
+    name: String,
+    weight: FactorableWeight,
+    bias: Option<Param>,
+    geom: ConvGeometry,
+    /// Cached (batch, in_h, in_w, out_h, out_w) from the last train forward.
+    cache_dims: Option<(usize, usize, usize, usize, usize)>,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialized convolution.
+    ///
+    /// `bias` is normally false in the paper's CNNs (BatchNorm follows every
+    /// conv).
+    pub fn new<R: Rng + ?Sized>(
+        name: impl Into<String>,
+        geom: ConvGeometry,
+        bias: bool,
+        rng: &mut R,
+    ) -> Self {
+        let kern =
+            cuttlefish_tensor::init::kaiming_conv(geom.out_channels, geom.in_channels, geom.kernel, rng);
+        let w = kern.unroll_conv_kernel();
+        Conv2d {
+            name: name.into(),
+            weight: FactorableWeight::new_full(w),
+            bias: bias.then(|| Param::new_no_decay(Matrix::zeros(1, geom.out_channels))),
+            geom,
+            cache_dims: None,
+        }
+    }
+
+    /// Creates a convolution from an explicit unrolled `(in·k², out)` weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight shape disagrees with the geometry.
+    pub fn from_weight(name: impl Into<String>, geom: ConvGeometry, w: Matrix) -> Self {
+        assert_eq!(
+            w.shape(),
+            (geom.in_channels * geom.kernel * geom.kernel, geom.out_channels),
+            "unrolled kernel shape must match geometry"
+        );
+        Conv2d {
+            name: name.into(),
+            weight: FactorableWeight::new_full(w),
+            bias: None,
+            geom,
+            cache_dims: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn geometry(&self) -> &ConvGeometry {
+        &self.geom
+    }
+
+    /// The factorable weight.
+    pub fn weight(&self) -> &FactorableWeight {
+        &self.weight
+    }
+
+    /// Converts per-position rows `(B·oh·ow, out)` to an image matrix
+    /// `(B, out·oh·ow)`.
+    fn rows_to_image(rows: &Matrix, b: usize, out_c: usize, oh: usize, ow: usize) -> Matrix {
+        let mut out = Matrix::zeros(b, out_c * oh * ow);
+        for bi in 0..b {
+            for p in 0..oh * ow {
+                let src = rows.row(bi * oh * ow + p);
+                for o in 0..out_c {
+                    out.set(bi, o * oh * ow + p, src[o]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Conv2d::rows_to_image`].
+    fn image_to_rows(img: &Matrix, b: usize, out_c: usize, oh: usize, ow: usize) -> Matrix {
+        let mut out = Matrix::zeros(b * oh * ow, out_c);
+        for bi in 0..b {
+            for p in 0..oh * ow {
+                let dst = out.row_mut(bi * oh * ow + p);
+                for (o, slot) in dst.iter_mut().enumerate() {
+                    *slot = img.get(bi, o * oh * ow + p);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Act, mode: Mode) -> NnResult<Act> {
+        let (c, h, w) = x.expect_image(&self.name)?;
+        if c != self.geom.in_channels {
+            return Err(NnError::BadActivation {
+                layer: self.name.clone(),
+                detail: format!("expected {} input channels, got {c}", self.geom.in_channels),
+            });
+        }
+        let b = x.data().rows();
+        let t4 = Tensor4::from_matrix(x.data(), c, h, w)?;
+        let patches = im2col(&t4, &self.geom)?;
+        let (oh, ow) = self.geom.output_hw(h, w)?;
+        let mut y_rows = self.weight.forward(&patches, mode)?;
+        if let Some(bparam) = &self.bias {
+            for i in 0..y_rows.rows() {
+                let row = y_rows.row_mut(i);
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v += bparam.value.get(0, j);
+                }
+            }
+        }
+        if mode.is_train() {
+            self.cache_dims = Some((b, h, w, oh, ow));
+        }
+        let img = Self::rows_to_image(&y_rows, b, self.geom.out_channels, oh, ow);
+        Act::image(img, self.geom.out_channels, oh, ow)
+    }
+
+    fn backward(&mut self, dy: Act) -> NnResult<Act> {
+        let (b, h, w, oh, ow) = self.cache_dims.take().ok_or_else(|| NnError::MissingCache {
+            layer: self.name.clone(),
+        })?;
+        let dy_rows = Self::image_to_rows(dy.data(), b, self.geom.out_channels, oh, ow);
+        if let Some(bparam) = &mut self.bias {
+            for i in 0..dy_rows.rows() {
+                let row = dy_rows.row(i);
+                for j in 0..row.len() {
+                    bparam.grad.set(0, j, bparam.grad.get(0, j) + row[j]);
+                }
+            }
+        }
+        let dpatches = self.weight.backward(&dy_rows)?;
+        let dx_t4 = col2im(&dpatches, &self.geom, b, h, w)?;
+        Act::image(dx_t4.to_matrix(), self.geom.in_channels, h, w)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.weight.visit_params(f);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn visit_weights(&mut self, f: &mut dyn FnMut(&str, &mut FactorableWeight)) {
+        f(&self.name, &mut self.weight);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuttlefish_tensor::init::randn_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn geom(in_c: usize, out_c: usize, k: usize, s: usize, p: usize) -> ConvGeometry {
+        ConvGeometry {
+            in_channels: in_c,
+            out_channels: out_c,
+            kernel: k,
+            stride: s,
+            padding: p,
+        }
+    }
+
+    #[test]
+    fn forward_output_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new("c1", geom(3, 8, 3, 1, 1), false, &mut rng);
+        let x = Act::image(Matrix::zeros(2, 3 * 6 * 6), 3, 6, 6).unwrap();
+        let y = conv.forward(x, Mode::Eval).unwrap();
+        assert_eq!(y.expect_image("t").unwrap(), (8, 6, 6));
+        assert_eq!(y.data().shape(), (2, 8 * 36));
+    }
+
+    #[test]
+    fn strided_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new("c1", geom(4, 8, 3, 2, 1), false, &mut rng);
+        let x = Act::image(Matrix::zeros(1, 4 * 8 * 8), 4, 8, 8).unwrap();
+        let y = conv.forward(x, Mode::Eval).unwrap();
+        assert_eq!(y.expect_image("t").unwrap(), (8, 4, 4));
+    }
+
+    #[test]
+    fn rejects_channel_mismatch() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new("c1", geom(3, 8, 3, 1, 1), false, &mut rng);
+        let x = Act::image(Matrix::zeros(1, 2 * 4 * 4), 2, 4, 4).unwrap();
+        assert!(conv.forward(x, Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn identity_1x1_conv_passes_through() {
+        let g = geom(2, 2, 1, 1, 0);
+        let conv_w = Matrix::eye(2);
+        let mut conv = Conv2d::from_weight("id", g, conv_w);
+        let x_data = randn_matrix(2, 2 * 3 * 3, 1.0, &mut StdRng::seed_from_u64(1));
+        let x = Act::image(x_data.clone(), 2, 3, 3).unwrap();
+        let y = conv.forward(x, Mode::Eval).unwrap();
+        assert!(y.data().sub(&x_data).unwrap().frobenius_norm() < 1e-5);
+    }
+
+    #[test]
+    fn gradcheck_conv() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new("c1", geom(2, 3, 3, 1, 1), true, &mut rng);
+        let x = randn_matrix(2, 2 * 4 * 4, 1.0, &mut rng);
+        let ax = Act::image(x.clone(), 2, 4, 4).unwrap();
+        let y = conv.forward(ax, Mode::Train).unwrap();
+        let dy = y.clone();
+        let dx = conv.backward(dy).unwrap();
+        let eps = 1e-2f32;
+        let mut loss = |conv: &mut Conv2d, x: &Matrix| -> f32 {
+            let a = Act::image(x.clone(), 2, 4, 4).unwrap();
+            let y = conv.forward(a, Mode::Eval).unwrap();
+            y.data().as_slice().iter().map(|v| v * v / 2.0).sum()
+        };
+        for (i, j) in [(0usize, 0usize), (1, 17), (0, 31)] {
+            let mut xp = x.clone();
+            xp.set(i, j, x.get(i, j) + eps);
+            let mut xm = x.clone();
+            xm.set(i, j, x.get(i, j) - eps);
+            let fd = (loss(&mut conv, &xp) - loss(&mut conv, &xm)) / (2.0 * eps);
+            let got = dx.data().get(i, j);
+            assert!(
+                (got - fd).abs() < 2e-2 * fd.abs().max(1.0),
+                "dx[{i},{j}]={got} fd={fd}"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradcheck_conv() {
+        // Perturb one unrolled-kernel entry and compare loss delta.
+        let g = geom(1, 2, 3, 1, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let w0 = randn_matrix(9, 2, 0.5, &mut rng);
+        let x = randn_matrix(1, 16, 1.0, &mut rng);
+        let mut conv = Conv2d::from_weight("c", g, w0.clone());
+        let y = conv
+            .forward(Act::image(x.clone(), 1, 4, 4).unwrap(), Mode::Train)
+            .unwrap();
+        let _ = conv.backward(y).unwrap();
+        let mut grad = None;
+        conv.visit_params(&mut |p| {
+            if grad.is_none() {
+                grad = Some(p.grad.clone());
+            }
+        });
+        let grad = grad.unwrap();
+        let eps = 1e-2f32;
+        let mut loss_for = |w: Matrix| -> f32 {
+            let mut c = Conv2d::from_weight("c", g, w);
+            let y = c
+                .forward(Act::image(x.clone(), 1, 4, 4).unwrap(), Mode::Eval)
+                .unwrap();
+            y.data().as_slice().iter().map(|v| v * v / 2.0).sum()
+        };
+        for (i, j) in [(0usize, 0usize), (4, 1), (8, 0)] {
+            let mut wp = w0.clone();
+            wp.set(i, j, w0.get(i, j) + eps);
+            let mut wm = w0.clone();
+            wm.set(i, j, w0.get(i, j) - eps);
+            let fd = (loss_for(wp) - loss_for(wm)) / (2.0 * eps);
+            assert!(
+                (grad.get(i, j) - fd).abs() < 2e-2 * fd.abs().max(1.0),
+                "dw[{i},{j}]={} fd={fd}",
+                grad.get(i, j)
+            );
+        }
+    }
+
+    #[test]
+    fn factorized_conv_matches_full_at_full_rank() {
+        let g = geom(2, 4, 3, 1, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut conv = Conv2d::new("c", g, false, &mut rng);
+        let x = randn_matrix(2, 2 * 5 * 5, 1.0, &mut rng);
+        let y_full = conv
+            .forward(Act::image(x.clone(), 2, 5, 5).unwrap(), Mode::Eval)
+            .unwrap();
+        // Factorize at full rank via SVD: output must be unchanged.
+        let mut weights = Vec::new();
+        conv.visit_weights(&mut |_, w| {
+            let dense = w.dense().unwrap().clone();
+            weights.push(dense);
+        });
+        let svd = cuttlefish_tensor::svd::Svd::compute(&weights[0]).unwrap();
+        let r = weights[0].full_rank();
+        let (u, vt) = svd.split_sqrt(r).unwrap();
+        conv.visit_weights(&mut |_, w| {
+            w.set_factored(u.clone(), vt.clone(), false, None).unwrap();
+        });
+        let y_fact = conv
+            .forward(Act::image(x, 2, 5, 5).unwrap(), Mode::Eval)
+            .unwrap();
+        assert!(
+            y_full
+                .data()
+                .sub(y_fact.data())
+                .unwrap()
+                .frobenius_norm()
+                < 1e-3
+        );
+    }
+}

@@ -1,0 +1,131 @@
+use super::Layer;
+use crate::{Act, Mode, NnError, NnResult};
+use cuttlefish_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: in train mode each element is zeroed with probability
+/// `p` and the survivors are scaled by `1/(1−p)`; in eval mode it is the
+/// identity. Used by the transformer configurations (the DeiT recipe).
+#[derive(Debug)]
+pub struct Dropout {
+    name: String,
+    p: f32,
+    rng: StdRng,
+    cache_mask: Option<Matrix>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and its own
+    /// deterministic RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)`.
+    pub fn new(name: impl Into<String>, p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout {
+            name: name.into(),
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            cache_mask: None,
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Act, mode: Mode) -> NnResult<Act> {
+        if !mode.is_train() || self.p == 0.0 {
+            return Ok(x);
+        }
+        let keep = 1.0 - self.p;
+        let mask = Matrix::from_fn(x.data().rows(), x.data().cols(), |_, _| {
+            if self.rng.gen::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        let y = x.data().hadamard(&mask)?;
+        self.cache_mask = Some(mask);
+        x.with_data(y)
+    }
+
+    fn backward(&mut self, dy: Act) -> NnResult<Act> {
+        match self.cache_mask.take() {
+            Some(mask) => {
+                let dx = dy.data().hadamard(&mask)?;
+                dy.with_data(dx)
+            }
+            // p == 0 or eval-mode forward: identity.
+            None if self.p == 0.0 => Ok(dy),
+            None => Err(NnError::MissingCache {
+                layer: self.name.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new("drop", 0.5, 0);
+        let x = Act::flat(Matrix::from_fn(4, 8, |i, j| (i * 8 + j) as f32));
+        let y = d.forward(x.clone(), Mode::Eval).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let mut d = Dropout::new("drop", 0.3, 1);
+        let x = Act::flat(Matrix::from_fn(64, 64, |_, _| 1.0));
+        let y = d.forward(x, Mode::Train).unwrap();
+        let mean = y.data().mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        // Some elements dropped, survivors scaled up.
+        let zeros = y.data().as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros > 0);
+        let survivor = y
+            .data()
+            .as_slice()
+            .iter()
+            .find(|&&v| v != 0.0)
+            .copied()
+            .unwrap();
+        assert!((survivor - 1.0 / 0.7).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new("drop", 0.5, 2);
+        let x = Act::flat(Matrix::from_fn(4, 4, |_, _| 1.0));
+        let y = d.forward(x, Mode::Train).unwrap();
+        let dy = Act::flat(Matrix::from_fn(4, 4, |_, _| 1.0));
+        let dx = d.backward(dy).unwrap();
+        // Gradient flows exactly where activations survived.
+        for (yv, gv) in y.data().as_slice().iter().zip(dx.data().as_slice()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_probability_never_errors() {
+        let mut d = Dropout::new("drop", 0.0, 3);
+        let x = Act::flat(Matrix::zeros(2, 2));
+        let y = d.forward(x, Mode::Train).unwrap();
+        let _ = d.backward(y).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn rejects_p_of_one() {
+        let _ = Dropout::new("drop", 1.0, 0);
+    }
+}

@@ -1,0 +1,248 @@
+use super::Layer;
+use crate::{Act, Mode, NnError, NnResult, Param};
+use cuttlefish_tensor::Matrix;
+use rand::Rng;
+
+/// Token embedding lookup: flat `(B, T)` matrices of token ids (stored as
+/// `f32`, exact for any realistic vocabulary) → sequence `(B·T, D)`.
+///
+/// The paper never factorizes embedding layers ("we consistently factorize
+/// all Transformer layers **except** for the word/image sequence embedding
+/// layers", §3.5), so the table is a plain [`Param`].
+#[derive(Debug)]
+pub struct Embedding {
+    name: String,
+    table: Param,
+    cache_ids: Option<Vec<usize>>,
+    cache_bt: Option<(usize, usize)>,
+}
+
+impl Embedding {
+    /// Creates an embedding of `vocab` rows and `dim` columns, `N(0, 0.02²)`
+    /// initialized (the BERT convention).
+    pub fn new<R: Rng + ?Sized>(
+        name: impl Into<String>,
+        vocab: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let table = cuttlefish_tensor::init::randn_matrix(vocab, dim, 0.02, rng);
+        Embedding {
+            name: name.into(),
+            table: Param::new_no_decay(table),
+            cache_ids: None,
+            cache_bt: None,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.value.rows()
+    }
+}
+
+impl Layer for Embedding {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Act, mode: Mode) -> NnResult<Act> {
+        let (b, t) = (x.data().rows(), x.data().cols());
+        let d = self.table.value.cols();
+        let vocab = self.vocab();
+        let mut ids = Vec::with_capacity(b * t);
+        let mut out = Matrix::zeros(b * t, d);
+        for bi in 0..b {
+            let row = x.data().row(bi);
+            for (ti, &raw) in row.iter().enumerate() {
+                let id = raw as usize;
+                if raw < 0.0 || id >= vocab {
+                    return Err(NnError::BadActivation {
+                        layer: self.name.clone(),
+                        detail: format!("token id {raw} out of vocab 0..{vocab}"),
+                    });
+                }
+                ids.push(id);
+                out.row_mut(bi * t + ti)
+                    .copy_from_slice(self.table.value.row(id));
+            }
+        }
+        if mode.is_train() {
+            self.cache_ids = Some(ids);
+            self.cache_bt = Some((b, t));
+        }
+        Act::seq(out, b, t)
+    }
+
+    fn backward(&mut self, dy: Act) -> NnResult<Act> {
+        let ids = self.cache_ids.take().ok_or_else(|| NnError::MissingCache {
+            layer: self.name.clone(),
+        })?;
+        let (b, t) = self.cache_bt.take().expect("set together with ids");
+        let d = self.table.value.cols();
+        for (pos, &id) in ids.iter().enumerate() {
+            let src = dy.data().row(pos);
+            for j in 0..d {
+                let cur = self.table.grad.get(id, j);
+                self.table.grad.set(id, j, cur + src[j]);
+            }
+        }
+        // Token ids are not differentiable; return a zero gradient.
+        Ok(Act::flat(Matrix::zeros(b, t)))
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.table);
+    }
+}
+
+/// Learned positional embedding added per token index.
+#[derive(Debug)]
+pub struct PosEmbedding {
+    name: String,
+    table: Param,
+    cache_bt: Option<(usize, usize)>,
+}
+
+impl PosEmbedding {
+    /// Creates positional embeddings for up to `max_tokens` positions.
+    pub fn new<R: Rng + ?Sized>(
+        name: impl Into<String>,
+        max_tokens: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let table = cuttlefish_tensor::init::randn_matrix(max_tokens, dim, 0.02, rng);
+        PosEmbedding {
+            name: name.into(),
+            table: Param::new_no_decay(table),
+            cache_bt: None,
+        }
+    }
+}
+
+impl Layer for PosEmbedding {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Act, mode: Mode) -> NnResult<Act> {
+        let (b, t) = x.expect_seq(&self.name)?;
+        if t > self.table.value.rows() {
+            return Err(NnError::BadActivation {
+                layer: self.name.clone(),
+                detail: format!(
+                    "sequence of {t} tokens exceeds max {}",
+                    self.table.value.rows()
+                ),
+            });
+        }
+        let d = x.data().cols();
+        if d != self.table.value.cols() {
+            return Err(NnError::BadActivation {
+                layer: self.name.clone(),
+                detail: format!("dim {d} != embedding dim {}", self.table.value.cols()),
+            });
+        }
+        let mut out = x.data().clone();
+        for bi in 0..b {
+            for ti in 0..t {
+                let dst = out.row_mut(bi * t + ti);
+                let pos = self.table.value.row(ti);
+                for j in 0..d {
+                    dst[j] += pos[j];
+                }
+            }
+        }
+        if mode.is_train() {
+            self.cache_bt = Some((b, t));
+        }
+        x.with_data(out)
+    }
+
+    fn backward(&mut self, dy: Act) -> NnResult<Act> {
+        let (b, t) = self.cache_bt.take().ok_or_else(|| NnError::MissingCache {
+            layer: self.name.clone(),
+        })?;
+        let d = dy.data().cols();
+        for bi in 0..b {
+            for ti in 0..t {
+                let src = dy.data().row(bi * t + ti);
+                for j in 0..d {
+                    let cur = self.table.grad.get(ti, j);
+                    self.table.grad.set(ti, j, cur + src[j]);
+                }
+            }
+        }
+        Ok(dy)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.table);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn embedding_lookup() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut emb = Embedding::new("emb", 10, 4, &mut rng);
+        let ids = Matrix::from_rows(&[vec![0.0, 3.0], vec![9.0, 3.0]]).unwrap();
+        let y = emb.forward(Act::flat(ids), Mode::Eval).unwrap();
+        assert_eq!(y.expect_seq("t").unwrap(), (2, 2));
+        // Rows 1 and 3 are both id 3 → identical embeddings.
+        assert_eq!(y.data().row(1), y.data().row(3));
+    }
+
+    #[test]
+    fn embedding_rejects_out_of_vocab() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut emb = Embedding::new("emb", 4, 2, &mut rng);
+        let ids = Matrix::from_rows(&[vec![4.0]]).unwrap();
+        assert!(emb.forward(Act::flat(ids), Mode::Eval).is_err());
+        let neg = Matrix::from_rows(&[vec![-1.0]]).unwrap();
+        assert!(emb.forward(Act::flat(neg), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn embedding_backward_scatter_adds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut emb = Embedding::new("emb", 5, 2, &mut rng);
+        let ids = Matrix::from_rows(&[vec![2.0, 2.0]]).unwrap();
+        let _ = emb.forward(Act::flat(ids), Mode::Train).unwrap();
+        let dy = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 0.0]]).unwrap();
+        let _ = emb.backward(Act::seq(dy, 1, 2).unwrap()).unwrap();
+        // Both tokens hit row 2 → accumulated gradient 2.0.
+        assert_eq!(emb.table.grad.get(2, 0), 2.0);
+        assert_eq!(emb.table.grad.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn pos_embedding_adds_per_position() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut pe = PosEmbedding::new("pos", 4, 3, &mut rng);
+        let x = Act::seq(Matrix::zeros(4, 3), 2, 2).unwrap();
+        let y = pe.forward(x, Mode::Train).unwrap();
+        // Same position in both sequences gets the same offset.
+        assert_eq!(y.data().row(0), y.data().row(2));
+        assert_ne!(y.data().row(0), y.data().row(1));
+        // Backward accumulates per-position gradients across the batch.
+        let dy = Matrix::from_fn(4, 3, |_, _| 1.0);
+        let _ = pe.backward(Act::seq(dy, 2, 2).unwrap()).unwrap();
+        assert_eq!(pe.table.grad.get(0, 0), 2.0);
+        assert_eq!(pe.table.grad.get(3, 0), 0.0);
+    }
+
+    #[test]
+    fn pos_embedding_rejects_long_sequence() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut pe = PosEmbedding::new("pos", 2, 3, &mut rng);
+        let x = Act::seq(Matrix::zeros(6, 3), 2, 3).unwrap();
+        assert!(pe.forward(x, Mode::Eval).is_err());
+    }
+}

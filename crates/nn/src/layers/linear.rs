@@ -1,0 +1,183 @@
+use super::Layer;
+use crate::weight::FactorableWeight;
+use crate::{Act, Mode, NnError, NnResult, Param};
+use cuttlefish_tensor::Matrix;
+use rand::Rng;
+
+/// A fully-connected layer `y = x·W (+ b)` over flat or sequence
+/// activations, with a factorable weight.
+#[derive(Debug)]
+pub struct Linear {
+    name: String,
+    weight: FactorableWeight,
+    bias: Option<Param>,
+}
+
+impl Linear {
+    /// Creates a Kaiming-initialized linear layer.
+    pub fn new<R: Rng + ?Sized>(
+        name: impl Into<String>,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        rng: &mut R,
+    ) -> Self {
+        let w = cuttlefish_tensor::init::kaiming_linear(in_dim, out_dim, rng);
+        Linear {
+            name: name.into(),
+            weight: FactorableWeight::new_full(w),
+            bias: bias.then(|| Param::new_no_decay(Matrix::zeros(1, out_dim))),
+        }
+    }
+
+    /// Creates a linear layer from an explicit weight matrix (tests,
+    /// baselines).
+    pub fn from_weight(name: impl Into<String>, w: Matrix, bias: bool) -> Self {
+        let out_dim = w.cols();
+        Linear {
+            name: name.into(),
+            weight: FactorableWeight::new_full(w),
+            bias: bias.then(|| Param::new_no_decay(Matrix::zeros(1, out_dim))),
+        }
+    }
+
+    /// The factorable weight (for direct inspection in tests).
+    pub fn weight(&self) -> &FactorableWeight {
+        &self.weight
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Act, mode: Mode) -> NnResult<Act> {
+        if x.data().cols() != self.weight.in_dim() {
+            return Err(NnError::BadActivation {
+                layer: self.name.clone(),
+                detail: format!(
+                    "expected {} input features, got {}",
+                    self.weight.in_dim(),
+                    x.data().cols()
+                ),
+            });
+        }
+        let mut y = self.weight.forward(x.data(), mode)?;
+        if let Some(b) = &self.bias {
+            for i in 0..y.rows() {
+                let row = y.row_mut(i);
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v += b.value.get(0, j);
+                }
+            }
+        }
+        x.with_data(y)
+    }
+
+    fn backward(&mut self, dy: Act) -> NnResult<Act> {
+        if let Some(b) = &mut self.bias {
+            for i in 0..dy.data().rows() {
+                let row = dy.data().row(i);
+                for j in 0..row.len() {
+                    b.grad.set(0, j, b.grad.get(0, j) + row[j]);
+                }
+            }
+        }
+        let dx = self.weight.backward(dy.data())?;
+        dy.with_data(dx)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.weight.visit_params(f);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn visit_weights(&mut self, f: &mut dyn FnMut(&str, &mut FactorableWeight)) {
+        f(&self.name, &mut self.weight);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuttlefish_tensor::init::randn_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes_flat_and_seq() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new("fc", 4, 6, true, &mut rng);
+        let flat = Act::flat(Matrix::zeros(3, 4));
+        assert_eq!(l.forward(flat, Mode::Eval).unwrap().data().shape(), (3, 6));
+        let seq = Act::seq(Matrix::zeros(6, 4), 2, 3).unwrap();
+        let out = l.forward(seq, Mode::Eval).unwrap();
+        assert_eq!(out.data().shape(), (6, 6));
+        assert_eq!(out.expect_seq("t").unwrap(), (2, 3));
+    }
+
+    #[test]
+    fn rejects_wrong_width() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new("fc", 4, 6, false, &mut rng);
+        assert!(l.forward(Act::flat(Matrix::zeros(3, 5)), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn bias_gradient_is_column_sum() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Linear::new("fc", 3, 2, true, &mut rng);
+        let x = randn_matrix(4, 3, 1.0, &mut rng);
+        let _ = l.forward(Act::flat(x), Mode::Train).unwrap();
+        let dy = Matrix::from_fn(4, 2, |i, j| (i + j) as f32);
+        let _ = l.backward(Act::flat(dy.clone())).unwrap();
+        let mut grads = Vec::new();
+        l.visit_params(&mut |p| grads.push(p.grad.clone()));
+        let bias_grad = grads.last().unwrap();
+        for j in 0..2 {
+            let expect: f32 = (0..4).map(|i| dy.get(i, j)).sum();
+            assert!((bias_grad.get(0, j) - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradcheck_linear() {
+        // L = Σ y²/2; compare analytic dx against finite differences.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Linear::new("fc", 3, 2, true, &mut rng);
+        let x = randn_matrix(2, 3, 1.0, &mut rng);
+        let y = l.forward(Act::flat(x.clone()), Mode::Train).unwrap();
+        let dy = y.data().clone();
+        let dx = l.backward(Act::flat(dy)).unwrap();
+        let eps = 1e-2f32;
+        for (i, j) in [(0usize, 0usize), (1, 2)] {
+            let loss = |l: &mut Linear, x: &Matrix| -> f32 {
+                let y = l.forward(Act::flat(x.clone()), Mode::Eval).unwrap();
+                y.data().as_slice().iter().map(|v| v * v / 2.0).sum()
+            };
+            let mut xp = x.clone();
+            xp.set(i, j, x.get(i, j) + eps);
+            let mut xm = x.clone();
+            xm.set(i, j, x.get(i, j) - eps);
+            let fd = (loss(&mut l, &xp) - loss(&mut l, &xm)) / (2.0 * eps);
+            assert!(
+                (dx.data().get(i, j) - fd).abs() < 1e-2 * fd.abs().max(1.0),
+                "dx[{i},{j}]={} fd={}",
+                dx.data().get(i, j),
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn visit_weights_exposes_name() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Linear::new("classifier", 4, 4, false, &mut rng);
+        let mut names = Vec::new();
+        l.visit_weights(&mut |n, _| names.push(n.to_string()));
+        assert_eq!(names, vec!["classifier"]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Neural-network layers with exact manual backward passes.
+//!
+//! Every layer implements [`Layer`]: `forward` consumes an [`Act`] and, in
+//! [`Mode::Train`], caches whatever its `backward` needs; `backward`
+//! consumes the output gradient and returns the input gradient while
+//! accumulating parameter gradients. Containers ([`Sequential`],
+//! [`Residual`]) recurse; factorizable layers expose their
+//! [`FactorableWeight`]s through [`Layer::visit_weights`] so the
+//! `cuttlefish` crate can track spectra and perform the mid-training
+//! factorization swap.
+
+mod act_fn;
+mod attention;
+mod container;
+mod conv;
+mod dropout;
+mod embedding;
+mod linear;
+mod norm;
+mod pool;
+mod seq_ops;
+
+pub use act_fn::{Gelu, Relu};
+pub use attention::MultiHeadAttention;
+pub use container::{Residual, Sequential};
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use embedding::{Embedding, PosEmbedding};
+pub use linear::Linear;
+pub use norm::{BatchNorm2d, LayerNorm};
+pub use pool::{GlobalAvgPool, MaxPool2d};
+pub use seq_ops::{ImageToSeq, SeqMeanPool, TakeToken, TokenTranspose};
+
+use crate::weight::FactorableWeight;
+use crate::{Act, Mode, NnResult, Param};
+
+/// A differentiable network layer.
+///
+/// The contract: a train-mode `forward` must precede each `backward`, and
+/// caches are consumed by `backward` (one forward, one backward per step).
+pub trait Layer: std::fmt::Debug {
+    /// Unique (within the network) name of this layer, used to address
+    /// factorization targets, e.g. `"stack2.block0.conv1"`.
+    fn name(&self) -> &str;
+
+    /// Computes the layer output. In train mode, caches state for
+    /// [`Layer::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`crate::NnError::BadActivation`] when handed
+    /// an activation of the wrong kind or width.
+    fn forward(&mut self, x: Act, mode: Mode) -> NnResult<Act>;
+
+    /// Propagates the output gradient, accumulating parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::MissingCache`] when no train-mode forward
+    /// preceded this call.
+    fn backward(&mut self, dy: Act) -> NnResult<Act>;
+
+    /// Visits every trainable parameter in a deterministic order.
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    /// Visits every factorable weight, passing its fully-qualified name.
+    fn visit_weights(&mut self, _f: &mut dyn FnMut(&str, &mut FactorableWeight)) {}
+
+    /// Visits every BatchNorm scale/shift pair `(γ, β)` with the owning
+    /// layer's name — used by structured-pruning baselines (network
+    /// slimming / EB-Train) that rank channels by `|γ|`.
+    fn visit_gammas(&mut self, _f: &mut dyn FnMut(&str, &mut Param, &mut Param)) {}
+}
+
+/// Boxed layer, the unit of composition in [`Sequential`].
+pub type BoxedLayer = Box<dyn Layer + Send>;

@@ -1,0 +1,319 @@
+use super::Layer;
+use crate::weight::BatchNormCore;
+use crate::{Act, Mode, NnError, NnResult, Param};
+use cuttlefish_tensor::Matrix;
+
+/// Spatial batch normalization over image activations, normalizing each
+/// channel over `(batch, h, w)`.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    name: String,
+    core: BatchNormCore,
+    cache_dims: Option<(usize, usize, usize, usize)>,
+}
+
+impl BatchNorm2d {
+    /// Creates a BatchNorm over `channels` feature maps.
+    pub fn new(name: impl Into<String>, channels: usize) -> Self {
+        BatchNorm2d {
+            name: name.into(),
+            core: BatchNormCore::new(channels),
+            cache_dims: None,
+        }
+    }
+
+    /// Scale parameter γ — exposed because structured-pruning baselines
+    /// (EB-Train / network slimming) rank channels by |γ|.
+    pub fn gamma(&self) -> &Param {
+        &self.core.gamma
+    }
+
+    /// Converts `(B, c·h·w)` image data into `(B·h·w, c)` position rows.
+    fn image_to_positions(img: &Matrix, c: usize, h: usize, w: usize) -> Matrix {
+        let b = img.rows();
+        let hw = h * w;
+        let mut out = Matrix::zeros(b * hw, c);
+        for bi in 0..b {
+            let src = img.row(bi);
+            for p in 0..hw {
+                let dst = out.row_mut(bi * hw + p);
+                for (ci, slot) in dst.iter_mut().enumerate() {
+                    *slot = src[ci * hw + p];
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`BatchNorm2d::image_to_positions`].
+    fn positions_to_image(pos: &Matrix, b: usize, c: usize, h: usize, w: usize) -> Matrix {
+        let hw = h * w;
+        let mut out = Matrix::zeros(b, c * hw);
+        for bi in 0..b {
+            let dst = out.row_mut(bi);
+            for p in 0..hw {
+                let src = pos.row(bi * hw + p);
+                for ci in 0..c {
+                    dst[ci * hw + p] = src[ci];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Act, mode: Mode) -> NnResult<Act> {
+        let (c, h, w) = x.expect_image(&self.name)?;
+        if c != self.core.channels() {
+            return Err(NnError::BadActivation {
+                layer: self.name.clone(),
+                detail: format!("expected {} channels, got {c}", self.core.channels()),
+            });
+        }
+        let b = x.data().rows();
+        let pos = Self::image_to_positions(x.data(), c, h, w);
+        let y = self.core.forward(&pos, mode)?;
+        if mode.is_train() {
+            self.cache_dims = Some((b, c, h, w));
+        }
+        Act::image(Self::positions_to_image(&y, b, c, h, w), c, h, w)
+    }
+
+    fn backward(&mut self, dy: Act) -> NnResult<Act> {
+        let (b, c, h, w) = self.cache_dims.take().ok_or_else(|| NnError::MissingCache {
+            layer: self.name.clone(),
+        })?;
+        let pos = Self::image_to_positions(dy.data(), c, h, w);
+        let dx = self.core.backward(&pos)?;
+        Act::image(Self::positions_to_image(&dx, b, c, h, w), c, h, w)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.core.visit_params(f);
+    }
+
+    fn visit_gammas(&mut self, f: &mut dyn FnMut(&str, &mut Param, &mut Param)) {
+        f(&self.name, &mut self.core.gamma, &mut self.core.beta);
+    }
+}
+
+/// Per-row layer normalization with learnable scale/shift, as used by the
+/// transformer and mixer models.
+#[derive(Debug)]
+pub struct LayerNorm {
+    name: String,
+    gamma: Param,
+    beta: Param,
+    eps: f32,
+    cache: Option<LnCache>,
+}
+
+#[derive(Debug)]
+struct LnCache {
+    x_hat: Matrix,
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Creates a LayerNorm over rows of width `dim`.
+    pub fn new(name: impl Into<String>, dim: usize) -> Self {
+        LayerNorm {
+            name: name.into(),
+            gamma: Param::new_no_decay(Matrix::from_fn(1, dim, |_, _| 1.0)),
+            beta: Param::new_no_decay(Matrix::zeros(1, dim)),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for LayerNorm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Act, mode: Mode) -> NnResult<Act> {
+        let d = self.gamma.value.cols();
+        if x.data().cols() != d {
+            return Err(NnError::BadActivation {
+                layer: self.name.clone(),
+                detail: format!("expected width {d}, got {}", x.data().cols()),
+            });
+        }
+        let n = x.data().rows();
+        let mut out = Matrix::zeros(n, d);
+        let mut x_hat = Matrix::zeros(n, d);
+        let mut inv_stds = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = x.data().row(i);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds.push(inv_std);
+            for j in 0..d {
+                let xh = (row[j] - mean) * inv_std;
+                x_hat.set(i, j, xh);
+                out.set(i, j, self.gamma.value.get(0, j) * xh + self.beta.value.get(0, j));
+            }
+        }
+        if mode.is_train() {
+            self.cache = Some(LnCache {
+                x_hat,
+                inv_std: inv_stds,
+            });
+        }
+        x.with_data(out)
+    }
+
+    fn backward(&mut self, dy: Act) -> NnResult<Act> {
+        let cache = self.cache.take().ok_or_else(|| NnError::MissingCache {
+            layer: self.name.clone(),
+        })?;
+        let d = self.gamma.value.cols();
+        let n = dy.data().rows();
+        let mut dx = Matrix::zeros(n, d);
+        for i in 0..n {
+            let dyrow = dy.data().row(i);
+            let xrow = cache.x_hat.row(i);
+            let mut sum_dyg = 0.0f32;
+            let mut sum_dyg_xhat = 0.0f32;
+            for j in 0..d {
+                let g = self.gamma.value.get(0, j);
+                sum_dyg += dyrow[j] * g;
+                sum_dyg_xhat += dyrow[j] * g * xrow[j];
+                self.gamma
+                    .grad
+                    .set(0, j, self.gamma.grad.get(0, j) + dyrow[j] * xrow[j]);
+                self.beta.grad.set(0, j, self.beta.grad.get(0, j) + dyrow[j]);
+            }
+            for j in 0..d {
+                let g = self.gamma.value.get(0, j);
+                let val = cache.inv_std[i] / d as f32
+                    * (d as f32 * dyrow[j] * g - sum_dyg - xrow[j] * sum_dyg_xhat);
+                dx.set(i, j, val);
+            }
+        }
+        dy.with_data(dx)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuttlefish_tensor::init::randn_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bn2d_normalizes_per_channel() {
+        let mut bn = BatchNorm2d::new("bn", 2);
+        // Channel 0 constant 5, channel 1 ramp.
+        let img = Matrix::from_fn(3, 2 * 4, |_, j| if j < 4 { 5.0 } else { j as f32 });
+        let x = Act::image(img, 2, 2, 2).unwrap();
+        let y = bn.forward(x, Mode::Train).unwrap();
+        // Channel 0 was constant ⇒ normalized to ~0 everywhere.
+        for b in 0..3 {
+            for p in 0..4 {
+                assert!(y.data().get(b, p).abs() < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn bn2d_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = randn_matrix(2, 2 * 9, 1.0, &mut rng);
+        let mut bn = BatchNorm2d::new("bn", 2);
+        let y = bn
+            .forward(Act::image(x.clone(), 2, 3, 3).unwrap(), Mode::Train)
+            .unwrap();
+        let dx = bn.backward(y).unwrap();
+        let eps = 1e-2f32;
+        for (i, j) in [(0usize, 0usize), (1, 10)] {
+            let loss = |x: &Matrix| -> f32 {
+                let mut bn = BatchNorm2d::new("bn", 2);
+                let y = bn
+                    .forward(Act::image(x.clone(), 2, 3, 3).unwrap(), Mode::Train)
+                    .unwrap();
+                y.data().as_slice().iter().map(|v| v * v / 2.0).sum()
+            };
+            let mut xp = x.clone();
+            xp.set(i, j, x.get(i, j) + eps);
+            let mut xm = x.clone();
+            xm.set(i, j, x.get(i, j) - eps);
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!(
+                (dx.data().get(i, j) - fd).abs() < 3e-2 * fd.abs().max(1.0),
+                "dx[{i},{j}]={} fd={fd}",
+                dx.data().get(i, j)
+            );
+        }
+    }
+
+    #[test]
+    fn layernorm_rows_standardized() {
+        let mut ln = LayerNorm::new("ln", 4);
+        let x = Act::flat(Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0]]).unwrap());
+        let y = ln.forward(x, Mode::Eval).unwrap();
+        let row = y.data().row(0);
+        let mean: f32 = row.iter().sum::<f32>() / 4.0;
+        let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layernorm_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = randn_matrix(3, 5, 1.0, &mut rng);
+        let mut ln = LayerNorm::new("ln", 5);
+        ln.gamma.value.set(0, 2, 1.7);
+        let y = ln.forward(Act::flat(x.clone()), Mode::Train).unwrap();
+        let dx = ln.backward(y).unwrap();
+        let eps = 1e-2f32;
+        for (i, j) in [(0usize, 0usize), (2, 4)] {
+            let loss = |x: &Matrix| -> f32 {
+                let mut ln = LayerNorm::new("ln", 5);
+                ln.gamma.value.set(0, 2, 1.7);
+                let y = ln.forward(Act::flat(x.clone()), Mode::Eval).unwrap();
+                y.data().as_slice().iter().map(|v| v * v / 2.0).sum()
+            };
+            let mut xp = x.clone();
+            xp.set(i, j, x.get(i, j) + eps);
+            let mut xm = x.clone();
+            xm.set(i, j, x.get(i, j) - eps);
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!(
+                (dx.data().get(i, j) - fd).abs() < 3e-2 * fd.abs().max(1.0),
+                "dx[{i},{j}]={} fd={fd}",
+                dx.data().get(i, j)
+            );
+        }
+    }
+
+    #[test]
+    fn bn2d_rejects_flat() {
+        let mut bn = BatchNorm2d::new("bn", 2);
+        assert!(bn.forward(Act::flat(Matrix::zeros(1, 8)), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut bn = BatchNorm2d::new("bn", 1);
+        assert!(bn
+            .backward(Act::image(Matrix::zeros(1, 4), 1, 2, 2).unwrap())
+            .is_err());
+        let mut ln = LayerNorm::new("ln", 4);
+        assert!(ln.backward(Act::flat(Matrix::zeros(1, 4))).is_err());
+    }
+}

@@ -1,0 +1,224 @@
+use super::Layer;
+use crate::{Act, Mode, NnError, NnResult};
+use cuttlefish_tensor::Matrix;
+
+/// Max pooling over image activations with square kernel and stride.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    name: String,
+    kernel: usize,
+    stride: usize,
+    /// (b, c, h, w, oh, ow, argmax indices into the input image row).
+    cache: Option<(usize, usize, usize, usize, usize, usize, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0` or `stride == 0`.
+    pub fn new(name: impl Into<String>, kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        MaxPool2d {
+            name: name.into(),
+            kernel,
+            stride,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Act, mode: Mode) -> NnResult<Act> {
+        let (c, h, w) = x.expect_image(&self.name)?;
+        if h < self.kernel || w < self.kernel {
+            return Err(NnError::BadActivation {
+                layer: self.name.clone(),
+                detail: format!("{h}x{w} input smaller than {0}x{0} kernel", self.kernel),
+            });
+        }
+        let b = x.data().rows();
+        let oh = (h - self.kernel) / self.stride + 1;
+        let ow = (w - self.kernel) / self.stride + 1;
+        let mut out = Matrix::zeros(b, c * oh * ow);
+        let mut argmax = vec![0usize; b * c * oh * ow];
+        for bi in 0..b {
+            let src = x.data().row(bi);
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let iy = oy * self.stride + ky;
+                                let ix = ox * self.stride + kx;
+                                let idx = ci * h * w + iy * w + ix;
+                                if src[idx] > best {
+                                    best = src[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let oidx = ci * oh * ow + oy * ow + ox;
+                        out.set(bi, oidx, best);
+                        argmax[bi * c * oh * ow + oidx] = best_idx;
+                    }
+                }
+            }
+        }
+        if mode.is_train() {
+            self.cache = Some((b, c, h, w, oh, ow, argmax));
+        }
+        Act::image(out, c, oh, ow)
+    }
+
+    fn backward(&mut self, dy: Act) -> NnResult<Act> {
+        let (b, c, h, w, oh, ow, argmax) =
+            self.cache.take().ok_or_else(|| NnError::MissingCache {
+                layer: self.name.clone(),
+            })?;
+        let mut dx = Matrix::zeros(b, c * h * w);
+        for bi in 0..b {
+            let drow = dy.data().row(bi);
+            let dst = dx.row_mut(bi);
+            for oidx in 0..c * oh * ow {
+                dst[argmax[bi * c * oh * ow + oidx]] += drow[oidx];
+            }
+        }
+        Act::image(dx, c, h, w)
+    }
+}
+
+/// Global average pooling: image `(B, C·H·W)` → flat `(B, C)`.
+#[derive(Debug)]
+pub struct GlobalAvgPool {
+    name: String,
+    cache_dims: Option<(usize, usize, usize)>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pool layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        GlobalAvgPool {
+            name: name.into(),
+            cache_dims: None,
+        }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Act, mode: Mode) -> NnResult<Act> {
+        let (c, h, w) = x.expect_image(&self.name)?;
+        let b = x.data().rows();
+        let hw = (h * w) as f32;
+        let mut out = Matrix::zeros(b, c);
+        for bi in 0..b {
+            let src = x.data().row(bi);
+            for ci in 0..c {
+                let sum: f32 = src[ci * h * w..(ci + 1) * h * w].iter().sum();
+                out.set(bi, ci, sum / hw);
+            }
+        }
+        if mode.is_train() {
+            self.cache_dims = Some((c, h, w));
+        }
+        Ok(Act::flat(out))
+    }
+
+    fn backward(&mut self, dy: Act) -> NnResult<Act> {
+        let (c, h, w) = self.cache_dims.take().ok_or_else(|| NnError::MissingCache {
+            layer: self.name.clone(),
+        })?;
+        let b = dy.data().rows();
+        let hw = (h * w) as f32;
+        let mut dx = Matrix::zeros(b, c * h * w);
+        for bi in 0..b {
+            let drow = dy.data().row(bi);
+            let dst = dx.row_mut(bi);
+            for ci in 0..c {
+                let g = drow[ci] / hw;
+                for p in 0..h * w {
+                    dst[ci * h * w + p] = g;
+                }
+            }
+        }
+        Act::image(dx, c, h, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_max() {
+        let mut p = MaxPool2d::new("mp", 2, 2);
+        // 1 channel 4x4 ramp.
+        let img = Matrix::from_fn(1, 16, |_, j| j as f32);
+        let y = p
+            .forward(Act::image(img, 1, 4, 4).unwrap(), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.expect_image("t").unwrap(), (1, 2, 2));
+        assert_eq!(y.data().row(0), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new("mp", 2, 2);
+        let img = Matrix::from_fn(1, 16, |_, j| j as f32);
+        let _ = p
+            .forward(Act::image(img, 1, 4, 4).unwrap(), Mode::Train)
+            .unwrap();
+        let dy = Matrix::from_fn(1, 4, |_, j| (j + 1) as f32);
+        let dx = p.backward(Act::image(dy, 1, 2, 2).unwrap()).unwrap();
+        // Gradient lands only at positions 5, 7, 13, 15.
+        let row = dx.data().row(0);
+        assert_eq!(row[5], 1.0);
+        assert_eq!(row[7], 2.0);
+        assert_eq!(row[13], 3.0);
+        assert_eq!(row[15], 4.0);
+        assert_eq!(row.iter().sum::<f32>(), 10.0);
+    }
+
+    #[test]
+    fn maxpool_rejects_small_input() {
+        let mut p = MaxPool2d::new("mp", 3, 3);
+        let img = Matrix::zeros(1, 4);
+        assert!(p.forward(Act::image(img, 1, 2, 2).unwrap(), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn gap_means_channels() {
+        let mut g = GlobalAvgPool::new("gap");
+        let img = Matrix::from_fn(2, 2 * 4, |_, j| if j < 4 { 2.0 } else { 6.0 });
+        let y = g
+            .forward(Act::image(img, 2, 2, 2).unwrap(), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.data().shape(), (2, 2));
+        assert_eq!(y.data().get(0, 0), 2.0);
+        assert_eq!(y.data().get(1, 1), 6.0);
+    }
+
+    #[test]
+    fn gap_backward_broadcasts() {
+        let mut g = GlobalAvgPool::new("gap");
+        let img = Matrix::zeros(1, 8);
+        let _ = g
+            .forward(Act::image(img, 2, 2, 2).unwrap(), Mode::Train)
+            .unwrap();
+        let dy = Matrix::from_rows(&[vec![4.0, 8.0]]).unwrap();
+        let dx = g.backward(Act::flat(dy)).unwrap();
+        assert_eq!(dx.data().row(0)[..4], [1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(dx.data().row(0)[4..], [2.0, 2.0, 2.0, 2.0]);
+    }
+}

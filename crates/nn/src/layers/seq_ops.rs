@@ -1,0 +1,311 @@
+use super::Layer;
+use crate::{Act, Mode, NnError, NnResult};
+use cuttlefish_tensor::Matrix;
+
+/// Converts an image activation into a token sequence: each spatial
+/// position becomes one token with `channels` features — the reshape half
+/// of a transformer/mixer patch-embedding (the conv half is a strided
+/// [`super::Conv2d`]).
+#[derive(Debug)]
+pub struct ImageToSeq {
+    name: String,
+    cache_dims: Option<(usize, usize, usize)>,
+}
+
+impl ImageToSeq {
+    /// Creates the reshape layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        ImageToSeq {
+            name: name.into(),
+            cache_dims: None,
+        }
+    }
+}
+
+impl Layer for ImageToSeq {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Act, mode: Mode) -> NnResult<Act> {
+        let (c, h, w) = x.expect_image(&self.name)?;
+        let b = x.data().rows();
+        let tokens = h * w;
+        let mut out = Matrix::zeros(b * tokens, c);
+        for bi in 0..b {
+            let src = x.data().row(bi);
+            for t in 0..tokens {
+                let dst = out.row_mut(bi * tokens + t);
+                for (ci, slot) in dst.iter_mut().enumerate() {
+                    *slot = src[ci * tokens + t];
+                }
+            }
+        }
+        if mode.is_train() {
+            self.cache_dims = Some((c, h, w));
+        }
+        Act::seq(out, b, tokens)
+    }
+
+    fn backward(&mut self, dy: Act) -> NnResult<Act> {
+        let (c, h, w) = self.cache_dims.take().ok_or_else(|| NnError::MissingCache {
+            layer: self.name.clone(),
+        })?;
+        let (b, tokens) = dy.expect_seq(&self.name)?;
+        let mut dx = Matrix::zeros(b, c * h * w);
+        for bi in 0..b {
+            let dst = dx.row_mut(bi);
+            for t in 0..tokens {
+                let src = dy.data().row(bi * tokens + t);
+                for ci in 0..c {
+                    dst[ci * tokens + t] = src[ci];
+                }
+            }
+        }
+        Act::image(dx, c, h, w)
+    }
+}
+
+/// Transposes tokens and channels per sequence: `(B, T, D) → (B, D, T)`.
+///
+/// Used by the MLP-Mixer/ResMLP token-mixing sublayer: a [`super::Linear`]
+/// applied after this transpose mixes information *across tokens*.
+#[derive(Debug)]
+pub struct TokenTranspose {
+    name: String,
+}
+
+impl TokenTranspose {
+    /// Creates the transpose layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        TokenTranspose { name: name.into() }
+    }
+
+    fn apply(&self, x: &Act) -> NnResult<Act> {
+        let (b, tokens) = x.expect_seq(&self.name)?;
+        let d = x.data().cols();
+        let mut out = Matrix::zeros(b * d, tokens);
+        for bi in 0..b {
+            for t in 0..tokens {
+                let src = x.data().row(bi * tokens + t);
+                for di in 0..d {
+                    out.set(bi * d + di, t, src[di]);
+                }
+            }
+        }
+        Act::seq(out, b, d)
+    }
+}
+
+impl Layer for TokenTranspose {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Act, _mode: Mode) -> NnResult<Act> {
+        self.apply(&x)
+    }
+
+    fn backward(&mut self, dy: Act) -> NnResult<Act> {
+        // The transpose is an involution; its adjoint is itself.
+        self.apply(&dy)
+    }
+}
+
+/// Mean-pools a sequence over tokens: `(B·T, D) → (B, D)`.
+#[derive(Debug)]
+pub struct SeqMeanPool {
+    name: String,
+    cache_tokens: Option<usize>,
+}
+
+impl SeqMeanPool {
+    /// Creates the pooling layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        SeqMeanPool {
+            name: name.into(),
+            cache_tokens: None,
+        }
+    }
+}
+
+impl Layer for SeqMeanPool {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Act, mode: Mode) -> NnResult<Act> {
+        let (b, tokens) = x.expect_seq(&self.name)?;
+        let d = x.data().cols();
+        let mut out = Matrix::zeros(b, d);
+        for bi in 0..b {
+            for t in 0..tokens {
+                let src = x.data().row(bi * tokens + t);
+                let dst = out.row_mut(bi);
+                for j in 0..d {
+                    dst[j] += src[j] / tokens as f32;
+                }
+            }
+        }
+        if mode.is_train() {
+            self.cache_tokens = Some(tokens);
+        }
+        Ok(Act::flat(out))
+    }
+
+    fn backward(&mut self, dy: Act) -> NnResult<Act> {
+        let tokens = self.cache_tokens.take().ok_or_else(|| NnError::MissingCache {
+            layer: self.name.clone(),
+        })?;
+        let b = dy.data().rows();
+        let d = dy.data().cols();
+        let mut dx = Matrix::zeros(b * tokens, d);
+        for bi in 0..b {
+            let src = dy.data().row(bi);
+            for t in 0..tokens {
+                let dst = dx.row_mut(bi * tokens + t);
+                for j in 0..d {
+                    dst[j] = src[j] / tokens as f32;
+                }
+            }
+        }
+        Act::seq(dx, b, tokens)
+    }
+}
+
+/// Selects a single token per sequence (e.g. the `[CLS]` token for BERT
+/// classification heads): `(B·T, D) → (B, D)`.
+#[derive(Debug)]
+pub struct TakeToken {
+    name: String,
+    index: usize,
+    cache_tokens: Option<usize>,
+}
+
+impl TakeToken {
+    /// Creates a layer selecting token `index`.
+    pub fn new(name: impl Into<String>, index: usize) -> Self {
+        TakeToken {
+            name: name.into(),
+            index,
+            cache_tokens: None,
+        }
+    }
+}
+
+impl Layer for TakeToken {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Act, mode: Mode) -> NnResult<Act> {
+        let (b, tokens) = x.expect_seq(&self.name)?;
+        if self.index >= tokens {
+            return Err(NnError::BadActivation {
+                layer: self.name.clone(),
+                detail: format!("token index {} out of range 0..{tokens}", self.index),
+            });
+        }
+        let d = x.data().cols();
+        let mut out = Matrix::zeros(b, d);
+        for bi in 0..b {
+            out.row_mut(bi)
+                .copy_from_slice(x.data().row(bi * tokens + self.index));
+        }
+        if mode.is_train() {
+            self.cache_tokens = Some(tokens);
+        }
+        Ok(Act::flat(out))
+    }
+
+    fn backward(&mut self, dy: Act) -> NnResult<Act> {
+        let tokens = self.cache_tokens.take().ok_or_else(|| NnError::MissingCache {
+            layer: self.name.clone(),
+        })?;
+        let b = dy.data().rows();
+        let d = dy.data().cols();
+        let mut dx = Matrix::zeros(b * tokens, d);
+        for bi in 0..b {
+            dx.row_mut(bi * tokens + self.index)
+                .copy_from_slice(dy.data().row(bi));
+        }
+        Act::seq(dx, b, tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_to_seq_roundtrip() {
+        let img = Matrix::from_fn(2, 3 * 4, |i, j| (i * 100 + j) as f32);
+        let mut l = ImageToSeq::new("i2s");
+        let seq = l
+            .forward(Act::image(img.clone(), 3, 2, 2).unwrap(), Mode::Train)
+            .unwrap();
+        assert_eq!(seq.expect_seq("t").unwrap(), (2, 4));
+        assert_eq!(seq.data().shape(), (8, 3));
+        // Token 0 of batch 0 = channel values at position 0: 0, 4, 8.
+        assert_eq!(seq.data().row(0), &[0.0, 4.0, 8.0]);
+        // Backward of the forward output returns the original image.
+        let back = l.backward(seq).unwrap();
+        assert_eq!(back.data(), &img);
+    }
+
+    #[test]
+    fn token_transpose_involution() {
+        let data = Matrix::from_fn(6, 4, |i, j| (i * 10 + j) as f32);
+        let x = Act::seq(data.clone(), 2, 3).unwrap();
+        let mut t = TokenTranspose::new("tt");
+        let y = t.forward(x, Mode::Train).unwrap();
+        assert_eq!(y.expect_seq("t").unwrap(), (2, 4));
+        assert_eq!(y.data().shape(), (8, 3));
+        let back = t.backward(y).unwrap();
+        assert_eq!(back.data(), &data);
+    }
+
+    #[test]
+    fn seq_mean_pool_averages() {
+        let data = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![10.0, 20.0],
+            vec![30.0, 40.0],
+        ])
+        .unwrap();
+        let x = Act::seq(data, 2, 2).unwrap();
+        let mut p = SeqMeanPool::new("pool");
+        let y = p.forward(x, Mode::Train).unwrap();
+        assert_eq!(y.data().row(0), &[2.0, 3.0]);
+        assert_eq!(y.data().row(1), &[20.0, 30.0]);
+        let dx = p
+            .backward(Act::flat(Matrix::from_rows(&[vec![2.0, 2.0], vec![4.0, 4.0]]).unwrap()))
+            .unwrap();
+        assert_eq!(dx.data().row(0), &[1.0, 1.0]);
+        assert_eq!(dx.data().row(3), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn take_token_selects_and_scatters() {
+        let data = Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f32);
+        let x = Act::seq(data, 2, 2).unwrap();
+        let mut t = TakeToken::new("cls", 0);
+        let y = t.forward(x, Mode::Train).unwrap();
+        assert_eq!(y.data().row(0), &[0.0, 1.0]);
+        assert_eq!(y.data().row(1), &[4.0, 5.0]);
+        let dx = t
+            .backward(Act::flat(Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0]]).unwrap()))
+            .unwrap();
+        assert_eq!(dx.data().row(0), &[1.0, 1.0]);
+        assert_eq!(dx.data().row(1), &[0.0, 0.0]);
+        assert_eq!(dx.data().row(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn take_token_rejects_out_of_range() {
+        let x = Act::seq(Matrix::zeros(4, 2), 2, 2).unwrap();
+        let mut t = TakeToken::new("cls", 5);
+        assert!(t.forward(x, Mode::Eval).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! From-scratch neural-network substrate for the Cuttlefish reproduction.
+//!
+//! The Cuttlefish algorithm (Wang et al., MLSys 2023) switches a network
+//! from **full-rank** to **low-rank factorized** training *mid-run*. That
+//! requirement shapes this crate's central abstraction: every weight that
+//! the paper tracks lives behind a [`weight::FactorableWeight`], which is
+//! either a dense matrix `W` or a factored pair `(U, Vᵀ)` with an optional
+//! extra BatchNorm between the factors (§4.1 "Extra BatchNorm layers").
+//! Swapping state is an `O(1)` operation performed by the `cuttlefish`
+//! crate once the stable ranks converge.
+//!
+//! The rest of the crate is a compact but complete training stack:
+//!
+//! * [`layers`] — convolution (via im2col), linear, batch/layer norm,
+//!   activations, pooling, embeddings, multi-head attention, mixer blocks,
+//!   residual and sequential containers; every layer has an exact manual
+//!   backward pass (gradient-checked in the test suite).
+//! * [`loss`] — softmax cross-entropy (with label smoothing), MSE, and
+//!   masked-LM cross-entropy.
+//! * [`optim`] — SGD with momentum and AdamW, with optimizer slots stored
+//!   *inside* each [`Param`] so the full→low-rank swap composes cleanly.
+//! * [`schedule`] — linear warmup + multi-step decay (the Goyal et al.
+//!   schedule used for CIFAR/ImageNet) and cosine decay (DeiT/ResMLP).
+//! * [`models`] — micro versions of the paper's architectures
+//!   (ResNet-18/50, WideResNet-50-2, VGG-19, DeiT, ResMLP, BERT) that keep
+//!   the original stack topology at laptop scale.
+//!
+//! # Example
+//!
+//! ```
+//! use cuttlefish_nn::models::{MicroResNetConfig, build_micro_resnet18};
+//! use cuttlefish_nn::{Act, Mode};
+//! use cuttlefish_tensor::Matrix;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), cuttlefish_nn::NnError> {
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let cfg = MicroResNetConfig::tiny(10);
+//! let mut net = build_micro_resnet18(&cfg, &mut rng);
+//! let x = Act::image(Matrix::zeros(2, 3 * 8 * 8), 3, 8, 8)?;
+//! let logits = net.forward(x, Mode::Eval)?;
+//! assert_eq!(logits.data().shape(), (2, 10));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod act;
+mod error;
+mod network;
+mod param;
+
+pub mod checkpoint;
+pub mod layers;
+pub mod loss;
+pub mod models;
+pub mod optim;
+pub mod schedule;
+pub mod weight;
+
+pub use act::{Act, ActKind};
+pub use error::NnError;
+pub use network::{Network, TargetInfo, TargetKind};
+pub use param::Param;
+
+/// Result alias for fallible network operations.
+pub type NnResult<T> = std::result::Result<T, NnError>;
+
+/// Whether a forward pass is part of training (updates BN statistics,
+/// caches activations for backward) or evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Training mode: batch statistics, caches kept for backprop.
+    Train,
+    /// Inference mode: running statistics, no caches required.
+    #[default]
+    Eval,
+}
+
+impl Mode {
+    /// True when in [`Mode::Train`].
+    pub fn is_train(self) -> bool {
+        matches!(self, Mode::Train)
+    }
+}

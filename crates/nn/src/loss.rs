@@ -1,0 +1,266 @@
+//! Loss functions.
+//!
+//! Each loss returns both the scalar loss and the gradient with respect to
+//! the logits, averaged over the batch, ready to feed into
+//! [`crate::Network::backward`].
+
+use crate::{NnError, NnResult};
+use cuttlefish_tensor::Matrix;
+
+/// Numerically-stable row-wise log-softmax.
+fn log_softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(logits.rows(), logits.cols());
+    for i in 0..logits.rows() {
+        let row = logits.row(i);
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let logsum = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+        let dst = out.row_mut(i);
+        for (j, &v) in row.iter().enumerate() {
+            dst[j] = v - logsum;
+        }
+    }
+    out
+}
+
+/// Softmax cross-entropy with optional label smoothing.
+///
+/// With smoothing `s`, the target distribution is
+/// `(1 − s)·one_hot + s/C` (the formulation used for the paper's ImageNet
+/// runs, §4.1). Returns `(mean loss, d loss / d logits)`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadConfig`] when the label count disagrees with the
+/// batch, a label is out of range, or `smoothing ∉ [0, 1)`.
+pub fn cross_entropy(
+    logits: &Matrix,
+    labels: &[usize],
+    smoothing: f32,
+) -> NnResult<(f32, Matrix)> {
+    let (n, c) = logits.shape();
+    if labels.len() != n {
+        return Err(NnError::BadConfig {
+            detail: format!("{} labels for batch of {n}", labels.len()),
+        });
+    }
+    if !(0.0..1.0).contains(&smoothing) {
+        return Err(NnError::BadConfig {
+            detail: format!("label smoothing {smoothing} outside [0, 1)"),
+        });
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= c) {
+        return Err(NnError::BadConfig {
+            detail: format!("label {bad} out of range for {c} classes"),
+        });
+    }
+    let logp = log_softmax_rows(logits);
+    let off = smoothing / c as f32;
+    let on = 1.0 - smoothing + off;
+    let mut loss = 0.0f64;
+    let mut grad = Matrix::zeros(n, c);
+    for i in 0..n {
+        let lp = logp.row(i);
+        let mut row_loss = 0.0f64;
+        for j in 0..c {
+            let target = if j == labels[i] { on } else { off };
+            row_loss -= (target * lp[j]) as f64;
+            // d/dlogit = softmax - target.
+            grad.set(i, j, (lp[j].exp() - target) / n as f32);
+        }
+        loss += row_loss;
+    }
+    Ok(((loss / n as f64) as f32, grad))
+}
+
+/// Mean squared error `mean((y − t)²)`; returns `(loss, d loss / d y)`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadConfig`] on shape mismatch.
+pub fn mse(y: &Matrix, target: &Matrix) -> NnResult<(f32, Matrix)> {
+    if y.shape() != target.shape() {
+        return Err(NnError::BadConfig {
+            detail: format!("mse shapes {:?} vs {:?}", y.shape(), target.shape()),
+        });
+    }
+    let n = y.len().max(1) as f32;
+    let diff = y.sub(target)?;
+    let loss = (diff.frobenius_norm_sq() / n as f64) as f32;
+    let grad = diff.scale(2.0 / n);
+    Ok((loss, grad))
+}
+
+/// Masked-LM cross-entropy: rows of `logits` are `(B·T, vocab)` token
+/// predictions; only positions where `mask[i]` is true contribute, with
+/// `targets[i]` giving the original token id there. Returns
+/// `(mean loss over masked positions, gradient)`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadConfig`] when lengths disagree, no position is
+/// masked, or a target id is out of the vocabulary.
+pub fn masked_lm_loss(
+    logits: &Matrix,
+    targets: &[usize],
+    mask: &[bool],
+) -> NnResult<(f32, Matrix)> {
+    let (n, vocab) = logits.shape();
+    if targets.len() != n || mask.len() != n {
+        return Err(NnError::BadConfig {
+            detail: format!(
+                "mlm lengths: {} logits rows, {} targets, {} mask entries",
+                n,
+                targets.len(),
+                mask.len()
+            ),
+        });
+    }
+    let count = mask.iter().filter(|&&m| m).count();
+    if count == 0 {
+        return Err(NnError::BadConfig {
+            detail: "mlm loss needs at least one masked position".to_string(),
+        });
+    }
+    let logp = log_softmax_rows(logits);
+    let mut loss = 0.0f64;
+    let mut grad = Matrix::zeros(n, vocab);
+    for i in 0..n {
+        if !mask[i] {
+            continue;
+        }
+        if targets[i] >= vocab {
+            return Err(NnError::BadConfig {
+                detail: format!("mlm target {} out of vocab {vocab}", targets[i]),
+            });
+        }
+        let lp = logp.row(i);
+        loss -= lp[targets[i]] as f64;
+        let dst = grad.row_mut(i);
+        for j in 0..vocab {
+            let target = if j == targets[i] { 1.0 } else { 0.0 };
+            dst[j] = (lp[j].exp() - target) / count as f32;
+        }
+    }
+    Ok(((loss / count as f64) as f32, grad))
+}
+
+/// Classification accuracy of `logits` against `labels`, in `[0, 1]`.
+pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f32 {
+    if logits.rows() == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for i in 0..logits.rows() {
+        let row = logits.row(i);
+        let mut best = 0usize;
+        for j in 1..row.len() {
+            if row[j] > row[best] {
+                best = j;
+            }
+        }
+        if labels.get(i) == Some(&best) {
+            correct += 1;
+        }
+    }
+    correct as f32 / logits.rows() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        // Uniform logits ⇒ loss = ln(C).
+        let logits = Matrix::zeros(3, 4);
+        let (loss, grad) = cross_entropy(&logits, &[0, 1, 2], 0.0).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        // Gradient rows sum to zero.
+        for i in 0..3 {
+            let s: f32 = grad.row(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_is_small() {
+        let mut logits = Matrix::zeros(1, 3);
+        logits.set(0, 2, 20.0);
+        let (loss, _) = cross_entropy(&logits, &[2], 0.0).unwrap();
+        assert!(loss < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck() {
+        let logits = Matrix::from_rows(&[vec![0.3, -0.7, 1.1]]).unwrap();
+        let (_, grad) = cross_entropy(&logits, &[1], 0.1).unwrap();
+        let eps = 1e-3f32;
+        for j in 0..3 {
+            let mut lp = logits.clone();
+            lp.set(0, j, logits.get(0, j) + eps);
+            let mut lm = logits.clone();
+            lm.set(0, j, logits.get(0, j) - eps);
+            let (lp_loss, _) = cross_entropy(&lp, &[1], 0.1).unwrap();
+            let (lm_loss, _) = cross_entropy(&lm, &[1], 0.1).unwrap();
+            let fd = (lp_loss - lm_loss) / (2.0 * eps);
+            assert!((grad.get(0, j) - fd).abs() < 1e-3, "j={j}");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validates() {
+        let logits = Matrix::zeros(2, 3);
+        assert!(cross_entropy(&logits, &[0], 0.0).is_err());
+        assert!(cross_entropy(&logits, &[0, 3], 0.0).is_err());
+        assert!(cross_entropy(&logits, &[0, 1], 1.0).is_err());
+    }
+
+    #[test]
+    fn label_smoothing_raises_confident_loss() {
+        let mut logits = Matrix::zeros(1, 4);
+        logits.set(0, 0, 10.0);
+        let (l0, _) = cross_entropy(&logits, &[0], 0.0).unwrap();
+        let (ls, _) = cross_entropy(&logits, &[0], 0.1).unwrap();
+        assert!(ls > l0);
+    }
+
+    #[test]
+    fn mse_known() {
+        let y = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let t = Matrix::from_rows(&[vec![0.0, 0.0]]).unwrap();
+        let (loss, grad) = mse(&y, &t).unwrap();
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert!((grad.get(0, 0) - 1.0).abs() < 1e-6);
+        assert!(mse(&y, &Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn mlm_only_masked_positions_count() {
+        let mut logits = Matrix::zeros(4, 5);
+        logits.set(0, 1, 10.0); // masked, correct
+        logits.set(2, 0, -10.0); // unmasked garbage, should not matter
+        let targets = vec![1, 0, 0, 0];
+        let mask = vec![true, false, false, false];
+        let (loss, grad) = masked_lm_loss(&logits, &targets, &mask).unwrap();
+        assert!(loss < 1e-3);
+        // Unmasked rows get zero gradient.
+        assert_eq!(grad.row(2).iter().map(|v| v.abs()).sum::<f32>(), 0.0);
+    }
+
+    #[test]
+    fn mlm_validates() {
+        let logits = Matrix::zeros(2, 3);
+        assert!(masked_lm_loss(&logits, &[0], &[true, false]).is_err());
+        assert!(masked_lm_loss(&logits, &[0, 0], &[false, false]).is_err());
+        assert!(masked_lm_loss(&logits, &[5, 0], &[true, false]).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_argmax() {
+        let logits =
+            Matrix::from_rows(&[vec![1.0, 3.0], vec![5.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let acc = accuracy(&logits, &[1, 0, 0]);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&Matrix::zeros(0, 2), &[]), 0.0);
+    }
+}

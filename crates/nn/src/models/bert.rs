@@ -1,0 +1,151 @@
+use super::transformer::push_encoder_block;
+use super::Registry;
+use crate::layers::{Embedding, LayerNorm, Linear, PosEmbedding, Sequential, TakeToken};
+use crate::Network;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Head variant for the micro BERT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BertHead {
+    /// Sequence classification from the first (`[CLS]`) token, used for
+    /// GLUE fine-tuning (Table 4).
+    Classification {
+        /// Number of classes.
+        classes: usize,
+    },
+    /// Masked-language-model head producing per-token vocabulary logits,
+    /// used for pre-training (Table 17).
+    MaskedLm,
+}
+
+/// Configuration for the micro BERT encoder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroBertConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Maximum sequence length.
+    pub max_tokens: usize,
+    /// Hidden dimension.
+    pub dim: usize,
+    /// Encoder blocks.
+    pub depth: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// FFN expansion ratio.
+    pub mlp_ratio: usize,
+    /// Head variant.
+    pub head: BertHead,
+}
+
+impl MicroBertConfig {
+    /// Small testable classification config.
+    pub fn tiny(classes: usize) -> Self {
+        MicroBertConfig {
+            vocab: 32,
+            max_tokens: 8,
+            dim: 16,
+            depth: 2,
+            heads: 2,
+            mlp_ratio: 2,
+            head: BertHead::Classification { classes },
+        }
+    }
+
+    /// Small MLM pre-training config.
+    pub fn tiny_mlm() -> Self {
+        MicroBertConfig {
+            vocab: 32,
+            max_tokens: 8,
+            dim: 16,
+            depth: 2,
+            heads: 2,
+            mlp_ratio: 2,
+            head: BertHead::MaskedLm,
+        }
+    }
+}
+
+/// Builds a micro BERT: token + positional embeddings (never factorized,
+/// matching the paper), `depth` pre-LN encoder blocks, and either a `[CLS]`
+/// classification head or a per-token MLM head.
+pub fn build_micro_bert(cfg: &MicroBertConfig, rng: &mut impl Rng) -> Network {
+    let mut reg = Registry::new();
+    let mut root = Sequential::new("micro-bert");
+    root.add(Box::new(Embedding::new("tok_embed", cfg.vocab, cfg.dim, rng)));
+    root.add(Box::new(PosEmbedding::new("pos", cfg.max_tokens, cfg.dim, rng)));
+    for d in 0..cfg.depth {
+        push_encoder_block(
+            &mut root,
+            &mut reg,
+            &format!("enc{d}"),
+            1,
+            cfg.dim,
+            cfg.heads,
+            cfg.mlp_ratio,
+            cfg.max_tokens,
+            rng,
+        );
+    }
+    root.add(Box::new(LayerNorm::new("ln_final", cfg.dim)));
+    match cfg.head {
+        BertHead::Classification { classes } => {
+            root.add(Box::new(TakeToken::new("cls", 0)));
+            reg.linear("cls_head", 2, cfg.dim, classes, 1, false);
+            root.add(Box::new(Linear::new("cls_head", cfg.dim, classes, true, rng)));
+        }
+        BertHead::MaskedLm => {
+            reg.linear("mlm_head", 2, cfg.dim, cfg.vocab, cfg.max_tokens, false);
+            root.add(Box::new(Linear::new("mlm_head", cfg.dim, cfg.vocab, true, rng)));
+        }
+    }
+    Network::new("micro-bert", root, reg.finish())
+        .expect("builder registers every target it creates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Act, Mode};
+    use cuttlefish_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn token_batch(b: usize, t: usize, vocab: usize) -> Act {
+        Act::flat(Matrix::from_fn(b, t, |i, j| ((i * 7 + j * 3) % vocab) as f32))
+    }
+
+    #[test]
+    fn bert_classification_forward_backward() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = MicroBertConfig::tiny(3);
+        let mut net = build_micro_bert(&cfg, &mut rng);
+        let x = token_batch(2, 8, cfg.vocab);
+        let y = net.forward(x, Mode::Train).unwrap();
+        assert_eq!(y.data().shape(), (2, 3));
+        let dx = net.backward(Act::flat(Matrix::zeros(2, 3))).unwrap();
+        // Token ids carry no gradient; shape is preserved.
+        assert_eq!(dx.data().shape(), (2, 8));
+    }
+
+    #[test]
+    fn bert_mlm_outputs_per_token_logits() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = MicroBertConfig::tiny_mlm();
+        let mut net = build_micro_bert(&cfg, &mut rng);
+        let x = token_batch(2, 8, cfg.vocab);
+        let y = net.forward(x, Mode::Eval).unwrap();
+        assert_eq!(y.data().shape(), (16, 32));
+        assert_eq!(y.expect_seq("t").unwrap(), (2, 8));
+    }
+
+    #[test]
+    fn embeddings_are_not_factor_targets() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = MicroBertConfig::tiny(2);
+        let net = build_micro_bert(&cfg, &mut rng);
+        assert!(net.targets().iter().all(|t| !t.name.contains("embed")));
+        // depth × 6 projections + head.
+        assert_eq!(net.targets().len(), cfg.depth * 6 + 1);
+    }
+}

@@ -1,0 +1,154 @@
+use super::Registry;
+use crate::layers::{
+    Conv2d, Gelu, ImageToSeq, LayerNorm, Linear, Residual, SeqMeanPool, Sequential, TokenTranspose,
+};
+use crate::Network;
+use cuttlefish_tensor::im2col::ConvGeometry;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the micro ResMLP/MLP-Mixer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroMixerConfig {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input resolution.
+    pub image_hw: (usize, usize),
+    /// Patch size.
+    pub patch: usize,
+    /// Channel dimension.
+    pub dim: usize,
+    /// Number of mixer blocks.
+    pub depth: usize,
+    /// Channel-MLP expansion ratio.
+    pub mlp_ratio: usize,
+    /// Output classes.
+    pub num_classes: usize,
+}
+
+impl MicroMixerConfig {
+    /// Small testable config.
+    pub fn tiny(num_classes: usize) -> Self {
+        MicroMixerConfig {
+            in_channels: 3,
+            image_hw: (16, 16),
+            patch: 4,
+            dim: 16,
+            depth: 2,
+            mlp_ratio: 2,
+            num_classes,
+        }
+    }
+
+    /// ResMLP-S36 analog at micro scale (deeper).
+    pub fn s36(num_classes: usize) -> Self {
+        MicroMixerConfig {
+            in_channels: 3,
+            image_hw: (16, 16),
+            patch: 4,
+            dim: 24,
+            depth: 6,
+            mlp_ratio: 2,
+            num_classes,
+        }
+    }
+
+    /// Number of tokens after patch embedding.
+    pub fn tokens(&self) -> usize {
+        (self.image_hw.0 / self.patch) * (self.image_hw.1 / self.patch)
+    }
+}
+
+/// Builds a micro ResMLP: patch embedding, `depth` blocks of
+/// token-mixing linear + channel MLP (LayerNorm substitutes the paper's
+/// Affine normalization), mean-pool head.
+pub fn build_micro_mixer(cfg: &MicroMixerConfig, rng: &mut impl Rng) -> Network {
+    let mut reg = Registry::new();
+    let mut root = Sequential::new("micro-resmlp");
+    let tokens = cfg.tokens();
+
+    let geom = ConvGeometry {
+        in_channels: cfg.in_channels,
+        out_channels: cfg.dim,
+        kernel: cfg.patch,
+        stride: cfg.patch,
+        padding: 0,
+    };
+    reg.conv("patch_embed", 0, cfg.in_channels, cfg.dim, cfg.patch, cfg.patch, cfg.image_hw);
+    root.add(Box::new(Conv2d::new("patch_embed", geom, true, rng)));
+    root.add(Box::new(ImageToSeq::new("to_seq")));
+
+    for d in 0..cfg.depth {
+        let name = format!("blk{d}");
+        // Token-mixing sublayer: x + Tᵀ·Linear(T)·T applied across tokens.
+        let mut tok = Sequential::new(format!("{name}.tokmix_body"));
+        tok.add(Box::new(LayerNorm::new(format!("{name}.ln1"), cfg.dim)));
+        tok.add(Box::new(TokenTranspose::new(format!("{name}.t1"))));
+        reg.linear(format!("{name}.tokmix"), 1, tokens, tokens, cfg.dim, true);
+        tok.add(Box::new(Linear::new(format!("{name}.tokmix"), tokens, tokens, true, rng)));
+        tok.add(Box::new(TokenTranspose::new(format!("{name}.t2"))));
+        root.add(Box::new(Residual::new(format!("{name}.res1"), tok)));
+
+        // Channel MLP sublayer.
+        let hidden = cfg.dim * cfg.mlp_ratio;
+        let mut mlp = Sequential::new(format!("{name}.mlp"));
+        mlp.add(Box::new(LayerNorm::new(format!("{name}.ln2"), cfg.dim)));
+        reg.linear(format!("{name}.fc1"), 1, cfg.dim, hidden, tokens, true);
+        mlp.add(Box::new(Linear::new(format!("{name}.fc1"), cfg.dim, hidden, true, rng)));
+        mlp.add(Box::new(Gelu::new(format!("{name}.gelu"))));
+        reg.linear(format!("{name}.fc2"), 1, hidden, cfg.dim, tokens, true);
+        mlp.add(Box::new(Linear::new(format!("{name}.fc2"), hidden, cfg.dim, true, rng)));
+        root.add(Box::new(Residual::new(format!("{name}.res2"), mlp)));
+    }
+    root.add(Box::new(LayerNorm::new("ln_final", cfg.dim)));
+    root.add(Box::new(SeqMeanPool::new("pool")));
+    reg.linear("head", 2, cfg.dim, cfg.num_classes, 1, false);
+    root.add(Box::new(Linear::new("head", cfg.dim, cfg.num_classes, true, rng)));
+    Network::new("micro-resmlp", root, reg.finish())
+        .expect("builder registers every target it creates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Act, Mode};
+    use cuttlefish_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mixer_forward_backward() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = MicroMixerConfig::tiny(10);
+        let mut net = build_micro_mixer(&cfg, &mut rng);
+        let x = Act::image(
+            cuttlefish_tensor::init::randn_matrix(2, 3 * 256, 1.0, &mut rng),
+            3,
+            16,
+            16,
+        )
+        .unwrap();
+        let y = net.forward(x, Mode::Train).unwrap();
+        assert_eq!(y.data().shape(), (2, 10));
+        let dx = net.backward(Act::flat(Matrix::zeros(2, 10))).unwrap();
+        assert_eq!(dx.data().shape(), (2, 3 * 256));
+    }
+
+    #[test]
+    fn mixer_targets_per_block() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = MicroMixerConfig::tiny(10);
+        let net = build_micro_mixer(&cfg, &mut rng);
+        // patch embed + depth × (tokmix + fc1 + fc2) + head.
+        assert_eq!(net.targets().len(), 1 + cfg.depth * 3 + 1);
+    }
+
+    #[test]
+    fn tokmix_weight_is_token_sized() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = MicroMixerConfig::tiny(10);
+        let mut net = build_micro_mixer(&cfg, &mut rng);
+        let w = net.weight_matrix("blk0.tokmix").unwrap();
+        assert_eq!(w.shape(), (cfg.tokens(), cfg.tokens()));
+    }
+}

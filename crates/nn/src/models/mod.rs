@@ -1,0 +1,117 @@
+//! Micro model zoo: laptop-scale versions of the paper's architectures.
+//!
+//! Each builder keeps the original **topology** — stack structure, stride
+//! pattern, residual wiring, block counts — while scaling widths and input
+//! resolution down so full training runs complete in seconds. The builders
+//! also register every factorizable layer as a [`TargetInfo`] so the
+//! Cuttlefish controller can track and factorize them by name.
+//!
+//! | Paper model | Builder | Topology kept |
+//! |---|---|---|
+//! | ResNet-18 | [`build_micro_resnet18`] | 4 stacks of basic blocks, strides 1,2,2,2 |
+//! | ResNet-50 | [`build_micro_resnet50`] | bottleneck blocks, expansion 4 |
+//! | WideResNet-50-2 | [`build_micro_wide_resnet50`] | bottleneck with doubled inner width |
+//! | VGG-19-BN | [`build_micro_vgg19`] | 16 convs + classifier, pools between stacks |
+//! | DeiT | [`build_micro_deit`] | patch embed, pre-LN MHA/FFN blocks |
+//! | ResMLP | [`build_micro_mixer`] | token-mixing + channel-MLP blocks |
+//! | BERT | [`build_micro_bert`] | token+pos embeddings, encoder blocks, CLS/MLM heads |
+
+mod bert;
+mod mixer;
+mod resnet;
+mod transformer;
+mod vgg;
+
+pub use bert::{build_micro_bert, BertHead, MicroBertConfig};
+pub use mixer::{build_micro_mixer, MicroMixerConfig};
+pub use resnet::{
+    build_micro_resnet18, build_micro_resnet50, build_micro_wide_resnet50, MicroResNetConfig,
+};
+pub use transformer::{build_micro_deit, MicroDeiTConfig};
+pub use vgg::{build_micro_vgg19, MicroVggConfig};
+
+use crate::{TargetInfo, TargetKind};
+
+/// Incrementally builds the factorization-target registry while a model is
+/// being constructed, assigning the paper's 1-based depth indices in
+/// construction order.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    targets: Vec<TargetInfo>,
+}
+
+impl Registry {
+    pub(crate) fn new() -> Self {
+        Registry::default()
+    }
+
+    pub(crate) fn conv(
+        &mut self,
+        name: impl Into<String>,
+        stack: usize,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        in_hw: (usize, usize),
+    ) {
+        let index = self.targets.len() + 1;
+        self.targets.push(TargetInfo {
+            name: name.into(),
+            stack,
+            index,
+            kind: TargetKind::Conv {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                in_hw,
+            },
+        });
+    }
+
+    pub(crate) fn linear(
+        &mut self,
+        name: impl Into<String>,
+        stack: usize,
+        in_dim: usize,
+        out_dim: usize,
+        positions: usize,
+        transformer: bool,
+    ) {
+        let index = self.targets.len() + 1;
+        self.targets.push(TargetInfo {
+            name: name.into(),
+            stack,
+            index,
+            kind: TargetKind::Linear {
+                in_dim,
+                out_dim,
+                positions,
+                transformer,
+            },
+        });
+    }
+
+    pub(crate) fn finish(self) -> Vec<TargetInfo> {
+        self.targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_assigns_sequential_indices() {
+        let mut r = Registry::new();
+        r.conv("a", 0, 3, 8, 3, 1, (8, 8));
+        r.linear("b", 1, 8, 2, 1, false);
+        let t = r.finish();
+        assert_eq!(t[0].index, 1);
+        assert_eq!(t[1].index, 2);
+        assert_eq!(t[0].matrix_shape(), (27, 8));
+        assert_eq!(t[1].matrix_shape(), (8, 2));
+        assert_eq!(t[0].full_rank(), 8);
+    }
+}

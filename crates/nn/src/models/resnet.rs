@@ -1,0 +1,352 @@
+use super::Registry;
+use crate::layers::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Relu, Residual, Sequential};
+use crate::Network;
+use cuttlefish_tensor::im2col::ConvGeometry;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the micro ResNet family.
+///
+/// Matches the paper's Table 6 topology (4 stacks, strides 1,2,2,2, stem
+/// 3×3 conv for small inputs, no biases except the classifier) with widths
+/// and resolution scaled down.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroResNetConfig {
+    /// Input channels (3 for RGB-like synthetic tasks).
+    pub in_channels: usize,
+    /// Input resolution.
+    pub image_hw: (usize, usize),
+    /// Width of the first stack; later stacks double it.
+    pub base_width: usize,
+    /// Output classes.
+    pub num_classes: usize,
+    /// Blocks per stack (ResNet-18 is `[2,2,2,2]`, ResNet-50 `[3,4,6,3]`).
+    pub blocks: [usize; 4],
+    /// Use bottleneck blocks (ResNet-50/WRN) instead of basic blocks.
+    pub bottleneck: bool,
+    /// Multiplier on the bottleneck inner width (2.0 for WideResNet-50-2).
+    pub width_mult: f32,
+}
+
+impl MicroResNetConfig {
+    /// Smallest usable config, for unit tests: 8×8 inputs, width 8, one
+    /// block per stack.
+    pub fn tiny(num_classes: usize) -> Self {
+        MicroResNetConfig {
+            in_channels: 3,
+            image_hw: (8, 8),
+            base_width: 8,
+            num_classes,
+            blocks: [1, 1, 1, 1],
+            bottleneck: false,
+            width_mult: 1.0,
+        }
+    }
+
+    /// CIFAR-scale ResNet-18 analog: 16×16 inputs, width 12, 2 blocks per
+    /// stack (width tuned so a full table run fits a single CPU core).
+    pub fn cifar(num_classes: usize) -> Self {
+        MicroResNetConfig {
+            in_channels: 3,
+            image_hw: (16, 16),
+            base_width: 12,
+            num_classes,
+            blocks: [2, 2, 2, 2],
+            bottleneck: false,
+            width_mult: 1.0,
+        }
+    }
+
+    /// ImageNet-scale ResNet-50 analog (bottlenecks, expansion 4).
+    pub fn imagenet50(num_classes: usize) -> Self {
+        MicroResNetConfig {
+            in_channels: 3,
+            image_hw: (16, 16),
+            base_width: 8,
+            num_classes,
+            blocks: [2, 2, 3, 2],
+            bottleneck: true,
+            width_mult: 1.0,
+        }
+    }
+
+    /// WideResNet-50-2 analog: bottlenecks with doubled inner width.
+    pub fn imagenet_wide50(num_classes: usize) -> Self {
+        let mut cfg = Self::imagenet50(num_classes);
+        cfg.width_mult = 2.0;
+        cfg
+    }
+}
+
+struct Builder<'a, R: Rng> {
+    rng: &'a mut R,
+    reg: Registry,
+    hw: (usize, usize),
+}
+
+impl<'a, R: Rng> Builder<'a, R> {
+    fn conv(
+        &mut self,
+        name: &str,
+        stack: usize,
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+    ) -> Conv2d {
+        let geom = ConvGeometry {
+            in_channels: in_c,
+            out_channels: out_c,
+            kernel: k,
+            stride,
+            padding: k / 2,
+        };
+        self.reg.conv(name, stack, in_c, out_c, k, stride, self.hw);
+        Conv2d::new(name, geom, false, self.rng)
+    }
+
+    fn advance_spatial(&mut self, stride: usize) {
+        self.hw = (self.hw.0.div_ceil(stride), self.hw.1.div_ceil(stride));
+    }
+
+    fn basic_block(&mut self, name: &str, stack: usize, in_c: usize, out_c: usize, stride: usize) -> Sequential {
+        let mut body = Sequential::new(format!("{name}.body"));
+        body.add(Box::new(self.conv(&format!("{name}.conv1"), stack, in_c, out_c, 3, stride)));
+        let entry_hw = self.hw;
+        self.advance_spatial(stride);
+        body.add(Box::new(BatchNorm2d::new(format!("{name}.bn1"), out_c)));
+        body.add(Box::new(Relu::new(format!("{name}.relu1"))));
+        body.add(Box::new(self.conv(&format!("{name}.conv2"), stack, out_c, out_c, 3, 1)));
+        body.add(Box::new(BatchNorm2d::new(format!("{name}.bn2"), out_c)));
+
+        let res = if stride != 1 || in_c != out_c {
+            // Projection shortcut: strided 1×1 conv + BN.
+            let saved = self.hw;
+            self.hw = entry_hw;
+            let mut short = Sequential::new(format!("{name}.short"));
+            short.add(Box::new(self.conv(&format!("{name}.down"), stack, in_c, out_c, 1, stride)));
+            short.add(Box::new(BatchNorm2d::new(format!("{name}.dbn"), out_c)));
+            self.hw = saved;
+            Residual::with_shortcut(name, body, short)
+        } else {
+            Residual::new(name, body)
+        };
+        Sequential::new(format!("{name}.outer"))
+            .push(res)
+            .push(Relu::new(format!("{name}.relu_out")))
+    }
+
+    fn bottleneck_block(
+        &mut self,
+        name: &str,
+        stack: usize,
+        in_c: usize,
+        planes: usize,
+        stride: usize,
+        width_mult: f32,
+    ) -> Sequential {
+        let width = ((planes as f32 * width_mult).round() as usize).max(1);
+        let out_c = planes * 4;
+        let mut body = Sequential::new(format!("{name}.body"));
+        body.add(Box::new(self.conv(&format!("{name}.conv1"), stack, in_c, width, 1, 1)));
+        body.add(Box::new(BatchNorm2d::new(format!("{name}.bn1"), width)));
+        body.add(Box::new(Relu::new(format!("{name}.relu1"))));
+        body.add(Box::new(self.conv(&format!("{name}.conv2"), stack, width, width, 3, stride)));
+        let entry_hw = self.hw;
+        self.advance_spatial(stride);
+        body.add(Box::new(BatchNorm2d::new(format!("{name}.bn2"), width)));
+        body.add(Box::new(Relu::new(format!("{name}.relu2"))));
+        body.add(Box::new(self.conv(&format!("{name}.conv3"), stack, width, out_c, 1, 1)));
+        body.add(Box::new(BatchNorm2d::new(format!("{name}.bn3"), out_c)));
+
+        let res = if stride != 1 || in_c != out_c {
+            let saved = self.hw;
+            self.hw = entry_hw;
+            let mut short = Sequential::new(format!("{name}.short"));
+            short.add(Box::new(self.conv(&format!("{name}.down"), stack, in_c, out_c, 1, stride)));
+            short.add(Box::new(BatchNorm2d::new(format!("{name}.dbn"), out_c)));
+            self.hw = saved;
+            Residual::with_shortcut(name, body, short)
+        } else {
+            Residual::new(name, body)
+        };
+        Sequential::new(format!("{name}.outer"))
+            .push(res)
+            .push(Relu::new(format!("{name}.relu_out")))
+    }
+}
+
+fn build(name: &str, cfg: &MicroResNetConfig, rng: &mut impl Rng) -> Network {
+    let mut b = Builder {
+        rng,
+        reg: Registry::new(),
+        hw: cfg.image_hw,
+    };
+    let mut root = Sequential::new(name.to_string());
+    // Stem: 3×3 stride-1 conv (the paper's CIFAR adjustment, Table 6).
+    root.add(Box::new(b.conv("conv1", 0, cfg.in_channels, cfg.base_width, 3, 1)));
+    root.add(Box::new(BatchNorm2d::new("bn1", cfg.base_width)));
+    root.add(Box::new(Relu::new("relu1")));
+
+    let expansion = if cfg.bottleneck { 4 } else { 1 };
+    let mut in_c = cfg.base_width;
+    for (si, &nblocks) in cfg.blocks.iter().enumerate() {
+        let stack = si + 1;
+        let planes = cfg.base_width << si;
+        for bi in 0..nblocks {
+            let stride = if bi == 0 && si > 0 { 2 } else { 1 };
+            let bname = format!("s{stack}.b{bi}");
+            let block = if cfg.bottleneck {
+                b.bottleneck_block(&bname, stack, in_c, planes, stride, cfg.width_mult)
+            } else {
+                b.basic_block(&bname, stack, in_c, planes, stride)
+            };
+            root.add(Box::new(block));
+            in_c = planes * expansion;
+        }
+    }
+    root.add(Box::new(GlobalAvgPool::new("gap")));
+    b.reg.linear("fc", 5, in_c, cfg.num_classes, 1, false);
+    let fc = Linear::new("fc", in_c, cfg.num_classes, true, b.rng);
+    root.add(Box::new(fc));
+    let targets = b.reg.finish();
+    Network::new(name, root, targets).expect("builder registers every target it creates")
+}
+
+/// Builds a micro ResNet-18 (basic blocks).
+pub fn build_micro_resnet18(cfg: &MicroResNetConfig, rng: &mut impl Rng) -> Network {
+    build("micro-resnet18", cfg, rng)
+}
+
+/// Builds a micro ResNet-50 (bottleneck blocks); sets `bottleneck = true`
+/// on the given config.
+pub fn build_micro_resnet50(cfg: &MicroResNetConfig, rng: &mut impl Rng) -> Network {
+    let mut cfg = cfg.clone();
+    cfg.bottleneck = true;
+    build("micro-resnet50", &cfg, rng)
+}
+
+/// Builds a micro WideResNet-50-2 analog (bottlenecks, doubled inner
+/// width).
+pub fn build_micro_wide_resnet50(cfg: &MicroResNetConfig, rng: &mut impl Rng) -> Network {
+    let mut cfg = cfg.clone();
+    cfg.bottleneck = true;
+    if cfg.width_mult < 2.0 {
+        cfg.width_mult = 2.0;
+    }
+    build("micro-wideresnet50", &cfg, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Act, Mode};
+    use cuttlefish_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn resnet18_tiny_forward_backward() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = MicroResNetConfig::tiny(10);
+        let mut net = build_micro_resnet18(&cfg, &mut rng);
+        let x = Act::image(
+            cuttlefish_tensor::init::randn_matrix(2, 3 * 64, 1.0, &mut rng),
+            3,
+            8,
+            8,
+        )
+        .unwrap();
+        let y = net.forward(x, Mode::Train).unwrap();
+        assert_eq!(y.data().shape(), (2, 10));
+        let dx = net.backward(Act::flat(Matrix::zeros(2, 10))).unwrap();
+        assert_eq!(dx.data().shape(), (2, 3 * 64));
+    }
+
+    #[test]
+    fn resnet18_target_count_matches_paper_structure() {
+        // ResNet-18 shape: stem + 2 convs × 8 blocks + 3 downsamples + fc.
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = MicroResNetConfig::cifar(10);
+        let net = build_micro_resnet18(&cfg, &mut rng);
+        let convs = net
+            .targets()
+            .iter()
+            .filter(|t| matches!(t.kind, crate::TargetKind::Conv { .. }))
+            .count();
+        assert_eq!(convs, 1 + 16 + 3);
+        assert_eq!(net.targets().len(), 1 + 16 + 3 + 1);
+        // Depth indices are 1..=L in order.
+        for (i, t) in net.targets().iter().enumerate() {
+            assert_eq!(t.index, i + 1);
+        }
+        // Last target is the classifier.
+        assert_eq!(net.targets().last().unwrap().name, "fc");
+    }
+
+    #[test]
+    fn stacks_have_decreasing_spatial_size() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = MicroResNetConfig::cifar(10);
+        let net = build_micro_resnet18(&cfg, &mut rng);
+        let hw_of = |name: &str| {
+            net.targets()
+                .iter()
+                .find(|t| t.name == name)
+                .map(|t| match t.kind {
+                    crate::TargetKind::Conv { in_hw, .. } => in_hw,
+                    _ => unreachable!(),
+                })
+                .unwrap()
+        };
+        assert_eq!(hw_of("s1.b0.conv1"), (16, 16));
+        assert_eq!(hw_of("s2.b0.conv1"), (16, 16)); // stride-2 conv sees full input
+        assert_eq!(hw_of("s2.b1.conv1"), (8, 8));
+        assert_eq!(hw_of("s4.b1.conv1"), (2, 2));
+    }
+
+    #[test]
+    fn resnet50_uses_bottlenecks() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cfg = MicroResNetConfig::tiny(10);
+        cfg.blocks = [1, 1, 1, 1];
+        let mut net = build_micro_resnet50(&cfg, &mut rng);
+        // Bottleneck: 3 convs per block + downsample on every stack
+        // (expansion changes channel counts) + stem + fc.
+        let convs = net
+            .targets()
+            .iter()
+            .filter(|t| matches!(t.kind, crate::TargetKind::Conv { .. }))
+            .count();
+        assert_eq!(convs, 1 + 4 * 3 + 4);
+        let x = Act::image(Matrix::zeros(1, 3 * 64), 3, 8, 8).unwrap();
+        let y = net.forward(x, Mode::Eval).unwrap();
+        assert_eq!(y.data().shape(), (1, 10));
+    }
+
+    #[test]
+    fn wide_resnet_has_more_params() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = MicroResNetConfig::tiny(10);
+        let mut narrow = build_micro_resnet50(&cfg, &mut rng);
+        let mut wide = build_micro_wide_resnet50(&cfg, &mut rng);
+        assert!(wide.param_count() > narrow.param_count());
+    }
+
+    #[test]
+    fn eval_deterministic_after_train() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = MicroResNetConfig::tiny(4);
+        let mut net = build_micro_resnet18(&cfg, &mut rng);
+        let x = Act::image(
+            cuttlefish_tensor::init::randn_matrix(2, 3 * 64, 1.0, &mut rng),
+            3,
+            8,
+            8,
+        )
+        .unwrap();
+        let y1 = net.forward(x.clone(), Mode::Eval).unwrap();
+        let y2 = net.forward(x, Mode::Eval).unwrap();
+        assert_eq!(y1.data(), y2.data());
+    }
+}

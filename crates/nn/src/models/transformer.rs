@@ -1,0 +1,207 @@
+use super::Registry;
+use crate::layers::{
+    Conv2d, Gelu, ImageToSeq, LayerNorm, Linear, MultiHeadAttention, PosEmbedding, Residual,
+    SeqMeanPool, Sequential,
+};
+use crate::Network;
+use cuttlefish_tensor::im2col::ConvGeometry;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the micro DeiT (vision transformer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroDeiTConfig {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input resolution.
+    pub image_hw: (usize, usize),
+    /// Patch size (stride of the embedding conv).
+    pub patch: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Number of encoder blocks.
+    pub depth: usize,
+    /// Attention heads per block.
+    pub heads: usize,
+    /// FFN expansion ratio.
+    pub mlp_ratio: usize,
+    /// Output classes.
+    pub num_classes: usize,
+}
+
+impl MicroDeiTConfig {
+    /// Small testable config: 16×16 images, patch 4 → 16 tokens, dim 16.
+    pub fn tiny(num_classes: usize) -> Self {
+        MicroDeiTConfig {
+            in_channels: 3,
+            image_hw: (16, 16),
+            patch: 4,
+            dim: 16,
+            depth: 2,
+            heads: 2,
+            mlp_ratio: 2,
+            num_classes,
+        }
+    }
+
+    /// DeiT-base analog at micro scale: deeper and wider than `tiny`.
+    pub fn base(num_classes: usize) -> Self {
+        MicroDeiTConfig {
+            in_channels: 3,
+            image_hw: (16, 16),
+            patch: 4,
+            dim: 32,
+            depth: 4,
+            heads: 4,
+            mlp_ratio: 2,
+            num_classes,
+        }
+    }
+
+    /// Number of tokens after patch embedding.
+    pub fn tokens(&self) -> usize {
+        (self.image_hw.0 / self.patch) * (self.image_hw.1 / self.patch)
+    }
+}
+
+/// Appends one pre-LN transformer encoder block to `root`, registering its
+/// six factorizable projections (`wq, wk, wv, wo, fc1, fc2`).
+pub(crate) fn push_encoder_block(
+    root: &mut Sequential,
+    reg: &mut Registry,
+    name: &str,
+    stack: usize,
+    dim: usize,
+    heads: usize,
+    mlp_ratio: usize,
+    tokens: usize,
+    rng: &mut impl Rng,
+) {
+    // Attention sublayer: x + MHA(LN(x)).
+    let mut attn_body = Sequential::new(format!("{name}.attn_body"));
+    attn_body.add(Box::new(LayerNorm::new(format!("{name}.ln1"), dim)));
+    let mha = MultiHeadAttention::new(format!("{name}.attn"), dim, heads, rng);
+    for proj in ["wq", "wk", "wv", "wo"] {
+        reg.linear(format!("{name}.attn.{proj}"), stack, dim, dim, tokens, true);
+    }
+    attn_body.add(Box::new(mha));
+    root.add(Box::new(Residual::new(format!("{name}.res1"), attn_body)));
+
+    // FFN sublayer: x + FC2(GELU(FC1(LN(x)))).
+    let hidden = dim * mlp_ratio;
+    let mut ffn = Sequential::new(format!("{name}.ffn"));
+    ffn.add(Box::new(LayerNorm::new(format!("{name}.ln2"), dim)));
+    reg.linear(format!("{name}.fc1"), stack, dim, hidden, tokens, true);
+    ffn.add(Box::new(Linear::new(format!("{name}.fc1"), dim, hidden, true, rng)));
+    ffn.add(Box::new(Gelu::new(format!("{name}.gelu"))));
+    reg.linear(format!("{name}.fc2"), stack, hidden, dim, tokens, true);
+    ffn.add(Box::new(Linear::new(format!("{name}.fc2"), hidden, dim, true, rng)));
+    root.add(Box::new(Residual::new(format!("{name}.res2"), ffn)));
+}
+
+/// Builds a micro DeiT: strided-conv patch embedding, learned positional
+/// embeddings, `depth` pre-LN encoder blocks, mean-pool classification head
+/// (a substitution for the paper's class token that preserves the
+/// factorizable structure).
+pub fn build_micro_deit(cfg: &MicroDeiTConfig, rng: &mut impl Rng) -> Network {
+    let mut reg = Registry::new();
+    let mut root = Sequential::new("micro-deit");
+    let tokens = cfg.tokens();
+
+    let geom = ConvGeometry {
+        in_channels: cfg.in_channels,
+        out_channels: cfg.dim,
+        kernel: cfg.patch,
+        stride: cfg.patch,
+        padding: 0,
+    };
+    // The embedding conv is registered (it is a conv layer like any other)
+    // but Cuttlefish keeps K = 1 for transformers, so it is never
+    // factorized (§3.5).
+    reg.conv("patch_embed", 0, cfg.in_channels, cfg.dim, cfg.patch, cfg.patch, cfg.image_hw);
+    root.add(Box::new(Conv2d::new("patch_embed", geom, true, rng)));
+    root.add(Box::new(ImageToSeq::new("to_seq")));
+    root.add(Box::new(PosEmbedding::new("pos", tokens, cfg.dim, rng)));
+
+    for d in 0..cfg.depth {
+        push_encoder_block(
+            &mut root,
+            &mut reg,
+            &format!("enc{d}"),
+            1,
+            cfg.dim,
+            cfg.heads,
+            cfg.mlp_ratio,
+            tokens,
+            rng,
+        );
+    }
+    root.add(Box::new(LayerNorm::new("ln_final", cfg.dim)));
+    root.add(Box::new(SeqMeanPool::new("pool")));
+    reg.linear("head", 2, cfg.dim, cfg.num_classes, 1, false);
+    root.add(Box::new(Linear::new("head", cfg.dim, cfg.num_classes, true, rng)));
+    Network::new("micro-deit", root, reg.finish())
+        .expect("builder registers every target it creates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Act, Mode, TargetKind};
+    use cuttlefish_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deit_forward_backward() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = MicroDeiTConfig::tiny(10);
+        let mut net = build_micro_deit(&cfg, &mut rng);
+        let x = Act::image(
+            cuttlefish_tensor::init::randn_matrix(2, 3 * 256, 1.0, &mut rng),
+            3,
+            16,
+            16,
+        )
+        .unwrap();
+        let y = net.forward(x, Mode::Train).unwrap();
+        assert_eq!(y.data().shape(), (2, 10));
+        let dx = net.backward(Act::flat(Matrix::zeros(2, 10))).unwrap();
+        assert_eq!(dx.data().shape(), (2, 3 * 256));
+    }
+
+    #[test]
+    fn deit_targets_cover_all_projections() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = MicroDeiTConfig::tiny(10);
+        let net = build_micro_deit(&cfg, &mut rng);
+        // patch embed + depth × (4 attn + 2 ffn) + head.
+        assert_eq!(net.targets().len(), 1 + cfg.depth * 6 + 1);
+        let transformer_targets = net
+            .targets()
+            .iter()
+            .filter(|t| matches!(t.kind, TargetKind::Linear { transformer: true, .. }))
+            .count();
+        assert_eq!(transformer_targets, cfg.depth * 6);
+    }
+
+    #[test]
+    fn token_count_matches_config() {
+        let cfg = MicroDeiTConfig::tiny(10);
+        assert_eq!(cfg.tokens(), 16);
+    }
+
+    #[test]
+    fn factorizing_encoder_weight_preserves_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = MicroDeiTConfig::tiny(4);
+        let mut net = build_micro_deit(&cfg, &mut rng);
+        let w = net.weight_matrix("enc0.attn.wq").unwrap();
+        let svd = cuttlefish_tensor::svd::Svd::compute(&w).unwrap();
+        let (u, vt) = svd.split_sqrt(4).unwrap();
+        net.factorize_target("enc0.attn.wq", u, vt, false, None).unwrap();
+        let x = Act::image(Matrix::zeros(1, 3 * 256), 3, 16, 16).unwrap();
+        let y = net.forward(x, Mode::Eval).unwrap();
+        assert_eq!(y.data().shape(), (1, 4));
+    }
+}

@@ -1,0 +1,164 @@
+use super::Registry;
+use crate::layers::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, MaxPool2d, Relu, Sequential};
+use crate::Network;
+use cuttlefish_tensor::im2col::ConvGeometry;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the micro VGG-19-BN.
+///
+/// Keeps the paper's Table 7 layout — 16 convolutions in 5 width groups
+/// with pooling between them, average pool before a single classifier —
+/// scaled by `width_div`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroVggConfig {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input resolution.
+    pub image_hw: (usize, usize),
+    /// Divide every width in the original layout (64..512) by this.
+    pub width_div: usize,
+    /// Output classes.
+    pub num_classes: usize,
+}
+
+impl MicroVggConfig {
+    /// Smallest usable config for tests: 8×8 inputs, widths /8.
+    pub fn tiny(num_classes: usize) -> Self {
+        MicroVggConfig {
+            in_channels: 3,
+            image_hw: (8, 8),
+            width_div: 8,
+            num_classes,
+        }
+    }
+
+    /// CIFAR-scale config: 16×16 inputs, widths /4 (16..128).
+    pub fn cifar(num_classes: usize) -> Self {
+        MicroVggConfig {
+            in_channels: 3,
+            image_hw: (16, 16),
+            width_div: 4,
+            num_classes,
+        }
+    }
+}
+
+/// The original VGG-19 width plan: `(width, convs in group)`.
+const GROUPS: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 4), (512, 4), (512, 4)];
+
+/// Builds a micro VGG-19-BN.
+pub fn build_micro_vgg19(cfg: &MicroVggConfig, rng: &mut impl Rng) -> Network {
+    let mut reg = Registry::new();
+    let mut root = Sequential::new("micro-vgg19");
+    let mut in_c = cfg.in_channels;
+    let mut hw = cfg.image_hw;
+    let mut conv_idx = 0usize;
+    for (stack, &(width, nconvs)) in GROUPS.iter().enumerate() {
+        let out_c = (width / cfg.width_div).max(2);
+        for _ in 0..nconvs {
+            conv_idx += 1;
+            let name = format!("conv{conv_idx}");
+            let geom = ConvGeometry {
+                in_channels: in_c,
+                out_channels: out_c,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            };
+            reg.conv(&name, stack, in_c, out_c, 3, 1, hw);
+            root.add(Box::new(Conv2d::new(&name, geom, false, rng)));
+            root.add(Box::new(BatchNorm2d::new(format!("bn{conv_idx}"), out_c)));
+            root.add(Box::new(Relu::new(format!("relu{conv_idx}"))));
+            in_c = out_c;
+        }
+        // Pool between groups while spatial room remains; the paper's last
+        // pool is an average pool, realized here by the global pool below.
+        if stack < GROUPS.len() - 1 && hw.0 >= 2 && hw.1 >= 2 {
+            root.add(Box::new(MaxPool2d::new(format!("pool{stack}"), 2, 2)));
+            hw = (hw.0 / 2, hw.1 / 2);
+        }
+    }
+    root.add(Box::new(GlobalAvgPool::new("avgpool")));
+    reg.linear("classifier", GROUPS.len(), in_c, cfg.num_classes, 1, false);
+    root.add(Box::new(Linear::new("classifier", in_c, cfg.num_classes, true, rng)));
+    Network::new("micro-vgg19", root, reg.finish())
+        .expect("builder registers every target it creates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Act, Mode, TargetKind};
+    use cuttlefish_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vgg_has_sixteen_convs_plus_classifier() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = build_micro_vgg19(&MicroVggConfig::cifar(10), &mut rng);
+        assert_eq!(net.targets().len(), 17);
+        assert_eq!(net.targets().last().unwrap().name, "classifier");
+        let convs = net
+            .targets()
+            .iter()
+            .filter(|t| matches!(t.kind, TargetKind::Conv { .. }))
+            .count();
+        assert_eq!(convs, 16);
+    }
+
+    #[test]
+    fn vgg_forward_backward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = build_micro_vgg19(&MicroVggConfig::tiny(5), &mut rng);
+        let x = Act::image(
+            cuttlefish_tensor::init::randn_matrix(2, 3 * 64, 1.0, &mut rng),
+            3,
+            8,
+            8,
+        )
+        .unwrap();
+        let y = net.forward(x, Mode::Train).unwrap();
+        assert_eq!(y.data().shape(), (2, 5));
+        let dx = net.backward(Act::flat(Matrix::zeros(2, 5))).unwrap();
+        assert_eq!(dx.data().shape(), (2, 3 * 64));
+    }
+
+    #[test]
+    fn widths_follow_original_plan() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = build_micro_vgg19(&MicroVggConfig::cifar(10), &mut rng);
+        let out_c_of = |name: &str| {
+            net.targets()
+                .iter()
+                .find(|t| t.name == name)
+                .map(|t| match t.kind {
+                    TargetKind::Conv { out_channels, .. } => out_channels,
+                    _ => unreachable!(),
+                })
+                .unwrap()
+        };
+        assert_eq!(out_c_of("conv1"), 16); // 64/4
+        assert_eq!(out_c_of("conv3"), 32); // 128/4
+        assert_eq!(out_c_of("conv5"), 64); // 256/4
+        assert_eq!(out_c_of("conv16"), 128); // 512/4
+    }
+
+    #[test]
+    fn stacks_match_pool_groups() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = build_micro_vgg19(&MicroVggConfig::cifar(10), &mut rng);
+        let stack_of = |name: &str| {
+            net.targets()
+                .iter()
+                .find(|t| t.name == name)
+                .map(|t| t.stack)
+                .unwrap()
+        };
+        assert_eq!(stack_of("conv1"), 0);
+        assert_eq!(stack_of("conv3"), 1);
+        assert_eq!(stack_of("conv16"), 4);
+        assert_eq!(stack_of("classifier"), 5);
+    }
+}

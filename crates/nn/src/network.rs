@@ -1,0 +1,446 @@
+use crate::layers::{Layer, Sequential};
+use crate::optim::Optimizer;
+use crate::weight::FactorableWeight;
+use crate::{Act, Mode, NnError, NnResult, Param};
+use cuttlefish_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// What kind of layer a factorization target is — used by the profiling
+/// step (Algorithm 2) to compute arithmetic intensity, and by the rank
+/// heuristics (transformer weights get the accumulative-rank fallback,
+/// Appendix C.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TargetKind {
+    /// A convolution, viewed as the unrolled `(in·k², out)` matrix.
+    Conv {
+        /// Input channels `m`.
+        in_channels: usize,
+        /// Output channels `n`.
+        out_channels: usize,
+        /// Square kernel size `k`.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Spatial size of the *input* feature map at the model's reference
+        /// resolution — determines arithmetic intensity (§3.5).
+        in_hw: (usize, usize),
+    },
+    /// A dense projection `(in, out)` — FC layers and each attention
+    /// projection.
+    Linear {
+        /// Input features.
+        in_dim: usize,
+        /// Output features.
+        out_dim: usize,
+        /// Number of positions (tokens or 1 for flat heads) the projection
+        /// is applied to per sample, for FLOP accounting.
+        positions: usize,
+        /// True for attention/FFN weights inside transformer blocks (these
+        /// use the paper's Appendix C.2 rank rule).
+        transformer: bool,
+    },
+}
+
+/// One factorizable layer of a network, as seen by the Cuttlefish
+/// controller: its addressable name, its layer stack (for Algorithm 2
+/// profiling), its 1-based depth index `l` (the paper's layer numbering
+/// where `l = 1` is the first layer and `l = L` the classifier), and its
+/// shape info.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TargetInfo {
+    /// Fully-qualified weight name (matches `visit_weights`).
+    pub name: String,
+    /// Stack id: 0 for the stem, 1.. for the body stacks, `last` for the
+    /// classifier head.
+    pub stack: usize,
+    /// 1-based depth index `l ∈ {1, …, L}`.
+    pub index: usize,
+    /// Shape/kind details.
+    pub kind: TargetKind,
+}
+
+impl TargetInfo {
+    /// The `(rows, cols)` of the tracked 2-D weight matrix.
+    pub fn matrix_shape(&self) -> (usize, usize) {
+        match self.kind {
+            TargetKind::Conv {
+                in_channels,
+                out_channels,
+                kernel,
+                ..
+            } => (in_channels * kernel * kernel, out_channels),
+            TargetKind::Linear { in_dim, out_dim, .. } => (in_dim, out_dim),
+        }
+    }
+
+    /// `min(rows, cols)` — the paper's `rank(W)`.
+    pub fn full_rank(&self) -> usize {
+        let (r, c) = self.matrix_shape();
+        r.min(c)
+    }
+}
+
+/// A complete trainable model: a root layer graph plus the registry of
+/// factorization targets that the Cuttlefish controller operates on.
+#[derive(Debug)]
+pub struct Network {
+    name: String,
+    root: Sequential,
+    targets: Vec<TargetInfo>,
+}
+
+impl Network {
+    /// Wraps a layer graph and validates the target registry: every
+    /// registered target must correspond to a factorable weight with a
+    /// matching shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::UnknownTarget`] for unresolvable names and
+    /// [`NnError::BadConfig`] on shape disagreements.
+    pub fn new(
+        name: impl Into<String>,
+        mut root: Sequential,
+        targets: Vec<TargetInfo>,
+    ) -> NnResult<Self> {
+        let mut found: Vec<(String, usize, usize)> = Vec::new();
+        root.visit_weights(&mut |n, w| {
+            found.push((n.to_string(), w.in_dim(), w.out_dim()));
+        });
+        for t in &targets {
+            let hit = found.iter().find(|(n, _, _)| n == &t.name);
+            match hit {
+                None => {
+                    return Err(NnError::UnknownTarget {
+                        name: t.name.clone(),
+                    })
+                }
+                Some((_, in_dim, out_dim)) => {
+                    if (*in_dim, *out_dim) != t.matrix_shape() {
+                        return Err(NnError::BadConfig {
+                            detail: format!(
+                                "target `{}` declares shape {:?} but weight is ({in_dim}, {out_dim})",
+                                t.name,
+                                t.matrix_shape()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Network {
+            name: name.into(),
+            root,
+            targets,
+        })
+    }
+
+    /// Model name (e.g. `"micro-resnet18"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The registered factorization targets, in depth order.
+    pub fn targets(&self) -> &[TargetInfo] {
+        &self.targets
+    }
+
+    /// The total layer count `L` in the paper's numbering (targets only).
+    pub fn depth(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Runs the forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors (wrong activation kinds etc.).
+    pub fn forward(&mut self, x: Act, mode: Mode) -> NnResult<Act> {
+        self.root.forward(x, mode)
+    }
+
+    /// Runs the backward pass from the loss gradient.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors; requires a preceding train-mode forward.
+    pub fn backward(&mut self, dy: Act) -> NnResult<Act> {
+        self.root.backward(dy)
+    }
+
+    /// Visits every trainable parameter.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.root.visit_params(f);
+    }
+
+    /// Visits every factorable weight with its name.
+    pub fn visit_weights(&mut self, f: &mut dyn FnMut(&str, &mut FactorableWeight)) {
+        self.root.visit_weights(f);
+    }
+
+    /// Visits every BatchNorm `(γ, β)` pair with the owning layer's name.
+    pub fn visit_gammas(&mut self, f: &mut dyn FnMut(&str, &mut Param, &mut Param)) {
+        self.root.visit_gammas(f);
+    }
+
+    /// Total trainable scalar count in the current (full or factored) state.
+    pub fn param_count(&mut self) -> usize {
+        let mut n = 0usize;
+        self.visit_params(&mut |p| n += p.count());
+        n
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Adds Frobenius-decay gradients on every factored weight that has FD
+    /// enabled.
+    pub fn apply_frobenius_decay(&mut self) {
+        self.visit_weights(&mut |_, w| w.apply_frobenius_decay());
+    }
+
+    /// Steps every parameter with the given optimizer and learning rate.
+    pub fn step(&mut self, opt: &mut dyn Optimizer, lr: f32) {
+        self.visit_params(&mut |p| opt.step(p, lr));
+    }
+
+    /// The effective 2-D weight matrix of a target (dense `W`, or `U·Vᵀ`
+    /// when factored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::UnknownTarget`] for unknown names.
+    pub fn weight_matrix(&mut self, target: &str) -> NnResult<Matrix> {
+        let mut out = None;
+        self.visit_weights(&mut |n, w| {
+            if n == target {
+                out = Some(w.effective());
+            }
+        });
+        out.ok_or_else(|| NnError::UnknownTarget {
+            name: target.to_string(),
+        })
+    }
+
+    /// Whether the named target is currently factored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::UnknownTarget`] for unknown names.
+    pub fn is_factored(&mut self, target: &str) -> NnResult<bool> {
+        let mut out = None;
+        self.visit_weights(&mut |n, w| {
+            if n == target {
+                out = Some(w.is_factored());
+            }
+        });
+        out.ok_or_else(|| NnError::UnknownTarget {
+            name: target.to_string(),
+        })
+    }
+
+    /// Current factorization rank of the named target (`None` if dense).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::UnknownTarget`] for unknown names.
+    pub fn rank_of(&mut self, target: &str) -> NnResult<Option<usize>> {
+        let mut out = None;
+        let mut hit = false;
+        self.visit_weights(&mut |n, w| {
+            if n == target {
+                hit = true;
+                out = w.rank();
+            }
+        });
+        if hit {
+            Ok(out)
+        } else {
+            Err(NnError::UnknownTarget {
+                name: target.to_string(),
+            })
+        }
+    }
+
+    /// Replaces the named target's dense weight with the `(U, Vᵀ)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::UnknownTarget`] for unknown names or shape errors
+    /// from the underlying weight.
+    pub fn factorize_target(
+        &mut self,
+        target: &str,
+        u: Matrix,
+        vt: Matrix,
+        extra_bn: bool,
+        frobenius_decay: Option<f32>,
+    ) -> NnResult<()> {
+        let mut result: Option<NnResult<()>> = None;
+        // set_factored consumes the matrices, so thread them through an
+        // Option to satisfy the FnMut closure.
+        let mut payload = Some((u, vt));
+        self.visit_weights(&mut |n, w| {
+            if n == target {
+                if let Some((u, vt)) = payload.take() {
+                    result = Some(w.set_factored(u, vt, extra_bn, frobenius_decay));
+                }
+            }
+        });
+        result.unwrap_or_else(|| {
+            Err(NnError::UnknownTarget {
+                name: target.to_string(),
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_layer_net(rng: &mut StdRng) -> Network {
+        let root = Sequential::new("net")
+            .push(Linear::new("fc1", 4, 8, false, rng))
+            .push(Relu::new("relu"))
+            .push(Linear::new("fc2", 8, 2, false, rng));
+        let targets = vec![
+            TargetInfo {
+                name: "fc1".into(),
+                stack: 0,
+                index: 1,
+                kind: TargetKind::Linear {
+                    in_dim: 4,
+                    out_dim: 8,
+                    positions: 1,
+                    transformer: false,
+                },
+            },
+            TargetInfo {
+                name: "fc2".into(),
+                stack: 1,
+                index: 2,
+                kind: TargetKind::Linear {
+                    in_dim: 8,
+                    out_dim: 2,
+                    positions: 1,
+                    transformer: false,
+                },
+            },
+        ];
+        Network::new("mlp", root, targets).unwrap()
+    }
+
+    #[test]
+    fn registry_validation_catches_unknown_and_bad_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let root = Sequential::new("net").push(Linear::new("fc1", 4, 8, false, &mut rng));
+        let bad_name = vec![TargetInfo {
+            name: "nope".into(),
+            stack: 0,
+            index: 1,
+            kind: TargetKind::Linear {
+                in_dim: 4,
+                out_dim: 8,
+                positions: 1,
+                transformer: false,
+            },
+        }];
+        assert!(matches!(
+            Network::new("m", root, bad_name),
+            Err(NnError::UnknownTarget { .. })
+        ));
+
+        let root = Sequential::new("net").push(Linear::new("fc1", 4, 8, false, &mut rng));
+        let bad_shape = vec![TargetInfo {
+            name: "fc1".into(),
+            stack: 0,
+            index: 1,
+            kind: TargetKind::Linear {
+                in_dim: 5,
+                out_dim: 8,
+                positions: 1,
+                transformer: false,
+            },
+        }];
+        assert!(matches!(
+            Network::new("m", root, bad_shape),
+            Err(NnError::BadConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn weight_matrix_and_factorize_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = two_layer_net(&mut rng);
+        let w = net.weight_matrix("fc1").unwrap();
+        assert_eq!(w.shape(), (4, 8));
+        assert!(!net.is_factored("fc1").unwrap());
+        assert_eq!(net.rank_of("fc1").unwrap(), None);
+
+        let svd = cuttlefish_tensor::svd::Svd::compute(&w).unwrap();
+        let (u, vt) = svd.split_sqrt(2).unwrap();
+        net.factorize_target("fc1", u, vt, false, None).unwrap();
+        assert!(net.is_factored("fc1").unwrap());
+        assert_eq!(net.rank_of("fc1").unwrap(), Some(2));
+        // Effective matrix is now the rank-2 truncation.
+        let eff = net.weight_matrix("fc1").unwrap();
+        let trunc = svd.reconstruct_rank(2);
+        assert!(eff.sub(&trunc).unwrap().frobenius_norm() < 1e-4);
+    }
+
+    #[test]
+    fn unknown_target_errors() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = two_layer_net(&mut rng);
+        assert!(net.weight_matrix("nope").is_err());
+        assert!(net.is_factored("nope").is_err());
+        assert!(net.rank_of("nope").is_err());
+        assert!(net
+            .factorize_target("nope", Matrix::zeros(1, 1), Matrix::zeros(1, 1), false, None)
+            .is_err());
+    }
+
+    #[test]
+    fn param_count_drops_after_factorization() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = two_layer_net(&mut rng);
+        let before = net.param_count();
+        assert_eq!(before, 4 * 8 + 8 * 2);
+        let w = net.weight_matrix("fc1").unwrap();
+        let svd = cuttlefish_tensor::svd::Svd::compute(&w).unwrap();
+        let (u, vt) = svd.split_sqrt(1).unwrap();
+        net.factorize_target("fc1", u, vt, false, None).unwrap();
+        assert_eq!(net.param_count(), 4 + 8 + 16);
+    }
+
+    #[test]
+    fn train_step_reduces_loss() {
+        use crate::loss::cross_entropy;
+        use crate::optim::Sgd;
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = two_layer_net(&mut rng);
+        let x = cuttlefish_tensor::init::randn_matrix(8, 4, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
+        let mut opt = Sgd::new(0.9, 0.0);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..30 {
+            let logits = net.forward(Act::flat(x.clone()), Mode::Train).unwrap();
+            let (loss, grad) = cross_entropy(logits.data(), &labels, 0.0).unwrap();
+            net.backward(Act::flat(grad)).unwrap();
+            net.step(&mut opt, 0.1);
+            net.zero_grads();
+            if first.is_none() {
+                first = Some(loss);
+            }
+            last = loss;
+        }
+        assert!(last < first.unwrap() * 0.5, "{last} vs {first:?}");
+    }
+}

@@ -1,0 +1,220 @@
+//! Optimizers: SGD with momentum and AdamW.
+//!
+//! Optimizer state lives inside each [`Param`]'s `slots`, so parameters
+//! created mid-training (the `(U, Vᵀ)` factors at Cuttlefish's switching
+//! epoch) simply start with fresh state — exactly what the paper's
+//! implementation does by constructing a new optimizer after factorization.
+
+use crate::Param;
+use cuttlefish_tensor::Matrix;
+
+/// A first-order optimizer stepping one parameter at a time.
+pub trait Optimizer: std::fmt::Debug {
+    /// Applies one update to `param` using its accumulated gradient and the
+    /// given learning rate, then leaves the gradient untouched (callers zero
+    /// gradients between steps).
+    fn step(&mut self, param: &mut Param, lr: f32);
+}
+
+/// SGD with (optionally Nesterov-free) momentum and decoupled L2 weight
+/// decay — the optimizer used for all CNN experiments in the paper
+/// (momentum 0.9, weight decay 1e-4, decay disabled on BN parameters).
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Momentum coefficient (0 disables the velocity buffer).
+    pub momentum: f32,
+    /// L2 weight-decay coefficient, applied only to params with
+    /// `weight_decay == true`.
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the paper's defaults (0.9 / 1e-4).
+    pub fn new(momentum: f32, weight_decay: f32) -> Self {
+        Sgd {
+            momentum,
+            weight_decay,
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, param: &mut Param, lr: f32) {
+        let (r, c) = param.value.shape();
+        // Effective gradient = grad + wd * value (L2, PyTorch-style coupled).
+        let mut g = param.grad.clone();
+        if self.weight_decay > 0.0 && param.weight_decay {
+            g.axpy(self.weight_decay, &param.value)
+                .expect("value/grad shapes agree");
+        }
+        if self.momentum > 0.0 {
+            if param.slots.is_empty() {
+                param.slots.push(Matrix::zeros(r, c));
+            }
+            let vel = &mut param.slots[0];
+            vel.scale_in_place(self.momentum);
+            vel.axpy(1.0, &g).expect("velocity shape matches");
+            param.value.axpy(-lr, vel).expect("shapes agree");
+        } else {
+            param.value.axpy(-lr, &g).expect("shapes agree");
+        }
+    }
+}
+
+/// AdamW (decoupled weight decay), used by the paper for DeiT/ResMLP/BERT.
+#[derive(Debug, Clone)]
+pub struct AdamW {
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical stabilizer.
+    pub eps: f32,
+    /// Decoupled weight-decay coefficient.
+    pub weight_decay: f32,
+    /// Step counter for bias correction (shared across params, incremented
+    /// once per [`AdamW::next_step`]).
+    t: u64,
+}
+
+impl AdamW {
+    /// Creates AdamW with the standard (0.9, 0.999, 1e-8) moments.
+    pub fn new(weight_decay: f32) -> Self {
+        AdamW {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+        }
+    }
+
+    /// Advances the shared step counter; call once per optimization step
+    /// (before stepping the parameters of that batch).
+    pub fn next_step(&mut self) {
+        self.t += 1;
+    }
+}
+
+impl Optimizer for AdamW {
+    fn step(&mut self, param: &mut Param, lr: f32) {
+        if self.t == 0 {
+            self.t = 1;
+        }
+        let (r, c) = param.value.shape();
+        while param.slots.len() < 2 {
+            param.slots.push(Matrix::zeros(r, c));
+        }
+        let t = self.t as i32;
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
+        // Split borrows of the two slots.
+        let (m_slot, rest) = param.slots.split_first_mut().expect("two slots exist");
+        let v_slot = &mut rest[0];
+        for idx in 0..r * c {
+            let g = param.grad.as_slice()[idx];
+            let m = &mut m_slot.as_mut_slice()[idx];
+            *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+            let v = &mut v_slot.as_mut_slice()[idx];
+            *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+            let m_hat = *m / bc1;
+            let v_hat = *v / bc2;
+            let val = &mut param.value.as_mut_slice()[idx];
+            let decay = if param.weight_decay { self.weight_decay } else { 0.0 };
+            *val -= lr * (m_hat / (v_hat.sqrt() + self.eps) + decay * *val);
+        }
+    }
+}
+
+/// Clips the global gradient norm across a set of parameters to `max_norm`,
+/// returning the pre-clip norm. Used to stabilize transformer training.
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    let total: f64 = params.iter().map(|p| p.grad.frobenius_norm_sq()).sum();
+    let norm = total.sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params.iter_mut() {
+            p.grad.scale_in_place(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn param_with_grad(value: f32, grad: f32) -> Param {
+        let mut p = Param::new(Matrix::from_rows(&[vec![value]]).unwrap());
+        p.grad.set(0, 0, grad);
+        p
+    }
+
+    #[test]
+    fn sgd_plain_step() {
+        let mut opt = Sgd::new(0.0, 0.0);
+        let mut p = param_with_grad(1.0, 0.5);
+        opt.step(&mut p, 0.1);
+        assert!((p.value.get(0, 0) - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let mut opt = Sgd::new(0.9, 0.0);
+        let mut p = param_with_grad(0.0, 1.0);
+        opt.step(&mut p, 1.0); // v = 1, x = -1
+        p.grad.set(0, 0, 1.0);
+        opt.step(&mut p, 1.0); // v = 1.9, x = -2.9
+        assert!((p.value.get(0, 0) + 2.9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sgd_weight_decay_respects_flag() {
+        let mut opt = Sgd::new(0.0, 0.1);
+        let mut decayed = param_with_grad(1.0, 0.0);
+        opt.step(&mut decayed, 1.0);
+        assert!((decayed.value.get(0, 0) - 0.9).abs() < 1e-6);
+
+        let mut exempt = Param::new_no_decay(Matrix::from_rows(&[vec![1.0]]).unwrap());
+        opt.step(&mut exempt, 1.0);
+        assert_eq!(exempt.value.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn adamw_first_step_is_lr_sized() {
+        // With bias correction, the first Adam step ≈ lr·sign(grad).
+        let mut opt = AdamW::new(0.0);
+        opt.next_step();
+        let mut p = param_with_grad(0.0, 0.3);
+        opt.step(&mut p, 0.01);
+        assert!((p.value.get(0, 0) + 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adamw_decoupled_decay() {
+        let mut opt = AdamW::new(0.5);
+        opt.next_step();
+        let mut p = param_with_grad(2.0, 0.0);
+        opt.step(&mut p, 0.1);
+        // No gradient: update is only −lr·wd·x = −0.1.
+        assert!((p.value.get(0, 0) - 1.9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut p1 = param_with_grad(0.0, 3.0);
+        let mut p2 = param_with_grad(0.0, 4.0);
+        let norm = clip_grad_norm(&mut [&mut p1, &mut p2], 1.0);
+        assert!((norm - 5.0).abs() < 1e-5);
+        let after: f32 = (p1.grad.get(0, 0).powi(2) + p2.grad.get(0, 0).powi(2)).sqrt();
+        assert!((after - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_grad_norm_no_op_below_threshold() {
+        let mut p = param_with_grad(0.0, 0.5);
+        let norm = clip_grad_norm(&mut [&mut p], 1.0);
+        assert!((norm - 0.5).abs() < 1e-6);
+        assert_eq!(p.grad.get(0, 0), 0.5);
+    }
+}

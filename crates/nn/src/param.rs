@@ -1,0 +1,101 @@
+use cuttlefish_tensor::Matrix;
+
+/// A trainable parameter: value, gradient, and optimizer slots.
+///
+/// Optimizer state (momentum buffers, Adam moments) is stored *inside* the
+/// parameter. This is deliberate: when Cuttlefish factorizes a layer
+/// mid-training, the dense `W` parameter is replaced by fresh `(U, Vᵀ)`
+/// parameters, and keeping state inline means the swap cannot silently
+/// associate stale momentum with the wrong tensor — new params simply start
+/// with empty slots, matching the paper's PyTorch implementation, which
+/// constructs a new optimizer at the switch.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Matrix,
+    /// Whether generic L2 weight decay applies. Disabled for biases and
+    /// BatchNorm parameters (paper Appendix C.1) and for factor pairs when
+    /// Frobenius decay manages their regularization instead.
+    pub weight_decay: bool,
+    /// Optimizer slots, lazily created by the optimizer on first step.
+    pub slots: Vec<Matrix>,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient and standard weight decay.
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Param {
+            value,
+            grad,
+            weight_decay: true,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Creates a parameter exempt from generic weight decay (bias / BN /
+    /// Frobenius-decay-managed factors).
+    pub fn new_no_decay(value: Matrix) -> Self {
+        let mut p = Param::new(value);
+        p.weight_decay = false;
+        p
+    }
+
+    /// Zeroes the gradient in place.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar parameters.
+    pub fn count(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Accumulates `alpha * g` into the gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has a different shape than the parameter.
+    pub fn accumulate_grad(&mut self, alpha: f32, g: &Matrix) {
+        self.grad
+            .axpy(alpha, g)
+            .expect("gradient shape must match parameter shape");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Matrix::eye(3));
+        assert_eq!(p.grad.sum(), 0.0);
+        assert!(p.weight_decay);
+        assert_eq!(p.count(), 9);
+    }
+
+    #[test]
+    fn no_decay_constructor() {
+        let p = Param::new_no_decay(Matrix::zeros(1, 4));
+        assert!(!p.weight_decay);
+    }
+
+    #[test]
+    fn accumulate_and_zero() {
+        let mut p = Param::new(Matrix::zeros(2, 2));
+        p.accumulate_grad(2.0, &Matrix::eye(2));
+        assert_eq!(p.grad.get(0, 0), 2.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape")]
+    fn accumulate_panics_on_shape_mismatch() {
+        let mut p = Param::new(Matrix::zeros(2, 2));
+        p.accumulate_grad(1.0, &Matrix::zeros(3, 3));
+    }
+}

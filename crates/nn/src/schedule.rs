@@ -1,0 +1,192 @@
+//! Learning-rate schedules.
+//!
+//! The paper uses two schedules: linear warmup into multi-step decay (the
+//! Goyal et al. large-minibatch recipe for CIFAR/SVHN/ImageNet CNNs, with
+//! decay at 50% / 75% of training) and cosine decay with warmup (the DeiT
+//! recipe for transformers/mixers). Cuttlefish additionally decays the base
+//! LR by a constant fraction at the full→low-rank switch for DeiT/ResMLP
+//! (Appendix C.2), supported here via [`LrSchedule::with_scale`].
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule mapping an epoch index to a learning rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant {
+        /// The learning rate.
+        lr: f32,
+    },
+    /// Linear warmup from `base_lr` to `peak_lr` over `warmup_epochs`, then
+    /// multiplicative decay by `gamma` at each milestone epoch.
+    WarmupMultiStep {
+        /// Starting LR for the warmup ramp.
+        base_lr: f32,
+        /// LR reached at the end of warmup.
+        peak_lr: f32,
+        /// Number of warmup epochs.
+        warmup_epochs: usize,
+        /// Epochs at which the LR is multiplied by `gamma`.
+        milestones: Vec<usize>,
+        /// Decay factor per milestone.
+        gamma: f32,
+    },
+    /// Linear warmup then cosine decay to `min_lr` at `total_epochs`.
+    WarmupCosine {
+        /// LR reached at the end of warmup.
+        peak_lr: f32,
+        /// Floor of the cosine decay.
+        min_lr: f32,
+        /// Number of warmup epochs.
+        warmup_epochs: usize,
+        /// Total training epochs.
+        total_epochs: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The Goyal et al. recipe used for the paper's CIFAR/SVHN runs:
+    /// warm up from 0.1 to `peak` over 5 epochs, decay 10× at 50% and 75%.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cuttlefish_nn::schedule::LrSchedule;
+    /// let s = LrSchedule::goyal(0.8, 300);
+    /// assert!((s.lr_at(10) - 0.8).abs() < 1e-6);   // post-warmup peak
+    /// assert!((s.lr_at(150) - 0.08).abs() < 1e-6); // first decay
+    /// ```
+    pub fn goyal(peak: f32, total_epochs: usize) -> Self {
+        LrSchedule::WarmupMultiStep {
+            base_lr: peak / 8.0,
+            peak_lr: peak,
+            warmup_epochs: 5,
+            milestones: vec![total_epochs / 2, total_epochs * 3 / 4],
+            gamma: 0.1,
+        }
+    }
+
+    /// Learning rate at the given epoch.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        match self {
+            LrSchedule::Constant { lr } => *lr,
+            LrSchedule::WarmupMultiStep {
+                base_lr,
+                peak_lr,
+                warmup_epochs,
+                milestones,
+                gamma,
+            } => {
+                if epoch < *warmup_epochs {
+                    let frac = (epoch + 1) as f32 / *warmup_epochs as f32;
+                    base_lr + (peak_lr - base_lr) * frac
+                } else {
+                    let decays = milestones.iter().filter(|&&m| epoch >= m).count() as i32;
+                    peak_lr * gamma.powi(decays)
+                }
+            }
+            LrSchedule::WarmupCosine {
+                peak_lr,
+                min_lr,
+                warmup_epochs,
+                total_epochs,
+            } => {
+                if epoch < *warmup_epochs {
+                    peak_lr * (epoch + 1) as f32 / *warmup_epochs as f32
+                } else {
+                    let span = total_epochs.saturating_sub(*warmup_epochs).max(1) as f32;
+                    let progress = ((epoch - warmup_epochs) as f32 / span).min(1.0);
+                    min_lr
+                        + (peak_lr - min_lr) * 0.5 * (1.0 + (std::f32::consts::PI * progress).cos())
+                }
+            }
+        }
+    }
+
+    /// Returns the same schedule with every produced LR multiplied by
+    /// `scale` — used for the paper's post-switch base-LR decay on
+    /// DeiT/ResMLP (Appendix C.2).
+    #[must_use]
+    pub fn with_scale(&self, scale: f32) -> ScaledSchedule {
+        ScaledSchedule {
+            inner: self.clone(),
+            scale,
+        }
+    }
+}
+
+/// A schedule with a multiplicative scale applied, see
+/// [`LrSchedule::with_scale`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaledSchedule {
+    inner: LrSchedule,
+    scale: f32,
+}
+
+impl ScaledSchedule {
+    /// Learning rate at the given epoch.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        self.inner.lr_at(epoch) * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        let s = LrSchedule::Constant { lr: 0.3 };
+        assert_eq!(s.lr_at(0), 0.3);
+        assert_eq!(s.lr_at(100), 0.3);
+    }
+
+    #[test]
+    fn goyal_warms_up_then_decays() {
+        let s = LrSchedule::goyal(0.8, 300);
+        // During warmup LR rises.
+        assert!(s.lr_at(0) < s.lr_at(4));
+        // Peak after warmup.
+        assert!((s.lr_at(5) - 0.8).abs() < 1e-6);
+        // First decay at 150.
+        assert!((s.lr_at(149) - 0.8).abs() < 1e-6);
+        assert!((s.lr_at(150) - 0.08).abs() < 1e-6);
+        // Second decay at 225.
+        assert!((s.lr_at(225) - 0.008).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warmup_reaches_peak_exactly() {
+        let s = LrSchedule::WarmupMultiStep {
+            base_lr: 0.1,
+            peak_lr: 0.8,
+            warmup_epochs: 5,
+            milestones: vec![],
+            gamma: 0.1,
+        };
+        assert!((s.lr_at(4) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_decays_to_min() {
+        let s = LrSchedule::WarmupCosine {
+            peak_lr: 1.0,
+            min_lr: 0.01,
+            warmup_epochs: 2,
+            total_epochs: 12,
+        };
+        assert!(s.lr_at(0) < s.lr_at(1));
+        assert!((s.lr_at(1) - 1.0).abs() < 1e-6);
+        // Monotone decay after warmup.
+        assert!(s.lr_at(5) > s.lr_at(9));
+        // Clamped at the end.
+        assert!((s.lr_at(11) - 0.01).abs() < 0.05);
+        assert!((s.lr_at(500) - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaled_schedule_multiplies() {
+        let s = LrSchedule::Constant { lr: 0.6 }.with_scale(0.5);
+        assert!((s.lr_at(7) - 0.3).abs() < 1e-7);
+    }
+}

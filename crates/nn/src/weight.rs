@@ -1,0 +1,702 @@
+//! Factorable weights: the mechanism behind the full-rank → low-rank switch.
+//!
+//! Every layer that Cuttlefish can factorize (convolutions in their
+//! unrolled `(m·k², n)` view, linear projections, each attention
+//! projection) stores its weight as a [`FactorableWeight`]. During the
+//! full-rank phase it is a dense matrix `W`; at the switching epoch the
+//! `cuttlefish` crate replaces it with a pair `(U, Vᵀ)` obtained from the
+//! SVD split `U = Ũ Σ^{1/2}`, `Vᵀ = Σ^{1/2} Ṽᵀ` (Algorithm 1), optionally
+//! with an extra BatchNorm between the factors (§4.1) and optionally with
+//! Frobenius decay `λ/2 · ‖UVᵀ‖_F²` replacing plain L2 decay (§4.1).
+
+use crate::{Mode, NnError, NnResult, Param};
+use cuttlefish_tensor::Matrix;
+
+/// A column-wise batch normalization core over `(N, C)` matrices.
+///
+/// Reused by the `BatchNorm2d` layer (after reshaping images so each row is
+/// one spatial position) and as the "extra BN" inserted between the `U` and
+/// `Vᵀ` factors of a factorized layer.
+#[derive(Debug, Clone)]
+pub struct BatchNormCore {
+    /// Scale parameter `γ`, shape `(1, C)`.
+    pub gamma: Param,
+    /// Shift parameter `β`, shape `(1, C)`.
+    pub beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Matrix,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNormCore {
+    /// Creates a BN core over `channels` columns with γ=1, β=0.
+    pub fn new(channels: usize) -> Self {
+        BatchNormCore {
+            gamma: Param::new_no_decay(Matrix::from_fn(1, channels, |_, _| 1.0)),
+            beta: Param::new_no_decay(Matrix::zeros(1, channels)),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+        cache: None,
+        }
+    }
+
+    /// Number of normalized channels.
+    pub fn channels(&self) -> usize {
+        self.gamma.value.cols()
+    }
+
+    /// Normalizes each column of `x`; in train mode uses batch statistics
+    /// and updates the running estimates, in eval mode uses running stats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadActivation`] if the column count disagrees
+    /// with the core's channel count.
+    pub fn forward(&mut self, x: &Matrix, mode: Mode) -> NnResult<Matrix> {
+        let c = self.channels();
+        if x.cols() != c {
+            return Err(NnError::BadActivation {
+                layer: "BatchNormCore".to_string(),
+                detail: format!("expected {c} columns, got {}", x.cols()),
+            });
+        }
+        let n = x.rows().max(1);
+        let mut out = Matrix::zeros(x.rows(), c);
+        if mode.is_train() {
+            // Batch statistics (biased variance, matching normalization in
+            // PyTorch; running stats use the same estimate at our scale).
+            let mut mean = vec![0.0f64; c];
+            let mut var = vec![0.0f64; c];
+            for i in 0..x.rows() {
+                let row = x.row(i);
+                for j in 0..c {
+                    mean[j] += row[j] as f64;
+                }
+            }
+            for m in mean.iter_mut() {
+                *m /= n as f64;
+            }
+            for i in 0..x.rows() {
+                let row = x.row(i);
+                for j in 0..c {
+                    let d = row[j] as f64 - mean[j];
+                    var[j] += d * d;
+                }
+            }
+            for v in var.iter_mut() {
+                *v /= n as f64;
+            }
+            let inv_std: Vec<f32> = var
+                .iter()
+                .map(|&v| (1.0 / (v + self.eps as f64).sqrt()) as f32)
+                .collect();
+            let mut x_hat = Matrix::zeros(x.rows(), c);
+            for i in 0..x.rows() {
+                let row = x.row(i);
+                for j in 0..c {
+                    let xh = (row[j] - mean[j] as f32) * inv_std[j];
+                    x_hat.set(i, j, xh);
+                    out.set(
+                        i,
+                        j,
+                        self.gamma.value.get(0, j) * xh + self.beta.value.get(0, j),
+                    );
+                }
+            }
+            for j in 0..c {
+                self.running_mean[j] =
+                    (1.0 - self.momentum) * self.running_mean[j] + self.momentum * mean[j] as f32;
+                self.running_var[j] =
+                    (1.0 - self.momentum) * self.running_var[j] + self.momentum * var[j] as f32;
+            }
+            self.cache = Some(BnCache { x_hat, inv_std });
+        } else {
+            for i in 0..x.rows() {
+                let row = x.row(i);
+                for j in 0..c {
+                    let inv = 1.0 / (self.running_var[j] + self.eps).sqrt();
+                    let xh = (row[j] - self.running_mean[j]) * inv;
+                    out.set(
+                        i,
+                        j,
+                        self.gamma.value.get(0, j) * xh + self.beta.value.get(0, j),
+                    );
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Backward pass; accumulates γ/β gradients and returns `dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingCache`] if no train-mode forward preceded.
+    pub fn backward(&mut self, dy: &Matrix) -> NnResult<Matrix> {
+        let cache = self.cache.take().ok_or_else(|| NnError::MissingCache {
+            layer: "BatchNormCore".to_string(),
+        })?;
+        let c = self.channels();
+        let n = dy.rows().max(1) as f32;
+        let mut sum_dy = vec![0.0f32; c];
+        let mut sum_dy_xhat = vec![0.0f32; c];
+        for i in 0..dy.rows() {
+            let row = dy.row(i);
+            let xrow = cache.x_hat.row(i);
+            for j in 0..c {
+                sum_dy[j] += row[j];
+                sum_dy_xhat[j] += row[j] * xrow[j];
+            }
+        }
+        for j in 0..c {
+            self.gamma.grad.set(0, j, self.gamma.grad.get(0, j) + sum_dy_xhat[j]);
+            self.beta.grad.set(0, j, self.beta.grad.get(0, j) + sum_dy[j]);
+        }
+        let mut dx = Matrix::zeros(dy.rows(), c);
+        for i in 0..dy.rows() {
+            let dyrow = dy.row(i);
+            let xrow = cache.x_hat.row(i);
+            for j in 0..c {
+                let g = self.gamma.value.get(0, j);
+                let val = g * cache.inv_std[j] / n
+                    * (n * dyrow[j] - sum_dy[j] - xrow[j] * sum_dy_xhat[j]);
+                dx.set(i, j, val);
+            }
+        }
+        Ok(dx)
+    }
+
+    /// Visits γ then β.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    /// Number of scalar parameters (γ and β).
+    pub fn param_count(&self) -> usize {
+        self.gamma.count() + self.beta.count()
+    }
+}
+
+/// The two states of a factorable weight.
+#[derive(Debug, Clone)]
+enum WeightState {
+    /// Dense `W` of shape `(in, out)`.
+    Full(Param),
+    /// Factored `U (in × r)`, `Vᵀ (r × out)`, optional mid-BN, optional
+    /// Frobenius-decay coefficient λ.
+    Factored {
+        u: Param,
+        vt: Param,
+        mid_bn: Option<BatchNormCore>,
+        frobenius_decay: Option<f32>,
+    },
+}
+
+/// A weight that is either dense or factored as `U · Vᵀ`.
+///
+/// The forward contract is `y = op(x)` where `op` is `x·W` when dense and
+/// `(BN?)(x·U)·Vᵀ` when factored; both states cache what the backward pass
+/// needs when run in [`Mode::Train`].
+///
+/// # Example
+///
+/// ```
+/// use cuttlefish_nn::weight::FactorableWeight;
+/// use cuttlefish_nn::Mode;
+/// use cuttlefish_tensor::{Matrix, svd::Svd};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let w = Matrix::from_fn(6, 4, |i, j| ((i + j) as f32 * 0.3).sin());
+/// let mut weight = FactorableWeight::new_full(w.clone());
+///
+/// // Mid-training, Cuttlefish swaps in the SVD factors at a chosen rank.
+/// let svd = Svd::compute(&w)?;
+/// let (u, vt) = svd.split_sqrt(2)?;
+/// weight.set_factored(u, vt, /*extra_bn=*/ false, /*frobenius_decay=*/ None)?;
+/// assert_eq!(weight.rank(), Some(2));
+/// assert!(weight.param_count() < w.len());
+///
+/// // Same forward contract in both states.
+/// let x = Matrix::from_fn(3, 6, |i, j| (i * 6 + j) as f32 * 0.1);
+/// let y = weight.forward(&x, Mode::Eval)?;
+/// assert_eq!(y.shape(), (3, 4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FactorableWeight {
+    state: WeightState,
+    in_dim: usize,
+    out_dim: usize,
+    cache_x: Option<Matrix>,
+    cache_mid: Option<Matrix>,
+}
+
+impl FactorableWeight {
+    /// Creates a dense weight from an `(in, out)` matrix.
+    pub fn new_full(w: Matrix) -> Self {
+        let (in_dim, out_dim) = w.shape();
+        FactorableWeight {
+            state: WeightState::Full(Param::new(w)),
+            in_dim,
+            out_dim,
+            cache_x: None,
+            cache_mid: None,
+        }
+    }
+
+    /// Input dimension (rows of `W`).
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension (cols of `W`).
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Whether the weight is currently factored.
+    pub fn is_factored(&self) -> bool {
+        matches!(self.state, WeightState::Factored { .. })
+    }
+
+    /// Rank of the factorization, if factored.
+    pub fn rank(&self) -> Option<usize> {
+        match &self.state {
+            WeightState::Full(_) => None,
+            WeightState::Factored { u, .. } => Some(u.value.cols()),
+        }
+    }
+
+    /// Dense weight matrix, if in the full state.
+    pub fn dense(&self) -> Option<&Matrix> {
+        match &self.state {
+            WeightState::Full(p) => Some(&p.value),
+            WeightState::Factored { .. } => None,
+        }
+    }
+
+    /// Mutable dense weight matrix, if in the full state. Used by
+    /// baselines that rewrite weights in place (XNOR binarization, IMP /
+    /// GraSP masking); the shape must be preserved.
+    pub fn dense_mut(&mut self) -> Option<&mut Matrix> {
+        match &mut self.state {
+            WeightState::Full(p) => Some(&mut p.value),
+            WeightState::Factored { .. } => None,
+        }
+    }
+
+    /// The effective `(in, out)` matrix: `W` when dense, `U·Vᵀ` when
+    /// factored (ignoring any mid-BN).
+    pub fn effective(&self) -> Matrix {
+        match &self.state {
+            WeightState::Full(p) => p.value.clone(),
+            WeightState::Factored { u, vt, .. } => u
+                .value
+                .matmul(&vt.value)
+                .expect("factor shapes are consistent by construction"),
+        }
+    }
+
+    /// Number of trainable scalars in the current state.
+    pub fn param_count(&self) -> usize {
+        match &self.state {
+            WeightState::Full(p) => p.count(),
+            WeightState::Factored { u, vt, mid_bn, .. } => {
+                u.count() + vt.count() + mid_bn.as_ref().map_or(0, |bn| bn.param_count())
+            }
+        }
+    }
+
+    /// Replaces the dense weight with the factored pair `(U, Vᵀ)`.
+    ///
+    /// When `frobenius_decay` is `Some(λ)`, plain L2 decay is disabled on
+    /// the factors and [`FactorableWeight::apply_frobenius_decay`] adds the
+    /// gradient of `λ/2 · ‖UVᵀ‖_F²` instead. When `extra_bn` is true a
+    /// fresh BatchNorm is inserted between the factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if the factor shapes are inconsistent
+    /// with each other or with the original `(in, out)` shape.
+    pub fn set_factored(
+        &mut self,
+        u: Matrix,
+        vt: Matrix,
+        extra_bn: bool,
+        frobenius_decay: Option<f32>,
+    ) -> NnResult<()> {
+        if u.cols() != vt.rows() || u.rows() != self.in_dim || vt.cols() != self.out_dim {
+            return Err(NnError::BadConfig {
+                detail: format!(
+                    "factors {:?} x {:?} do not compose to ({}, {})",
+                    u.shape(),
+                    vt.shape(),
+                    self.in_dim,
+                    self.out_dim
+                ),
+            });
+        }
+        let rank = u.cols();
+        let decay_factors = frobenius_decay.is_none();
+        let mut u = Param::new(u);
+        let mut vt = Param::new(vt);
+        u.weight_decay = decay_factors;
+        vt.weight_decay = decay_factors;
+        self.state = WeightState::Factored {
+            u,
+            vt,
+            mid_bn: extra_bn.then(|| BatchNormCore::new(rank)),
+            frobenius_decay,
+        };
+        self.cache_x = None;
+        self.cache_mid = None;
+        Ok(())
+    }
+
+    /// Computes `y = op(x)`, caching for backward when `mode` is train.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying matmuls.
+    pub fn forward(&mut self, x: &Matrix, mode: Mode) -> NnResult<Matrix> {
+        let y = match &mut self.state {
+            WeightState::Full(p) => x.matmul(&p.value)?,
+            WeightState::Factored { u, vt, mid_bn, .. } => {
+                let mid0 = x.matmul(&u.value)?;
+                let mid = match mid_bn {
+                    Some(bn) => bn.forward(&mid0, mode)?,
+                    None => mid0,
+                };
+                let y = mid.matmul(&vt.value)?;
+                if mode.is_train() {
+                    self.cache_mid = Some(mid);
+                }
+                y
+            }
+        };
+        if mode.is_train() {
+            self.cache_x = Some(x.clone());
+        }
+        Ok(y)
+    }
+
+    /// Backward pass: accumulates factor gradients and returns `dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingCache`] without a preceding train-mode
+    /// forward.
+    pub fn backward(&mut self, dy: &Matrix) -> NnResult<Matrix> {
+        let x = self.cache_x.take().ok_or_else(|| NnError::MissingCache {
+            layer: "FactorableWeight".to_string(),
+        })?;
+        match &mut self.state {
+            WeightState::Full(p) => {
+                let dw = x.matmul_tn(dy)?;
+                p.accumulate_grad(1.0, &dw);
+                Ok(dy.matmul_nt(&p.value)?)
+            }
+            WeightState::Factored { u, vt, mid_bn, .. } => {
+                let mid = self.cache_mid.take().ok_or_else(|| NnError::MissingCache {
+                    layer: "FactorableWeight(mid)".to_string(),
+                })?;
+                let dvt = mid.matmul_tn(dy)?;
+                vt.accumulate_grad(1.0, &dvt);
+                let dmid = dy.matmul_nt(&vt.value)?;
+                let dmid0 = match mid_bn {
+                    Some(bn) => bn.backward(&dmid)?,
+                    None => dmid,
+                };
+                let du = x.matmul_tn(&dmid0)?;
+                u.accumulate_grad(1.0, &du);
+                Ok(dmid0.matmul_nt(&u.value)?)
+            }
+        }
+    }
+
+    /// Adds the Frobenius-decay gradients `λ·U(VᵀV)` and `λ·(UᵀU)Vᵀ` when
+    /// the weight is factored with FD enabled; no-op otherwise.
+    ///
+    /// The paper notes the shared `UVᵀ` term need only be computed once
+    /// (§4.1); using the Gram form `VᵀV = Vᵀ(Vᵀ)ᵀ` we avoid materializing
+    /// the `(in, out)` product entirely — cost is `O(r²(in+out))`.
+    pub fn apply_frobenius_decay(&mut self) {
+        if let WeightState::Factored {
+            u,
+            vt,
+            frobenius_decay: Some(lambda),
+            ..
+        } = &mut self.state
+        {
+            let lambda = *lambda;
+            let vt_gram = vt
+                .value
+                .matmul_nt(&vt.value)
+                .expect("vt gram shapes agree"); // (r, r) = VᵀV
+            let du = u.value.matmul(&vt_gram).expect("u · gram shapes agree");
+            u.accumulate_grad(lambda, &du);
+            let u_gram = u.value.matmul_tn(&u.value).expect("u gram shapes agree"); // (r, r) = UᵀU
+            let dvt = u_gram.matmul(&vt.value).expect("gram · vt shapes agree");
+            vt.accumulate_grad(lambda, &dvt);
+        }
+    }
+
+    /// Visits all parameters in a deterministic order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match &mut self.state {
+            WeightState::Full(p) => f(p),
+            WeightState::Factored { u, vt, mid_bn, .. } => {
+                f(u);
+                f(vt);
+                if let Some(bn) = mid_bn {
+                    bn.visit_params(f);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuttlefish_tensor::init::randn_matrix;
+    use cuttlefish_tensor::svd::Svd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn full_forward_is_matmul() {
+        let w = Matrix::eye(3);
+        let mut fw = FactorableWeight::new_full(w);
+        let x = randn_matrix(4, 3, 1.0, &mut rng(0));
+        let y = fw.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn full_backward_gradients() {
+        // y = xW, L = sum(y) ⇒ dW = xᵀ·1, dx = 1·Wᵀ.
+        let w = randn_matrix(3, 2, 1.0, &mut rng(1));
+        let mut fw = FactorableWeight::new_full(w.clone());
+        let x = randn_matrix(5, 3, 1.0, &mut rng(2));
+        let _ = fw.forward(&x, Mode::Train).unwrap();
+        let dy = Matrix::from_fn(5, 2, |_, _| 1.0);
+        let dx = fw.backward(&dy).unwrap();
+        let expect_dx = dy.matmul_nt(&w).unwrap();
+        assert!(dx.sub(&expect_dx).unwrap().frobenius_norm() < 1e-5);
+        let mut grads = Vec::new();
+        fw.visit_params(&mut |p| grads.push(p.grad.clone()));
+        let expect_dw = x.matmul_tn(&dy).unwrap();
+        assert!(grads[0].sub(&expect_dw).unwrap().frobenius_norm() < 1e-5);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut fw = FactorableWeight::new_full(Matrix::eye(2));
+        assert!(matches!(
+            fw.backward(&Matrix::zeros(1, 2)),
+            Err(NnError::MissingCache { .. })
+        ));
+    }
+
+    #[test]
+    fn set_factored_validates_shapes() {
+        let mut fw = FactorableWeight::new_full(Matrix::zeros(4, 6));
+        assert!(fw
+            .set_factored(Matrix::zeros(4, 2), Matrix::zeros(3, 6), false, None)
+            .is_err());
+        assert!(fw
+            .set_factored(Matrix::zeros(5, 2), Matrix::zeros(2, 6), false, None)
+            .is_err());
+        assert!(fw
+            .set_factored(Matrix::zeros(4, 2), Matrix::zeros(2, 6), false, None)
+            .is_ok());
+        assert!(fw.is_factored());
+        assert_eq!(fw.rank(), Some(2));
+    }
+
+    #[test]
+    fn factored_forward_matches_product() {
+        let w = randn_matrix(6, 5, 1.0, &mut rng(3));
+        let svd = Svd::compute(&w).unwrap();
+        let (u, vt) = svd.split_sqrt(5).unwrap();
+        let mut fw = FactorableWeight::new_full(w.clone());
+        fw.set_factored(u, vt, false, None).unwrap();
+        let x = randn_matrix(3, 6, 1.0, &mut rng(4));
+        let y = fw.forward(&x, Mode::Eval).unwrap();
+        let expect = x.matmul(&w).unwrap();
+        assert!(y.sub(&expect).unwrap().frobenius_norm() < 1e-3);
+        assert!(fw.effective().sub(&w).unwrap().frobenius_norm() < 1e-3);
+    }
+
+    #[test]
+    fn factored_backward_gradients_match_dense_composition() {
+        // Compare factored backward against manually composing two matmuls.
+        let u0 = randn_matrix(4, 2, 1.0, &mut rng(5));
+        let vt0 = randn_matrix(2, 3, 1.0, &mut rng(6));
+        let mut fw = FactorableWeight::new_full(Matrix::zeros(4, 3));
+        fw.set_factored(u0.clone(), vt0.clone(), false, None).unwrap();
+        let x = randn_matrix(7, 4, 1.0, &mut rng(7));
+        let _ = fw.forward(&x, Mode::Train).unwrap();
+        let dy = randn_matrix(7, 3, 1.0, &mut rng(8));
+        let dx = fw.backward(&dy).unwrap();
+
+        let mid = x.matmul(&u0).unwrap();
+        let expect_dvt = mid.matmul_tn(&dy).unwrap();
+        let dmid = dy.matmul_nt(&vt0).unwrap();
+        let expect_du = x.matmul_tn(&dmid).unwrap();
+        let expect_dx = dmid.matmul_nt(&u0).unwrap();
+
+        let mut grads = Vec::new();
+        fw.visit_params(&mut |p| grads.push(p.grad.clone()));
+        assert!(grads[0].sub(&expect_du).unwrap().frobenius_norm() < 1e-4);
+        assert!(grads[1].sub(&expect_dvt).unwrap().frobenius_norm() < 1e-4);
+        assert!(dx.sub(&expect_dx).unwrap().frobenius_norm() < 1e-4);
+    }
+
+    #[test]
+    fn frobenius_decay_matches_definition() {
+        // ∇_U λ/2‖UVᵀ‖² = λ·(UVᵀ)·V, ∇_{Vᵀ} = λ·Uᵀ·(UVᵀ).
+        let u0 = randn_matrix(4, 2, 1.0, &mut rng(9));
+        let vt0 = randn_matrix(2, 3, 1.0, &mut rng(10));
+        let mut fw = FactorableWeight::new_full(Matrix::zeros(4, 3));
+        fw.set_factored(u0.clone(), vt0.clone(), false, Some(0.3)).unwrap();
+        fw.apply_frobenius_decay();
+        let prod = u0.matmul(&vt0).unwrap();
+        let expect_du = prod.matmul_nt(&vt0).unwrap().scale(0.3);
+        let expect_dvt = u0.transpose().matmul(&prod).unwrap().scale(0.3);
+        let mut grads = Vec::new();
+        fw.visit_params(&mut |p| grads.push(p.grad.clone()));
+        assert!(grads[0].sub(&expect_du).unwrap().frobenius_norm() < 1e-4);
+        assert!(grads[1].sub(&expect_dvt).unwrap().frobenius_norm() < 1e-4);
+    }
+
+    #[test]
+    fn frobenius_decay_disables_plain_l2_on_factors() {
+        let mut fw = FactorableWeight::new_full(Matrix::zeros(4, 3));
+        fw.set_factored(Matrix::zeros(4, 2), Matrix::zeros(2, 3), false, Some(0.1))
+            .unwrap();
+        let mut flags = Vec::new();
+        fw.visit_params(&mut |p| flags.push(p.weight_decay));
+        assert_eq!(flags, vec![false, false]);
+
+        let mut fw2 = FactorableWeight::new_full(Matrix::zeros(4, 3));
+        fw2.set_factored(Matrix::zeros(4, 2), Matrix::zeros(2, 3), false, None)
+            .unwrap();
+        let mut flags2 = Vec::new();
+        fw2.visit_params(&mut |p| flags2.push(p.weight_decay));
+        assert_eq!(flags2, vec![true, true]);
+    }
+
+    #[test]
+    fn param_count_shrinks_after_factorization() {
+        let mut fw = FactorableWeight::new_full(randn_matrix(64, 64, 1.0, &mut rng(11)));
+        let full = fw.param_count();
+        fw.set_factored(Matrix::zeros(64, 4), Matrix::zeros(4, 64), false, None)
+            .unwrap();
+        assert!(fw.param_count() < full / 4);
+    }
+
+    #[test]
+    fn extra_bn_adds_params_and_runs() {
+        let mut fw = FactorableWeight::new_full(randn_matrix(8, 8, 1.0, &mut rng(12)));
+        fw.set_factored(
+            randn_matrix(8, 3, 1.0, &mut rng(13)),
+            randn_matrix(3, 8, 1.0, &mut rng(14)),
+            true,
+            None,
+        )
+        .unwrap();
+        assert_eq!(fw.param_count(), 8 * 3 + 3 * 8 + 6);
+        let x = randn_matrix(16, 8, 1.0, &mut rng(15));
+        let y = fw.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), (16, 8));
+        let dx = fw.backward(&y).unwrap();
+        assert_eq!(dx.shape(), (16, 8));
+    }
+
+    #[test]
+    fn bn_core_normalizes_columns() {
+        let mut bn = BatchNormCore::new(2);
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]]).unwrap();
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        // Each column: mean 0, unit variance (up to eps).
+        for j in 0..2 {
+            let mean: f32 = (0..3).map(|i| y.get(i, j)).sum::<f32>() / 3.0;
+            let var: f32 = (0..3).map(|i| (y.get(i, j) - mean).powi(2)).sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bn_eval_uses_running_stats() {
+        let mut bn = BatchNormCore::new(1);
+        let x = Matrix::from_rows(&[vec![2.0], vec![4.0]]).unwrap();
+        for _ in 0..200 {
+            let _ = bn.forward(&x, Mode::Train).unwrap();
+        }
+        // Running mean → 3, running var → 1; eval output centers on those.
+        let y = bn.forward(&Matrix::from_rows(&[vec![3.0]]).unwrap(), Mode::Eval).unwrap();
+        assert!(y.get(0, 0).abs() < 1e-2, "{}", y.get(0, 0));
+    }
+
+    #[test]
+    fn bn_backward_gradcheck() {
+        // Finite-difference check of dL/dx for L = Σ y² / 2.
+        let mut bn = BatchNormCore::new(2);
+        // Give gamma a non-trivial value.
+        bn.gamma.value.set(0, 0, 1.5);
+        bn.gamma.value.set(0, 1, 0.7);
+        let x = randn_matrix(5, 2, 1.0, &mut rng(16));
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        let dy = y.clone();
+        let dx = bn.backward(&dy).unwrap();
+        let eps = 1e-2f32;
+        for (i, j) in [(0usize, 0usize), (2, 1), (4, 0)] {
+            let mut bn2 = BatchNormCore::new(2);
+            bn2.gamma.value.set(0, 0, 1.5);
+            bn2.gamma.value.set(0, 1, 0.7);
+            let mut xp = x.clone();
+            xp.set(i, j, x.get(i, j) + eps);
+            let yp = bn2.forward(&xp, Mode::Train).unwrap();
+            let mut bn3 = BatchNormCore::new(2);
+            bn3.gamma.value.set(0, 0, 1.5);
+            bn3.gamma.value.set(0, 1, 0.7);
+            let mut xm = x.clone();
+            xm.set(i, j, x.get(i, j) - eps);
+            let ym = bn3.forward(&xm, Mode::Train).unwrap();
+            let lp: f32 = yp.as_slice().iter().map(|v| v * v / 2.0).sum();
+            let lm: f32 = ym.as_slice().iter().map(|v| v * v / 2.0).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (dx.get(i, j) - fd).abs() < 2e-2 * fd.abs().max(1.0),
+                "dx[{i},{j}] = {} vs fd {}",
+                dx.get(i, j),
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn bn_rejects_wrong_width() {
+        let mut bn = BatchNormCore::new(3);
+        assert!(bn.forward(&Matrix::zeros(2, 4), Mode::Train).is_err());
+    }
+}

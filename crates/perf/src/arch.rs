@@ -1,0 +1,330 @@
+//! Full-size layer-shape specifications of the paper's architectures.
+//!
+//! Micro models train; these specs let the benchmark harness compute
+//! parameter counts, inference FLOPs, and roofline times at the *paper's
+//! true scale* (Tables 1–3, Figures 4 and 6) without allocating any
+//! weights. Each function returns the same [`TargetInfo`] list a real
+//! model builder would register.
+
+use cuttlefish_nn::{TargetInfo, TargetKind};
+
+fn conv(
+    out: &mut Vec<TargetInfo>,
+    name: String,
+    stack: usize,
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    in_hw: (usize, usize),
+) {
+    let index = out.len() + 1;
+    out.push(TargetInfo {
+        name,
+        stack,
+        index,
+        kind: TargetKind::Conv {
+            in_channels: in_c,
+            out_channels: out_c,
+            kernel: k,
+            stride,
+            in_hw,
+        },
+    });
+}
+
+fn linear(
+    out: &mut Vec<TargetInfo>,
+    name: String,
+    stack: usize,
+    in_dim: usize,
+    out_dim: usize,
+    positions: usize,
+    transformer: bool,
+) {
+    let index = out.len() + 1;
+    out.push(TargetInfo {
+        name,
+        stack,
+        index,
+        kind: TargetKind::Linear {
+            in_dim,
+            out_dim,
+            positions,
+            transformer,
+        },
+    });
+}
+
+/// ResNet-18 for 32×32 CIFAR inputs (stem adjusted to 3×3 stride 1, the
+/// paper's Table 6 modification). ~11.2 M parameters.
+pub fn resnet18_cifar(classes: usize) -> Vec<TargetInfo> {
+    let mut t = Vec::new();
+    let mut hw = (32usize, 32usize);
+    conv(&mut t, "conv1".into(), 0, 3, 64, 3, 1, hw);
+    let mut in_c = 64;
+    for (si, planes) in [64usize, 128, 256, 512].iter().enumerate() {
+        let stack = si + 1;
+        for bi in 0..2 {
+            let stride = if bi == 0 && si > 0 { 2 } else { 1 };
+            let name = format!("s{stack}.b{bi}");
+            conv(&mut t, format!("{name}.conv1"), stack, in_c, *planes, 3, stride, hw);
+            if stride == 2 {
+                hw = (hw.0 / 2, hw.1 / 2);
+            }
+            conv(&mut t, format!("{name}.conv2"), stack, *planes, *planes, 3, 1, hw);
+            if stride != 1 || in_c != *planes {
+                conv(&mut t, format!("{name}.down"), stack, in_c, *planes, 1, stride, (hw.0 * stride, hw.1 * stride));
+            }
+            in_c = *planes;
+        }
+    }
+    linear(&mut t, "fc".into(), 5, 512, classes, 1, false);
+    t
+}
+
+/// VGG-19-BN for 32×32 CIFAR inputs (paper Table 7). ~20 M parameters.
+pub fn vgg19_cifar(classes: usize) -> Vec<TargetInfo> {
+    let groups: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 4), (512, 4), (512, 4)];
+    let mut t = Vec::new();
+    let mut hw = (32usize, 32usize);
+    let mut in_c = 3usize;
+    let mut idx = 0;
+    for (stack, &(width, n)) in groups.iter().enumerate() {
+        for _ in 0..n {
+            idx += 1;
+            conv(&mut t, format!("conv{idx}"), stack, in_c, width, 3, 1, hw);
+            in_c = width;
+        }
+        if stack < groups.len() - 1 {
+            hw = (hw.0 / 2, hw.1 / 2);
+        }
+    }
+    linear(&mut t, "classifier".into(), 5, 512, classes, 1, false);
+    t
+}
+
+fn resnet50_family(width_mult: f32) -> Vec<TargetInfo> {
+    let mut t = Vec::new();
+    let mut hw = (224usize, 224usize);
+    conv(&mut t, "conv1".into(), 0, 3, 64, 7, 2, hw);
+    // Stem stride 2 then max pool stride 2: 224 → 112 → 56.
+    hw = (56, 56);
+    let blocks = [3usize, 4, 6, 3];
+    let mut in_c = 64usize;
+    for (si, &n) in blocks.iter().enumerate() {
+        let stack = si + 1;
+        let planes = 64usize << si;
+        let width = ((planes as f32 * width_mult).round()) as usize;
+        for bi in 0..n {
+            let stride = if bi == 0 && si > 0 { 2 } else { 1 };
+            let name = format!("s{stack}.b{bi}");
+            conv(&mut t, format!("{name}.conv1"), stack, in_c, width, 1, 1, hw);
+            conv(&mut t, format!("{name}.conv2"), stack, width, width, 3, stride, hw);
+            if stride == 2 {
+                hw = (hw.0 / 2, hw.1 / 2);
+            }
+            conv(&mut t, format!("{name}.conv3"), stack, width, planes * 4, 1, 1, hw);
+            if stride != 1 || in_c != planes * 4 {
+                conv(&mut t, format!("{name}.down"), stack, in_c, planes * 4, 1, stride, (hw.0 * stride, hw.1 * stride));
+            }
+            in_c = planes * 4;
+        }
+    }
+    linear(&mut t, "fc".into(), 5, 2048, 1000, 1, false);
+    t
+}
+
+/// ResNet-50 for 224×224 ImageNet inputs. ~25.5 M parameters, ~4.1 GFLOPs.
+pub fn resnet50_imagenet() -> Vec<TargetInfo> {
+    resnet50_family(1.0)
+}
+
+/// WideResNet-50-2 for ImageNet. ~68.9 M parameters, ~11.4 GFLOPs.
+pub fn wide_resnet50_imagenet() -> Vec<TargetInfo> {
+    resnet50_family(2.0)
+}
+
+/// Registers one transformer encoder block's projections.
+///
+/// The query/key/value projections are registered **per head** (shape
+/// `(dim, dim/heads)` each): the paper factorizes each head's `W^(i)`
+/// separately (§2.1), which is why q/k/v compress at ρ = 1/2 while the
+/// square output projection `Wᵒ` does not and is left unfactorized
+/// (Appendix C.2).
+fn encoder_block(
+    t: &mut Vec<TargetInfo>,
+    name: &str,
+    dim: usize,
+    heads: usize,
+    mlp_ratio: usize,
+    tokens: usize,
+) {
+    let dh = dim / heads;
+    for proj in ["wq", "wk", "wv"] {
+        for h in 0..heads {
+            linear(t, format!("{name}.attn.{proj}.h{h}"), 1, dim, dh, tokens, true);
+        }
+    }
+    linear(t, format!("{name}.attn.wo"), 1, dim, dim, tokens, true);
+    linear(t, format!("{name}.fc1"), 1, dim, dim * mlp_ratio, tokens, true);
+    linear(t, format!("{name}.fc2"), 1, dim * mlp_ratio, dim, tokens, true);
+}
+
+fn vit_family(dim: usize, depth: usize, heads: usize, mlp_ratio: usize, classes: usize) -> Vec<TargetInfo> {
+    let mut t = Vec::new();
+    let tokens = 14 * 14; // 224/16 patches
+    conv(&mut t, "patch_embed".into(), 0, 3, dim, 16, 16, (224, 224));
+    for d in 0..depth {
+        encoder_block(&mut t, &format!("enc{d}"), dim, heads, mlp_ratio, tokens);
+    }
+    linear(&mut t, "head".into(), 2, dim, classes, 1, false);
+    t
+}
+
+/// DeiT-base (dim 768, depth 12, 12 heads). ~86 M parameters, ~17.6 GFLOPs.
+pub fn deit_base() -> Vec<TargetInfo> {
+    vit_family(768, 12, 12, 4, 1000)
+}
+
+/// DeiT-small (dim 384, depth 12, 6 heads) — used in the Figure 6 ablation.
+pub fn deit_small() -> Vec<TargetInfo> {
+    vit_family(384, 12, 6, 4, 1000)
+}
+
+/// ResMLP-S36 (dim 384, depth 36). ~44 M parameters, ~8.9 GFLOPs.
+pub fn resmlp_s36() -> Vec<TargetInfo> {
+    let mut t = Vec::new();
+    let dim = 384usize;
+    let tokens = 14 * 14;
+    conv(&mut t, "patch_embed".into(), 0, 3, dim, 16, 16, (224, 224));
+    for d in 0..36 {
+        linear(&mut t, format!("blk{d}.tokmix"), 1, tokens, tokens, dim, true);
+        linear(&mut t, format!("blk{d}.fc1"), 1, dim, dim * 4, tokens, true);
+        linear(&mut t, format!("blk{d}.fc2"), 1, dim * 4, dim, tokens, true);
+    }
+    linear(&mut t, "head".into(), 2, dim, 1000, 1, false);
+    t
+}
+
+/// BERT-base encoder shapes (dim 768, depth 12, 128-token sequences) for
+/// the GLUE size accounting in Table 4. ~108 M params including the
+/// 30k-token embedding (embeddings are counted but never factorized).
+pub fn bert_base_encoder() -> Vec<TargetInfo> {
+    let mut t = Vec::new();
+    let dim = 768usize;
+    let tokens = 128;
+    for d in 0..12 {
+        encoder_block(&mut t, &format!("enc{d}"), dim, 12, 4, tokens);
+    }
+    t
+}
+
+/// Sums parameter counts over targets with an optional per-target rank
+/// assignment (`None` entries are full-rank).
+pub fn total_params(targets: &[TargetInfo], rank_of: impl Fn(&TargetInfo) -> Option<usize>) -> usize {
+    targets
+        .iter()
+        .map(|t| crate::target_params(&t.kind, rank_of(t)))
+        .sum()
+}
+
+/// Sums inference FLOPs (batch 1) over targets with optional ranks.
+pub fn total_flops(targets: &[TargetInfo], rank_of: impl Fn(&TargetInfo) -> Option<usize>) -> f64 {
+    targets
+        .iter()
+        .map(|t| crate::target_flops(&t.kind, rank_of(t)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_param_count_near_paper() {
+        let t = resnet18_cifar(10);
+        let p = total_params(&t, |_| None) as f64 / 1e6;
+        assert!((p - 11.2).abs() < 0.5, "{p} M");
+    }
+
+    #[test]
+    fn vgg19_param_count_near_paper() {
+        let t = vgg19_cifar(10);
+        let p = total_params(&t, |_| None) as f64 / 1e6;
+        assert!((p - 20.0).abs() < 0.6, "{p} M");
+    }
+
+    #[test]
+    fn resnet50_params_and_flops_near_paper() {
+        let t = resnet50_imagenet();
+        let p = total_params(&t, |_| None) as f64 / 1e6;
+        assert!((p - 25.5).abs() < 1.0, "{p} M");
+        let g = total_flops(&t, |_| None) / 1e9;
+        assert!((g - 4.1).abs() < 0.6, "{g} GFLOPs");
+    }
+
+    #[test]
+    fn wide_resnet50_params_and_flops_near_paper() {
+        let t = wide_resnet50_imagenet();
+        let p = total_params(&t, |_| None) as f64 / 1e6;
+        assert!((p - 68.9).abs() < 2.5, "{p} M");
+        let g = total_flops(&t, |_| None) / 1e9;
+        assert!((g - 11.4).abs() < 1.2, "{g} GFLOPs");
+    }
+
+    #[test]
+    fn deit_base_params_and_flops_near_paper() {
+        let t = deit_base();
+        let p = total_params(&t, |_| None) as f64 / 1e6;
+        assert!((p - 86.0).abs() < 3.0, "{p} M");
+        let g = total_flops(&t, |_| None) / 1e9;
+        assert!((g - 17.6).abs() < 1.5, "{g} GFLOPs");
+    }
+
+    #[test]
+    fn resmlp_params_and_flops_near_paper() {
+        let t = resmlp_s36();
+        let p = total_params(&t, |_| None) as f64 / 1e6;
+        assert!((p - 44.0).abs() < 2.5, "{p} M");
+        let g = total_flops(&t, |_| None) / 1e9;
+        assert!((g - 8.9).abs() < 1.0, "{g} GFLOPs");
+    }
+
+    #[test]
+    fn half_rank_compresses_qkv_but_not_wo() {
+        // Per-head q/k/v (768, 64) at r = 32: 32·832 < 768·64 — compresses.
+        // Square Wᵒ (768, 768) at r = 384: 384·1536 == 768² — no savings,
+        // which is exactly why the paper skips factorizing it (Appx. C.2).
+        let t = bert_base_encoder();
+        let qkv = t.iter().find(|ti| ti.name.contains("wq.h0")).unwrap();
+        let wo = t.iter().find(|ti| ti.name.ends_with("attn.wo")).unwrap();
+        let qkv_half = crate::target_params(&qkv.kind, Some(qkv.full_rank() / 2));
+        let qkv_full = crate::target_params(&qkv.kind, None);
+        assert!(qkv_half < qkv_full, "{qkv_half} vs {qkv_full}");
+        let wo_half = crate::target_params(&wo.kind, Some(wo.full_rank() / 2));
+        let wo_full = crate::target_params(&wo.kind, None);
+        assert!(wo_half >= wo_full);
+        // Blended over the encoder (skipping layers that don't shrink),
+        // half-rank lands between 0.55 and 0.85 of full size.
+        let full = total_params(&t, |_| None);
+        let half = total_params(&t, |ti| {
+            let r = ti.full_rank() / 2;
+            let shrinks = crate::target_params(&ti.kind, Some(r))
+                < crate::target_params(&ti.kind, None);
+            shrinks.then_some(r)
+        });
+        let ratio = half as f64 / full as f64;
+        assert!(ratio > 0.55 && ratio < 0.85, "{ratio}");
+    }
+
+    #[test]
+    fn indices_sequential_and_named() {
+        for targets in [resnet18_cifar(10), resnet50_imagenet(), deit_base()] {
+            for (i, t) in targets.iter().enumerate() {
+                assert_eq!(t.index, i + 1);
+                assert!(!t.name.is_empty());
+            }
+        }
+    }
+}

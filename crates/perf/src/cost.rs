@@ -1,0 +1,333 @@
+use crate::DeviceProfile;
+use cuttlefish_nn::TargetKind;
+use serde::{Deserialize, Serialize};
+
+/// FLOPs, memory traffic, and output width of one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Floating-point operations (multiply *and* add counted separately).
+    pub flops: f64,
+    /// Bytes moved (weights + input + output, FP32). Convolution input
+    /// traffic is charged with the `k²` im2col duplication — both cuDNN
+    /// implicit GEMM and this reproduction's substrate re-touch each input
+    /// element once per kernel position.
+    pub bytes: f64,
+    /// Parallel output channels/features (drives GPU occupancy).
+    pub out_width: usize,
+}
+
+impl LayerCost {
+    /// Sums two kernel costs (keeping the wider output width).
+    pub fn plus(self, other: LayerCost) -> LayerCost {
+        LayerCost {
+            flops: self.flops + other.flops,
+            bytes: self.bytes + other.bytes,
+            out_width: self.out_width.max(other.out_width),
+        }
+    }
+
+    /// Roofline time of this kernel on `dev`.
+    pub fn time_on(&self, dev: &DeviceProfile) -> f64 {
+        dev.kernel_time(self.flops, self.bytes, self.out_width)
+    }
+}
+
+/// FLOP/byte ratio — the paper's arithmetic intensity (§3.5).
+pub fn arithmetic_intensity(cost: &LayerCost) -> f64 {
+    if cost.bytes == 0.0 {
+        0.0
+    } else {
+        cost.flops / cost.bytes
+    }
+}
+
+fn conv_out_hw(in_hw: (usize, usize), stride: usize) -> (usize, usize) {
+    (in_hw.0.div_ceil(stride), in_hw.1.div_ceil(stride))
+}
+
+/// Cost of the full-rank forward kernel of a target at the given batch.
+///
+/// Conv: `2·B·m·n·k²·H'·W'` FLOPs — the paper's arithmetic-intensity
+/// denominator `m·n·k² + B·m·H·W` appears here as weight plus (duplicated)
+/// input traffic. Linear: `2·(B·positions)·in·out`.
+pub fn target_cost(kind: &TargetKind, batch: usize) -> LayerCost {
+    match *kind {
+        TargetKind::Conv {
+            in_channels: m,
+            out_channels: n,
+            kernel: k,
+            stride,
+            in_hw,
+        } => {
+            let (oh, ow) = conv_out_hw(in_hw, stride);
+            let b = batch as f64;
+            let (mf, nf, k2) = (m as f64, n as f64, (k * k) as f64);
+            let spatial_out = (oh * ow) as f64;
+            let spatial_in = (in_hw.0 * in_hw.1) as f64;
+            LayerCost {
+                flops: 2.0 * b * mf * nf * k2 * spatial_out,
+                bytes: 4.0 * (mf * nf * k2 + b * mf * spatial_in * k2 + b * nf * spatial_out),
+                out_width: n,
+            }
+        }
+        TargetKind::Linear {
+            in_dim,
+            out_dim,
+            positions,
+            ..
+        } => {
+            let rows = (batch * positions) as f64;
+            let (i, o) = (in_dim as f64, out_dim as f64);
+            LayerCost {
+                flops: 2.0 * rows * i * o,
+                bytes: 4.0 * (i * o + rows * i + rows * o),
+                out_width: out_dim,
+            }
+        }
+    }
+}
+
+/// Costs of the two kernels of the factorized target at rank `r`:
+/// the thin `U` kernel and the `Vᵀ` (1×1-conv / linear) kernel.
+pub fn target_cost_factored(kind: &TargetKind, batch: usize, rank: usize) -> (LayerCost, LayerCost) {
+    match *kind {
+        TargetKind::Conv {
+            in_channels: m,
+            out_channels: n,
+            kernel: k,
+            stride,
+            in_hw,
+        } => {
+            let u_kind = TargetKind::Conv {
+                in_channels: m,
+                out_channels: rank,
+                kernel: k,
+                stride,
+                in_hw,
+            };
+            let (oh, ow) = conv_out_hw(in_hw, stride);
+            let vt_kind = TargetKind::Conv {
+                in_channels: rank,
+                out_channels: n,
+                kernel: 1,
+                stride: 1,
+                in_hw: (oh, ow),
+            };
+            (target_cost(&u_kind, batch), target_cost(&vt_kind, batch))
+        }
+        TargetKind::Linear {
+            in_dim,
+            out_dim,
+            positions,
+            transformer,
+        } => {
+            let u = TargetKind::Linear {
+                in_dim,
+                out_dim: rank,
+                positions,
+                transformer,
+            };
+            let vt = TargetKind::Linear {
+                in_dim: rank,
+                out_dim,
+                positions,
+                transformer,
+            };
+            (target_cost(&u, batch), target_cost(&vt, batch))
+        }
+    }
+}
+
+/// Occupancy-aware roofline forward time of a full-rank target.
+pub fn target_time(dev: &DeviceProfile, kind: &TargetKind, batch: usize) -> f64 {
+    target_cost(kind, batch).time_on(dev)
+}
+
+/// Forward time of a factorized target (two kernel launches — this is
+/// where tiny layers lose, Figure 6, and where thin `U` convs lose their
+/// FLOP savings to low occupancy, Figure 4).
+pub fn target_time_factored(
+    dev: &DeviceProfile,
+    kind: &TargetKind,
+    batch: usize,
+    rank: usize,
+) -> f64 {
+    let (u, vt) = target_cost_factored(kind, batch, rank);
+    u.time_on(dev) + vt.time_on(dev)
+}
+
+/// Inference FLOPs of a target at batch 1, reported in the paper's
+/// convention (multiply–accumulate counts, i.e. the Table 2/3 "FLOPs"
+/// column where ResNet-50 is 4.1 G).
+pub fn target_flops(kind: &TargetKind, rank: Option<usize>) -> f64 {
+    match rank {
+        None => target_cost(kind, 1).flops / 2.0,
+        Some(r) => {
+            let (u, vt) = target_cost_factored(kind, 1, r);
+            (u.flops + vt.flops) / 2.0
+        }
+    }
+}
+
+/// Trainable parameter count of a target, full-rank or factored.
+pub fn target_params(kind: &TargetKind, rank: Option<usize>) -> usize {
+    let (rows, cols) = match *kind {
+        TargetKind::Conv {
+            in_channels,
+            out_channels,
+            kernel,
+            ..
+        } => (in_channels * kernel * kernel, out_channels),
+        TargetKind::Linear { in_dim, out_dim, .. } => (in_dim, out_dim),
+    };
+    match rank {
+        None => rows * cols,
+        Some(r) => r * (rows + cols),
+    }
+}
+
+/// Cost of computing the singular values of an `(rows, cols)` matrix on
+/// the host — the per-epoch stable-rank estimation overhead (§4.3). Uses
+/// the Gram-matrix route: forming `WᵀW` plus an `O(p³)` eigensolve,
+/// `p = min(rows, cols)`.
+pub fn svdvals_cost(rows: usize, cols: usize) -> LayerCost {
+    let p = rows.min(cols) as f64;
+    let q = rows.max(cols) as f64;
+    LayerCost {
+        flops: 2.0 * p * p * q + 30.0 * p * p * p,
+        bytes: 4.0 * (p * q + p * p),
+        out_width: rows.min(cols),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(m: usize, n: usize, k: usize, stride: usize, hw: usize) -> TargetKind {
+        TargetKind::Conv {
+            in_channels: m,
+            out_channels: n,
+            kernel: k,
+            stride,
+            in_hw: (hw, hw),
+        }
+    }
+
+    #[test]
+    fn conv_flops_formula() {
+        let c = target_cost(&conv(16, 32, 3, 1, 8), 4);
+        let expect = 2.0 * 4.0 * 16.0 * 32.0 * 9.0 * 64.0;
+        assert!((c.flops - expect).abs() < 1.0);
+        assert_eq!(c.out_width, 32);
+    }
+
+    #[test]
+    fn early_layers_have_lower_intensity() {
+        // Paper §3.5: first stack (few channels, large spatial) has lower
+        // arithmetic intensity than the last stack.
+        let early = target_cost(&conv(64, 64, 3, 1, 32), 1024);
+        let late = target_cost(&conv(512, 512, 3, 1, 4), 1024);
+        assert!(
+            arithmetic_intensity(&late) > 4.0 * arithmetic_intensity(&early),
+            "late {} vs early {}",
+            arithmetic_intensity(&late),
+            arithmetic_intensity(&early)
+        );
+    }
+
+    #[test]
+    fn factorization_speeds_up_deep_stacks() {
+        // ResNet-18 CIFAR stack 4 shape (512 ch @ 4×4), ρ̄ = 1/4.
+        let dev = DeviceProfile::v100();
+        let deep = conv(512, 512, 3, 1, 4);
+        let full = target_time(&dev, &deep, 1024);
+        let fact = target_time_factored(&dev, &deep, 1024, 128);
+        assert!(full / fact > 1.5, "speedup only {}", full / fact);
+    }
+
+    #[test]
+    fn factorization_barely_helps_first_stack() {
+        // ResNet-18 CIFAR stack 1 shape (64 ch @ 32×32): the thin U conv
+        // runs at low occupancy, eating the FLOP savings (Figure 4).
+        let dev = DeviceProfile::v100();
+        let early = conv(64, 64, 3, 1, 32);
+        let full = target_time(&dev, &early, 1024);
+        let fact = target_time_factored(&dev, &early, 1024, 16);
+        assert!(full / fact < 1.5, "unexpected speedup {}", full / fact);
+    }
+
+    #[test]
+    fn tiny_fc_slows_down_when_factorized() {
+        // Figure 6: the last FC layer of ResNet-50 gets slower at any rank
+        // because the second kernel launch dominates.
+        let dev = DeviceProfile::v100();
+        let fc = TargetKind::Linear {
+            in_dim: 2048,
+            out_dim: 1000,
+            positions: 1,
+            transformer: false,
+        };
+        let full = target_time(&dev, &fc, 128);
+        for rank in [64, 128, 256, 512] {
+            let fact = target_time_factored(&dev, &fc, 128, rank);
+            assert!(fact > full, "rank {rank}: factorized {fact} vs full {full}");
+        }
+    }
+
+    #[test]
+    fn transformer_ffn_speeds_up() {
+        // Figure 6 bottom: DeiT MLP layers gain ~1.7× at ρ = 1/4.
+        let dev = DeviceProfile::v100();
+        let fc1 = TargetKind::Linear {
+            in_dim: 384,
+            out_dim: 1536,
+            positions: 196,
+            transformer: true,
+        };
+        let full = target_time(&dev, &fc1, 128);
+        let fact = target_time_factored(&dev, &fc1, 128, 96);
+        let speedup = full / fact;
+        assert!(speedup > 1.3 && speedup < 4.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn factored_cost_matches_manual_composition() {
+        let kind = conv(32, 64, 3, 2, 16);
+        let (u, vt) = target_cost_factored(&kind, 8, 10);
+        let u_expect = target_cost(&conv(32, 10, 3, 2, 16), 8);
+        assert!((u.flops - u_expect.flops).abs() < 1.0);
+        let vt_expect = target_cost(&conv(10, 64, 1, 1, 8), 8);
+        assert!((vt.flops - vt_expect.flops).abs() < 1.0);
+    }
+
+    #[test]
+    fn params_factored_formula() {
+        let kind = conv(16, 32, 3, 1, 8);
+        assert_eq!(target_params(&kind, None), 144 * 32);
+        assert_eq!(target_params(&kind, Some(8)), 8 * (144 + 32));
+        let lin = TargetKind::Linear {
+            in_dim: 100,
+            out_dim: 50,
+            positions: 1,
+            transformer: false,
+        };
+        assert_eq!(target_params(&lin, None), 5000);
+        assert_eq!(target_params(&lin, Some(10)), 1500);
+    }
+
+    #[test]
+    fn flops_drop_with_rank() {
+        let kind = conv(64, 64, 3, 1, 8);
+        let full = target_flops(&kind, None);
+        let quarter = target_flops(&kind, Some(16));
+        assert!(quarter < full * 0.5);
+    }
+
+    #[test]
+    fn svdvals_cost_scales_with_small_dim() {
+        let small = svdvals_cost(576, 64);
+        let big = svdvals_cost(576, 512);
+        assert!(big.flops > 10.0 * small.flops);
+    }
+}

@@ -1,0 +1,159 @@
+use serde::{Deserialize, Serialize};
+
+/// A device performance profile: an occupancy-aware roofline.
+///
+/// `time = max(flops / (peak · util), bytes / bandwidth) + overhead`, where
+/// `util = min(1, out_width / util_channels)` models the well-known GPU
+/// behaviour that kernels with few output channels cannot fill the SMs —
+/// the reason the paper's Figure 4 shows *no* speedup from factorizing
+/// early convolution stacks even though their FLOPs drop 4×: the thin `U`
+/// convolution (r filters) runs at proportionally lower utilization.
+/// Setting `util_channels = 0` disables occupancy modeling (pure roofline).
+///
+/// The GPU numbers are public datasheet values for the three EC2 instance
+/// types the paper uses; `kernel_overhead` is the per-launch +
+/// framework-dispatch cost (~tens of µs under PyTorch), which is what makes
+/// factorizing tiny FC layers a net loss (Figure 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Human-readable device name.
+    pub name: String,
+    /// Peak FP32 throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Memory bandwidth in bytes/s.
+    pub mem_bandwidth: f64,
+    /// Fixed per-kernel launch + dispatch overhead in seconds.
+    pub kernel_overhead: f64,
+    /// Output width at which compute utilization saturates (0 disables).
+    pub util_channels: usize,
+}
+
+impl DeviceProfile {
+    /// NVIDIA V100 (EC2 p3.2xlarge — the paper's CIFAR/SVHN/GLUE box).
+    pub fn v100() -> Self {
+        DeviceProfile {
+            name: "V100".into(),
+            peak_flops: 15.7e12,
+            mem_bandwidth: 900e9,
+            kernel_overhead: 3.5e-5,
+            util_channels: 64,
+        }
+    }
+
+    /// NVIDIA T4 (EC2 g4dn.metal — the paper's ImageNet CNN box).
+    pub fn t4() -> Self {
+        DeviceProfile {
+            name: "T4".into(),
+            peak_flops: 8.1e12,
+            mem_bandwidth: 320e9,
+            kernel_overhead: 3.5e-5,
+            util_channels: 64,
+        }
+    }
+
+    /// NVIDIA A100 (EC2 p4d.24xlarge — the paper's DeiT/ResMLP box).
+    pub fn a100() -> Self {
+        DeviceProfile {
+            name: "A100".into(),
+            peak_flops: 19.5e12,
+            mem_bandwidth: 1555e9,
+            kernel_overhead: 3.5e-5,
+            util_channels: 96,
+        }
+    }
+
+    /// A single CPU core, approximating this reproduction's own substrate.
+    pub fn cpu() -> Self {
+        DeviceProfile {
+            name: "CPU".into(),
+            peak_flops: 3.0e9,
+            mem_bandwidth: 2.0e10,
+            kernel_overhead: 2e-8,
+            util_channels: 0,
+        }
+    }
+
+    /// A multithreaded BLAS/LAPACK host, used for the per-epoch
+    /// `svdvals` overhead accounting (§4.3 runs `scipy.linalg.svdvals` on
+    /// the instance CPU).
+    pub fn host_blas() -> Self {
+        DeviceProfile {
+            name: "host-blas".into(),
+            peak_flops: 5.0e10,
+            mem_bandwidth: 5.0e10,
+            kernel_overhead: 5e-5,
+            util_channels: 0,
+        }
+    }
+
+    /// Compute utilization for a kernel producing `out_width` parallel
+    /// output channels/features.
+    pub fn utilization(&self, out_width: usize) -> f64 {
+        if self.util_channels == 0 {
+            1.0
+        } else {
+            (out_width as f64 / self.util_channels as f64).min(1.0)
+        }
+    }
+
+    /// Occupancy-aware roofline time for a kernel of `flops` FLOPs touching
+    /// `bytes` bytes with `out_width` parallel outputs.
+    pub fn kernel_time(&self, flops: f64, bytes: f64, out_width: usize) -> f64 {
+        let util = self.utilization(out_width).max(1e-3);
+        (flops / (self.peak_flops * util)).max(bytes / self.mem_bandwidth) + self.kernel_overhead
+    }
+
+    /// The FLOP-per-byte ratio above which this device is compute-bound
+    /// (at full utilization).
+    pub fn ridge_point(&self) -> f64 {
+        self.peak_flops / self.mem_bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_vs_memory_bound() {
+        let d = DeviceProfile::v100();
+        // Far above the ridge point at full width: compute-bound.
+        let t_compute = d.kernel_time(1e12, 1e6, 512);
+        assert!((t_compute - (1e12 / d.peak_flops + d.kernel_overhead)).abs() < 1e-9);
+        // Far below: memory-bound.
+        let t_mem = d.kernel_time(1e6, 1e12, 512);
+        assert!((t_mem - (1e12 / d.mem_bandwidth + d.kernel_overhead)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thin_kernels_run_at_low_utilization() {
+        let d = DeviceProfile::v100();
+        let wide = d.kernel_time(1e12, 1e6, 64);
+        let thin = d.kernel_time(1e12, 1e6, 16);
+        assert!((thin / wide - 4.0).abs() < 0.1, "{}", thin / wide);
+    }
+
+    #[test]
+    fn utilization_saturates() {
+        let d = DeviceProfile::v100();
+        assert_eq!(d.utilization(64), 1.0);
+        assert_eq!(d.utilization(1024), 1.0);
+        assert!((d.utilization(16) - 0.25).abs() < 1e-12);
+        assert_eq!(DeviceProfile::cpu().utilization(1), 1.0);
+    }
+
+    #[test]
+    fn overhead_dominates_tiny_kernels() {
+        let d = DeviceProfile::v100();
+        let t = d.kernel_time(1e3, 1e3, 64);
+        assert!(t > 0.9 * d.kernel_overhead);
+        assert!(t < 2.0 * d.kernel_overhead);
+    }
+
+    #[test]
+    fn ridge_points_ordered_sensibly() {
+        assert!(DeviceProfile::v100().ridge_point() > 10.0);
+        assert!(DeviceProfile::t4().ridge_point() > 10.0);
+        assert!(DeviceProfile::cpu().ridge_point() < 1.0);
+    }
+}

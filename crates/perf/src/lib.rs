@@ -1,0 +1,51 @@
+//! Roofline performance model for the Cuttlefish reproduction.
+//!
+//! The paper's end-to-end speedup results and its Algorithm 2 profiling
+//! step both hinge on **arithmetic intensity** (§3.5): a layer whose
+//! FLOP-to-byte ratio is low is memory-bound on a GPU, so halving its
+//! FLOPs by factorization buys almost nothing; deep convolution stacks
+//! and transformer blocks are compute-bound, so factorization converts
+//! directly into wall-clock savings; and very small layers are dominated
+//! by kernel-launch overhead, so *splitting them into two kernels makes
+//! them slower* (the paper's Figure 6 FC-layer observation).
+//!
+//! This crate reproduces all three regimes analytically with a roofline
+//! model: `time = max(FLOPs / peak_flops, bytes / bandwidth) + launch
+//! overhead`, parameterized by [`DeviceProfile`]s for the paper's three
+//! GPUs (V100 on p3.2xlarge, T4 on g4dn.metal, A100 on p4d.24xlarge).
+//!
+//! [`arch`] additionally provides the *full-size* layer-shape specs of the
+//! paper's architectures (ResNet-18/50, WRN-50-2, VGG-19, DeiT-base/small,
+//! ResMLP-S36) so FLOPs/parameter tables can be computed at true scale
+//! even though training runs on micro models.
+//!
+//! # Example
+//!
+//! ```
+//! use cuttlefish_perf::{DeviceProfile, target_time, target_time_factored};
+//! use cuttlefish_nn::TargetKind;
+//!
+//! let dev = DeviceProfile::v100();
+//! // A deep, compute-bound conv: factorizing at rank 1/4 gives a real speedup.
+//! let deep = TargetKind::Conv {
+//!     in_channels: 512, out_channels: 512, kernel: 3, stride: 1, in_hw: (8, 8),
+//! };
+//! let full = target_time(&dev, &deep, 1024);
+//! let fact = target_time_factored(&dev, &deep, 1024, 128);
+//! assert!(full > 1.5 * fact);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+mod clock;
+mod cost;
+mod device;
+
+pub use clock::TrainingClock;
+pub use cost::{
+    arithmetic_intensity, svdvals_cost, target_cost, target_cost_factored, target_flops,
+    target_params, target_time, target_time_factored, LayerCost,
+};
+pub use device::DeviceProfile;

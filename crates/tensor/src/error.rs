@@ -1,0 +1,85 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type returned by all fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`-style dims.
+        lhs: Vec<usize>,
+        /// Shape of the right operand.
+        rhs: Vec<usize>,
+    },
+    /// A dimension argument was zero or otherwise invalid.
+    InvalidDimension {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Explanation of which dimension was invalid and why.
+        detail: String,
+    },
+    /// An iterative algorithm (SVD sweep, power iteration) failed to
+    /// converge within its iteration budget.
+    NoConvergence {
+        /// The algorithm that did not converge.
+        algorithm: &'static str,
+        /// Number of iterations/sweeps attempted.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::InvalidDimension { op, detail } => {
+                write!(f, "invalid dimension in {op}: {detail}")
+            }
+            TensorError::NoConvergence {
+                algorithm,
+                iterations,
+            } => {
+                write!(f, "{algorithm} did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_operation() {
+        let err = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        let text = err.to_string();
+        assert!(text.contains("matmul"));
+        assert!(text.contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn no_convergence_display() {
+        let err = TensorError::NoConvergence {
+            algorithm: "jacobi-svd",
+            iterations: 60,
+        };
+        assert!(err.to_string().contains("jacobi-svd"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Convolution lowering: `im2col` / `col2im`.
+//!
+//! A convolution with kernel `(out=n, in=m, k, k)` over a batch
+//! `(B, m, H, W)` is computed as a matmul between the unrolled kernel
+//! matrix `(m·k², n)` and the patch matrix produced by [`im2col`], of shape
+//! `(B·H_out·W_out, m·k²)`. This is exactly the 2-D view of §2.1 of the
+//! Cuttlefish paper, so the matrix whose stable rank we track is the same
+//! matrix that does the compute.
+
+use crate::{Matrix, Result, Tensor4, TensorError};
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride in both spatial dims.
+    pub stride: usize,
+    /// Zero padding in both spatial dims.
+    pub padding: usize,
+}
+
+impl ConvGeometry {
+    /// Output spatial size for an input of `(h, w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] when the kernel does not fit
+    /// in the padded input or when `stride == 0` / `kernel == 0`.
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if self.stride == 0 || self.kernel == 0 {
+            return Err(TensorError::InvalidDimension {
+                op: "ConvGeometry::output_hw",
+                detail: format!("stride {} and kernel {} must be nonzero", self.stride, self.kernel),
+            });
+        }
+        let padded_h = h + 2 * self.padding;
+        let padded_w = w + 2 * self.padding;
+        if padded_h < self.kernel || padded_w < self.kernel {
+            return Err(TensorError::InvalidDimension {
+                op: "ConvGeometry::output_hw",
+                detail: format!(
+                    "kernel {} larger than padded input {padded_h}x{padded_w}",
+                    self.kernel
+                ),
+            });
+        }
+        Ok((
+            (padded_h - self.kernel) / self.stride + 1,
+            (padded_w - self.kernel) / self.stride + 1,
+        ))
+    }
+}
+
+/// Unrolls input patches into a `(B·H_out·W_out, C·k²)` matrix.
+///
+/// Row `(b·H_out + oh)·W_out + ow` holds the receptive field of output pixel
+/// `(oh, ow)` of sample `b`, in channel-major `(c, kh, kw)` order — matching
+/// the row order of [`Tensor4::unroll_conv_kernel`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidDimension`] when the geometry does not fit
+/// the input, or [`TensorError::ShapeMismatch`] when the channel counts
+/// disagree.
+pub fn im2col(input: &Tensor4, geom: &ConvGeometry) -> Result<Matrix> {
+    let (b, c, h, w) = input.shape();
+    if c != geom.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col",
+            lhs: vec![b, c, h, w],
+            rhs: vec![geom.in_channels],
+        });
+    }
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let k = geom.kernel;
+    let cols = c * k * k;
+    let mut out = Matrix::zeros(b * oh * ow, cols);
+    for bi in 0..b {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row_idx = (bi * oh + oy) * ow + ox;
+                let row = out.row_mut(row_idx);
+                for ci in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                        for kx in 0..k {
+                            let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                            let col_idx = (ci * k + ky) * k + kx;
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                row[col_idx] = input.get(bi, ci, iy as usize, ix as usize);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Scatters a patch-gradient matrix back to an input-shaped tensor — the
+/// adjoint of [`im2col`], used in the convolution backward pass.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `cols` does not have the
+/// shape `im2col` would have produced for the given geometry and input size.
+pub fn col2im(
+    cols: &Matrix,
+    geom: &ConvGeometry,
+    batch: usize,
+    h: usize,
+    w: usize,
+) -> Result<Tensor4> {
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let k = geom.kernel;
+    let c = geom.in_channels;
+    if cols.rows() != batch * oh * ow || cols.cols() != c * k * k {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: vec![cols.rows(), cols.cols()],
+            rhs: vec![batch * oh * ow, c * k * k],
+        });
+    }
+    let mut out = Tensor4::zeros(batch, c, h, w);
+    for bi in 0..batch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = cols.row((bi * oh + oy) * ow + ox);
+                for ci in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                        for kx in 0..k {
+                            let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                let col_idx = (ci * k + ky) * k + kx;
+                                let cur = out.get(bi, ci, iy as usize, ix as usize);
+                                out.set(bi, ci, iy as usize, ix as usize, cur + row[col_idx]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(in_c: usize, out_c: usize, k: usize, s: usize, p: usize) -> ConvGeometry {
+        ConvGeometry {
+            in_channels: in_c,
+            out_channels: out_c,
+            kernel: k,
+            stride: s,
+            padding: p,
+        }
+    }
+
+    #[test]
+    fn output_hw_same_padding() {
+        let g = geom(3, 8, 3, 1, 1);
+        assert_eq!(g.output_hw(8, 8).unwrap(), (8, 8));
+    }
+
+    #[test]
+    fn output_hw_stride_two() {
+        let g = geom(3, 8, 3, 2, 1);
+        assert_eq!(g.output_hw(8, 8).unwrap(), (4, 4));
+    }
+
+    #[test]
+    fn output_hw_rejects_zero_stride() {
+        let g = geom(1, 1, 3, 0, 0);
+        assert!(g.output_hw(8, 8).is_err());
+    }
+
+    #[test]
+    fn output_hw_rejects_oversized_kernel() {
+        let g = geom(1, 1, 5, 1, 0);
+        assert!(g.output_hw(3, 3).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_1x1() {
+        // 1x1 conv: patch matrix is just the channel values per pixel.
+        let input = Tensor4::from_fn(1, 2, 2, 2, |_, c, h, w| (c * 4 + h * 2 + w) as f32);
+        let g = geom(2, 4, 1, 1, 0);
+        let m = im2col(&input, &g).unwrap();
+        assert_eq!(m.shape(), (4, 2));
+        // Pixel (0,0): channel0=0, channel1=4.
+        assert_eq!(m.row(0), &[0.0, 4.0]);
+        // Pixel (1,1): channel0=3, channel1=7.
+        assert_eq!(m.row(3), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn im2col_padding_zeros() {
+        let input = Tensor4::from_fn(1, 1, 2, 2, |_, _, h, w| (h * 2 + w + 1) as f32);
+        let g = geom(1, 1, 3, 1, 1);
+        let m = im2col(&input, &g).unwrap();
+        assert_eq!(m.shape(), (4, 9));
+        // Output (0,0): top-left patch; its corner overlaps padding.
+        let row = m.row(0);
+        assert_eq!(row[0], 0.0); // padded corner
+        assert_eq!(row[4], 1.0); // center = input(0,0)
+        assert_eq!(row[5], 2.0); // right of center = input(0,1)
+    }
+
+    #[test]
+    fn conv_via_matmul_matches_direct() {
+        // Direct convolution vs im2col+matmul on a small case.
+        let input = Tensor4::from_fn(2, 2, 4, 4, |n, c, h, w| {
+            ((n + 1) * (c + 2) + h * 3 + w) as f32 * 0.1
+        });
+        let kernel = Tensor4::from_fn(3, 2, 3, 3, |o, c, h, w| {
+            ((o + c) as f32 - (h * 3 + w) as f32 * 0.05) * 0.2
+        });
+        let g = geom(2, 3, 3, 1, 1);
+        let patches = im2col(&input, &g).unwrap();
+        let kmat = kernel.unroll_conv_kernel();
+        let out = patches.matmul(&kmat).unwrap(); // (B*oh*ow, out_ch)
+
+        // Direct evaluation at a few output positions.
+        for (bi, o, oy, ox) in [(0usize, 0usize, 0usize, 0usize), (1, 2, 3, 1), (0, 1, 2, 2)] {
+            let mut acc = 0.0f32;
+            for ci in 0..2 {
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        let iy = oy as isize + ky as isize - 1;
+                        let ix = ox as isize + kx as isize - 1;
+                        if iy >= 0 && iy < 4 && ix >= 0 && ix < 4 {
+                            acc += input.get(bi, ci, iy as usize, ix as usize)
+                                * kernel.get(o, ci, ky, kx);
+                        }
+                    }
+                }
+            }
+            let row = (bi * 4 + oy) * 4 + ox;
+            assert!(
+                (out.get(row, o) - acc).abs() < 1e-4,
+                "mismatch at b={bi} o={o} y={oy} x={ox}"
+            );
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
+        let x = Tensor4::from_fn(1, 2, 4, 4, |_, c, h, w| ((c * 16 + h * 4 + w) as f32).sin());
+        let g = geom(2, 1, 3, 2, 1);
+        let cols = im2col(&x, &g).unwrap();
+        let y = Matrix::from_fn(cols.rows(), cols.cols(), |i, j| ((i * 7 + j) as f32).cos());
+        let lhs: f64 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        let back = col2im(&y, &g, 1, 4, 4).unwrap();
+        let rhs: f64 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_rejects_bad_shape() {
+        let g = geom(1, 1, 3, 1, 1);
+        let bad = Matrix::zeros(5, 9);
+        assert!(col2im(&bad, &g, 1, 4, 4).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Seeded weight initialization.
+//!
+//! The paper's scaled stable rank stores `ξ = rank(W⁰)/stable_rank(Σ⁰)` at
+//! initialization, so the *distribution* of the initial weights matters: we
+//! provide the standard Kaiming/Xavier schemes used by the PyTorch models in
+//! the original evaluation. All generators take an explicit [`rand::Rng`] so
+//! experiments are reproducible from a single seed.
+
+use crate::{Matrix, Tensor4};
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Samples a standard normal via the Box–Muller transform.
+///
+/// Implemented locally (rather than via `rand_distr`) to keep the dependency
+/// footprint to the approved list.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Box–Muller; guard the log against u1 == 0.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Normal distribution with the given standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean of the distribution.
+    pub mean: f32,
+    /// Standard deviation of the distribution.
+    pub std: f32,
+}
+
+impl Distribution<f32> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        self.mean + self.std * standard_normal(rng)
+    }
+}
+
+/// Matrix with i.i.d. `N(0, std²)` entries.
+pub fn randn_matrix<R: Rng + ?Sized>(rows: usize, cols: usize, std: f32, rng: &mut R) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| std * standard_normal(rng))
+}
+
+/// Matrix with i.i.d. `U(-a, a)` entries.
+pub fn uniform_matrix<R: Rng + ?Sized>(rows: usize, cols: usize, a: f32, rng: &mut R) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..=a))
+}
+
+/// Kaiming-normal (He) initialization for a linear layer of shape
+/// `(fan_in, fan_out)`: entries `~ N(0, 2/fan_in)`.
+pub fn kaiming_linear<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    randn_matrix(fan_in, fan_out, std, rng)
+}
+
+/// Xavier-uniform (Glorot) initialization for a linear layer of shape
+/// `(fan_in, fan_out)`: entries `~ U(-a, a)` with `a = sqrt(6/(fan_in+fan_out))`.
+pub fn xavier_linear<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform_matrix(fan_in, fan_out, a, rng)
+}
+
+/// Kaiming-normal initialization for a conv kernel `(out, in, k, k)`:
+/// entries `~ N(0, 2/(in·k²))` — fan-in mode, matching
+/// `torch.nn.init.kaiming_normal_` on `nn.Conv2d`.
+pub fn kaiming_conv<R: Rng + ?Sized>(
+    out_ch: usize,
+    in_ch: usize,
+    k: usize,
+    rng: &mut R,
+) -> Tensor4 {
+    let fan_in = (in_ch * k * k).max(1);
+    let std = (2.0 / fan_in as f32).sqrt();
+    Tensor4::from_fn(out_ch, in_ch, k, k, |_, _, _, _| std * standard_normal(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn kaiming_linear_std_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = kaiming_linear(200, 100, &mut rng);
+        let emp_std = (m.frobenius_norm_sq() / m.len() as f64).sqrt();
+        let expected = (2.0f64 / 200.0).sqrt();
+        assert!((emp_std - expected).abs() / expected < 0.1, "{emp_std} vs {expected}");
+    }
+
+    #[test]
+    fn xavier_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = xavier_linear(50, 70, &mut rng);
+        let a = (6.0f32 / 120.0).sqrt();
+        assert!(m.max_abs() <= a + 1e-6);
+    }
+
+    #[test]
+    fn kaiming_conv_shape_and_scale() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = kaiming_conv(16, 8, 3, &mut rng);
+        assert_eq!(t.shape(), (16, 8, 3, 3));
+        let sum_sq: f64 = t.as_slice().iter().map(|&v| (v as f64).powi(2)).sum();
+        let emp_std = (sum_sq / t.len() as f64).sqrt();
+        let expected = (2.0f64 / (8.0 * 9.0)).sqrt();
+        assert!((emp_std - expected).abs() / expected < 0.15);
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = randn_matrix(4, 4, 1.0, &mut StdRng::seed_from_u64(42));
+        let b = randn_matrix(4, 4, 1.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

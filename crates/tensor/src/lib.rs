@@ -1,0 +1,54 @@
+//! Dense linear-algebra substrate for the Cuttlefish reproduction.
+//!
+//! The Cuttlefish algorithm ([Wang et al., MLSys 2023]) needs three pieces of
+//! numerical machinery that PyTorch/LAPACK provided in the original
+//! implementation and that this crate re-implements from scratch:
+//!
+//! 1. **Dense matrix arithmetic** ([`Matrix`]) — matmul, transposed matmul,
+//!    Frobenius norms — used by every neural-network layer in
+//!    `cuttlefish-nn`.
+//! 2. **Singular value decomposition** ([`svd::Svd`], [`svd::svdvals`]) —
+//!    the one-sided Jacobi method, used both to *estimate* stable ranks
+//!    (singular values only, the `scipy.linalg.svdvals` path from §4.3 of
+//!    the paper) and to *factorize* a partially-trained layer
+//!    `W ≈ U Σ^{1/2} · Σ^{1/2} Vᵀ` when Cuttlefish switches from full-rank
+//!    to low-rank training.
+//! 3. **Convolution lowering** ([`im2col`]) — `im2col`/`col2im` so that a
+//!    convolution becomes a matmul over the unrolled `(m·k², n)` matrix,
+//!    which is exactly the 2-D view of a conv kernel whose rank Cuttlefish
+//!    tracks (§2.1).
+//!
+//! Everything is `f32` at rest with `f64` accumulation inside the SVD for
+//! robustness. All randomness is seeded ([`init`]).
+//!
+//! # Example
+//!
+//! ```
+//! use cuttlefish_tensor::{Matrix, svd};
+//!
+//! # fn main() -> Result<(), cuttlefish_tensor::TensorError> {
+//! let w = Matrix::from_fn(4, 3, |i, j| (i + 2 * j) as f32);
+//! let decomp = svd::Svd::compute(&w)?;
+//! let reconstructed = decomp.reconstruct();
+//! assert!(w.sub(&reconstructed)?.frobenius_norm() < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod matrix;
+mod tensor4;
+
+pub mod im2col;
+pub mod init;
+pub mod svd;
+
+pub use error::TensorError;
+pub use matrix::Matrix;
+pub use tensor4::Tensor4;
+
+/// Convenient result alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,659 @@
+use crate::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major `f32` matrix.
+///
+/// This is the workhorse type of the reproduction: every neural-network
+/// weight that Cuttlefish tracks is viewed as a 2-D matrix (convolution
+/// kernels are unrolled to `(m·k², n)` per §2.1 of the paper), and the
+/// stable-rank machinery operates on these matrices.
+///
+/// # Example
+///
+/// ```
+/// use cuttlefish_tensor::Matrix;
+///
+/// # fn main() -> Result<(), cuttlefish_tensor::TensorError> {
+/// let a = Matrix::eye(3);
+/// let b = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f32);
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c.get(2, 1), 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 36 {
+            for i in 0..self.rows {
+                write!(f, "\n  [")?;
+                for j in 0..self.cols {
+                    if j > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{:.4}", self.get(i, j))?;
+                }
+                write!(f, "]")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cuttlefish_tensor::Matrix;
+    /// let z = Matrix::zeros(2, 3);
+    /// assert_eq!(z.shape(), (2, 3));
+    /// assert_eq!(z.get(1, 2), 0.0);
+    /// ```
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer as a matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(TensorError::InvalidDimension {
+                op: "from_vec",
+                detail: format!(
+                    "buffer of length {} cannot be viewed as {rows}x{cols}",
+                    data.len()
+                ),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if rows have unequal lengths
+    /// or the input is empty.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Result<Self> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(TensorError::InvalidDimension {
+                op: "from_rows",
+                detail: "empty row list".to_string(),
+            });
+        }
+        let ncols = rows[0].len();
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            if row.len() != ncols {
+                return Err(TensorError::InvalidDimension {
+                    op: "from_rows",
+                    detail: format!("row length {} != {}", row.len(), ncols),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The full rank of the matrix shape, `min(rows, cols)` — the value the
+    /// paper calls `rank(W)` for a dense layer.
+    pub fn full_rank(&self) -> usize {
+        self.rows.min(self.cols)
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns the element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows` or `j >= cols`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows` or `j >= cols`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow of row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs` using a cache-friendly i-k-j loop order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![rhs.rows, rhs.cols],
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let n = rhs.cols;
+        for i in 0..self.rows {
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (k, &a) in lhs_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * n..(k + 1) * n];
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * r;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes `selfᵀ * rhs` without materializing the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `self.rows != rhs.rows`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_tn",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![rhs.rows, rhs.cols],
+            });
+        }
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        let n = rhs.cols;
+        for k in 0..self.rows {
+            let lhs_row = &self.data[k * self.cols..(k + 1) * self.cols];
+            let rhs_row = &rhs.data[k * n..(k + 1) * n];
+            for (i, &a) in lhs_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * r;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes `self * rhsᵀ` without materializing the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `self.cols != rhs.cols`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![rhs.rows, rhs.cols],
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..rhs.rows {
+                let rhs_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                let acc: f32 = lhs_row
+                    .iter()
+                    .zip(rhs_row)
+                    .map(|(&a, &b)| a * b)
+                    .sum();
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum, returning a new matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on shape disagreement.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with("add", rhs, |a, b| a + b)
+    }
+
+    /// Element-wise difference, returning a new matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on shape disagreement.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with("sub", rhs, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product, returning a new matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on shape disagreement.
+    pub fn hadamard(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with("hadamard", rhs, |a, b| a * b)
+    }
+
+    fn zip_with(
+        &self,
+        op: &'static str,
+        rhs: &Matrix,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![rhs.rows, rhs.cols],
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// In-place `self += alpha * rhs` (AXPY).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on shape disagreement.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Matrix) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "axpy",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![rhs.rows, rhs.cols],
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Returns a new matrix with every element multiplied by `alpha`.
+    pub fn scale(&self, alpha: f32) -> Matrix {
+        self.map(|v| v * alpha)
+    }
+
+    /// In-place multiplication of every element by `alpha`.
+    pub fn scale_in_place(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Returns a new matrix with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Frobenius norm `‖self‖_F`, accumulated in `f64`.
+    ///
+    /// Cuttlefish uses this together with `σ_max` for the fast stable-rank
+    /// path: `stable_rank(W) = ‖W‖_F² / σ_max²`.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+
+    /// Squared Frobenius norm, accumulated in `f64`.
+    pub fn frobenius_norm_sq(&self) -> f64 {
+        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum()
+    }
+
+    /// Largest absolute element.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for the empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Copies the first `r` columns into a new `rows × r` matrix.
+    ///
+    /// This is the `U[:, 1:r]` truncation step of Algorithm 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] when `r > cols` or `r == 0`.
+    pub fn take_cols(&self, r: usize) -> Result<Matrix> {
+        if r == 0 || r > self.cols {
+            return Err(TensorError::InvalidDimension {
+                op: "take_cols",
+                detail: format!("r = {r} out of range for {} columns", self.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, r);
+        for i in 0..self.rows {
+            out.row_mut(i).copy_from_slice(&self.row(i)[..r]);
+        }
+        Ok(out)
+    }
+
+    /// Copies the first `r` rows into a new `r × cols` matrix.
+    ///
+    /// This is the `Vᵀ[1:r, :]` truncation step of Algorithm 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] when `r > rows` or `r == 0`.
+    pub fn take_rows(&self, r: usize) -> Result<Matrix> {
+        if r == 0 || r > self.rows {
+            return Err(TensorError::InvalidDimension {
+                op: "take_rows",
+                detail: format!("r = {r} out of range for {} rows", self.rows),
+            });
+        }
+        Ok(Matrix {
+            rows: r,
+            cols: self.cols,
+            data: self.data[..r * self.cols].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn zeros_and_eye() {
+        let z = Matrix::zeros(2, 4);
+        assert_eq!(z.shape(), (2, 4));
+        assert_eq!(z.sum(), 0.0);
+        let i = Matrix::eye(3);
+        assert_eq!(i.sum(), 3.0);
+        assert_eq!(i.get(1, 1), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_len() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.get(1, 2), 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = sample();
+        let i = Matrix::eye(2);
+        assert_eq!(m.matmul(&i).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = sample();
+        let b = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f32);
+        let fast = a.matmul_tn(&b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = sample();
+        let b = Matrix::from_fn(5, 2, |i, j| (i + j) as f32 * 0.5);
+        let fast = a.matmul_nt(&b).unwrap();
+        let slow = a.matmul(&b.transpose()).unwrap();
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let m = sample();
+        let s = m.add(&m).unwrap();
+        assert_eq!(s.get(2, 1), 12.0);
+        let d = s.sub(&m).unwrap();
+        assert_eq!(d, m);
+        let h = m.hadamard(&m).unwrap();
+        assert_eq!(h.get(1, 0), 9.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut m = Matrix::zeros(2, 2);
+        let g = Matrix::eye(2);
+        m.axpy(-0.5, &g).unwrap();
+        assert_eq!(m.get(0, 0), -0.5);
+        assert!(m.axpy(1.0, &Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+        assert!((m.frobenius_norm_sq() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn take_cols_and_rows() {
+        let m = sample();
+        let c = m.take_cols(1).unwrap();
+        assert_eq!(c.shape(), (3, 1));
+        assert_eq!(c.get(2, 0), 5.0);
+        let r = m.take_rows(2).unwrap();
+        assert_eq!(r.shape(), (2, 2));
+        assert_eq!(r.get(1, 1), 4.0);
+        assert!(m.take_cols(0).is_err());
+        assert!(m.take_cols(3).is_err());
+        assert!(m.take_rows(4).is_err());
+    }
+
+    #[test]
+    fn map_and_scale() {
+        let m = sample();
+        let doubled = m.scale(2.0);
+        assert_eq!(doubled.get(0, 1), 4.0);
+        let neg = m.map(|v| -v);
+        assert_eq!(neg.get(0, 0), -1.0);
+        let mut s = m.clone();
+        s.scale_in_place(0.0);
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    fn full_rank_is_min_dim() {
+        assert_eq!(sample().full_rank(), 2);
+        assert_eq!(Matrix::zeros(2, 7).full_rank(), 2);
+    }
+
+    #[test]
+    fn debug_small_matrix_prints_entries() {
+        let m = Matrix::eye(2);
+        let text = format!("{m:?}");
+        assert!(text.contains("Matrix(2x2)"));
+        assert!(text.contains("1.0000"));
+    }
+}

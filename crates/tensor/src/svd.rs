@@ -1,0 +1,620 @@
+//! Singular value decomposition and spectral utilities.
+//!
+//! Cuttlefish needs two spectral primitives (paper §3.3–§3.6, §4.3):
+//!
+//! * **Singular values only** ([`svdvals`]) — computed every epoch for every
+//!   tracked layer to evaluate the stable rank. The paper stresses that this
+//!   path does not need singular *vectors* (`scipy.linalg.svdvals`); we use a
+//!   symmetric Jacobi eigensolver on the smaller Gram matrix, plus a
+//!   [`power_iteration`] fast path for `σ_max` alone.
+//! * **Full SVD** ([`Svd::compute`]) — needed once, at the full-rank →
+//!   low-rank switching epoch, to factorize each layer as
+//!   `U = Ũ Σ^{1/2}`, `Vᵀ = Σ^{1/2} Ṽᵀ` truncated at the chosen rank
+//!   ([`Svd::split_sqrt`], matching Algorithm 1 line "Uₗ = Ũₗ Σ^{1/2}…").
+//!
+//! Both are implemented from scratch: one-sided Jacobi for the full SVD
+//! (simple, numerically robust, adequate at the layer sizes we track) and
+//! cyclic symmetric Jacobi for eigenvalues. All internal arithmetic is `f64`.
+
+use crate::{Matrix, Result, TensorError};
+
+/// Maximum number of Jacobi sweeps before declaring non-convergence.
+const MAX_SWEEPS: usize = 60;
+/// Relative off-diagonal tolerance for Jacobi convergence.
+const JACOBI_TOL: f64 = 1e-12;
+
+/// A full singular value decomposition `W = U · diag(s) · Vᵀ`.
+///
+/// `U` is `m × p`, `Vᵀ` is `p × n` with `p = min(m, n)`, and `s` is sorted
+/// in descending order (the paper's `Σ` convention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Svd {
+    u: Matrix,
+    s: Vec<f32>,
+    vt: Matrix,
+}
+
+impl Svd {
+    /// Computes the thin SVD of `w` by one-sided Jacobi.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] for empty inputs and
+    /// [`TensorError::NoConvergence`] if the Jacobi sweeps fail to converge
+    /// (not observed in practice at NN-layer sizes).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cuttlefish_tensor::{Matrix, svd::Svd};
+    /// # fn main() -> Result<(), cuttlefish_tensor::TensorError> {
+    /// let w = Matrix::from_fn(5, 3, |i, j| ((i + 1) * (j + 1)) as f32);
+    /// let d = Svd::compute(&w)?;
+    /// // Rank-one matrix: exactly one significant singular value.
+    /// assert!(d.singular_values()[1] < 1e-3 * d.singular_values()[0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn compute(w: &Matrix) -> Result<Self> {
+        if w.is_empty() {
+            return Err(TensorError::InvalidDimension {
+                op: "Svd::compute",
+                detail: "cannot decompose an empty matrix".to_string(),
+            });
+        }
+        if w.rows() >= w.cols() {
+            Self::compute_tall(w)
+        } else {
+            // W = U S Vᵀ  ⇔  Wᵀ = V S Uᵀ: decompose the transpose and swap.
+            let t = Self::compute_tall(&w.transpose())?;
+            Ok(Svd {
+                u: t.vt.transpose(),
+                s: t.s,
+                vt: t.u.transpose(),
+            })
+        }
+    }
+
+    /// One-sided Jacobi on a tall (m ≥ n) matrix.
+    fn compute_tall(w: &Matrix) -> Result<Self> {
+        let m = w.rows();
+        let n = w.cols();
+        // Column-major f64 working copy of W, plus accumulated V.
+        let mut b: Vec<Vec<f64>> = (0..n)
+            .map(|j| (0..m).map(|i| w.get(i, j) as f64).collect())
+            .collect();
+        let mut v: Vec<Vec<f64>> = (0..n)
+            .map(|j| {
+                let mut col = vec![0.0f64; n];
+                col[j] = 1.0;
+                col
+            })
+            .collect();
+
+        let mut converged = false;
+        for _sweep in 0..MAX_SWEEPS {
+            let mut off = 0.0f64;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let mut alpha = 0.0;
+                    let mut beta = 0.0;
+                    let mut gamma = 0.0;
+                    for t in 0..m {
+                        alpha += b[i][t] * b[i][t];
+                        beta += b[j][t] * b[j][t];
+                        gamma += b[i][t] * b[j][t];
+                    }
+                    if alpha == 0.0 || beta == 0.0 {
+                        continue;
+                    }
+                    let ratio = gamma.abs() / (alpha * beta).sqrt();
+                    off = off.max(ratio);
+                    if ratio <= JACOBI_TOL {
+                        continue;
+                    }
+                    // Jacobi rotation zeroing the (i, j) Gram entry.
+                    let zeta = (beta - alpha) / (2.0 * gamma);
+                    let t_val = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                    let c = 1.0 / (1.0 + t_val * t_val).sqrt();
+                    let s = c * t_val;
+                    for t in 0..m {
+                        let bi = b[i][t];
+                        let bj = b[j][t];
+                        b[i][t] = c * bi - s * bj;
+                        b[j][t] = s * bi + c * bj;
+                    }
+                    for t in 0..n {
+                        let vi = v[i][t];
+                        let vj = v[j][t];
+                        v[i][t] = c * vi - s * vj;
+                        v[j][t] = s * vi + c * vj;
+                    }
+                }
+            }
+            if off <= JACOBI_TOL {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            // One more orthogonality check: tiny residual correlations are
+            // fine for our purposes; only bail out on gross failure.
+            let mut worst = 0.0f64;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let mut alpha = 0.0;
+                    let mut beta = 0.0;
+                    let mut gamma = 0.0;
+                    for t in 0..m {
+                        alpha += b[i][t] * b[i][t];
+                        beta += b[j][t] * b[j][t];
+                        gamma += b[i][t] * b[j][t];
+                    }
+                    if alpha > 0.0 && beta > 0.0 {
+                        worst = worst.max(gamma.abs() / (alpha * beta).sqrt());
+                    }
+                }
+            }
+            if worst > 1e-6 {
+                return Err(TensorError::NoConvergence {
+                    algorithm: "one-sided-jacobi-svd",
+                    iterations: MAX_SWEEPS,
+                });
+            }
+        }
+
+        // Singular values = column norms; sort descending.
+        let mut order: Vec<usize> = (0..n).collect();
+        let norms: Vec<f64> = b
+            .iter()
+            .map(|col| col.iter().map(|x| x * x).sum::<f64>().sqrt())
+            .collect();
+        order.sort_by(|&a, &c| {
+            norms[c]
+                .partial_cmp(&norms[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        let mut u = Matrix::zeros(m, n);
+        let mut vt = Matrix::zeros(n, n);
+        let mut s = Vec::with_capacity(n);
+        for (rank, &src) in order.iter().enumerate() {
+            let sigma = norms[src];
+            s.push(sigma as f32);
+            if sigma > 0.0 {
+                for t in 0..m {
+                    u.set(t, rank, (b[src][t] / sigma) as f32);
+                }
+            }
+            for t in 0..n {
+                vt.set(rank, t, v[src][t] as f32);
+            }
+        }
+        Ok(Svd { u, s, vt })
+    }
+
+    /// The left singular vectors, `m × p`.
+    pub fn u(&self) -> &Matrix {
+        &self.u
+    }
+
+    /// The singular values in descending order.
+    pub fn singular_values(&self) -> &[f32] {
+        &self.s
+    }
+
+    /// The right singular vectors, transposed: `p × n`.
+    pub fn vt(&self) -> &Matrix {
+        &self.vt
+    }
+
+    /// Reconstructs `U · diag(s) · Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        self.reconstruct_rank(self.s.len())
+    }
+
+    /// Reconstructs the best rank-`r` approximation `U[:, :r] diag(s[:r]) Vᵀ[:r, :]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0` or `r > p`.
+    pub fn reconstruct_rank(&self, r: usize) -> Matrix {
+        assert!(r >= 1 && r <= self.s.len(), "rank {r} out of range");
+        let m = self.u.rows();
+        let n = self.vt.cols();
+        let mut out = Matrix::zeros(m, n);
+        for k in 0..r {
+            let sigma = self.s[k];
+            if sigma == 0.0 {
+                continue;
+            }
+            for i in 0..m {
+                let coef = sigma * self.u.get(i, k);
+                if coef == 0.0 {
+                    continue;
+                }
+                let row = out.row_mut(i);
+                let vrow = self.vt.row(k);
+                for j in 0..n {
+                    row[j] += coef * vrow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Splits the decomposition into the Cuttlefish factorized pair at rank
+    /// `r`: `U = Ũ[:, :r] Σ^{1/2}[:r]` (shape `m × r`) and
+    /// `Vᵀ = Σ^{1/2}[:r] Ṽᵀ[:r, :]` (shape `r × n`), so `U · Vᵀ` is the best
+    /// rank-`r` approximation of the original matrix (Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if `r == 0` or `r > p`.
+    pub fn split_sqrt(&self, r: usize) -> Result<(Matrix, Matrix)> {
+        if r == 0 || r > self.s.len() {
+            return Err(TensorError::InvalidDimension {
+                op: "Svd::split_sqrt",
+                detail: format!("rank {r} out of range 1..={}", self.s.len()),
+            });
+        }
+        let m = self.u.rows();
+        let n = self.vt.cols();
+        let mut u = Matrix::zeros(m, r);
+        let mut vt = Matrix::zeros(r, n);
+        for k in 0..r {
+            let root = self.s[k].max(0.0).sqrt();
+            for i in 0..m {
+                u.set(i, k, self.u.get(i, k) * root);
+            }
+            for j in 0..n {
+                vt.set(k, j, self.vt.get(k, j) * root);
+            }
+        }
+        Ok((u, vt))
+    }
+}
+
+/// Computes the singular values of `w` in descending order, without singular
+/// vectors — the `scipy.linalg.svdvals` path used for per-epoch stable-rank
+/// estimation (§4.3).
+///
+/// Internally diagonalizes the smaller Gram matrix (`WᵀW` or `WWᵀ`) with a
+/// cyclic symmetric Jacobi sweep, so the cost scales with `min(m, n)³`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidDimension`] for empty inputs and
+/// [`TensorError::NoConvergence`] on Jacobi failure.
+pub fn svdvals(w: &Matrix) -> Result<Vec<f32>> {
+    if w.is_empty() {
+        return Err(TensorError::InvalidDimension {
+            op: "svdvals",
+            detail: "cannot decompose an empty matrix".to_string(),
+        });
+    }
+    let gram = if w.rows() >= w.cols() {
+        w.matmul_tn(w)? // n × n
+    } else {
+        w.matmul_nt(w)? // m × m
+    };
+    let eigs = symmetric_eigenvalues(&gram)?;
+    Ok(eigs.into_iter().map(|l| l.max(0.0).sqrt() as f32).collect())
+}
+
+/// Eigenvalues of a symmetric matrix in descending order via cyclic Jacobi.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidDimension`] for non-square or empty inputs
+/// and [`TensorError::NoConvergence`] if sweeps are exhausted.
+pub fn symmetric_eigenvalues(a: &Matrix) -> Result<Vec<f64>> {
+    if a.rows() != a.cols() || a.is_empty() {
+        return Err(TensorError::InvalidDimension {
+            op: "symmetric_eigenvalues",
+            detail: format!("expected nonempty square matrix, got {:?}", a.shape()),
+        });
+    }
+    let n = a.rows();
+    let mut m: Vec<f64> = a.as_slice().iter().map(|&v| v as f64).collect();
+    let idx = |i: usize, j: usize| i * n + j;
+    let scale = m.iter().map(|v| v.abs()).fold(0.0f64, f64::max).max(1.0);
+    let tol = JACOBI_TOL * scale;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[idx(p, q)];
+                off = off.max(apq.abs());
+                if apq.abs() <= tol {
+                    continue;
+                }
+                let app = m[idx(p, p)];
+                let aqq = m[idx(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (1.0 + theta * theta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply rotation on both sides.
+                for k in 0..n {
+                    let akp = m[idx(k, p)];
+                    let akq = m[idx(k, q)];
+                    m[idx(k, p)] = c * akp - s * akq;
+                    m[idx(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = m[idx(p, k)];
+                    let aqk = m[idx(q, k)];
+                    m[idx(p, k)] = c * apk - s * aqk;
+                    m[idx(q, k)] = s * apk + c * aqk;
+                }
+            }
+        }
+        if off <= tol {
+            let mut eigs: Vec<f64> = (0..n).map(|i| m[idx(i, i)]).collect();
+            eigs.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+            return Ok(eigs);
+        }
+    }
+    Err(TensorError::NoConvergence {
+        algorithm: "symmetric-jacobi",
+        iterations: MAX_SWEEPS,
+    })
+}
+
+/// Estimates the largest singular value of `w` by power iteration on `WᵀW`.
+///
+/// This is the cheap path for stable-rank tracking:
+/// `stable_rank(W) = ‖W‖_F² / σ_max²` needs only `σ_max`, not the full
+/// spectrum. Deterministic: the starting vector is derived from the shape.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidDimension`] for empty inputs.
+pub fn power_iteration(w: &Matrix, max_iters: usize, tol: f64) -> Result<f32> {
+    if w.is_empty() {
+        return Err(TensorError::InvalidDimension {
+            op: "power_iteration",
+            detail: "cannot operate on an empty matrix".to_string(),
+        });
+    }
+    let n = w.cols();
+    // Deterministic quasi-random start vector.
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| (((i * 2654435761) % 1000) as f64 / 1000.0) - 0.5 + 1e-3)
+        .collect();
+    normalize(&mut v);
+    let mut sigma_prev = 0.0f64;
+    let mut sigma = 0.0f64;
+    for _ in 0..max_iters.max(1) {
+        // u = W v  (length m), then v' = Wᵀ u (length n).
+        let m_rows = w.rows();
+        let mut u = vec![0.0f64; m_rows];
+        for i in 0..m_rows {
+            let row = w.row(i);
+            let mut acc = 0.0f64;
+            for j in 0..n {
+                acc += row[j] as f64 * v[j];
+            }
+            u[i] = acc;
+        }
+        let mut v_next = vec![0.0f64; n];
+        for i in 0..m_rows {
+            let row = w.row(i);
+            let ui = u[i];
+            if ui == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                v_next[j] += row[j] as f64 * ui;
+            }
+        }
+        let norm = normalize(&mut v_next);
+        sigma = norm.sqrt();
+        v = v_next;
+        if (sigma - sigma_prev).abs() <= tol * sigma.max(1e-30) {
+            break;
+        }
+        sigma_prev = sigma;
+    }
+    Ok(sigma as f32)
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        crate::init::randn_matrix(m, n, 1.0, &mut StdRng::seed_from_u64(seed))
+    }
+
+    fn assert_close(a: f32, b: f32, tol: f32, what: &str) {
+        assert!((a - b).abs() <= tol, "{what}: {a} vs {b}");
+    }
+
+    #[test]
+    fn svd_diagonal_matrix() {
+        let mut w = Matrix::zeros(3, 3);
+        w.set(0, 0, 3.0);
+        w.set(1, 1, 1.0);
+        w.set(2, 2, 2.0);
+        let d = Svd::compute(&w).unwrap();
+        let s = d.singular_values();
+        assert_close(s[0], 3.0, 1e-5, "s0");
+        assert_close(s[1], 2.0, 1e-5, "s1");
+        assert_close(s[2], 1.0, 1e-5, "s2");
+    }
+
+    #[test]
+    fn svd_reconstructs_tall() {
+        let w = random_matrix(10, 4, 1);
+        let d = Svd::compute(&w).unwrap();
+        let r = d.reconstruct();
+        assert!(w.sub(&r).unwrap().frobenius_norm() < 1e-4 * w.frobenius_norm().max(1.0));
+    }
+
+    #[test]
+    fn svd_reconstructs_wide() {
+        let w = random_matrix(4, 11, 2);
+        let d = Svd::compute(&w).unwrap();
+        let r = d.reconstruct();
+        assert!(w.sub(&r).unwrap().frobenius_norm() < 1e-4 * w.frobenius_norm().max(1.0));
+    }
+
+    #[test]
+    fn svd_u_columns_orthonormal() {
+        let w = random_matrix(8, 5, 3);
+        let d = Svd::compute(&w).unwrap();
+        let gram = d.u().matmul_tn(d.u()).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert_close(gram.get(i, j), expect, 1e-4, "U gram");
+            }
+        }
+    }
+
+    #[test]
+    fn svd_vt_rows_orthonormal() {
+        let w = random_matrix(8, 5, 4);
+        let d = Svd::compute(&w).unwrap();
+        let gram = d.vt().matmul_nt(d.vt()).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert_close(gram.get(i, j), expect, 1e-4, "V gram");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_values_sorted_descending() {
+        let w = random_matrix(12, 7, 5);
+        let d = Svd::compute(&w).unwrap();
+        let s = d.singular_values();
+        for pair in s.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-6);
+        }
+    }
+
+    #[test]
+    fn svdvals_matches_full_svd() {
+        for &(m, n, seed) in &[(9usize, 5usize, 6u64), (5, 9, 7), (6, 6, 8)] {
+            let w = random_matrix(m, n, seed);
+            let full = Svd::compute(&w).unwrap();
+            let vals = svdvals(&w).unwrap();
+            assert_eq!(vals.len(), m.min(n));
+            for (a, b) in vals.iter().zip(full.singular_values()) {
+                assert_close(*a, *b, 1e-3, "svdvals vs svd");
+            }
+        }
+    }
+
+    #[test]
+    fn split_sqrt_product_is_truncation() {
+        let w = random_matrix(8, 6, 9);
+        let d = Svd::compute(&w).unwrap();
+        let r = 3;
+        let (u, vt) = d.split_sqrt(r).unwrap();
+        assert_eq!(u.shape(), (8, r));
+        assert_eq!(vt.shape(), (r, 6));
+        let prod = u.matmul(&vt).unwrap();
+        let trunc = d.reconstruct_rank(r);
+        assert!(prod.sub(&trunc).unwrap().frobenius_norm() < 1e-4);
+    }
+
+    #[test]
+    fn split_sqrt_full_rank_recovers_matrix() {
+        let w = random_matrix(6, 4, 10);
+        let d = Svd::compute(&w).unwrap();
+        let (u, vt) = d.split_sqrt(4).unwrap();
+        let prod = u.matmul(&vt).unwrap();
+        assert!(w.sub(&prod).unwrap().frobenius_norm() < 1e-4 * w.frobenius_norm());
+    }
+
+    #[test]
+    fn split_sqrt_rejects_bad_rank() {
+        let w = random_matrix(4, 4, 11);
+        let d = Svd::compute(&w).unwrap();
+        assert!(d.split_sqrt(0).is_err());
+        assert!(d.split_sqrt(5).is_err());
+    }
+
+    #[test]
+    fn truncation_error_is_tail_energy() {
+        // ‖W - W_r‖_F² == Σ_{i>r} σ_i² (Eckart–Young).
+        let w = random_matrix(10, 6, 12);
+        let d = Svd::compute(&w).unwrap();
+        let r = 2;
+        let err = w.sub(&d.reconstruct_rank(r)).unwrap().frobenius_norm_sq();
+        let tail: f64 = d.singular_values()[r..]
+            .iter()
+            .map(|&s| (s as f64) * (s as f64))
+            .sum();
+        assert!((err - tail).abs() < 1e-3 * tail.max(1.0), "{err} vs {tail}");
+    }
+
+    #[test]
+    fn power_iteration_matches_sigma_max() {
+        for seed in 0..5u64 {
+            let w = random_matrix(12, 8, 20 + seed);
+            let sigma = power_iteration(&w, 200, 1e-10).unwrap();
+            let exact = svdvals(&w).unwrap()[0];
+            assert_close(sigma, exact, 1e-3 * exact, "power iteration");
+        }
+    }
+
+    #[test]
+    fn power_iteration_rank_one() {
+        // Rank-one: sigma = |u||v|.
+        let u = Matrix::from_fn(5, 1, |i, _| (i + 1) as f32);
+        let v = Matrix::from_fn(1, 4, |_, j| (j + 1) as f32);
+        let w = u.matmul(&v).unwrap();
+        let sigma = power_iteration(&w, 100, 1e-12).unwrap();
+        let expect = (1.0f32 + 4.0 + 9.0 + 16.0 + 25.0).sqrt() * (1.0f32 + 4.0 + 9.0 + 16.0).sqrt();
+        assert_close(sigma, expect, 1e-2, "rank-one sigma");
+    }
+
+    #[test]
+    fn symmetric_eigenvalues_known() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let e = symmetric_eigenvalues(&a).unwrap();
+        assert!((e[0] - 3.0).abs() < 1e-9);
+        assert!((e[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_eigenvalues_rejects_rectangular() {
+        assert!(symmetric_eigenvalues(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn svd_zero_matrix() {
+        let w = Matrix::zeros(4, 3);
+        let d = Svd::compute(&w).unwrap();
+        assert!(d.singular_values().iter().all(|&s| s == 0.0));
+        assert_eq!(d.reconstruct(), w);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let e = Matrix::zeros(0, 0);
+        assert!(Svd::compute(&e).is_err());
+        assert!(svdvals(&e).is_err());
+        assert!(power_iteration(&e, 10, 1e-6).is_err());
+    }
+}

@@ -1,0 +1,296 @@
+use crate::{Matrix, Result, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense 4-D tensor in `(N, C, H, W)` layout.
+///
+/// Used for activation batches and convolution kernels. Convolution kernels
+/// are stored as `(out_channels, in_channels, k, k)` and can be unrolled to
+/// the `(in_channels·k², out_channels)` matrix whose rank Cuttlefish tracks
+/// (see [`Tensor4::unroll_conv_kernel`]).
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor4 {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tensor4({}x{}x{}x{}, |x|={:.4})",
+            self.n,
+            self.c,
+            self.h,
+            self.w,
+            self.data.iter().map(|v| v.abs()).fold(0.0f32, f32::max)
+        )
+    }
+}
+
+impl Tensor4 {
+    /// Creates a zero tensor with the given shape.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Tensor4 {
+            n,
+            c,
+            h,
+            w,
+            data: vec![0.0; n * c * h * w],
+        }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] when the buffer length does
+    /// not equal `n*c*h*w`.
+    pub fn from_vec(n: usize, c: usize, h: usize, w: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != n * c * h * w {
+            return Err(TensorError::InvalidDimension {
+                op: "Tensor4::from_vec",
+                detail: format!(
+                    "buffer of length {} cannot be viewed as {n}x{c}x{h}x{w}",
+                    data.len()
+                ),
+            });
+        }
+        Ok(Tensor4 { n, c, h, w, data })
+    }
+
+    /// Builds a tensor by evaluating `f(n, c, h, w)` at every position.
+    pub fn from_fn(
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> f32,
+    ) -> Self {
+        let mut data = Vec::with_capacity(n * c * h * w);
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        data.push(f(ni, ci, hi, wi));
+                    }
+                }
+            }
+        }
+        Tensor4 { n, c, h, w, data }
+    }
+
+    /// `(N, C, H, W)` shape tuple.
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (self.n, self.c, self.h, self.w)
+    }
+
+    /// Batch dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Channel dimension.
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Height.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Width.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on out-of-range indices.
+    #[inline]
+    pub fn get(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        self.data[((n * self.c + c) * self.h + h) * self.w + w]
+    }
+
+    /// Element setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on out-of-range indices.
+    #[inline]
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, v: f32) {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        self.data[((n * self.c + c) * self.h + h) * self.w + w] = v;
+    }
+
+    /// Flattens each sample to a row, yielding an `(N, C·H·W)` matrix.
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.n, self.c * self.h * self.w, self.data.clone())
+            .expect("shape arithmetic is exact")
+    }
+
+    /// Rebuilds an `(N, C·H·W)` matrix into a tensor of the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the matrix does not have
+    /// `n` rows of `c*h*w` elements.
+    pub fn from_matrix(m: &Matrix, c: usize, h: usize, w: usize) -> Result<Self> {
+        if m.cols() != c * h * w {
+            return Err(TensorError::ShapeMismatch {
+                op: "Tensor4::from_matrix",
+                lhs: vec![m.rows(), m.cols()],
+                rhs: vec![c, h, w],
+            });
+        }
+        Tensor4::from_vec(m.rows(), c, h, w, m.as_slice().to_vec())
+    }
+
+    /// Unrolls a convolution kernel stored as `(out=n, in=c, k, k)` into the
+    /// paper's 2-D view of shape `(in·k², out)`: each **column** is one
+    /// vectorized filter (§2.1, "Convolution layer").
+    pub fn unroll_conv_kernel(&self) -> Matrix {
+        let out_ch = self.n;
+        let rows = self.c * self.h * self.w;
+        let mut m = Matrix::zeros(rows, out_ch);
+        for o in 0..out_ch {
+            for ci in 0..self.c {
+                for hi in 0..self.h {
+                    for wi in 0..self.w {
+                        let r = (ci * self.h + hi) * self.w + wi;
+                        m.set(r, o, self.get(o, ci, hi, wi));
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Rolls the paper's `(in·k², out)` 2-D view back into a 4-D kernel of
+    /// shape `(out, in, k, k)` — the inverse of [`Tensor4::unroll_conv_kernel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `m.rows() != in_ch * k * k`.
+    pub fn roll_conv_kernel(m: &Matrix, in_ch: usize, k: usize) -> Result<Self> {
+        if m.rows() != in_ch * k * k {
+            return Err(TensorError::ShapeMismatch {
+                op: "roll_conv_kernel",
+                lhs: vec![m.rows(), m.cols()],
+                rhs: vec![in_ch, k, k],
+            });
+        }
+        let out_ch = m.cols();
+        let mut t = Tensor4::zeros(out_ch, in_ch, k, k);
+        for o in 0..out_ch {
+            for ci in 0..in_ch {
+                for hi in 0..k {
+                    for wi in 0..k {
+                        let r = (ci * k + hi) * k + wi;
+                        t.set(o, ci, hi, wi, m.get(r, o));
+                    }
+                }
+            }
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_accessors() {
+        let t = Tensor4::zeros(2, 3, 4, 5);
+        assert_eq!(t.shape(), (2, 3, 4, 5));
+        assert_eq!(t.len(), 120);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor4::zeros(2, 2, 2, 2);
+        t.set(1, 0, 1, 0, 7.5);
+        assert_eq!(t.get(1, 0, 1, 0), 7.5);
+        assert_eq!(t.get(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        assert!(Tensor4::from_vec(1, 1, 2, 2, vec![0.0; 3]).is_err());
+        assert!(Tensor4::from_vec(1, 1, 2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let t = Tensor4::from_fn(2, 3, 2, 2, |n, c, h, w| (n * 100 + c * 10 + h * 2 + w) as f32);
+        let m = t.to_matrix();
+        assert_eq!(m.shape(), (2, 12));
+        let back = Tensor4::from_matrix(&m, 3, 2, 2).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn unroll_roll_kernel_roundtrip() {
+        let kern = Tensor4::from_fn(4, 3, 3, 3, |o, c, h, w| (o * 27 + c * 9 + h * 3 + w) as f32);
+        let m = kern.unroll_conv_kernel();
+        assert_eq!(m.shape(), (27, 4));
+        let back = Tensor4::roll_conv_kernel(&m, 3, 3).unwrap();
+        assert_eq!(back, kern);
+    }
+
+    #[test]
+    fn unroll_columns_are_filters() {
+        // Filter 1 set to all ones, filter 0 to zeros: column 1 must be ones.
+        let mut kern = Tensor4::zeros(2, 1, 2, 2);
+        for h in 0..2 {
+            for w in 0..2 {
+                kern.set(1, 0, h, w, 1.0);
+            }
+        }
+        let m = kern.unroll_conv_kernel();
+        for r in 0..4 {
+            assert_eq!(m.get(r, 0), 0.0);
+            assert_eq!(m.get(r, 1), 1.0);
+        }
+    }
+
+    #[test]
+    fn roll_rejects_bad_rows() {
+        let m = Matrix::zeros(10, 4);
+        assert!(Tensor4::roll_conv_kernel(&m, 3, 3).is_err());
+    }
+}

@@ -1,0 +1,19 @@
+#!/bin/bash
+# Regenerates every paper table/figure from the prebuilt release binaries.
+# Build first: cargo build --workspace --release
+# Ordered so the headline tables complete first.
+set -u
+BINS="${BINS_OVERRIDE:-table1_cifar table19_svhn table2_imagenet table3_transformer \
+table8_hyperparams fig1_grid_search table18_eb_grasp fig5_rank_selection \
+table4_glue table17_bert_pretrain table13_fd_ablation table15_scaled_rank \
+table5_extra_bn table12_sifd_rho fig8_imagenet_ranks table9_hyperparams_imagenet \
+appendix_rank_trends ablation_tracker_window fig3_rank_heatmap fig9_singular_cdf \
+fig2_rank_trajectories fig4_stack_profiling fig6_layerwise_cost overhead_accounting}"
+for b in $BINS; do
+  echo "=== running $b ==="
+  start=$(date +%s)
+  "target/release/$b" > "bench_results/logs/$b.log" 2>&1
+  rc=$?
+  echo "=== $b done (exit $rc, $(( $(date +%s) - start )) s) ==="
+done
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,13 @@
+//! Umbrella crate for the Cuttlefish reproduction workspace.
+//!
+//! This crate exists to host the runnable [examples](../examples) and the
+//! cross-crate integration tests under `tests/`. The actual library code
+//! lives in the `crates/` workspace members; start with the `cuttlefish`
+//! crate for the paper's core algorithm.
+
+pub use cuttlefish;
+pub use cuttlefish_baselines;
+pub use cuttlefish_data;
+pub use cuttlefish_nn;
+pub use cuttlefish_perf;
+pub use cuttlefish_tensor;

@@ -1,0 +1,220 @@
+//! Cross-crate integration tests: the full Cuttlefish pipeline on real
+//! (micro) training runs.
+
+use cuttlefish::adapter::{GlueAdapter, MlmAdapter, VisionAdapter};
+use cuttlefish::{run_training, CuttlefishConfig, OptimizerKind, SwitchPolicy, TrainerConfig};
+use cuttlefish_data::vision::{VisionSpec, VisionTask};
+use cuttlefish_data::{glue_suite, MlmStream};
+use cuttlefish_nn::models::{
+    build_micro_bert, build_micro_resnet18, BertHead, MicroBertConfig, MicroResNetConfig,
+};
+use cuttlefish_nn::schedule::LrSchedule;
+use cuttlefish_perf::arch::resnet18_cifar;
+use cuttlefish_perf::DeviceProfile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_vision() -> (cuttlefish_nn::Network, VisionAdapter) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let net = build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut rng);
+    let adapter = VisionAdapter::new(VisionTask::generate(&VisionSpec::tiny(), 0));
+    (net, adapter)
+}
+
+fn quick_cfg(epochs: usize) -> TrainerConfig {
+    let mut c = TrainerConfig::cnn_default(epochs, 3);
+    c.batch_size = 32;
+    c.schedule = LrSchedule::Constant { lr: 0.05 };
+    c.optimizer = OptimizerKind::Sgd {
+        momentum: 0.9,
+        weight_decay: 5e-3,
+    };
+    c
+}
+
+#[test]
+fn cuttlefish_pipeline_on_vision() {
+    let (mut net, mut adapter) = tiny_vision();
+    let cfg = CuttlefishConfig {
+        epsilon: 0.5,
+        max_full_rank_fraction: 0.4,
+        ..CuttlefishConfig::default()
+    };
+    let res = run_training(
+        &mut net,
+        &mut adapter,
+        &quick_cfg(8),
+        &SwitchPolicy::Cuttlefish(cfg),
+        Some(&resnet18_cifar(10)),
+    )
+    .unwrap();
+
+    // Invariants of a successful Cuttlefish run.
+    let e = res.e_hat.expect("switched");
+    assert!(e >= 1 && e <= 8);
+    let k = res.k_hat.expect("profiled");
+    assert!(k >= 1);
+    assert!(res.params_final < res.params_full);
+    assert!(res.best_metric > 0.4, "accuracy {}", res.best_metric);
+    // The rank history covers exactly the full-rank phase.
+    assert_eq!(res.rank_history.len(), e);
+    // Every decision is consistent: chosen ranks within [1, full_rank].
+    for d in &res.decisions {
+        if let Some(r) = d.chosen {
+            assert!(r >= 1 && r <= d.full_rank, "{d:?}");
+        } else {
+            assert!(d.skip.is_some(), "{d:?}");
+        }
+    }
+    // The network still trains/evaluates after the switch (metric curve
+    // has a value for every epoch).
+    assert_eq!(res.metric_curve.len(), 8);
+}
+
+#[test]
+fn cuttlefish_beats_spectral_init_from_scratch() {
+    // Core claim of the paper's E-selection: some full-rank warm-up beats
+    // factorizing at initialization for aggressive compression.
+    let ratio = 0.1;
+    let (mut net_a, mut ad_a) = tiny_vision();
+    let si = run_training(
+        &mut net_a,
+        &mut ad_a,
+        &quick_cfg(8),
+        &SwitchPolicy::SpectralInit {
+            rank_ratio: ratio,
+            frobenius_decay: None,
+        },
+        None,
+    )
+    .unwrap();
+    let (mut net_b, mut ad_b) = tiny_vision();
+    let warm = run_training(
+        &mut net_b,
+        &mut ad_b,
+        &quick_cfg(8),
+        &SwitchPolicy::Manual {
+            full_rank_epochs: 4,
+            k: 1,
+            rank_ratio: ratio,
+            extra_bn: false,
+            frobenius_decay: None,
+        },
+        None,
+    )
+    .unwrap();
+    // Same final size...
+    assert!(
+        (si.params_final as f64 - warm.params_final as f64).abs()
+            < 0.1 * warm.params_final as f64
+    );
+    // ...warm-started should not be (meaningfully) worse.
+    assert!(
+        warm.best_metric >= si.best_metric - 0.05,
+        "warm {} vs si {}",
+        warm.best_metric,
+        si.best_metric
+    );
+}
+
+#[test]
+fn cuttlefish_pipeline_on_glue() {
+    let suite = glue_suite(32, 8, 0);
+    let task = suite.into_iter().find(|t| t.name == "SST-2").unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut net = build_micro_bert(&MicroBertConfig::tiny(2), &mut rng);
+    let mut adapter = GlueAdapter::new(task);
+    let tcfg = TrainerConfig {
+        total_epochs: 5,
+        batch_size: 16,
+        schedule: LrSchedule::Constant { lr: 2e-3 },
+        optimizer: OptimizerKind::AdamW { weight_decay: 0.0 },
+        label_smoothing: 0.0,
+        grad_clip: Some(1.0),
+        seed: 0,
+        device: DeviceProfile::v100(),
+        sim_batch: 32,
+        sim_iters_per_epoch: 100,
+        eval_every: 1,
+        track_ranks: false,
+    };
+    let cfg = CuttlefishConfig {
+        epsilon: f32::INFINITY,
+        window: 1,
+        max_full_rank_fraction: 0.5,
+        ..CuttlefishConfig::default()
+    };
+    let res = run_training(
+        &mut net,
+        &mut adapter,
+        &tcfg,
+        &SwitchPolicy::Cuttlefish(cfg),
+        None,
+    )
+    .unwrap();
+    assert!(res.e_hat.is_some());
+    assert!(res.best_metric > 0.55, "accuracy {}", res.best_metric);
+    // Square attention projections may be skipped (NoReduction), but at
+    // least one FFN weight must factorize.
+    assert!(res.decisions.iter().any(|d| d.chosen.is_some()));
+}
+
+#[test]
+fn cuttlefish_pipeline_on_mlm() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut net = build_micro_bert(&MicroBertConfig::tiny_mlm(), &mut rng);
+    let mut adapter = MlmAdapter::new(MlmStream::new(32, 8, 0), 6, 24);
+    let tcfg = TrainerConfig {
+        total_epochs: 6,
+        batch_size: 16,
+        schedule: LrSchedule::Constant { lr: 2e-3 },
+        optimizer: OptimizerKind::AdamW { weight_decay: 0.0 },
+        label_smoothing: 0.0,
+        grad_clip: Some(1.0),
+        seed: 0,
+        device: DeviceProfile::v100(),
+        sim_batch: 32,
+        sim_iters_per_epoch: 100,
+        eval_every: 1,
+        track_ranks: false,
+    };
+    let full_loss_start: f32;
+    {
+        // Track the full-rank loss trend for comparison.
+        let mut net2 = build_micro_bert(&MicroBertConfig::tiny_mlm(), &mut StdRng::seed_from_u64(2));
+        let mut ad2 = MlmAdapter::new(MlmStream::new(32, 8, 0), 6, 24);
+        let full = run_training(&mut net2, &mut ad2, &tcfg, &SwitchPolicy::FullRankOnly, None).unwrap();
+        full_loss_start = full.loss_curve[0];
+        assert!(full.final_metric < full_loss_start, "MLM loss should fall");
+    }
+    let cfg = CuttlefishConfig {
+        epsilon: f32::INFINITY,
+        window: 1,
+        max_full_rank_fraction: 0.5,
+        ..CuttlefishConfig::default()
+    };
+    let res = run_training(&mut net, &mut adapter, &tcfg, &SwitchPolicy::Cuttlefish(cfg), None).unwrap();
+    // Lower-is-better metric: the run must improve over the initial loss.
+    assert!(res.final_metric < full_loss_start, "{}", res.final_metric);
+    assert!(res.params_final <= res.params_full);
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let run = || {
+        let (mut net, mut adapter) = tiny_vision();
+        run_training(
+            &mut net,
+            &mut adapter,
+            &quick_cfg(3),
+            &SwitchPolicy::FullRankOnly,
+            None,
+        )
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.best_metric, b.best_metric);
+    assert_eq!(a.loss_curve, b.loss_curve);
+    assert_eq!(a.sim_hours, b.sim_hours);
+}

@@ -1,0 +1,126 @@
+//! Property-based tests over the numerical core: SVD invariants, stable
+//! rank bounds, factorization function-preservation, and cost-model
+//! monotonicity on randomly generated shapes.
+
+use cuttlefish::rank::{accumulative_rank, stable_rank, stable_rank_of};
+use cuttlefish_nn::weight::FactorableWeight;
+use cuttlefish_nn::{Mode, TargetKind};
+use cuttlefish_perf::{target_flops, target_params, target_time, DeviceProfile};
+use cuttlefish_tensor::init::randn_matrix;
+use cuttlefish_tensor::svd::{svdvals, Svd};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn matrix_strategy() -> impl Strategy<Value = (usize, usize, u64)> {
+    (2usize..24, 2usize..24, 0u64..1000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn svd_reconstructs_any_matrix((rows, cols, seed) in matrix_strategy()) {
+        let w = randn_matrix(rows, cols, 1.0, &mut StdRng::seed_from_u64(seed));
+        let svd = Svd::compute(&w).unwrap();
+        let err = w.sub(&svd.reconstruct()).unwrap().frobenius_norm();
+        prop_assert!(err < 1e-3 * w.frobenius_norm().max(1.0), "err {err}");
+    }
+
+    #[test]
+    fn singular_values_match_frobenius((rows, cols, seed) in matrix_strategy()) {
+        // Σ σᵢ² == ‖W‖_F² (exact identity of the SVD).
+        let w = randn_matrix(rows, cols, 1.0, &mut StdRng::seed_from_u64(seed));
+        let svals = svdvals(&w).unwrap();
+        let sum_sq: f64 = svals.iter().map(|&s| (s as f64).powi(2)).sum();
+        let fro = w.frobenius_norm_sq();
+        prop_assert!((sum_sq - fro).abs() < 1e-2 * fro.max(1.0), "{sum_sq} vs {fro}");
+    }
+
+    #[test]
+    fn stable_rank_bounded((rows, cols, seed) in matrix_strategy()) {
+        let w = randn_matrix(rows, cols, 1.0, &mut StdRng::seed_from_u64(seed));
+        let sr = stable_rank_of(&w).unwrap();
+        prop_assert!(sr >= 1.0 - 1e-4);
+        prop_assert!(sr <= rows.min(cols) as f32 + 1e-3);
+    }
+
+    #[test]
+    fn stable_rank_is_scale_invariant((rows, cols, seed) in matrix_strategy(), scale in 0.1f32..10.0) {
+        let w = randn_matrix(rows, cols, 1.0, &mut StdRng::seed_from_u64(seed));
+        let a = stable_rank_of(&w).unwrap();
+        let b = stable_rank_of(&w.scale(scale)).unwrap();
+        prop_assert!((a - b).abs() < 1e-2 * a, "{a} vs {b}");
+    }
+
+    #[test]
+    fn accumulative_rank_monotone_in_p((rows, cols, seed) in matrix_strategy()) {
+        let w = randn_matrix(rows, cols, 1.0, &mut StdRng::seed_from_u64(seed));
+        let svals = svdvals(&w).unwrap();
+        let r_half = accumulative_rank(&svals, 0.5);
+        let r_most = accumulative_rank(&svals, 0.9);
+        prop_assert!(r_half <= r_most);
+        prop_assert!(r_most <= svals.len());
+    }
+
+    #[test]
+    fn factorization_at_full_rank_preserves_outputs((rows, cols, seed) in matrix_strategy()) {
+        let w = randn_matrix(rows, cols, 1.0, &mut StdRng::seed_from_u64(seed));
+        let mut fw = FactorableWeight::new_full(w.clone());
+        let x = randn_matrix(3, rows, 1.0, &mut StdRng::seed_from_u64(seed ^ 0xabc));
+        let y_full = fw.forward(&x, Mode::Eval).unwrap();
+        let svd = Svd::compute(&w).unwrap();
+        let (u, vt) = svd.split_sqrt(rows.min(cols)).unwrap();
+        fw.set_factored(u, vt, false, None).unwrap();
+        let y_fact = fw.forward(&x, Mode::Eval).unwrap();
+        let err = y_full.sub(&y_fact).unwrap().frobenius_norm();
+        prop_assert!(err < 1e-2 * y_full.frobenius_norm().max(1.0), "err {err}");
+    }
+
+    #[test]
+    fn truncation_error_decreases_with_rank((rows, cols, seed) in matrix_strategy()) {
+        let w = randn_matrix(rows, cols, 1.0, &mut StdRng::seed_from_u64(seed));
+        let svd = Svd::compute(&w).unwrap();
+        let p = rows.min(cols);
+        let mut prev = f64::INFINITY;
+        for r in 1..=p {
+            let err = w.sub(&svd.reconstruct_rank(r)).unwrap().frobenius_norm_sq();
+            prop_assert!(err <= prev + 1e-3, "rank {r}: {err} > {prev}");
+            prev = err;
+        }
+        prop_assert!(prev < 1e-3 * w.frobenius_norm_sq().max(1.0));
+    }
+
+    #[test]
+    fn cost_model_monotone_in_rank(
+        m in 4usize..64, n in 4usize..64, seed in 0u64..100
+    ) {
+        let _ = seed;
+        let kind = TargetKind::Conv {
+            in_channels: m,
+            out_channels: n,
+            kernel: 3,
+            stride: 1,
+            in_hw: (8, 8),
+        };
+        // Params and FLOPs strictly increase with rank.
+        let p1 = target_params(&kind, Some(1));
+        let p2 = target_params(&kind, Some(2));
+        prop_assert!(p2 > p1);
+        let f1 = target_flops(&kind, Some(1));
+        let f2 = target_flops(&kind, Some(2));
+        prop_assert!(f2 > f1);
+        // Roofline time never negative and increases with batch.
+        let dev = DeviceProfile::v100();
+        let t_small = target_time(&dev, &kind, 8);
+        let t_big = target_time(&dev, &kind, 1024);
+        prop_assert!(t_small > 0.0 && t_big >= t_small);
+    }
+
+    #[test]
+    fn stable_rank_of_flat_spectrum_counts(count in 1usize..32, value in 0.1f32..10.0) {
+        let svals = vec![value; count];
+        let sr = stable_rank(&svals);
+        prop_assert!((sr - count as f32).abs() < 1e-3 * count as f32);
+    }
+}
