@@ -6,7 +6,7 @@
 //! where `p_T` is the temperature-softened softmax.
 
 use crate::util::LoopCfg;
-use cuttlefish::adapter::{GlueAdapter, TaskAdapter, Target};
+use cuttlefish::adapter::{GlueAdapter, Target, TaskAdapter};
 use cuttlefish::{CfResult, CuttlefishError};
 use cuttlefish_data::text::GlueTask;
 use cuttlefish_nn::{Act, Mode, Network};
@@ -110,9 +110,7 @@ pub fn distill_train(
             let (_, hard_grad) =
                 cuttlefish_nn::loss::cross_entropy(student_logits.data(), labels, 0.0)?;
             let soft_grad = soft_ce_grad(student_logits.data(), teacher_logits.data(), temp);
-            let grad = hard_grad
-                .scale(alpha)
-                .add(&soft_grad.scale(1.0 - alpha))?;
+            let grad = hard_grad.scale(alpha).add(&soft_grad.scale(1.0 - alpha))?;
             student.backward(Act::flat(grad))?;
             opt.next_step();
             student.step(&mut opt, lr);
@@ -213,9 +211,14 @@ mod tests {
             optimizer: OptimizerKind::AdamW { weight_decay: 0.0 },
             label_smoothing: 0.0,
         };
-        assert!(
-            distill_train(&mut a, &mut b, &sts, &cfg, &DistillConfig::default(), &mut rng)
-                .is_err()
-        );
+        assert!(distill_train(
+            &mut a,
+            &mut b,
+            &sts,
+            &cfg,
+            &DistillConfig::default(),
+            &mut rng
+        )
+        .is_err());
     }
 }

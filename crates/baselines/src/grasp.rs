@@ -76,7 +76,9 @@ pub fn grasp_masks(
     let delta = 1e-3f32;
     net.visit_weights(&mut |name, w| {
         if let (Some(gm), Some(dense)) = (g.get(name), w.dense_mut()) {
-            dense.axpy(delta, gm).expect("gradient shape matches weight");
+            dense
+                .axpy(delta, gm)
+                .expect("gradient shape matches weight");
         }
     });
     // g' = ∇L(θ + δ·g); Hg ≈ (g' − g)/δ.
@@ -85,7 +87,9 @@ pub fn grasp_masks(
     // Restore θ.
     net.visit_weights(&mut |name, w| {
         if let (Some(gm), Some(dense)) = (g.get(name), w.dense_mut()) {
-            dense.axpy(-delta, gm).expect("gradient shape matches weight");
+            dense
+                .axpy(-delta, gm)
+                .expect("gradient shape matches weight");
         }
     });
     net.zero_grads();

@@ -54,6 +54,7 @@ pub struct ImpResult {
 /// # Errors
 ///
 /// Propagates adapter/network errors.
+#[allow(clippy::too_many_arguments)]
 pub fn run_imp(
     net: &mut Network,
     adapter: &mut dyn TaskAdapter,
@@ -74,7 +75,12 @@ pub fn run_imp(
         ..cfg.clone()
     };
     train_with_hook(net, adapter, &warm, rng, &mut |_, _| Ok(()))?;
-    clock.add_training_iterations(clock_targets, sim_batch, sim_iters_per_epoch * warm.epochs, |_| None);
+    clock.add_training_iterations(
+        clock_targets,
+        sim_batch,
+        sim_iters_per_epoch * warm.epochs,
+        |_| None,
+    );
     let snapshot = WeightSnapshot::capture(net);
 
     let mut last_best = 0.0f32;
@@ -162,7 +168,7 @@ mod tests {
 
     #[test]
     fn imp_time_scales_with_rounds() {
-        let mut run_with = |rounds: usize| {
+        let run_with = |rounds: usize| {
             let mut rng = StdRng::seed_from_u64(1);
             let mut net = build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut rng);
             let mut ad = VisionAdapter::new(VisionTask::generate(&VisionSpec::tiny(), 0));

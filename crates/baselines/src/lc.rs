@@ -118,8 +118,9 @@ pub fn run_lc(
     let mut learned_ranks: HashMap<String, usize> = HashMap::new();
     let mut mu = lc.mu_start;
 
-    let finetune_epochs =
-        ((cfg.epochs as f32) * lc.finetune_fraction).round().max(1.0) as usize;
+    let finetune_epochs = ((cfg.epochs as f32) * lc.finetune_fraction)
+        .round()
+        .max(1.0) as usize;
     let lc_epochs = cfg.epochs.saturating_sub(finetune_epochs).max(1);
 
     // --- Alternating phase -------------------------------------------

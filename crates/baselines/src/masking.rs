@@ -146,7 +146,11 @@ impl WeightSnapshot {
             p.zero_grad();
             i += 1;
         });
-        assert_eq!(i, self.values.len(), "parameter count changed since snapshot");
+        assert_eq!(
+            i,
+            self.values.len(),
+            "parameter count changed since snapshot"
+        );
     }
 }
 

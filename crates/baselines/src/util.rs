@@ -87,7 +87,8 @@ pub fn train_with_hook(
         for batch in batches {
             hook(net, Phase::BeforeForward)?;
             let logits = net.forward(batch.input, Mode::Train)?;
-            let (loss, grad) = adapter.loss_and_grad(&logits, &batch.target, cfg.label_smoothing)?;
+            let (loss, grad) =
+                adapter.loss_and_grad(&logits, &batch.target, cfg.label_smoothing)?;
             epoch_loss += loss as f64;
             net.backward(grad)?;
             net.apply_frobenius_decay();

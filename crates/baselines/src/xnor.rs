@@ -41,7 +41,11 @@ pub fn binarize_columns(w: &Matrix) -> Matrix {
     }
     Matrix::from_fn(rows, cols, |i, j| {
         let v = w.get(i, j);
-        if v >= 0.0 { alphas[j] } else { -alphas[j] }
+        if v >= 0.0 {
+            alphas[j]
+        } else {
+            -alphas[j]
+        }
     })
 }
 
@@ -74,9 +78,7 @@ pub fn run_xnor(
                 // STE: restore real weights so the update applies to them;
                 // gradients were computed against the binarized weights.
                 n.visit_weights(&mut |name, w| {
-                    if let (Some(real), Some(dense)) =
-                        (real_weights.remove(name), w.dense_mut())
-                    {
+                    if let (Some(real), Some(dense)) = (real_weights.remove(name), w.dense_mut()) {
                         *dense = real;
                     }
                 });
@@ -172,6 +174,10 @@ mod tests {
                 }
             }
         });
-        assert!(distinct.len() > 4, "weights look binarized: {}", distinct.len());
+        assert!(
+            distinct.len() > 4,
+            "weights look binarized: {}",
+            distinct.len()
+        );
     }
 }

@@ -49,7 +49,9 @@ fn main() {
         }));
     }
     print_table(
-        &format!("Ablation — switch-detector derivative window (ResNet-18 / cifar10-like, T = {epochs})"),
+        &format!(
+            "Ablation — switch-detector derivative window (ResNet-18 / cifar10-like, T = {epochs})"
+        ),
         &["window", "E_hat", "val acc", "params"],
         &rows,
     );

@@ -19,15 +19,24 @@ struct Trend {
 fn main() {
     let epochs = default_epochs().max(10);
     let mut trends = Vec::new();
-    for model in [scenarios::VisionModel::ResNet18, scenarios::VisionModel::Vgg19] {
+    for model in [
+        scenarios::VisionModel::ResNet18,
+        scenarios::VisionModel::Vgg19,
+    ] {
         for dataset in ["cifar100", "svhn"] {
             let classes = scenarios::dataset_spec(dataset).classes;
             let mut net = scenarios::build_model(model, classes, 0);
             let mut adapter = scenarios::vision_adapter(dataset, 42);
             let mut tcfg = scenarios::trainer_config(model, dataset, epochs, 0);
             tcfg.track_ranks = true;
-            let res = run_training(&mut net, &mut adapter, &tcfg, &SwitchPolicy::FullRankOnly, None)
-                .expect("run");
+            let res = run_training(
+                &mut net,
+                &mut adapter,
+                &tcfg,
+                &SwitchPolicy::FullRankOnly,
+                None,
+            )
+            .expect("run");
             let drift = |range: std::ops::Range<usize>| -> f32 {
                 let mut acc = 0.0f32;
                 let mut n = 0usize;

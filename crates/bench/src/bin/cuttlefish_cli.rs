@@ -7,8 +7,9 @@
 //!     --model resnet18 --dataset cifar10 --epochs 12 --method cuttlefish
 //! ```
 
-use cuttlefish_bench::methods::{run_vision, Method};
+use cuttlefish_bench::methods::{run_vision_with, tuned_cuttlefish_config, Method};
 use cuttlefish_bench::scenarios::VisionModel;
+use cuttlefish_telemetry::{JsonlRecorder, NullRecorder, Recorder};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -16,7 +17,11 @@ fn usage() -> ExitCode {
         "usage: cuttlefish_cli [--model resnet18|vgg19|resnet50|wideresnet50|deit|resmlp]\n\
          \x20                  [--dataset cifar10|cifar100|svhn|imagenet]\n\
          \x20                  [--method cuttlefish|full|pufferfish|sifd|imp|xnor|lc]\n\
-         \x20                  [--epochs N] [--seed N]"
+         \x20                  [--epochs N] [--seed N] [--telemetry PATH.jsonl]\n\
+         \n\
+         \x20 --telemetry appends one JSON Lines event per lifecycle moment\n\
+         \x20 (epochs, rank samples, the switch, the run manifest) to PATH;\n\
+         \x20 render it with the telemetry_summary binary."
     );
     ExitCode::FAILURE
 }
@@ -27,6 +32,7 @@ fn main() -> ExitCode {
     let mut method_name = "cuttlefish".to_string();
     let mut epochs = 12usize;
     let mut seed = 0u64;
+    let mut telemetry_path: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -57,12 +63,19 @@ fn main() -> ExitCode {
                 Ok(v) => seed = v,
                 Err(_) => return usage(),
             },
+            "--telemetry" => telemetry_path = Some(value.clone()),
             _ => return usage(),
         }
         i += 2;
     }
 
     let method = match method_name.as_str() {
+        // With telemetry on, the default cuttlefish method would run its
+        // Frobenius-decay A/B probe twice and pollute the stream with two
+        // switches; record a single tuned pass instead.
+        "cuttlefish" if telemetry_path.is_some() => {
+            Method::CuttlefishWith(tuned_cuttlefish_config(model))
+        }
         "cuttlefish" => Method::Cuttlefish,
         "full" => Method::FullRank,
         "pufferfish" => Method::Pufferfish,
@@ -73,11 +86,22 @@ fn main() -> ExitCode {
         _ => return usage(),
     };
 
+    let recorder: Box<dyn Recorder> = match &telemetry_path {
+        Some(path) => match JsonlRecorder::create(path) {
+            Ok(rec) => Box::new(rec),
+            Err(e) => {
+                eprintln!("error: cannot open telemetry sink {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Box::new(NullRecorder),
+    };
+
     println!(
         "training {} on {dataset}-like with {method_name} for {epochs} epochs (seed {seed})...",
         model.name()
     );
-    match run_vision(&method, model, &dataset, epochs, seed) {
+    match run_vision_with(&method, model, &dataset, epochs, seed, recorder.as_ref()) {
         Ok(row) => {
             println!("\nmethod     : {}", row.method);
             println!(
@@ -94,6 +118,10 @@ fn main() -> ExitCode {
             if !row.decisions.is_empty() {
                 let factored = row.decisions.iter().filter(|d| d.chosen.is_some()).count();
                 println!("factorized : {factored}/{} layers", row.decisions.len());
+            }
+            if let Some(path) = &telemetry_path {
+                recorder.flush();
+                println!("telemetry  : {path} (render with telemetry_summary)");
             }
             ExitCode::SUCCESS
         }

@@ -32,7 +32,9 @@ fn main() {
     .expect("training succeeds");
 
     // Print a subset of layers over epochs.
-    let show: Vec<usize> = (0..res.tracked.len()).step_by(4.max(res.tracked.len() / 5)).collect();
+    let show: Vec<usize> = (0..res.tracked.len())
+        .step_by(4.max(res.tracked.len() / 5))
+        .collect();
     let mut headers: Vec<String> = vec!["epoch".into()];
     headers.extend(show.iter().map(|&l| res.tracked[l].clone()));
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
@@ -46,7 +48,11 @@ fn main() {
             cells
         })
         .collect();
-    print_table("Figure 2 — stable-rank trajectories (micro ResNet-18, cifar10-like)", &header_refs, &rows);
+    print_table(
+        "Figure 2 — stable-rank trajectories (micro ResNet-18, cifar10-like)",
+        &header_refs,
+        &rows,
+    );
 
     // Stabilization check: mean |Δrank| early vs late.
     let drift = |range: std::ops::Range<usize>| -> f32 {

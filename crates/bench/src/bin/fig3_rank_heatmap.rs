@@ -23,8 +23,14 @@ fn main() {
     let mut adapter = scenarios::vision_adapter("cifar10", 42);
     let mut tcfg = scenarios::trainer_config(model, "cifar10", epochs, 0);
     tcfg.track_ranks = true;
-    let res = run_training(&mut net, &mut adapter, &tcfg, &SwitchPolicy::FullRankOnly, None)
-        .expect("training succeeds");
+    let res = run_training(
+        &mut net,
+        &mut adapter,
+        &tcfg,
+        &SwitchPolicy::FullRankOnly,
+        None,
+    )
+    .expect("training succeeds");
 
     // Map tracked layer → its full rank.
     let rank_of = |name: &str| {
@@ -66,10 +72,13 @@ fn main() {
     if let Some(last) = ratios.last() {
         let n = last.len();
         let mid: f32 = last[n / 3..2 * n / 3].iter().sum::<f32>() / (n / 3).max(1) as f32;
-        let edges: f32 = (last[..n / 3].iter().sum::<f32>() + last[2 * n / 3..].iter().sum::<f32>())
+        let edges: f32 = (last[..n / 3].iter().sum::<f32>()
+            + last[2 * n / 3..].iter().sum::<f32>())
             / (2 * (n / 3)).max(1) as f32;
         println!("\nfinal-epoch mean ratio, middle third: {mid:.2}  vs edges: {edges:.2}");
-        println!("Paper shape: middle layers converge to larger rho (more redundancy varies per depth).");
+        println!(
+            "Paper shape: middle layers converge to larger rho (more redundancy varies per depth)."
+        );
     }
     save_json(
         "fig3_rank_heatmap",

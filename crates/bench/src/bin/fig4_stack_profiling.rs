@@ -21,16 +21,30 @@ fn main() {
                 format!("{:.2}", s.full_time * 1e3),
                 format!("{:.2}", s.factored_time * 1e3),
                 format!("{:.2}x", s.speedup()),
-                if s.speedup() >= profiler.v { "factorize" } else { "keep full-rank" }.to_string(),
+                if s.speedup() >= profiler.v {
+                    "factorize"
+                } else {
+                    "keep full-rank"
+                }
+                .to_string(),
             ]
         })
         .collect();
     print_table(
         "Figure 4 — per-stack forward time, ResNet-18 @ CIFAR (batch 1024, V100, rho=1/4)",
-        &["stack", "full (ms)", "factored (ms)", "speedup", "decision (v=1.5)"],
+        &[
+            "stack",
+            "full (ms)",
+            "factored (ms)",
+            "speedup",
+            "decision (v=1.5)",
+        ],
         &rows,
     );
-    println!("\n=> K_hat = {} (cut at stack {})", outcome.k_hat, outcome.cut_stack);
+    println!(
+        "\n=> K_hat = {} (cut at stack {})",
+        outcome.k_hat, outcome.cut_stack
+    );
     println!("Paper: factorizing the first conv stack yields no substantial speedup; K_hat = 5.");
     save_json("fig4_stack_profiling", &outcome);
 }

@@ -30,8 +30,10 @@ fn main() {
     let mut all = Vec::new();
     for dataset in ["cifar10", "cifar100", "svhn"] {
         // Cuttlefish + Pufferfish rank decisions via the shared runner.
-        let cf = run_vision(&Method::Cuttlefish, model, dataset, epochs, 0).expect("cuttlefish run");
-        let pf = run_vision(&Method::Pufferfish, model, dataset, epochs, 0).expect("pufferfish run");
+        let cf =
+            run_vision(&Method::Cuttlefish, model, dataset, epochs, 0).expect("cuttlefish run");
+        let pf =
+            run_vision(&Method::Pufferfish, model, dataset, epochs, 0).expect("pufferfish run");
 
         // LC's learned ranks.
         let classes = scenarios::dataset_spec(dataset).classes;
@@ -62,10 +64,16 @@ fn main() {
         )
         .expect("lc run");
 
-        let cf_map: HashMap<&str, Option<usize>> =
-            cf.decisions.iter().map(|d| (d.name.as_str(), d.chosen)).collect();
-        let pf_map: HashMap<&str, Option<usize>> =
-            pf.decisions.iter().map(|d| (d.name.as_str(), d.chosen)).collect();
+        let cf_map: HashMap<&str, Option<usize>> = cf
+            .decisions
+            .iter()
+            .map(|d| (d.name.as_str(), d.chosen))
+            .collect();
+        let pf_map: HashMap<&str, Option<usize>> = pf
+            .decisions
+            .iter()
+            .map(|d| (d.name.as_str(), d.chosen))
+            .collect();
 
         let targets = scenarios::build_model(model, classes, 0);
         let layers: Vec<String> = targets.targets().iter().map(|t| t.name.clone()).collect();
@@ -98,9 +106,18 @@ fn main() {
         );
         all.push(Selection {
             dataset: dataset.to_string(),
-            cuttlefish: layers.iter().map(|n| cf_map.get(n.as_str()).copied().flatten()).collect(),
-            pufferfish: layers.iter().map(|n| pf_map.get(n.as_str()).copied().flatten()).collect(),
-            lc: layers.iter().map(|n| lc_res.learned_ranks.get(n).copied()).collect(),
+            cuttlefish: layers
+                .iter()
+                .map(|n| cf_map.get(n.as_str()).copied().flatten())
+                .collect(),
+            pufferfish: layers
+                .iter()
+                .map(|n| pf_map.get(n.as_str()).copied().flatten())
+                .collect(),
+            lc: layers
+                .iter()
+                .map(|n| lc_res.learned_ranks.get(n).copied())
+                .collect(),
             layers,
             full_ranks,
         });

@@ -24,7 +24,11 @@ fn main() {
 
     let mut all_rows = Vec::new();
     for (title, targets, filter_from) in [
-        ("ResNet-50 layers (from conv 21)", resnet50_imagenet(), 21usize),
+        (
+            "ResNet-50 layers (from conv 21)",
+            resnet50_imagenet(),
+            21usize,
+        ),
         ("DeiT-small encoder 0 + head", deit_small(), 0usize),
     ] {
         let mut rows = Vec::new();
@@ -44,7 +48,13 @@ fn main() {
                     if t.name.ends_with(".h0") {
                         let mut agg = t.clone();
                         agg.name = t.name[..pos].to_string();
-                        if let TargetKind::Linear { in_dim, out_dim, positions, transformer } = agg.kind {
+                        if let TargetKind::Linear {
+                            in_dim,
+                            out_dim,
+                            positions,
+                            transformer,
+                        } = agg.kind
+                        {
                             agg.kind = TargetKind::Linear {
                                 in_dim,
                                 out_dim: in_dim, // heads × (dim/heads) = dim
@@ -80,7 +90,9 @@ fn main() {
                     let speed = full / fact;
                     match t.kind {
                         TargetKind::Conv { .. } => speedup_conv.push(speed),
-                        TargetKind::Linear { transformer: true, .. } => {
+                        TargetKind::Linear {
+                            transformer: true, ..
+                        } => {
                             if t.name.contains("attn") {
                                 speedup_attn.push(speed);
                             } else {

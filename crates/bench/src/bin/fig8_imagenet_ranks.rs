@@ -21,13 +21,22 @@ fn main() {
                 vec![
                     c.name.clone(),
                     c.full_rank.to_string(),
-                    c.chosen.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
-                    p.chosen.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+                    c.chosen
+                        .map(|r| r.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                    p.chosen
+                        .map(|r| r.to_string())
+                        .unwrap_or_else(|| "-".into()),
                 ]
             })
             .collect();
         print_table(
-            &format!("Figure 8 — ranks for {} (E_hat={:?} vs Pufferfish E={:?})", model.name(), cf.e_hat, pf.e_hat),
+            &format!(
+                "Figure 8 — ranks for {} (E_hat={:?} vs Pufferfish E={:?})",
+                model.name(),
+                cf.e_hat,
+                pf.e_hat
+            ),
             &["layer", "full rank", "Cuttlefish", "Pufferfish"],
             &rows,
         );

@@ -40,8 +40,14 @@ fn main() {
     let mut net = scenarios::build_model(model, 10, 0);
     let mut adapter = scenarios::vision_adapter("cifar10", 42);
     let tcfg = scenarios::trainer_config(model, "cifar10", epochs, 0);
-    run_training(&mut net, &mut adapter, &tcfg, &SwitchPolicy::FullRankOnly, None)
-        .expect("deit training");
+    run_training(
+        &mut net,
+        &mut adapter,
+        &tcfg,
+        &SwitchPolicy::FullRankOnly,
+        None,
+    )
+    .expect("deit training");
 
     let mut results = Vec::new();
     let picks: Vec<String> = net
@@ -66,8 +72,14 @@ fn main() {
     let mut cnn = scenarios::build_model(cnn_model, 10, 0);
     let mut cnn_ad = scenarios::vision_adapter("cifar10", 42);
     let cnn_cfg = scenarios::trainer_config(cnn_model, "cifar10", epochs, 0);
-    run_training(&mut cnn, &mut cnn_ad, &cnn_cfg, &SwitchPolicy::FullRankOnly, None)
-        .expect("cnn training");
+    run_training(
+        &mut cnn,
+        &mut cnn_ad,
+        &cnn_cfg,
+        &SwitchPolicy::FullRankOnly,
+        None,
+    )
+    .expect("cnn training");
     let w = cnn.weight_matrix("s3.b0.conv1").expect("target");
     let svals = svdvals(&w).expect("svd");
     results.push(Cdf {

@@ -31,7 +31,11 @@ fn main() {
         vec![
             "rank estimation (82 epochs)".to_string(),
             format!("{:.2} s", est.seconds()),
-            format!("{:.3} s/epoch; {:.2}%", est.seconds() / 82.0, 100.0 * est.seconds() / total),
+            format!(
+                "{:.3} s/epoch; {:.2}%",
+                est.seconds() / 82.0,
+                100.0 * est.seconds() / total
+            ),
             "0.49 s/epoch / 1.6%".to_string(),
         ],
     ];

@@ -12,7 +12,10 @@ fn main() {
     let epochs = default_epochs();
     let mut rows = Vec::new();
     let mut json = Vec::new();
-    for (model, key) in [(VisionModel::ResNet18, "resnet18"), (VisionModel::Vgg19, "vgg19")] {
+    for (model, key) in [
+        (VisionModel::ResNet18, "resnet18"),
+        (VisionModel::Vgg19, "vgg19"),
+    ] {
         for dataset in ["cifar10", "cifar100", "svhn"] {
             let cf = run_vision(&Method::Cuttlefish, model, dataset, epochs, 0).expect("cf");
             let matched_rho = mean_chosen_ratio(&cf.decisions);

@@ -39,14 +39,22 @@ fn main() {
             .iter()
             .map(|(fd, r)| {
                 vec![
-                    if fd.is_some() { "Cuttlefish w. FD" } else { "Cuttlefish wo. FD" }.to_string(),
+                    if fd.is_some() {
+                        "Cuttlefish w. FD"
+                    } else {
+                        "Cuttlefish wo. FD"
+                    }
+                    .to_string(),
                     fmt_params(r.params_final, r.params_full),
                     format!("{:.3}", r.best_metric),
                 ]
             })
             .collect();
         print_table(
-            &format!("Tables 13–14 — FD ablation, {} on {dataset}-like", model.name()),
+            &format!(
+                "Tables 13–14 — FD ablation, {} on {dataset}-like",
+                model.name()
+            ),
             &["variant", "params", "val acc"],
             &table,
         );

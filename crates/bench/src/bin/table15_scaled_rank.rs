@@ -54,7 +54,10 @@ fn main() {
             })
             .collect();
         print_table(
-            &format!("Tables 15–16 — rank-metric ablation, {} on {dataset}-like", model.name()),
+            &format!(
+                "Tables 15–16 — rank-metric ablation, {} on {dataset}-like",
+                model.name()
+            ),
             &["metric", "params", "val acc"],
             &table,
         );

@@ -63,7 +63,11 @@ fn main() {
         let res = run_training(&mut net, &mut adapter, &tcfg, &policy, None).expect("mlm run");
         rows.push(vec![
             label.to_string(),
-            format!("{:.0}k ({:.0}%)", res.params_final as f64 / 1e3, 100.0 * res.params_final as f64 / res.params_full as f64),
+            format!(
+                "{:.0}k ({:.0}%)",
+                res.params_final as f64 / 1e3,
+                100.0 * res.params_final as f64 / res.params_full as f64
+            ),
             format!("{:.3}", res.final_metric),
             format!("{:?}", res.e_hat),
         ]);
@@ -77,6 +81,8 @@ fn main() {
         &["model", "params", "final MLM loss", "E_hat"],
         &rows,
     );
-    println!("\nPaper shape: Cuttlefish BERT_LARGE pre-trains at 72% params with MLM loss 1.60 vs 1.58.");
+    println!(
+        "\nPaper shape: Cuttlefish BERT_LARGE pre-trains at 72% params with MLM loss 1.60 vs 1.58."
+    );
     save_json("table17_bert_pretrain", &json);
 }

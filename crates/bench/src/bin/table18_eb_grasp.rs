@@ -12,8 +12,12 @@ fn main() {
     let methods = [
         Method::FullRank,
         Method::Pufferfish,
-        Method::EbTrain { prune_fraction: 0.3 },
-        Method::EbTrain { prune_fraction: 0.5 },
+        Method::EbTrain {
+            prune_fraction: 0.3,
+        },
+        Method::EbTrain {
+            prune_fraction: 0.5,
+        },
         Method::Grasp { keep: 0.7 },
         Method::Grasp { keep: 0.4 },
         Method::Cuttlefish,

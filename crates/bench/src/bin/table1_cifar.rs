@@ -21,7 +21,9 @@ fn main() {
             rows.push(
                 run_vision(&Method::SiFd { rho: si_rho }, model, dataset, epochs, 0).expect("sifd"),
             );
-            rows.push(run_vision(&Method::Imp { rounds: 2 }, model, dataset, epochs, 0).expect("imp"));
+            rows.push(
+                run_vision(&Method::Imp { rounds: 2 }, model, dataset, epochs, 0).expect("imp"),
+            );
             rows.push(run_vision(&Method::Xnor, model, dataset, epochs, 0).expect("xnor"));
             if model == VisionModel::Vgg19 {
                 rows.push(run_vision(&Method::Lc, model, dataset, epochs, 0).expect("lc"));
@@ -40,7 +42,10 @@ fn main() {
                 })
                 .collect();
             print_table(
-                &format!("Table 1 — {} on {dataset}-like (T = {epochs})", model.name()),
+                &format!(
+                    "Table 1 — {} on {dataset}-like (T = {epochs})",
+                    model.name()
+                ),
                 &["method", "params", "val acc", "sim hrs (speedup)"],
                 &table,
             );

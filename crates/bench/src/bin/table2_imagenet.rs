@@ -26,7 +26,7 @@ fn main() {
         let full = run_vision(&Method::FullRank, model, "imagenet", epochs, 0).expect("full");
         let pf = run_vision(&Method::Pufferfish, model, "imagenet", epochs, 0).expect("pf");
         let cf = run_vision(&Method::Cuttlefish, model, "imagenet", epochs, 0).expect("cf");
-        let rows = vec![full.clone(), pf, cf];
+        let rows = [full.clone(), pf, cf];
         let table: Vec<Vec<String>> = rows
             .iter()
             .map(|r| {
@@ -41,7 +41,13 @@ fn main() {
             .collect();
         print_table(
             &format!("Table 2 — {} on imagenet-like (T = {epochs})", model.name()),
-            &["method", "params", "top-1 acc", "GFLOPs@224", "sim hrs (speedup)"],
+            &[
+                "method",
+                "params",
+                "top-1 acc",
+                "GFLOPs@224",
+                "sim hrs (speedup)",
+            ],
             &table,
         );
         all.push(serde_json::json!({"model": model.name(), "rows": rows}));

@@ -27,7 +27,7 @@ fn main() {
         let full = run_vision(&Method::FullRank, model, "imagenet", epochs, 0).expect("full");
         let pf = run_vision(&Method::Pufferfish, model, "imagenet", epochs, 0).expect("pf");
         let cf = run_vision(&Method::Cuttlefish, model, "imagenet", epochs, 0).expect("cf");
-        let rows = vec![full.clone(), pf, cf];
+        let rows = [full.clone(), pf, cf];
         let table: Vec<Vec<String>> = rows
             .iter()
             .map(|r| {

@@ -63,7 +63,7 @@ fn finetune_cfg(epochs: usize, seed: u64) -> TrainerConfig {
 }
 
 fn main() {
-    let ft_epochs = default_epochs().max(6).min(8);
+    let ft_epochs = default_epochs().clamp(6, 8);
     let mut rng = StdRng::seed_from_u64(0);
 
     // --- Shared MLM pre-training ---------------------------------------
@@ -77,9 +77,19 @@ fn main() {
         optimizer: OptimizerKind::AdamW { weight_decay: 0.0 },
         label_smoothing: 0.0,
     };
-    let stats = train_with_hook(&mut pretrained, &mut mlm, &pre_cfg, &mut rng, &mut |_, _| Ok(()))
-        .expect("pretraining");
-    println!("pre-training MLM loss: {:.3} -> {:.3}", stats.loss_curve[0], stats.loss_curve.last().unwrap());
+    let stats = train_with_hook(
+        &mut pretrained,
+        &mut mlm,
+        &pre_cfg,
+        &mut rng,
+        &mut |_, _| Ok(()),
+    )
+    .expect("pretraining");
+    println!(
+        "pre-training MLM loss: {:.3} -> {:.3}",
+        stats.loss_curve[0],
+        stats.loss_curve.last().unwrap()
+    );
 
     let suite = glue_suite(VOCAB, TOKENS, 11);
     let mut header = vec!["Model".to_string(), "Params".to_string()];
@@ -99,7 +109,8 @@ fn main() {
             let seed = 100 + task.name.len() as u64;
             let metric = match variant {
                 "BERT_BASE" => {
-                    let mut net = build_micro_bert(&encoder_cfg(head), &mut StdRng::seed_from_u64(seed));
+                    let mut net =
+                        build_micro_bert(&encoder_cfg(head), &mut StdRng::seed_from_u64(seed));
                     transplant(&mut pretrained, &mut net);
                     let mut ad = GlueAdapter::new(task.clone());
                     let res = run_training(
@@ -114,7 +125,8 @@ fn main() {
                     res.best_metric
                 }
                 "Cuttlefish" => {
-                    let mut net = build_micro_bert(&encoder_cfg(head), &mut StdRng::seed_from_u64(seed));
+                    let mut net =
+                        build_micro_bert(&encoder_cfg(head), &mut StdRng::seed_from_u64(seed));
                     transplant(&mut pretrained, &mut net);
                     let mut ad = GlueAdapter::new(task.clone());
                     // Short fine-tunes: switch as soon as the tracker has a
@@ -142,9 +154,19 @@ fn main() {
                         // STS-B regression is not distilled; student
                         // fine-tunes directly (paper trains all heads).
                         let cfgv = if student == "Distil-BERT" {
-                            MicroBertConfig { depth: 2, head, ..encoder_cfg(head) }
+                            MicroBertConfig {
+                                depth: 2,
+                                head,
+                                ..encoder_cfg(head)
+                            }
                         } else {
-                            MicroBertConfig { depth: 2, dim: 20, heads: 2, head, ..encoder_cfg(head) }
+                            MicroBertConfig {
+                                depth: 2,
+                                dim: 20,
+                                heads: 2,
+                                head,
+                                ..encoder_cfg(head)
+                            }
                         };
                         let mut net = build_micro_bert(&cfgv, &mut StdRng::seed_from_u64(seed));
                         transplant(&mut pretrained, &mut net);
@@ -174,13 +196,29 @@ fn main() {
                         .expect("teacher ft");
                         let (cfgv, dcfg) = if student == "Distil-BERT" {
                             (
-                                MicroBertConfig { depth: 2, head, ..encoder_cfg(head) },
-                                DistillConfig { alpha: 0.5, temperature: 2.0 },
+                                MicroBertConfig {
+                                    depth: 2,
+                                    head,
+                                    ..encoder_cfg(head)
+                                },
+                                DistillConfig {
+                                    alpha: 0.5,
+                                    temperature: 2.0,
+                                },
                             )
                         } else {
                             (
-                                MicroBertConfig { depth: 2, dim: 20, heads: 2, head, ..encoder_cfg(head) },
-                                DistillConfig { alpha: 0.3, temperature: 4.0 },
+                                MicroBertConfig {
+                                    depth: 2,
+                                    dim: 20,
+                                    heads: 2,
+                                    head,
+                                    ..encoder_cfg(head)
+                                },
+                                DistillConfig {
+                                    alpha: 0.3,
+                                    temperature: 4.0,
+                                },
                             )
                         };
                         let mut net = build_micro_bert(&cfgv, &mut StdRng::seed_from_u64(seed));
@@ -192,8 +230,9 @@ fn main() {
                             optimizer: OptimizerKind::AdamW { weight_decay: 0.0 },
                             label_smoothing: 0.0,
                         };
-                        let m = distill_train(&mut net, &mut teacher, task, &loop_cfg, &dcfg, &mut rng)
-                            .expect("distill");
+                        let m =
+                            distill_train(&mut net, &mut teacher, task, &loop_cfg, &dcfg, &mut rng)
+                                .expect("distill");
                         params = net.param_count();
                         m
                     }
@@ -205,7 +244,9 @@ fn main() {
         let mut row = vec![variant.to_string(), format!("{:.0}k", params as f64 / 1e3)];
         row.extend(metrics.iter().map(|m| format!("{:.3}", m)));
         row.push(format!("{avg:.3}"));
-        json_rows.push(serde_json::json!({"model": variant, "params": params, "metrics": metrics, "avg": avg}));
+        json_rows.push(
+            serde_json::json!({"model": variant, "params": params, "metrics": metrics, "avg": avg}),
+        );
         rows.push(row);
     }
 

@@ -61,7 +61,10 @@ fn main() {
             })
             .collect();
         print_table(
-            &format!("Table 5 — extra-BN ablation, {} on {dataset}-like", model.name()),
+            &format!(
+                "Table 5 — extra-BN ablation, {} on {dataset}-like",
+                model.name()
+            ),
             &["variant", "params", "val acc", "sim hrs", "iter (ms)"],
             &table,
         );

@@ -2,11 +2,11 @@
 //! task, next to the manually tuned Pufferfish and SI&FD values, over
 //! three seeds (the paper reports mean ± std of Ê).
 
+use cuttlefish::SwitchPolicy;
 use cuttlefish_baselines::pufferfish;
 use cuttlefish_bench::methods::{run_vision, Method};
 use cuttlefish_bench::scenarios::VisionModel;
 use cuttlefish_bench::{default_epochs, print_table, save_json};
-use cuttlefish::SwitchPolicy;
 
 fn main() {
     let epochs = default_epochs();
@@ -57,7 +57,9 @@ fn main() {
     }
     print_table(
         &format!("Tables 8 — discovered vs tuned hyperparameters (T = {epochs}, 2 seeds)"),
-        &["scenario", "CF E_hat", "CF K_hat", "PF E", "PF K", "SI&FD E", "SI&FD K"],
+        &[
+            "scenario", "CF E_hat", "CF K_hat", "PF E", "PF K", "SI&FD E", "SI&FD K",
+        ],
         &rows,
     );
     println!("\nPaper shape: Cuttlefish finds larger K than Pufferfish on ResNet-18 and smaller on VGG-19;");

@@ -1,11 +1,11 @@
 //! Tables 9–10: discovered (Ê, K̂) on the ImageNet-scale models (ResNet-50,
 //! WideResNet-50-2, DeiT, ResMLP) vs. Pufferfish's manual values.
 
+use cuttlefish::SwitchPolicy;
 use cuttlefish_baselines::pufferfish;
 use cuttlefish_bench::methods::{run_vision, Method};
 use cuttlefish_bench::scenarios::VisionModel;
 use cuttlefish_bench::{default_epochs, print_table, save_json};
-use cuttlefish::SwitchPolicy;
 
 fn main() {
     let epochs = default_epochs();
@@ -43,7 +43,9 @@ fn main() {
         &["model", "CF E_hat", "CF K_hat", "PF E", "PF K"],
         &rows,
     );
-    println!("\nPaper shape: CNNs keep a long full-rank prefix (K = 40 of 54); transformers keep only");
+    println!(
+        "\nPaper shape: CNNs keep a long full-rank prefix (K = 40 of 54); transformers keep only"
+    );
     println!("the embedding (K = 1) and switch later than Pufferfish's manual E.");
     save_json("table9_hyperparams_imagenet", &json);
 }

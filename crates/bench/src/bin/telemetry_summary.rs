@@ -1,0 +1,36 @@
+//! Renders a telemetry JSONL stream (from `cuttlefish_cli --telemetry`)
+//! into a human-readable run report: manifest header, roofline profile,
+//! stable-rank trajectory, switch decisions, time-per-phase breakdown, and
+//! a kernel-counter histogram.
+//!
+//! ```text
+//! cargo run --release -p cuttlefish-bench --bin telemetry_summary -- run.jsonl
+//! ```
+
+use cuttlefish_telemetry::RunReport;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: telemetry_summary <run.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = RunReport::from_jsonl(&text);
+    if report.events().is_empty() && !report.skipped_lines.is_empty() {
+        eprintln!(
+            "error: {path} contains no parseable telemetry events ({} malformed lines)",
+            report.skipped_lines.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    print!("{}", report.render());
+    ExitCode::SUCCESS
+}

@@ -6,11 +6,12 @@ use crate::scenarios::{
 };
 use cuttlefish::config::RankRule;
 use cuttlefish::factorize::RankDecision;
-use cuttlefish::{run_training, CfResult, CuttlefishConfig, SwitchPolicy, TrainerConfig};
+use cuttlefish::{run_training_with, CfResult, CuttlefishConfig, SwitchPolicy, TrainerConfig};
 use cuttlefish_baselines::util::LoopCfg;
 use cuttlefish_baselines::{eb, grasp, imp, lc, pufferfish, si_fd, xnor};
 use cuttlefish_nn::TargetInfo;
 use cuttlefish_perf::TrainingClock;
+use cuttlefish_telemetry::{NullRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -64,7 +65,9 @@ impl Method {
             Method::Imp { .. } => "IMP".into(),
             Method::Xnor => "XNOR-Net".into(),
             Method::Lc => "LC Compress.".into(),
-            Method::EbTrain { prune_fraction } => format!("EB Train ({:.0}%)", prune_fraction * 100.0),
+            Method::EbTrain { prune_fraction } => {
+                format!("EB Train ({:.0}%)", prune_fraction * 100.0)
+            }
             Method::Grasp { keep } => format!("GraSP ({:.0}%)", (1.0 - keep) * 100.0),
         }
     }
@@ -103,7 +106,12 @@ fn loop_cfg(t: &TrainerConfig) -> LoopCfg {
 
 fn full_rank_hours(t: &TrainerConfig, clock: &[TargetInfo]) -> f64 {
     let mut c = TrainingClock::new(t.device.clone());
-    c.add_training_iterations(clock, t.sim_batch, t.sim_iters_per_epoch * t.total_epochs, |_| None);
+    c.add_training_iterations(
+        clock,
+        t.sim_batch,
+        t.sim_iters_per_epoch * t.total_epochs,
+        |_| None,
+    );
     c.hours()
 }
 
@@ -119,6 +127,31 @@ pub fn run_vision(
     epochs: usize,
     seed: u64,
 ) -> CfResult<MethodRow> {
+    run_vision_with(method, model, dataset, epochs, seed, &NullRecorder)
+}
+
+/// Like [`run_vision`], emitting structured telemetry for the methods that
+/// go through the core trainer (Cuttlefish, full-rank, Pufferfish, SI&FD).
+///
+/// [`Method::Cuttlefish`] runs two training probes (Frobenius decay off
+/// and on) and reports the better; recording both would duplicate every
+/// event, so its probes run silent and callers that want a telemetry
+/// stream with exactly one switch should use [`Method::CuttlefishWith`]
+/// (the `cuttlefish_cli --telemetry` path does this). Baseline methods
+/// with their own training loops (IMP, XNOR, LC, EB, GraSP) are not
+/// instrumented.
+///
+/// # Errors
+///
+/// Propagates training errors.
+pub fn run_vision_with(
+    method: &Method,
+    model: VisionModel,
+    dataset: &str,
+    epochs: usize,
+    seed: u64,
+    recorder: &dyn Recorder,
+) -> CfResult<MethodRow> {
     let tcfg = trainer_config(model, dataset, epochs, seed);
     let clock = clock_targets(model);
     let mut net = build_model(model, crate::scenarios::dataset_spec(dataset).classes, seed);
@@ -128,7 +161,14 @@ pub fn run_vision(
 
     let row = match method {
         Method::FullRank => {
-            let res = run_training(&mut net, &mut adapter, &tcfg, &SwitchPolicy::FullRankOnly, Some(&clock))?;
+            let res = run_training_with(
+                &mut net,
+                &mut adapter,
+                &tcfg,
+                &SwitchPolicy::FullRankOnly,
+                Some(&clock),
+                recorder,
+            )?;
             MethodRow {
                 method: method.label(),
                 params: res.params_final,
@@ -142,25 +182,33 @@ pub fn run_vision(
         }
         Method::Cuttlefish => {
             // Try FD off and on; report the better (paper footnote `*`).
-            let mut base = bench_cuttlefish_config();
-            if matches!(model, VisionModel::Deit | VisionModel::Mixer) {
-                base.rank_rule = RankRule::ScaledWithAccumulative { p: 0.8 };
-                base.post_switch_lr_scale = 0.5;
-            }
+            let base = tuned_cuttlefish_config(model);
             let mut with_fd = base.clone();
             with_fd.frobenius_decay = Some(1e-4);
-            let res_a = run_one_cuttlefish(&base, model, dataset, &tcfg, &clock, seed)?;
-            let res_b = run_one_cuttlefish(&with_fd, model, dataset, &tcfg, &clock, seed)?;
+            // Both probes run silent; see `run_vision_with` docs.
+            let res_a =
+                run_one_cuttlefish(&base, model, dataset, &tcfg, &clock, seed, &NullRecorder)?;
+            let res_b =
+                run_one_cuttlefish(&with_fd, model, dataset, &tcfg, &clock, seed, &NullRecorder)?;
             if res_a.metric >= res_b.metric {
                 res_a
             } else {
                 res_b
             }
         }
-        Method::CuttlefishWith(cfg) => run_one_cuttlefish(cfg, model, dataset, &tcfg, &clock, seed)?,
+        Method::CuttlefishWith(cfg) => {
+            run_one_cuttlefish(cfg, model, dataset, &tcfg, &clock, seed, recorder)?
+        }
         Method::Pufferfish => {
             let policy = pufferfish::policy_for(model.pufferfish_key(), epochs);
-            let res = run_training(&mut net, &mut adapter, &tcfg, &policy, Some(&clock))?;
+            let res = run_training_with(
+                &mut net,
+                &mut adapter,
+                &tcfg,
+                &policy,
+                Some(&clock),
+                recorder,
+            )?;
             MethodRow {
                 method: method.label(),
                 params: res.params_final,
@@ -174,7 +222,14 @@ pub fn run_vision(
         }
         Method::SiFd { rho } => {
             let policy = si_fd::policy_with_rho(*rho);
-            let res = run_training(&mut net, &mut adapter, &tcfg, &policy, Some(&clock))?;
+            let res = run_training_with(
+                &mut net,
+                &mut adapter,
+                &tcfg,
+                &policy,
+                Some(&clock),
+                recorder,
+            )?;
             MethodRow {
                 method: method.label(),
                 params: res.params_final,
@@ -291,6 +346,7 @@ pub fn run_vision(
     Ok(row)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_one_cuttlefish(
     cfg: &CuttlefishConfig,
     model: VisionModel,
@@ -298,16 +354,18 @@ fn run_one_cuttlefish(
     tcfg: &TrainerConfig,
     clock: &[TargetInfo],
     seed: u64,
+    recorder: &dyn Recorder,
 ) -> CfResult<MethodRow> {
     let mut net = build_model(model, crate::scenarios::dataset_spec(dataset).classes, seed);
     let mut adapter = vision_adapter(dataset, seed.wrapping_add(1000));
     let params_full = net.param_count();
-    let res = run_training(
+    let res = run_training_with(
         &mut net,
         &mut adapter,
         tcfg,
         &SwitchPolicy::Cuttlefish(cfg.clone()),
         Some(clock),
+        recorder,
     )?;
     Ok(MethodRow {
         method: "Cuttlefish".into(),
@@ -319,6 +377,20 @@ fn run_one_cuttlefish(
         k_hat: res.k_hat,
         decisions: res.decisions,
     })
+}
+
+/// The bench Cuttlefish configuration with the model-family tweaks used by
+/// [`Method::Cuttlefish`] (transformer-style models get the accumulative
+/// rank rule and a gentler post-switch learning rate). Exposed so the CLI
+/// can run a single recorded [`Method::CuttlefishWith`] pass with the same
+/// tuning.
+pub fn tuned_cuttlefish_config(model: VisionModel) -> CuttlefishConfig {
+    let mut base = bench_cuttlefish_config();
+    if matches!(model, VisionModel::Deit | VisionModel::Mixer) {
+        base.rank_rule = RankRule::ScaledWithAccumulative { p: 0.8 };
+        base.post_switch_lr_scale = 0.5;
+    }
+    base
 }
 
 /// Mean rank ratio chosen by a set of decisions (for SI&FD size matching).
@@ -341,7 +413,13 @@ mod tests {
     #[test]
     fn labels_match_paper_rows() {
         assert_eq!(Method::FullRank.label(), "Full-rank");
-        assert_eq!(Method::EbTrain { prune_fraction: 0.3 }.label(), "EB Train (30%)");
+        assert_eq!(
+            Method::EbTrain {
+                prune_fraction: 0.3
+            }
+            .label(),
+            "EB Train (30%)"
+        );
         assert_eq!(Method::Grasp { keep: 0.4 }.label(), "GraSP (60%)");
     }
 
@@ -350,8 +428,14 @@ mod tests {
         // Smoke test of the whole runner path. Long enough that the switch
         // leaves low-rank epochs to amortize the rank-tracking overhead.
         let epochs = 10;
-        let full =
-            run_vision(&Method::FullRank, VisionModel::ResNet18, "cifar10", epochs, 0).unwrap();
+        let full = run_vision(
+            &Method::FullRank,
+            VisionModel::ResNet18,
+            "cifar10",
+            epochs,
+            0,
+        )
+        .unwrap();
         assert_eq!(full.params, full.params_full);
         assert!(full.hours > 0.0);
         let mut cfg = bench_cuttlefish_config();

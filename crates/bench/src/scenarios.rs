@@ -107,7 +107,12 @@ pub fn clock_targets(model: VisionModel) -> Vec<TargetInfo> {
 /// SGD + Goyal schedule on V100 for CIFAR/SVHN, SGD on T4 for ImageNet
 /// CNNs, AdamW + cosine on A100 for DeiT/ResMLP. Simulated batch sizes and
 /// iterations-per-epoch mirror the paper's hardware workloads.
-pub fn trainer_config(model: VisionModel, dataset: &str, epochs: usize, seed: u64) -> TrainerConfig {
+pub fn trainer_config(
+    model: VisionModel,
+    dataset: &str,
+    epochs: usize,
+    seed: u64,
+) -> TrainerConfig {
     let mut cfg = match model {
         VisionModel::ResNet18 | VisionModel::Vgg19 => {
             let mut c = TrainerConfig::cnn_default(epochs, seed);
@@ -116,7 +121,10 @@ pub fn trainer_config(model: VisionModel, dataset: &str, epochs: usize, seed: u6
             // over 300 epochs shrinks unused directions far more than 12
             // micro epochs can; a stronger per-step decay reproduces the
             // spectral dynamics (documented in EXPERIMENTS.md).
-            c.optimizer = OptimizerKind::Sgd { momentum: 0.9, weight_decay: 2e-2 };
+            c.optimizer = OptimizerKind::Sgd {
+                momentum: 0.9,
+                weight_decay: 2e-2,
+            };
             c.sim_batch = 1024;
             c.sim_iters_per_epoch = if dataset == "svhn" { 72 } else { 49 };
             c.schedule = LrSchedule::WarmupMultiStep {
@@ -131,7 +139,10 @@ pub fn trainer_config(model: VisionModel, dataset: &str, epochs: usize, seed: u6
         VisionModel::ResNet50 | VisionModel::WideResNet50 => {
             let mut c = TrainerConfig::cnn_default(epochs, seed);
             c.device = DeviceProfile::t4();
-            c.optimizer = OptimizerKind::Sgd { momentum: 0.9, weight_decay: 2e-2 };
+            c.optimizer = OptimizerKind::Sgd {
+                momentum: 0.9,
+                weight_decay: 2e-2,
+            };
             c.sim_batch = 256;
             c.sim_iters_per_epoch = 5004;
             c.label_smoothing = 0.1;

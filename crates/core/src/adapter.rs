@@ -212,8 +212,7 @@ impl TaskAdapter for GlueAdapter {
     ) -> CfResult<Vec<TaskBatch>> {
         match &self.task.train_labels {
             Labels::Classes(y) => {
-                let raw =
-                    cuttlefish_data::shuffled_batches(&self.task.train_x, y, batch_size, rng);
+                let raw = cuttlefish_data::shuffled_batches(&self.task.train_x, y, batch_size, rng);
                 Ok(raw
                     .into_iter()
                     .map(|(x, y)| TaskBatch {
@@ -268,7 +267,9 @@ impl TaskAdapter for GlueAdapter {
                 let pred: Vec<usize> = (0..logits.data().rows())
                     .map(|i| {
                         let row = logits.data().row(i);
-                        (0..row.len()).max_by(|&a, &b| row[a].total_cmp(&row[b])).unwrap_or(0)
+                        (0..row.len())
+                            .max_by(|&a, &b| row[a].total_cmp(&row[b]))
+                            .unwrap_or(0)
                     })
                     .collect();
                 Ok(f1_score(&pred, y, 1))

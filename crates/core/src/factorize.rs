@@ -15,6 +15,7 @@ use crate::config::RankRule;
 use crate::rank::{accumulative_rank, clamp_rank, scaled_stable_rank, stable_rank};
 use crate::CfResult;
 use cuttlefish_nn::{Network, TargetKind};
+use cuttlefish_telemetry::{span, Event, NullRecorder, RankDecisionEvent, Recorder};
 use cuttlefish_tensor::svd::Svd;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -28,6 +29,17 @@ pub enum SkipReason {
     LastLayer,
     /// Factorizing at the chosen rank would not reduce parameters.
     NoReduction,
+}
+
+impl SkipReason {
+    /// The stable snake_case name used in the telemetry JSONL schema.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SkipReason::WithinK => "within_k",
+            SkipReason::LastLayer => "last_layer",
+            SkipReason::NoReduction => "no_reduction",
+        }
+    }
 }
 
 /// The per-target outcome of the switch.
@@ -55,6 +67,21 @@ impl RankDecision {
         match self.chosen {
             Some(r) => r as f32 / self.full_rank.max(1) as f32,
             None => 1.0,
+        }
+    }
+
+    /// The telemetry mirror of this decision (the event type is owned by
+    /// `cuttlefish-telemetry` so the dependency arrow keeps pointing
+    /// downward).
+    pub fn to_event(&self) -> RankDecisionEvent {
+        RankDecisionEvent {
+            layer: self.name.clone(),
+            index: self.index,
+            stack: self.stack,
+            full_rank: self.full_rank,
+            estimate: self.estimate,
+            chosen: self.chosen,
+            skip: self.skip.map(|s| s.as_str().to_string()),
         }
     }
 }
@@ -119,6 +146,40 @@ fn rank_estimate(rule: RankRule, svals: &[f32], xi: f32) -> f32 {
 /// Propagates SVD or network errors; the network is modified target by
 /// target, so on error the already-processed prefix remains factorized.
 pub fn switch_to_low_rank(net: &mut Network, opts: &SwitchOptions) -> CfResult<Vec<RankDecision>> {
+    switch_to_low_rank_with(net, opts, &NullRecorder)
+}
+
+/// Like [`switch_to_low_rank`], timing the switch under a `"switch"` span
+/// and attributing the SVD/matmul work to a `"switch"`-scoped
+/// [`Event::KernelCounterSample`] on the given recorder. The
+/// `SwitchTriggered` event itself is emitted by the trainer, which knows
+/// the discovered Ê.
+///
+/// # Errors
+///
+/// Same as [`switch_to_low_rank`].
+pub fn switch_to_low_rank_with(
+    net: &mut Network,
+    opts: &SwitchOptions,
+    recorder: &dyn Recorder,
+) -> CfResult<Vec<RankDecision>> {
+    let before = crate::kernel_counters_snapshot();
+    let decisions = {
+        let _span = span("switch", recorder);
+        switch_impl(net, opts)?
+    };
+    let delta = crate::kernel_counters_snapshot().delta_since(&before);
+    if !delta.is_zero() {
+        recorder.record(Event::KernelCounterSample {
+            scope: "switch".to_string(),
+            epoch: None,
+            counters: delta,
+        });
+    }
+    Ok(decisions)
+}
+
+fn switch_impl(net: &mut Network, opts: &SwitchOptions) -> CfResult<Vec<RankDecision>> {
     let targets = net.targets().to_vec();
     let depth = targets.len();
     let mut decisions = Vec::with_capacity(depth);
@@ -162,9 +223,16 @@ pub fn switch_to_low_rank(net: &mut Network, opts: &SwitchOptions) -> CfResult<V
                 let svd_vals = cuttlefish_tensor::svd::svdvals(&w)?;
                 let is_transformer = matches!(
                     t.kind,
-                    TargetKind::Linear { transformer: true, .. }
+                    TargetKind::Linear {
+                        transformer: true,
+                        ..
+                    }
                 );
-                let rule = if is_transformer { *transformer_rule } else { *rule };
+                let rule = if is_transformer {
+                    *transformer_rule
+                } else {
+                    *rule
+                };
                 let xi_l = xi.get(&t.name).copied().unwrap_or(1.0);
                 (rank_estimate(rule, &svd_vals, xi_l), *skip_no_reduction)
             }
@@ -373,7 +441,10 @@ mod tests {
             .sub(y_after.data())
             .unwrap()
             .frobenius_norm();
-        assert!(diff < 1e-2 * y_before.data().frobenius_norm().max(1.0), "{diff}");
+        assert!(
+            diff < 1e-2 * y_before.data().frobenius_norm().max(1.0),
+            "{diff}"
+        );
     }
 
     #[test]

@@ -61,7 +61,22 @@ pub mod trainer;
 
 pub use config::{CuttlefishConfig, OptimizerKind, RankRule, SwitchPolicy, TrainerConfig};
 pub use error::CuttlefishError;
-pub use trainer::{run_training, RunResult};
+pub use trainer::{run_training, run_training_with, RunResult};
 
 /// Result alias for this crate.
 pub type CfResult<T> = std::result::Result<T, CuttlefishError>;
+
+/// Reads the current `cuttlefish-tensor` kernel counters as the telemetry
+/// snapshot type. All zeros unless the tensor crate's `telemetry` feature
+/// is enabled, so callers can diff snapshots unconditionally.
+pub fn kernel_counters_snapshot() -> cuttlefish_telemetry::KernelCounters {
+    let s = cuttlefish_tensor::counters::snapshot();
+    cuttlefish_telemetry::KernelCounters {
+        matmul_calls: s.matmul_calls,
+        matmul_flops: s.matmul_flops,
+        im2col_calls: s.im2col_calls,
+        im2col_elems: s.im2col_elems,
+        svd_sweeps: s.svd_sweeps,
+        power_iters: s.power_iters,
+    }
+}

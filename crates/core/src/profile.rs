@@ -15,6 +15,7 @@
 
 use cuttlefish_nn::TargetInfo;
 use cuttlefish_perf::{target_time, target_time_factored, DeviceProfile};
+use cuttlefish_telemetry::{span, Event, NullRecorder, Recorder};
 use serde::{Deserialize, Serialize};
 
 /// Per-stack profiling measurement.
@@ -92,6 +93,32 @@ impl Profiler {
     /// The final stack (the classifier head) is never considered for
     /// factorization by the paper and is excluded from the scan.
     pub fn determine_k(&self, targets: &[TargetInfo]) -> ProfileOutcome {
+        self.determine_k_with(targets, &NullRecorder)
+    }
+
+    /// Like [`determine_k`](Self::determine_k), emitting one
+    /// [`Event::ProfileMeasured`] per profiled stack plus a `"profiling"`
+    /// span to the given recorder.
+    pub fn determine_k_with(
+        &self,
+        targets: &[TargetInfo],
+        recorder: &dyn Recorder,
+    ) -> ProfileOutcome {
+        let _span = span("profiling", recorder);
+        let outcome = self.scan(targets);
+        for p in &outcome.stacks {
+            recorder.record(Event::ProfileMeasured {
+                stack: p.stack,
+                full_time_s: p.full_time,
+                factored_time_s: p.factored_time,
+                speedup: p.speedup(),
+                threshold: self.v,
+            });
+        }
+        outcome
+    }
+
+    fn scan(&self, targets: &[TargetInfo]) -> ProfileOutcome {
         let mut stack_ids: Vec<usize> = targets.iter().map(|t| t.stack).collect();
         stack_ids.sort_unstable();
         stack_ids.dedup();

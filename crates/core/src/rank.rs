@@ -141,7 +141,7 @@ mod tests {
         for seed in 0..5u64 {
             let w = randn_matrix(20, 8, 1.0, &mut StdRng::seed_from_u64(seed));
             let sr = stable_rank_of(&w).unwrap();
-            assert!(sr >= 1.0 && sr <= 8.0, "{sr}");
+            assert!((1.0..=8.0).contains(&sr), "{sr}");
         }
     }
 

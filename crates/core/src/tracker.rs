@@ -101,6 +101,28 @@ impl RankTracker {
     pub fn latest(&self) -> Option<&[f32]> {
         self.history.last().map(|v| v.as_slice())
     }
+
+    /// The stabilization threshold ε this tracker compares derivatives
+    /// against.
+    pub fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+
+    /// Per-layer verdicts at the current epoch: `(name, |dϱ/dt|,
+    /// stabilized)`. The derivative is `None` (and the verdict `false`)
+    /// until `window + 1` epochs are recorded. Feeds the telemetry
+    /// `TrackerVerdict` event.
+    pub fn verdicts(&self) -> Vec<(String, Option<f32>, bool)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(l, name)| {
+                let d = self.derivative(l);
+                let stabilized = matches!(d, Some(d) if d <= self.epsilon);
+                (name.clone(), d, stabilized)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -177,5 +199,24 @@ mod tests {
     fn record_checks_width() {
         let mut t = tracker(0.1, 1);
         t.record(vec![1.0]);
+    }
+
+    #[test]
+    fn verdicts_mirror_convergence_state() {
+        let mut t = tracker(0.1, 1);
+        assert_eq!(t.epsilon(), 0.1);
+        let v = t.verdicts();
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|(_, d, s)| d.is_none() && !s));
+        t.record(vec![10.0, 20.0]);
+        t.record(vec![10.0, 21.0]); // b still moving
+        let v = t.verdicts();
+        assert_eq!(v[0], ("a".to_string(), Some(0.0), true));
+        assert_eq!(v[1].0, "b");
+        assert!(!v[1].2);
+        assert_eq!(
+            t.converged(),
+            v.iter().all(|(_, _, stabilized)| *stabilized)
+        );
     }
 }

@@ -3,7 +3,9 @@
 
 use crate::adapter::TaskAdapter;
 use crate::config::{CuttlefishConfig, OptimizerKind, SwitchPolicy, TrainerConfig};
-use crate::factorize::{project_ranks, switch_to_low_rank, RankDecision, RankPlan, SwitchOptions};
+use crate::factorize::{
+    project_ranks, switch_to_low_rank_with, RankDecision, RankPlan, SwitchOptions,
+};
 use crate::profile::Profiler;
 use crate::rank::{initial_scale, stable_rank_of};
 use crate::tracker::RankTracker;
@@ -11,10 +13,15 @@ use crate::{CfResult, CuttlefishError};
 use cuttlefish_nn::optim::{AdamW, Sgd};
 use cuttlefish_nn::{Network, TargetInfo};
 use cuttlefish_perf::TrainingClock;
+use cuttlefish_telemetry::{
+    fnv1a_hash, git_describe, span, Event, LayerVerdict, NullRecorder, RankEntry, Recorder,
+    RunManifest, SCHEMA_VERSION,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Everything a run produces: the discovered hyperparameters, rank
 /// trajectories for the figures, quality metrics, parameter counts, and
@@ -51,8 +58,15 @@ pub struct RunResult {
 
 impl RunResult {
     /// Compression rate `params_final / params_full`.
+    ///
+    /// A degenerate run with `params_full == 0` (an empty network, or a
+    /// hand-built result) reports `1.0` — no parameters means nothing was
+    /// compressed, and the quotient would otherwise be ill-defined.
     pub fn compression(&self) -> f64 {
-        self.params_final as f64 / self.params_full.max(1) as f64
+        if self.params_full == 0 {
+            return 1.0;
+        }
+        self.params_final as f64 / self.params_full as f64
     }
 }
 
@@ -86,19 +100,34 @@ impl Opt {
     }
 }
 
-fn clip_gradients(net: &mut Network, max_norm: f32) {
+/// Clips the global gradient norm to `max_norm`, returning the pre-clip
+/// norm when clipping actually fired. A non-positive `max_norm` disables
+/// clipping entirely (previously it scaled every gradient by a
+/// non-positive factor, zeroing or flipping the step).
+fn clip_gradients(net: &mut Network, max_norm: f32) -> Option<f32> {
+    if max_norm <= 0.0 {
+        return None;
+    }
     let mut total = 0.0f64;
     net.visit_params(&mut |p| total += p.grad.frobenius_norm_sq());
     let norm = total.sqrt() as f32;
-    if norm > max_norm && norm > 0.0 {
+    if norm > max_norm {
         let scale = max_norm / norm;
         net.visit_params(&mut |p| p.grad.scale_in_place(scale));
+        return Some(norm);
     }
+    None
 }
 
 /// Layers tracked by the stable-rank monitor: everything after the first
 /// `k` targets, excluding the classifier (Algorithm 1 tracks `K+1..L-1`).
-fn tracked_targets(targets: &[TargetInfo], k: usize) -> Vec<TargetInfo> {
+///
+/// Target *indices* are 1-based depth positions, so for a network of
+/// depth `L` the tracked set is exactly the targets with indices in
+/// `k+1..L` (half-open: the classifier at index `L` is excluded),
+/// regardless of the order the targets appear in the slice. `k ≥ L - 1`
+/// leaves nothing to track and returns an empty vector.
+pub fn tracked_targets(targets: &[TargetInfo], k: usize) -> Vec<TargetInfo> {
     let depth = targets.len();
     targets
         .iter()
@@ -125,6 +154,41 @@ pub fn run_training(
     tcfg: &TrainerConfig,
     policy: &SwitchPolicy,
     clock_targets: Option<&[TargetInfo]>,
+) -> CfResult<RunResult> {
+    run_training_with(net, adapter, tcfg, policy, clock_targets, &NullRecorder)
+}
+
+/// Short policy name used in telemetry manifests.
+fn policy_name(policy: &SwitchPolicy) -> &'static str {
+    match policy {
+        SwitchPolicy::Cuttlefish(_) => "cuttlefish",
+        SwitchPolicy::FullRankOnly => "full_rank",
+        SwitchPolicy::Manual { .. } => "manual",
+        SwitchPolicy::SpectralInit { .. } => "spectral_init",
+    }
+}
+
+/// Like [`run_training`], emitting structured telemetry to `recorder`.
+///
+/// Every lifecycle moment of Algorithm 1 becomes a typed event: epoch
+/// start/end (with loss, metric, and wall time), per-layer stable-rank
+/// samples and tracker verdicts during the full-rank phase, the profiling
+/// measurements behind K̂, the switch with its per-target rank decisions,
+/// gradient-clip firings, per-epoch kernel-counter deltas (when the
+/// `telemetry` feature of `cuttlefish-tensor` is on), and a terminal
+/// [`RunManifest`]. With [`NullRecorder`] the instrumentation reduces to
+/// one virtual call per event.
+///
+/// # Errors
+///
+/// Same as [`run_training`].
+pub fn run_training_with(
+    net: &mut Network,
+    adapter: &mut dyn TaskAdapter,
+    tcfg: &TrainerConfig,
+    policy: &SwitchPolicy,
+    clock_targets: Option<&[TargetInfo]>,
+    recorder: &dyn Recorder,
 ) -> CfResult<RunResult> {
     if tcfg.total_epochs == 0 || tcfg.batch_size == 0 {
         return Err(CuttlefishError::BadConfig {
@@ -159,7 +223,7 @@ pub fn run_training(
                 rho_bar: cfg.rho_bar,
                 v: cfg.v,
             };
-            let outcome = profiler.determine_k(&clock_targets);
+            let outcome = profiler.determine_k_with(&clock_targets, recorder);
             // Translate the clock-shape cut to the micro network by stack.
             let mut micro_k = net
                 .targets()
@@ -218,10 +282,15 @@ pub fn run_training(
                 extra_bn: false,
                 frobenius_decay: *frobenius_decay,
             };
-            decisions = switch_to_low_rank(net, &opts)?;
+            decisions = switch_to_low_rank_with(net, &opts, recorder)?;
             e_hat = Some(0);
             k_hat = Some(1);
             switched = true;
+            recorder.record(Event::SwitchTriggered {
+                e_hat: 0,
+                k_hat: 1,
+                decisions: decisions.iter().map(|d| d.to_event()).collect(),
+            });
         }
         SwitchPolicy::FullRankOnly => {
             if tcfg.track_ranks {
@@ -248,23 +317,34 @@ pub fn run_training(
 
     for epoch in 0..tcfg.total_epochs {
         let lr = tcfg.schedule.lr_at(epoch) * lr_scale;
+        recorder.record(Event::EpochStarted { epoch, lr });
+        let epoch_start = Instant::now();
+        let counters_at_epoch_start = crate::kernel_counters_snapshot();
         let batches = adapter.train_batches(epoch, tcfg.batch_size, &mut rng)?;
         let mut epoch_loss = 0.0f64;
         let nb = batches.len().max(1);
         for batch in batches {
             let logits = net.forward(batch.input, cuttlefish_nn::Mode::Train)?;
-            let (loss, grad) = adapter.loss_and_grad(&logits, &batch.target, tcfg.label_smoothing)?;
+            let (loss, grad) =
+                adapter.loss_and_grad(&logits, &batch.target, tcfg.label_smoothing)?;
             epoch_loss += loss as f64;
             net.backward(grad)?;
             net.apply_frobenius_decay();
             if let Some(c) = tcfg.grad_clip {
-                clip_gradients(net, c);
+                if let Some(norm) = clip_gradients(net, c) {
+                    recorder.record(Event::GradClipped {
+                        epoch,
+                        norm,
+                        max_norm: c,
+                    });
+                }
             }
             opt.begin_step();
             opt.step_net(net, lr);
             net.zero_grads();
         }
-        loss_curve.push((epoch_loss / nb as f64) as f32);
+        let mean_loss = (epoch_loss / nb as f64) as f32;
+        loss_curve.push(mean_loss);
 
         // Simulated device time for this epoch's workload.
         let projected: Vec<Option<usize>> = if switched {
@@ -272,27 +352,54 @@ pub fn run_training(
         } else {
             vec![None; clock_targets.len()]
         };
-        clock.add_training_iterations(&clock_targets, tcfg.sim_batch, tcfg.sim_iters_per_epoch, |t| {
-            projected
-                .get(t.index.saturating_sub(1))
-                .copied()
-                .flatten()
-        });
+        clock.add_training_iterations(
+            &clock_targets,
+            tcfg.sim_batch,
+            tcfg.sim_iters_per_epoch,
+            |t| projected.get(t.index.saturating_sub(1)).copied().flatten(),
+        );
 
         // Stable-rank tracking during the full-rank phase.
         if !switched {
             if let Some(tr) = tracker.as_mut() {
+                let _span = span("rank_estimation", recorder);
                 let mut ranks = Vec::with_capacity(tracked.len());
                 for t in &tracked {
                     let w = net.weight_matrix(&t.name)?;
-                    ranks.push(stable_rank_of(&w)?);
+                    let rho = stable_rank_of(&w)?;
+                    let xi_l = xi.get(&t.name).copied().unwrap_or(1.0);
+                    recorder.record(Event::StableRankSampled {
+                        epoch,
+                        layer: t.name.clone(),
+                        rho,
+                        scaled_rho: xi_l * rho,
+                    });
+                    ranks.push(rho);
                 }
                 tr.record(ranks);
                 clock.add_rank_estimation(&clock_targets);
+                recorder.record(Event::TrackerVerdict {
+                    epoch,
+                    epsilon: tr.epsilon(),
+                    converged: tr.converged(),
+                    layers: tr
+                        .verdicts()
+                        .into_iter()
+                        .map(|(layer, derivative, stabilized)| LayerVerdict {
+                            layer,
+                            derivative,
+                            stabilized,
+                        })
+                        .collect(),
+                });
             }
         }
 
-        // Cuttlefish switch condition.
+        // Cuttlefish switch condition. The switch's own kernel work is
+        // sampled under a "switch" scope by `switch_to_low_rank_with`, so
+        // its delta is excluded from this epoch's "epoch"-scoped sample
+        // below to keep the two attributions disjoint.
+        let counters_before_switch = crate::kernel_counters_snapshot();
         if !switched {
             if let (Some(cfg), Some(tr)) = (cf_cfg.as_ref(), tracker.as_ref()) {
                 let max_full =
@@ -309,10 +416,15 @@ pub fn run_training(
                         extra_bn: cfg.extra_bn,
                         frobenius_decay: cfg.frobenius_decay,
                     };
-                    decisions = switch_to_low_rank(net, &opts)?;
+                    decisions = switch_to_low_rank_with(net, &opts, recorder)?;
                     e_hat = Some(epoch + 1);
                     lr_scale = cfg.post_switch_lr_scale;
                     switched = true;
+                    recorder.record(Event::SwitchTriggered {
+                        e_hat: epoch + 1,
+                        k_hat: k_hat.unwrap_or(1),
+                        decisions: decisions.iter().map(|d| d.to_event()).collect(),
+                    });
                 }
             } else if let SwitchPolicy::Manual {
                 full_rank_epochs,
@@ -329,18 +441,26 @@ pub fn run_training(
                         extra_bn: *extra_bn,
                         frobenius_decay: *frobenius_decay,
                     };
-                    decisions = switch_to_low_rank(net, &opts)?;
+                    decisions = switch_to_low_rank_with(net, &opts, recorder)?;
                     e_hat = Some(epoch + 1);
                     switched = true;
+                    recorder.record(Event::SwitchTriggered {
+                        e_hat: epoch + 1,
+                        k_hat: *k,
+                        decisions: decisions.iter().map(|d| d.to_event()).collect(),
+                    });
                 }
             }
         }
+        let switch_delta = crate::kernel_counters_snapshot().delta_since(&counters_before_switch);
 
         // Evaluation.
+        let mut epoch_metric = None;
         if (epoch + 1) % tcfg.eval_every == 0 || epoch + 1 == tcfg.total_epochs {
             let m = adapter.evaluate(net)?;
             metric_curve.push(m);
             final_metric = m;
+            epoch_metric = Some(m);
             if adapter.higher_is_better() {
                 best_metric = best_metric.max(m);
             } else {
@@ -349,12 +469,63 @@ pub fn run_training(
         } else {
             metric_curve.push(f32::NAN);
         }
+
+        let epoch_delta = crate::kernel_counters_snapshot()
+            .delta_since(&counters_at_epoch_start)
+            .delta_since(&switch_delta);
+        if !epoch_delta.is_zero() {
+            recorder.record(Event::KernelCounterSample {
+                scope: "epoch".to_string(),
+                epoch: Some(epoch),
+                counters: epoch_delta,
+            });
+        }
+        recorder.record(Event::EpochCompleted {
+            epoch,
+            loss: mean_loss,
+            metric: epoch_metric,
+            lr,
+            wall_ms: epoch_start.elapsed().as_secs_f64() * 1e3,
+        });
     }
 
     let (tracked_names, rank_history) = match tracker {
         Some(tr) => (tr.names().to_vec(), tr.history().to_vec()),
         None => (Vec::new(), Vec::new()),
     };
+
+    // Terminal manifest: identify + summarize the run, then flush so a
+    // JSONL sink is complete on disk before the caller inspects it.
+    let mut event_counts = recorder.event_counts();
+    match event_counts.binary_search_by(|(k, _)| k.as_str().cmp("manifest")) {
+        Ok(i) => event_counts[i].1 += 1,
+        Err(i) => event_counts.insert(i, ("manifest".to_string(), 1)),
+    }
+    recorder.record(Event::Manifest(RunManifest {
+        schema_version: SCHEMA_VERSION,
+        config_hash: fnv1a_hash(&format!("{tcfg:?}|{policy:?}")),
+        seed: tcfg.seed,
+        policy: policy_name(policy).to_string(),
+        e_hat,
+        k_hat,
+        ranks: decisions
+            .iter()
+            .filter_map(|d| {
+                d.chosen.map(|rank| RankEntry {
+                    layer: d.name.clone(),
+                    rank,
+                    full_rank: d.full_rank,
+                })
+            })
+            .collect(),
+        params_full,
+        params_final: net.param_count(),
+        git_describe: git_describe(),
+        event_counts,
+        sim_hours: clock.hours(),
+    }));
+    recorder.flush();
+
     Ok(RunResult {
         e_hat,
         k_hat,
@@ -421,8 +592,10 @@ mod tests {
     #[test]
     fn cuttlefish_run_switches_and_compresses() {
         let (mut net, mut ad) = tiny_setup();
-        let mut cfg = CuttlefishConfig::default();
-        cfg.epsilon = 0.35; // micro-scale ranks are noisier
+        let cfg = CuttlefishConfig {
+            epsilon: 0.35, // micro-scale ranks are noisier
+            ..CuttlefishConfig::default()
+        };
         let res = run_training(
             &mut net,
             &mut ad,
@@ -432,7 +605,7 @@ mod tests {
         )
         .unwrap();
         let e = res.e_hat.expect("must switch");
-        assert!(e >= 2 && e <= 10, "E = {e}");
+        assert!((2..=10).contains(&e), "E = {e}");
         assert!(res.params_final < res.params_full);
         assert!(res.k_hat.is_some());
         assert!(!res.decisions.is_empty());
@@ -520,5 +693,131 @@ mod tests {
         let mut cfg = quick_cfg(0);
         cfg.total_epochs = 0;
         assert!(run_training(&mut net, &mut ad, &cfg, &SwitchPolicy::FullRankOnly, None).is_err());
+    }
+
+    #[test]
+    fn compression_of_empty_model_is_one() {
+        let res = RunResult {
+            e_hat: None,
+            k_hat: None,
+            decisions: Vec::new(),
+            tracked: Vec::new(),
+            rank_history: Vec::new(),
+            best_metric: 0.0,
+            final_metric: 0.0,
+            metric_curve: Vec::new(),
+            loss_curve: Vec::new(),
+            params_full: 0,
+            params_final: 0,
+            sim_hours: 0.0,
+        };
+        assert_eq!(res.compression(), 1.0);
+    }
+
+    #[test]
+    fn clip_gradients_disabled_by_non_positive_max_norm() {
+        let (mut net, mut ad) = tiny_setup();
+        // Populate gradients with one real backward pass.
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = ad
+            .train_batches(0, 8, &mut rng)
+            .unwrap()
+            .into_iter()
+            .next()
+            .unwrap();
+        let logits = net
+            .forward(batch.input, cuttlefish_nn::Mode::Train)
+            .unwrap();
+        let (_, grad) = ad.loss_and_grad(&logits, &batch.target, 0.0).unwrap();
+        net.backward(grad).unwrap();
+
+        let grad_norm = |net: &mut Network| {
+            let mut total = 0.0f64;
+            net.visit_params(&mut |p| total += p.grad.frobenius_norm_sq());
+            total.sqrt() as f32
+        };
+        let before = grad_norm(&mut net);
+        assert!(before > 0.0, "backward produced no gradient");
+
+        // Non-positive limits are treated as "clipping off": gradients are
+        // untouched (the old behavior scaled them by a non-positive
+        // factor).
+        assert_eq!(clip_gradients(&mut net, 0.0), None);
+        assert_eq!(clip_gradients(&mut net, -1.0), None);
+        assert_eq!(grad_norm(&mut net), before);
+
+        // A limit above the norm leaves gradients alone and reports no
+        // clip; a limit below actually clips and reports the pre-clip norm.
+        assert_eq!(clip_gradients(&mut net, before * 2.0), None);
+        let limit = before / 2.0;
+        assert_eq!(clip_gradients(&mut net, limit), Some(before));
+        let after = grad_norm(&mut net);
+        assert!((after - limit).abs() < 1e-3 * limit, "{after} vs {limit}");
+    }
+
+    #[test]
+    fn telemetry_records_one_switch_matching_result() {
+        use cuttlefish_telemetry::MemoryRecorder;
+        let (mut net, mut ad) = tiny_setup();
+        let cfg = CuttlefishConfig {
+            epsilon: 0.35,
+            ..CuttlefishConfig::default()
+        };
+        let rec = MemoryRecorder::new();
+        let res = run_training_with(
+            &mut net,
+            &mut ad,
+            &quick_cfg(10),
+            &SwitchPolicy::Cuttlefish(cfg),
+            None,
+            &rec,
+        )
+        .unwrap();
+
+        let switches = rec.filtered(|e| matches!(e, Event::SwitchTriggered { .. }));
+        assert_eq!(switches.len(), 1, "exactly one switch event");
+        match &switches[0] {
+            Event::SwitchTriggered {
+                e_hat,
+                k_hat,
+                decisions,
+            } => {
+                assert_eq!(Some(*e_hat), res.e_hat);
+                assert_eq!(Some(*k_hat), res.k_hat);
+                assert_eq!(decisions.len(), res.decisions.len());
+            }
+            _ => unreachable!(),
+        }
+
+        // One EpochStarted/EpochCompleted pair per epoch, profile events
+        // from the K̂ scan, and a terminal manifest consistent with the
+        // result.
+        let starts = rec.filtered(|e| matches!(e, Event::EpochStarted { .. }));
+        let ends = rec.filtered(|e| matches!(e, Event::EpochCompleted { .. }));
+        assert_eq!(starts.len(), 10);
+        assert_eq!(ends.len(), 10);
+        assert!(!rec
+            .filtered(|e| matches!(e, Event::ProfileMeasured { .. }))
+            .is_empty());
+        let manifests = rec.filtered(|e| matches!(e, Event::Manifest(_)));
+        assert_eq!(manifests.len(), 1);
+        match &manifests[0] {
+            Event::Manifest(m) => {
+                assert_eq!(m.e_hat, res.e_hat);
+                assert_eq!(m.k_hat, res.k_hat);
+                assert_eq!(m.policy, "cuttlefish");
+                assert_eq!(m.params_full, res.params_full);
+                assert_eq!(m.params_final, res.params_final);
+                assert_eq!(
+                    m.ranks.len(),
+                    res.decisions.iter().filter(|d| d.chosen.is_some()).count()
+                );
+                assert!(m
+                    .event_counts
+                    .iter()
+                    .any(|(k, n)| k == "manifest" && *n == 1));
+            }
+            _ => unreachable!(),
+        }
     }
 }

@@ -27,12 +27,17 @@ impl MlmStream {
     ///
     /// Panics if `vocab < 4` or `seq_len == 0`.
     pub fn new(vocab: usize, seq_len: usize, seed: u64) -> Self {
-        assert!(vocab >= 4 && seq_len > 0, "vocab >= 4 and seq_len > 0 required");
+        assert!(
+            vocab >= 4 && seq_len > 0,
+            "vocab >= 4 and seq_len > 0 required"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let data_vocab = vocab - 1;
         let chain: Vec<Vec<f32>> = (0..data_vocab)
             .map(|_| {
-                let mut row: Vec<f32> = (0..data_vocab).map(|_| rng.gen_range(0.02f32..1.0)).collect();
+                let mut row: Vec<f32> = (0..data_vocab)
+                    .map(|_| rng.gen_range(0.02f32..1.0))
+                    .collect();
                 // Make the chain structured: strong self/successor links.
                 let len = row.len();
                 for (j, v) in row.iter_mut().enumerate() {

@@ -138,14 +138,70 @@ fn seqs_to_matrix(seqs: &[Vec<usize>]) -> Matrix {
 /// Generates the full eight-task suite over a shared `vocab`/`seq_len`.
 pub fn glue_suite(vocab: usize, seq_len: usize, seed: u64) -> Vec<GlueTask> {
     let specs = [
-        TaskSpec { name: "MNLI", classes: 3, metric: Metric::Accuracy, train_n: 240, val_n: 90, sep: 0.55 },
-        TaskSpec { name: "QNLI", classes: 2, metric: Metric::Accuracy, train_n: 200, val_n: 80, sep: 0.6 },
-        TaskSpec { name: "QQP", classes: 2, metric: Metric::F1, train_n: 220, val_n: 80, sep: 0.6 },
-        TaskSpec { name: "RTE", classes: 2, metric: Metric::Accuracy, train_n: 80, val_n: 40, sep: 0.4 },
-        TaskSpec { name: "SST-2", classes: 2, metric: Metric::Accuracy, train_n: 180, val_n: 70, sep: 0.75 },
-        TaskSpec { name: "MRPC", classes: 2, metric: Metric::F1, train_n: 90, val_n: 40, sep: 0.55 },
-        TaskSpec { name: "CoLA", classes: 2, metric: Metric::Accuracy, train_n: 100, val_n: 40, sep: 0.35 },
-        TaskSpec { name: "STS-B", classes: 1, metric: Metric::Spearman, train_n: 140, val_n: 60, sep: 0.7 },
+        TaskSpec {
+            name: "MNLI",
+            classes: 3,
+            metric: Metric::Accuracy,
+            train_n: 240,
+            val_n: 90,
+            sep: 0.55,
+        },
+        TaskSpec {
+            name: "QNLI",
+            classes: 2,
+            metric: Metric::Accuracy,
+            train_n: 200,
+            val_n: 80,
+            sep: 0.6,
+        },
+        TaskSpec {
+            name: "QQP",
+            classes: 2,
+            metric: Metric::F1,
+            train_n: 220,
+            val_n: 80,
+            sep: 0.6,
+        },
+        TaskSpec {
+            name: "RTE",
+            classes: 2,
+            metric: Metric::Accuracy,
+            train_n: 80,
+            val_n: 40,
+            sep: 0.4,
+        },
+        TaskSpec {
+            name: "SST-2",
+            classes: 2,
+            metric: Metric::Accuracy,
+            train_n: 180,
+            val_n: 70,
+            sep: 0.75,
+        },
+        TaskSpec {
+            name: "MRPC",
+            classes: 2,
+            metric: Metric::F1,
+            train_n: 90,
+            val_n: 40,
+            sep: 0.55,
+        },
+        TaskSpec {
+            name: "CoLA",
+            classes: 2,
+            metric: Metric::Accuracy,
+            train_n: 100,
+            val_n: 40,
+            sep: 0.35,
+        },
+        TaskSpec {
+            name: "STS-B",
+            classes: 1,
+            metric: Metric::Spearman,
+            train_n: 140,
+            val_n: 60,
+            sep: 0.7,
+        },
     ];
     specs
         .iter()
@@ -166,7 +222,11 @@ fn generate_task(spec: &TaskSpec, vocab: usize, seq_len: usize, seed: u64) -> Gl
                 let lambda: f32 = rng.gen();
                 let seq: Vec<usize> = (0..seq_len)
                     .map(|_| {
-                        let chain = if rng.gen::<f32>() < lambda { &chains[0] } else { &chains[1] };
+                        let chain = if rng.gen::<f32>() < lambda {
+                            &chains[0]
+                        } else {
+                            &chains[1]
+                        };
                         sample_seq(chain, 1, rng)[0]
                     })
                     .collect();

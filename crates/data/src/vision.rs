@@ -283,9 +283,7 @@ mod tests {
             let mut best = 0;
             let mut best_d = f32::INFINITY;
             for (c, m) in means.iter().enumerate() {
-                let d: f32 = (0..dim)
-                    .map(|j| (t.val_x.get(i, j) - m[j]).powi(2))
-                    .sum();
+                let d: f32 = (0..dim).map(|j| (t.val_x.get(i, j) - m[j]).powi(2)).sum();
                 if d < best_d {
                     best_d = d;
                     best = c;

@@ -74,7 +74,10 @@ impl Act {
         if data.rows() != batch * tokens {
             return Err(NnError::BadActivation {
                 layer: "Act::seq".to_string(),
-                detail: format!("{} rows cannot be viewed as {batch}x{tokens} sequences", data.rows()),
+                detail: format!(
+                    "{} rows cannot be viewed as {batch}x{tokens} sequences",
+                    data.rows()
+                ),
             });
         }
         Ok(Act {

@@ -188,7 +188,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn net(seed: u64) -> Network {
-        build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut StdRng::seed_from_u64(seed))
+        build_micro_resnet18(
+            &MicroResNetConfig::tiny(4),
+            &mut StdRng::seed_from_u64(seed),
+        )
     }
 
     fn factorize_one(n: &mut Network, name: &str, rank: usize) {

@@ -41,7 +41,10 @@ impl fmt::Display for NnError {
                 write!(f, "bad activation for layer `{layer}`: {detail}")
             }
             NnError::MissingCache { layer } => {
-                write!(f, "backward called on `{layer}` without cached forward state")
+                write!(
+                    f,
+                    "backward called on `{layer}` without cached forward state"
+                )
             }
             NnError::BadConfig { detail } => write!(f, "bad configuration: {detail}"),
             NnError::UnknownTarget { name } => {

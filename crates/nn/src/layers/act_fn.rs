@@ -33,9 +33,12 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, dy: Act) -> NnResult<Act> {
-        let mask = self.cache_mask.take().ok_or_else(|| NnError::MissingCache {
-            layer: self.name.clone(),
-        })?;
+        let mask = self
+            .cache_mask
+            .take()
+            .ok_or_else(|| NnError::MissingCache {
+                layer: self.name.clone(),
+            })?;
         let dx = dy.data().hadamard(&mask)?;
         dy.with_data(dx)
     }
@@ -49,7 +52,7 @@ pub struct Gelu {
     cache_x: Option<Matrix>,
 }
 
-const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
 const GELU_COEF: f32 = 0.044_715;
 
 fn gelu(v: f32) -> f32 {
@@ -133,7 +136,11 @@ mod tests {
         for &v in &[-2.0f32, -0.5, 0.0, 0.7, 3.0] {
             let eps = 1e-3;
             let fd = (gelu(v + eps) - gelu(v - eps)) / (2.0 * eps);
-            assert!((gelu_grad(v) - fd).abs() < 1e-3, "at {v}: {} vs {fd}", gelu_grad(v));
+            assert!(
+                (gelu_grad(v) - fd).abs() < 1e-3,
+                "at {v}: {} vs {fd}",
+                gelu_grad(v)
+            );
         }
     }
 

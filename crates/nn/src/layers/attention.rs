@@ -44,7 +44,10 @@ impl MultiHeadAttention {
         heads: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(heads > 0 && dim % heads == 0, "dim must divide evenly into heads");
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "dim must divide evenly into heads"
+        );
         let proj = |rng: &mut R| {
             FactorableWeight::new_full(cuttlefish_tensor::init::xavier_linear(dim, dim, rng))
         };
@@ -71,7 +74,14 @@ impl MultiHeadAttention {
     }
 
     /// Adds a `(T, dh)` block back into the `(B·T, D)` accumulator.
-    fn add_head_block(acc: &mut Matrix, block: &Matrix, b: usize, h: usize, tokens: usize, dh: usize) {
+    fn add_head_block(
+        acc: &mut Matrix,
+        block: &Matrix,
+        b: usize,
+        h: usize,
+        tokens: usize,
+        dh: usize,
+    ) {
         for t in 0..tokens {
             for j in 0..dh {
                 let cur = acc.get(b * tokens + t, h * dh + j);
@@ -269,7 +279,7 @@ mod tests {
         let dy = y.data().clone();
         let dx = mha.backward(Act::seq(dy, 2, 2).unwrap()).unwrap();
         let eps = 5e-3f32;
-        let mut loss = |mha: &mut MultiHeadAttention, x: &Matrix| -> f32 {
+        let loss = |mha: &mut MultiHeadAttention, x: &Matrix| -> f32 {
             let y = mha
                 .forward(Act::seq(x.clone(), 2, 2).unwrap(), Mode::Eval)
                 .unwrap();
@@ -306,7 +316,7 @@ mod tests {
 
         let eps = 5e-3f32;
         let (i, j) = (1usize, 2usize);
-        let mut loss_with_wq_delta = |delta: f32| -> f32 {
+        let loss_with_wq_delta = |delta: f32| -> f32 {
             let mut m2 = MultiHeadAttention::new("attn", 4, 1, &mut StdRng::seed_from_u64(3));
             // Re-derive identical weights, then perturb wq[i][j].
             let mut idx = 0;
@@ -343,14 +353,7 @@ mod tests {
             w.set_factored(u, vt, false, None).unwrap();
         });
         let y_fact = mha.forward(x, Mode::Eval).unwrap();
-        assert!(
-            y_full
-                .data()
-                .sub(y_fact.data())
-                .unwrap()
-                .frobenius_norm()
-                < 1e-3
-        );
+        assert!(y_full.data().sub(y_fact.data()).unwrap().frobenius_norm() < 1e-3);
     }
 
     #[test]
@@ -361,7 +364,12 @@ mod tests {
         mha.visit_weights(&mut |n, _| names.push(n.to_string()));
         assert_eq!(
             names,
-            vec!["enc0.attn.wq", "enc0.attn.wk", "enc0.attn.wv", "enc0.attn.wo"]
+            vec![
+                "enc0.attn.wq",
+                "enc0.attn.wk",
+                "enc0.attn.wv",
+                "enc0.attn.wo"
+            ]
         );
     }
 }

@@ -195,7 +195,8 @@ mod tests {
     #[test]
     fn residual_identity_adds_input() {
         // Body = zero-weight linear ⇒ output == input.
-        let body = Sequential::new("body").push(Linear::from_weight("z", Matrix::zeros(4, 4), false));
+        let body =
+            Sequential::new("body").push(Linear::from_weight("z", Matrix::zeros(4, 4), false));
         let mut res = Residual::new("res", body);
         let x = randn_matrix(2, 4, 1.0, &mut StdRng::seed_from_u64(2));
         let y = res.forward(Act::flat(x.clone()), Mode::Eval).unwrap();

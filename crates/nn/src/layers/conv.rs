@@ -32,8 +32,12 @@ impl Conv2d {
         bias: bool,
         rng: &mut R,
     ) -> Self {
-        let kern =
-            cuttlefish_tensor::init::kaiming_conv(geom.out_channels, geom.in_channels, geom.kernel, rng);
+        let kern = cuttlefish_tensor::init::kaiming_conv(
+            geom.out_channels,
+            geom.in_channels,
+            geom.kernel,
+            rng,
+        );
         let w = kern.unroll_conv_kernel();
         Conv2d {
             name: name.into(),
@@ -52,7 +56,10 @@ impl Conv2d {
     pub fn from_weight(name: impl Into<String>, geom: ConvGeometry, w: Matrix) -> Self {
         assert_eq!(
             w.shape(),
-            (geom.in_channels * geom.kernel * geom.kernel, geom.out_channels),
+            (
+                geom.in_channels * geom.kernel * geom.kernel,
+                geom.out_channels
+            ),
             "unrolled kernel shape must match geometry"
         );
         Conv2d {
@@ -138,9 +145,12 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, dy: Act) -> NnResult<Act> {
-        let (b, h, w, oh, ow) = self.cache_dims.take().ok_or_else(|| NnError::MissingCache {
-            layer: self.name.clone(),
-        })?;
+        let (b, h, w, oh, ow) = self
+            .cache_dims
+            .take()
+            .ok_or_else(|| NnError::MissingCache {
+                layer: self.name.clone(),
+            })?;
         let dy_rows = Self::image_to_rows(dy.data(), b, self.geom.out_channels, oh, ow);
         if let Some(bparam) = &mut self.bias {
             for i in 0..dy_rows.rows() {
@@ -232,7 +242,7 @@ mod tests {
         let dy = y.clone();
         let dx = conv.backward(dy).unwrap();
         let eps = 1e-2f32;
-        let mut loss = |conv: &mut Conv2d, x: &Matrix| -> f32 {
+        let loss = |conv: &mut Conv2d, x: &Matrix| -> f32 {
             let a = Act::image(x.clone(), 2, 4, 4).unwrap();
             let y = conv.forward(a, Mode::Eval).unwrap();
             y.data().as_slice().iter().map(|v| v * v / 2.0).sum()
@@ -271,7 +281,7 @@ mod tests {
         });
         let grad = grad.unwrap();
         let eps = 1e-2f32;
-        let mut loss_for = |w: Matrix| -> f32 {
+        let loss_for = |w: Matrix| -> f32 {
             let mut c = Conv2d::from_weight("c", g, w);
             let y = c
                 .forward(Act::image(x.clone(), 1, 4, 4).unwrap(), Mode::Eval)
@@ -316,13 +326,6 @@ mod tests {
         let y_fact = conv
             .forward(Act::image(x, 2, 5, 5).unwrap(), Mode::Eval)
             .unwrap();
-        assert!(
-            y_full
-                .data()
-                .sub(y_fact.data())
-                .unwrap()
-                .frobenius_norm()
-                < 1e-3
-        );
+        assert!(y_full.data().sub(y_fact.data()).unwrap().frobenius_norm() < 1e-3);
     }
 }

@@ -123,7 +123,9 @@ mod tests {
     fn rejects_wrong_width() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut l = Linear::new("fc", 4, 6, false, &mut rng);
-        assert!(l.forward(Act::flat(Matrix::zeros(3, 5)), Mode::Eval).is_err());
+        assert!(l
+            .forward(Act::flat(Matrix::zeros(3, 5)), Mode::Eval)
+            .is_err());
     }
 
     #[test]

@@ -85,9 +85,12 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, dy: Act) -> NnResult<Act> {
-        let (b, c, h, w) = self.cache_dims.take().ok_or_else(|| NnError::MissingCache {
-            layer: self.name.clone(),
-        })?;
+        let (b, c, h, w) = self
+            .cache_dims
+            .take()
+            .ok_or_else(|| NnError::MissingCache {
+                layer: self.name.clone(),
+            })?;
         let pos = Self::image_to_positions(dy.data(), c, h, w);
         let dx = self.core.backward(&pos)?;
         Act::image(Self::positions_to_image(&dx, b, c, h, w), c, h, w)
@@ -158,7 +161,11 @@ impl Layer for LayerNorm {
             for j in 0..d {
                 let xh = (row[j] - mean) * inv_std;
                 x_hat.set(i, j, xh);
-                out.set(i, j, self.gamma.value.get(0, j) * xh + self.beta.value.get(0, j));
+                out.set(
+                    i,
+                    j,
+                    self.gamma.value.get(0, j) * xh + self.beta.value.get(0, j),
+                );
             }
         }
         if mode.is_train() {
@@ -189,7 +196,9 @@ impl Layer for LayerNorm {
                 self.gamma
                     .grad
                     .set(0, j, self.gamma.grad.get(0, j) + dyrow[j] * xrow[j]);
-                self.beta.grad.set(0, j, self.beta.grad.get(0, j) + dyrow[j]);
+                self.beta
+                    .grad
+                    .set(0, j, self.beta.grad.get(0, j) + dyrow[j]);
             }
             for j in 0..d {
                 let g = self.gamma.value.get(0, j);
@@ -304,7 +313,9 @@ mod tests {
     #[test]
     fn bn2d_rejects_flat() {
         let mut bn = BatchNorm2d::new("bn", 2);
-        assert!(bn.forward(Act::flat(Matrix::zeros(1, 8)), Mode::Eval).is_err());
+        assert!(bn
+            .forward(Act::flat(Matrix::zeros(1, 8)), Mode::Eval)
+            .is_err());
     }
 
     #[test]

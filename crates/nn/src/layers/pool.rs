@@ -9,6 +9,7 @@ pub struct MaxPool2d {
     kernel: usize,
     stride: usize,
     /// (b, c, h, w, oh, ow, argmax indices into the input image row).
+    #[allow(clippy::type_complexity)]
     cache: Option<(usize, usize, usize, usize, usize, usize, Vec<usize>)>,
 }
 
@@ -19,7 +20,10 @@ impl MaxPool2d {
     ///
     /// Panics if `kernel == 0` or `stride == 0`.
     pub fn new(name: impl Into<String>, kernel: usize, stride: usize) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
         MaxPool2d {
             name: name.into(),
             kernel,
@@ -136,9 +140,12 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, dy: Act) -> NnResult<Act> {
-        let (c, h, w) = self.cache_dims.take().ok_or_else(|| NnError::MissingCache {
-            layer: self.name.clone(),
-        })?;
+        let (c, h, w) = self
+            .cache_dims
+            .take()
+            .ok_or_else(|| NnError::MissingCache {
+                layer: self.name.clone(),
+            })?;
         let b = dy.data().rows();
         let hw = (h * w) as f32;
         let mut dx = Matrix::zeros(b, c * h * w);
@@ -194,7 +201,9 @@ mod tests {
     fn maxpool_rejects_small_input() {
         let mut p = MaxPool2d::new("mp", 3, 3);
         let img = Matrix::zeros(1, 4);
-        assert!(p.forward(Act::image(img, 1, 2, 2).unwrap(), Mode::Eval).is_err());
+        assert!(p
+            .forward(Act::image(img, 1, 2, 2).unwrap(), Mode::Eval)
+            .is_err());
     }
 
     #[test]

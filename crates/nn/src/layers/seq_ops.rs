@@ -48,9 +48,12 @@ impl Layer for ImageToSeq {
     }
 
     fn backward(&mut self, dy: Act) -> NnResult<Act> {
-        let (c, h, w) = self.cache_dims.take().ok_or_else(|| NnError::MissingCache {
-            layer: self.name.clone(),
-        })?;
+        let (c, h, w) = self
+            .cache_dims
+            .take()
+            .ok_or_else(|| NnError::MissingCache {
+                layer: self.name.clone(),
+            })?;
         let (b, tokens) = dy.expect_seq(&self.name)?;
         let mut dx = Matrix::zeros(b, c * h * w);
         for bi in 0..b {
@@ -154,9 +157,12 @@ impl Layer for SeqMeanPool {
     }
 
     fn backward(&mut self, dy: Act) -> NnResult<Act> {
-        let tokens = self.cache_tokens.take().ok_or_else(|| NnError::MissingCache {
-            layer: self.name.clone(),
-        })?;
+        let tokens = self
+            .cache_tokens
+            .take()
+            .ok_or_else(|| NnError::MissingCache {
+                layer: self.name.clone(),
+            })?;
         let b = dy.data().rows();
         let d = dy.data().cols();
         let mut dx = Matrix::zeros(b * tokens, d);
@@ -219,9 +225,12 @@ impl Layer for TakeToken {
     }
 
     fn backward(&mut self, dy: Act) -> NnResult<Act> {
-        let tokens = self.cache_tokens.take().ok_or_else(|| NnError::MissingCache {
-            layer: self.name.clone(),
-        })?;
+        let tokens = self
+            .cache_tokens
+            .take()
+            .ok_or_else(|| NnError::MissingCache {
+                layer: self.name.clone(),
+            })?;
         let b = dy.data().rows();
         let d = dy.data().cols();
         let mut dx = Matrix::zeros(b * tokens, d);
@@ -280,7 +289,9 @@ mod tests {
         assert_eq!(y.data().row(0), &[2.0, 3.0]);
         assert_eq!(y.data().row(1), &[20.0, 30.0]);
         let dx = p
-            .backward(Act::flat(Matrix::from_rows(&[vec![2.0, 2.0], vec![4.0, 4.0]]).unwrap()))
+            .backward(Act::flat(
+                Matrix::from_rows(&[vec![2.0, 2.0], vec![4.0, 4.0]]).unwrap(),
+            ))
             .unwrap();
         assert_eq!(dx.data().row(0), &[1.0, 1.0]);
         assert_eq!(dx.data().row(3), &[2.0, 2.0]);
@@ -295,7 +306,9 @@ mod tests {
         assert_eq!(y.data().row(0), &[0.0, 1.0]);
         assert_eq!(y.data().row(1), &[4.0, 5.0]);
         let dx = t
-            .backward(Act::flat(Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0]]).unwrap()))
+            .backward(Act::flat(
+                Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0]]).unwrap(),
+            ))
             .unwrap();
         assert_eq!(dx.data().row(0), &[1.0, 1.0]);
         assert_eq!(dx.data().row(1), &[0.0, 0.0]);

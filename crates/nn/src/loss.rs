@@ -32,11 +32,7 @@ fn log_softmax_rows(logits: &Matrix) -> Matrix {
 ///
 /// Returns [`NnError::BadConfig`] when the label count disagrees with the
 /// batch, a label is out of range, or `smoothing ∉ [0, 1)`.
-pub fn cross_entropy(
-    logits: &Matrix,
-    labels: &[usize],
-    smoothing: f32,
-) -> NnResult<(f32, Matrix)> {
+pub fn cross_entropy(logits: &Matrix, labels: &[usize], smoothing: f32) -> NnResult<(f32, Matrix)> {
     let (n, c) = logits.shape();
     if labels.len() != n {
         return Err(NnError::BadConfig {
@@ -257,8 +253,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax() {
-        let logits =
-            Matrix::from_rows(&[vec![1.0, 3.0], vec![5.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let logits = Matrix::from_rows(&[vec![1.0, 3.0], vec![5.0, 0.0], vec![0.0, 1.0]]).unwrap();
         let acc = accuracy(&logits, &[1, 0, 0]);
         assert!((acc - 2.0 / 3.0).abs() < 1e-6);
         assert_eq!(accuracy(&Matrix::zeros(0, 2), &[]), 0.0);

@@ -72,8 +72,18 @@ impl MicroBertConfig {
 pub fn build_micro_bert(cfg: &MicroBertConfig, rng: &mut impl Rng) -> Network {
     let mut reg = Registry::new();
     let mut root = Sequential::new("micro-bert");
-    root.add(Box::new(Embedding::new("tok_embed", cfg.vocab, cfg.dim, rng)));
-    root.add(Box::new(PosEmbedding::new("pos", cfg.max_tokens, cfg.dim, rng)));
+    root.add(Box::new(Embedding::new(
+        "tok_embed",
+        cfg.vocab,
+        cfg.dim,
+        rng,
+    )));
+    root.add(Box::new(PosEmbedding::new(
+        "pos",
+        cfg.max_tokens,
+        cfg.dim,
+        rng,
+    )));
     for d in 0..cfg.depth {
         push_encoder_block(
             &mut root,
@@ -92,11 +102,15 @@ pub fn build_micro_bert(cfg: &MicroBertConfig, rng: &mut impl Rng) -> Network {
         BertHead::Classification { classes } => {
             root.add(Box::new(TakeToken::new("cls", 0)));
             reg.linear("cls_head", 2, cfg.dim, classes, 1, false);
-            root.add(Box::new(Linear::new("cls_head", cfg.dim, classes, true, rng)));
+            root.add(Box::new(Linear::new(
+                "cls_head", cfg.dim, classes, true, rng,
+            )));
         }
         BertHead::MaskedLm => {
             reg.linear("mlm_head", 2, cfg.dim, cfg.vocab, cfg.max_tokens, false);
-            root.add(Box::new(Linear::new("mlm_head", cfg.dim, cfg.vocab, true, rng)));
+            root.add(Box::new(Linear::new(
+                "mlm_head", cfg.dim, cfg.vocab, true, rng,
+            )));
         }
     }
     Network::new("micro-bert", root, reg.finish())
@@ -112,7 +126,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn token_batch(b: usize, t: usize, vocab: usize) -> Act {
-        Act::flat(Matrix::from_fn(b, t, |i, j| ((i * 7 + j * 3) % vocab) as f32))
+        Act::flat(Matrix::from_fn(b, t, |i, j| {
+            ((i * 7 + j * 3) % vocab) as f32
+        }))
     }
 
     #[test]

@@ -74,7 +74,15 @@ pub fn build_micro_mixer(cfg: &MicroMixerConfig, rng: &mut impl Rng) -> Network 
         stride: cfg.patch,
         padding: 0,
     };
-    reg.conv("patch_embed", 0, cfg.in_channels, cfg.dim, cfg.patch, cfg.patch, cfg.image_hw);
+    reg.conv(
+        "patch_embed",
+        0,
+        cfg.in_channels,
+        cfg.dim,
+        cfg.patch,
+        cfg.patch,
+        cfg.image_hw,
+    );
     root.add(Box::new(Conv2d::new("patch_embed", geom, true, rng)));
     root.add(Box::new(ImageToSeq::new("to_seq")));
 
@@ -85,7 +93,13 @@ pub fn build_micro_mixer(cfg: &MicroMixerConfig, rng: &mut impl Rng) -> Network 
         tok.add(Box::new(LayerNorm::new(format!("{name}.ln1"), cfg.dim)));
         tok.add(Box::new(TokenTranspose::new(format!("{name}.t1"))));
         reg.linear(format!("{name}.tokmix"), 1, tokens, tokens, cfg.dim, true);
-        tok.add(Box::new(Linear::new(format!("{name}.tokmix"), tokens, tokens, true, rng)));
+        tok.add(Box::new(Linear::new(
+            format!("{name}.tokmix"),
+            tokens,
+            tokens,
+            true,
+            rng,
+        )));
         tok.add(Box::new(TokenTranspose::new(format!("{name}.t2"))));
         root.add(Box::new(Residual::new(format!("{name}.res1"), tok)));
 
@@ -94,16 +108,34 @@ pub fn build_micro_mixer(cfg: &MicroMixerConfig, rng: &mut impl Rng) -> Network 
         let mut mlp = Sequential::new(format!("{name}.mlp"));
         mlp.add(Box::new(LayerNorm::new(format!("{name}.ln2"), cfg.dim)));
         reg.linear(format!("{name}.fc1"), 1, cfg.dim, hidden, tokens, true);
-        mlp.add(Box::new(Linear::new(format!("{name}.fc1"), cfg.dim, hidden, true, rng)));
+        mlp.add(Box::new(Linear::new(
+            format!("{name}.fc1"),
+            cfg.dim,
+            hidden,
+            true,
+            rng,
+        )));
         mlp.add(Box::new(Gelu::new(format!("{name}.gelu"))));
         reg.linear(format!("{name}.fc2"), 1, hidden, cfg.dim, tokens, true);
-        mlp.add(Box::new(Linear::new(format!("{name}.fc2"), hidden, cfg.dim, true, rng)));
+        mlp.add(Box::new(Linear::new(
+            format!("{name}.fc2"),
+            hidden,
+            cfg.dim,
+            true,
+            rng,
+        )));
         root.add(Box::new(Residual::new(format!("{name}.res2"), mlp)));
     }
     root.add(Box::new(LayerNorm::new("ln_final", cfg.dim)));
     root.add(Box::new(SeqMeanPool::new("pool")));
     reg.linear("head", 2, cfg.dim, cfg.num_classes, 1, false);
-    root.add(Box::new(Linear::new("head", cfg.dim, cfg.num_classes, true, rng)));
+    root.add(Box::new(Linear::new(
+        "head",
+        cfg.dim,
+        cfg.num_classes,
+        true,
+        rng,
+    )));
     Network::new("micro-resmlp", root, reg.finish())
         .expect("builder registers every target it creates")
 }

@@ -45,6 +45,7 @@ impl Registry {
         Registry::default()
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the conv layer signature
     pub(crate) fn conv(
         &mut self,
         name: impl Into<String>,

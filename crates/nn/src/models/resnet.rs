@@ -109,14 +109,35 @@ impl<'a, R: Rng> Builder<'a, R> {
         self.hw = (self.hw.0.div_ceil(stride), self.hw.1.div_ceil(stride));
     }
 
-    fn basic_block(&mut self, name: &str, stack: usize, in_c: usize, out_c: usize, stride: usize) -> Sequential {
+    fn basic_block(
+        &mut self,
+        name: &str,
+        stack: usize,
+        in_c: usize,
+        out_c: usize,
+        stride: usize,
+    ) -> Sequential {
         let mut body = Sequential::new(format!("{name}.body"));
-        body.add(Box::new(self.conv(&format!("{name}.conv1"), stack, in_c, out_c, 3, stride)));
+        body.add(Box::new(self.conv(
+            &format!("{name}.conv1"),
+            stack,
+            in_c,
+            out_c,
+            3,
+            stride,
+        )));
         let entry_hw = self.hw;
         self.advance_spatial(stride);
         body.add(Box::new(BatchNorm2d::new(format!("{name}.bn1"), out_c)));
         body.add(Box::new(Relu::new(format!("{name}.relu1"))));
-        body.add(Box::new(self.conv(&format!("{name}.conv2"), stack, out_c, out_c, 3, 1)));
+        body.add(Box::new(self.conv(
+            &format!("{name}.conv2"),
+            stack,
+            out_c,
+            out_c,
+            3,
+            1,
+        )));
         body.add(Box::new(BatchNorm2d::new(format!("{name}.bn2"), out_c)));
 
         let res = if stride != 1 || in_c != out_c {
@@ -124,7 +145,14 @@ impl<'a, R: Rng> Builder<'a, R> {
             let saved = self.hw;
             self.hw = entry_hw;
             let mut short = Sequential::new(format!("{name}.short"));
-            short.add(Box::new(self.conv(&format!("{name}.down"), stack, in_c, out_c, 1, stride)));
+            short.add(Box::new(self.conv(
+                &format!("{name}.down"),
+                stack,
+                in_c,
+                out_c,
+                1,
+                stride,
+            )));
             short.add(Box::new(BatchNorm2d::new(format!("{name}.dbn"), out_c)));
             self.hw = saved;
             Residual::with_shortcut(name, body, short)
@@ -148,22 +176,50 @@ impl<'a, R: Rng> Builder<'a, R> {
         let width = ((planes as f32 * width_mult).round() as usize).max(1);
         let out_c = planes * 4;
         let mut body = Sequential::new(format!("{name}.body"));
-        body.add(Box::new(self.conv(&format!("{name}.conv1"), stack, in_c, width, 1, 1)));
+        body.add(Box::new(self.conv(
+            &format!("{name}.conv1"),
+            stack,
+            in_c,
+            width,
+            1,
+            1,
+        )));
         body.add(Box::new(BatchNorm2d::new(format!("{name}.bn1"), width)));
         body.add(Box::new(Relu::new(format!("{name}.relu1"))));
-        body.add(Box::new(self.conv(&format!("{name}.conv2"), stack, width, width, 3, stride)));
+        body.add(Box::new(self.conv(
+            &format!("{name}.conv2"),
+            stack,
+            width,
+            width,
+            3,
+            stride,
+        )));
         let entry_hw = self.hw;
         self.advance_spatial(stride);
         body.add(Box::new(BatchNorm2d::new(format!("{name}.bn2"), width)));
         body.add(Box::new(Relu::new(format!("{name}.relu2"))));
-        body.add(Box::new(self.conv(&format!("{name}.conv3"), stack, width, out_c, 1, 1)));
+        body.add(Box::new(self.conv(
+            &format!("{name}.conv3"),
+            stack,
+            width,
+            out_c,
+            1,
+            1,
+        )));
         body.add(Box::new(BatchNorm2d::new(format!("{name}.bn3"), out_c)));
 
         let res = if stride != 1 || in_c != out_c {
             let saved = self.hw;
             self.hw = entry_hw;
             let mut short = Sequential::new(format!("{name}.short"));
-            short.add(Box::new(self.conv(&format!("{name}.down"), stack, in_c, out_c, 1, stride)));
+            short.add(Box::new(self.conv(
+                &format!("{name}.down"),
+                stack,
+                in_c,
+                out_c,
+                1,
+                stride,
+            )));
             short.add(Box::new(BatchNorm2d::new(format!("{name}.dbn"), out_c)));
             self.hw = saved;
             Residual::with_shortcut(name, body, short)
@@ -184,7 +240,14 @@ fn build(name: &str, cfg: &MicroResNetConfig, rng: &mut impl Rng) -> Network {
     };
     let mut root = Sequential::new(name.to_string());
     // Stem: 3×3 stride-1 conv (the paper's CIFAR adjustment, Table 6).
-    root.add(Box::new(b.conv("conv1", 0, cfg.in_channels, cfg.base_width, 3, 1)));
+    root.add(Box::new(b.conv(
+        "conv1",
+        0,
+        cfg.in_channels,
+        cfg.base_width,
+        3,
+        1,
+    )));
     root.add(Box::new(BatchNorm2d::new("bn1", cfg.base_width)));
     root.add(Box::new(Relu::new("relu1")));
 

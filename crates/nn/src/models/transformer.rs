@@ -66,6 +66,7 @@ impl MicroDeiTConfig {
 
 /// Appends one pre-LN transformer encoder block to `root`, registering its
 /// six factorizable projections (`wq, wk, wv, wo, fc1, fc2`).
+#[allow(clippy::too_many_arguments)] // one knob per architectural dim
 pub(crate) fn push_encoder_block(
     root: &mut Sequential,
     reg: &mut Registry,
@@ -92,10 +93,22 @@ pub(crate) fn push_encoder_block(
     let mut ffn = Sequential::new(format!("{name}.ffn"));
     ffn.add(Box::new(LayerNorm::new(format!("{name}.ln2"), dim)));
     reg.linear(format!("{name}.fc1"), stack, dim, hidden, tokens, true);
-    ffn.add(Box::new(Linear::new(format!("{name}.fc1"), dim, hidden, true, rng)));
+    ffn.add(Box::new(Linear::new(
+        format!("{name}.fc1"),
+        dim,
+        hidden,
+        true,
+        rng,
+    )));
     ffn.add(Box::new(Gelu::new(format!("{name}.gelu"))));
     reg.linear(format!("{name}.fc2"), stack, hidden, dim, tokens, true);
-    ffn.add(Box::new(Linear::new(format!("{name}.fc2"), hidden, dim, true, rng)));
+    ffn.add(Box::new(Linear::new(
+        format!("{name}.fc2"),
+        hidden,
+        dim,
+        true,
+        rng,
+    )));
     root.add(Box::new(Residual::new(format!("{name}.res2"), ffn)));
 }
 
@@ -118,7 +131,15 @@ pub fn build_micro_deit(cfg: &MicroDeiTConfig, rng: &mut impl Rng) -> Network {
     // The embedding conv is registered (it is a conv layer like any other)
     // but Cuttlefish keeps K = 1 for transformers, so it is never
     // factorized (§3.5).
-    reg.conv("patch_embed", 0, cfg.in_channels, cfg.dim, cfg.patch, cfg.patch, cfg.image_hw);
+    reg.conv(
+        "patch_embed",
+        0,
+        cfg.in_channels,
+        cfg.dim,
+        cfg.patch,
+        cfg.patch,
+        cfg.image_hw,
+    );
     root.add(Box::new(Conv2d::new("patch_embed", geom, true, rng)));
     root.add(Box::new(ImageToSeq::new("to_seq")));
     root.add(Box::new(PosEmbedding::new("pos", tokens, cfg.dim, rng)));
@@ -139,7 +160,13 @@ pub fn build_micro_deit(cfg: &MicroDeiTConfig, rng: &mut impl Rng) -> Network {
     root.add(Box::new(LayerNorm::new("ln_final", cfg.dim)));
     root.add(Box::new(SeqMeanPool::new("pool")));
     reg.linear("head", 2, cfg.dim, cfg.num_classes, 1, false);
-    root.add(Box::new(Linear::new("head", cfg.dim, cfg.num_classes, true, rng)));
+    root.add(Box::new(Linear::new(
+        "head",
+        cfg.dim,
+        cfg.num_classes,
+        true,
+        rng,
+    )));
     Network::new("micro-deit", root, reg.finish())
         .expect("builder registers every target it creates")
 }
@@ -180,7 +207,15 @@ mod tests {
         let transformer_targets = net
             .targets()
             .iter()
-            .filter(|t| matches!(t.kind, TargetKind::Linear { transformer: true, .. }))
+            .filter(|t| {
+                matches!(
+                    t.kind,
+                    TargetKind::Linear {
+                        transformer: true,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(transformer_targets, cfg.depth * 6);
     }
@@ -199,7 +234,8 @@ mod tests {
         let w = net.weight_matrix("enc0.attn.wq").unwrap();
         let svd = cuttlefish_tensor::svd::Svd::compute(&w).unwrap();
         let (u, vt) = svd.split_sqrt(4).unwrap();
-        net.factorize_target("enc0.attn.wq", u, vt, false, None).unwrap();
+        net.factorize_target("enc0.attn.wq", u, vt, false, None)
+            .unwrap();
         let x = Act::image(Matrix::zeros(1, 3 * 256), 3, 16, 16).unwrap();
         let y = net.forward(x, Mode::Eval).unwrap();
         assert_eq!(y.data().shape(), (1, 4));

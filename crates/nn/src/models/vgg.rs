@@ -81,7 +81,13 @@ pub fn build_micro_vgg19(cfg: &MicroVggConfig, rng: &mut impl Rng) -> Network {
     }
     root.add(Box::new(GlobalAvgPool::new("avgpool")));
     reg.linear("classifier", GROUPS.len(), in_c, cfg.num_classes, 1, false);
-    root.add(Box::new(Linear::new("classifier", in_c, cfg.num_classes, true, rng)));
+    root.add(Box::new(Linear::new(
+        "classifier",
+        in_c,
+        cfg.num_classes,
+        true,
+        rng,
+    )));
     Network::new("micro-vgg19", root, reg.finish())
         .expect("builder registers every target it creates")
 }

@@ -69,7 +69,9 @@ impl TargetInfo {
                 kernel,
                 ..
             } => (in_channels * kernel * kernel, out_channels),
-            TargetKind::Linear { in_dim, out_dim, .. } => (in_dim, out_dim),
+            TargetKind::Linear {
+                in_dim, out_dim, ..
+            } => (in_dim, out_dim),
         }
     }
 
@@ -402,7 +404,13 @@ mod tests {
         assert!(net.is_factored("nope").is_err());
         assert!(net.rank_of("nope").is_err());
         assert!(net
-            .factorize_target("nope", Matrix::zeros(1, 1), Matrix::zeros(1, 1), false, None)
+            .factorize_target(
+                "nope",
+                Matrix::zeros(1, 1),
+                Matrix::zeros(1, 1),
+                false,
+                None
+            )
             .is_err());
     }
 

@@ -120,7 +120,11 @@ impl Optimizer for AdamW {
             let m_hat = *m / bc1;
             let v_hat = *v / bc2;
             let val = &mut param.value.as_mut_slice()[idx];
-            let decay = if param.weight_decay { self.weight_decay } else { 0.0 };
+            let decay = if param.weight_decay {
+                self.weight_decay
+            } else {
+                0.0
+            };
             *val -= lr * (m_hat / (v_hat.sqrt() + self.eps) + decay * *val);
         }
     }

@@ -46,7 +46,7 @@ impl BatchNormCore {
             running_var: vec![1.0; channels],
             momentum: 0.1,
             eps: 1e-5,
-        cache: None,
+            cache: None,
         }
     }
 
@@ -159,8 +159,12 @@ impl BatchNormCore {
             }
         }
         for j in 0..c {
-            self.gamma.grad.set(0, j, self.gamma.grad.get(0, j) + sum_dy_xhat[j]);
-            self.beta.grad.set(0, j, self.beta.grad.get(0, j) + sum_dy[j]);
+            self.gamma
+                .grad
+                .set(0, j, self.gamma.grad.get(0, j) + sum_dy_xhat[j]);
+            self.beta
+                .grad
+                .set(0, j, self.beta.grad.get(0, j) + sum_dy[j]);
         }
         let mut dx = Matrix::zeros(dy.rows(), c);
         for i in 0..dy.rows() {
@@ -189,6 +193,9 @@ impl BatchNormCore {
 }
 
 /// The two states of a factorable weight.
+// Variant sizes differ by design: `Full` is the transient pre-switch state
+// and boxing it would cost an indirection on every forward pass.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 enum WeightState {
     /// Dense `W` of shape `(in, out)`.
@@ -441,10 +448,7 @@ impl FactorableWeight {
         } = &mut self.state
         {
             let lambda = *lambda;
-            let vt_gram = vt
-                .value
-                .matmul_nt(&vt.value)
-                .expect("vt gram shapes agree"); // (r, r) = VᵀV
+            let vt_gram = vt.value.matmul_nt(&vt.value).expect("vt gram shapes agree"); // (r, r) = VᵀV
             let du = u.value.matmul(&vt_gram).expect("u · gram shapes agree");
             u.accumulate_grad(lambda, &du);
             let u_gram = u.value.matmul_tn(&u.value).expect("u gram shapes agree"); // (r, r) = UᵀU
@@ -551,7 +555,8 @@ mod tests {
         let u0 = randn_matrix(4, 2, 1.0, &mut rng(5));
         let vt0 = randn_matrix(2, 3, 1.0, &mut rng(6));
         let mut fw = FactorableWeight::new_full(Matrix::zeros(4, 3));
-        fw.set_factored(u0.clone(), vt0.clone(), false, None).unwrap();
+        fw.set_factored(u0.clone(), vt0.clone(), false, None)
+            .unwrap();
         let x = randn_matrix(7, 4, 1.0, &mut rng(7));
         let _ = fw.forward(&x, Mode::Train).unwrap();
         let dy = randn_matrix(7, 3, 1.0, &mut rng(8));
@@ -576,7 +581,8 @@ mod tests {
         let u0 = randn_matrix(4, 2, 1.0, &mut rng(9));
         let vt0 = randn_matrix(2, 3, 1.0, &mut rng(10));
         let mut fw = FactorableWeight::new_full(Matrix::zeros(4, 3));
-        fw.set_factored(u0.clone(), vt0.clone(), false, Some(0.3)).unwrap();
+        fw.set_factored(u0.clone(), vt0.clone(), false, Some(0.3))
+            .unwrap();
         fw.apply_frobenius_decay();
         let prod = u0.matmul(&vt0).unwrap();
         let expect_du = prod.matmul_nt(&vt0).unwrap().scale(0.3);
@@ -653,7 +659,9 @@ mod tests {
             let _ = bn.forward(&x, Mode::Train).unwrap();
         }
         // Running mean → 3, running var → 1; eval output centers on those.
-        let y = bn.forward(&Matrix::from_rows(&[vec![3.0]]).unwrap(), Mode::Eval).unwrap();
+        let y = bn
+            .forward(&Matrix::from_rows(&[vec![3.0]]).unwrap(), Mode::Eval)
+            .unwrap();
         assert!(y.get(0, 0).abs() < 1e-2, "{}", y.get(0, 0));
     }
 

@@ -8,6 +8,7 @@
 
 use cuttlefish_nn::{TargetInfo, TargetKind};
 
+#[allow(clippy::too_many_arguments)] // mirrors the conv layer signature
 fn conv(
     out: &mut Vec<TargetInfo>,
     name: String,
@@ -68,13 +69,40 @@ pub fn resnet18_cifar(classes: usize) -> Vec<TargetInfo> {
         for bi in 0..2 {
             let stride = if bi == 0 && si > 0 { 2 } else { 1 };
             let name = format!("s{stack}.b{bi}");
-            conv(&mut t, format!("{name}.conv1"), stack, in_c, *planes, 3, stride, hw);
+            conv(
+                &mut t,
+                format!("{name}.conv1"),
+                stack,
+                in_c,
+                *planes,
+                3,
+                stride,
+                hw,
+            );
             if stride == 2 {
                 hw = (hw.0 / 2, hw.1 / 2);
             }
-            conv(&mut t, format!("{name}.conv2"), stack, *planes, *planes, 3, 1, hw);
+            conv(
+                &mut t,
+                format!("{name}.conv2"),
+                stack,
+                *planes,
+                *planes,
+                3,
+                1,
+                hw,
+            );
             if stride != 1 || in_c != *planes {
-                conv(&mut t, format!("{name}.down"), stack, in_c, *planes, 1, stride, (hw.0 * stride, hw.1 * stride));
+                conv(
+                    &mut t,
+                    format!("{name}.down"),
+                    stack,
+                    in_c,
+                    *planes,
+                    1,
+                    stride,
+                    (hw.0 * stride, hw.1 * stride),
+                );
             }
             in_c = *planes;
         }
@@ -119,14 +147,50 @@ fn resnet50_family(width_mult: f32) -> Vec<TargetInfo> {
         for bi in 0..n {
             let stride = if bi == 0 && si > 0 { 2 } else { 1 };
             let name = format!("s{stack}.b{bi}");
-            conv(&mut t, format!("{name}.conv1"), stack, in_c, width, 1, 1, hw);
-            conv(&mut t, format!("{name}.conv2"), stack, width, width, 3, stride, hw);
+            conv(
+                &mut t,
+                format!("{name}.conv1"),
+                stack,
+                in_c,
+                width,
+                1,
+                1,
+                hw,
+            );
+            conv(
+                &mut t,
+                format!("{name}.conv2"),
+                stack,
+                width,
+                width,
+                3,
+                stride,
+                hw,
+            );
             if stride == 2 {
                 hw = (hw.0 / 2, hw.1 / 2);
             }
-            conv(&mut t, format!("{name}.conv3"), stack, width, planes * 4, 1, 1, hw);
+            conv(
+                &mut t,
+                format!("{name}.conv3"),
+                stack,
+                width,
+                planes * 4,
+                1,
+                1,
+                hw,
+            );
             if stride != 1 || in_c != planes * 4 {
-                conv(&mut t, format!("{name}.down"), stack, in_c, planes * 4, 1, stride, (hw.0 * stride, hw.1 * stride));
+                conv(
+                    &mut t,
+                    format!("{name}.down"),
+                    stack,
+                    in_c,
+                    planes * 4,
+                    1,
+                    stride,
+                    (hw.0 * stride, hw.1 * stride),
+                );
             }
             in_c = planes * 4;
         }
@@ -163,15 +227,45 @@ fn encoder_block(
     let dh = dim / heads;
     for proj in ["wq", "wk", "wv"] {
         for h in 0..heads {
-            linear(t, format!("{name}.attn.{proj}.h{h}"), 1, dim, dh, tokens, true);
+            linear(
+                t,
+                format!("{name}.attn.{proj}.h{h}"),
+                1,
+                dim,
+                dh,
+                tokens,
+                true,
+            );
         }
     }
     linear(t, format!("{name}.attn.wo"), 1, dim, dim, tokens, true);
-    linear(t, format!("{name}.fc1"), 1, dim, dim * mlp_ratio, tokens, true);
-    linear(t, format!("{name}.fc2"), 1, dim * mlp_ratio, dim, tokens, true);
+    linear(
+        t,
+        format!("{name}.fc1"),
+        1,
+        dim,
+        dim * mlp_ratio,
+        tokens,
+        true,
+    );
+    linear(
+        t,
+        format!("{name}.fc2"),
+        1,
+        dim * mlp_ratio,
+        dim,
+        tokens,
+        true,
+    );
 }
 
-fn vit_family(dim: usize, depth: usize, heads: usize, mlp_ratio: usize, classes: usize) -> Vec<TargetInfo> {
+fn vit_family(
+    dim: usize,
+    depth: usize,
+    heads: usize,
+    mlp_ratio: usize,
+    classes: usize,
+) -> Vec<TargetInfo> {
     let mut t = Vec::new();
     let tokens = 14 * 14; // 224/16 patches
     conv(&mut t, "patch_embed".into(), 0, 3, dim, 16, 16, (224, 224));
@@ -199,7 +293,15 @@ pub fn resmlp_s36() -> Vec<TargetInfo> {
     let tokens = 14 * 14;
     conv(&mut t, "patch_embed".into(), 0, 3, dim, 16, 16, (224, 224));
     for d in 0..36 {
-        linear(&mut t, format!("blk{d}.tokmix"), 1, tokens, tokens, dim, true);
+        linear(
+            &mut t,
+            format!("blk{d}.tokmix"),
+            1,
+            tokens,
+            tokens,
+            dim,
+            true,
+        );
         linear(&mut t, format!("blk{d}.fc1"), 1, dim, dim * 4, tokens, true);
         linear(&mut t, format!("blk{d}.fc2"), 1, dim * 4, dim, tokens, true);
     }
@@ -222,7 +324,10 @@ pub fn bert_base_encoder() -> Vec<TargetInfo> {
 
 /// Sums parameter counts over targets with an optional per-target rank
 /// assignment (`None` entries are full-rank).
-pub fn total_params(targets: &[TargetInfo], rank_of: impl Fn(&TargetInfo) -> Option<usize>) -> usize {
+pub fn total_params(
+    targets: &[TargetInfo],
+    rank_of: impl Fn(&TargetInfo) -> Option<usize>,
+) -> usize {
     targets
         .iter()
         .map(|t| crate::target_params(&t.kind, rank_of(t)))
@@ -310,8 +415,8 @@ mod tests {
         let full = total_params(&t, |_| None);
         let half = total_params(&t, |ti| {
             let r = ti.full_rank() / 2;
-            let shrinks = crate::target_params(&ti.kind, Some(r))
-                < crate::target_params(&ti.kind, None);
+            let shrinks =
+                crate::target_params(&ti.kind, Some(r)) < crate::target_params(&ti.kind, None);
             shrinks.then_some(r)
         });
         let ratio = half as f64 / full as f64;

@@ -120,7 +120,8 @@ mod tests {
         let targets = resnet18_cifar(10);
         let clock = TrainingClock::new(DeviceProfile::v100());
         let full = clock.iteration_forward_time(&targets, 1024, |_| None);
-        let quarter = clock.iteration_forward_time(&targets, 1024, |t| Some((t.full_rank() / 4).max(1)));
+        let quarter =
+            clock.iteration_forward_time(&targets, 1024, |t| Some((t.full_rank() / 4).max(1)));
         assert!(full / quarter > 1.2, "speedup {}", full / quarter);
         assert!(full / quarter < 4.5);
     }

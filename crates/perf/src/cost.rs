@@ -89,7 +89,11 @@ pub fn target_cost(kind: &TargetKind, batch: usize) -> LayerCost {
 
 /// Costs of the two kernels of the factorized target at rank `r`:
 /// the thin `U` kernel and the `Vᵀ` (1×1-conv / linear) kernel.
-pub fn target_cost_factored(kind: &TargetKind, batch: usize, rank: usize) -> (LayerCost, LayerCost) {
+pub fn target_cost_factored(
+    kind: &TargetKind,
+    batch: usize,
+    rank: usize,
+) -> (LayerCost, LayerCost) {
     match *kind {
         TargetKind::Conv {
             in_channels: m,
@@ -178,7 +182,9 @@ pub fn target_params(kind: &TargetKind, rank: Option<usize>) -> usize {
             kernel,
             ..
         } => (in_channels * kernel * kernel, out_channels),
-        TargetKind::Linear { in_dim, out_dim, .. } => (in_dim, out_dim),
+        TargetKind::Linear {
+            in_dim, out_dim, ..
+        } => (in_dim, out_dim),
     };
     match rank {
         None => rows * cols,

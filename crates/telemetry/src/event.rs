@@ -1,0 +1,539 @@
+//! Typed telemetry events covering the Cuttlefish training lifecycle.
+//!
+//! Every event encodes to one JSON object with a `"kind"` discriminant and
+//! decodes back losslessly (`Event::to_json` / `Event::from_json`). The
+//! JSONL schema is documented in `crates/telemetry/README.md`; treat field
+//! names as a stable interface — downstream tooling parses them.
+
+use crate::json::Json;
+use crate::manifest::RunManifest;
+
+/// Per-layer stabilization verdict inside a [`Event::TrackerVerdict`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerVerdict {
+    /// Layer name, as reported by the network adapter.
+    pub layer: String,
+    /// Mean absolute derivative |dρ/dt| over the trailing window, or `None`
+    /// while the tracker has fewer than `window + 1` samples.
+    pub derivative: Option<f32>,
+    /// Whether this layer's stable rank has stabilized (derivative ≤ ε).
+    pub stabilized: bool,
+}
+
+/// One factorization target's rank decision inside a
+/// [`Event::SwitchTriggered`].
+///
+/// This mirrors `cuttlefish::factorize::RankDecision` but is owned by the
+/// telemetry crate so the dependency arrow keeps pointing downward (core
+/// depends on telemetry, never the reverse).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankDecisionEvent {
+    /// Layer name.
+    pub layer: String,
+    /// 1-based layer index within the network.
+    pub index: usize,
+    /// Stack (resolution group) the layer belongs to.
+    pub stack: usize,
+    /// Full rank of the layer's unrolled weight matrix.
+    pub full_rank: usize,
+    /// Stable-rank estimate the decision was derived from.
+    pub estimate: f32,
+    /// Chosen factorization rank, or `None` if the layer was skipped.
+    pub chosen: Option<usize>,
+    /// Reason the layer was skipped (`"within_k"`, `"last_layer"`,
+    /// `"no_reduction"`), or `None` if it was factorized.
+    pub skip: Option<String>,
+}
+
+/// Snapshot of the process-global kernel counters maintained by
+/// `cuttlefish-tensor` (all zeros unless its `telemetry` feature is on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelCounters {
+    /// Dense GEMM calls (`matmul` + transposed variants).
+    pub matmul_calls: u64,
+    /// Estimated floating-point operations across those GEMMs (2·m·n·k).
+    pub matmul_flops: u64,
+    /// `im2col` unroll calls.
+    pub im2col_calls: u64,
+    /// Elements written by `im2col` unrolls.
+    pub im2col_elems: u64,
+    /// Jacobi SVD sweeps (one-sided + eigenvalue variants).
+    pub svd_sweeps: u64,
+    /// Power-iteration steps for leading singular values.
+    pub power_iters: u64,
+}
+
+impl KernelCounters {
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == KernelCounters::default()
+    }
+
+    /// Counters accumulated since `earlier` (saturating per field).
+    pub fn delta_since(&self, earlier: &KernelCounters) -> KernelCounters {
+        KernelCounters {
+            matmul_calls: self.matmul_calls.saturating_sub(earlier.matmul_calls),
+            matmul_flops: self.matmul_flops.saturating_sub(earlier.matmul_flops),
+            im2col_calls: self.im2col_calls.saturating_sub(earlier.im2col_calls),
+            im2col_elems: self.im2col_elems.saturating_sub(earlier.im2col_elems),
+            svd_sweeps: self.svd_sweeps.saturating_sub(earlier.svd_sweeps),
+            power_iters: self.power_iters.saturating_sub(earlier.power_iters),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("matmul_calls", Json::Num(self.matmul_calls as f64)),
+            ("matmul_flops", Json::Num(self.matmul_flops as f64)),
+            ("im2col_calls", Json::Num(self.im2col_calls as f64)),
+            ("im2col_elems", Json::Num(self.im2col_elems as f64)),
+            ("svd_sweeps", Json::Num(self.svd_sweeps as f64)),
+            ("power_iters", Json::Num(self.power_iters as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<KernelCounters> {
+        Some(KernelCounters {
+            matmul_calls: v.get("matmul_calls")?.as_u64()?,
+            matmul_flops: v.get("matmul_flops")?.as_u64()?,
+            im2col_calls: v.get("im2col_calls")?.as_u64()?,
+            im2col_elems: v.get("im2col_elems")?.as_u64()?,
+            svd_sweeps: v.get("svd_sweeps")?.as_u64()?,
+            power_iters: v.get("power_iters")?.as_u64()?,
+        })
+    }
+}
+
+/// A structured telemetry event.
+///
+/// Variants map one-to-one onto the phases of Cuttlefish Algorithms 1–2:
+/// epoch progress, stable-rank sampling, tracker convergence checks, the
+/// roofline profile, the full→factorized switch, plus cross-cutting signals
+/// (gradient clipping, kernel counters, spans) and the terminal manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// An epoch is starting.
+    EpochStarted {
+        /// 0-based epoch number.
+        epoch: usize,
+        /// Learning rate in effect for this epoch.
+        lr: f32,
+    },
+    /// An epoch finished.
+    EpochCompleted {
+        /// 0-based epoch number.
+        epoch: usize,
+        /// Mean training loss over the epoch.
+        loss: f32,
+        /// Eval metric (accuracy or perplexity proxy) if evaluation ran
+        /// this epoch; `None` on non-eval epochs.
+        metric: Option<f32>,
+        /// Learning rate that was in effect.
+        lr: f32,
+        /// Wall-clock duration of the epoch in milliseconds.
+        wall_ms: f64,
+    },
+    /// A stable-rank sample for one tracked layer (Algorithm 1, line 4).
+    StableRankSampled {
+        /// 0-based epoch the sample was taken at.
+        epoch: usize,
+        /// Layer name.
+        layer: String,
+        /// Raw stable rank ‖W‖²_F / σ²_max.
+        rho: f32,
+        /// Stable rank after ξ calibration (scaled rank rule).
+        scaled_rho: f32,
+    },
+    /// The rank tracker's per-layer convergence verdict for an epoch.
+    TrackerVerdict {
+        /// 0-based epoch of the verdict.
+        epoch: usize,
+        /// Stabilization threshold ε the derivatives are compared against.
+        epsilon: f32,
+        /// Whether every tracked layer has stabilized (switch condition).
+        converged: bool,
+        /// Per-layer derivatives and verdicts.
+        layers: Vec<LayerVerdict>,
+    },
+    /// One stack's roofline measurement from Algorithm 2 profiling.
+    ProfileMeasured {
+        /// Stack (resolution group) index.
+        stack: usize,
+        /// Simulated full-rank step time in seconds.
+        full_time_s: f64,
+        /// Simulated factorized step time in seconds.
+        factored_time_s: f64,
+        /// `full_time_s / factored_time_s`.
+        speedup: f64,
+        /// Required speedup threshold v for the stack to be factorized.
+        threshold: f64,
+    },
+    /// The full→factorized switch fired with discovered S = (Ê, K̂, R̂).
+    SwitchTriggered {
+        /// Discovered switch epoch Ê (0-based; the number of full-rank
+        /// epochs that were run).
+        e_hat: usize,
+        /// Number of leading layers K̂ kept full-rank.
+        k_hat: usize,
+        /// Per-target rank decisions R̂.
+        decisions: Vec<RankDecisionEvent>,
+    },
+    /// Gradient clipping fired (satellite: only emitted when the global
+    /// norm actually exceeded the limit).
+    GradClipped {
+        /// 0-based epoch.
+        epoch: usize,
+        /// Pre-clip global gradient norm.
+        norm: f32,
+        /// Configured max norm.
+        max_norm: f32,
+    },
+    /// A kernel-counter delta attributed to a scope (an epoch, the switch,
+    /// profiling, …).
+    KernelCounterSample {
+        /// What the delta covers, e.g. `"epoch"`, `"switch"`.
+        scope: String,
+        /// Epoch the sample belongs to, when scoped to one.
+        epoch: Option<usize>,
+        /// Counter deltas accumulated inside the scope.
+        counters: KernelCounters,
+    },
+    /// A named span closed (emitted by the [`crate::Span`] guard on drop).
+    SpanClosed {
+        /// Span name, e.g. `"epoch"`, `"profiling"`, `"switch"`.
+        name: String,
+        /// Wall-clock duration in milliseconds.
+        wall_ms: f64,
+    },
+    /// Terminal run manifest; always the last event of a run.
+    Manifest(RunManifest),
+}
+
+impl Event {
+    /// The `"kind"` discriminant this event serializes under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::EpochStarted { .. } => "epoch_started",
+            Event::EpochCompleted { .. } => "epoch_completed",
+            Event::StableRankSampled { .. } => "stable_rank_sampled",
+            Event::TrackerVerdict { .. } => "tracker_verdict",
+            Event::ProfileMeasured { .. } => "profile_measured",
+            Event::SwitchTriggered { .. } => "switch_triggered",
+            Event::GradClipped { .. } => "grad_clipped",
+            Event::KernelCounterSample { .. } => "kernel_counters",
+            Event::SpanClosed { .. } => "span",
+            Event::Manifest(_) => "manifest",
+        }
+    }
+
+    /// Encodes the event as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("kind", Json::Str(self.kind().to_string()))];
+        match self {
+            Event::EpochStarted { epoch, lr } => {
+                pairs.push(("epoch", Json::Num(*epoch as f64)));
+                pairs.push(("lr", Json::num(*lr as f64)));
+            }
+            Event::EpochCompleted {
+                epoch,
+                loss,
+                metric,
+                lr,
+                wall_ms,
+            } => {
+                pairs.push(("epoch", Json::Num(*epoch as f64)));
+                pairs.push(("loss", Json::num(*loss as f64)));
+                pairs.push(("metric", Json::opt_num(metric.map(|m| m as f64))));
+                pairs.push(("lr", Json::num(*lr as f64)));
+                pairs.push(("wall_ms", Json::num(*wall_ms)));
+            }
+            Event::StableRankSampled {
+                epoch,
+                layer,
+                rho,
+                scaled_rho,
+            } => {
+                pairs.push(("epoch", Json::Num(*epoch as f64)));
+                pairs.push(("layer", Json::Str(layer.clone())));
+                pairs.push(("rho", Json::num(*rho as f64)));
+                pairs.push(("scaled_rho", Json::num(*scaled_rho as f64)));
+            }
+            Event::TrackerVerdict {
+                epoch,
+                epsilon,
+                converged,
+                layers,
+            } => {
+                pairs.push(("epoch", Json::Num(*epoch as f64)));
+                pairs.push(("epsilon", Json::num(*epsilon as f64)));
+                pairs.push(("converged", Json::Bool(*converged)));
+                pairs.push((
+                    "layers",
+                    Json::Arr(
+                        layers
+                            .iter()
+                            .map(|l| {
+                                Json::obj(vec![
+                                    ("layer", Json::Str(l.layer.clone())),
+                                    ("derivative", Json::opt_num(l.derivative.map(|d| d as f64))),
+                                    ("stabilized", Json::Bool(l.stabilized)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            Event::ProfileMeasured {
+                stack,
+                full_time_s,
+                factored_time_s,
+                speedup,
+                threshold,
+            } => {
+                pairs.push(("stack", Json::Num(*stack as f64)));
+                pairs.push(("full_time_s", Json::num(*full_time_s)));
+                pairs.push(("factored_time_s", Json::num(*factored_time_s)));
+                pairs.push(("speedup", Json::num(*speedup)));
+                pairs.push(("threshold", Json::num(*threshold)));
+            }
+            Event::SwitchTriggered {
+                e_hat,
+                k_hat,
+                decisions,
+            } => {
+                pairs.push(("e_hat", Json::Num(*e_hat as f64)));
+                pairs.push(("k_hat", Json::Num(*k_hat as f64)));
+                pairs.push((
+                    "decisions",
+                    Json::Arr(
+                        decisions
+                            .iter()
+                            .map(|d| {
+                                Json::obj(vec![
+                                    ("layer", Json::Str(d.layer.clone())),
+                                    ("index", Json::Num(d.index as f64)),
+                                    ("stack", Json::Num(d.stack as f64)),
+                                    ("full_rank", Json::Num(d.full_rank as f64)),
+                                    ("estimate", Json::num(d.estimate as f64)),
+                                    (
+                                        "chosen",
+                                        match d.chosen {
+                                            Some(r) => Json::Num(r as f64),
+                                            None => Json::Null,
+                                        },
+                                    ),
+                                    (
+                                        "skip",
+                                        match &d.skip {
+                                            Some(s) => Json::Str(s.clone()),
+                                            None => Json::Null,
+                                        },
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            Event::GradClipped {
+                epoch,
+                norm,
+                max_norm,
+            } => {
+                pairs.push(("epoch", Json::Num(*epoch as f64)));
+                pairs.push(("norm", Json::num(*norm as f64)));
+                pairs.push(("max_norm", Json::num(*max_norm as f64)));
+            }
+            Event::KernelCounterSample {
+                scope,
+                epoch,
+                counters,
+            } => {
+                pairs.push(("scope", Json::Str(scope.clone())));
+                pairs.push((
+                    "epoch",
+                    match epoch {
+                        Some(e) => Json::Num(*e as f64),
+                        None => Json::Null,
+                    },
+                ));
+                pairs.push(("counters", counters.to_json()));
+            }
+            Event::SpanClosed { name, wall_ms } => {
+                pairs.push(("name", Json::Str(name.clone())));
+                pairs.push(("wall_ms", Json::num(*wall_ms)));
+            }
+            Event::Manifest(manifest) => {
+                pairs.push(("manifest", manifest.to_json()));
+            }
+        }
+        Json::obj(pairs)
+    }
+
+    /// Decodes an event from a JSON object produced by [`Event::to_json`].
+    ///
+    /// Returns `None` when the kind is unknown or required fields are
+    /// missing or mistyped.
+    pub fn from_json(v: &Json) -> Option<Event> {
+        let kind = v.get("kind")?.as_str()?;
+        match kind {
+            "epoch_started" => Some(Event::EpochStarted {
+                epoch: v.get("epoch")?.as_usize()?,
+                lr: v.get("lr")?.as_f64()? as f32,
+            }),
+            "epoch_completed" => Some(Event::EpochCompleted {
+                epoch: v.get("epoch")?.as_usize()?,
+                loss: v.get("loss")?.as_f64()? as f32,
+                metric: {
+                    let m = v.get("metric")?;
+                    if m.is_null() {
+                        None
+                    } else {
+                        Some(m.as_f64()? as f32)
+                    }
+                },
+                lr: v.get("lr")?.as_f64()? as f32,
+                wall_ms: v.get("wall_ms")?.as_f64()?,
+            }),
+            "stable_rank_sampled" => Some(Event::StableRankSampled {
+                epoch: v.get("epoch")?.as_usize()?,
+                layer: v.get("layer")?.as_str()?.to_string(),
+                rho: v.get("rho")?.as_f64()? as f32,
+                scaled_rho: v.get("scaled_rho")?.as_f64()? as f32,
+            }),
+            "tracker_verdict" => Some(Event::TrackerVerdict {
+                epoch: v.get("epoch")?.as_usize()?,
+                epsilon: v.get("epsilon")?.as_f64()? as f32,
+                converged: v.get("converged")?.as_bool()?,
+                layers: v
+                    .get("layers")?
+                    .as_arr()?
+                    .iter()
+                    .map(|l| {
+                        Some(LayerVerdict {
+                            layer: l.get("layer")?.as_str()?.to_string(),
+                            derivative: {
+                                let d = l.get("derivative")?;
+                                if d.is_null() {
+                                    None
+                                } else {
+                                    Some(d.as_f64()? as f32)
+                                }
+                            },
+                            stabilized: l.get("stabilized")?.as_bool()?,
+                        })
+                    })
+                    .collect::<Option<Vec<_>>>()?,
+            }),
+            "profile_measured" => Some(Event::ProfileMeasured {
+                stack: v.get("stack")?.as_usize()?,
+                full_time_s: v.get("full_time_s")?.as_f64()?,
+                factored_time_s: v.get("factored_time_s")?.as_f64()?,
+                speedup: v.get("speedup")?.as_f64()?,
+                threshold: v.get("threshold")?.as_f64()?,
+            }),
+            "switch_triggered" => Some(Event::SwitchTriggered {
+                e_hat: v.get("e_hat")?.as_usize()?,
+                k_hat: v.get("k_hat")?.as_usize()?,
+                decisions: v
+                    .get("decisions")?
+                    .as_arr()?
+                    .iter()
+                    .map(|d| {
+                        Some(RankDecisionEvent {
+                            layer: d.get("layer")?.as_str()?.to_string(),
+                            index: d.get("index")?.as_usize()?,
+                            stack: d.get("stack")?.as_usize()?,
+                            full_rank: d.get("full_rank")?.as_usize()?,
+                            estimate: d.get("estimate")?.as_f64()? as f32,
+                            chosen: {
+                                let c = d.get("chosen")?;
+                                if c.is_null() {
+                                    None
+                                } else {
+                                    Some(c.as_usize()?)
+                                }
+                            },
+                            skip: {
+                                let s = d.get("skip")?;
+                                if s.is_null() {
+                                    None
+                                } else {
+                                    Some(s.as_str()?.to_string())
+                                }
+                            },
+                        })
+                    })
+                    .collect::<Option<Vec<_>>>()?,
+            }),
+            "grad_clipped" => Some(Event::GradClipped {
+                epoch: v.get("epoch")?.as_usize()?,
+                norm: v.get("norm")?.as_f64()? as f32,
+                max_norm: v.get("max_norm")?.as_f64()? as f32,
+            }),
+            "kernel_counters" => Some(Event::KernelCounterSample {
+                scope: v.get("scope")?.as_str()?.to_string(),
+                epoch: {
+                    let e = v.get("epoch")?;
+                    if e.is_null() {
+                        None
+                    } else {
+                        Some(e.as_usize()?)
+                    }
+                },
+                counters: KernelCounters::from_json(v.get("counters")?)?,
+            }),
+            "span" => Some(Event::SpanClosed {
+                name: v.get("name")?.as_str()?.to_string(),
+                wall_ms: v.get("wall_ms")?.as_f64()?,
+            }),
+            "manifest" => Some(Event::Manifest(RunManifest::from_json(v.get("manifest")?)?)),
+            _ => None,
+        }
+    }
+
+    /// Encodes the event as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        self.to_json().encode()
+    }
+
+    /// Parses one JSONL line back into an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the syntax or schema problem.
+    pub fn parse_jsonl_line(line: &str) -> Result<Event, String> {
+        let v = Json::parse(line.trim())?;
+        Event::from_json(&v).ok_or_else(|| {
+            let kind = v
+                .get("kind")
+                .and_then(|k| k.as_str())
+                .unwrap_or("<missing kind>");
+            format!("unrecognized or malformed event of kind '{kind}'")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_counter_delta_saturates() {
+        let a = KernelCounters {
+            matmul_calls: 5,
+            matmul_flops: 100,
+            ..Default::default()
+        };
+        let b = KernelCounters {
+            matmul_calls: 8,
+            matmul_flops: 90, // would underflow; saturates to 0
+            ..Default::default()
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.matmul_calls, 3);
+        assert_eq!(d.matmul_flops, 0);
+        assert!(!d.is_zero());
+        assert!(KernelCounters::default().is_zero());
+    }
+}

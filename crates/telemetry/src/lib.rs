@@ -1,0 +1,254 @@
+//! # cuttlefish-telemetry
+//!
+//! Structured observability for the Cuttlefish training stack: typed
+//! events, pluggable recorder sinks, span timing, kernel-counter
+//! snapshots, and terminal run manifests.
+//!
+//! The crate is **dependency-free by design**. It sits below every other
+//! crate in the workspace (the dependency arrow points core → telemetry,
+//! never back), so it must not constrain what depends on it; events
+//! serialize through a small hand-rolled JSON layer ([`json`]) instead of
+//! serde, keeping the JSONL schema explicit and stable.
+//!
+//! ## Model
+//!
+//! - [`Event`] — one typed record per lifecycle moment of Cuttlefish
+//!   Algorithms 1–2: epochs, stable-rank samples, tracker verdicts, the
+//!   roofline profile, the full→factorized switch, gradient clipping,
+//!   kernel-counter deltas, spans, and the terminal [`RunManifest`].
+//! - [`Recorder`] — a sink taking `&self`; thread one through the stack
+//!   as `&dyn Recorder`. Ships with [`NullRecorder`] (discard; the
+//!   default), [`MemoryRecorder`] (tests, in-process consumers), and
+//!   [`JsonlRecorder`] (append-only JSON Lines file).
+//! - [`span`] — a drop guard that emits [`Event::SpanClosed`] with
+//!   monotonic wall time.
+//! - [`RunReport`] — parses a JSONL stream back into events and renders
+//!   the human-readable report behind the `telemetry_summary` binary.
+//!
+//! ## Overhead
+//!
+//! Recording costs one virtual call per event against [`NullRecorder`].
+//! The hot-loop kernel counters live in `cuttlefish-tensor` behind its
+//! `telemetry` feature and compile to nothing when it is off; this crate
+//! only defines the [`KernelCounters`] snapshot type they report into.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod manifest;
+pub mod recorder;
+pub mod report;
+
+pub use event::{Event, KernelCounters, LayerVerdict, RankDecisionEvent};
+pub use json::Json;
+pub use manifest::{fnv1a_hash, git_describe, RankEntry, RunManifest, SCHEMA_VERSION};
+pub use recorder::{span, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, Span};
+pub use report::RunReport;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One instance of every `Event` variant, exercising optional fields
+    /// in both the `Some`/`None` states and a non-finite ε.
+    fn all_variants() -> Vec<Event> {
+        vec![
+            Event::EpochStarted { epoch: 0, lr: 0.1 },
+            Event::EpochCompleted {
+                epoch: 0,
+                loss: 2.31,
+                metric: Some(0.12),
+                lr: 0.1,
+                wall_ms: 41.5,
+            },
+            Event::EpochCompleted {
+                epoch: 1,
+                loss: 1.9,
+                metric: None,
+                lr: 0.05,
+                wall_ms: 39.0,
+            },
+            Event::StableRankSampled {
+                epoch: 1,
+                layer: "stack2.conv1".to_string(),
+                rho: 6.4,
+                scaled_rho: 3.2,
+            },
+            Event::TrackerVerdict {
+                epoch: 2,
+                epsilon: f32::INFINITY,
+                converged: false,
+                layers: vec![
+                    LayerVerdict {
+                        layer: "stack2.conv1".to_string(),
+                        derivative: Some(0.03),
+                        stabilized: true,
+                    },
+                    LayerVerdict {
+                        layer: "stack3.conv1".to_string(),
+                        derivative: None,
+                        stabilized: false,
+                    },
+                ],
+            },
+            Event::ProfileMeasured {
+                stack: 2,
+                full_time_s: 0.8,
+                factored_time_s: 0.3,
+                speedup: 8.0 / 3.0,
+                threshold: 1.5,
+            },
+            Event::SwitchTriggered {
+                e_hat: 3,
+                k_hat: 1,
+                decisions: vec![
+                    RankDecisionEvent {
+                        layer: "stack1.conv1".to_string(),
+                        index: 1,
+                        stack: 1,
+                        full_rank: 64,
+                        estimate: 4.0,
+                        chosen: None,
+                        skip: Some("within_k".to_string()),
+                    },
+                    RankDecisionEvent {
+                        layer: "stack2.conv1".to_string(),
+                        index: 2,
+                        stack: 2,
+                        full_rank: 128,
+                        estimate: 3.2,
+                        chosen: Some(24),
+                        skip: None,
+                    },
+                ],
+            },
+            Event::GradClipped {
+                epoch: 0,
+                norm: 11.7,
+                max_norm: 5.0,
+            },
+            Event::KernelCounterSample {
+                scope: "epoch".to_string(),
+                epoch: Some(2),
+                counters: KernelCounters {
+                    matmul_calls: 128,
+                    matmul_flops: 2_000_000,
+                    im2col_calls: 64,
+                    im2col_elems: 500_000,
+                    svd_sweeps: 12,
+                    power_iters: 40,
+                },
+            },
+            Event::KernelCounterSample {
+                scope: "switch".to_string(),
+                epoch: None,
+                counters: KernelCounters::default(),
+            },
+            Event::SpanClosed {
+                name: "profiling".to_string(),
+                wall_ms: 7.25,
+            },
+            Event::Manifest(RunManifest {
+                schema_version: SCHEMA_VERSION,
+                config_hash: fnv1a_hash("trainer+policy"),
+                seed: 42,
+                policy: "cuttlefish".to_string(),
+                e_hat: Some(3),
+                k_hat: Some(1),
+                ranks: vec![RankEntry {
+                    layer: "stack2.conv1".to_string(),
+                    rank: 24,
+                    full_rank: 128,
+                }],
+                params_full: 11_173_962,
+                params_final: 3_280_326,
+                git_describe: Some("v0-12-gabc1234".to_string()),
+                event_counts: vec![
+                    ("epoch_completed".to_string(), 4),
+                    ("switch_triggered".to_string(), 1),
+                ],
+                sim_hours: 2.75,
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        for event in all_variants() {
+            let line = event.to_jsonl();
+            let back = Event::parse_jsonl_line(&line)
+                .unwrap_or_else(|e| panic!("parse failed for {line}: {e}"));
+            // TrackerVerdict carries a NaN-capable ε; compare through a
+            // re-encode so `NaN != NaN` cannot produce a false failure.
+            assert_eq!(back.to_jsonl(), line, "unstable encoding for {line}");
+            if !line.contains("\"NaN\"") {
+                assert_eq!(back, event, "lossy round trip for {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_jsonl_recorder() {
+        let path = std::env::temp_dir().join(format!(
+            "cuttlefish-telemetry-roundtrip-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let events = all_variants();
+        {
+            let rec = JsonlRecorder::create(&path).expect("open jsonl");
+            for event in &events {
+                rec.record(event.clone());
+            }
+            // Counts cover every kind exactly once per record call.
+            let total: u64 = rec.event_counts().iter().map(|(_, n)| n).sum();
+            assert_eq!(total as usize, events.len());
+            rec.flush();
+        }
+        let text = std::fs::read_to_string(&path).expect("read back jsonl");
+        let parsed: Vec<Event> = text
+            .lines()
+            .map(|l| Event::parse_jsonl_line(l).expect("parse recorded line"))
+            .collect();
+        assert_eq!(parsed, events);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_recorder_appends_across_reopens() {
+        let path = std::env::temp_dir().join(format!(
+            "cuttlefish-telemetry-append-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        for epoch in 0..2 {
+            let rec = JsonlRecorder::create(&path).expect("open jsonl");
+            rec.record(Event::EpochStarted { epoch, lr: 0.1 });
+        }
+        let text = std::fs::read_to_string(&path).expect("read back jsonl");
+        assert_eq!(text.lines().count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        // The JSONL schema is an interface; catch accidental renames.
+        let kinds: Vec<&str> = all_variants().iter().map(|e| e.kind()).collect();
+        for expected in [
+            "epoch_started",
+            "epoch_completed",
+            "stable_rank_sampled",
+            "tracker_verdict",
+            "profile_measured",
+            "switch_triggered",
+            "grad_clipped",
+            "kernel_counters",
+            "span",
+            "manifest",
+        ] {
+            assert!(kinds.contains(&expected), "missing kind '{expected}'");
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Run manifests: the terminal summary record of a training run.
+
+use crate::json::Json;
+
+/// One factorized layer's final rank in the manifest's R̂ listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankEntry {
+    /// Layer name.
+    pub layer: String,
+    /// Chosen factorization rank.
+    pub rank: usize,
+    /// Full rank the layer had before factorization.
+    pub full_rank: usize,
+}
+
+/// Terminal summary of a run, emitted as the last telemetry event.
+///
+/// Captures everything needed to identify and reproduce the run — the
+/// configuration hash, seed, and toolchain provenance — alongside the
+/// discovered Cuttlefish configuration S = (Ê, K̂, R̂) and event counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// JSONL schema version; bump when field semantics change.
+    pub schema_version: u32,
+    /// FNV-1a hash of the trainer config + switch policy debug encodings.
+    pub config_hash: String,
+    /// RNG seed the run used.
+    pub seed: u64,
+    /// Switch-policy name (`"cuttlefish"`, `"full_rank"`, `"manual"`, …).
+    pub policy: String,
+    /// Discovered (or configured) switch epoch Ê, if a switch happened.
+    pub e_hat: Option<usize>,
+    /// Number of leading full-rank layers K̂, if a switch happened.
+    pub k_hat: Option<usize>,
+    /// Final per-layer ranks R̂ for factorized layers.
+    pub ranks: Vec<RankEntry>,
+    /// Parameter count of the full-rank model.
+    pub params_full: usize,
+    /// Parameter count at the end of the run.
+    pub params_final: usize,
+    /// `git describe --always --dirty` output, or `None` outside a
+    /// checkout.
+    pub git_describe: Option<String>,
+    /// Number of events recorded per kind, including this manifest.
+    pub event_counts: Vec<(String, u64)>,
+    /// Simulated wall-clock hours from the device clock model.
+    pub sim_hours: f64,
+}
+
+/// Current manifest schema version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+impl RunManifest {
+    /// Encodes the manifest as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::Num(self.schema_version as f64)),
+            ("config_hash", Json::Str(self.config_hash.clone())),
+            ("seed", Json::Num(self.seed as f64)),
+            ("policy", Json::Str(self.policy.clone())),
+            (
+                "e_hat",
+                match self.e_hat {
+                    Some(e) => Json::Num(e as f64),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "k_hat",
+                match self.k_hat {
+                    Some(k) => Json::Num(k as f64),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "ranks",
+                Json::Arr(
+                    self.ranks
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("layer", Json::Str(r.layer.clone())),
+                                ("rank", Json::Num(r.rank as f64)),
+                                ("full_rank", Json::Num(r.full_rank as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("params_full", Json::Num(self.params_full as f64)),
+            ("params_final", Json::Num(self.params_final as f64)),
+            (
+                "git_describe",
+                match &self.git_describe {
+                    Some(g) => Json::Str(g.clone()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "event_counts",
+                Json::Obj(
+                    self.event_counts
+                        .iter()
+                        .map(|(k, n)| (k.clone(), Json::Num(*n as f64)))
+                        .collect(),
+                ),
+            ),
+            ("sim_hours", Json::num(self.sim_hours)),
+        ])
+    }
+
+    /// Decodes a manifest from a JSON object.
+    pub fn from_json(v: &Json) -> Option<RunManifest> {
+        Some(RunManifest {
+            schema_version: v.get("schema_version")?.as_u64()? as u32,
+            config_hash: v.get("config_hash")?.as_str()?.to_string(),
+            seed: v.get("seed")?.as_u64()?,
+            policy: v.get("policy")?.as_str()?.to_string(),
+            e_hat: {
+                let e = v.get("e_hat")?;
+                if e.is_null() {
+                    None
+                } else {
+                    Some(e.as_usize()?)
+                }
+            },
+            k_hat: {
+                let k = v.get("k_hat")?;
+                if k.is_null() {
+                    None
+                } else {
+                    Some(k.as_usize()?)
+                }
+            },
+            ranks: v
+                .get("ranks")?
+                .as_arr()?
+                .iter()
+                .map(|r| {
+                    Some(RankEntry {
+                        layer: r.get("layer")?.as_str()?.to_string(),
+                        rank: r.get("rank")?.as_usize()?,
+                        full_rank: r.get("full_rank")?.as_usize()?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+            params_full: v.get("params_full")?.as_usize()?,
+            params_final: v.get("params_final")?.as_usize()?,
+            git_describe: {
+                let g = v.get("git_describe")?;
+                if g.is_null() {
+                    None
+                } else {
+                    Some(g.as_str()?.to_string())
+                }
+            },
+            event_counts: match v.get("event_counts")? {
+                Json::Obj(pairs) => pairs
+                    .iter()
+                    .map(|(k, n)| Some((k.clone(), n.as_u64()?)))
+                    .collect::<Option<Vec<_>>>()?,
+                _ => return None,
+            },
+            sim_hours: v.get("sim_hours")?.as_f64()?,
+        })
+    }
+}
+
+/// Hashes an arbitrary string with 64-bit FNV-1a, formatted as fixed-width
+/// hex. Used to fingerprint run configurations: callers hash the `Debug`
+/// encoding of their config structs, which is stable for a given build and
+/// cheap to compare across runs.
+pub fn fnv1a_hash(text: &str) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for byte in text.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    format!("{hash:016x}")
+}
+
+/// Returns `git describe --always --dirty` for the current working
+/// directory, memoized for the process lifetime. `None` when git is
+/// unavailable or the cwd is not a repository.
+pub fn git_describe() -> Option<String> {
+    use std::sync::OnceLock;
+    static DESCRIBE: OnceLock<Option<String>> = OnceLock::new();
+    DESCRIBE
+        .get_or_init(|| {
+            let out = std::process::Command::new("git")
+                .args(["describe", "--always", "--dirty"])
+                .output()
+                .ok()?;
+            if !out.status.success() {
+                return None;
+            }
+            let text = String::from_utf8(out.stdout).ok()?;
+            let text = text.trim();
+            if text.is_empty() {
+                None
+            } else {
+                Some(text.to_string())
+            }
+        })
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_is_stable_and_distinguishes() {
+        // Reference vector for 64-bit FNV-1a of the empty string.
+        assert_eq!(fnv1a_hash(""), "cbf29ce484222325");
+        assert_eq!(fnv1a_hash("abc"), fnv1a_hash("abc"));
+        assert_ne!(fnv1a_hash("abc"), fnv1a_hash("abd"));
+        assert_eq!(fnv1a_hash("x").len(), 16);
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = RunManifest {
+            schema_version: SCHEMA_VERSION,
+            config_hash: fnv1a_hash("cfg"),
+            seed: 7,
+            policy: "cuttlefish".to_string(),
+            e_hat: Some(3),
+            k_hat: Some(2),
+            ranks: vec![RankEntry {
+                layer: "stack2.conv1".to_string(),
+                rank: 16,
+                full_rank: 64,
+            }],
+            params_full: 1_000_000,
+            params_final: 400_000,
+            git_describe: Some("abc1234-dirty".to_string()),
+            event_counts: vec![("epoch_completed".to_string(), 10)],
+            sim_hours: 1.25,
+        };
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn manifest_with_empty_optionals_round_trips() {
+        let m = RunManifest {
+            schema_version: SCHEMA_VERSION,
+            config_hash: fnv1a_hash("other"),
+            seed: 0,
+            policy: "full_rank".to_string(),
+            e_hat: None,
+            k_hat: None,
+            ranks: vec![],
+            params_full: 10,
+            params_final: 10,
+            git_describe: None,
+            event_counts: vec![],
+            sim_hours: 0.0,
+        };
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(m, back);
+    }
+}

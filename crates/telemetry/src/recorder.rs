@@ -1,0 +1,260 @@
+//! Recorder sinks and the span timing guard.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::event::Event;
+
+/// A sink for telemetry events.
+///
+/// Recorders take `&self` so one recorder can be threaded through a whole
+/// training stack as `&dyn Recorder` without mutable-borrow contention;
+/// implementations use interior mutability where they need state.
+pub trait Recorder {
+    /// Consumes one event.
+    fn record(&self, event: Event);
+
+    /// Number of events recorded so far, per event kind, sorted by kind.
+    fn event_counts(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
+
+    /// Flushes buffered output to its destination. Default: no-op.
+    fn flush(&self) {}
+}
+
+/// Discards every event. The default recorder: instrumented code paths pay
+/// one virtual call per event and nothing else.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _event: Event) {}
+}
+
+/// Buffers events in memory; the sink used by tests and in-process
+/// consumers.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of every event recorded so far, in order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .expect("telemetry mutex poisoned")
+            .clone()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("telemetry mutex poisoned").len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of events matching a predicate.
+    pub fn filtered(&self, pred: impl Fn(&Event) -> bool) -> Vec<Event> {
+        self.events
+            .lock()
+            .expect("telemetry mutex poisoned")
+            .iter()
+            .filter(|e| pred(e))
+            .cloned()
+            .collect()
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: Event) {
+        self.events
+            .lock()
+            .expect("telemetry mutex poisoned")
+            .push(event);
+    }
+
+    fn event_counts(&self) -> Vec<(String, u64)> {
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        for event in self.events.lock().expect("telemetry mutex poisoned").iter() {
+            *counts.entry(event.kind().to_string()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+}
+
+/// Appends events to a file as JSON Lines, one event per line.
+///
+/// Opens the file in append mode so successive runs can share one log;
+/// writes are buffered and flushed on [`Recorder::flush`] and on drop.
+pub struct JsonlRecorder {
+    writer: Mutex<BufWriter<File>>,
+    counts: Mutex<BTreeMap<String, u64>>,
+}
+
+impl JsonlRecorder {
+    /// Opens (creating if needed) `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error when the file cannot be opened.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(file)),
+            counts: Mutex::new(BTreeMap::new()),
+        })
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&self, event: Event) {
+        *self
+            .counts
+            .lock()
+            .expect("telemetry mutex poisoned")
+            .entry(event.kind().to_string())
+            .or_insert(0) += 1;
+        let mut writer = self.writer.lock().expect("telemetry mutex poisoned");
+        // Telemetry must never take down a training run; swallow I/O
+        // errors here and let flush-on-drop surface persistent failures
+        // as missing lines rather than panics.
+        let _ = writeln!(writer, "{}", event.to_jsonl());
+    }
+
+    fn event_counts(&self) -> Vec<(String, u64)> {
+        self.counts
+            .lock()
+            .expect("telemetry mutex poisoned")
+            .iter()
+            .map(|(k, n)| (k.clone(), *n))
+            .collect()
+    }
+
+    fn flush(&self) {
+        let _ = self
+            .writer
+            .lock()
+            .expect("telemetry mutex poisoned")
+            .flush();
+    }
+}
+
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// A scope guard that emits [`Event::SpanClosed`] with the elapsed
+/// wall-clock time when dropped.
+///
+/// Created by [`span`]; timing uses [`Instant`], so it is monotonic and
+/// immune to wall-clock adjustments.
+pub struct Span<'a> {
+    name: &'static str,
+    start: Instant,
+    recorder: &'a dyn Recorder,
+}
+
+impl Span<'_> {
+    /// Elapsed time since the span opened, in milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.recorder.record(Event::SpanClosed {
+            name: self.name.to_string(),
+            wall_ms: self.elapsed_ms(),
+        });
+    }
+}
+
+/// Opens a named timing span; the returned guard records a
+/// [`Event::SpanClosed`] on drop.
+///
+/// ```
+/// use cuttlefish_telemetry::{span, MemoryRecorder};
+/// let rec = MemoryRecorder::new();
+/// {
+///     let _guard = span("profiling", &rec);
+///     // ... timed work ...
+/// }
+/// assert_eq!(rec.len(), 1);
+/// ```
+pub fn span<'a>(name: &'static str, recorder: &'a dyn Recorder) -> Span<'a> {
+    Span {
+        name,
+        start: Instant::now(),
+        recorder,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_recorder_counts_by_kind() {
+        let rec = MemoryRecorder::new();
+        rec.record(Event::EpochStarted { epoch: 0, lr: 0.1 });
+        rec.record(Event::EpochStarted { epoch: 1, lr: 0.1 });
+        rec.record(Event::GradClipped {
+            epoch: 0,
+            norm: 9.0,
+            max_norm: 5.0,
+        });
+        assert_eq!(rec.len(), 3);
+        assert_eq!(
+            rec.event_counts(),
+            vec![
+                ("epoch_started".to_string(), 2),
+                ("grad_clipped".to_string(), 1)
+            ]
+        );
+        let clipped = rec.filtered(|e| matches!(e, Event::GradClipped { .. }));
+        assert_eq!(clipped.len(), 1);
+    }
+
+    #[test]
+    fn span_emits_on_drop_with_positive_duration() {
+        let rec = MemoryRecorder::new();
+        {
+            let guard = span("epoch", &rec);
+            assert!(guard.elapsed_ms() >= 0.0);
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            Event::SpanClosed { name, wall_ms } => {
+                assert_eq!(name, "epoch");
+                assert!(*wall_ms >= 0.0);
+            }
+            other => panic!("expected SpanClosed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn null_recorder_reports_nothing() {
+        let rec = NullRecorder;
+        rec.record(Event::EpochStarted { epoch: 0, lr: 0.1 });
+        assert!(rec.event_counts().is_empty());
+        rec.flush();
+    }
+}

@@ -1,0 +1,441 @@
+//! Rendering JSONL event streams into a human-readable run report.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{Event, KernelCounters};
+use crate::manifest::RunManifest;
+
+/// A parsed run, ready to render as a report.
+///
+/// Built from a JSONL stream with [`RunReport::from_jsonl`]; [`render`]
+/// produces the text report the `telemetry_summary` binary prints.
+///
+/// [`render`]: RunReport::render
+#[derive(Debug, Default)]
+pub struct RunReport {
+    events: Vec<Event>,
+    /// Lines that failed to parse, with their 1-based line numbers.
+    pub skipped_lines: Vec<(usize, String)>,
+}
+
+impl RunReport {
+    /// Parses a JSONL document into a report. Blank lines are ignored;
+    /// malformed lines are collected into
+    /// [`skipped_lines`](Self::skipped_lines) rather than aborting, so a
+    /// truncated log from a crashed run still renders.
+    pub fn from_jsonl(text: &str) -> RunReport {
+        let mut report = RunReport::default();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Event::parse_jsonl_line(line) {
+                Ok(event) => report.events.push(event),
+                Err(err) => report.skipped_lines.push((i + 1, err)),
+            }
+        }
+        report
+    }
+
+    /// The parsed events, in file order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The run manifest, if the log contains one (the last wins).
+    pub fn manifest(&self) -> Option<&RunManifest> {
+        self.events.iter().rev().find_map(|e| match e {
+            Event::Manifest(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Renders the full report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_header(&mut out);
+        self.render_profile(&mut out);
+        self.render_rank_trajectory(&mut out);
+        self.render_switch(&mut out);
+        self.render_phases(&mut out);
+        self.render_kernels(&mut out);
+        if !self.skipped_lines.is_empty() {
+            let _ = writeln!(
+                out,
+                "\nskipped {} malformed line(s):",
+                self.skipped_lines.len()
+            );
+            for (line_no, err) in self.skipped_lines.iter().take(5) {
+                let _ = writeln!(out, "  line {line_no}: {err}");
+            }
+        }
+        out
+    }
+
+    fn render_header(&self, out: &mut String) {
+        let _ = writeln!(out, "== run summary ==");
+        match self.manifest() {
+            Some(m) => {
+                let _ = writeln!(
+                    out,
+                    "policy {}  seed {}  config {}  git {}",
+                    m.policy,
+                    m.seed,
+                    m.config_hash,
+                    m.git_describe.as_deref().unwrap_or("-")
+                );
+                let e = m
+                    .e_hat
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "-".to_string());
+                let k = m
+                    .k_hat
+                    .map(|k| k.to_string())
+                    .unwrap_or_else(|| "-".to_string());
+                let _ = writeln!(
+                    out,
+                    "E_hat {e}  K_hat {k}  params {} -> {} ({:.1}% of full)  sim {:.2} h",
+                    m.params_full,
+                    m.params_final,
+                    100.0 * m.params_final as f64 / m.params_full.max(1) as f64,
+                    m.sim_hours
+                );
+                let counts: Vec<String> = m
+                    .event_counts
+                    .iter()
+                    .map(|(k, n)| format!("{k}:{n}"))
+                    .collect();
+                let _ = writeln!(out, "events  {}", counts.join("  "));
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "no manifest found ({} events parsed; run may have been interrupted)",
+                    self.events.len()
+                );
+            }
+        }
+    }
+
+    fn render_profile(&self, out: &mut String) {
+        let rows: Vec<_> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::ProfileMeasured {
+                    stack,
+                    full_time_s,
+                    factored_time_s,
+                    speedup,
+                    threshold,
+                } => Some((*stack, *full_time_s, *factored_time_s, *speedup, *threshold)),
+                _ => None,
+            })
+            .collect();
+        if rows.is_empty() {
+            return;
+        }
+        let _ = writeln!(out, "\n== roofline profile (Algorithm 2) ==");
+        let _ = writeln!(out, "stack  full_s     factored_s  speedup  keep_full");
+        for (stack, full, fact, speedup, threshold) in rows {
+            let _ = writeln!(
+                out,
+                "{stack:>5}  {full:<9.4}  {fact:<10.4}  {speedup:<7.2}  {}",
+                if speedup < threshold { "yes" } else { "no" }
+            );
+        }
+    }
+
+    fn render_rank_trajectory(&self, out: &mut String) {
+        // epoch -> layer -> scaled rho, layers in first-seen order.
+        let mut layers: Vec<String> = Vec::new();
+        let mut rows: BTreeMap<usize, BTreeMap<String, f32>> = BTreeMap::new();
+        for e in &self.events {
+            if let Event::StableRankSampled {
+                epoch,
+                layer,
+                scaled_rho,
+                ..
+            } = e
+            {
+                if !layers.contains(layer) {
+                    layers.push(layer.clone());
+                }
+                rows.entry(*epoch)
+                    .or_default()
+                    .insert(layer.clone(), *scaled_rho);
+            }
+        }
+        if rows.is_empty() {
+            return;
+        }
+        // Cap the table width: show the first columns and fold the rest.
+        const MAX_COLS: usize = 8;
+        let shown = &layers[..layers.len().min(MAX_COLS)];
+        let folded = layers.len().saturating_sub(MAX_COLS);
+        let _ = writeln!(out, "\n== scaled stable-rank trajectory ==");
+        let mut header = String::from("epoch");
+        for layer in shown {
+            let mut short: Vec<char> = layer.chars().rev().take(12).collect();
+            short.reverse();
+            let short: String = short.into_iter().collect();
+            let _ = write!(header, "  {short:>12}");
+        }
+        if folded > 0 {
+            let _ = write!(header, "  (+{folded} more)");
+        }
+        let _ = writeln!(out, "{header}");
+        for (epoch, by_layer) in &rows {
+            let mut line = format!("{epoch:>5}");
+            for layer in shown {
+                match by_layer.get(layer) {
+                    Some(rho) => {
+                        let _ = write!(line, "  {rho:>12.3}");
+                    }
+                    None => {
+                        let _ = write!(line, "  {:>12}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{line}");
+        }
+    }
+
+    fn render_switch(&self, out: &mut String) {
+        for e in &self.events {
+            if let Event::SwitchTriggered {
+                e_hat,
+                k_hat,
+                decisions,
+            } = e
+            {
+                let factored = decisions.iter().filter(|d| d.chosen.is_some()).count();
+                let _ = writeln!(out, "\n== switch (Algorithm 1) ==");
+                let _ = writeln!(
+                    out,
+                    "E_hat {e_hat}  K_hat {k_hat}  targets {} (factorized {factored}, skipped {})",
+                    decisions.len(),
+                    decisions.len() - factored
+                );
+                let _ = writeln!(out, "layer                     rank/full    estimate  note");
+                for d in decisions {
+                    let note = d.skip.as_deref().unwrap_or("");
+                    let rank = match d.chosen {
+                        Some(r) => format!("{r}/{}", d.full_rank),
+                        None => format!("-/{}", d.full_rank),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{:<24}  {rank:>10}  {:>8.2}  {note}",
+                        d.layer, d.estimate
+                    );
+                }
+            }
+        }
+    }
+
+    fn render_phases(&self, out: &mut String) {
+        // Aggregate span durations by name, plus per-epoch wall time.
+        let mut spans: BTreeMap<&str, (u64, f64)> = BTreeMap::new();
+        let mut epoch_ms = 0.0f64;
+        let mut epochs = 0u64;
+        for e in &self.events {
+            match e {
+                Event::SpanClosed { name, wall_ms } => {
+                    let entry = spans.entry(name.as_str()).or_insert((0, 0.0));
+                    entry.0 += 1;
+                    entry.1 += wall_ms;
+                }
+                Event::EpochCompleted { wall_ms, .. } => {
+                    epoch_ms += wall_ms;
+                    epochs += 1;
+                }
+                _ => {}
+            }
+        }
+        if spans.is_empty() && epochs == 0 {
+            return;
+        }
+        let _ = writeln!(out, "\n== time per phase (host wall clock) ==");
+        if epochs > 0 {
+            let _ = writeln!(
+                out,
+                "{:<16}  {:>5}  {:>10.1} ms total  {:>8.2} ms avg",
+                "training epochs",
+                epochs,
+                epoch_ms,
+                epoch_ms / epochs as f64
+            );
+        }
+        for (name, (count, total)) in &spans {
+            let _ = writeln!(
+                out,
+                "{:<16}  {:>5}  {:>10.1} ms total  {:>8.2} ms avg",
+                name,
+                count,
+                total,
+                total / *count as f64
+            );
+        }
+    }
+
+    fn render_kernels(&self, out: &mut String) {
+        let mut total = KernelCounters::default();
+        let mut samples = 0usize;
+        for e in &self.events {
+            if let Event::KernelCounterSample { counters, .. } = e {
+                total.matmul_calls += counters.matmul_calls;
+                total.matmul_flops += counters.matmul_flops;
+                total.im2col_calls += counters.im2col_calls;
+                total.im2col_elems += counters.im2col_elems;
+                total.svd_sweeps += counters.svd_sweeps;
+                total.power_iters += counters.power_iters;
+                samples += 1;
+            }
+        }
+        if samples == 0 {
+            return;
+        }
+        let _ = writeln!(
+            out,
+            "\n== kernel counters ({samples} samples; zeros mean the telemetry feature was off) =="
+        );
+        let rows = [
+            ("matmul calls", total.matmul_calls),
+            ("matmul flops", total.matmul_flops),
+            ("im2col calls", total.im2col_calls),
+            ("im2col elems", total.im2col_elems),
+            ("svd sweeps", total.svd_sweeps),
+            ("power iters", total.power_iters),
+        ];
+        let max = rows.iter().map(|(_, v)| *v).max().unwrap_or(0);
+        for (name, value) in rows {
+            let bar_len = if max == 0 {
+                0
+            } else {
+                // log-ish scaling keeps flops from drowning out call counts
+                let frac = ((value as f64 + 1.0).ln() / (max as f64 + 1.0).ln()).clamp(0.0, 1.0);
+                (frac * 40.0).round() as usize
+            };
+            let bar: String = std::iter::repeat_n('#', bar_len).collect();
+            let _ = writeln!(out, "{name:<13} {value:>14}  {bar}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RankDecisionEvent;
+    use crate::manifest::{fnv1a_hash, RunManifest, SCHEMA_VERSION};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::EpochStarted { epoch: 0, lr: 0.1 },
+            Event::StableRankSampled {
+                epoch: 0,
+                layer: "stack1.conv".to_string(),
+                rho: 5.0,
+                scaled_rho: 2.5,
+            },
+            Event::EpochCompleted {
+                epoch: 0,
+                loss: 1.2,
+                metric: Some(0.4),
+                lr: 0.1,
+                wall_ms: 12.0,
+            },
+            Event::ProfileMeasured {
+                stack: 1,
+                full_time_s: 0.2,
+                factored_time_s: 0.05,
+                speedup: 4.0,
+                threshold: 1.5,
+            },
+            Event::SwitchTriggered {
+                e_hat: 1,
+                k_hat: 0,
+                decisions: vec![RankDecisionEvent {
+                    layer: "stack1.conv".to_string(),
+                    index: 1,
+                    stack: 1,
+                    full_rank: 64,
+                    estimate: 2.5,
+                    chosen: Some(16),
+                    skip: None,
+                }],
+            },
+            Event::KernelCounterSample {
+                scope: "epoch".to_string(),
+                epoch: Some(0),
+                counters: KernelCounters {
+                    matmul_calls: 10,
+                    matmul_flops: 1000,
+                    ..Default::default()
+                },
+            },
+            Event::SpanClosed {
+                name: "profiling".to_string(),
+                wall_ms: 3.0,
+            },
+            Event::Manifest(RunManifest {
+                schema_version: SCHEMA_VERSION,
+                config_hash: fnv1a_hash("cfg"),
+                seed: 1,
+                policy: "cuttlefish".to_string(),
+                e_hat: Some(1),
+                k_hat: Some(0),
+                ranks: vec![],
+                params_full: 100,
+                params_final: 60,
+                git_describe: None,
+                event_counts: vec![("epoch_completed".to_string(), 1)],
+                sim_hours: 0.5,
+            }),
+        ]
+    }
+
+    #[test]
+    fn report_round_trips_and_renders() {
+        let jsonl: String = sample_events()
+            .iter()
+            .map(|e| e.to_jsonl() + "\n")
+            .collect();
+        let report = RunReport::from_jsonl(&jsonl);
+        assert!(report.skipped_lines.is_empty());
+        assert_eq!(report.events().len(), sample_events().len());
+        assert!(report.manifest().is_some());
+        let text = report.render();
+        for needle in [
+            "run summary",
+            "roofline profile",
+            "stable-rank trajectory",
+            "switch (Algorithm 1)",
+            "time per phase",
+            "kernel counters",
+            "E_hat 1",
+        ] {
+            assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped_not_fatal() {
+        let jsonl = format!(
+            "{}\nnot json at all\n{{\"kind\":\"mystery\"}}\n",
+            Event::EpochStarted { epoch: 0, lr: 0.1 }.to_jsonl()
+        );
+        let report = RunReport::from_jsonl(&jsonl);
+        assert_eq!(report.events().len(), 1);
+        assert_eq!(report.skipped_lines.len(), 2);
+        assert!(report.render().contains("skipped 2 malformed line(s)"));
+    }
+
+    #[test]
+    fn empty_log_renders_without_panic() {
+        let report = RunReport::from_jsonl("");
+        assert!(report.manifest().is_none());
+        assert!(report.render().contains("no manifest found"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Process-global kernel counters for telemetry.
+//!
+//! The hot kernels in this crate (`matmul*`, `im2col`, the Jacobi SVD
+//! sweeps, power iteration) bump a set of global atomic counters so the
+//! telemetry layer can attribute compute to training phases without
+//! threading a recorder handle through every inner loop.
+//!
+//! The counters are gated behind the crate's `telemetry` feature. With the
+//! feature **off** (the default), the bump functions are empty `#[inline]`
+//! stubs and [`snapshot`] always returns zeros — the kernels pay nothing,
+//! and downstream code can call [`snapshot`] unconditionally without any
+//! `cfg` of its own. With the feature **on**, bumps are relaxed atomic
+//! adds: cheap, thread-safe, and order-insensitive, which is all a
+//! monotonic counter needs.
+
+/// A point-in-time copy of the kernel counters.
+///
+/// Field semantics match `cuttlefish_telemetry::KernelCounters`; this
+/// crate keeps its own mirror struct so the dependency between the two
+/// crates stays optional in both directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelCounterSnapshot {
+    /// Dense GEMM calls (`matmul`, `matmul_tn`, `matmul_nt`).
+    pub matmul_calls: u64,
+    /// Estimated FLOPs across those GEMMs (2·m·n·k per call).
+    pub matmul_flops: u64,
+    /// `im2col` unroll calls.
+    pub im2col_calls: u64,
+    /// Elements written by `im2col` unrolls.
+    pub im2col_elems: u64,
+    /// Jacobi sweeps across the SVD variants.
+    pub svd_sweeps: u64,
+    /// Power-iteration steps.
+    pub power_iters: u64,
+}
+
+impl KernelCounterSnapshot {
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == KernelCounterSnapshot::default()
+    }
+
+    /// Counters accumulated since `earlier` (saturating per field, so a
+    /// [`reset`] between snapshots yields zeros instead of wrapping).
+    pub fn delta_since(&self, earlier: &KernelCounterSnapshot) -> KernelCounterSnapshot {
+        KernelCounterSnapshot {
+            matmul_calls: self.matmul_calls.saturating_sub(earlier.matmul_calls),
+            matmul_flops: self.matmul_flops.saturating_sub(earlier.matmul_flops),
+            im2col_calls: self.im2col_calls.saturating_sub(earlier.im2col_calls),
+            im2col_elems: self.im2col_elems.saturating_sub(earlier.im2col_elems),
+            svd_sweeps: self.svd_sweeps.saturating_sub(earlier.svd_sweeps),
+            power_iters: self.power_iters.saturating_sub(earlier.power_iters),
+        }
+    }
+}
+
+#[cfg(feature = "telemetry")]
+mod live {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub(super) static MATMUL_CALLS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static MATMUL_FLOPS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static IM2COL_CALLS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static IM2COL_ELEMS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static SVD_SWEEPS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static POWER_ITERS: AtomicU64 = AtomicU64::new(0);
+
+    #[inline]
+    pub(super) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(super) fn load(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// Records one GEMM of shape `(m × k) · (k × n)`; FLOPs estimated as
+/// 2·m·n·k.
+#[inline]
+pub fn record_matmul(m: usize, n: usize, k: usize) {
+    #[cfg(feature = "telemetry")]
+    {
+        live::add(&live::MATMUL_CALLS, 1);
+        live::add(&live::MATMUL_FLOPS, 2 * m as u64 * n as u64 * k as u64);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = (m, n, k);
+    }
+}
+
+/// Records one `im2col` unroll that wrote `elems` output elements.
+#[inline]
+pub fn record_im2col(elems: usize) {
+    #[cfg(feature = "telemetry")]
+    {
+        live::add(&live::IM2COL_CALLS, 1);
+        live::add(&live::IM2COL_ELEMS, elems as u64);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = elems;
+    }
+}
+
+/// Records one Jacobi sweep (one-sided SVD or symmetric eigensolve).
+#[inline]
+pub fn record_svd_sweep() {
+    #[cfg(feature = "telemetry")]
+    live::add(&live::SVD_SWEEPS, 1);
+}
+
+/// Records one power-iteration step.
+#[inline]
+pub fn record_power_iter() {
+    #[cfg(feature = "telemetry")]
+    live::add(&live::POWER_ITERS, 1);
+}
+
+/// Reads the current counter values. Always callable; returns all zeros
+/// when the `telemetry` feature is off.
+pub fn snapshot() -> KernelCounterSnapshot {
+    #[cfg(feature = "telemetry")]
+    {
+        KernelCounterSnapshot {
+            matmul_calls: live::load(&live::MATMUL_CALLS),
+            matmul_flops: live::load(&live::MATMUL_FLOPS),
+            im2col_calls: live::load(&live::IM2COL_CALLS),
+            im2col_elems: live::load(&live::IM2COL_ELEMS),
+            svd_sweeps: live::load(&live::SVD_SWEEPS),
+            power_iters: live::load(&live::POWER_ITERS),
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    KernelCounterSnapshot::default()
+}
+
+/// Resets every counter to zero. Prefer [`KernelCounterSnapshot::delta_since`]
+/// over resets when multiple consumers may be watching the counters.
+pub fn reset() {
+    #[cfg(feature = "telemetry")]
+    {
+        use std::sync::atomic::Ordering;
+        live::MATMUL_CALLS.store(0, Ordering::Relaxed);
+        live::MATMUL_FLOPS.store(0, Ordering::Relaxed);
+        live::IM2COL_CALLS.store(0, Ordering::Relaxed);
+        live::IM2COL_ELEMS.store(0, Ordering::Relaxed);
+        live::SVD_SWEEPS.store(0, Ordering::Relaxed);
+        live::POWER_ITERS.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_saturates_across_reset() {
+        let high = KernelCounterSnapshot {
+            matmul_calls: 10,
+            ..Default::default()
+        };
+        let low = KernelCounterSnapshot::default();
+        assert_eq!(low.delta_since(&high).matmul_calls, 0);
+        assert_eq!(high.delta_since(&low).matmul_calls, 10);
+        assert!(low.is_zero());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn live_counters_accumulate() {
+        let before = snapshot();
+        record_matmul(2, 3, 4);
+        record_im2col(100);
+        record_svd_sweep();
+        record_power_iter();
+        let delta = snapshot().delta_since(&before);
+        assert!(delta.matmul_calls >= 1);
+        assert!(delta.matmul_flops >= 48);
+        assert!(delta.im2col_calls >= 1);
+        assert!(delta.im2col_elems >= 100);
+        assert!(delta.svd_sweeps >= 1);
+        assert!(delta.power_iters >= 1);
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn disabled_counters_stay_zero() {
+        record_matmul(2, 3, 4);
+        record_im2col(100);
+        record_svd_sweep();
+        record_power_iter();
+        assert!(snapshot().is_zero());
+    }
+}

@@ -44,7 +44,10 @@ impl fmt::Display for TensorError {
                 algorithm,
                 iterations,
             } => {
-                write!(f, "{algorithm} did not converge after {iterations} iterations")
+                write!(
+                    f,
+                    "{algorithm} did not converge after {iterations} iterations"
+                )
             }
         }
     }

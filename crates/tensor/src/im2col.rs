@@ -35,7 +35,10 @@ impl ConvGeometry {
         if self.stride == 0 || self.kernel == 0 {
             return Err(TensorError::InvalidDimension {
                 op: "ConvGeometry::output_hw",
-                detail: format!("stride {} and kernel {} must be nonzero", self.stride, self.kernel),
+                detail: format!(
+                    "stride {} and kernel {} must be nonzero",
+                    self.stride, self.kernel
+                ),
             });
         }
         let padded_h = h + 2 * self.padding;
@@ -79,6 +82,7 @@ pub fn im2col(input: &Tensor4, geom: &ConvGeometry) -> Result<Matrix> {
     let (oh, ow) = geom.output_hw(h, w)?;
     let k = geom.kernel;
     let cols = c * k * k;
+    crate::counters::record_im2col(b * oh * ow * cols);
     let mut out = Matrix::zeros(b * oh * ow, cols);
     for bi in 0..b {
         for oy in 0..oh {
@@ -237,7 +241,7 @@ mod tests {
                     for kx in 0..3 {
                         let iy = oy as isize + ky as isize - 1;
                         let ix = ox as isize + kx as isize - 1;
-                        if iy >= 0 && iy < 4 && ix >= 0 && ix < 4 {
+                        if (0..4).contains(&iy) && (0..4).contains(&ix) {
                             acc += input.get(bi, ci, iy as usize, ix as usize)
                                 * kernel.get(o, ci, ky, kx);
                         }

@@ -97,7 +97,10 @@ mod tests {
         let m = kaiming_linear(200, 100, &mut rng);
         let emp_std = (m.frobenius_norm_sq() / m.len() as f64).sqrt();
         let expected = (2.0f64 / 200.0).sqrt();
-        assert!((emp_std - expected).abs() / expected < 0.1, "{emp_std} vs {expected}");
+        assert!(
+            (emp_std - expected).abs() / expected < 0.1,
+            "{emp_std} vs {expected}"
+        );
     }
 
     #[test]

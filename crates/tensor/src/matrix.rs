@@ -249,6 +249,7 @@ impl Matrix {
                 rhs: vec![rhs.rows, rhs.cols],
             });
         }
+        crate::counters::record_matmul(self.rows, rhs.cols, self.cols);
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         let n = rhs.cols;
         for i in 0..self.rows {
@@ -280,6 +281,7 @@ impl Matrix {
                 rhs: vec![rhs.rows, rhs.cols],
             });
         }
+        crate::counters::record_matmul(self.cols, rhs.cols, self.rows);
         let mut out = Matrix::zeros(self.cols, rhs.cols);
         let n = rhs.cols;
         for k in 0..self.rows {
@@ -311,16 +313,13 @@ impl Matrix {
                 rhs: vec![rhs.rows, rhs.cols],
             });
         }
+        crate::counters::record_matmul(self.rows, rhs.rows, self.cols);
         let mut out = Matrix::zeros(self.rows, rhs.rows);
         for i in 0..self.rows {
             let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
             for j in 0..rhs.rows {
                 let rhs_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                let acc: f32 = lhs_row
-                    .iter()
-                    .zip(rhs_row)
-                    .map(|(&a, &b)| a * b)
-                    .sum();
+                let acc: f32 = lhs_row.iter().zip(rhs_row).map(|(&a, &b)| a * b).sum();
                 out.data[i * rhs.rows + j] = acc;
             }
         }

@@ -93,6 +93,7 @@ impl Svd {
 
         let mut converged = false;
         for _sweep in 0..MAX_SWEEPS {
+            crate::counters::record_svd_sweep();
             let mut off = 0.0f64;
             for i in 0..n {
                 for j in (i + 1)..n {
@@ -322,6 +323,7 @@ pub fn symmetric_eigenvalues(a: &Matrix) -> Result<Vec<f64>> {
     let tol = JACOBI_TOL * scale;
 
     for _sweep in 0..MAX_SWEEPS {
+        crate::counters::record_svd_sweep();
         let mut off = 0.0f64;
         for p in 0..n {
             for q in (p + 1)..n {
@@ -388,6 +390,7 @@ pub fn power_iteration(w: &Matrix, max_iters: usize, tol: f64) -> Result<f32> {
     let mut sigma_prev = 0.0f64;
     let mut sigma = 0.0f64;
     for _ in 0..max_iters.max(1) {
+        crate::counters::record_power_iter();
         // u = W v  (length m), then v' = Wᵀ u (length n).
         let m_rows = w.rows();
         let mut u = vec![0.0f64; m_rows];

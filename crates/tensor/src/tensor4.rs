@@ -256,7 +256,9 @@ mod tests {
 
     #[test]
     fn matrix_roundtrip() {
-        let t = Tensor4::from_fn(2, 3, 2, 2, |n, c, h, w| (n * 100 + c * 10 + h * 2 + w) as f32);
+        let t = Tensor4::from_fn(2, 3, 2, 2, |n, c, h, w| {
+            (n * 100 + c * 10 + h * 2 + w) as f32
+        });
         let m = t.to_matrix();
         assert_eq!(m.shape(), (2, 12));
         let back = Tensor4::from_matrix(&m, 3, 2, 2).unwrap();

@@ -70,8 +70,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             res.params_final,
             res.best_metric,
             res.sim_hours,
-            res.e_hat.map(|e| e.to_string()).unwrap_or_else(|| "-".into()),
-            res.k_hat.map(|k| k.to_string()).unwrap_or_else(|| "-".into()),
+            res.e_hat
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "-".into()),
+            res.k_hat
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "-".into()),
         );
         if name == "cuttlefish" && !res.rank_history.is_empty() {
             println!("\ncuttlefish stable-rank trajectory (first tracked layer):");

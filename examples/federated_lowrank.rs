@@ -12,8 +12,8 @@
 //! Run with: `cargo run --release --example federated_lowrank`
 
 use cuttlefish::adapter::{TaskAdapter, VisionAdapter};
-use cuttlefish::factorize::{switch_to_low_rank, RankPlan, SwitchOptions};
 use cuttlefish::config::RankRule;
+use cuttlefish::factorize::{switch_to_low_rank, RankPlan, SwitchOptions};
 use cuttlefish::rank::initial_scale;
 use cuttlefish_data::vision::{VisionSpec, VisionTask};
 use cuttlefish_nn::checkpoint::Checkpoint;
@@ -62,8 +62,9 @@ fn payload_bytes(net: &mut Network) -> usize {
 
 fn main() {
     let task = VisionTask::generate(&VisionSpec::cifar10_like(), 42);
-    let mut server = build_micro_resnet18(&MicroResNetConfig::cifar(10), &mut StdRng::seed_from_u64(0));
-    let mut server_eval = VisionAdapter::new(task.clone());
+    let mut server =
+        build_micro_resnet18(&MicroResNetConfig::cifar(10), &mut StdRng::seed_from_u64(0));
+    let server_eval = VisionAdapter::new(task.clone());
     // Store ξ at initialization for the scaled stable rank.
     let mut xi = HashMap::new();
     for t in server.targets().to_vec() {
@@ -132,14 +133,22 @@ fn main() {
         println!(
             "{:>5} {:>10} {:>14} {:>8.3}",
             round,
-            if round < WARMUP_ROUNDS { "full-rank" } else { "low-rank" },
+            if round < WARMUP_ROUNDS {
+                "full-rank"
+            } else {
+                "low-rank"
+            },
             round_bytes,
             acc
         );
     }
-    println!("\ntotal communication: {:.2} MB over {ROUNDS} rounds", total_bytes as f64 / 1e6);
+    println!(
+        "\ntotal communication: {:.2} MB over {ROUNDS} rounds",
+        total_bytes as f64 / 1e6
+    );
     println!("(a full-rank-only run would ship {:.2} MB)", {
-        let mut fresh = build_micro_resnet18(&MicroResNetConfig::cifar(10), &mut StdRng::seed_from_u64(0));
+        let mut fresh =
+            build_micro_resnet18(&MicroResNetConfig::cifar(10), &mut StdRng::seed_from_u64(0));
         (payload_bytes(&mut fresh) * 2 * CLIENTS * ROUNDS) as f64 / 1e6
     });
 }

@@ -17,12 +17,17 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let suite = glue_suite(/* vocab */ 48, /* seq_len */ 10, /* seed */ 11);
+    let suite = glue_suite(
+        /* vocab */ 48, /* seq_len */ 10, /* seed */ 11,
+    );
     let task = suite
         .into_iter()
         .find(|t| t.name == "SST-2")
         .expect("SST-2 exists");
-    println!("fine-tuning micro-BERT on synthetic {} ({} classes)", task.name, task.classes);
+    println!(
+        "fine-tuning micro-BERT on synthetic {} ({} classes)",
+        task.name, task.classes
+    );
 
     let bert_cfg = MicroBertConfig {
         vocab: 48,

@@ -13,7 +13,11 @@ use cuttlefish_perf::{arithmetic_intensity, target_cost, DeviceProfile};
 
 fn main() {
     for device in [DeviceProfile::v100(), DeviceProfile::t4()] {
-        println!("\n=== device: {} (ridge {:.1} FLOP/byte) ===", device.name, device.ridge_point());
+        println!(
+            "\n=== device: {} (ridge {:.1} FLOP/byte) ===",
+            device.name,
+            device.ridge_point()
+        );
         for (name, targets, batch) in [
             ("ResNet-18 @ CIFAR", resnet18_cifar(10), 1024usize),
             ("DeiT-base @ ImageNet", deit_base(), 256),

@@ -42,8 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(&resnet18_cifar(10)),
     )?;
 
-    println!("discovered E_hat  = {:?} (full-rank warm-up epochs)", result.e_hat);
-    println!("discovered K_hat  = {:?} (leading layers kept dense)", result.k_hat);
+    println!(
+        "discovered E_hat  = {:?} (full-rank warm-up epochs)",
+        result.e_hat
+    );
+    println!(
+        "discovered K_hat  = {:?} (leading layers kept dense)",
+        result.k_hat
+    );
     println!(
         "parameters        = {} -> {} ({:.1}% of full)",
         result.params_full,
@@ -51,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * result.compression()
     );
     println!("best val accuracy = {:.3}", result.best_metric);
-    println!("simulated hours   = {:.3} (V100, batch 1024 workload)", result.sim_hours);
+    println!(
+        "simulated hours   = {:.3} (V100, batch 1024 workload)",
+        result.sim_hours
+    );
     println!("\nper-layer decisions:");
     for d in &result.decisions {
         match d.chosen {

@@ -40,8 +40,14 @@ fn pufferfish_policy_runs_end_to_end() {
     let mut tcfg = cuttlefish::TrainerConfig::cnn_default(6, 0);
     tcfg.batch_size = 32;
     tcfg.schedule = LrSchedule::Constant { lr: 0.05 };
-    let res = run_training(&mut net, &mut adapter, &tcfg, &policy, Some(&resnet18_cifar(10)))
-        .unwrap();
+    let res = run_training(
+        &mut net,
+        &mut adapter,
+        &tcfg,
+        &policy,
+        Some(&resnet18_cifar(10)),
+    )
+    .unwrap();
     assert!(res.params_final < res.params_full / 2);
     assert!(res.best_metric > 0.4);
 }
@@ -54,7 +60,11 @@ fn si_fd_policy_runs_end_to_end() {
     tcfg.batch_size = 32;
     tcfg.schedule = LrSchedule::Constant { lr: 0.05 };
     let res = run_training(&mut net, &mut adapter, &tcfg, &policy, None).unwrap();
-    assert_eq!(res.e_hat, Some(0), "spectral init factorizes before training");
+    assert_eq!(
+        res.e_hat,
+        Some(0),
+        "spectral init factorizes before training"
+    );
     assert!(res.params_final < res.params_full / 2);
 }
 
@@ -88,13 +98,24 @@ fn grasp_and_eb_and_xnor_run() {
     assert!(g.density < 0.65);
 
     let (mut net, mut adapter, mut rng) = setup();
-    let e = eb::run_eb(&mut net, &mut adapter, &cfg(4), &eb::EbConfig::default(), &mut rng).unwrap();
+    let e = eb::run_eb(
+        &mut net,
+        &mut adapter,
+        &cfg(4),
+        &eb::EbConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
     assert!(e.kept_fraction < 0.95);
 
     let (mut net, mut adapter, mut rng) = setup();
     let x = xnor::run_xnor(&mut net, &mut adapter, &cfg(3), &mut rng).unwrap();
     assert!((x.effective_compression - 1.0 / 32.0).abs() < 1e-6);
-    assert!(x.best_metric > 0.25, "binary net above chance: {}", x.best_metric);
+    assert!(
+        x.best_metric > 0.25,
+        "binary net above chance: {}",
+        x.best_metric
+    );
 }
 
 #[test]

@@ -6,7 +6,7 @@ use cuttlefish::{run_training, CuttlefishConfig, OptimizerKind, SwitchPolicy, Tr
 use cuttlefish_data::vision::{VisionSpec, VisionTask};
 use cuttlefish_data::{glue_suite, MlmStream};
 use cuttlefish_nn::models::{
-    build_micro_bert, build_micro_resnet18, BertHead, MicroBertConfig, MicroResNetConfig,
+    build_micro_bert, build_micro_resnet18, MicroBertConfig, MicroResNetConfig,
 };
 use cuttlefish_nn::schedule::LrSchedule;
 use cuttlefish_perf::arch::resnet18_cifar;
@@ -51,7 +51,7 @@ fn cuttlefish_pipeline_on_vision() {
 
     // Invariants of a successful Cuttlefish run.
     let e = res.e_hat.expect("switched");
-    assert!(e >= 1 && e <= 8);
+    assert!((1..=8).contains(&e));
     let k = res.k_hat.expect("profiled");
     assert!(k >= 1);
     assert!(res.params_final < res.params_full);
@@ -105,8 +105,7 @@ fn cuttlefish_beats_spectral_init_from_scratch() {
     .unwrap();
     // Same final size...
     assert!(
-        (si.params_final as f64 - warm.params_final as f64).abs()
-            < 0.1 * warm.params_final as f64
+        (si.params_final as f64 - warm.params_final as f64).abs() < 0.1 * warm.params_final as f64
     );
     // ...warm-started should not be (meaningfully) worse.
     assert!(
@@ -181,9 +180,17 @@ fn cuttlefish_pipeline_on_mlm() {
     let full_loss_start: f32;
     {
         // Track the full-rank loss trend for comparison.
-        let mut net2 = build_micro_bert(&MicroBertConfig::tiny_mlm(), &mut StdRng::seed_from_u64(2));
+        let mut net2 =
+            build_micro_bert(&MicroBertConfig::tiny_mlm(), &mut StdRng::seed_from_u64(2));
         let mut ad2 = MlmAdapter::new(MlmStream::new(32, 8, 0), 6, 24);
-        let full = run_training(&mut net2, &mut ad2, &tcfg, &SwitchPolicy::FullRankOnly, None).unwrap();
+        let full = run_training(
+            &mut net2,
+            &mut ad2,
+            &tcfg,
+            &SwitchPolicy::FullRankOnly,
+            None,
+        )
+        .unwrap();
         full_loss_start = full.loss_curve[0];
         assert!(full.final_metric < full_loss_start, "MLM loss should fall");
     }
@@ -193,10 +200,72 @@ fn cuttlefish_pipeline_on_mlm() {
         max_full_rank_fraction: 0.5,
         ..CuttlefishConfig::default()
     };
-    let res = run_training(&mut net, &mut adapter, &tcfg, &SwitchPolicy::Cuttlefish(cfg), None).unwrap();
+    let res = run_training(
+        &mut net,
+        &mut adapter,
+        &tcfg,
+        &SwitchPolicy::Cuttlefish(cfg),
+        None,
+    )
+    .unwrap();
     // Lower-is-better metric: the run must improve over the initial loss.
     assert!(res.final_metric < full_loss_start, "{}", res.final_metric);
     assert!(res.params_final <= res.params_full);
+}
+
+#[test]
+fn telemetry_stream_matches_run_result() {
+    use cuttlefish::run_training_with;
+    use cuttlefish_telemetry::{Event, MemoryRecorder};
+
+    let (mut net, mut adapter) = tiny_vision();
+    let cfg = CuttlefishConfig {
+        epsilon: 0.5,
+        max_full_rank_fraction: 0.4,
+        ..CuttlefishConfig::default()
+    };
+    let recorder = MemoryRecorder::new();
+    let res = run_training_with(
+        &mut net,
+        &mut adapter,
+        &quick_cfg(8),
+        &SwitchPolicy::Cuttlefish(cfg),
+        Some(&resnet18_cifar(10)),
+        &recorder,
+    )
+    .unwrap();
+
+    // Exactly one switch, and it reports the same S = (Ê, K̂, R̂) that the
+    // RunResult carries.
+    let switches = recorder.filtered(|e| matches!(e, Event::SwitchTriggered { .. }));
+    assert_eq!(switches.len(), 1, "expected exactly one SwitchTriggered");
+    let Event::SwitchTriggered {
+        e_hat,
+        k_hat,
+        decisions,
+    } = &switches[0]
+    else {
+        unreachable!()
+    };
+    assert_eq!(Some(*e_hat), res.e_hat);
+    assert_eq!(Some(*k_hat), res.k_hat);
+    assert_eq!(decisions.len(), res.decisions.len());
+
+    // The epoch lifecycle is fully covered and the stream ends in a
+    // manifest consistent with the result.
+    let starts = recorder.filtered(|e| matches!(e, Event::EpochStarted { .. }));
+    let ends = recorder.filtered(|e| matches!(e, Event::EpochCompleted { .. }));
+    assert_eq!(starts.len(), 8);
+    assert_eq!(ends.len(), 8);
+    let manifests = recorder.filtered(|e| matches!(e, Event::Manifest(_)));
+    assert_eq!(manifests.len(), 1);
+    let Event::Manifest(m) = &manifests[0] else {
+        unreachable!()
+    };
+    assert_eq!(m.e_hat, res.e_hat);
+    assert_eq!(m.k_hat, res.k_hat);
+    assert_eq!(m.params_full, res.params_full);
+    assert_eq!(m.params_final, res.params_final);
 }
 
 #[test]

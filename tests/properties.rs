@@ -3,13 +3,15 @@
 //! monotonicity on randomly generated shapes.
 
 use cuttlefish::rank::{accumulative_rank, stable_rank, stable_rank_of};
+use cuttlefish::trainer::tracked_targets;
 use cuttlefish_nn::weight::FactorableWeight;
-use cuttlefish_nn::{Mode, TargetKind};
+use cuttlefish_nn::{Mode, TargetInfo, TargetKind};
 use cuttlefish_perf::{target_flops, target_params, target_time, DeviceProfile};
 use cuttlefish_tensor::init::randn_matrix;
 use cuttlefish_tensor::svd::{svdvals, Svd};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn matrix_strategy() -> impl Strategy<Value = (usize, usize, u64)> {
@@ -122,5 +124,36 @@ proptest! {
         let svals = vec![value; count];
         let sr = stable_rank(&svals);
         prop_assert!((sr - count as f32).abs() < 1e-3 * count as f32);
+    }
+
+    #[test]
+    fn tracked_targets_selects_exactly_k_plus_one_to_depth_minus_one(
+        depth in 1usize..12, k in 0usize..16, seed in 0u64..1000
+    ) {
+        // §3.4: the first k layers are frozen full-rank and the classifier
+        // (index L) is never tracked, so the tracked set is exactly the
+        // 1-based indices in (k, L) — independent of input ordering.
+        let mut targets: Vec<TargetInfo> = (1..=depth)
+            .map(|index| TargetInfo {
+                name: format!("layer{index}"),
+                stack: index % 3,
+                index,
+                kind: TargetKind::Linear {
+                    in_dim: 8,
+                    out_dim: 8,
+                    positions: 1,
+                    transformer: false,
+                },
+            })
+            .collect();
+        targets.shuffle(&mut StdRng::seed_from_u64(seed));
+        let tracked = tracked_targets(&targets, k);
+        let mut got: Vec<usize> = tracked.iter().map(|t| t.index).collect();
+        got.sort_unstable();
+        let want: Vec<usize> = (k + 1..depth).collect();
+        prop_assert_eq!(got, want);
+        if k >= depth {
+            prop_assert!(tracked.is_empty(), "k >= depth must yield empty, not panic");
+        }
     }
 }
