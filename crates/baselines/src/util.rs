@@ -91,7 +91,7 @@ pub fn train_with_hook(
                 adapter.loss_and_grad(&logits, &batch.target, cfg.label_smoothing)?;
             epoch_loss += loss as f64;
             net.backward(grad)?;
-            net.apply_frobenius_decay();
+            net.apply_frobenius_decay()?;
             hook(net, Phase::BeforeStep)?;
             match &mut opt {
                 Opt::Sgd(o) => net.step(o, lr),

@@ -8,7 +8,7 @@
 //! ```
 
 use cuttlefish_bench::methods::{run_vision_with, tuned_cuttlefish_config, Method};
-use cuttlefish_bench::scenarios::VisionModel;
+use cuttlefish_bench::scenarios::{build_model, dataset_spec, VisionModel};
 use cuttlefish_telemetry::{JsonlRecorder, NullRecorder, Recorder};
 use std::process::ExitCode;
 
@@ -18,12 +18,31 @@ fn usage() -> ExitCode {
          \x20                  [--dataset cifar10|cifar100|svhn|imagenet]\n\
          \x20                  [--method cuttlefish|full|pufferfish|sifd|imp|xnor|lc]\n\
          \x20                  [--epochs N] [--seed N] [--telemetry PATH.jsonl]\n\
+         \x20                  [--verify-only]\n\
          \n\
          \x20 --telemetry appends one JSON Lines event per lifecycle moment\n\
          \x20 (epochs, rank samples, the switch, the run manifest) to PATH;\n\
-         \x20 render it with the telemetry_summary binary."
+         \x20 render it with the telemetry_summary binary.\n\
+         \x20 --verify-only builds the model, runs the static shape/config\n\
+         \x20 checker (no kernels execute), prints the report, and exits."
     );
     ExitCode::FAILURE
+}
+
+/// Builds the selected model and runs the static verifier, printing the
+/// report or the offending layer. Never executes a kernel.
+fn verify_only(model: VisionModel, dataset: &str, seed: u64) -> ExitCode {
+    let mut net = build_model(model, dataset_spec(dataset).classes, seed);
+    match net.verify() {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("verification failed at layer `{}`: {e}", e.layer());
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -33,10 +52,17 @@ fn main() -> ExitCode {
     let mut epochs = 12usize;
     let mut seed = 0u64;
     let mut telemetry_path: Option<String> = None;
+    let mut verify_only_mode = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
+        // Valueless flags first.
+        if args[i] == "--verify-only" {
+            verify_only_mode = true;
+            i += 1;
+            continue;
+        }
         let (flag, value) = (args[i].as_str(), args.get(i + 1));
         let Some(value) = value else {
             return usage();
@@ -67,6 +93,10 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
         i += 2;
+    }
+
+    if verify_only_mode {
+        return verify_only(model, &dataset, seed);
     }
 
     let method = match method_name.as_str() {

@@ -1,5 +1,6 @@
 //! Controller configuration types.
 
+use crate::CuttlefishError;
 use cuttlefish_nn::schedule::LrSchedule;
 use cuttlefish_perf::DeviceProfile;
 use serde::{Deserialize, Serialize};
@@ -66,6 +67,87 @@ impl Default for CuttlefishConfig {
     }
 }
 
+fn invalid(field: &'static str, detail: impl Into<String>) -> CuttlefishError {
+    CuttlefishError::InvalidConfig {
+        field,
+        detail: detail.into(),
+    }
+}
+
+impl CuttlefishConfig {
+    /// Validates the controller's knobs before any training starts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CuttlefishError::InvalidConfig`] naming the first bad
+    /// field: ε must be finite and positive, the smoothing window
+    /// non-empty, the profiling threshold `v ≥ 1` (a speedup below 1×
+    /// would always refuse to factorize), `ρ̄ ∈ (0, 1]`, and the remaining
+    /// fractions/scales finite and in range.
+    pub fn validate(&self) -> Result<(), CuttlefishError> {
+        // `+inf` is a supported idiom: "treat every layer as converged at
+        // the first derivative sample" (short fine-tuning runs, E ≈ 1).
+        if self.epsilon.is_nan() || self.epsilon <= 0.0 {
+            return Err(invalid(
+                "epsilon",
+                format!("must be > 0 (inf allowed), got {}", self.epsilon),
+            ));
+        }
+        if self.window == 0 {
+            return Err(invalid("window", "smoothing window must be non-empty"));
+        }
+        if !self.v.is_finite() || self.v < 1.0 {
+            return Err(invalid(
+                "v",
+                format!("speedup threshold must be >= 1, got {}", self.v),
+            ));
+        }
+        if !self.rho_bar.is_finite() || self.rho_bar <= 0.0 || self.rho_bar > 1.0 {
+            return Err(invalid(
+                "rho_bar",
+                format!("probe rank ratio must be in (0, 1], got {}", self.rho_bar),
+            ));
+        }
+        for (name, rule) in [
+            ("rank_rule", &self.rank_rule),
+            ("transformer_rank_rule", &self.transformer_rank_rule),
+        ] {
+            if let RankRule::ScaledWithAccumulative { p } = rule {
+                if !p.is_finite() || *p <= 0.0 || *p > 1.0 {
+                    return Err(invalid(
+                        name,
+                        format!("accumulative-rank mass p must be in (0, 1], got {p}"),
+                    ));
+                }
+            }
+        }
+        if let Some(fd) = self.frobenius_decay {
+            if !fd.is_finite() || fd < 0.0 {
+                return Err(invalid(
+                    "frobenius_decay",
+                    format!("must be finite and >= 0, got {fd}"),
+                ));
+            }
+        }
+        if !self.max_full_rank_fraction.is_finite()
+            || self.max_full_rank_fraction <= 0.0
+            || self.max_full_rank_fraction > 1.0
+        {
+            return Err(invalid(
+                "max_full_rank_fraction",
+                format!("must be in (0, 1], got {}", self.max_full_rank_fraction),
+            ));
+        }
+        if !self.post_switch_lr_scale.is_finite() || self.post_switch_lr_scale <= 0.0 {
+            return Err(invalid(
+                "post_switch_lr_scale",
+                format!("must be finite and > 0, got {}", self.post_switch_lr_scale),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// When and how the run transitions from full-rank to low-rank training.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SwitchPolicy {
@@ -97,6 +179,33 @@ pub enum SwitchPolicy {
         /// Frobenius-decay coefficient.
         frobenius_decay: Option<f32>,
     },
+}
+
+impl SwitchPolicy {
+    /// Validates policy-specific parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CuttlefishError::InvalidConfig`] naming the first bad
+    /// field; delegates to [`CuttlefishConfig::validate`] for the
+    /// automated controller.
+    pub fn validate(&self) -> Result<(), CuttlefishError> {
+        fn ratio_ok(name: &'static str, rho: f32) -> Result<(), CuttlefishError> {
+            if !rho.is_finite() || rho <= 0.0 || rho > 1.0 {
+                return Err(invalid(
+                    name,
+                    format!("rank ratio must be in (0, 1], got {rho}"),
+                ));
+            }
+            Ok(())
+        }
+        match self {
+            SwitchPolicy::FullRankOnly => Ok(()),
+            SwitchPolicy::Cuttlefish(cfg) => cfg.validate(),
+            SwitchPolicy::Manual { rank_ratio, .. } => ratio_ok("rank_ratio", *rank_ratio),
+            SwitchPolicy::SpectralInit { rank_ratio, .. } => ratio_ok("rank_ratio", *rank_ratio),
+        }
+    }
 }
 
 /// Which optimizer drives the run.
@@ -150,6 +259,54 @@ pub struct TrainerConfig {
 }
 
 impl TrainerConfig {
+    /// Validates the run-level parameters: epochs/batch sizes must be
+    /// non-zero, the LR schedule well-formed (finite positive rates,
+    /// strictly increasing milestones), and smoothing/clip values in
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CuttlefishError::InvalidConfig`] naming the first bad
+    /// field.
+    pub fn validate(&self) -> Result<(), CuttlefishError> {
+        if self.total_epochs == 0 {
+            return Err(invalid("total_epochs", "must be > 0"));
+        }
+        if self.batch_size == 0 {
+            return Err(invalid("batch_size", "must be > 0"));
+        }
+        self.schedule
+            .validate()
+            .map_err(|detail| invalid("schedule", detail))?;
+        if !self.label_smoothing.is_finite()
+            || self.label_smoothing < 0.0
+            || self.label_smoothing >= 1.0
+        {
+            return Err(invalid(
+                "label_smoothing",
+                format!("must be in [0, 1), got {}", self.label_smoothing),
+            ));
+        }
+        if let Some(clip) = self.grad_clip {
+            if !clip.is_finite() || clip <= 0.0 {
+                return Err(invalid(
+                    "grad_clip",
+                    format!("must be finite and > 0, got {clip}"),
+                ));
+            }
+        }
+        if self.sim_batch == 0 {
+            return Err(invalid("sim_batch", "must be > 0"));
+        }
+        if self.sim_iters_per_epoch == 0 {
+            return Err(invalid("sim_iters_per_epoch", "must be > 0"));
+        }
+        if self.eval_every == 0 {
+            return Err(invalid("eval_every", "must be > 0"));
+        }
+        Ok(())
+    }
+
     /// Sensible defaults for micro CNN runs: SGD momentum 0.9, weight
     /// decay 1e-4, Goyal-style schedule, V100 clock at batch 1024.
     pub fn cnn_default(total_epochs: usize, seed: u64) -> Self {
@@ -224,5 +381,86 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: CuttlefishConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn defaults_pass_validation() {
+        assert!(CuttlefishConfig::default().validate().is_ok());
+        assert!(TrainerConfig::cnn_default(30, 0).validate().is_ok());
+        assert!(TrainerConfig::transformer_default(30, 0).validate().is_ok());
+        assert!(SwitchPolicy::FullRankOnly.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        fn with(f: impl FnOnce(&mut CuttlefishConfig)) -> CuttlefishConfig {
+            let mut c = CuttlefishConfig::default();
+            f(&mut c);
+            c
+        }
+        assert!(matches!(
+            with(|c| c.epsilon = 0.0).validate(),
+            Err(CuttlefishError::InvalidConfig {
+                field: "epsilon",
+                ..
+            })
+        ));
+        assert!(with(|c| c.epsilon = f32::NAN).validate().is_err());
+        // +inf epsilon is the "switch at first sample" idiom and is legal.
+        assert!(with(|c| c.epsilon = f32::INFINITY).validate().is_ok());
+        assert!(matches!(
+            with(|c| c.window = 0).validate(),
+            Err(CuttlefishError::InvalidConfig {
+                field: "window",
+                ..
+            })
+        ));
+        assert!(matches!(
+            with(|c| c.v = 0.5).validate(),
+            Err(CuttlefishError::InvalidConfig { field: "v", .. })
+        ));
+        assert!(with(|c| c.rho_bar = 1.5).validate().is_err());
+    }
+
+    #[test]
+    fn trainer_validation_rejects_bad_schedule() {
+        let mut t = TrainerConfig::cnn_default(30, 0);
+        t.schedule = LrSchedule::WarmupMultiStep {
+            base_lr: 0.1,
+            peak_lr: 0.8,
+            warmup_epochs: 5,
+            milestones: vec![20, 10],
+            gamma: 0.1,
+        };
+        assert!(matches!(
+            t.validate(),
+            Err(CuttlefishError::InvalidConfig {
+                field: "schedule",
+                ..
+            })
+        ));
+        t = TrainerConfig::cnn_default(30, 0);
+        t.total_epochs = 0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn policy_validation_rejects_bad_ratio() {
+        let p = SwitchPolicy::Manual {
+            full_rank_epochs: 5,
+            k: 1,
+            rank_ratio: 0.0,
+            extra_bn: false,
+            frobenius_decay: None,
+        };
+        assert!(p.validate().is_err());
+        let p = SwitchPolicy::Cuttlefish(CuttlefishConfig {
+            v: 0.9,
+            ..CuttlefishConfig::default()
+        });
+        assert!(matches!(
+            p.validate(),
+            Err(CuttlefishError::InvalidConfig { field: "v", .. })
+        ));
     }
 }

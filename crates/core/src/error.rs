@@ -1,4 +1,4 @@
-use cuttlefish_nn::NnError;
+use cuttlefish_nn::{NnError, VerifyError};
 use cuttlefish_tensor::TensorError;
 use std::error::Error;
 use std::fmt;
@@ -16,6 +16,16 @@ pub enum CuttlefishError {
         /// Explanation of the invalid configuration.
         detail: String,
     },
+    /// A configuration field failed ahead-of-time validation — the run is
+    /// refused before any kernel executes.
+    InvalidConfig {
+        /// The offending field (e.g. `"epsilon"`).
+        field: &'static str,
+        /// Explanation of the rejected value.
+        detail: String,
+    },
+    /// The model failed static verification ([`cuttlefish_nn::Network::verify`]).
+    Verify(VerifyError),
 }
 
 impl fmt::Display for CuttlefishError {
@@ -24,6 +34,10 @@ impl fmt::Display for CuttlefishError {
             CuttlefishError::Nn(e) => write!(f, "network error: {e}"),
             CuttlefishError::Tensor(e) => write!(f, "tensor error: {e}"),
             CuttlefishError::BadConfig { detail } => write!(f, "bad configuration: {detail}"),
+            CuttlefishError::InvalidConfig { field, detail } => {
+                write!(f, "invalid configuration: `{field}` {detail}")
+            }
+            CuttlefishError::Verify(e) => write!(f, "model verification failed: {e}"),
         }
     }
 }
@@ -33,7 +47,8 @@ impl Error for CuttlefishError {
         match self {
             CuttlefishError::Nn(e) => Some(e),
             CuttlefishError::Tensor(e) => Some(e),
-            CuttlefishError::BadConfig { .. } => None,
+            CuttlefishError::Verify(e) => Some(e),
+            CuttlefishError::BadConfig { .. } | CuttlefishError::InvalidConfig { .. } => None,
         }
     }
 }
@@ -47,6 +62,12 @@ impl From<NnError> for CuttlefishError {
 impl From<TensorError> for CuttlefishError {
     fn from(e: TensorError) -> Self {
         CuttlefishError::Tensor(e)
+    }
+}
+
+impl From<VerifyError> for CuttlefishError {
+    fn from(e: VerifyError) -> Self {
+        CuttlefishError::Verify(e)
     }
 }
 

@@ -190,11 +190,15 @@ pub fn run_training_with(
     clock_targets: Option<&[TargetInfo]>,
     recorder: &dyn Recorder,
 ) -> CfResult<RunResult> {
-    if tcfg.total_epochs == 0 || tcfg.batch_size == 0 {
-        return Err(CuttlefishError::BadConfig {
-            detail: "total_epochs and batch_size must be positive".to_string(),
-        });
-    }
+    // Ahead-of-time checks: reject ill-formed configs and models before a
+    // single kernel runs. verify() symbolically re-plays the layer graph
+    // and cross-checks every factorization target against its stored
+    // weight, so a bad rank or corrupted shape fails here with a named
+    // layer rather than deep inside epoch 0.
+    tcfg.validate()?;
+    policy.validate()?;
+    net.verify()?;
+    cuttlefish_tensor::checked::reset();
     let mut rng = StdRng::seed_from_u64(tcfg.seed);
     let clock_targets: Vec<TargetInfo> = clock_targets
         .map(|t| t.to_vec())
@@ -329,7 +333,7 @@ pub fn run_training_with(
                 adapter.loss_and_grad(&logits, &batch.target, tcfg.label_smoothing)?;
             epoch_loss += loss as f64;
             net.backward(grad)?;
-            net.apply_frobenius_decay();
+            net.apply_frobenius_decay()?;
             if let Some(c) = tcfg.grad_clip {
                 if let Some(norm) = clip_gradients(net, c) {
                     recorder.record(Event::GradClipped {
@@ -493,6 +497,18 @@ pub fn run_training_with(
         Some(tr) => (tr.names().to_vec(), tr.history().to_vec()),
         None => (Vec::new(), Vec::new()),
     };
+
+    // Numeric-sanitizer report (a no-op unless the `checked` feature of
+    // `cuttlefish-tensor` is enabled): localize the first NaN/Inf to the
+    // kernel and layer that produced it.
+    if let Some(p) = cuttlefish_tensor::checked::first_poison() {
+        recorder.record(Event::NumericPoison {
+            op: p.op.to_string(),
+            label: p.label.clone(),
+            index: p.index,
+            value: format!("{}", p.value),
+        });
+    }
 
     // Terminal manifest: identify + summarize the run, then flush so a
     // JSONL sink is complete on disk before the caller inspects it.

@@ -1,4 +1,5 @@
 use super::Layer;
+use crate::shapecheck::{SymShape, VerifyError};
 use crate::{Act, Mode, NnError, NnResult};
 use cuttlefish_tensor::Matrix;
 
@@ -41,6 +42,10 @@ impl Layer for Relu {
             })?;
         let dx = dy.data().hadamard(&mask)?;
         dy.with_data(dx)
+    }
+
+    fn infer_shape(&self, x: &SymShape) -> Result<SymShape, VerifyError> {
+        Ok(*x)
     }
 }
 
@@ -95,6 +100,10 @@ impl Layer for Gelu {
         })?;
         let dx = dy.data().hadamard(&x.map(gelu_grad))?;
         dy.with_data(dx)
+    }
+
+    fn infer_shape(&self, x: &SymShape) -> Result<SymShape, VerifyError> {
+        Ok(*x)
     }
 }
 

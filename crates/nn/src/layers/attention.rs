@@ -1,4 +1,5 @@
 use super::Layer;
+use crate::shapecheck::{reject, SymShape, VerifyError};
 use crate::weight::FactorableWeight;
 use crate::{Act, Mode, NnError, NnResult, Param};
 use cuttlefish_tensor::Matrix;
@@ -226,6 +227,23 @@ impl Layer for MultiHeadAttention {
         f(&format!("{base}.wk"), &mut self.wk);
         f(&format!("{base}.wv"), &mut self.wv);
         f(&format!("{base}.wo"), &mut self.wo);
+    }
+
+    fn infer_shape(&self, x: &SymShape) -> Result<SymShape, VerifyError> {
+        let SymShape::Seq { tokens, dim } = *x else {
+            return Err(reject(&self.name, x, "expected a sequence activation"));
+        };
+        if dim != self.wq.in_dim() {
+            return Err(reject(
+                &self.name,
+                x,
+                format!("expected dim {}, got {dim}", self.wq.in_dim()),
+            ));
+        }
+        Ok(SymShape::Seq {
+            tokens,
+            dim: self.wo.out_dim(),
+        })
     }
 }
 

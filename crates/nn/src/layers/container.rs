@@ -1,4 +1,5 @@
 use super::{BoxedLayer, Layer};
+use crate::shapecheck::{SymShape, VerifyError};
 use crate::weight::FactorableWeight;
 use crate::{Act, Mode, NnResult, Param};
 
@@ -48,6 +49,8 @@ impl Layer for Sequential {
 
     fn forward(&mut self, mut x: Act, mode: Mode) -> NnResult<Act> {
         for layer in &mut self.layers {
+            // Labels poison reports under `--features checked`; no-op otherwise.
+            cuttlefish_tensor::checked::set_label(layer.name());
             x = layer.forward(x, mode)?;
         }
         Ok(x)
@@ -55,6 +58,7 @@ impl Layer for Sequential {
 
     fn backward(&mut self, mut dy: Act) -> NnResult<Act> {
         for layer in self.layers.iter_mut().rev() {
+            cuttlefish_tensor::checked::set_label(layer.name());
             dy = layer.backward(dy)?;
         }
         Ok(dy)
@@ -76,6 +80,14 @@ impl Layer for Sequential {
         for layer in &mut self.layers {
             layer.visit_gammas(f);
         }
+    }
+
+    fn infer_shape(&self, x: &SymShape) -> Result<SymShape, VerifyError> {
+        let mut shape = *x;
+        for layer in &self.layers {
+            shape = layer.infer_shape(&shape)?;
+        }
+        Ok(shape)
     }
 }
 
@@ -154,6 +166,22 @@ impl Layer for Residual {
         if let Some(s) = &mut self.shortcut {
             s.visit_gammas(f);
         }
+    }
+
+    fn infer_shape(&self, x: &SymShape) -> Result<SymShape, VerifyError> {
+        let body = self.body.infer_shape(x)?;
+        let skip = match &self.shortcut {
+            Some(s) => s.infer_shape(x)?,
+            None => *x,
+        };
+        if body != skip {
+            return Err(crate::shapecheck::reject(
+                &self.name,
+                x,
+                format!("body yields {body} but shortcut yields {skip}; the residual sum needs equal shapes"),
+            ));
+        }
+        Ok(body)
     }
 }
 

@@ -1,4 +1,5 @@
 use super::Layer;
+use crate::shapecheck::{reject, SymShape, VerifyError};
 use crate::weight::FactorableWeight;
 use crate::{Act, Mode, NnError, NnResult, Param};
 use cuttlefish_tensor::im2col::{col2im, im2col, ConvGeometry};
@@ -174,6 +175,36 @@ impl Layer for Conv2d {
 
     fn visit_weights(&mut self, f: &mut dyn FnMut(&str, &mut FactorableWeight)) {
         f(&self.name, &mut self.weight);
+    }
+
+    fn infer_shape(&self, x: &SymShape) -> Result<SymShape, VerifyError> {
+        let SymShape::Image {
+            channels,
+            height,
+            width,
+        } = *x
+        else {
+            return Err(reject(&self.name, x, "expected an image activation"));
+        };
+        if channels != self.geom.in_channels {
+            return Err(reject(
+                &self.name,
+                x,
+                format!(
+                    "expected {} input channels, got {channels}",
+                    self.geom.in_channels
+                ),
+            ));
+        }
+        let (oh, ow) = self
+            .geom
+            .output_hw(height, width)
+            .map_err(|e| reject(&self.name, x, e.to_string()))?;
+        Ok(SymShape::Image {
+            channels: self.geom.out_channels,
+            height: oh,
+            width: ow,
+        })
     }
 }
 

@@ -1,4 +1,5 @@
 use super::Layer;
+use crate::shapecheck::{SymShape, VerifyError};
 use crate::{Act, Mode, NnError, NnResult};
 use cuttlefish_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -70,6 +71,10 @@ impl Layer for Dropout {
                 layer: self.name.clone(),
             }),
         }
+    }
+
+    fn infer_shape(&self, x: &SymShape) -> Result<SymShape, VerifyError> {
+        Ok(*x)
     }
 }
 

@@ -1,4 +1,5 @@
 use super::Layer;
+use crate::shapecheck::{reject, SymShape, VerifyError};
 use crate::{Act, Mode, NnError, NnResult, Param};
 use cuttlefish_tensor::Matrix;
 use rand::Rng;
@@ -78,7 +79,9 @@ impl Layer for Embedding {
         let ids = self.cache_ids.take().ok_or_else(|| NnError::MissingCache {
             layer: self.name.clone(),
         })?;
-        let (b, t) = self.cache_bt.take().expect("set together with ids");
+        let (b, t) = self.cache_bt.take().ok_or_else(|| NnError::MissingCache {
+            layer: self.name.clone(),
+        })?;
         let d = self.table.value.cols();
         for (pos, &id) in ids.iter().enumerate() {
             let src = dy.data().row(pos);
@@ -93,6 +96,18 @@ impl Layer for Embedding {
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.table);
+    }
+
+    fn infer_shape(&self, x: &SymShape) -> Result<SymShape, VerifyError> {
+        // Runtime `forward` reads any matrix as `(B, T)` ids, but only flat
+        // activations are meaningful token-id batches — the checker insists.
+        let SymShape::Flat { features } = *x else {
+            return Err(reject(&self.name, x, "expected a flat token-id matrix"));
+        };
+        Ok(SymShape::Seq {
+            tokens: features,
+            dim: self.table.value.cols(),
+        })
     }
 }
 
@@ -179,6 +194,30 @@ impl Layer for PosEmbedding {
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.table);
+    }
+
+    fn infer_shape(&self, x: &SymShape) -> Result<SymShape, VerifyError> {
+        let SymShape::Seq { tokens, dim } = *x else {
+            return Err(reject(&self.name, x, "expected a sequence activation"));
+        };
+        if tokens > self.table.value.rows() {
+            return Err(reject(
+                &self.name,
+                x,
+                format!(
+                    "sequence of {tokens} tokens exceeds max {}",
+                    self.table.value.rows()
+                ),
+            ));
+        }
+        if dim != self.table.value.cols() {
+            return Err(reject(
+                &self.name,
+                x,
+                format!("dim {dim} != embedding dim {}", self.table.value.cols()),
+            ));
+        }
+        Ok(*x)
     }
 }
 

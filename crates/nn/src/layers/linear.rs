@@ -1,4 +1,5 @@
 use super::Layer;
+use crate::shapecheck::{reject, SymShape, VerifyError};
 use crate::weight::FactorableWeight;
 use crate::{Act, Mode, NnError, NnResult, Param};
 use cuttlefish_tensor::Matrix;
@@ -97,6 +98,32 @@ impl Layer for Linear {
 
     fn visit_weights(&mut self, f: &mut dyn FnMut(&str, &mut FactorableWeight)) {
         f(&self.name, &mut self.weight);
+    }
+
+    fn infer_shape(&self, x: &SymShape) -> Result<SymShape, VerifyError> {
+        let (in_dim, out_dim) = (self.weight.in_dim(), self.weight.out_dim());
+        if x.width() != in_dim {
+            return Err(reject(
+                &self.name,
+                x,
+                format!("expected {in_dim} input features, got {}", x.width()),
+            ));
+        }
+        match *x {
+            SymShape::Flat { .. } => Ok(SymShape::Flat { features: out_dim }),
+            SymShape::Seq { tokens, .. } => Ok(SymShape::Seq {
+                tokens,
+                dim: out_dim,
+            }),
+            // Runtime `with_data` would re-tag the output as the same image,
+            // which only type-checks when the width is preserved.
+            SymShape::Image { .. } if out_dim == in_dim => Ok(*x),
+            SymShape::Image { .. } => Err(reject(
+                &self.name,
+                x,
+                format!("output width {out_dim} cannot keep the input's image shape"),
+            )),
+        }
     }
 }
 

@@ -31,6 +31,7 @@ pub use norm::{BatchNorm2d, LayerNorm};
 pub use pool::{GlobalAvgPool, MaxPool2d};
 pub use seq_ops::{ImageToSeq, SeqMeanPool, TakeToken, TokenTranspose};
 
+use crate::shapecheck::{SymShape, VerifyError};
 use crate::weight::FactorableWeight;
 use crate::{Act, Mode, NnResult, Param};
 
@@ -70,6 +71,26 @@ pub trait Layer: std::fmt::Debug {
     /// layer's name — used by structured-pruning baselines (network
     /// slimming / EB-Train) that rank channels by `|γ|`.
     fn visit_gammas(&mut self, _f: &mut dyn FnMut(&str, &mut Param, &mut Param)) {}
+
+    /// Infers the output shape for a symbolic input — the static mirror of
+    /// [`Layer::forward`], executing no kernels. Used by
+    /// [`crate::Network::verify`] to prove a layer graph well-formed ahead
+    /// of time.
+    ///
+    /// The default rejects with [`VerifyError::Unsupported`] so that a new
+    /// layer type fails verification loudly until it declares its shape
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VerifyError`] naming this layer when the input shape is
+    /// not acceptable.
+    fn infer_shape(&self, x: &SymShape) -> Result<SymShape, VerifyError> {
+        let _ = x;
+        Err(VerifyError::Unsupported {
+            layer: self.name().to_string(),
+        })
+    }
 }
 
 /// Boxed layer, the unit of composition in [`Sequential`].

@@ -1,4 +1,5 @@
 use super::Layer;
+use crate::shapecheck::{reject, SymShape, VerifyError};
 use crate::weight::BatchNormCore;
 use crate::{Act, Mode, NnError, NnResult, Param};
 use cuttlefish_tensor::Matrix;
@@ -102,6 +103,20 @@ impl Layer for BatchNorm2d {
 
     fn visit_gammas(&mut self, f: &mut dyn FnMut(&str, &mut Param, &mut Param)) {
         f(&self.name, &mut self.core.gamma, &mut self.core.beta);
+    }
+
+    fn infer_shape(&self, x: &SymShape) -> Result<SymShape, VerifyError> {
+        let SymShape::Image { channels, .. } = *x else {
+            return Err(reject(&self.name, x, "expected an image activation"));
+        };
+        if channels != self.core.channels() {
+            return Err(reject(
+                &self.name,
+                x,
+                format!("expected {} channels, got {channels}", self.core.channels()),
+            ));
+        }
+        Ok(*x)
     }
 }
 
@@ -213,6 +228,18 @@ impl Layer for LayerNorm {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.gamma);
         f(&mut self.beta);
+    }
+
+    fn infer_shape(&self, x: &SymShape) -> Result<SymShape, VerifyError> {
+        let d = self.gamma.value.cols();
+        if x.width() != d {
+            return Err(reject(
+                &self.name,
+                x,
+                format!("expected width {d}, got {}", x.width()),
+            ));
+        }
+        Ok(*x)
     }
 }
 

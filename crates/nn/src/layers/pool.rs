@@ -1,4 +1,5 @@
 use super::Layer;
+use crate::shapecheck::{reject, SymShape, VerifyError};
 use crate::{Act, Mode, NnError, NnResult};
 use cuttlefish_tensor::Matrix;
 
@@ -97,6 +98,32 @@ impl Layer for MaxPool2d {
         }
         Act::image(dx, c, h, w)
     }
+
+    fn infer_shape(&self, x: &SymShape) -> Result<SymShape, VerifyError> {
+        let SymShape::Image {
+            channels,
+            height,
+            width,
+        } = *x
+        else {
+            return Err(reject(&self.name, x, "expected an image activation"));
+        };
+        if height < self.kernel || width < self.kernel {
+            return Err(reject(
+                &self.name,
+                x,
+                format!(
+                    "{height}x{width} input smaller than {0}x{0} kernel",
+                    self.kernel
+                ),
+            ));
+        }
+        Ok(SymShape::Image {
+            channels,
+            height: (height - self.kernel) / self.stride + 1,
+            width: (width - self.kernel) / self.stride + 1,
+        })
+    }
 }
 
 /// Global average pooling: image `(B, C·H·W)` → flat `(B, C)`.
@@ -160,6 +187,13 @@ impl Layer for GlobalAvgPool {
             }
         }
         Act::image(dx, c, h, w)
+    }
+
+    fn infer_shape(&self, x: &SymShape) -> Result<SymShape, VerifyError> {
+        let SymShape::Image { channels, .. } = *x else {
+            return Err(reject(&self.name, x, "expected an image activation"));
+        };
+        Ok(SymShape::Flat { features: channels })
     }
 }
 

@@ -1,4 +1,5 @@
 use super::Layer;
+use crate::shapecheck::{reject, SymShape, VerifyError};
 use crate::{Act, Mode, NnError, NnResult};
 use cuttlefish_tensor::Matrix;
 
@@ -67,6 +68,21 @@ impl Layer for ImageToSeq {
         }
         Act::image(dx, c, h, w)
     }
+
+    fn infer_shape(&self, x: &SymShape) -> Result<SymShape, VerifyError> {
+        let SymShape::Image {
+            channels,
+            height,
+            width,
+        } = *x
+        else {
+            return Err(reject(&self.name, x, "expected an image activation"));
+        };
+        Ok(SymShape::Seq {
+            tokens: height * width,
+            dim: channels,
+        })
+    }
 }
 
 /// Transposes tokens and channels per sequence: `(B, T, D) → (B, D, T)`.
@@ -112,6 +128,16 @@ impl Layer for TokenTranspose {
     fn backward(&mut self, dy: Act) -> NnResult<Act> {
         // The transpose is an involution; its adjoint is itself.
         self.apply(&dy)
+    }
+
+    fn infer_shape(&self, x: &SymShape) -> Result<SymShape, VerifyError> {
+        let SymShape::Seq { tokens, dim } = *x else {
+            return Err(reject(&self.name, x, "expected a sequence activation"));
+        };
+        Ok(SymShape::Seq {
+            tokens: dim,
+            dim: tokens,
+        })
     }
 }
 
@@ -177,6 +203,13 @@ impl Layer for SeqMeanPool {
         }
         Act::seq(dx, b, tokens)
     }
+
+    fn infer_shape(&self, x: &SymShape) -> Result<SymShape, VerifyError> {
+        let SymShape::Seq { dim, .. } = *x else {
+            return Err(reject(&self.name, x, "expected a sequence activation"));
+        };
+        Ok(SymShape::Flat { features: dim })
+    }
 }
 
 /// Selects a single token per sequence (e.g. the `[CLS]` token for BERT
@@ -239,6 +272,20 @@ impl Layer for TakeToken {
                 .copy_from_slice(dy.data().row(bi));
         }
         Act::seq(dx, b, tokens)
+    }
+
+    fn infer_shape(&self, x: &SymShape) -> Result<SymShape, VerifyError> {
+        let SymShape::Seq { tokens, dim } = *x else {
+            return Err(reject(&self.name, x, "expected a sequence activation"));
+        };
+        if self.index >= tokens {
+            return Err(reject(
+                &self.name,
+                x,
+                format!("token index {} out of range 0..{tokens}", self.index),
+            ));
+        }
+        Ok(SymShape::Flat { features: dim })
     }
 }
 

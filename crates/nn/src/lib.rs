@@ -58,12 +58,14 @@ pub mod loss;
 pub mod models;
 pub mod optim;
 pub mod schedule;
+pub mod shapecheck;
 pub mod weight;
 
 pub use act::{Act, ActKind};
 pub use error::NnError;
 pub use network::{Network, TargetInfo, TargetKind};
 pub use param::Param;
+pub use shapecheck::{SymShape, VerifyError, VerifyReport};
 
 /// Result alias for fallible network operations.
 pub type NnResult<T> = std::result::Result<T, NnError>;

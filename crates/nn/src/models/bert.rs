@@ -113,8 +113,13 @@ pub fn build_micro_bert(cfg: &MicroBertConfig, rng: &mut impl Rng) -> Network {
             )));
         }
     }
-    Network::new("micro-bert", root, reg.finish())
-        .expect("builder registers every target it creates")
+    let mut net = Network::new("micro-bert", root, reg.finish())
+        .expect("builder registers every target it creates");
+    // BERT consumes a flat (B, T) matrix of token ids.
+    net.set_input_shape(crate::SymShape::Flat {
+        features: cfg.max_tokens,
+    });
+    net
 }
 
 #[cfg(test)]

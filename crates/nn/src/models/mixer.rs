@@ -136,8 +136,14 @@ pub fn build_micro_mixer(cfg: &MicroMixerConfig, rng: &mut impl Rng) -> Network 
         true,
         rng,
     )));
-    Network::new("micro-resmlp", root, reg.finish())
-        .expect("builder registers every target it creates")
+    let mut net = Network::new("micro-resmlp", root, reg.finish())
+        .expect("builder registers every target it creates");
+    net.set_input_shape(crate::SymShape::Image {
+        channels: cfg.in_channels,
+        height: cfg.image_hw.0,
+        width: cfg.image_hw.1,
+    });
+    net
 }
 
 #[cfg(test)]

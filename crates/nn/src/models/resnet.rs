@@ -273,7 +273,14 @@ fn build(name: &str, cfg: &MicroResNetConfig, rng: &mut impl Rng) -> Network {
     let fc = Linear::new("fc", in_c, cfg.num_classes, true, b.rng);
     root.add(Box::new(fc));
     let targets = b.reg.finish();
-    Network::new(name, root, targets).expect("builder registers every target it creates")
+    let mut net =
+        Network::new(name, root, targets).expect("builder registers every target it creates");
+    net.set_input_shape(crate::SymShape::Image {
+        channels: cfg.in_channels,
+        height: cfg.image_hw.0,
+        width: cfg.image_hw.1,
+    });
+    net
 }
 
 /// Builds a micro ResNet-18 (basic blocks).

@@ -1,5 +1,6 @@
 use crate::layers::{Layer, Sequential};
 use crate::optim::Optimizer;
+use crate::shapecheck::{SymShape, VerifyError, VerifyReport};
 use crate::weight::FactorableWeight;
 use crate::{Act, Mode, NnError, NnResult, Param};
 use cuttlefish_tensor::Matrix;
@@ -89,6 +90,7 @@ pub struct Network {
     name: String,
     root: Sequential,
     targets: Vec<TargetInfo>,
+    input_shape: Option<SymShape>,
 }
 
 impl Network {
@@ -134,6 +136,107 @@ impl Network {
             name: name.into(),
             root,
             targets,
+            input_shape: None,
+        })
+    }
+
+    /// Declares the symbolic per-sample input shape this model expects,
+    /// enabling the graph-propagation half of [`Network::verify`]. The
+    /// model builders set this automatically.
+    pub fn set_input_shape(&mut self, shape: SymShape) {
+        self.input_shape = Some(shape);
+    }
+
+    /// The declared symbolic input shape, if any.
+    pub fn input_shape(&self) -> Option<SymShape> {
+        self.input_shape
+    }
+
+    /// Statically verifies the model without executing any kernel.
+    ///
+    /// Three families of checks run, in order:
+    ///
+    /// 1. **Target registry** — every [`TargetInfo`] resolves to a weight,
+    ///    and its declared [`TargetKind`] dims match the *actually stored*
+    ///    matrix (re-read from live storage, so corruption through
+    ///    `dense_mut` is caught even though the cached dims went stale).
+    /// 2. **Factorization state** — for factored weights, `U` and `Vᵀ`
+    ///    compose (`U.cols == Vᵀ.rows`, outer dims match the target) and
+    ///    the rank satisfies `1 ≤ r ≤ min(m, n)`; the `U·Vᵀ` swap must be
+    ///    shape-preserving.
+    /// 3. **Graph propagation** — if an input shape was declared, the
+    ///    symbolic shape is pushed through every layer's
+    ///    [`Layer::infer_shape`], mirroring `forward` without touching
+    ///    data.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VerifyError`] naming the offending layer; no kernels
+    /// run and the model is left untouched.
+    pub fn verify(&mut self) -> Result<VerifyReport, VerifyError> {
+        /// Live-storage snapshot of one weight: name, stored `(m, n)`, and
+        /// factor shapes when factored.
+        struct Stored {
+            name: String,
+            shape: (usize, usize),
+            factors: Option<((usize, usize), (usize, usize))>,
+        }
+        // Snapshot live storage shapes first; visit_weights needs &mut self.
+        let mut stored: Vec<Stored> = Vec::new();
+        self.visit_weights(&mut |n, w| {
+            stored.push(Stored {
+                name: n.to_string(),
+                shape: w.stored_shape(),
+                factors: w.factor_shapes(),
+            });
+        });
+        let mut factored_targets = 0usize;
+        for t in &self.targets {
+            let declared = t.matrix_shape();
+            let Some(s) = stored.iter().find(|s| s.name == t.name) else {
+                return Err(VerifyError::UnknownTarget {
+                    target: t.name.clone(),
+                });
+            };
+            if s.shape != declared {
+                return Err(VerifyError::TargetShape {
+                    target: t.name.clone(),
+                    declared,
+                    stored: s.shape,
+                });
+            }
+            if let Some((u, vt)) = s.factors {
+                factored_targets += 1;
+                let (m, n) = declared;
+                if u.1 != vt.0 || u.0 != m || vt.1 != n {
+                    return Err(VerifyError::BadFactors {
+                        target: t.name.clone(),
+                        u,
+                        vt,
+                        expected: declared,
+                    });
+                }
+                let r = u.1;
+                let max = m.min(n);
+                if r == 0 || r > max {
+                    return Err(VerifyError::BadRank {
+                        target: t.name.clone(),
+                        rank: r,
+                        max,
+                    });
+                }
+            }
+        }
+        let output = match self.input_shape {
+            Some(input) => Some(self.root.infer_shape(&input)?),
+            None => None,
+        };
+        Ok(VerifyReport {
+            network: self.name.clone(),
+            targets_checked: self.targets.len(),
+            factored_targets,
+            input: self.input_shape,
+            output,
         })
     }
 
@@ -199,8 +302,24 @@ impl Network {
 
     /// Adds Frobenius-decay gradients on every factored weight that has FD
     /// enabled.
-    pub fn apply_frobenius_decay(&mut self) {
-        self.visit_weights(&mut |_, w| w.apply_frobenius_decay());
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first tensor error from any weight (possible only
+    /// with corrupted factor shapes).
+    pub fn apply_frobenius_decay(&mut self) -> NnResult<()> {
+        let mut first_err: Option<NnError> = None;
+        self.visit_weights(&mut |_, w| {
+            if first_err.is_none() {
+                if let Err(e) = w.apply_frobenius_decay() {
+                    first_err = Some(e);
+                }
+            }
+        });
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Steps every parameter with the given optimizer and learning rate.
@@ -223,7 +342,7 @@ impl Network {
         });
         out.ok_or_else(|| NnError::UnknownTarget {
             name: target.to_string(),
-        })
+        })?
     }
 
     /// Whether the named target is currently factored.
@@ -425,6 +544,85 @@ mod tests {
         let (u, vt) = svd.split_sqrt(1).unwrap();
         net.factorize_target("fc1", u, vt, false, None).unwrap();
         assert_eq!(net.param_count(), 4 + 8 + 16);
+    }
+
+    #[test]
+    fn verify_accepts_well_formed_network() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = two_layer_net(&mut rng);
+        net.set_input_shape(SymShape::Flat { features: 4 });
+        let report = net.verify().unwrap();
+        assert_eq!(report.targets_checked, 2);
+        assert_eq!(report.factored_targets, 0);
+        assert_eq!(report.output, Some(SymShape::Flat { features: 2 }));
+    }
+
+    #[test]
+    fn verify_rejects_rank_above_min_dim() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut net = two_layer_net(&mut rng);
+        // fc2 is (8, 2): rank 3 > min(8, 2) = 2 composes fine (8,3)·(3,2)
+        // so set_factored accepts it — only verify() rejects it.
+        net.factorize_target("fc2", Matrix::zeros(8, 3), Matrix::zeros(3, 2), false, None)
+            .unwrap();
+        let err = net.verify().unwrap_err();
+        assert_eq!(err.layer(), "fc2");
+        assert!(matches!(
+            err,
+            VerifyError::BadRank {
+                rank: 3,
+                max: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_weight_corrupted_through_dense_mut() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = two_layer_net(&mut rng);
+        // Swap fc1's storage for a wrong-shape matrix; the cached
+        // in_dim/out_dim go stale, so only stored_shape() sees it.
+        net.visit_weights(&mut |n, w| {
+            if n == "fc1" {
+                if let Some(m) = w.dense_mut() {
+                    *m = Matrix::zeros(3, 8);
+                }
+            }
+        });
+        let err = net.verify().unwrap_err();
+        assert_eq!(err.layer(), "fc1");
+        assert!(matches!(
+            err,
+            VerifyError::TargetShape {
+                declared: (4, 8),
+                stored: (3, 8),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_shape_mismatched_graph() {
+        let mut rng = StdRng::seed_from_u64(8);
+        // fc2 consumes 5 features but fc1 produces 8.
+        let root = Sequential::new("net")
+            .push(Linear::new("fc1", 4, 8, false, &mut rng))
+            .push(Linear::new("fc2", 5, 2, false, &mut rng));
+        let mut net = Network::new("mlp", root, Vec::new()).unwrap();
+        net.set_input_shape(SymShape::Flat { features: 4 });
+        let err = net.verify().unwrap_err();
+        assert_eq!(err.layer(), "fc2");
+        assert!(matches!(err, VerifyError::Activation { .. }));
+    }
+
+    #[test]
+    fn verify_without_input_shape_skips_graph_pass() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut net = two_layer_net(&mut rng);
+        let report = net.verify().unwrap();
+        assert_eq!(report.input, None);
+        assert_eq!(report.output, None);
     }
 
     #[test]

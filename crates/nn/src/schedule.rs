@@ -103,6 +103,58 @@ impl LrSchedule {
         }
     }
 
+    /// Statically validates the schedule's parameters: learning rates must
+    /// be finite and positive and multi-step milestones strictly
+    /// increasing (a repeated or out-of-order milestone silently changes
+    /// the decay count at `lr_at`, so it is refused up front).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        fn positive(name: &str, v: f32) -> Result<(), String> {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{name} must be finite and > 0, got {v}"));
+            }
+            Ok(())
+        }
+        match self {
+            LrSchedule::Constant { lr } => positive("lr", *lr),
+            LrSchedule::WarmupMultiStep {
+                base_lr,
+                peak_lr,
+                milestones,
+                gamma,
+                ..
+            } => {
+                positive("base_lr", *base_lr)?;
+                positive("peak_lr", *peak_lr)?;
+                positive("gamma", *gamma)?;
+                for pair in milestones.windows(2) {
+                    if pair[1] <= pair[0] {
+                        return Err(format!(
+                            "milestones must be strictly increasing, got {} after {}",
+                            pair[1], pair[0]
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            LrSchedule::WarmupCosine {
+                peak_lr, min_lr, ..
+            } => {
+                positive("peak_lr", *peak_lr)?;
+                if !min_lr.is_finite() || *min_lr < 0.0 {
+                    return Err(format!("min_lr must be finite and >= 0, got {min_lr}"));
+                }
+                if min_lr > peak_lr {
+                    return Err(format!("min_lr {min_lr} exceeds peak_lr {peak_lr}"));
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Returns the same schedule with every produced LR multiplied by
     /// `scale` — used for the paper's post-switch base-LR decay on
     /// DeiT/ResMLP (Appendix C.2).
@@ -188,5 +240,52 @@ mod tests {
     fn scaled_schedule_multiplies() {
         let s = LrSchedule::Constant { lr: 0.6 }.with_scale(0.5);
         assert!((s.lr_at(7) - 0.3).abs() < 1e-7);
+    }
+
+    #[test]
+    fn validate_accepts_paper_recipes() {
+        assert!(LrSchedule::goyal(0.8, 300).validate().is_ok());
+        assert!(LrSchedule::WarmupCosine {
+            peak_lr: 3e-3,
+            min_lr: 1e-5,
+            warmup_epochs: 5,
+            total_epochs: 50,
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_non_monotone_milestones() {
+        let s = LrSchedule::WarmupMultiStep {
+            base_lr: 0.1,
+            peak_lr: 0.8,
+            warmup_epochs: 5,
+            milestones: vec![150, 150],
+            gamma: 0.1,
+        };
+        assert!(s.validate().unwrap_err().contains("strictly increasing"));
+        let s = LrSchedule::WarmupMultiStep {
+            base_lr: 0.1,
+            peak_lr: 0.8,
+            warmup_epochs: 5,
+            milestones: vec![225, 150],
+            gamma: 0.1,
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        assert!(LrSchedule::Constant { lr: 0.0 }.validate().is_err());
+        assert!(LrSchedule::Constant { lr: f32::NAN }.validate().is_err());
+        assert!(LrSchedule::WarmupCosine {
+            peak_lr: 1e-4,
+            min_lr: 1e-2,
+            warmup_epochs: 1,
+            total_epochs: 10,
+        }
+        .validate()
+        .is_err());
     }
 }

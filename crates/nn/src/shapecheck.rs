@@ -1,0 +1,302 @@
+//! Static shape verification: symbolic shape inference over the layer graph.
+//!
+//! Cuttlefish discovers its switching hyperparameters instead of asking the
+//! user to guess them — this module extends that philosophy to *structure*.
+//! [`SymShape`] is a batch-symbolic activation shape (the batch dimension is
+//! left abstract); every [`Layer`](crate::layers::Layer) implements
+//! [`infer_shape`](crate::layers::Layer::infer_shape), the static mirror of
+//! its `forward`, so a whole network can be checked for shape legality
+//! without executing a single kernel. [`crate::Network::verify`] combines
+//! this graph propagation with a scan of the factorization-target registry
+//! (declared dims vs the actually stored weight, factor composition,
+//! `1 ≤ r ≤ min(m, n)` rank legality) and returns a typed [`VerifyError`]
+//! naming the offending layer — so a bad model or a stale rank plan is
+//! rejected before the first FLOP instead of panicking 40 epochs in.
+//!
+//! The checker is intentionally *stricter* than runtime in one corner:
+//! layers that read raw matrices without checking the activation kind (e.g.
+//! `Embedding`, which treats any `(B, T)` matrix as token ids) only accept
+//! the canonical kind here. A graph that passes `verify` runs; a graph that
+//! fails may still limp through `forward` by accident, but is almost
+//! certainly a bug.
+
+use std::fmt;
+
+/// A batch-symbolic activation shape: everything [`crate::ActKind`] tracks,
+/// minus the concrete batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymShape {
+    /// `(N, features)` — dense features or token-id matrices.
+    Flat {
+        /// Feature (column) count.
+        features: usize,
+    },
+    /// `(N, channels·height·width)` channel-major image batches.
+    Image {
+        /// Channels.
+        channels: usize,
+        /// Height.
+        height: usize,
+        /// Width.
+        width: usize,
+    },
+    /// `(N·tokens, dim)` token sequences.
+    Seq {
+        /// Tokens per sequence.
+        tokens: usize,
+        /// Feature dimension per token.
+        dim: usize,
+    },
+}
+
+impl SymShape {
+    /// Column count of the backing matrix for this shape.
+    pub fn width(&self) -> usize {
+        match *self {
+            SymShape::Flat { features } => features,
+            SymShape::Image {
+                channels,
+                height,
+                width,
+            } => channels * height * width,
+            SymShape::Seq { dim, .. } => dim,
+        }
+    }
+
+    /// Human-readable kind name (`"flat"`, `"image"`, `"seq"`).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            SymShape::Flat { .. } => "flat",
+            SymShape::Image { .. } => "image",
+            SymShape::Seq { .. } => "seq",
+        }
+    }
+}
+
+impl fmt::Display for SymShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SymShape::Flat { features } => write!(f, "flat(N, {features})"),
+            SymShape::Image {
+                channels,
+                height,
+                width,
+            } => write!(f, "image(N, {channels}x{height}x{width})"),
+            SymShape::Seq { tokens, dim } => write!(f, "seq(N, {tokens} tokens x {dim})"),
+        }
+    }
+}
+
+/// A static verification failure, naming the offending layer or target.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A layer cannot accept the shape the graph propagates into it.
+    Activation {
+        /// Name of the rejecting layer.
+        layer: String,
+        /// The shape that reached the layer.
+        input: SymShape,
+        /// What the layer expected instead.
+        detail: String,
+    },
+    /// A registered target's declared dims disagree with the weight the
+    /// network actually stores.
+    TargetShape {
+        /// Target (weight) name.
+        target: String,
+        /// `(rows, cols)` the `TargetKind` declares.
+        declared: (usize, usize),
+        /// `(rows, cols)` of the stored dense matrix or `U·Vᵀ` product.
+        stored: (usize, usize),
+    },
+    /// A factored target's rank is outside `1 ≤ r ≤ min(m, n)`.
+    BadRank {
+        /// Target (weight) name.
+        target: String,
+        /// The factorization rank in use.
+        rank: usize,
+        /// `min(m, n)` of the target's declared matrix.
+        max: usize,
+    },
+    /// A factored target's `(U, Vᵀ)` pair does not compose to the declared
+    /// `(m, n)` matrix — the swap would not be shape-preserving.
+    BadFactors {
+        /// Target (weight) name.
+        target: String,
+        /// Shape of `U`.
+        u: (usize, usize),
+        /// Shape of `Vᵀ`.
+        vt: (usize, usize),
+        /// The `(rows, cols)` the composition must reproduce.
+        expected: (usize, usize),
+    },
+    /// A registered target has no corresponding weight in the graph.
+    UnknownTarget {
+        /// Target name that failed to resolve.
+        target: String,
+    },
+    /// A layer type does not implement symbolic shape inference.
+    Unsupported {
+        /// Name of the uninferable layer.
+        layer: String,
+    },
+}
+
+impl VerifyError {
+    /// The offending layer or target name — every variant carries one.
+    pub fn layer(&self) -> &str {
+        match self {
+            VerifyError::Activation { layer, .. } | VerifyError::Unsupported { layer } => layer,
+            VerifyError::TargetShape { target, .. }
+            | VerifyError::BadRank { target, .. }
+            | VerifyError::BadFactors { target, .. }
+            | VerifyError::UnknownTarget { target } => target,
+        }
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Activation {
+                layer,
+                input,
+                detail,
+            } => write!(f, "layer `{layer}` rejects input {input}: {detail}"),
+            VerifyError::TargetShape {
+                target,
+                declared,
+                stored,
+            } => write!(
+                f,
+                "target `{target}` declares matrix shape {declared:?} but the stored weight is {stored:?}"
+            ),
+            VerifyError::BadRank { target, rank, max } => write!(
+                f,
+                "target `{target}` is factored at rank {rank}, outside 1..={max}"
+            ),
+            VerifyError::BadFactors {
+                target,
+                u,
+                vt,
+                expected,
+            } => write!(
+                f,
+                "target `{target}` factors U {u:?} x Vt {vt:?} do not compose to {expected:?}"
+            ),
+            VerifyError::UnknownTarget { target } => {
+                write!(f, "target `{target}` resolves to no weight in the graph")
+            }
+            VerifyError::Unsupported { layer } => {
+                write!(f, "layer `{layer}` does not support symbolic shape inference")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Outcome of a successful [`crate::Network::verify`] run — what was proven
+/// without executing a kernel. Its `Display` renders the human-readable
+/// report the CLI's `--verify-only` mode prints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Network name.
+    pub network: String,
+    /// Number of factorization targets checked against stored weights.
+    pub targets_checked: usize,
+    /// How many of those are currently in the factored state.
+    pub factored_targets: usize,
+    /// The declared input shape, when the model registered one.
+    pub input: Option<SymShape>,
+    /// The inferred output shape (present iff `input` is).
+    pub output: Option<SymShape>,
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "network `{}`: statically verified", self.network)?;
+        writeln!(
+            f,
+            "  targets: {} checked against stored weights ({} factored)",
+            self.targets_checked, self.factored_targets
+        )?;
+        match (self.input, self.output) {
+            (Some(i), Some(o)) => {
+                writeln!(
+                    f,
+                    "  graph:   {i} -> {o} (inferred without kernel execution)"
+                )
+            }
+            _ => writeln!(
+                f,
+                "  graph:   no input shape registered; propagation skipped"
+            ),
+        }
+    }
+}
+
+/// Helper for layer `infer_shape` impls: builds the standard "wrong
+/// activation" error.
+pub(crate) fn reject(layer: &str, input: &SymShape, detail: impl Into<String>) -> VerifyError {
+    VerifyError::Activation {
+        layer: layer.to_string(),
+        input: *input,
+        detail: detail.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_matches_backing_matrix() {
+        assert_eq!(SymShape::Flat { features: 7 }.width(), 7);
+        assert_eq!(
+            SymShape::Image {
+                channels: 3,
+                height: 4,
+                width: 5
+            }
+            .width(),
+            60
+        );
+        assert_eq!(SymShape::Seq { tokens: 9, dim: 16 }.width(), 16);
+    }
+
+    #[test]
+    fn error_names_offender() {
+        let e = VerifyError::BadRank {
+            target: "stack1.conv2".into(),
+            rank: 12,
+            max: 8,
+        };
+        assert_eq!(e.layer(), "stack1.conv2");
+        assert!(e.to_string().contains("stack1.conv2"));
+        assert!(e.to_string().contains("rank 12"));
+    }
+
+    #[test]
+    fn report_renders_both_modes() {
+        let mut r = VerifyReport {
+            network: "m".into(),
+            targets_checked: 3,
+            factored_targets: 1,
+            input: Some(SymShape::Image {
+                channels: 3,
+                height: 8,
+                width: 8,
+            }),
+            output: Some(SymShape::Flat { features: 10 }),
+        };
+        let s = r.to_string();
+        assert!(s.contains("statically verified"));
+        assert!(s.contains("3 checked"));
+        assert!(s.contains("flat(N, 10)"));
+        r.input = None;
+        r.output = None;
+        assert!(r.to_string().contains("propagation skipped"));
+    }
+}

@@ -306,13 +306,38 @@ impl FactorableWeight {
 
     /// The effective `(in, out)` matrix: `W` when dense, `U·Vᵀ` when
     /// factored (ignoring any mid-BN).
-    pub fn effective(&self) -> Matrix {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Tensor`] if the stored factors no longer compose
+    /// (possible only if a caller corrupted them through mutable access).
+    pub fn effective(&self) -> NnResult<Matrix> {
         match &self.state {
-            WeightState::Full(p) => p.value.clone(),
-            WeightState::Factored { u, vt, .. } => u
-                .value
-                .matmul(&vt.value)
-                .expect("factor shapes are consistent by construction"),
+            WeightState::Full(p) => Ok(p.value.clone()),
+            WeightState::Factored { u, vt, .. } => Ok(u.value.matmul(&vt.value)?),
+        }
+    }
+
+    /// The `(rows, cols)` of the *actually stored* weight: the dense
+    /// matrix's shape when full, `(U.rows, Vᵀ.cols)` when factored.
+    ///
+    /// Unlike [`FactorableWeight::in_dim`]/[`FactorableWeight::out_dim`]
+    /// (cached at construction), this re-reads the live storage, so
+    /// [`crate::Network::verify`] catches weights corrupted through
+    /// [`FactorableWeight::dense_mut`].
+    pub fn stored_shape(&self) -> (usize, usize) {
+        match &self.state {
+            WeightState::Full(p) => p.value.shape(),
+            WeightState::Factored { u, vt, .. } => (u.value.rows(), vt.value.cols()),
+        }
+    }
+
+    /// Shapes of the `(U, Vᵀ)` factors when factored, `None` when dense.
+    #[allow(clippy::type_complexity)]
+    pub fn factor_shapes(&self) -> Option<((usize, usize), (usize, usize))> {
+        match &self.state {
+            WeightState::Full(_) => None,
+            WeightState::Factored { u, vt, .. } => Some((u.value.shape(), vt.value.shape())),
         }
     }
 
@@ -439,7 +464,12 @@ impl FactorableWeight {
     /// The paper notes the shared `UVᵀ` term need only be computed once
     /// (§4.1); using the Gram form `VᵀV = Vᵀ(Vᵀ)ᵀ` we avoid materializing
     /// the `(in, out)` product entirely — cost is `O(r²(in+out))`.
-    pub fn apply_frobenius_decay(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Tensor`] if the stored factors no longer compose
+    /// (possible only if a caller corrupted them through mutable access).
+    pub fn apply_frobenius_decay(&mut self) -> NnResult<()> {
         if let WeightState::Factored {
             u,
             vt,
@@ -448,13 +478,14 @@ impl FactorableWeight {
         } = &mut self.state
         {
             let lambda = *lambda;
-            let vt_gram = vt.value.matmul_nt(&vt.value).expect("vt gram shapes agree"); // (r, r) = VᵀV
-            let du = u.value.matmul(&vt_gram).expect("u · gram shapes agree");
+            let vt_gram = vt.value.matmul_nt(&vt.value)?; // (r, r) = VᵀV
+            let du = u.value.matmul(&vt_gram)?;
             u.accumulate_grad(lambda, &du);
-            let u_gram = u.value.matmul_tn(&u.value).expect("u gram shapes agree"); // (r, r) = UᵀU
-            let dvt = u_gram.matmul(&vt.value).expect("gram · vt shapes agree");
+            let u_gram = u.value.matmul_tn(&u.value)?; // (r, r) = UᵀU
+            let dvt = u_gram.matmul(&vt.value)?;
             vt.accumulate_grad(lambda, &dvt);
         }
+        Ok(())
     }
 
     /// Visits all parameters in a deterministic order.
@@ -546,7 +577,7 @@ mod tests {
         let y = fw.forward(&x, Mode::Eval).unwrap();
         let expect = x.matmul(&w).unwrap();
         assert!(y.sub(&expect).unwrap().frobenius_norm() < 1e-3);
-        assert!(fw.effective().sub(&w).unwrap().frobenius_norm() < 1e-3);
+        assert!(fw.effective().unwrap().sub(&w).unwrap().frobenius_norm() < 1e-3);
     }
 
     #[test]
@@ -583,7 +614,7 @@ mod tests {
         let mut fw = FactorableWeight::new_full(Matrix::zeros(4, 3));
         fw.set_factored(u0.clone(), vt0.clone(), false, Some(0.3))
             .unwrap();
-        fw.apply_frobenius_decay();
+        fw.apply_frobenius_decay().unwrap();
         let prod = u0.matmul(&vt0).unwrap();
         let expect_du = prod.matmul_nt(&vt0).unwrap().scale(0.3);
         let expect_dvt = u0.transpose().matmul(&prod).unwrap().scale(0.3);

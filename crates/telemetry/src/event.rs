@@ -198,6 +198,20 @@ pub enum Event {
         /// Counter deltas accumulated inside the scope.
         counters: KernelCounters,
     },
+    /// The numeric sanitizer (the `checked` feature of
+    /// `cuttlefish-tensor`) found a non-finite value in a kernel output.
+    NumericPoison {
+        /// Kernel that produced the value (`"matmul"`, `"im2col"`, …).
+        op: String,
+        /// Layer label active when the kernel ran (empty outside a
+        /// labelled scope).
+        label: String,
+        /// Flat index of the first non-finite element.
+        index: usize,
+        /// The offending value rendered as a string (`"NaN"`, `"inf"`,
+        /// `"-inf"` — JSON has no encoding for non-finite numbers).
+        value: String,
+    },
     /// A named span closed (emitted by the [`crate::Span`] guard on drop).
     SpanClosed {
         /// Span name, e.g. `"epoch"`, `"profiling"`, `"switch"`.
@@ -221,6 +235,7 @@ impl Event {
             Event::SwitchTriggered { .. } => "switch_triggered",
             Event::GradClipped { .. } => "grad_clipped",
             Event::KernelCounterSample { .. } => "kernel_counters",
+            Event::NumericPoison { .. } => "numeric_poison",
             Event::SpanClosed { .. } => "span",
             Event::Manifest(_) => "manifest",
         }
@@ -359,6 +374,17 @@ impl Event {
                 ));
                 pairs.push(("counters", counters.to_json()));
             }
+            Event::NumericPoison {
+                op,
+                label,
+                index,
+                value,
+            } => {
+                pairs.push(("op", Json::Str(op.clone())));
+                pairs.push(("label", Json::Str(label.clone())));
+                pairs.push(("index", Json::Num(*index as f64)));
+                pairs.push(("value", Json::Str(value.clone())));
+            }
             Event::SpanClosed { name, wall_ms } => {
                 pairs.push(("name", Json::Str(name.clone())));
                 pairs.push(("wall_ms", Json::num(*wall_ms)));
@@ -483,6 +509,12 @@ impl Event {
                 },
                 counters: KernelCounters::from_json(v.get("counters")?)?,
             }),
+            "numeric_poison" => Some(Event::NumericPoison {
+                op: v.get("op")?.as_str()?.to_string(),
+                label: v.get("label")?.as_str()?.to_string(),
+                index: v.get("index")?.as_usize()?,
+                value: v.get("value")?.as_str()?.to_string(),
+            }),
             "span" => Some(Event::SpanClosed {
                 name: v.get("name")?.as_str()?.to_string(),
                 wall_ms: v.get("wall_ms")?.as_f64()?,
@@ -517,6 +549,20 @@ impl Event {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn numeric_poison_roundtrips() {
+        let e = Event::NumericPoison {
+            op: "matmul".into(),
+            label: "fc1".into(),
+            index: 42,
+            value: "NaN".into(),
+        };
+        let line = e.to_jsonl();
+        let back = Event::parse_jsonl_line(&line).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(e.kind(), "numeric_poison");
+    }
 
     #[test]
     fn kernel_counter_delta_saturates() {

@@ -1,0 +1,180 @@
+//! Numeric sanitizer: first-poison NaN/Inf localization for kernels.
+//!
+//! With the crate's `checked` feature **on**, every kernel that produces a
+//! floating-point buffer ([`Matrix::matmul`](crate::Matrix::matmul) and its
+//! transposed variants, the element-wise ops, `axpy`, and
+//! [`im2col`](crate::im2col::im2col)) scans its output and records the
+//! *first* non-finite value it ever observes, together with the kernel name
+//! and whatever context label the caller last installed via [`set_label`]
+//! (the `nn` layer stack uses the current layer name). Later poisons are
+//! ignored — by the time a NaN has spread through a network every
+//! downstream op is poisoned, and only the first producer is diagnostic.
+//!
+//! With the feature **off** (the default) every function here is an empty
+//! `#[inline]` stub and [`first_poison`] always returns `None`, mirroring
+//! the zero-cost pattern of [`counters`](crate::counters): callers never
+//! need a `cfg` of their own, and the hot loops pay nothing.
+
+/// Description of the first non-finite value observed by a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Poison {
+    /// Kernel that produced the value (`"matmul"`, `"im2col"`, ...).
+    pub op: &'static str,
+    /// Context label installed by the caller when the kernel ran — the
+    /// layer name during `nn` forward/backward passes, empty otherwise.
+    pub label: String,
+    /// Flat index of the first non-finite element in the kernel output.
+    pub index: usize,
+    /// The offending value (`NaN`, `+inf`, or `-inf`).
+    pub value: f32,
+}
+
+impl std::fmt::Display for Poison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.label.is_empty() {
+            write!(
+                f,
+                "non-finite value {} at flat index {} in kernel `{}`",
+                self.value, self.index, self.op
+            )
+        } else {
+            write!(
+                f,
+                "non-finite value {} at flat index {} in kernel `{}` (context: {})",
+                self.value, self.index, self.op, self.label
+            )
+        }
+    }
+}
+
+#[cfg(feature = "checked")]
+mod live {
+    use super::Poison;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Mutex;
+
+    /// Fast-path flag: once a poison is recorded, scans return immediately.
+    pub(super) static POISONED: AtomicBool = AtomicBool::new(false);
+    pub(super) static POISON: Mutex<Option<Poison>> = Mutex::new(None);
+    pub(super) static LABEL: Mutex<String> = Mutex::new(String::new());
+
+    /// Locks a sanitizer mutex, recovering from `PoisonError` (a panicked
+    /// holder cannot corrupt an `Option`/`String` swap).
+    pub(super) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        }
+    }
+}
+
+/// Installs the context label attached to subsequently recorded poisons.
+///
+/// The `nn` layer containers call this with the active layer name before
+/// dispatching each forward/backward step; any other caller may use it to
+/// tag a phase (`"svd"`, `"optimizer"`). No-op when `checked` is off.
+#[inline]
+pub fn set_label(label: &str) {
+    #[cfg(feature = "checked")]
+    {
+        let mut slot = live::lock(&live::LABEL);
+        slot.clear();
+        slot.push_str(label);
+    }
+    #[cfg(not(feature = "checked"))]
+    {
+        let _ = label;
+    }
+}
+
+/// Scans a kernel output buffer for non-finite values, recording the first
+/// one ever seen process-wide. No-op when `checked` is off.
+#[inline]
+pub fn scan(op: &'static str, data: &[f32]) {
+    #[cfg(feature = "checked")]
+    {
+        use std::sync::atomic::Ordering;
+        if live::POISONED.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Some((index, &value)) = data.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            let label = live::lock(&live::LABEL).clone();
+            let mut slot = live::lock(&live::POISON);
+            if slot.is_none() {
+                *slot = Some(Poison {
+                    op,
+                    label,
+                    index,
+                    value,
+                });
+                live::POISONED.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+    #[cfg(not(feature = "checked"))]
+    {
+        let _ = (op, data);
+    }
+}
+
+/// Returns the first poison recorded since the last [`reset`], if any.
+/// Always callable; `None` when the `checked` feature is off.
+pub fn first_poison() -> Option<Poison> {
+    #[cfg(feature = "checked")]
+    {
+        live::lock(&live::POISON).clone()
+    }
+    #[cfg(not(feature = "checked"))]
+    None
+}
+
+/// Clears the recorded poison and context label. Call at the start of a
+/// run so stale state from a previous run cannot be misattributed.
+pub fn reset() {
+    #[cfg(feature = "checked")]
+    {
+        use std::sync::atomic::Ordering;
+        *live::lock(&live::POISON) = None;
+        live::lock(&live::LABEL).clear();
+        live::POISONED.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Whether the sanitizer is compiled in (the `checked` feature is on).
+pub fn is_enabled() -> bool {
+    cfg!(feature = "checked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "checked")]
+    #[test]
+    fn records_first_poison_only() {
+        reset();
+        set_label("layer-a");
+        scan("op-clean", &[1.0, 2.0]);
+        assert!(first_poison().is_none());
+        scan("op-first", &[0.5, f32::NAN, f32::INFINITY]);
+        set_label("layer-b");
+        scan("op-later", &[f32::INFINITY]);
+        let p = first_poison().expect("poison recorded");
+        assert_eq!(p.op, "op-first");
+        assert_eq!(p.label, "layer-a");
+        assert_eq!(p.index, 1);
+        assert!(p.value.is_nan());
+        reset();
+        assert!(first_poison().is_none());
+    }
+
+    #[cfg(not(feature = "checked"))]
+    #[test]
+    fn disabled_sanitizer_reports_nothing() {
+        set_label("layer");
+        scan("op", &[f32::NAN]);
+        assert!(first_poison().is_none());
+        assert!(!is_enabled());
+        reset();
+    }
+}

@@ -104,6 +104,7 @@ pub fn im2col(input: &Tensor4, geom: &ConvGeometry) -> Result<Matrix> {
             }
         }
     }
+    crate::checked::scan("im2col", out.as_slice());
     Ok(out)
 }
 

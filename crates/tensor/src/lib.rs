@@ -42,6 +42,7 @@ mod error;
 mod matrix;
 mod tensor4;
 
+pub mod checked;
 pub mod counters;
 pub mod im2col;
 pub mod init;

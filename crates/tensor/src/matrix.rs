@@ -265,6 +265,7 @@ impl Matrix {
                 }
             }
         }
+        crate::checked::scan("matmul", &out.data);
         Ok(out)
     }
 
@@ -297,6 +298,7 @@ impl Matrix {
                 }
             }
         }
+        crate::checked::scan("matmul_tn", &out.data);
         Ok(out)
     }
 
@@ -323,6 +325,7 @@ impl Matrix {
                 out.data[i * rhs.rows + j] = acc;
             }
         }
+        crate::checked::scan("matmul_nt", &out.data);
         Ok(out)
     }
 
@@ -366,12 +369,13 @@ impl Matrix {
                 rhs: vec![rhs.rows, rhs.cols],
             });
         }
-        let data = self
+        let data: Vec<f32> = self
             .data
             .iter()
             .zip(&rhs.data)
             .map(|(&a, &b)| f(a, b))
             .collect();
+        crate::checked::scan(op, &data);
         Ok(Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -395,6 +399,7 @@ impl Matrix {
         for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
             *a += alpha * b;
         }
+        crate::checked::scan("axpy", &self.data);
         Ok(())
     }
 

@@ -47,6 +47,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
+    // Every run below uses the same architecture; statically verify it
+    // once up front so a mis-declared shape fails before any training.
+    {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut probe = build_micro_vgg19(&MicroVggConfig::cifar(10), &mut rng);
+        print!("{}", probe.verify()?);
+    }
+
     println!(
         "{:<12} {:>10} {:>8} {:>9} {:>6} {:>5}",
         "method", "params", "acc", "sim hrs", "E", "K"

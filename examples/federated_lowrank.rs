@@ -65,6 +65,8 @@ fn main() {
     let mut server =
         build_micro_resnet18(&MicroResNetConfig::cifar(10), &mut StdRng::seed_from_u64(0));
     let server_eval = VisionAdapter::new(task.clone());
+    // Statically verify the server model before any client sees it.
+    print!("{}", server.verify().expect("server model is well-formed"));
     // Store ξ at initialization for the scaled stable rank.
     let mut xi = HashMap::new();
     for t in server.targets().to_vec() {

@@ -40,6 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let mut rng = StdRng::seed_from_u64(0);
 
+    // Statically verify the BERT graph (embedding -> blocks -> head) once
+    // before either fine-tuning run touches a kernel. A scratch RNG keeps
+    // the training initializations below byte-identical.
+    print!(
+        "{}",
+        build_micro_bert(&bert_cfg, &mut StdRng::seed_from_u64(0)).verify()?
+    );
+
     for (label, policy) in [
         ("full fine-tune", SwitchPolicy::FullRankOnly),
         (

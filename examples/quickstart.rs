@@ -24,6 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let task = VisionTask::generate(&VisionSpec::cifar10_like(), 42);
     let mut adapter = VisionAdapter::new(task);
 
+    // Ahead-of-time sanity: the static verifier checks every declared
+    // weight shape and propagates symbolic shapes through the layer graph
+    // without running a single kernel.
+    print!("{}", net.verify()?);
+
     // 2. Ordinary training configuration — nothing about factorization.
     let tcfg = TrainerConfig::cnn_default(/* epochs */ 10, /* seed */ 0);
 

@@ -1,0 +1,82 @@
+//! Numeric-sanitizer integration test: with `--features checked`, an
+//! injected NaN must be localized to the *first* kernel that consumed the
+//! poisoned weight, tagged with the layer that ran it. With the feature
+//! off, the sanitizer must compile to nothing and report nothing.
+
+use cuttlefish_nn::layers::{Linear, Relu, Sequential};
+use cuttlefish_nn::{Act, Mode, Network, TargetInfo, TargetKind};
+use cuttlefish_tensor::{checked, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn linear_target(name: &str, index: usize, in_dim: usize, out_dim: usize) -> TargetInfo {
+    TargetInfo {
+        name: name.into(),
+        stack: index - 1,
+        index,
+        kind: TargetKind::Linear {
+            in_dim,
+            out_dim,
+            positions: 1,
+            transformer: false,
+        },
+    }
+}
+
+/// A two-layer MLP whose `fc1` weight carries a single NaN entry.
+fn poisoned_net() -> Network {
+    let mut rng = StdRng::seed_from_u64(7);
+    let root = Sequential::new("net")
+        .push(Linear::new("fc1", 4, 8, false, &mut rng))
+        .push(Relu::new("relu"))
+        .push(Linear::new("fc2", 8, 2, false, &mut rng));
+    let targets = vec![linear_target("fc1", 1, 4, 8), linear_target("fc2", 2, 8, 2)];
+    let mut net = Network::new("mlp", root, targets).expect("valid registry");
+    net.visit_weights(&mut |name, w| {
+        if name == "fc1" {
+            w.dense_mut().expect("fc1 starts dense").set(0, 0, f32::NAN);
+        }
+    });
+    net
+}
+
+/// A nonzero input batch: the matmul kernel skips zero lhs entries, so a
+/// zeros input would never touch the poisoned weight column.
+fn ones_input() -> Act {
+    Act::flat(Matrix::from_vec(2, 4, vec![1.0; 8]).expect("2x4 from 8 values"))
+}
+
+#[cfg(feature = "checked")]
+#[test]
+fn injected_nan_is_localized_to_first_producing_op() {
+    let mut net = poisoned_net();
+    checked::reset();
+    assert!(checked::is_enabled());
+    let out = net
+        .forward(ones_input(), Mode::Eval)
+        .expect("forward itself succeeds; the sanitizer only observes");
+    // The NaN sits in fc1's weight, so the very first matmul of the
+    // forward pass is the first poisoned producer — everything downstream
+    // (relu, fc2) is contaminated but must NOT be blamed.
+    let p = checked::first_poison().expect("sanitizer saw the NaN");
+    assert_eq!(p.op, "matmul", "first producer is fc1's matmul: {p}");
+    assert_eq!(p.label, "fc1", "poison attributed to the wrong layer: {p}");
+    assert!(p.value.is_nan());
+    // The network output is CLEAN: relu computes `max(x, 0)`, and IEEE
+    // max launders NaN back to 0. That is the whole point of scanning at
+    // every kernel — by the final output the poison is invisible.
+    assert!(out.data().as_slice().iter().all(|v| v.is_finite()));
+    checked::reset();
+    assert!(checked::first_poison().is_none());
+}
+
+#[cfg(not(feature = "checked"))]
+#[test]
+fn sanitizer_is_silent_when_feature_is_off() {
+    let mut net = poisoned_net();
+    checked::reset();
+    assert!(!checked::is_enabled());
+    net.forward(ones_input(), Mode::Eval)
+        .expect("forward succeeds");
+    assert!(checked::first_poison().is_none());
+}

@@ -1,0 +1,153 @@
+//! Property test for the static shape checker: for every model in the
+//! micro zoo, the symbolic shapes inferred by `Network::verify` must agree
+//! with the shapes an actual forward pass produces — before the low-rank
+//! switch and after switching at several rank ratios and `k` cuts. The
+//! checker is only trustworthy if it is an exact mirror of the runtime.
+
+use cuttlefish::factorize::{switch_to_low_rank, RankPlan, SwitchOptions};
+use cuttlefish_nn::models::{
+    build_micro_bert, build_micro_deit, build_micro_mixer, build_micro_resnet18,
+    build_micro_resnet50, build_micro_vgg19, build_micro_wide_resnet50, MicroBertConfig,
+    MicroDeiTConfig, MicroMixerConfig, MicroResNetConfig, MicroVggConfig,
+};
+use cuttlefish_nn::{Act, ActKind, Mode, Network, SymShape};
+use cuttlefish_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BATCH: usize = 2;
+
+/// Builds a batch-`BATCH` activation matching the model's declared
+/// symbolic input shape.
+fn input_for(shape: SymShape) -> Act {
+    match shape {
+        SymShape::Flat { features } => Act::flat(Matrix::zeros(BATCH, features)),
+        SymShape::Image {
+            channels,
+            height,
+            width,
+        } => Act::image(
+            Matrix::zeros(BATCH, channels * height * width),
+            channels,
+            height,
+            width,
+        )
+        .expect("consistent image dims"),
+        SymShape::Seq { tokens, dim } => {
+            Act::seq(Matrix::zeros(BATCH * tokens, dim), BATCH, tokens)
+                .expect("consistent seq dims")
+        }
+    }
+}
+
+/// Whether a runtime activation realizes the symbolic shape at batch
+/// `BATCH`.
+fn act_matches(act: &Act, sym: SymShape) -> bool {
+    match (act.kind(), sym) {
+        (ActKind::Flat, SymShape::Flat { features }) => act.data().shape() == (BATCH, features),
+        (
+            ActKind::Image { c, h, w },
+            SymShape::Image {
+                channels,
+                height,
+                width,
+            },
+        ) => (c, h, w) == (channels, height, width) && act.data().rows() == BATCH,
+        (ActKind::Seq { batch, tokens }, SymShape::Seq { tokens: t, dim }) => {
+            batch == BATCH && tokens == t && act.data().cols() == dim
+        }
+        _ => false,
+    }
+}
+
+/// Asserts inferred output == actual forward output for the network's
+/// current (full or factored) state.
+fn assert_static_matches_runtime(net: &mut Network, context: &str) {
+    let report = net
+        .verify()
+        .unwrap_or_else(|e| panic!("{context}: verify failed: {e}"));
+    let inferred = report
+        .output
+        .unwrap_or_else(|| panic!("{context}: builder did not declare an input shape"));
+    let input = input_for(report.input.expect("input declared"));
+    let out = net
+        .forward(input, Mode::Eval)
+        .unwrap_or_else(|e| panic!("{context}: forward failed: {e}"));
+    assert!(
+        act_matches(&out, inferred),
+        "{context}: static {inferred} vs runtime {:?} of shape {:?}",
+        out.kind(),
+        out.data().shape()
+    );
+}
+
+/// The full property: static == runtime on the dense model and after
+/// switching to low rank at ratios {0.25, 0.5, 1.0} with k ∈ {0, 1}.
+fn check_model(name: &str, build: impl Fn(&mut StdRng) -> Network) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut net = build(&mut rng);
+    assert_static_matches_runtime(&mut net, &format!("{name} (dense)"));
+    for &rho in &[0.25f32, 0.5, 1.0] {
+        for k in [0usize, 1] {
+            let mut net = build(&mut rng);
+            let opts = SwitchOptions {
+                k,
+                plan: RankPlan::FixedRatio { rho },
+                extra_bn: false,
+                frobenius_decay: None,
+            };
+            switch_to_low_rank(&mut net, &opts)
+                .unwrap_or_else(|e| panic!("{name}: switch rho={rho} k={k} failed: {e}"));
+            assert_static_matches_runtime(&mut net, &format!("{name} (factored rho={rho} k={k})"));
+        }
+    }
+}
+
+#[test]
+fn resnet18_static_shapes_match_runtime() {
+    check_model("micro-resnet18", |rng| {
+        build_micro_resnet18(&MicroResNetConfig::tiny(4), rng)
+    });
+}
+
+#[test]
+fn resnet50_static_shapes_match_runtime() {
+    check_model("micro-resnet50", |rng| {
+        build_micro_resnet50(&MicroResNetConfig::tiny(4), rng)
+    });
+}
+
+#[test]
+fn wide_resnet50_static_shapes_match_runtime() {
+    check_model("micro-wideresnet50", |rng| {
+        build_micro_wide_resnet50(&MicroResNetConfig::tiny(4), rng)
+    });
+}
+
+#[test]
+fn vgg19_static_shapes_match_runtime() {
+    check_model("micro-vgg19", |rng| {
+        build_micro_vgg19(&MicroVggConfig::tiny(4), rng)
+    });
+}
+
+#[test]
+fn mixer_static_shapes_match_runtime() {
+    check_model("micro-resmlp", |rng| {
+        build_micro_mixer(&MicroMixerConfig::tiny(4), rng)
+    });
+}
+
+#[test]
+fn deit_static_shapes_match_runtime() {
+    check_model("micro-deit", |rng| {
+        build_micro_deit(&MicroDeiTConfig::tiny(4), rng)
+    });
+}
+
+#[test]
+fn bert_static_shapes_match_runtime() {
+    check_model("micro-bert", |rng| {
+        build_micro_bert(&MicroBertConfig::tiny(4), rng)
+    });
+}
