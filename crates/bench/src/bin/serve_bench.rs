@@ -1,0 +1,397 @@
+//! Serving load benchmark: dense vs. factorized checkpoints of the same
+//! trained micro-ResNet18 under identical batching policy.
+//!
+//! The workload is a widened micro-ResNet18 (base width 32, so stacks run
+//! 32→256 channels): its im2col GEMMs dominate the forward pass — the
+//! patch-gather costs `positions·in_ch·k²` copies while the GEMM costs
+//! `out_ch` times that many MACs — which is exactly the regime where
+//! replacing `W` with `U·Vᵀ` trades an `m·n` multiply for `r·(m+n)`; at
+//! ρ=0.25 that is roughly 3.6× fewer FLOPs on the hot matrices.
+//!
+//! Two load shapes per variant:
+//!
+//! * **closed-loop** — a fixed pool of clients, each submitting its next
+//!   request only after the previous response; measures sustainable
+//!   throughput and client-observed latency.
+//! * **open-loop** — requests arrive on a fixed clock regardless of
+//!   completions, with a per-request deadline; measures server-side
+//!   latency, deadline misses, and admission-control shedding.
+//!
+//! Results print as tables and persist to `bench_results/serve_latency.json`.
+//! The headline number is the closed-loop throughput ratio factorized vs.
+//! dense: the paper's low-rank compute savings, cashed in at inference.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cuttlefish::factorize::{switch_to_low_rank, RankPlan, SwitchOptions};
+use cuttlefish_bench::{print_table, save_json};
+use cuttlefish_nn::checkpoint::Checkpoint;
+use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
+use cuttlefish_nn::Network;
+use cuttlefish_serve::{BatchPolicy, FrozenModel, ServeError, Server, ServerConfig};
+use cuttlefish_telemetry::{Event, MemoryRecorder, Recorder, RunReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+const SEED: u64 = 42;
+
+/// ResNet-18 sized so the factorizable conv GEMMs dominate inference.
+fn serve_resnet_config() -> MicroResNetConfig {
+    MicroResNetConfig {
+        base_width: 32,
+        ..MicroResNetConfig::cifar(10)
+    }
+}
+
+fn build_net() -> Network {
+    build_micro_resnet18(&serve_resnet_config(), &mut StdRng::seed_from_u64(SEED))
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_bound: 32,
+        policy: BatchPolicy {
+            max_batch_size: 8,
+            max_wait: Duration::from_millis(1),
+        },
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn request_row(width: usize, seed: usize) -> Vec<f32> {
+    (0..width)
+        .map(|j| (((seed * 193 + j * 17) % 29) as f32 - 14.0) * 0.05)
+        .collect()
+}
+
+#[derive(Serialize, Clone)]
+struct LoadResult {
+    requests: usize,
+    ok: usize,
+    overloaded: usize,
+    deadline_missed: usize,
+    wall_s: f64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Serialize)]
+struct VariantResult {
+    variant: String,
+    params: usize,
+    closed_loop: LoadResult,
+    open_loop: LoadResult,
+}
+
+#[derive(Serialize)]
+struct ServeLatencyReport {
+    model: String,
+    workers: usize,
+    queue_bound: usize,
+    max_batch_size: usize,
+    max_wait_ms: f64,
+    closed_loop_clients: usize,
+    open_loop_interval_us: u64,
+    variants: Vec<VariantResult>,
+    dense_throughput_rps: f64,
+    best_factorized_throughput_rps: f64,
+    factorized_speedup: f64,
+    verdict: String,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn summarize(
+    requests: usize,
+    ok: usize,
+    overloaded: usize,
+    deadline_missed: usize,
+    wall_s: f64,
+    mut latencies_ms: Vec<f64>,
+) -> LoadResult {
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    LoadResult {
+        requests,
+        ok,
+        overloaded,
+        deadline_missed,
+        wall_s,
+        throughput_rps: ok as f64 / wall_s.max(1e-9),
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p95_ms: percentile(&latencies_ms, 0.95),
+        p99_ms: percentile(&latencies_ms, 0.99),
+    }
+}
+
+/// Closed loop: `clients` threads, each submitting its next request only
+/// after the previous one resolved. Latency is client-observed.
+fn closed_loop(model: &Arc<FrozenModel>, clients: usize, per_client: usize) -> LoadResult {
+    let server = Arc::new(
+        Server::start(
+            Arc::clone(model),
+            server_config(),
+            Arc::new(cuttlefish_telemetry::NullRecorder),
+        )
+        .expect("server start"),
+    );
+    let width = model.input_width();
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let mut ok = 0usize;
+                let mut overloaded = 0usize;
+                let mut latencies = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let row = request_row(width, c * per_client + i);
+                    let t = Instant::now();
+                    match server.submit(row, None) {
+                        Ok(h) => match h.wait() {
+                            Ok(_) => {
+                                ok += 1;
+                                latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                            }
+                            Err(e) => panic!("closed-loop request failed: {e}"),
+                        },
+                        Err(ServeError::Overloaded { .. }) => overloaded += 1,
+                        Err(e) => panic!("closed-loop admission failed: {e}"),
+                    }
+                }
+                (ok, overloaded, latencies)
+            })
+        })
+        .collect();
+    let mut ok = 0;
+    let mut overloaded = 0;
+    let mut latencies = Vec::new();
+    for w in workers {
+        let (o, ov, l) = w.join().expect("client thread");
+        ok += o;
+        overloaded += ov;
+        latencies.extend(l);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    Arc::into_inner(server)
+        .expect("dangling server handle")
+        .shutdown()
+        .expect("clean shutdown");
+    summarize(clients * per_client, ok, overloaded, 0, wall_s, latencies)
+}
+
+/// Open loop: requests arrive on a fixed clock with a deadline; server-side
+/// latency (queue + inference) comes from the telemetry events.
+fn open_loop(
+    model: &Arc<FrozenModel>,
+    requests: usize,
+    interval: Duration,
+    deadline: Duration,
+) -> (LoadResult, Arc<MemoryRecorder>) {
+    let recorder = Arc::new(MemoryRecorder::new());
+    let server = Server::start(
+        Arc::clone(model),
+        server_config(),
+        Arc::clone(&recorder) as Arc<dyn Recorder + Send + Sync>,
+    )
+    .expect("server start");
+    let width = model.input_width();
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(requests);
+    let mut overloaded = 0usize;
+    for i in 0..requests {
+        let next_tick = t0 + interval * i as u32;
+        if let Some(wait) = next_tick.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        match server.submit(request_row(width, i), Some(deadline)) {
+            Ok(h) => handles.push(h),
+            Err(ServeError::Overloaded { .. }) => overloaded += 1,
+            Err(e) => panic!("open-loop admission failed: {e}"),
+        }
+    }
+    let mut ok = 0usize;
+    let mut deadline_missed = 0usize;
+    for h in handles {
+        match h.wait() {
+            Ok(_) => ok += 1,
+            Err(ServeError::DeadlineExceeded { .. }) => deadline_missed += 1,
+            Err(e) => panic!("open-loop request failed: {e}"),
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    server.shutdown().expect("clean shutdown");
+    let latencies: Vec<f64> = recorder
+        .filtered(|e| matches!(e, Event::ServeRequest { outcome, .. } if outcome == "ok"))
+        .iter()
+        .filter_map(|e| match e {
+            Event::ServeRequest {
+                queue_ms, infer_ms, ..
+            } => Some(queue_ms + infer_ms),
+            _ => None,
+        })
+        .collect();
+    (
+        summarize(requests, ok, overloaded, deadline_missed, wall_s, latencies),
+        recorder,
+    )
+}
+
+fn main() {
+    let clients = env_usize("CUTTLEFISH_SERVE_CLIENTS", 4);
+    let per_client = env_usize("CUTTLEFISH_SERVE_PER_CLIENT", 24);
+    let open_requests = env_usize("CUTTLEFISH_SERVE_OPEN_REQUESTS", 64);
+    let interval = Duration::from_micros(env_usize("CUTTLEFISH_SERVE_INTERVAL_US", 3000) as u64);
+    let open_deadline = Duration::from_millis(250);
+    let cfg = server_config();
+
+    // One set of trained dense weights; every variant derives from it so
+    // the comparison isolates the factorization, not the initialization.
+    let dense_ckpt = Checkpoint::capture(&mut build_net());
+    let variants: Vec<(String, Checkpoint)> =
+        std::iter::once(("dense".to_string(), dense_ckpt.clone()))
+            .chain([0.5f32, 0.25f32].into_iter().map(|rho| {
+                let mut net = build_net();
+                dense_ckpt.restore(&mut net).expect("dense restore");
+                switch_to_low_rank(
+                    &mut net,
+                    &SwitchOptions {
+                        k: 0,
+                        plan: RankPlan::FixedRatio { rho },
+                        extra_bn: false,
+                        frobenius_decay: None,
+                    },
+                )
+                .expect("switch to low rank");
+                (format!("rho_{rho:.2}"), Checkpoint::capture(&mut net))
+            }))
+            .collect();
+
+    let mut results = Vec::new();
+    let mut last_recorder = None;
+    for (name, ckpt) in variants {
+        let params: usize = ckpt.params.iter().map(|m| m.len()).sum();
+        let model = FrozenModel::freeze(build_net, ckpt).expect("freeze");
+        eprintln!("[serve_bench] {name}: closed-loop ({clients} clients x {per_client}) ...");
+        let closed = closed_loop(&model, clients, per_client);
+        eprintln!(
+            "[serve_bench] {name}: open-loop ({open_requests} req @ {:?}) ...",
+            interval
+        );
+        let (open, recorder) = open_loop(&model, open_requests, interval, open_deadline);
+        last_recorder = Some(recorder);
+        results.push(VariantResult {
+            variant: name,
+            params,
+            closed_loop: closed,
+            open_loop: open,
+        });
+    }
+
+    let fmt_load = |r: &LoadResult| -> Vec<String> {
+        vec![
+            format!("{}", r.requests),
+            format!("{}", r.ok),
+            format!("{}", r.overloaded),
+            format!("{}", r.deadline_missed),
+            format!("{:.1}", r.throughput_rps),
+            format!("{:.2}", r.p50_ms),
+            format!("{:.2}", r.p95_ms),
+            format!("{:.2}", r.p99_ms),
+        ]
+    };
+    let headers = [
+        "variant", "params", "reqs", "ok", "shed", "late", "rps", "p50ms", "p95ms", "p99ms",
+    ];
+    let closed_rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|v| {
+            let mut row = vec![v.variant.clone(), v.params.to_string()];
+            row.extend(fmt_load(&v.closed_loop));
+            row
+        })
+        .collect();
+    print_table(
+        "serve: closed-loop (client-observed latency)",
+        &headers,
+        &closed_rows,
+    );
+    let open_rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|v| {
+            let mut row = vec![v.variant.clone(), v.params.to_string()];
+            row.extend(fmt_load(&v.open_loop));
+            row
+        })
+        .collect();
+    print_table(
+        "serve: open-loop (server-side latency)",
+        &headers,
+        &open_rows,
+    );
+
+    let dense_rps = results
+        .first()
+        .map(|v| v.closed_loop.throughput_rps)
+        .unwrap_or(0.0);
+    let best_fact = results
+        .iter()
+        .skip(1)
+        .map(|v| v.closed_loop.throughput_rps)
+        .fold(0.0f64, f64::max);
+    let speedup = best_fact / dense_rps.max(1e-9);
+    let verdict = if best_fact > dense_rps {
+        format!("factorized serving sustains {speedup:.2}x dense throughput under the same batch policy")
+    } else {
+        format!("factorized serving did NOT beat dense ({speedup:.2}x) — model too small for the rank savings to dominate")
+    };
+    println!("\n{verdict}");
+
+    // Render the telemetry serving section for the last variant, proving
+    // the events flow end-to-end into the summary report.
+    if let Some(recorder) = last_recorder {
+        let jsonl: String = recorder
+            .events()
+            .iter()
+            .map(|e| e.to_jsonl() + "\n")
+            .collect();
+        let rendered = RunReport::from_jsonl(&jsonl).render();
+        if let Some(section) = rendered.split("== serving ==").nth(1) {
+            println!("\n== serving (telemetry, last variant) =={section}");
+        }
+    }
+
+    save_json(
+        "serve_latency",
+        &ServeLatencyReport {
+            model: "micro-resnet18/cifar-w32".to_string(),
+            workers: cfg.workers,
+            queue_bound: cfg.queue_bound,
+            max_batch_size: cfg.policy.max_batch_size,
+            max_wait_ms: cfg.policy.max_wait.as_secs_f64() * 1e3,
+            closed_loop_clients: clients,
+            open_loop_interval_us: interval.as_micros() as u64,
+            variants: results,
+            dense_throughput_rps: dense_rps,
+            best_factorized_throughput_rps: best_fact,
+            factorized_speedup: speedup,
+            verdict,
+        },
+    );
+}

@@ -53,6 +53,7 @@ mod error;
 
 pub mod adapter;
 pub mod config;
+pub mod export;
 pub mod factorize;
 pub mod profile;
 pub mod rank;
@@ -61,6 +62,7 @@ pub mod trainer;
 
 pub use config::{CuttlefishConfig, OptimizerKind, RankRule, SwitchPolicy, TrainerConfig};
 pub use error::CuttlefishError;
+pub use export::{export_checkpoint, ExportReport};
 pub use trainer::{run_training, run_training_with, RunResult};
 
 /// Result alias for this crate.

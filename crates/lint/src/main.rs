@@ -9,9 +9,9 @@
 //! 2. **No float→`usize` casts in tensor kernels.** A silent `as usize`
 //!    on a float truncates NaN to 0 and hides shape bugs; kernels must
 //!    compute indices in integer arithmetic.
-//! 3. **Doc comments on every `pub fn`** in the core, nn, and tensor
-//!    crates (extends `#![warn(missing_docs)]` to items the compiler
-//!    skips, and makes it an error).
+//! 3. **Doc comments on every `pub fn`** in the core, nn, serve, and
+//!    tensor crates (extends `#![warn(missing_docs)]` to items the
+//!    compiler skips, and makes it an error).
 //! 4. **Every `impl Layer for …` defines both `forward` and `backward`.**
 //!    A layer relying on a default/stub for either would silently break
 //!    training.
@@ -276,9 +276,14 @@ fn main() -> ExitCode {
         if rel.starts_with("crates/tensor/src") {
             check_float_casts(lines, &mut found, file);
         }
-        if ["crates/core/src", "crates/nn/src", "crates/tensor/src"]
-            .iter()
-            .any(|p| rel.starts_with(p))
+        if [
+            "crates/core/src",
+            "crates/nn/src",
+            "crates/serve/src",
+            "crates/tensor/src",
+        ]
+        .iter()
+        .any(|p| rel.starts_with(p))
             && !in_bin
         {
             check_pub_fn_docs(lines, &mut found, file);

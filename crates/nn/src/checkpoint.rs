@@ -58,9 +58,18 @@ impl Checkpoint {
     /// placeholder values) before the parameter values are loaded over
     /// them.
     ///
+    /// Parameter loading is all-or-nothing: every restored value's matrix
+    /// dimensions are validated against the live network *before* any
+    /// parameter is overwritten, so a failed restore never leaves the
+    /// network with a half-loaded mixture of old and checkpoint values
+    /// (the factor layout, recreated first, may still have been applied).
+    ///
     /// # Errors
     ///
-    /// Returns [`NnError::BadConfig`] on any architecture mismatch.
+    /// Returns [`NnError::BadConfig`] on an architecture (name / target
+    /// layout / parameter count) mismatch, or
+    /// [`NnError::CheckpointMismatch`] naming the first parameter whose
+    /// stored shape disagrees with the live network.
     pub fn restore(&self, net: &mut Network) -> NnResult<()> {
         if net.name() != self.network {
             return Err(NnError::BadConfig {
@@ -114,44 +123,41 @@ impl Checkpoint {
                 _ => {}
             }
         }
-        // Load values.
-        let mut i = 0usize;
-        let mut err: Option<NnError> = None;
-        net.visit_params(&mut |p| {
-            if err.is_some() {
-                return;
+        // Validate every parameter's dimensions against the live network
+        // before mutating anything, so a mismatch cannot leave the network
+        // half-restored.
+        let mut live: Vec<(String, (usize, usize))> = Vec::new();
+        net.visit_params_named(&mut |name, p| {
+            live.push((name.to_string(), p.value.shape()));
+        });
+        if live.len() != self.params.len() {
+            return Err(NnError::BadConfig {
+                detail: format!(
+                    "network has {} params, checkpoint {}",
+                    live.len(),
+                    self.params.len()
+                ),
+            });
+        }
+        for ((name, shape), saved) in live.iter().zip(&self.params) {
+            if *shape != saved.shape() {
+                return Err(NnError::CheckpointMismatch {
+                    param: name.clone(),
+                    checkpoint: saved.shape(),
+                    network: *shape,
+                });
             }
-            match self.params.get(i) {
-                Some(v) if v.shape() == p.value.shape() => {
-                    p.value = v.clone();
-                    p.slots.clear();
-                    p.zero_grad();
-                }
-                Some(v) => {
-                    err = Some(NnError::BadConfig {
-                        detail: format!(
-                            "parameter {i} shape {:?} != checkpoint {:?}",
-                            p.value.shape(),
-                            v.shape()
-                        ),
-                    });
-                }
-                None => {
-                    err = Some(NnError::BadConfig {
-                        detail: format!("checkpoint has only {} params", self.params.len()),
-                    });
-                }
+        }
+        // Load values; shapes are proven compatible above.
+        let mut i = 0usize;
+        net.visit_params(&mut |p| {
+            if let Some(v) = self.params.get(i) {
+                p.value = v.clone();
+                p.slots.clear();
+                p.zero_grad();
             }
             i += 1;
         });
-        if let Some(e) = err {
-            return Err(e);
-        }
-        if i != self.params.len() {
-            return Err(NnError::BadConfig {
-                detail: format!("network has {i} params, checkpoint {}", self.params.len()),
-            });
-        }
         Ok(())
     }
 
@@ -174,6 +180,58 @@ impl Checkpoint {
     pub fn from_json(json: &str) -> NnResult<Self> {
         serde_json::from_str(json).map_err(|e| NnError::BadConfig {
             detail: format!("checkpoint deserialization failed: {e}"),
+        })
+    }
+
+    /// Saves this checkpoint to `path` atomically: the JSON is written to
+    /// a temporary file in the same directory and renamed into place, so a
+    /// crash mid-write can never leave a truncated checkpoint under the
+    /// final name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::CheckpointIo`] when the temp file cannot be
+    /// written or the rename fails, and propagates serialization errors.
+    pub fn save_to_path(&self, path: impl AsRef<std::path::Path>) -> NnResult<()> {
+        let path = path.as_ref();
+        let json = self.to_json()?;
+        let io_err = |detail: String| NnError::CheckpointIo {
+            path: path.display().to_string(),
+            detail,
+        };
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| io_err("path has no file name".to_string()))?
+            .to_string_lossy()
+            .into_owned();
+        // Same directory as the destination so the rename stays on one
+        // filesystem (rename across filesystems is not atomic).
+        let tmp = path.with_file_name(format!(".{file_name}.tmp{}", std::process::id()));
+        std::fs::write(&tmp, json.as_bytes()).map_err(|e| io_err(e.to_string()))?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(io_err(e.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Loads a checkpoint previously written by [`Checkpoint::save_to_path`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::CheckpointIo`] when the file cannot be read and
+    /// [`NnError::CheckpointCorrupt`] when it reads but does not parse as
+    /// a checkpoint (partial write through some non-atomic channel,
+    /// truncation, or plain wrong contents).
+    pub fn load_from_path(path: impl AsRef<std::path::Path>) -> NnResult<Self> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path).map_err(|e| NnError::CheckpointIo {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        serde_json::from_str(&json).map_err(|e| NnError::CheckpointCorrupt {
+            path: path.display().to_string(),
+            detail: e.to_string(),
         })
     }
 }
@@ -264,6 +322,76 @@ mod tests {
             &mut StdRng::seed_from_u64(0),
         );
         assert!(ckpt.restore(&mut other).is_err());
+    }
+
+    #[test]
+    fn mismatch_names_first_bad_param_and_loads_nothing() {
+        let mut a = net(1);
+        let ckpt = Checkpoint::capture(&mut a);
+        // Same architecture family, same name, different classifier width:
+        // rebuild with more classes so only the head shapes differ.
+        let mut b =
+            build_micro_resnet18(&MicroResNetConfig::tiny(7), &mut StdRng::seed_from_u64(3));
+        let mut before = Vec::new();
+        b.visit_params(&mut |p| before.push(p.value.clone()));
+        let err = ckpt.restore(&mut b).unwrap_err();
+        match err {
+            NnError::CheckpointMismatch {
+                param,
+                checkpoint,
+                network,
+            } => {
+                assert!(param.contains("fc"), "unexpected param name `{param}`");
+                assert_ne!(checkpoint, network);
+            }
+            other => panic!("expected CheckpointMismatch, got {other:?}"),
+        }
+        // No parameter value was overwritten.
+        let mut i = 0usize;
+        b.visit_params(&mut |p| {
+            assert_eq!(
+                p.value, before[i],
+                "param {i} was mutated by failed restore"
+            );
+            i += 1;
+        });
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic_and_typed() {
+        let mut a = net(11);
+        factorize_one(&mut a, "s2.b0.conv1", 3);
+        let ckpt = Checkpoint::capture(&mut a);
+        let dir = std::env::temp_dir().join(format!("cuttlefish-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt.json");
+        ckpt.save_to_path(&path).unwrap();
+        // No temp-file droppings next to the final artifact.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        let back = Checkpoint::load_from_path(&path).unwrap();
+        assert_eq!(back, ckpt);
+
+        // Missing file → CheckpointIo; corrupt file → CheckpointCorrupt.
+        assert!(matches!(
+            Checkpoint::load_from_path(dir.join("nope.json")),
+            Err(NnError::CheckpointIo { .. })
+        ));
+        let truncated = dir.join("truncated.json");
+        let full = ckpt.to_json().unwrap();
+        std::fs::write(&truncated, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            Checkpoint::load_from_path(&truncated),
+            Err(NnError::CheckpointCorrupt { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -31,6 +31,33 @@ pub enum NnError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// A checkpoint parameter's shape disagrees with the live network.
+    /// Restore validates *every* parameter shape before loading any value,
+    /// so this error means no parameter value was overwritten (the factor
+    /// layout may already have been recreated).
+    CheckpointMismatch {
+        /// Fully-qualified name of the first mismatched parameter.
+        param: String,
+        /// Shape stored in the checkpoint.
+        checkpoint: (usize, usize),
+        /// Shape of the live parameter.
+        network: (usize, usize),
+    },
+    /// A checkpoint file could not be read or written.
+    CheckpointIo {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
+    /// A checkpoint file exists but is partial or corrupt (does not parse
+    /// back into a [`crate::checkpoint::Checkpoint`]).
+    CheckpointCorrupt {
+        /// The path involved.
+        path: String,
+        /// What failed to parse.
+        detail: String,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -49,6 +76,25 @@ impl fmt::Display for NnError {
             NnError::BadConfig { detail } => write!(f, "bad configuration: {detail}"),
             NnError::UnknownTarget { name } => {
                 write!(f, "unknown factorization target `{name}`")
+            }
+            NnError::CheckpointMismatch {
+                param,
+                checkpoint,
+                network,
+            } => {
+                write!(
+                    f,
+                    "checkpoint parameter `{param}` has shape {checkpoint:?} but the live network expects {network:?}"
+                )
+            }
+            NnError::CheckpointIo { path, detail } => {
+                write!(f, "checkpoint I/O failed for `{path}`: {detail}")
+            }
+            NnError::CheckpointCorrupt { path, detail } => {
+                write!(
+                    f,
+                    "checkpoint file `{path}` is partial or corrupt: {detail}"
+                )
             }
         }
     }

@@ -70,6 +70,12 @@ impl Layer for Sequential {
         }
     }
 
+    fn visit_params_named(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params_named(f);
+        }
+    }
+
     fn visit_weights(&mut self, f: &mut dyn FnMut(&str, &mut FactorableWeight)) {
         for layer in &mut self.layers {
             layer.visit_weights(f);
@@ -151,6 +157,13 @@ impl Layer for Residual {
         self.body.visit_params(f);
         if let Some(s) = &mut self.shortcut {
             s.visit_params(f);
+        }
+    }
+
+    fn visit_params_named(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        self.body.visit_params_named(f);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_params_named(f);
         }
     }
 

@@ -2,7 +2,7 @@ use super::Layer;
 use crate::shapecheck::{reject, SymShape, VerifyError};
 use crate::weight::FactorableWeight;
 use crate::{Act, Mode, NnError, NnResult, Param};
-use cuttlefish_tensor::im2col::{col2im, im2col, ConvGeometry};
+use cuttlefish_tensor::im2col::{col2im, im2col_into, ConvGeometry};
 use cuttlefish_tensor::{Matrix, Tensor4};
 use rand::Rng;
 
@@ -20,6 +20,10 @@ pub struct Conv2d {
     geom: ConvGeometry,
     /// Cached (batch, in_h, in_w, out_h, out_w) from the last train forward.
     cache_dims: Option<(usize, usize, usize, usize, usize)>,
+    /// Reusable im2col patch workspace: after the first forward at a given
+    /// input size, unrolling allocates nothing. This is what makes a
+    /// serving replica's steady-state forward passes allocation-light.
+    patches: Matrix,
 }
 
 impl Conv2d {
@@ -46,6 +50,7 @@ impl Conv2d {
             bias: bias.then(|| Param::new_no_decay(Matrix::zeros(1, geom.out_channels))),
             geom,
             cache_dims: None,
+            patches: Matrix::zeros(0, 0),
         }
     }
 
@@ -69,6 +74,7 @@ impl Conv2d {
             bias: None,
             geom,
             cache_dims: None,
+            patches: Matrix::zeros(0, 0),
         }
     }
 
@@ -127,9 +133,15 @@ impl Layer for Conv2d {
         }
         let b = x.data().rows();
         let t4 = Tensor4::from_matrix(x.data(), c, h, w)?;
-        let patches = im2col(&t4, &self.geom)?;
+        // Unroll into the layer-owned workspace; the factorable weight
+        // clones what its backward pass needs, so reuse is safe in both
+        // modes.
+        let mut patches = std::mem::replace(&mut self.patches, Matrix::zeros(0, 0));
+        im2col_into(&t4, &self.geom, &mut patches)?;
         let (oh, ow) = self.geom.output_hw(h, w)?;
-        let mut y_rows = self.weight.forward(&patches, mode)?;
+        let forwarded = self.weight.forward(&patches, mode);
+        self.patches = patches;
+        let mut y_rows = forwarded?;
         if let Some(bparam) = &self.bias {
             for i in 0..y_rows.rows() {
                 let row = y_rows.row_mut(i);

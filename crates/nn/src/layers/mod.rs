@@ -64,6 +64,22 @@ pub trait Layer: std::fmt::Debug {
     /// Visits every trainable parameter in a deterministic order.
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
 
+    /// Visits every trainable parameter with a stable human-readable name,
+    /// in the same order as [`Layer::visit_params`].
+    ///
+    /// The default labels the layer's parameters `<layer>#<i>` by position;
+    /// containers override this to recurse so the owning leaf layer is the
+    /// one named. Checkpoint restore uses these names to report *which*
+    /// parameter mismatched instead of a bare visit index.
+    fn visit_params_named(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        let name = self.name().to_string();
+        let mut i = 0usize;
+        self.visit_params(&mut |p| {
+            f(&format!("{name}#{i}"), p);
+            i += 1;
+        });
+    }
+
     /// Visits every factorable weight, passing its fully-qualified name.
     fn visit_weights(&mut self, _f: &mut dyn FnMut(&str, &mut FactorableWeight)) {}
 

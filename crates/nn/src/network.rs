@@ -278,6 +278,14 @@ impl Network {
         self.root.visit_params(f);
     }
 
+    /// Visits every trainable parameter with a stable human-readable name,
+    /// in [`Network::visit_params`] order. Leaf layers label their
+    /// parameters `<layer>#<i>`; checkpoint restore uses the names to
+    /// report shape mismatches precisely.
+    pub fn visit_params_named(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        self.root.visit_params_named(f);
+    }
+
     /// Visits every factorable weight with its name.
     pub fn visit_weights(&mut self, f: &mut dyn FnMut(&str, &mut FactorableWeight)) {
         self.root.visit_weights(f);

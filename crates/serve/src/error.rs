@@ -1,0 +1,150 @@
+//! Typed errors for the serving subsystem.
+//!
+//! Every failure a client can observe is a [`ServeError`] variant: the
+//! server never panics across the API boundary and never silently drops a
+//! request — an admitted request always resolves to exactly one terminal
+//! outcome (a response or one of these errors).
+
+use cuttlefish_nn::NnError;
+use std::error::Error;
+use std::fmt;
+
+/// Result alias for the serving crate.
+pub type ServeResult<T> = std::result::Result<T, ServeError>;
+
+/// Which deadline check a request failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineStage {
+    /// The deadline had already passed when a worker dequeued the request;
+    /// no inference was attempted on its behalf.
+    Dequeue,
+    /// The request was inferred as part of a batch, but the batch finished
+    /// after the deadline; the computed output is discarded.
+    Completion,
+}
+
+impl fmt::Display for DeadlineStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeadlineStage::Dequeue => write!(f, "dequeue"),
+            DeadlineStage::Completion => write!(f, "completion"),
+        }
+    }
+}
+
+/// Error type for model freezing, replica construction, and serving.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The bounded request queue was full at submit time. Admission
+    /// control rejects instead of blocking, so an overloaded server sheds
+    /// load at the door rather than growing unbounded latency.
+    Overloaded {
+        /// The configured queue bound that was hit.
+        queue_bound: usize,
+    },
+    /// The request's deadline expired before a response could be produced.
+    DeadlineExceeded {
+        /// Which check (dequeue or completion) observed the expiry.
+        stage: DeadlineStage,
+    },
+    /// The server is shutting down (or already shut down) and admits no
+    /// new requests.
+    ShuttingDown,
+    /// The request payload does not match the model's input contract.
+    BadInput {
+        /// What was wrong with the payload.
+        detail: String,
+    },
+    /// An underlying network operation (restore, forward) failed.
+    Model(NnError),
+    /// The model failed static verification at freeze time; the rendered
+    /// `cuttlefish_nn::VerifyError` explains which check rejected it.
+    Verify(String),
+    /// A worker thread panicked; its in-flight requests resolve to
+    /// [`ServeError::Disconnected`] and shutdown reports the worker.
+    WorkerPanicked {
+        /// Index of the worker that panicked.
+        worker: usize,
+    },
+    /// The response channel was dropped without a terminal outcome (a
+    /// worker died mid-request). Clients should treat this as a failed
+    /// request of unknown state.
+    Disconnected,
+    /// Invalid serving configuration (zero workers, zero queue bound, …).
+    BadConfig {
+        /// Explanation of the invalid configuration.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { queue_bound } => {
+                write!(f, "request queue full (bound {queue_bound}); retry later")
+            }
+            ServeError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded at {stage}")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::BadInput { detail } => write!(f, "bad request input: {detail}"),
+            ServeError::Model(e) => write!(f, "model error: {e}"),
+            ServeError::Verify(detail) => {
+                write!(f, "model failed static verification: {detail}")
+            }
+            ServeError::WorkerPanicked { worker } => {
+                write!(f, "serving worker {worker} panicked")
+            }
+            ServeError::Disconnected => {
+                write!(f, "response channel disconnected before a terminal outcome")
+            }
+            ServeError::BadConfig { detail } => write!(f, "bad serving configuration: {detail}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for ServeError {
+    fn from(e: NnError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ServeError::Overloaded { queue_bound: 4 }
+            .to_string()
+            .contains("bound 4"));
+        assert!(ServeError::DeadlineExceeded {
+            stage: DeadlineStage::Dequeue
+        }
+        .to_string()
+        .contains("dequeue"));
+        assert!(ServeError::DeadlineExceeded {
+            stage: DeadlineStage::Completion
+        }
+        .to_string()
+        .contains("completion"));
+        let e: ServeError = NnError::BadConfig { detail: "x".into() }.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_clone() {
+        fn assert_bounds<T: Send + Sync + Clone>() {}
+        assert_bounds::<ServeError>();
+    }
+}

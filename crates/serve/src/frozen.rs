@@ -1,0 +1,309 @@
+//! Frozen models and per-worker serving replicas.
+//!
+//! A [`FrozenModel`] is the immutable, `Arc`-shareable handle the server
+//! hands to its workers. Freezing runs [`Network::verify`] so a model that
+//! would fail to serve is rejected up front, and records the declared
+//! input shape as the request contract.
+//!
+//! `Network` is `Send` but not `Sync` (layers cache forward state behind
+//! `&mut self`), so the frozen handle does not hold a live network.
+//! Instead it holds the checkpoint plus a builder closure, and each worker
+//! materializes its own [`Replica`] — giving every worker private forward
+//! workspaces (e.g. the conv layers' preallocated `im2col` patch buffers)
+//! with zero cross-worker locking on the hot path.
+
+use std::sync::Arc;
+
+use cuttlefish_nn::checkpoint::Checkpoint;
+use cuttlefish_nn::{Act, Mode, Network, SymShape, VerifyReport};
+use cuttlefish_tensor::Matrix;
+
+use crate::error::{ServeError, ServeResult};
+
+/// An immutable, verified, eval-locked model ready to be served.
+///
+/// Construct with [`FrozenModel::freeze`] (from an in-memory checkpoint)
+/// or [`FrozenModel::from_checkpoint_path`] (from an exported artifact),
+/// then share across workers as `Arc<FrozenModel>` and materialize one
+/// [`Replica`] per worker.
+pub struct FrozenModel {
+    checkpoint: Checkpoint,
+    builder: Box<dyn Fn() -> Network + Send + Sync>,
+    input: SymShape,
+    report: VerifyReport,
+}
+
+impl std::fmt::Debug for FrozenModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrozenModel")
+            .field("network", &self.checkpoint.network)
+            .field("input", &self.input)
+            .field("params", &self.checkpoint.params.len())
+            .finish()
+    }
+}
+
+impl FrozenModel {
+    /// Freezes `checkpoint` for serving.
+    ///
+    /// `builder` must construct a fresh network of the architecture the
+    /// checkpoint was captured from (the model-zoo builders qualify);
+    /// initialization values do not matter because the checkpoint is
+    /// restored over them. Freezing builds one probe network, restores the
+    /// checkpoint into it, and statically verifies the result, so every
+    /// later [`FrozenModel::replica`] call repeats a construction that has
+    /// already been proven sound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Model`] when the checkpoint does not restore
+    /// into the built architecture, [`ServeError::Verify`] when the
+    /// restored model fails static verification, and
+    /// [`ServeError::BadConfig`] when the model declares no input shape or
+    /// declares a sequence input (token serving is not supported yet).
+    pub fn freeze(
+        builder: impl Fn() -> Network + Send + Sync + 'static,
+        checkpoint: Checkpoint,
+    ) -> ServeResult<Arc<FrozenModel>> {
+        let mut probe = builder();
+        checkpoint.restore(&mut probe)?;
+        let report = probe
+            .verify()
+            .map_err(|e| ServeError::Verify(e.to_string()))?;
+        let input = probe.input_shape().ok_or_else(|| ServeError::BadConfig {
+            detail: format!(
+                "model `{}` declares no input shape; serving needs the request contract",
+                probe.name()
+            ),
+        })?;
+        if matches!(input, SymShape::Seq { .. }) {
+            return Err(ServeError::BadConfig {
+                detail: format!(
+                    "model `{}` takes sequence input {input}; only flat and image inputs are servable",
+                    probe.name()
+                ),
+            });
+        }
+        Ok(Arc::new(FrozenModel {
+            checkpoint,
+            builder: Box::new(builder),
+            input,
+            report,
+        }))
+    }
+
+    /// Loads an exported checkpoint artifact and freezes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Model`] wrapping the typed I/O / corruption
+    /// error when the file cannot be loaded, plus everything
+    /// [`FrozenModel::freeze`] can return.
+    pub fn from_checkpoint_path(
+        builder: impl Fn() -> Network + Send + Sync + 'static,
+        path: impl AsRef<std::path::Path>,
+    ) -> ServeResult<Arc<FrozenModel>> {
+        let ckpt = Checkpoint::load_from_path(path)?;
+        FrozenModel::freeze(builder, ckpt)
+    }
+
+    /// The verification report produced at freeze time.
+    pub fn report(&self) -> &VerifyReport {
+        &self.report
+    }
+
+    /// The per-sample input shape requests must match.
+    pub fn input_shape(&self) -> SymShape {
+        self.input
+    }
+
+    /// Number of `f32` features one request row must carry
+    /// (`channels·height·width` for image models).
+    pub fn input_width(&self) -> usize {
+        self.input.width()
+    }
+
+    /// Network name the frozen checkpoint was captured from.
+    pub fn network_name(&self) -> &str {
+        &self.checkpoint.network
+    }
+
+    /// The frozen checkpoint itself — e.g. for re-exporting the served
+    /// artifact with [`Checkpoint::save_to_path`].
+    pub fn checkpoint(&self) -> &Checkpoint {
+        &self.checkpoint
+    }
+
+    /// Materializes a private serving replica: a fresh network with the
+    /// frozen weights restored, permanently locked to eval mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Model`] if the restore fails — possible only
+    /// if the builder is non-deterministic in architecture, since freeze
+    /// already proved one restore.
+    pub fn replica(&self) -> ServeResult<Replica> {
+        let mut net = (self.builder)();
+        self.checkpoint.restore(&mut net)?;
+        Ok(Replica {
+            net,
+            input: self.input,
+        })
+    }
+}
+
+/// One worker's private instance of a frozen model.
+///
+/// A replica only exposes eval-mode inference: dropout is the identity and
+/// BatchNorm consumes its frozen running statistics, so outputs are a pure
+/// function of the input rows. Batch forwards reuse the network's
+/// preallocated workspaces (conv `im2col` patch buffers) across calls, so
+/// steady-state serving does not reallocate per request.
+#[derive(Debug)]
+pub struct Replica {
+    net: Network,
+    input: SymShape,
+}
+
+impl Replica {
+    /// Runs eval-mode inference on a batch of request rows, one output row
+    /// per input row, in order.
+    ///
+    /// Per-row kernel accumulation is independent of batch composition,
+    /// so a row's output is bit-for-bit identical whether it is served
+    /// alone or coalesced into a larger batch — the round-trip tests rely
+    /// on this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadInput`] when the batch is empty or any row
+    /// has the wrong width, and [`ServeError::Model`] when the forward
+    /// pass itself fails.
+    pub fn infer_batch(&mut self, rows: &[Vec<f32>]) -> ServeResult<Vec<Vec<f32>>> {
+        if rows.is_empty() {
+            return Err(ServeError::BadInput {
+                detail: "empty batch".to_string(),
+            });
+        }
+        let want = self.input.width();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != want {
+                return Err(ServeError::BadInput {
+                    detail: format!("row {i} has {} features, model expects {want}", row.len()),
+                });
+            }
+        }
+        let m = Matrix::from_rows(rows).map_err(cuttlefish_nn::NnError::from)?;
+        let act = match self.input {
+            SymShape::Flat { .. } => Act::flat(m),
+            SymShape::Image {
+                channels,
+                height,
+                width,
+            } => Act::image(m, channels, height, width)?,
+            SymShape::Seq { .. } => {
+                return Err(ServeError::BadConfig {
+                    detail: "sequence inputs are rejected at freeze time".to_string(),
+                })
+            }
+        };
+        let y = self.net.forward(act, Mode::Eval)?;
+        let out = y.data();
+        Ok((0..out.rows()).map(|i| out.row(i).to_vec()).collect())
+    }
+
+    /// Serves a single row (a batch of one).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Replica::infer_batch`].
+    pub fn infer_one(&mut self, row: &[f32]) -> ServeResult<Vec<f32>> {
+        let rows = [row.to_vec()];
+        let mut out = self.infer_batch(&rows)?;
+        out.pop().ok_or(ServeError::Disconnected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn builder() -> impl Fn() -> Network + Send + Sync + 'static {
+        || build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut StdRng::seed_from_u64(7))
+    }
+
+    fn frozen() -> Arc<FrozenModel> {
+        let mut net = builder()();
+        let ckpt = Checkpoint::capture(&mut net);
+        FrozenModel::freeze(builder(), ckpt).unwrap()
+    }
+
+    #[test]
+    fn freeze_verifies_and_reports_contract() {
+        let model = frozen();
+        assert_eq!(model.network_name(), "micro-resnet18");
+        assert_eq!(model.input_width(), 3 * 8 * 8);
+        assert_eq!(model.report().network, "micro-resnet18");
+        assert!(format!("{model:?}").contains("micro-resnet18"));
+    }
+
+    #[test]
+    fn replica_batched_equals_single() {
+        let model = frozen();
+        let mut replica = model.replica().unwrap();
+        let rows: Vec<Vec<f32>> = (0..3)
+            .map(|i| {
+                (0..model.input_width())
+                    .map(|j| ((i * 31 + j) % 7) as f32 * 0.1)
+                    .collect()
+            })
+            .collect();
+        let batched = replica.infer_batch(&rows).unwrap();
+        for (row, want) in rows.iter().zip(&batched) {
+            let single = replica.infer_one(row).unwrap();
+            assert_eq!(
+                &single, want,
+                "batched vs single outputs must match exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_rows_are_rejected_typed() {
+        let model = frozen();
+        let mut replica = model.replica().unwrap();
+        assert!(matches!(
+            replica.infer_batch(&[]),
+            Err(ServeError::BadInput { .. })
+        ));
+        assert!(matches!(
+            replica.infer_batch(&[vec![0.0; 5]]),
+            Err(ServeError::BadInput { .. })
+        ));
+    }
+
+    #[test]
+    fn freeze_rejects_missing_input_shape() {
+        use cuttlefish_nn::layers::{Linear, Sequential};
+        // A hand-built network that never declared an input contract.
+        let build = || {
+            let root = Sequential::new("root").push(Linear::new(
+                "fc",
+                4,
+                2,
+                true,
+                &mut StdRng::seed_from_u64(0),
+            ));
+            Network::new("bare", root, Vec::new()).unwrap()
+        };
+        let mut probe = build();
+        let ckpt = Checkpoint::capture(&mut probe);
+        assert!(matches!(
+            FrozenModel::freeze(build, ckpt),
+            Err(ServeError::BadConfig { .. })
+        ));
+    }
+}

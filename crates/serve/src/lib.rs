@@ -1,0 +1,67 @@
+//! **cuttlefish-serve**: batched inference serving for trained Cuttlefish
+//! models.
+//!
+//! Cuttlefish's payoff is a factorized model that is cheaper per forward
+//! pass; this crate is where that cheapness is cashed in. It serves a
+//! trained network — dense or factorized, restored from a
+//! [`cuttlefish_nn::checkpoint::Checkpoint`] — under concurrent load:
+//!
+//! * [`FrozenModel`] ([`frozen`]) — an export-time gate. Freezing restores
+//!   the checkpoint into a probe network, runs
+//!   [`cuttlefish_nn::Network::verify`], and locks the model to eval mode
+//!   (dropout identity, BatchNorm running stats). The frozen handle is
+//!   immutable and `Arc`-shareable; each worker materializes a private
+//!   [`Replica`] with its own preallocated forward workspaces, so the hot
+//!   path takes no locks.
+//! * [`Server`] ([`server`]) — a bounded request queue with **admission
+//!   control** (full queue ⇒ immediate [`ServeError::Overloaded`], never
+//!   blocking), a **dynamic batcher** that coalesces single-row requests
+//!   up to [`BatchPolicy::max_batch_size`] waiting at most
+//!   [`BatchPolicy::max_wait`] for stragglers, and a fixed pool of
+//!   `std::thread` workers. Per-request **deadlines** are enforced at
+//!   dequeue and again at completion.
+//! * Telemetry — workers emit `serve_request` / `serve_batch` events
+//!   through any [`cuttlefish_telemetry::Recorder`], and
+//!   `telemetry_summary` renders them as a serving report (outcome
+//!   counts, batch shapes, latency percentiles).
+//!
+//! Batched and single-row inference agree bit-for-bit (per-row kernel
+//! accumulation is independent of batch composition), so the batcher is
+//! invisible in outputs — only in throughput.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cuttlefish_nn::checkpoint::Checkpoint;
+//! use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
+//! use cuttlefish_serve::{FrozenModel, Server, ServerConfig};
+//! use cuttlefish_telemetry::NullRecorder;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let build = || build_micro_resnet18(&MicroResNetConfig::tiny(4),
+//!                                     &mut StdRng::seed_from_u64(0));
+//! let ckpt = Checkpoint::capture(&mut build());
+//! let model = FrozenModel::freeze(build, ckpt).unwrap();
+//! let server = Server::start(Arc::clone(&model), ServerConfig::default(),
+//!                            Arc::new(NullRecorder)).unwrap();
+//! let logits = server
+//!     .submit(vec![0.1; model.input_width()], None)
+//!     .unwrap()
+//!     .wait()
+//!     .unwrap();
+//! assert_eq!(logits.len(), 4);
+//! server.shutdown().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod frozen;
+pub mod server;
+
+pub use error::{DeadlineStage, ServeError, ServeResult};
+pub use frozen::{FrozenModel, Replica};
+pub use server::{BatchPolicy, ResponseHandle, Server, ServerConfig};

@@ -1,0 +1,586 @@
+//! The batching server: bounded queue, dynamic batch coalescing, worker
+//! pool, deadlines, and drain-then-join shutdown.
+//!
+//! Life of a request:
+//!
+//! 1. [`Server::submit`] validates the row width and applies **admission
+//!    control**: if the bounded queue is full the call returns
+//!    [`ServeError::Overloaded`] immediately — it never blocks the client
+//!    and never grows the queue past its bound.
+//! 2. A worker wakes, then **coalesces**: it takes up to
+//!    `max_batch_size` queued requests, waiting at most `max_wait` for
+//!    stragglers once the first request is visible.
+//! 3. Deadlines are enforced twice: a request whose deadline passed while
+//!    queued is rejected **at dequeue** (no wasted inference); a request
+//!    whose batch finished too late is rejected **at completion** (the
+//!    computed output is discarded rather than delivered late).
+//! 4. Every admitted request resolves to exactly one terminal outcome on
+//!    its [`ResponseHandle`] — an output row or a typed error.
+//!
+//! [`Server::shutdown`] drains: workers keep serving until the queue is
+//! empty, then exit; the call joins them all, so when it returns every
+//! admitted request has already received its terminal outcome and no
+//! response can arrive afterwards.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cuttlefish_telemetry::{Event, Recorder};
+
+use crate::error::{DeadlineStage, ServeError, ServeResult};
+use crate::frozen::{FrozenModel, Replica};
+
+/// How workers coalesce queued requests into batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest batch a worker will assemble.
+    pub max_batch_size: usize,
+    /// How long a worker waits for stragglers after it has at least one
+    /// request but fewer than `max_batch_size`.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch_size: 8,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Server sizing and batching configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads; each owns a private model replica.
+    pub workers: usize,
+    /// Bounded queue capacity; submits beyond it are rejected with
+    /// [`ServeError::Overloaded`].
+    pub queue_bound: usize,
+    /// Batch coalescing policy.
+    pub policy: BatchPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_bound: 64,
+            policy: BatchPolicy::default(),
+        }
+    }
+}
+
+/// A client's handle to one in-flight request.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    rx: mpsc::Receiver<ServeResult<Vec<f32>>>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the request's terminal outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serving error the request resolved to, or
+    /// [`ServeError::Disconnected`] if the worker died before resolving it.
+    pub fn wait(self) -> ServeResult<Vec<f32>> {
+        self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
+    }
+
+    /// Non-blocking poll: `None` while the request is still in flight.
+    pub fn poll(&self) -> Option<ServeResult<Vec<f32>>> {
+        match self.rx.try_recv() {
+            Ok(outcome) => Some(outcome),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Disconnected)),
+        }
+    }
+}
+
+struct Pending {
+    row: Vec<f32>,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    tx: mpsc::Sender<ServeResult<Vec<f32>>>,
+}
+
+struct State {
+    queue: VecDeque<Pending>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    not_empty: Condvar,
+}
+
+impl Shared {
+    /// Locks the state, recovering from a poisoned mutex: the queue
+    /// discipline stays consistent under panics because every critical
+    /// section leaves the state valid before any fallible call.
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A running serving instance: a bounded request queue plus a fixed pool
+/// of worker threads, each holding a private [`Replica`] of one frozen
+/// model.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    config: ServerConfig,
+    input_width: usize,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.workers.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+impl Server {
+    /// Starts a server over `model` with `config.workers` threads.
+    ///
+    /// All replicas are materialized up front (on the calling thread) so a
+    /// model that cannot be replicated fails here, not inside a worker.
+    /// The recorder receives one `serve_batch` event per executed batch
+    /// and one `serve_request` event per terminal outcome; pass
+    /// `Arc::new(cuttlefish_telemetry::NullRecorder)` to discard them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for zero workers / queue bound /
+    /// batch size, and propagates replica construction failures.
+    pub fn start(
+        model: Arc<FrozenModel>,
+        config: ServerConfig,
+        recorder: Arc<dyn Recorder + Send + Sync>,
+    ) -> ServeResult<Server> {
+        if config.workers == 0 {
+            return Err(ServeError::BadConfig {
+                detail: "workers must be >= 1".to_string(),
+            });
+        }
+        if config.queue_bound == 0 {
+            return Err(ServeError::BadConfig {
+                detail: "queue_bound must be >= 1".to_string(),
+            });
+        }
+        if config.policy.max_batch_size == 0 {
+            return Err(ServeError::BadConfig {
+                detail: "max_batch_size must be >= 1".to_string(),
+            });
+        }
+        let mut replicas = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            replicas.push(model.replica()?);
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(config.queue_bound),
+                shutting_down: false,
+            }),
+            not_empty: Condvar::new(),
+        });
+        let workers = replicas
+            .into_iter()
+            .enumerate()
+            .map(|(i, replica)| {
+                let shared = Arc::clone(&shared);
+                let recorder = Arc::clone(&recorder);
+                let policy = config.policy;
+                std::thread::Builder::new()
+                    .name(format!("cuttlefish-serve-{i}"))
+                    .spawn(move || worker_loop(i, replica, shared, policy, recorder))
+                    .map_err(|e| ServeError::BadConfig {
+                        detail: format!("failed to spawn worker {i}: {e}"),
+                    })
+            })
+            .collect::<ServeResult<Vec<_>>>()?;
+        Ok(Server {
+            shared,
+            workers,
+            config,
+            input_width: model.input_width(),
+        })
+    }
+
+    /// Submits one request row, optionally with a deadline measured from
+    /// now. Non-blocking: the queue either admits the request or the call
+    /// returns a typed rejection immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadInput`] for a wrong-width row,
+    /// [`ServeError::ShuttingDown`] after shutdown began, and
+    /// [`ServeError::Overloaded`] when the queue is at its bound.
+    pub fn submit(&self, row: Vec<f32>, deadline: Option<Duration>) -> ServeResult<ResponseHandle> {
+        if row.len() != self.input_width {
+            return Err(ServeError::BadInput {
+                detail: format!(
+                    "row has {} features, model expects {}",
+                    row.len(),
+                    self.input_width
+                ),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        {
+            let mut st = self.shared.lock();
+            if st.shutting_down {
+                return Err(ServeError::ShuttingDown);
+            }
+            if st.queue.len() >= self.config.queue_bound {
+                return Err(ServeError::Overloaded {
+                    queue_bound: self.config.queue_bound,
+                });
+            }
+            st.queue.push_back(Pending {
+                row,
+                enqueued: now,
+                deadline: deadline.map(|d| now + d),
+                tx,
+            });
+        }
+        self.shared.not_empty.notify_all();
+        Ok(ResponseHandle { rx })
+    }
+
+    /// Current queue depth (requests admitted but not yet dequeued).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Drains and stops the server: no new submissions are admitted,
+    /// workers serve every already-queued request, and all worker threads
+    /// are joined before this returns — so afterwards every admitted
+    /// request has its terminal outcome and no response arrives later.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WorkerPanicked`] naming the first worker
+    /// whose thread join reported a panic (remaining workers are still
+    /// joined).
+    pub fn shutdown(mut self) -> ServeResult<()> {
+        self.begin_shutdown();
+        let mut panicked = None;
+        for (i, handle) in self.workers.drain(..).enumerate() {
+            if handle.join().is_err() && panicked.is_none() {
+                panicked = Some(i);
+            }
+        }
+        match panicked {
+            Some(worker) => Err(ServeError::WorkerPanicked { worker }),
+            None => Ok(()),
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.lock().shutting_down = true;
+        self.shared.not_empty.notify_all();
+    }
+}
+
+impl Drop for Server {
+    /// Fallback for servers dropped without [`Server::shutdown`]: signals
+    /// shutdown and joins the workers so queued requests still drain and
+    /// no detached thread outlives the server.
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(
+    worker: usize,
+    mut replica: Replica,
+    shared: Arc<Shared>,
+    policy: BatchPolicy,
+    recorder: Arc<dyn Recorder + Send + Sync>,
+) {
+    loop {
+        let (batch, depth_after) = {
+            let mut st = shared.lock();
+            // Wait for work or shutdown.
+            loop {
+                if !st.queue.is_empty() {
+                    break;
+                }
+                if st.shutting_down {
+                    return;
+                }
+                st = shared
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            // Coalesce: wait up to max_wait for stragglers, unless the
+            // batch is already full or the server is draining.
+            if !st.shutting_down && st.queue.len() < policy.max_batch_size {
+                let until = Instant::now() + policy.max_wait;
+                while st.queue.len() < policy.max_batch_size && !st.shutting_down {
+                    let now = Instant::now();
+                    if now >= until {
+                        break;
+                    }
+                    let (guard, timeout) = shared
+                        .not_empty
+                        .wait_timeout(st, until - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    st = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            let take = st.queue.len().min(policy.max_batch_size);
+            let batch: Vec<Pending> = st.queue.drain(..take).collect();
+            (batch, st.queue.len())
+        };
+        if depth_after > 0 {
+            // The coalescing waits above may have absorbed wakeups meant
+            // for idle peers; hand the leftover work to one of them.
+            shared.not_empty.notify_one();
+        }
+        run_batch(worker, &mut replica, batch, depth_after, &*recorder);
+    }
+}
+
+fn run_batch(
+    worker: usize,
+    replica: &mut Replica,
+    batch: Vec<Pending>,
+    queue_depth: usize,
+    recorder: &dyn Recorder,
+) {
+    let dequeued = Instant::now();
+    // Deadline check #1: drop requests that expired while queued before
+    // spending any inference on them.
+    let mut live: Vec<(Pending, f64)> = Vec::with_capacity(batch.len());
+    for p in batch {
+        let queue_ms = ms(dequeued - p.enqueued);
+        if p.deadline.is_some_and(|d| dequeued > d) {
+            recorder.record(Event::ServeRequest {
+                worker,
+                batch_size: 0,
+                queue_ms,
+                infer_ms: 0.0,
+                outcome: "deadline_dequeue".to_string(),
+            });
+            let _ = p.tx.send(Err(ServeError::DeadlineExceeded {
+                stage: DeadlineStage::Dequeue,
+            }));
+        } else {
+            live.push((p, queue_ms));
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let batch_size = live.len();
+    let rows: Vec<Vec<f32>> = live.iter().map(|(p, _)| p.row.clone()).collect();
+    let t0 = Instant::now();
+    let result = replica.infer_batch(&rows);
+    let infer_ms = ms(t0.elapsed());
+    recorder.record(Event::ServeBatch {
+        worker,
+        batch_size,
+        queue_depth,
+        wall_ms: infer_ms,
+    });
+    match result {
+        Ok(outputs) => {
+            let done = Instant::now();
+            for ((p, queue_ms), out) in live.into_iter().zip(outputs) {
+                // Deadline check #2: never deliver a late response.
+                let (outcome, terminal) = if p.deadline.is_some_and(|d| done > d) {
+                    (
+                        "deadline_completion",
+                        Err(ServeError::DeadlineExceeded {
+                            stage: DeadlineStage::Completion,
+                        }),
+                    )
+                } else {
+                    ("ok", Ok(out))
+                };
+                recorder.record(Event::ServeRequest {
+                    worker,
+                    batch_size,
+                    queue_ms,
+                    infer_ms,
+                    outcome: outcome.to_string(),
+                });
+                let _ = p.tx.send(terminal);
+            }
+        }
+        Err(e) => {
+            for (p, queue_ms) in live {
+                recorder.record(Event::ServeRequest {
+                    worker,
+                    batch_size,
+                    queue_ms,
+                    infer_ms,
+                    outcome: "failed".to_string(),
+                });
+                let _ = p.tx.send(Err(e.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuttlefish_nn::checkpoint::Checkpoint;
+    use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
+    use cuttlefish_telemetry::{MemoryRecorder, NullRecorder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frozen() -> Arc<FrozenModel> {
+        let build =
+            || build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut StdRng::seed_from_u64(7));
+        let mut net = build();
+        let ckpt = Checkpoint::capture(&mut net);
+        FrozenModel::freeze(build, ckpt).unwrap()
+    }
+
+    fn row(model: &FrozenModel, seed: usize) -> Vec<f32> {
+        (0..model.input_width())
+            .map(|j| ((seed * 131 + j) % 11) as f32 * 0.05)
+            .collect()
+    }
+
+    #[test]
+    fn serves_and_matches_direct_eval() {
+        let model = frozen();
+        let server = Server::start(
+            Arc::clone(&model),
+            ServerConfig::default(),
+            Arc::new(NullRecorder),
+        )
+        .unwrap();
+        let mut direct = model.replica().unwrap();
+        let r = row(&model, 3);
+        let served = server.submit(r.clone(), None).unwrap().wait().unwrap();
+        assert_eq!(served, direct.infer_one(&r).unwrap());
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_width_and_overload_without_blocking() {
+        let model = frozen();
+        let server = Server::start(
+            Arc::clone(&model),
+            ServerConfig {
+                workers: 1,
+                queue_bound: 1,
+                // A long straggler wait so the queue backs up deterministically.
+                policy: BatchPolicy {
+                    max_batch_size: 1,
+                    max_wait: Duration::from_millis(50),
+                },
+            },
+            Arc::new(NullRecorder),
+        )
+        .unwrap();
+        assert!(matches!(
+            server.submit(vec![0.0; 3], None),
+            Err(ServeError::BadInput { .. })
+        ));
+        // Fill the queue faster than one worker with batch size 1 drains it;
+        // with bound 1 a rejection must appear quickly.
+        let mut handles = Vec::new();
+        let mut overloaded = false;
+        for i in 0..64 {
+            match server.submit(row(&model, i), None) {
+                Ok(h) => handles.push(h),
+                Err(ServeError::Overloaded { queue_bound }) => {
+                    assert_eq!(queue_bound, 1);
+                    overloaded = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected admission error: {other:?}"),
+            }
+        }
+        assert!(overloaded, "queue bound 1 never produced Overloaded");
+        for h in handles {
+            h.wait().unwrap();
+        }
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_at_dequeue() {
+        let model = frozen();
+        let recorder = Arc::new(MemoryRecorder::new());
+        let server = Server::start(
+            Arc::clone(&model),
+            ServerConfig::default(),
+            Arc::clone(&recorder) as Arc<dyn Recorder + Send + Sync>,
+        )
+        .unwrap();
+        // A deadline of zero is already expired when a worker picks it up.
+        let h = server.submit(row(&model, 1), Some(Duration::ZERO)).unwrap();
+        assert_eq!(
+            h.wait(),
+            Err(ServeError::DeadlineExceeded {
+                stage: DeadlineStage::Dequeue
+            })
+        );
+        server.shutdown().unwrap();
+        let kinds: Vec<String> = recorder
+            .events()
+            .iter()
+            .map(|e| e.kind().to_string())
+            .collect();
+        assert!(kinds.contains(&"serve_request".to_string()), "{kinds:?}");
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let model = frozen();
+        let server = Server::start(
+            Arc::clone(&model),
+            ServerConfig {
+                workers: 1,
+                queue_bound: 16,
+                policy: BatchPolicy {
+                    max_batch_size: 4,
+                    max_wait: Duration::from_millis(20),
+                },
+            },
+            Arc::new(NullRecorder),
+        )
+        .unwrap();
+        let handles: Vec<_> = (0..6)
+            .map(|i| server.submit(row(&model, i), None).unwrap())
+            .collect();
+        server.shutdown().unwrap();
+        // Every admitted request already has its terminal outcome.
+        for h in handles {
+            let outcome = h
+                .poll()
+                .expect("no outcome delivered before shutdown returned");
+            assert!(outcome.is_ok());
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Concurrency contract of the serving queue: under multi-threaded load
+//! against a deliberately tiny queue, every submitted request resolves to
+//! exactly one terminal outcome (response, Overloaded, or
+//! DeadlineExceeded), no response arrives after shutdown returns, and all
+//! workers join cleanly.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cuttlefish_nn::checkpoint::Checkpoint;
+use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
+use cuttlefish_serve::{BatchPolicy, FrozenModel, ServeError, Server, ServerConfig};
+use cuttlefish_telemetry::NullRecorder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn frozen() -> Arc<FrozenModel> {
+    let build =
+        || build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut StdRng::seed_from_u64(21));
+    let mut net = build();
+    let ckpt = Checkpoint::capture(&mut net);
+    FrozenModel::freeze(build, ckpt).unwrap()
+}
+
+/// Per-client tally of terminal outcomes.
+#[derive(Default, Debug)]
+struct Tally {
+    submitted: usize,
+    ok: usize,
+    overloaded: usize,
+    deadline: usize,
+}
+
+#[test]
+fn every_request_gets_exactly_one_outcome_under_contention() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 30;
+
+    let model = frozen();
+    let server = Arc::new(
+        Server::start(
+            Arc::clone(&model),
+            ServerConfig {
+                workers: 2,
+                // Small bound so admission control actually fires under load.
+                queue_bound: 3,
+                policy: BatchPolicy {
+                    max_batch_size: 2,
+                    max_wait: Duration::from_millis(1),
+                },
+            },
+            Arc::new(NullRecorder),
+        )
+        .unwrap(),
+    );
+
+    let width = model.input_width();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let mut tally = Tally::default();
+                for i in 0..PER_CLIENT {
+                    let row: Vec<f32> = (0..width)
+                        .map(|j| ((c + i * 7 + j) % 13) as f32 * 0.1)
+                        .collect();
+                    // Every 5th request carries an already-expired deadline
+                    // so both deadline stages stay reachable under load.
+                    let deadline = (i % 5 == 4).then_some(Duration::ZERO);
+                    tally.submitted += 1;
+                    match server.submit(row, deadline) {
+                        Err(ServeError::Overloaded { queue_bound }) => {
+                            assert_eq!(queue_bound, 3);
+                            tally.overloaded += 1;
+                        }
+                        Err(other) => panic!("unexpected admission error: {other:?}"),
+                        Ok(handle) => match handle.wait() {
+                            Ok(out) => {
+                                assert_eq!(out.len(), 4, "wrong logit width");
+                                tally.ok += 1;
+                            }
+                            Err(ServeError::DeadlineExceeded { .. }) => tally.deadline += 1,
+                            Err(other) => panic!("unexpected terminal outcome: {other:?}"),
+                        },
+                    }
+                }
+                tally
+            })
+        })
+        .collect();
+
+    let mut total = Tally::default();
+    for c in clients {
+        let t = c.join().expect("client thread panicked");
+        total.submitted += t.submitted;
+        total.ok += t.ok;
+        total.overloaded += t.overloaded;
+        total.deadline += t.deadline;
+    }
+    // Exactly one outcome per submission, nothing lost, nothing duplicated.
+    assert_eq!(total.submitted, CLIENTS * PER_CLIENT);
+    assert_eq!(
+        total.ok + total.overloaded + total.deadline,
+        total.submitted,
+        "outcome accounting leaked: {total:?}"
+    );
+    assert!(total.ok > 0, "no request ever succeeded: {total:?}");
+
+    // Clean join: shutdown reports no worker panics.
+    let server = Arc::into_inner(server).expect("clients still hold server handles");
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn no_responses_arrive_after_shutdown_returns() {
+    let model = frozen();
+    let server = Server::start(
+        Arc::clone(&model),
+        ServerConfig {
+            workers: 2,
+            queue_bound: 16,
+            policy: BatchPolicy {
+                max_batch_size: 4,
+                max_wait: Duration::from_millis(10),
+            },
+        },
+        Arc::new(NullRecorder),
+    )
+    .unwrap();
+    let width = model.input_width();
+    let handles: Vec<_> = (0..10)
+        .map(|i| {
+            let row: Vec<f32> = (0..width).map(|j| ((i + j) % 9) as f32 * 0.1).collect();
+            server.submit(row, None).unwrap()
+        })
+        .collect();
+    server.shutdown().unwrap();
+    // Shutdown drained the queue and joined the workers, so every handle
+    // must already hold its terminal outcome — a poll() cannot come back
+    // empty, and therefore no response can materialize later.
+    for (i, h) in handles.into_iter().enumerate() {
+        let outcome = h
+            .poll()
+            .unwrap_or_else(|| panic!("request {i} had no outcome after shutdown returned"));
+        assert!(outcome.is_ok(), "request {i} failed: {outcome:?}");
+    }
+}

@@ -212,6 +212,35 @@ pub enum Event {
         /// `"-inf"` — JSON has no encoding for non-finite numbers).
         value: String,
     },
+    /// One serving request reached a terminal state on a worker: answered,
+    /// or rejected by a deadline check at dequeue or completion. Requests
+    /// refused at admission (queue full, shutdown) never reach a worker
+    /// and are not recorded — backpressure is the caller's signal there.
+    ServeRequest {
+        /// Worker thread index that handled the request.
+        worker: usize,
+        /// Size of the coalesced batch the request ran in.
+        batch_size: usize,
+        /// Time spent queued before dequeue, in milliseconds.
+        queue_ms: f64,
+        /// Forward-pass time attributed to the request's batch, in
+        /// milliseconds (0 for requests expired at dequeue).
+        infer_ms: f64,
+        /// `"ok"`, `"deadline_dequeue"`, `"deadline_completion"`, or
+        /// `"failed"`.
+        outcome: String,
+    },
+    /// One coalesced serving batch executed on a worker.
+    ServeBatch {
+        /// Worker thread index.
+        worker: usize,
+        /// Number of requests coalesced into the batch.
+        batch_size: usize,
+        /// Queue depth left behind after the batch was drained.
+        queue_depth: usize,
+        /// Forward-pass wall time in milliseconds.
+        wall_ms: f64,
+    },
     /// A named span closed (emitted by the [`crate::Span`] guard on drop).
     SpanClosed {
         /// Span name, e.g. `"epoch"`, `"profiling"`, `"switch"`.
@@ -236,6 +265,8 @@ impl Event {
             Event::GradClipped { .. } => "grad_clipped",
             Event::KernelCounterSample { .. } => "kernel_counters",
             Event::NumericPoison { .. } => "numeric_poison",
+            Event::ServeRequest { .. } => "serve_request",
+            Event::ServeBatch { .. } => "serve_batch",
             Event::SpanClosed { .. } => "span",
             Event::Manifest(_) => "manifest",
         }
@@ -385,6 +416,30 @@ impl Event {
                 pairs.push(("index", Json::Num(*index as f64)));
                 pairs.push(("value", Json::Str(value.clone())));
             }
+            Event::ServeRequest {
+                worker,
+                batch_size,
+                queue_ms,
+                infer_ms,
+                outcome,
+            } => {
+                pairs.push(("worker", Json::Num(*worker as f64)));
+                pairs.push(("batch_size", Json::Num(*batch_size as f64)));
+                pairs.push(("queue_ms", Json::num(*queue_ms)));
+                pairs.push(("infer_ms", Json::num(*infer_ms)));
+                pairs.push(("outcome", Json::Str(outcome.clone())));
+            }
+            Event::ServeBatch {
+                worker,
+                batch_size,
+                queue_depth,
+                wall_ms,
+            } => {
+                pairs.push(("worker", Json::Num(*worker as f64)));
+                pairs.push(("batch_size", Json::Num(*batch_size as f64)));
+                pairs.push(("queue_depth", Json::Num(*queue_depth as f64)));
+                pairs.push(("wall_ms", Json::num(*wall_ms)));
+            }
             Event::SpanClosed { name, wall_ms } => {
                 pairs.push(("name", Json::Str(name.clone())));
                 pairs.push(("wall_ms", Json::num(*wall_ms)));
@@ -515,6 +570,19 @@ impl Event {
                 index: v.get("index")?.as_usize()?,
                 value: v.get("value")?.as_str()?.to_string(),
             }),
+            "serve_request" => Some(Event::ServeRequest {
+                worker: v.get("worker")?.as_usize()?,
+                batch_size: v.get("batch_size")?.as_usize()?,
+                queue_ms: v.get("queue_ms")?.as_f64()?,
+                infer_ms: v.get("infer_ms")?.as_f64()?,
+                outcome: v.get("outcome")?.as_str()?.to_string(),
+            }),
+            "serve_batch" => Some(Event::ServeBatch {
+                worker: v.get("worker")?.as_usize()?,
+                batch_size: v.get("batch_size")?.as_usize()?,
+                queue_depth: v.get("queue_depth")?.as_usize()?,
+                wall_ms: v.get("wall_ms")?.as_f64()?,
+            }),
             "span" => Some(Event::SpanClosed {
                 name: v.get("name")?.as_str()?.to_string(),
                 wall_ms: v.get("wall_ms")?.as_f64()?,
@@ -562,6 +630,30 @@ mod tests {
         let back = Event::parse_jsonl_line(&line).unwrap();
         assert_eq!(back, e);
         assert_eq!(e.kind(), "numeric_poison");
+    }
+
+    #[test]
+    fn serve_events_roundtrip() {
+        let req = Event::ServeRequest {
+            worker: 1,
+            batch_size: 4,
+            queue_ms: 0.5,
+            infer_ms: 2.25,
+            outcome: "ok".into(),
+        };
+        let back = Event::parse_jsonl_line(&req.to_jsonl()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(req.kind(), "serve_request");
+
+        let batch = Event::ServeBatch {
+            worker: 0,
+            batch_size: 8,
+            queue_depth: 3,
+            wall_ms: 4.0,
+        };
+        let back = Event::parse_jsonl_line(&batch.to_jsonl()).unwrap();
+        assert_eq!(back, batch);
+        assert_eq!(batch.kind(), "serve_batch");
     }
 
     #[test]

@@ -59,6 +59,7 @@ impl RunReport {
         self.render_rank_trajectory(&mut out);
         self.render_switch(&mut out);
         self.render_phases(&mut out);
+        self.render_serving(&mut out);
         self.render_kernels(&mut out);
         if !self.skipped_lines.is_empty() {
             let _ = writeln!(
@@ -280,6 +281,75 @@ impl RunReport {
         }
     }
 
+    fn render_serving(&self, out: &mut String) {
+        // Per-outcome request counts plus end-to-end latency percentiles
+        // (queue + inference), and batch-shape/queue-depth aggregates.
+        let mut outcomes: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut latencies_ms: Vec<f64> = Vec::new();
+        let mut batches = 0u64;
+        let mut batch_items = 0u64;
+        let mut max_batch = 0usize;
+        let mut depth_sum = 0u64;
+        let mut max_depth = 0usize;
+        for e in &self.events {
+            match e {
+                Event::ServeRequest {
+                    queue_ms,
+                    infer_ms,
+                    outcome,
+                    ..
+                } => {
+                    *outcomes.entry(outcome.as_str()).or_insert(0) += 1;
+                    if outcome == "ok" {
+                        latencies_ms.push(queue_ms + infer_ms);
+                    }
+                }
+                Event::ServeBatch {
+                    batch_size,
+                    queue_depth,
+                    ..
+                } => {
+                    batches += 1;
+                    batch_items += *batch_size as u64;
+                    max_batch = max_batch.max(*batch_size);
+                    depth_sum += *queue_depth as u64;
+                    max_depth = max_depth.max(*queue_depth);
+                }
+                _ => {}
+            }
+        }
+        if outcomes.is_empty() && batches == 0 {
+            return;
+        }
+        let _ = writeln!(out, "\n== serving ==");
+        let total: u64 = outcomes.values().sum();
+        let parts: Vec<String> = outcomes.iter().map(|(k, n)| format!("{k}:{n}")).collect();
+        let _ = writeln!(out, "requests {total}  ({})", parts.join("  "));
+        if batches > 0 {
+            let _ = writeln!(
+                out,
+                "batches {batches}  avg_size {:.2}  max_size {max_batch}  avg_queue_depth {:.2}  max_queue_depth {max_depth}",
+                batch_items as f64 / batches as f64,
+                depth_sum as f64 / batches as f64,
+            );
+        }
+        if !latencies_ms.is_empty() {
+            latencies_ms.sort_by(|a, b| a.total_cmp(b));
+            let pct = |p: f64| -> f64 {
+                let idx = ((latencies_ms.len() as f64 - 1.0) * p).round() as usize;
+                latencies_ms[idx.min(latencies_ms.len() - 1)]
+            };
+            let _ = writeln!(
+                out,
+                "latency ms  p50 {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}",
+                pct(0.50),
+                pct(0.95),
+                pct(0.99),
+                latencies_ms[latencies_ms.len() - 1],
+            );
+        }
+    }
+
     fn render_kernels(&self, out: &mut String) {
         let mut total = KernelCounters::default();
         let mut samples = 0usize;
@@ -415,6 +485,47 @@ mod tests {
             "time per phase",
             "kernel counters",
             "E_hat 1",
+        ] {
+            assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn serving_section_aggregates_requests_and_batches() {
+        let events = vec![
+            Event::ServeRequest {
+                worker: 0,
+                batch_size: 2,
+                queue_ms: 1.0,
+                infer_ms: 2.0,
+                outcome: "ok".to_string(),
+            },
+            Event::ServeRequest {
+                worker: 1,
+                batch_size: 1,
+                queue_ms: 9.0,
+                infer_ms: 0.0,
+                outcome: "deadline_dequeue".to_string(),
+            },
+            Event::ServeBatch {
+                worker: 0,
+                batch_size: 2,
+                queue_depth: 3,
+                wall_ms: 2.5,
+            },
+        ];
+        let jsonl: String = events.iter().map(|e| e.to_jsonl() + "\n").collect();
+        let report = RunReport::from_jsonl(&jsonl);
+        assert!(report.skipped_lines.is_empty());
+        let text = report.render();
+        for needle in [
+            "== serving ==",
+            "requests 2",
+            "deadline_dequeue:1",
+            "ok:1",
+            "batches 1",
+            "max_queue_depth 3",
+            "p50 3.000",
         ] {
             assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
         }

@@ -71,6 +71,23 @@ impl ConvGeometry {
 /// the input, or [`TensorError::ShapeMismatch`] when the channel counts
 /// disagree.
 pub fn im2col(input: &Tensor4, geom: &ConvGeometry) -> Result<Matrix> {
+    let mut out = Matrix::zeros(0, 0);
+    im2col_into(input, geom, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`im2col`], but unrolls into a caller-owned workspace matrix,
+/// reusing its allocation across calls.
+///
+/// The workspace is reshaped (and zeroed) to `(B·H_out·W_out, C·k²)`; after
+/// the first call at a given input size, subsequent calls allocate nothing.
+/// This is the hot-loop variant used by eval-mode convolution forwards,
+/// where a serving replica runs the same geometry for every batch.
+///
+/// # Errors
+///
+/// Same as [`im2col`].
+pub fn im2col_into(input: &Tensor4, geom: &ConvGeometry, out: &mut Matrix) -> Result<()> {
     let (b, c, h, w) = input.shape();
     if c != geom.in_channels {
         return Err(TensorError::ShapeMismatch {
@@ -83,7 +100,7 @@ pub fn im2col(input: &Tensor4, geom: &ConvGeometry) -> Result<Matrix> {
     let k = geom.kernel;
     let cols = c * k * k;
     crate::counters::record_im2col(b * oh * ow * cols);
-    let mut out = Matrix::zeros(b * oh * ow, cols);
+    out.reset_to(b * oh * ow, cols);
     for bi in 0..b {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -105,7 +122,7 @@ pub fn im2col(input: &Tensor4, geom: &ConvGeometry) -> Result<Matrix> {
         }
     }
     crate::checked::scan("im2col", out.as_slice());
-    Ok(out)
+    Ok(())
 }
 
 /// Scatters a patch-gradient matrix back to an input-shaped tensor — the

@@ -420,6 +420,21 @@ impl Matrix {
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
 
+    /// Reshapes this matrix to `rows × cols` with every element zeroed,
+    /// reusing the existing allocation whenever it is large enough.
+    ///
+    /// This is the workspace primitive behind kernel scratch buffers
+    /// (e.g. the im2col patch matrix a serving replica reuses across
+    /// forward passes): after the first call at a given size, subsequent
+    /// calls perform no allocation.
+    pub fn reset_to(&mut self, rows: usize, cols: usize) {
+        let len = rows * cols;
+        self.data.clear();
+        self.data.resize(len, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Returns a new matrix with `f` applied to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
         Matrix {

@@ -73,5 +73,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None => println!("  {:<16} kept dense ({:?})", d.name, d.skip.unwrap()),
         }
     }
+
+    // 4. Export for serving: re-verify the (now factorized) model and
+    //    write the checkpoint atomically — no partial artifact on crash.
+    let ckpt_path = std::env::temp_dir().join("cuttlefish-quickstart.ckpt.json");
+    let export = cuttlefish::export_checkpoint(&mut net, &ckpt_path)?;
+    println!(
+        "\nexported {} param matrices ({} factored targets) to {}",
+        export.params, export.factored_targets, export.path
+    );
+
+    // 5. Serve the artifact: freeze (restore + verify + eval lock), batch
+    //    a few requests through the server, shut down cleanly.
+    let model = cuttlefish_serve::FrozenModel::from_checkpoint_path(
+        || build_micro_resnet18(&MicroResNetConfig::cifar(10), &mut StdRng::seed_from_u64(0)),
+        &ckpt_path,
+    )?;
+    let server = cuttlefish_serve::Server::start(
+        std::sync::Arc::clone(&model),
+        cuttlefish_serve::ServerConfig::default(),
+        std::sync::Arc::new(cuttlefish_telemetry::NullRecorder),
+    )?;
+    let logits = server
+        .submit(vec![0.1; model.input_width()], None)?
+        .wait()?;
+    println!("served a request: {} logits back", logits.len());
+    server.shutdown()?;
+    let _ = std::fs::remove_file(&ckpt_path);
     Ok(())
 }
