@@ -1,0 +1,155 @@
+//! Data-parallel communication benchmark: step time and bytes/step for
+//! dense vs. factorized gradient exchange at 1/2/4 workers.
+//!
+//! Each cell runs a short distributed job on the synthetic vision task.
+//! The dense rows keep the model full-rank for the whole run; the
+//! factorized rows switch after one warm-up epoch via the manual
+//! (Pufferfish-style) schedule, so their post-switch bytes/step shows
+//! the ρ communication drop the Cuttlefish/Pufferfish lineage predicts.
+//!
+//! Run with: `cargo run --release -p cuttlefish-bench --bin dist_bench`
+//! Results land in `bench_results/dist_comm.json`.
+
+use cuttlefish::SwitchPolicy;
+use cuttlefish_bench::{print_table, save_json};
+use cuttlefish_data::{VisionSpec, VisionTask};
+use cuttlefish_dist::{run_distributed, DistConfig, ExchangeKind, NetBuilder};
+use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+const EPOCHS: usize = 3;
+const STEPS_PER_EPOCH: usize = 4;
+const RUN_SEED: u64 = 42;
+
+#[derive(Serialize)]
+struct DistCell {
+    workers: usize,
+    exchange: String,
+    factorized: bool,
+    steps: usize,
+    wall_ms_per_step: f64,
+    full_bytes_per_step: f64,
+    low_bytes_per_step: f64,
+    post_switch_ratio: Option<f64>,
+    params_full: usize,
+    params_final: usize,
+    final_loss: f32,
+}
+
+#[derive(Serialize)]
+struct DistCommReport {
+    model: String,
+    epochs: usize,
+    steps_per_epoch: usize,
+    batch_size: usize,
+    cells: Vec<DistCell>,
+}
+
+fn builder() -> NetBuilder {
+    Arc::new(|| {
+        let mut rng = StdRng::seed_from_u64(7);
+        build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut rng)
+    })
+}
+
+fn run_cell(task: &VisionTask, workers: usize, factorized: bool) -> DistCell {
+    let mut cfg = DistConfig::quick(workers, EPOCHS, STEPS_PER_EPOCH, RUN_SEED);
+    if factorized {
+        cfg.policy = SwitchPolicy::Manual {
+            full_rank_epochs: 1,
+            k: 1,
+            rank_ratio: 0.25,
+            extra_bn: false,
+            frobenius_decay: None,
+        };
+        cfg.exchange = ExchangeKind::Factor;
+    } else {
+        cfg.policy = SwitchPolicy::FullRankOnly;
+        cfg.exchange = ExchangeKind::Dense;
+    }
+    let t0 = Instant::now();
+    let res = run_distributed(&cfg, task, builder()).expect("benchmark run");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let steps = cfg.total_steps();
+    DistCell {
+        workers,
+        exchange: if factorized { "factor" } else { "dense" }.to_string(),
+        factorized,
+        steps,
+        wall_ms_per_step: wall_ms / steps as f64,
+        full_bytes_per_step: res.ledger.full_bytes_per_step(),
+        low_bytes_per_step: res.ledger.low_bytes_per_step(),
+        post_switch_ratio: res.ledger.post_switch_ratio(),
+        params_full: res.params_full,
+        params_final: res.params_final,
+        final_loss: *res.loss_curve.last().unwrap_or(&f32::NAN),
+    }
+}
+
+fn main() {
+    let task = VisionTask::generate(&VisionSpec::tiny(), 3);
+    let mut cells = Vec::new();
+    for &workers in &[1usize, 2, 4] {
+        for &factorized in &[false, true] {
+            cells.push(run_cell(&task, workers, factorized));
+        }
+    }
+
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.workers.to_string(),
+                c.exchange.clone(),
+                format!("{:.2}", c.wall_ms_per_step),
+                format!("{:.0}", c.full_bytes_per_step),
+                if c.low_bytes_per_step > 0.0 {
+                    format!("{:.0}", c.low_bytes_per_step)
+                } else {
+                    "-".to_string()
+                },
+                c.post_switch_ratio
+                    .map(|r| format!("{r:.3}"))
+                    .unwrap_or_else(|| "-".to_string()),
+            ]
+        })
+        .collect();
+    print_table(
+        "distributed gradient exchange",
+        &[
+            "workers",
+            "exchange",
+            "ms/step",
+            "full B/step",
+            "low B/step",
+            "ratio",
+        ],
+        &rows,
+    );
+    if let Some(factor) = cells.iter().find(|c| c.factorized && c.workers == 4) {
+        if let Some(r) = factor.post_switch_ratio {
+            println!(
+                "\npost-switch communication is {:.1}% of full-rank ({} -> {} params)",
+                100.0 * r,
+                factor.params_full,
+                factor.params_final
+            );
+        }
+    }
+
+    save_json(
+        "dist_comm",
+        &DistCommReport {
+            model: "micro-resnet18/tiny-4".to_string(),
+            epochs: EPOCHS,
+            steps_per_epoch: STEPS_PER_EPOCH,
+            batch_size: 16,
+            cells,
+        },
+    );
+    println!("saved bench_results/dist_comm.json");
+}

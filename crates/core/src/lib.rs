@@ -63,7 +63,7 @@ pub mod trainer;
 pub use config::{CuttlefishConfig, OptimizerKind, RankRule, SwitchPolicy, TrainerConfig};
 pub use error::CuttlefishError;
 pub use export::{export_checkpoint, ExportReport};
-pub use trainer::{run_training, run_training_with, RunResult};
+pub use trainer::{run_training, run_training_with, RunResult, StepEngine};
 
 /// Result alias for this crate.
 pub type CfResult<T> = std::result::Result<T, CuttlefishError>;

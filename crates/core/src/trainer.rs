@@ -100,6 +100,91 @@ impl Opt {
     }
 }
 
+/// A step-driven training engine: the per-batch half of the trainer,
+/// factored out so external drivers (the `cuttlefish-dist` coordinator,
+/// custom loops) can own the schedule while reusing the exact
+/// forward/backward/update sequence of [`run_training_with`].
+///
+/// One optimizer step is split into two halves:
+///
+/// 1. [`StepEngine::forward_backward`] — forward pass, loss, backward
+///    pass, Frobenius-decay gradients. Gradients are left **in** the
+///    network, where a distributed driver can extract, average, and
+///    reload them between the halves.
+/// 2. [`StepEngine::apply`] — gradient clipping, optimizer time step,
+///    parameter update, gradient reset.
+///
+/// Identical replicas that apply identical gradients through the same
+/// `StepEngine` sequence stay bit-identical: all optimizer state lives in
+/// the parameters' slots and is advanced deterministically by `apply`.
+pub struct StepEngine {
+    opt: Opt,
+    grad_clip: Option<f32>,
+    label_smoothing: f32,
+}
+
+impl StepEngine {
+    /// Creates an engine with the trainer's optimizer/clip/smoothing
+    /// settings.
+    pub fn new(optimizer: OptimizerKind, grad_clip: Option<f32>, label_smoothing: f32) -> Self {
+        StepEngine {
+            opt: Opt::new(optimizer),
+            grad_clip,
+            label_smoothing,
+        }
+    }
+
+    /// Runs the forward and backward halves of one batch, accumulating
+    /// gradients (including Frobenius decay) into the network, and returns
+    /// the batch loss. Does **not** update parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network forward/backward and loss errors.
+    pub fn forward_backward(
+        &self,
+        net: &mut Network,
+        adapter: &dyn TaskAdapter,
+        batch: crate::adapter::TaskBatch,
+    ) -> CfResult<f32> {
+        let logits = net.forward(batch.input, cuttlefish_nn::Mode::Train)?;
+        let (loss, grad) = adapter.loss_and_grad(&logits, &batch.target, self.label_smoothing)?;
+        net.backward(grad)?;
+        net.apply_frobenius_decay()?;
+        Ok(loss)
+    }
+
+    /// Applies the gradients currently stored in the network: clips the
+    /// global norm (when configured), advances the optimizer's time step,
+    /// updates every parameter at learning rate `lr`, and zeroes the
+    /// gradients. Returns the pre-clip gradient norm when clipping fired.
+    pub fn apply(&mut self, net: &mut Network, lr: f32) -> Option<f32> {
+        let clipped = self.grad_clip.and_then(|c| clip_gradients(net, c));
+        self.opt.begin_step();
+        self.opt.step_net(net, lr);
+        net.zero_grads();
+        clipped
+    }
+
+    /// The configured clip threshold (for telemetry alongside
+    /// [`StepEngine::apply`]'s returned norm).
+    pub fn grad_clip(&self) -> Option<f32> {
+        self.grad_clip
+    }
+
+    /// Fast-forwards the optimizer's internal time step (the AdamW
+    /// bias-correction counter) without touching any parameter, as if
+    /// [`StepEngine::apply`] had run `steps` times. A replica that joins
+    /// a run late and copies a peer's parameters and slots must also
+    /// match the peer's optimizer time, or its next AdamW update diverges
+    /// bit-wise; SGD has no time state and this is a no-op for it.
+    pub fn sync_time(&mut self, steps: usize) {
+        for _ in 0..steps {
+            self.opt.begin_step();
+        }
+    }
+}
+
 /// Clips the global gradient norm to `max_norm`, returning the pre-clip
 /// norm when clipping actually fired. A non-positive `max_norm` disables
 /// clipping entirely (previously it scaled every gradient by a
@@ -309,7 +394,7 @@ pub fn run_training_with(
     }
 
     // ---- Epoch loop ----------------------------------------------------
-    let mut opt = Opt::new(tcfg.optimizer);
+    let mut engine = StepEngine::new(tcfg.optimizer, tcfg.grad_clip, tcfg.label_smoothing);
     let mut best_metric = if adapter.higher_is_better() {
         f32::NEG_INFINITY
     } else {
@@ -328,24 +413,15 @@ pub fn run_training_with(
         let mut epoch_loss = 0.0f64;
         let nb = batches.len().max(1);
         for batch in batches {
-            let logits = net.forward(batch.input, cuttlefish_nn::Mode::Train)?;
-            let (loss, grad) =
-                adapter.loss_and_grad(&logits, &batch.target, tcfg.label_smoothing)?;
+            let loss = engine.forward_backward(net, adapter, batch)?;
             epoch_loss += loss as f64;
-            net.backward(grad)?;
-            net.apply_frobenius_decay()?;
-            if let Some(c) = tcfg.grad_clip {
-                if let Some(norm) = clip_gradients(net, c) {
-                    recorder.record(Event::GradClipped {
-                        epoch,
-                        norm,
-                        max_norm: c,
-                    });
-                }
+            if let Some(norm) = engine.apply(net, lr) {
+                recorder.record(Event::GradClipped {
+                    epoch,
+                    norm,
+                    max_norm: engine.grad_clip().unwrap_or(f32::NAN),
+                });
             }
-            opt.begin_step();
-            opt.step_net(net, lr);
-            net.zero_grads();
         }
         let mean_loss = (epoch_loss / nb as f64) as f32;
         loss_curve.push(mean_loss);

@@ -1,0 +1,1305 @@
+//! The lockstep coordinator.
+//!
+//! [`run_distributed`] drives `N` worker threads through
+//! `epochs × steps_per_epoch` lockstep rounds. Each round:
+//!
+//! 1. process elastic joins from the fault plan (spawn → replay the
+//!    switch if one happened → digest-verified state sync from worker 0);
+//! 2. issue `Step` to every available worker (crashing/straggling ones
+//!    per the plan);
+//! 3. gather gradient frames — on-time ones plus stragglers' frames that
+//!    are *due* this round — and fold them into a mean-gradient frame in
+//!    worker-id order (stale frames within the staleness bound
+//!    contribute; older ones are dropped);
+//! 4. broadcast `Apply` so every on-time replica takes the identical
+//!    optimizer step, then resync due stragglers from worker 0.
+//!
+//! Worker 0 is the fleet anchor: at epoch boundaries the coordinator
+//! pulls its weight matrices for stable-rank tracking (Algorithm 1 lines
+//! 3–5), and when the tracker converges, worker 0 performs the SVD switch
+//! first; its *chosen ranks* — not its weights — are then broadcast so
+//! every replica factorizes its own (identical) weights into identical
+//! factors. State digests confirm the fleet stayed bit-identical. After
+//! the switch the wire schema shrinks to the factor layout and the
+//! per-step communication volume drops by the rank ratio ρ, which the
+//! [`CommLedger`] measures from actual frame bytes.
+
+use crate::exchange::GradientExchange;
+use crate::fault::FaultPlan;
+use crate::schema::{state_digest, ParamSchema};
+use crate::shard::shard_vision_task;
+use crate::worker::{spawn_worker, Command, NetBuilder, Reply, WorkerHandle, WorkerSetup};
+use crate::{DistError, DistResult};
+use cuttlefish::factorize::{RankDecision, RankPlan, SwitchOptions};
+use cuttlefish::profile::Profiler;
+use cuttlefish::rank::{initial_scale, stable_rank_of};
+use cuttlefish::tracker::RankTracker;
+use cuttlefish::{CuttlefishConfig, OptimizerKind, SwitchPolicy};
+use cuttlefish_data::VisionTask;
+use cuttlefish_nn::schedule::LrSchedule;
+use cuttlefish_nn::Network;
+use cuttlefish_perf::DeviceProfile;
+use cuttlefish_telemetry::{Event, LayerVerdict, NullRecorder, Recorder};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::{Duration, Instant};
+
+/// Which collective the fleet uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeKind {
+    /// [`crate::DenseAllReduce`]: dense layouts only; refuses the
+    /// factorized schema at the switch.
+    Dense,
+    /// [`crate::FactorAllReduce`]: shape-aware on both sides of the
+    /// switch.
+    Factor,
+}
+
+impl ExchangeKind {
+    /// Instantiates the collective.
+    pub fn build(&self) -> Box<dyn GradientExchange> {
+        match self {
+            ExchangeKind::Dense => Box::new(crate::DenseAllReduce),
+            ExchangeKind::Factor => Box::new(crate::FactorAllReduce),
+        }
+    }
+}
+
+/// Configuration of one distributed run.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Initial fleet size (elastic joins may raise it).
+    pub workers: usize,
+    /// Training epochs; one epoch is `steps_per_epoch` lockstep rounds.
+    pub epochs: usize,
+    /// Lockstep rounds per epoch.
+    pub steps_per_epoch: usize,
+    /// Per-worker mini-batch size.
+    pub batch_size: usize,
+    /// Single run seed; per-worker streams derive via
+    /// [`crate::worker_seed`].
+    pub run_seed: u64,
+    /// Optimizer (identical on every replica).
+    pub optimizer: OptimizerKind,
+    /// Optional global gradient-norm clip (applied to the averaged
+    /// gradient, identically everywhere).
+    pub grad_clip: Option<f32>,
+    /// Label smoothing.
+    pub label_smoothing: f32,
+    /// Learning-rate schedule, indexed by epoch.
+    pub schedule: LrSchedule,
+    /// Full→low-rank switch policy, executed on worker 0.
+    pub policy: SwitchPolicy,
+    /// The gradient collective.
+    pub exchange: ExchangeKind,
+    /// Shard-level data augmentation.
+    pub augment: bool,
+    /// Evaluate on worker 0 every this many epochs (the last epoch always
+    /// evaluates).
+    pub eval_every_epochs: usize,
+    /// Maximum staleness (in rounds) at which a straggler's gradient
+    /// still contributes; older frames are dropped.
+    pub staleness_bound: usize,
+    /// Deterministic fault schedule.
+    pub faults: FaultPlan,
+}
+
+impl DistConfig {
+    /// Small SGD defaults for tests and examples: constant LR, no
+    /// augmentation, factor exchange, no switch policy, no faults.
+    pub fn quick(workers: usize, epochs: usize, steps_per_epoch: usize, run_seed: u64) -> Self {
+        DistConfig {
+            workers,
+            epochs,
+            steps_per_epoch,
+            batch_size: 16,
+            run_seed,
+            optimizer: OptimizerKind::Sgd {
+                momentum: 0.9,
+                weight_decay: 1e-4,
+            },
+            grad_clip: None,
+            label_smoothing: 0.0,
+            schedule: LrSchedule::Constant { lr: 0.05 },
+            policy: SwitchPolicy::FullRankOnly,
+            exchange: ExchangeKind::Factor,
+            augment: false,
+            eval_every_epochs: 1,
+            staleness_bound: 2,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Total lockstep rounds of the run.
+    pub fn total_steps(&self) -> usize {
+        self.epochs * self.steps_per_epoch
+    }
+
+    /// Validates run-level values and the fault plan.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Config`] naming the first bad field; policy errors
+    /// are forwarded as [`DistError::Train`].
+    pub fn validate(&self) -> DistResult<()> {
+        let bad = |field: &'static str, detail: &str| DistError::Config {
+            field,
+            detail: detail.to_string(),
+        };
+        if self.workers == 0 {
+            return Err(bad("workers", "must be > 0"));
+        }
+        if self.epochs == 0 {
+            return Err(bad("epochs", "must be > 0"));
+        }
+        if self.steps_per_epoch == 0 {
+            return Err(bad("steps_per_epoch", "must be > 0"));
+        }
+        if self.batch_size == 0 {
+            return Err(bad("batch_size", "must be > 0"));
+        }
+        if self.eval_every_epochs == 0 {
+            return Err(bad("eval_every_epochs", "must be > 0"));
+        }
+        self.policy.validate().map_err(DistError::Train)?;
+        self.faults.validate(self.workers, self.total_steps())
+    }
+}
+
+/// Byte-accurate communication accounting for one run.
+///
+/// Uplink counts every gradient frame the coordinator receives (dropped
+/// stale frames still crossed the wire); downlink counts the averaged
+/// frame once per receiving replica. Sync bytes (join/straggler state
+/// catch-up) and control bytes (the broadcast rank plan) are tracked
+/// separately so the per-step ρ drop is visible undiluted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommLedger {
+    /// Rounds exchanged at the dense (full-rank) schema.
+    pub full_rounds: usize,
+    /// Total gradient bytes (up + down) over dense rounds.
+    pub full_bytes: u64,
+    /// Rounds exchanged at the factorized schema.
+    pub low_rounds: usize,
+    /// Total gradient bytes (up + down) over factorized rounds.
+    pub low_bytes: u64,
+    /// Total uplink gradient bytes.
+    pub bytes_up: u64,
+    /// Total downlink gradient bytes.
+    pub bytes_down: u64,
+    /// State-frame bytes moved for joins and straggler resyncs.
+    pub sync_bytes: u64,
+    /// Rank-plan broadcast bytes at the switch.
+    pub control_bytes: u64,
+}
+
+impl CommLedger {
+    fn record_round(&mut self, factored: bool, up: u64, down: u64) {
+        self.bytes_up += up;
+        self.bytes_down += down;
+        if factored {
+            self.low_rounds += 1;
+            self.low_bytes += up + down;
+        } else {
+            self.full_rounds += 1;
+            self.full_bytes += up + down;
+        }
+    }
+
+    /// Mean gradient bytes per dense round.
+    pub fn full_bytes_per_step(&self) -> f64 {
+        if self.full_rounds == 0 {
+            return 0.0;
+        }
+        self.full_bytes as f64 / self.full_rounds as f64
+    }
+
+    /// Mean gradient bytes per factorized round.
+    pub fn low_bytes_per_step(&self) -> f64 {
+        if self.low_rounds == 0 {
+            return 0.0;
+        }
+        self.low_bytes as f64 / self.low_rounds as f64
+    }
+
+    /// `low/full` per-step byte ratio — the realized communication ρ.
+    /// `None` until both phases have at least one round.
+    pub fn post_switch_ratio(&self) -> Option<f64> {
+        if self.full_rounds == 0 || self.low_rounds == 0 {
+            return None;
+        }
+        Some(self.low_bytes_per_step() / self.full_bytes_per_step())
+    }
+
+    /// All bytes moved: gradients, syncs, and control.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_up + self.bytes_down + self.sync_bytes + self.control_bytes
+    }
+}
+
+/// Per-worker accounting for the run summary.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerSummary {
+    /// Worker id.
+    pub id: usize,
+    /// Gradient contributions that reached a reduction (incl. stale).
+    pub steps: usize,
+    /// Contributions that arrived late but within the staleness bound.
+    pub stale: usize,
+    /// Contributions dropped for exceeding the bound (or straddling the
+    /// switch).
+    pub dropped: usize,
+    /// Lifecycle transitions as `(step, event)` pairs.
+    pub lifecycle: Vec<(usize, String)>,
+}
+
+/// Everything a distributed run produces.
+#[derive(Debug, Clone)]
+pub struct DistRunResult {
+    /// Epoch of the full→low-rank switch (`None` if it never happened).
+    pub e_hat: Option<usize>,
+    /// Number of leading targets kept full-rank.
+    pub k_hat: Option<usize>,
+    /// Worker 0's per-target rank decisions at the switch.
+    pub decisions: Vec<RankDecision>,
+    /// Per-epoch mean training loss over on-time contributions.
+    pub loss_curve: Vec<f32>,
+    /// Per-epoch validation metric from worker 0 (NaN on skipped epochs).
+    pub metric_curve: Vec<f32>,
+    /// Best validation metric.
+    pub best_metric: f32,
+    /// Final-epoch validation metric.
+    pub final_metric: f32,
+    /// Trainable parameters before the switch.
+    pub params_full: usize,
+    /// Trainable parameters at the end of the run.
+    pub params_final: usize,
+    /// Byte-accurate communication totals.
+    pub ledger: CommLedger,
+    /// Per-worker summaries, in id order.
+    pub workers: Vec<WorkerSummary>,
+    /// FNV-1a digest of the fleet's (verified identical) final state.
+    pub final_digest: u64,
+}
+
+/// Runs a distributed training job without telemetry.
+///
+/// `builder` must construct the *same* network every call (seed
+/// internally): replica equality at initialization is the root of the
+/// lockstep determinism argument.
+///
+/// # Errors
+///
+/// Configuration, worker, schema, and desync errors.
+pub fn run_distributed(
+    cfg: &DistConfig,
+    task: &VisionTask,
+    builder: NetBuilder,
+) -> DistResult<DistRunResult> {
+    run_distributed_with(cfg, task, builder, &NullRecorder)
+}
+
+struct GradMsg {
+    loss: f32,
+    compute_ms: f64,
+    frame: Vec<u8>,
+}
+
+/// Policy state mirrored on the coordinator (profiling, ξ calibration,
+/// the stable-rank tracker), fed by worker 0's weights at epoch ends.
+struct SwitchController {
+    tracker: Option<RankTracker>,
+    tracked: Vec<String>,
+    xi: HashMap<String, f32>,
+    k_hat: Option<usize>,
+    cf: Option<CuttlefishConfig>,
+    manual: Option<(usize, SwitchOptions)>,
+}
+
+impl SwitchController {
+    fn new(policy: &SwitchPolicy, mirror: &mut Network) -> DistResult<Self> {
+        let mut ctl = SwitchController {
+            tracker: None,
+            tracked: Vec::new(),
+            xi: HashMap::new(),
+            k_hat: None,
+            cf: None,
+            manual: None,
+        };
+        match policy {
+            SwitchPolicy::Cuttlefish(cf) => {
+                let profiler = Profiler {
+                    device: DeviceProfile::v100(),
+                    batch: 1024,
+                    rho_bar: cf.rho_bar,
+                    v: cf.v,
+                };
+                let outcome = profiler.determine_k(mirror.targets());
+                let mut k = mirror
+                    .targets()
+                    .iter()
+                    .filter(|t| t.stack < outcome.cut_stack)
+                    .count();
+                if k + 2 > mirror.depth() {
+                    k = 1;
+                }
+                ctl.k_hat = Some(k);
+                let tracked = cuttlefish::trainer::tracked_targets(mirror.targets(), k);
+                if tracked.is_empty() {
+                    return Err(DistError::Config {
+                        field: "policy",
+                        detail: "no layers left to track after profiling".to_string(),
+                    });
+                }
+                for t in &tracked {
+                    let w = mirror.weight_matrix(&t.name)?;
+                    ctl.xi.insert(t.name.clone(), initial_scale(&w)?);
+                }
+                ctl.tracked = tracked.iter().map(|t| t.name.clone()).collect();
+                ctl.tracker = Some(RankTracker::new(ctl.tracked.clone(), cf.epsilon, cf.window));
+                ctl.cf = Some(cf.clone());
+            }
+            SwitchPolicy::Manual {
+                full_rank_epochs,
+                k,
+                rank_ratio,
+                extra_bn,
+                frobenius_decay,
+            } => {
+                ctl.k_hat = Some(*k);
+                ctl.manual = Some((
+                    *full_rank_epochs,
+                    SwitchOptions {
+                        k: *k,
+                        plan: RankPlan::FixedRatio { rho: *rank_ratio },
+                        extra_bn: *extra_bn,
+                        frobenius_decay: *frobenius_decay,
+                    },
+                ));
+            }
+            SwitchPolicy::SpectralInit { .. } | SwitchPolicy::FullRankOnly => {}
+        }
+        Ok(ctl)
+    }
+
+    fn wants_weights(&self) -> bool {
+        self.tracker.is_some()
+    }
+
+    fn record(
+        &mut self,
+        epoch: usize,
+        mats: &[cuttlefish_tensor::Matrix],
+        recorder: &dyn Recorder,
+    ) -> DistResult<()> {
+        let Some(tr) = self.tracker.as_mut() else {
+            return Ok(());
+        };
+        let mut ranks = Vec::with_capacity(mats.len());
+        for (name, w) in self.tracked.iter().zip(mats) {
+            let rho = stable_rank_of(w)?;
+            let xi = self.xi.get(name).copied().unwrap_or(1.0);
+            recorder.record(Event::StableRankSampled {
+                epoch,
+                layer: name.clone(),
+                rho,
+                scaled_rho: xi * rho,
+            });
+            ranks.push(rho);
+        }
+        tr.record(ranks);
+        recorder.record(Event::TrackerVerdict {
+            epoch,
+            epsilon: tr.epsilon(),
+            converged: tr.converged(),
+            layers: tr
+                .verdicts()
+                .into_iter()
+                .map(|(layer, derivative, stabilized)| LayerVerdict {
+                    layer,
+                    derivative,
+                    stabilized,
+                })
+                .collect(),
+        });
+        Ok(())
+    }
+
+    /// The switch options to execute after `epoch`, if the policy says
+    /// it is time.
+    fn due_switch(&self, epoch: usize, total_epochs: usize) -> Option<SwitchOptions> {
+        if let (Some(cf), Some(tr)) = (self.cf.as_ref(), self.tracker.as_ref()) {
+            let max_full = ((total_epochs as f32) * cf.max_full_rank_fraction).round() as usize;
+            if tr.converged() || epoch + 1 >= max_full.max(cf.window + 1) {
+                return Some(SwitchOptions {
+                    k: self.k_hat.unwrap_or(1),
+                    plan: RankPlan::Auto {
+                        rule: cf.rank_rule,
+                        transformer_rule: cf.transformer_rank_rule,
+                        xi: self.xi.clone(),
+                        skip_no_reduction: true,
+                    },
+                    extra_bn: cf.extra_bn,
+                    frobenius_decay: cf.frobenius_decay,
+                });
+            }
+            return None;
+        }
+        if let Some((full_rank_epochs, opts)) = self.manual.as_ref() {
+            if epoch + 1 >= *full_rank_epochs {
+                return Some(opts.clone());
+            }
+        }
+        None
+    }
+
+    fn post_lr_scale(&self) -> f32 {
+        self.cf
+            .as_ref()
+            .map(|c| c.post_switch_lr_scale)
+            .unwrap_or(1.0)
+    }
+}
+
+const REPLY_TIMEOUT: Duration = Duration::from_secs(120);
+
+struct Coordinator<'a> {
+    recorder: &'a dyn Recorder,
+    exchange: Box<dyn GradientExchange>,
+    schema: ParamSchema,
+    setup: WorkerSetup,
+    builder: NetBuilder,
+    task: &'a VisionTask,
+    max_workers: usize,
+    fleet: BTreeMap<usize, WorkerHandle>,
+    live: BTreeSet<usize>,
+    reply_tx: Sender<Reply>,
+    reply_rx: Receiver<Reply>,
+    /// Buffered gradient frames keyed by `(worker, origin step)`.
+    buffer: HashMap<(usize, usize), GradMsg>,
+    /// Straggling workers: `worker → (due step, origin step)`.
+    busy: BTreeMap<usize, (usize, usize)>,
+    ledger: CommLedger,
+    summaries: BTreeMap<usize, WorkerSummary>,
+    applied_steps: usize,
+    switched: bool,
+    /// First round whose gradients are factor frames; stale dense frames
+    /// from before this round can no longer be reduced and are dropped.
+    switch_round: Option<usize>,
+}
+
+impl<'a> Coordinator<'a> {
+    fn send(&self, worker: usize, cmd: Command) -> DistResult<()> {
+        let h = self.fleet.get(&worker).ok_or(DistError::Worker {
+            worker,
+            detail: "not in fleet".to_string(),
+        })?;
+        h.tx.send(cmd).map_err(|_| DistError::Worker {
+            worker,
+            detail: "command channel closed".to_string(),
+        })
+    }
+
+    fn recv(&self) -> DistResult<Reply> {
+        match self.reply_rx.recv_timeout(REPLY_TIMEOUT) {
+            Ok(Reply::Failed { worker, detail }) => Err(DistError::Worker { worker, detail }),
+            Ok(r) => Ok(r),
+            Err(_) => Err(DistError::Worker {
+                worker: usize::MAX,
+                detail: "timed out waiting for a reply".to_string(),
+            }),
+        }
+    }
+
+    fn lifecycle(&mut self, worker: usize, step: usize, event: &str) {
+        self.recorder.record(Event::DistWorkerEvent {
+            step,
+            worker,
+            event: event.to_string(),
+        });
+        let s = self
+            .summaries
+            .entry(worker)
+            .or_insert_with(|| WorkerSummary {
+                id: worker,
+                ..WorkerSummary::default()
+            });
+        s.lifecycle.push((step, event.to_string()));
+    }
+
+    fn spawn(&mut self, worker: usize, step: usize) -> DistResult<()> {
+        let shard = shard_vision_task(self.task, worker, self.max_workers)?;
+        let handle = spawn_worker(
+            worker,
+            self.setup.clone(),
+            shard,
+            self.builder.clone(),
+            self.reply_tx.clone(),
+        );
+        self.fleet.insert(worker, handle);
+        self.live.insert(worker);
+        self.lifecycle(worker, step, "spawned");
+        Ok(())
+    }
+
+    /// Captures worker 0's state frame (post whatever commands are
+    /// already queued to it — FIFO ordering makes this "state as of the
+    /// latest `Apply`").
+    fn capture_anchor(&mut self) -> DistResult<Vec<u8>> {
+        self.send(0, Command::CaptureState)?;
+        loop {
+            match self.recv()? {
+                Reply::State { worker: 0, frame } => return Ok(frame),
+                Reply::Grads {
+                    worker,
+                    step,
+                    loss,
+                    compute_ms,
+                    frame,
+                } => {
+                    // A straggler's late frame can arrive while we wait.
+                    self.buffer.insert(
+                        (worker, step),
+                        GradMsg {
+                            loss,
+                            compute_ms,
+                            frame,
+                        },
+                    );
+                }
+                _ => {
+                    return Err(DistError::Worker {
+                        worker: 0,
+                        detail: "unexpected reply while capturing state".to_string(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Syncs `worker` to worker 0's current state, verifying the digest.
+    fn sync_from_anchor(&mut self, worker: usize, step: usize) -> DistResult<()> {
+        let frame = self.capture_anchor()?;
+        let expected = state_digest(&frame);
+        self.ledger.sync_bytes += frame.len() as u64;
+        self.send(
+            worker,
+            Command::SyncState {
+                frame,
+                opt_steps: self.applied_steps,
+            },
+        )?;
+        loop {
+            match self.recv()? {
+                Reply::Synced { worker: w, digest } if w == worker => {
+                    if digest != expected {
+                        return Err(DistError::Desync {
+                            worker,
+                            expected,
+                            got: digest,
+                        });
+                    }
+                    self.lifecycle(worker, step, "synced");
+                    return Ok(());
+                }
+                Reply::Grads {
+                    worker: w,
+                    step: s,
+                    loss,
+                    compute_ms,
+                    frame,
+                } => {
+                    self.buffer.insert(
+                        (w, s),
+                        GradMsg {
+                            loss,
+                            compute_ms,
+                            frame,
+                        },
+                    );
+                }
+                _ => {
+                    return Err(DistError::Worker {
+                        worker,
+                        detail: "unexpected reply while syncing".to_string(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Executes the full→low-rank switch fleet-wide: worker 0 plans (runs
+    /// Algorithm 1's SVD split) and reports its chosen ranks; those ranks
+    /// — not its weights — are broadcast so every other replica
+    /// factorizes its own identical weights into identical factors.
+    /// On-time replicas' post-switch digests must agree with worker 0's;
+    /// straggling replicas apply the layout change too (so later state
+    /// syncs find matching shapes) but are digest-checked only after
+    /// their resync.
+    fn do_switch(
+        &mut self,
+        opts: SwitchOptions,
+        round: usize,
+    ) -> DistResult<(Vec<RankDecision>, usize)> {
+        let extra_bn = opts.extra_bn;
+        let frobenius_decay = opts.frobenius_decay;
+        self.send(0, Command::PlanSwitch { opts })?;
+        let (decisions, anchor_digest, params) = loop {
+            match self.recv()? {
+                Reply::SwitchDone {
+                    worker: 0,
+                    decisions,
+                    digest,
+                    params,
+                } => break (decisions, digest, params),
+                Reply::Grads {
+                    worker,
+                    step,
+                    loss,
+                    compute_ms,
+                    frame,
+                } => {
+                    self.buffer.insert(
+                        (worker, step),
+                        GradMsg {
+                            loss,
+                            compute_ms,
+                            frame,
+                        },
+                    );
+                }
+                _ => {
+                    return Err(DistError::Worker {
+                        worker: 0,
+                        detail: "unexpected reply while switching".to_string(),
+                    })
+                }
+            }
+        };
+        let ranks: Vec<(String, usize)> = decisions
+            .iter()
+            .filter_map(|d| d.chosen.map(|r| (d.name.clone(), r)))
+            .collect();
+        // Rank-plan broadcast cost: each receiver gets (name, u64 rank).
+        let plan_bytes: u64 = ranks.iter().map(|(n, _)| n.len() as u64 + 8).sum();
+        let others: Vec<usize> = self.live.iter().copied().filter(|&w| w != 0).collect();
+        let mut on_time_pending: BTreeSet<usize> = BTreeSet::new();
+        for &w in &others {
+            self.send(
+                w,
+                Command::ApplySwitch {
+                    ranks: ranks.clone(),
+                    extra_bn,
+                    frobenius_decay,
+                },
+            )?;
+            self.ledger.control_bytes += plan_bytes;
+            if !self.busy.contains_key(&w) {
+                on_time_pending.insert(w);
+            }
+        }
+        // On-time replicas have applied exactly the updates worker 0 has,
+        // so their post-switch state must be bit-identical to worker 0's.
+        // (Straggling replicas answer too — FIFO after their slow step —
+        // but their stale state legitimately differs until resync, so
+        // their digest is not compared here.)
+        let mut busy_pending: BTreeSet<usize> = others
+            .iter()
+            .copied()
+            .filter(|w| self.busy.contains_key(w))
+            .collect();
+        while !(on_time_pending.is_empty() && busy_pending.is_empty()) {
+            match self.recv()? {
+                Reply::SwitchDone { worker, digest, .. } => {
+                    if on_time_pending.remove(&worker) {
+                        if digest != anchor_digest {
+                            return Err(DistError::Desync {
+                                worker,
+                                expected: anchor_digest,
+                                got: digest,
+                            });
+                        }
+                    } else {
+                        busy_pending.remove(&worker);
+                    }
+                }
+                Reply::Grads {
+                    worker,
+                    step,
+                    loss,
+                    compute_ms,
+                    frame,
+                } => {
+                    self.buffer.insert(
+                        (worker, step),
+                        GradMsg {
+                            loss,
+                            compute_ms,
+                            frame,
+                        },
+                    );
+                }
+                _ => {
+                    return Err(DistError::Worker {
+                        worker: 0,
+                        detail: "unexpected reply during switch broadcast".to_string(),
+                    })
+                }
+            }
+        }
+        self.switched = true;
+        self.switch_round = Some(round);
+        Ok((decisions, params))
+    }
+
+    /// Waits for one reply matching `want` from `worker`, buffering any
+    /// straggler gradient frames that arrive in the meantime. Any other
+    /// reply is a protocol violation.
+    fn recv_from(
+        &mut self,
+        worker: usize,
+        what: &'static str,
+        mut want: impl FnMut(&Reply) -> bool,
+    ) -> DistResult<Reply> {
+        loop {
+            let r = self.recv()?;
+            if let Reply::Grads {
+                worker: w,
+                step,
+                loss,
+                compute_ms,
+                frame,
+            } = r
+            {
+                self.buffer.insert(
+                    (w, step),
+                    GradMsg {
+                        loss,
+                        compute_ms,
+                        frame,
+                    },
+                );
+                continue;
+            }
+            if want(&r) {
+                return Ok(r);
+            }
+            return Err(DistError::Worker {
+                worker,
+                detail: format!("unexpected reply while waiting for {what}"),
+            });
+        }
+    }
+
+    /// Consumes a joiner's `SwitchDone` acknowledgement. Its digest is
+    /// not compared: a fresh joiner factorized fresh random weights and
+    /// is only brought into agreement by the state sync that follows.
+    fn drain_switch_ack(&mut self, worker: usize) -> DistResult<()> {
+        self.recv_from(
+            worker,
+            "switch ack",
+            |r| matches!(r, Reply::SwitchDone { worker: w, .. } if *w == worker),
+        )
+        .map(|_| ())
+    }
+
+    fn recv_weights(&mut self) -> DistResult<Vec<cuttlefish_tensor::Matrix>> {
+        let r = self.recv_from(0, "weights", |r| {
+            matches!(r, Reply::Weights { worker: 0, .. })
+        })?;
+        match r {
+            Reply::Weights { mats, .. } => Ok(mats),
+            _ => Err(DistError::Worker {
+                worker: 0,
+                detail: "weights reply vanished".to_string(),
+            }),
+        }
+    }
+
+    fn recv_metric(&mut self) -> DistResult<f32> {
+        let r = self.recv_from(0, "metric", |r| {
+            matches!(r, Reply::Metric { worker: 0, .. })
+        })?;
+        match r {
+            Reply::Metric { value, .. } => Ok(value),
+            _ => Err(DistError::Worker {
+                worker: 0,
+                detail: "metric reply vanished".to_string(),
+            }),
+        }
+    }
+
+    fn recv_state(&mut self, worker: usize) -> DistResult<Vec<u8>> {
+        let r = self.recv_from(
+            worker,
+            "state",
+            |r| matches!(r, Reply::State { worker: w, .. } if *w == worker),
+        )?;
+        match r {
+            Reply::State { frame, .. } => Ok(frame),
+            _ => Err(DistError::Worker {
+                worker,
+                detail: "state reply vanished".to_string(),
+            }),
+        }
+    }
+
+    fn shutdown(mut self) -> DistResult<()> {
+        let ids: Vec<usize> = self.live.iter().copied().collect();
+        for w in &ids {
+            let _ = self.send(*w, Command::Shutdown);
+        }
+        let mut waiting: BTreeSet<usize> = ids.into_iter().collect();
+        while !waiting.is_empty() {
+            match self.reply_rx.recv_timeout(REPLY_TIMEOUT) {
+                Ok(Reply::Stopped { worker }) => {
+                    waiting.remove(&worker);
+                }
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        for (_, h) in std::mem::take(&mut self.fleet) {
+            let _ = h.join.join();
+        }
+        Ok(())
+    }
+}
+
+/// Runs a distributed training job, emitting structured telemetry.
+///
+/// See [`run_distributed`]; every lockstep round becomes one
+/// `dist_exchange` event plus per-contribution `dist_worker_step` events,
+/// and every fault-plan transition a `dist_worker_event`, so
+/// `telemetry_summary` can render the communication-volume drop and the
+/// per-worker timelines.
+///
+/// # Errors
+///
+/// Configuration, worker, schema, and desync errors.
+pub fn run_distributed_with(
+    cfg: &DistConfig,
+    task: &VisionTask,
+    builder: NetBuilder,
+    recorder: &dyn Recorder,
+) -> DistResult<DistRunResult> {
+    cfg.validate()?;
+    let total_steps = cfg.total_steps();
+    let max_workers = cfg.faults.max_workers(cfg.workers);
+
+    // The coordinator keeps its own mirror replica for planning: at
+    // initialization every replica is bit-identical, so the mirror's
+    // targets, shapes, and ξ calibration are the fleet's.
+    let mut mirror = builder();
+    let mut schema = ParamSchema::of(&mut mirror)?;
+    let exchange = cfg.exchange.build();
+    exchange.accepts(&schema)?;
+    let params_full = mirror.param_count();
+    let mut controller = SwitchController::new(&cfg.policy, &mut mirror)?;
+
+    let setup = WorkerSetup {
+        run_seed: cfg.run_seed,
+        batch_size: cfg.batch_size,
+        optimizer: cfg.optimizer,
+        grad_clip: cfg.grad_clip,
+        label_smoothing: cfg.label_smoothing,
+        augment: cfg.augment,
+        exchange: cfg.exchange,
+    };
+    let (reply_tx, reply_rx) = channel();
+    let mut co = Coordinator {
+        recorder,
+        exchange,
+        schema: schema.clone(),
+        setup,
+        builder,
+        task,
+        max_workers,
+        fleet: BTreeMap::new(),
+        live: BTreeSet::new(),
+        reply_tx,
+        reply_rx,
+        buffer: HashMap::new(),
+        busy: BTreeMap::new(),
+        ledger: CommLedger::default(),
+        summaries: BTreeMap::new(),
+        applied_steps: 0,
+        switched: false,
+        switch_round: None,
+    };
+    for w in 0..cfg.workers {
+        co.spawn(w, 0)?;
+    }
+
+    let mut e_hat: Option<usize> = None;
+    let mut k_hat = controller.k_hat;
+    let mut decisions: Vec<RankDecision> = Vec::new();
+    let mut params_final = params_full;
+    let mut lr_scale = 1.0f32;
+    let mut loss_curve: Vec<f32> = Vec::with_capacity(cfg.epochs);
+    let mut metric_curve: Vec<f32> = Vec::with_capacity(cfg.epochs);
+    let mut best_metric = f32::NEG_INFINITY;
+    let mut final_metric = f32::NAN;
+    let mut epoch_loss = 0.0f64;
+    let mut epoch_contribs = 0usize;
+    let mut epoch_start = Instant::now();
+
+    // Spectral initialization factorizes before the first step; all
+    // replicas are still at their identical initial weights, so the rank
+    // broadcast degenerates to "everyone factorizes epoch-0 weights".
+    if let SwitchPolicy::SpectralInit {
+        rank_ratio,
+        frobenius_decay,
+    } = &cfg.policy
+    {
+        let opts = SwitchOptions {
+            k: 1,
+            plan: RankPlan::FixedRatio { rho: *rank_ratio },
+            extra_bn: false,
+            frobenius_decay: *frobenius_decay,
+        };
+        let (d, params) = co.do_switch(opts.clone(), 0)?;
+        apply_switch_to_mirror(&mut mirror, &d, &opts)?;
+        schema = ParamSchema::of(&mut mirror)?;
+        co.exchange.accepts(&schema)?;
+        co.schema = schema.clone();
+        params_final = params;
+        decisions = d;
+        e_hat = Some(0);
+        k_hat = Some(1);
+        lr_scale = 1.0;
+        recorder.record(Event::SwitchTriggered {
+            e_hat: 0,
+            k_hat: 1,
+            decisions: decisions.iter().map(|d| d.to_event()).collect(),
+        });
+    }
+
+    for round in 0..total_steps {
+        let epoch = round / cfg.steps_per_epoch;
+        if round % cfg.steps_per_epoch == 0 {
+            epoch_start = Instant::now();
+            recorder.record(Event::EpochStarted {
+                epoch,
+                lr: cfg.schedule.lr_at(epoch) * lr_scale,
+            });
+        }
+
+        // -- Elastic joins -------------------------------------------
+        for j in cfg
+            .faults
+            .joins_at(round)
+            .into_iter()
+            .cloned()
+            .collect::<Vec<_>>()
+        {
+            co.spawn(j.worker, round)?;
+            co.lifecycle(j.worker, round, "joined");
+            if co.switched {
+                // Bring the newcomer to the factorized layout first so
+                // the state frame's shapes line up.
+                co.send(
+                    j.worker,
+                    Command::ApplySwitch {
+                        ranks: decisions
+                            .iter()
+                            .filter_map(|d| d.chosen.map(|r| (d.name.clone(), r)))
+                            .collect(),
+                        extra_bn: switch_extra_bn(&cfg.policy),
+                        frobenius_decay: switch_frobenius_decay(&cfg.policy),
+                    },
+                )?;
+                co.drain_switch_ack(j.worker)?;
+            }
+            co.sync_from_anchor(j.worker, round)?;
+        }
+
+        // -- Fire the round ------------------------------------------
+        let mut on_time: Vec<usize> = Vec::new();
+        let ids: Vec<usize> = co.live.iter().copied().collect();
+        for w in ids {
+            if co.busy.contains_key(&w) {
+                continue; // mid-straggle: still computing its old step
+            }
+            if cfg.faults.crash_at(w, round) {
+                let _ = co.send(w, Command::Crash);
+                co.live.remove(&w);
+                co.lifecycle(w, round, "crashed");
+                continue;
+            }
+            if let Some(s) = cfg.faults.straggler_at(w, round) {
+                co.send(
+                    w,
+                    Command::Step {
+                        step: round,
+                        delay_ms: s.delay_ms,
+                    },
+                )?;
+                co.busy.insert(w, (round + s.delay_steps, round));
+                co.lifecycle(w, round, "straggling");
+                continue;
+            }
+            co.send(
+                w,
+                Command::Step {
+                    step: round,
+                    delay_ms: 0,
+                },
+            )?;
+            on_time.push(w);
+        }
+        let due: Vec<(usize, usize)> = co
+            .busy
+            .iter()
+            .filter(|(_, (due, _))| *due == round)
+            .map(|(w, (_, orig))| (*w, *orig))
+            .collect();
+
+        // -- Gather frames -------------------------------------------
+        let mut needed: BTreeSet<(usize, usize)> = on_time.iter().map(|&w| (w, round)).collect();
+        for &(w, orig) in &due {
+            needed.insert((w, orig));
+        }
+        while needed.iter().any(|k| !co.buffer.contains_key(k)) {
+            match co.recv()? {
+                Reply::Grads {
+                    worker,
+                    step,
+                    loss,
+                    compute_ms,
+                    frame,
+                } => {
+                    co.buffer.insert(
+                        (worker, step),
+                        GradMsg {
+                            loss,
+                            compute_ms,
+                            frame,
+                        },
+                    );
+                }
+                _ => {
+                    return Err(DistError::Worker {
+                        worker: usize::MAX,
+                        detail: "unexpected reply while gathering gradients".to_string(),
+                    });
+                }
+            }
+        }
+
+        // -- Reduce --------------------------------------------------
+        let mut frames: Vec<(usize, Vec<u8>)> = Vec::with_capacity(needed.len());
+        let mut bytes_up = 0u64;
+        let mut stale_count = 0usize;
+        let mut dropped_count = 0usize;
+        for (w, orig) in needed.iter().copied() {
+            let Some(msg) = co.buffer.remove(&(w, orig)) else {
+                continue;
+            };
+            let staleness = round - orig;
+            bytes_up += msg.frame.len() as u64;
+            recorder.record(Event::DistWorkerStep {
+                step: orig,
+                worker: w,
+                loss: msg.loss,
+                compute_ms: msg.compute_ms,
+                staleness,
+            });
+            // A frame computed before the switch has the dense layout
+            // and cannot be folded into a factor reduction.
+            let pre_switch = co.switch_round.map(|s| orig < s).unwrap_or(false);
+            let summary = co.summaries.entry(w).or_insert_with(|| WorkerSummary {
+                id: w,
+                ..WorkerSummary::default()
+            });
+            if staleness > cfg.staleness_bound || pre_switch {
+                summary.dropped += 1;
+                dropped_count += 1;
+                if staleness > 0 {
+                    co.lifecycle(w, round, "stale_dropped");
+                }
+                continue;
+            }
+            summary.steps += 1;
+            if staleness > 0 {
+                summary.stale += 1;
+                stale_count += 1;
+                co.lifecycle(w, round, "stale_applied");
+            }
+            epoch_loss += msg.loss as f64;
+            epoch_contribs += 1;
+            frames.push((w, msg.frame));
+        }
+        let update = co.exchange.reduce(&co.schema, &frames)?;
+
+        // -- Apply ---------------------------------------------------
+        let lr = cfg.schedule.lr_at(epoch) * lr_scale;
+        let mut bytes_down = 0u64;
+        for &w in &on_time {
+            co.send(
+                w,
+                Command::Apply {
+                    lr,
+                    frame: update.clone(),
+                },
+            )?;
+            bytes_down += update.len() as u64;
+        }
+        co.applied_steps += 1;
+        co.ledger.record_round(co.switched, bytes_up, bytes_down);
+        recorder.record(Event::DistExchange {
+            step: round,
+            exchange: co.exchange.name().to_string(),
+            participants: frames.len(),
+            stale: stale_count,
+            dropped: dropped_count,
+            bytes_up,
+            bytes_down,
+            factored: co.switched,
+        });
+
+        // -- Resync due stragglers to the post-apply anchor state ----
+        for (w, _) in due {
+            co.busy.remove(&w);
+            co.sync_from_anchor(w, round)?;
+        }
+
+        // -- Epoch boundary ------------------------------------------
+        if (round + 1) % cfg.steps_per_epoch == 0 {
+            let mean_loss = (epoch_loss / epoch_contribs.max(1) as f64) as f32;
+            loss_curve.push(mean_loss);
+            epoch_loss = 0.0;
+            epoch_contribs = 0;
+
+            if !co.switched {
+                if controller.wants_weights() {
+                    co.send(
+                        0,
+                        Command::ReportWeights {
+                            names: controller.tracked.clone(),
+                        },
+                    )?;
+                    let mats = co.recv_weights()?;
+                    controller.record(epoch, &mats, recorder)?;
+                }
+                if let Some(opts) = controller.due_switch(epoch, cfg.epochs) {
+                    let (d, params) = co.do_switch(opts.clone(), round + 1)?;
+                    apply_switch_to_mirror(&mut mirror, &d, &opts)?;
+                    schema = ParamSchema::of(&mut mirror)?;
+                    // A dense-only collective refuses the new layout
+                    // here, before any worker tries to encode with it.
+                    co.exchange.accepts(&schema)?;
+                    co.schema = schema.clone();
+                    params_final = params;
+                    decisions = d;
+                    e_hat = Some(epoch + 1);
+                    lr_scale = controller.post_lr_scale();
+                    recorder.record(Event::SwitchTriggered {
+                        e_hat: epoch + 1,
+                        k_hat: k_hat.unwrap_or(1),
+                        decisions: decisions.iter().map(|d| d.to_event()).collect(),
+                    });
+                }
+            }
+
+            let evaluate = (epoch + 1) % cfg.eval_every_epochs == 0 || epoch + 1 == cfg.epochs;
+            let metric = if evaluate {
+                co.send(0, Command::Evaluate)?;
+                let m = co.recv_metric()?;
+                if m > best_metric {
+                    best_metric = m;
+                }
+                final_metric = m;
+                m
+            } else {
+                f32::NAN
+            };
+            metric_curve.push(metric);
+            recorder.record(Event::EpochCompleted {
+                epoch,
+                loss: mean_loss,
+                metric: if metric.is_nan() { None } else { Some(metric) },
+                lr,
+                wall_ms: epoch_start.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+    }
+
+    // -- Final fleet-wide digest verification ------------------------
+    let anchor = co.capture_anchor()?;
+    let final_digest = state_digest(&anchor);
+    let others: Vec<usize> = co.live.iter().copied().filter(|&w| w != 0).collect();
+    for w in others {
+        co.send(w, Command::CaptureState)?;
+        let frame = co.recv_state(w)?;
+        let got = state_digest(&frame);
+        if got != final_digest {
+            return Err(DistError::Desync {
+                worker: w,
+                expected: final_digest,
+                got,
+            });
+        }
+    }
+
+    let ledger = co.ledger.clone();
+    let workers: Vec<WorkerSummary> = co.summaries.values().cloned().collect();
+    co.shutdown()?;
+
+    Ok(DistRunResult {
+        e_hat,
+        k_hat,
+        decisions,
+        loss_curve,
+        metric_curve,
+        best_metric,
+        final_metric,
+        params_full,
+        params_final,
+        ledger,
+        workers,
+        final_digest,
+    })
+}
+
+/// Replays worker 0's decisions on the coordinator's mirror replica so
+/// the coordinator's schema tracks the fleet's wire layout.
+fn apply_switch_to_mirror(
+    mirror: &mut Network,
+    decisions: &[RankDecision],
+    opts: &SwitchOptions,
+) -> DistResult<()> {
+    let ranks: HashMap<String, usize> = decisions
+        .iter()
+        .filter_map(|d| d.chosen.map(|r| (d.name.clone(), r)))
+        .collect();
+    let replay = SwitchOptions {
+        k: 0,
+        plan: RankPlan::Explicit { ranks },
+        extra_bn: opts.extra_bn,
+        frobenius_decay: opts.frobenius_decay,
+    };
+    cuttlefish::factorize::switch_to_low_rank(mirror, &replay)?;
+    Ok(())
+}
+
+fn switch_extra_bn(policy: &SwitchPolicy) -> bool {
+    match policy {
+        SwitchPolicy::Cuttlefish(c) => c.extra_bn,
+        SwitchPolicy::Manual { extra_bn, .. } => *extra_bn,
+        _ => false,
+    }
+}
+
+fn switch_frobenius_decay(policy: &SwitchPolicy) -> Option<f32> {
+    match policy {
+        SwitchPolicy::Cuttlefish(c) => c.frobenius_decay,
+        SwitchPolicy::Manual {
+            frobenius_decay, ..
+        } => *frobenius_decay,
+        SwitchPolicy::SpectralInit {
+            frobenius_decay, ..
+        } => *frobenius_decay,
+        SwitchPolicy::FullRankOnly => None,
+    }
+}

@@ -1,0 +1,214 @@
+//! The pluggable gradient collective.
+//!
+//! A [`GradientExchange`] turns per-worker gradients into wire frames and
+//! reduces a round's frames into the averaged update every replica
+//! applies. Two implementations ship:
+//!
+//! - [`DenseAllReduce`] models a legacy collective compiled against the
+//!   dense parameter layout: it works until the low-rank switch and then
+//!   *refuses* the factorized schema with a typed error, which is exactly
+//!   the failure mode of fixed-bucket NCCL-style allreduce plans when the
+//!   parameter registry changes shape mid-run.
+//! - [`FactorAllReduce`] is shape-aware on both sides of the switch: it
+//!   exchanges dense gradients full-rank and `U`/`Vᵀ` factor gradients
+//!   after, so its per-step bytes drop by the rank ratio ρ the moment the
+//!   fleet factorizes.
+//!
+//! Reduction folds contributions in ascending worker-id order before
+//! scaling by `1/n`. f32 addition is not associative; fixing the fold
+//! order is what makes every replica (and every rerun) apply a
+//! bit-identical update.
+
+use crate::schema::{decode_grads, encode_grads, ParamSchema};
+use crate::{DistError, DistResult};
+use cuttlefish_tensor::Matrix;
+
+/// A collective for exchanging one round of gradients.
+///
+/// Implementations must be `Send`: each worker thread owns one instance
+/// (built from the same [`crate::ExchangeKind`]) and the coordinator owns
+/// another for reduction.
+pub trait GradientExchange: Send {
+    /// Stable name, used in telemetry (`"dense_allreduce"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Checks that this collective can carry the given schema.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Unsupported`] when the schema's layout is outside
+    /// what this collective was built for.
+    fn accepts(&self, schema: &ParamSchema) -> DistResult<()>;
+
+    /// Serializes one worker's gradients into an uplink frame.
+    ///
+    /// # Errors
+    ///
+    /// Schema refusal or frame mismatch.
+    fn encode(&self, schema: &ParamSchema, grads: &[Matrix]) -> DistResult<Vec<u8>> {
+        self.accepts(schema)?;
+        encode_grads(schema, grads)
+    }
+
+    /// Deserializes a frame back into per-parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Schema refusal or frame mismatch.
+    fn decode(&self, schema: &ParamSchema, frame: &[u8]) -> DistResult<Vec<Matrix>> {
+        self.accepts(schema)?;
+        decode_grads(schema, frame)
+    }
+
+    /// Reduces one round's uplink frames into the mean-gradient downlink
+    /// frame. `frames` carries `(worker_id, frame)` pairs; contributions
+    /// are folded in ascending worker-id order regardless of arrival
+    /// order, so the f32 sum — and therefore every replica's next
+    /// parameter state — is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Frame`] on an empty round or any malformed frame.
+    fn reduce(&self, schema: &ParamSchema, frames: &[(usize, Vec<u8>)]) -> DistResult<Vec<u8>> {
+        if frames.is_empty() {
+            return Err(DistError::Frame {
+                detail: "cannot reduce an empty round".to_string(),
+            });
+        }
+        let mut order: Vec<usize> = (0..frames.len()).collect();
+        order.sort_by_key(|&i| frames[i].0);
+        let mut acc: Option<Vec<Matrix>> = None;
+        for i in order {
+            let grads = self.decode(schema, &frames[i].1)?;
+            match acc.as_mut() {
+                None => acc = Some(grads),
+                Some(sum) => {
+                    for (s, g) in sum.iter_mut().zip(&grads) {
+                        s.axpy(1.0, g)?;
+                    }
+                }
+            }
+        }
+        let mut mean = acc.ok_or_else(|| DistError::Frame {
+            detail: "reduction produced no accumulator".to_string(),
+        })?;
+        let inv = 1.0 / frames.len() as f32;
+        for m in &mut mean {
+            m.scale_in_place(inv);
+        }
+        self.encode(schema, &mean)
+    }
+}
+
+/// Dense-layout allreduce: valid only while every parameter is full-rank.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DenseAllReduce;
+
+impl GradientExchange for DenseAllReduce {
+    fn name(&self) -> &'static str {
+        "dense_allreduce"
+    }
+
+    fn accepts(&self, schema: &ParamSchema) -> DistResult<()> {
+        if schema.factored {
+            return Err(DistError::Unsupported {
+                exchange: "dense_allreduce",
+                detail: "model is factorized; dense collective only carries full-rank layouts"
+                    .to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Shape-aware allreduce: carries whatever layout the schema describes,
+/// dense before the switch and `U`/`Vᵀ` factors after.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FactorAllReduce;
+
+impl GradientExchange for FactorAllReduce {
+    fn name(&self) -> &'static str {
+        "factor_allreduce"
+    }
+
+    fn accepts(&self, _schema: &ParamSchema) -> DistResult<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ParamSpec;
+
+    fn toy_schema(factored: bool) -> ParamSchema {
+        ParamSchema {
+            specs: vec![
+                ParamSpec {
+                    name: "a".to_string(),
+                    rows: 2,
+                    cols: 3,
+                },
+                ParamSpec {
+                    name: "b".to_string(),
+                    rows: 1,
+                    cols: 4,
+                },
+            ],
+            factored,
+        }
+    }
+
+    fn grads(scale: f32) -> Vec<Matrix> {
+        vec![
+            Matrix::from_vec(2, 3, (0..6).map(|i| scale * (i as f32 + 1.0)).collect()).unwrap(),
+            Matrix::from_vec(1, 4, (0..4).map(|i| scale * (i as f32 - 2.0)).collect()).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn reduce_averages_in_worker_order() {
+        let schema = toy_schema(false);
+        let ex = FactorAllReduce;
+        // Deliver frames out of worker order; the mean must not care.
+        let frames = vec![
+            (2usize, ex.encode(&schema, &grads(3.0)).unwrap()),
+            (0usize, ex.encode(&schema, &grads(1.0)).unwrap()),
+            (1usize, ex.encode(&schema, &grads(2.0)).unwrap()),
+        ];
+        let mean = ex
+            .decode(&schema, &ex.reduce(&schema, &frames).unwrap())
+            .unwrap();
+        let want = grads(2.0); // (1 + 2 + 3) / 3
+        for (m, w) in mean.iter().zip(&want) {
+            for i in 0..m.rows() {
+                for j in 0..m.cols() {
+                    assert!((m.get(i, j) - w.get(i, j)).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_refuses_factored_schema() {
+        let schema = toy_schema(true);
+        let err = DenseAllReduce.accepts(&schema).unwrap_err();
+        assert!(matches!(
+            err,
+            DistError::Unsupported {
+                exchange: "dense_allreduce",
+                ..
+            }
+        ));
+        assert!(FactorAllReduce.accepts(&schema).is_ok());
+    }
+
+    #[test]
+    fn reduce_rejects_empty_round() {
+        let schema = toy_schema(false);
+        assert!(matches!(
+            FactorAllReduce.reduce(&schema, &[]),
+            Err(DistError::Frame { .. })
+        ));
+    }
+}

@@ -1,0 +1,288 @@
+//! Deterministic fault injection.
+//!
+//! Distributed-training failure modes — stragglers, crashes, elastic
+//! membership — are normally timing-dependent and therefore untestable.
+//! Here they come from a declarative [`FaultPlan`] checked up front, so a
+//! scenario like "worker 2 straggles at step 5 for 3 rounds, worker 3
+//! crashes at step 8, worker 4 joins at step 10" replays identically on
+//! every run and the tests can assert exact per-step behavior.
+
+use crate::{DistError, DistResult};
+
+/// One injected straggler episode: the worker receives its step command
+/// at `step`, but its gradient only reaches the coordinator `delay_steps`
+/// rounds later (and the worker computes nothing in between — it is
+/// busy). `delay_ms` is an actual sleep inside the worker so the episode
+/// is visible in `compute_ms` telemetry; keep it small in tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StragglerEvent {
+    /// The slow worker.
+    pub worker: usize,
+    /// The lockstep round at which the slow step starts.
+    pub step: usize,
+    /// How many rounds late the gradient arrives (≥ 1).
+    pub delay_steps: usize,
+    /// Wall-clock sleep injected into the worker's compute.
+    pub delay_ms: u64,
+}
+
+/// A worker dies at the start of `step` and never contributes again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The crashing worker.
+    pub worker: usize,
+    /// The round it dies.
+    pub step: usize,
+}
+
+/// A fresh worker (id ≥ the initial fleet size) joins at the start of
+/// `step`: it is spawned, brought to the current factorization layout,
+/// synced to worker 0's exact state (digest-verified), and participates
+/// from that same round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinEvent {
+    /// The joining worker's id.
+    pub worker: usize,
+    /// The round it joins.
+    pub step: usize,
+}
+
+/// The full declarative fault schedule for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Straggler episodes.
+    pub stragglers: Vec<StragglerEvent>,
+    /// Crashes.
+    pub crashes: Vec<CrashEvent>,
+    /// Elastic joins.
+    pub joins: Vec<JoinEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with no injected faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// The highest worker id the plan ever brings into the fleet, plus
+    /// one — the shard count must be cut for this many workers so shards
+    /// stay disjoint across the whole membership history.
+    pub fn max_workers(&self, initial_workers: usize) -> usize {
+        self.joins
+            .iter()
+            .map(|j| j.worker + 1)
+            .max()
+            .unwrap_or(0)
+            .max(initial_workers)
+    }
+
+    /// Validates the plan against a fleet size and run length.
+    ///
+    /// Worker 0 is the fleet's anchor — it runs Algorithm 1, serves as
+    /// the sync source, and guarantees every round has at least one
+    /// on-time contribution — so it may neither crash nor straggle. Join
+    /// ids must be fresh (≥ `initial_workers`, unique); all steps must
+    /// fall inside the run; per-worker episodes must not overlap.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Config`] naming the first violated rule.
+    pub fn validate(&self, initial_workers: usize, total_steps: usize) -> DistResult<()> {
+        let bad = |field: &'static str, detail: String| DistError::Config { field, detail };
+        let known = self.max_workers(initial_workers);
+        for s in &self.stragglers {
+            if s.worker == 0 {
+                return Err(bad("stragglers", "worker 0 may not straggle".to_string()));
+            }
+            if s.worker >= known {
+                return Err(bad("stragglers", format!("unknown worker {}", s.worker)));
+            }
+            if s.delay_steps == 0 {
+                return Err(bad("stragglers", "delay_steps must be >= 1".to_string()));
+            }
+            if s.step + s.delay_steps >= total_steps {
+                return Err(bad(
+                    "stragglers",
+                    format!(
+                        "worker {} straggling at step {} lands past the run ({} steps)",
+                        s.worker, s.step, total_steps
+                    ),
+                ));
+            }
+        }
+        for c in &self.crashes {
+            if c.worker == 0 {
+                return Err(bad("crashes", "worker 0 may not crash".to_string()));
+            }
+            if c.worker >= known {
+                return Err(bad("crashes", format!("unknown worker {}", c.worker)));
+            }
+            if c.step >= total_steps {
+                return Err(bad(
+                    "crashes",
+                    format!("crash at step {} is past the run", c.step),
+                ));
+            }
+        }
+        for (i, j) in self.joins.iter().enumerate() {
+            if j.worker < initial_workers {
+                return Err(bad(
+                    "joins",
+                    format!(
+                        "worker {} is already in the initial fleet of {}",
+                        j.worker, initial_workers
+                    ),
+                ));
+            }
+            if j.step >= total_steps {
+                return Err(bad(
+                    "joins",
+                    format!("join at step {} is past the run", j.step),
+                ));
+            }
+            if self.joins[..i].iter().any(|p| p.worker == j.worker) {
+                return Err(bad("joins", format!("worker {} joins twice", j.worker)));
+            }
+        }
+        // Per-worker episodes must not interleave: while a worker is
+        // straggling it cannot also crash, re-straggle, or (for joiners)
+        // have not yet joined.
+        for s in &self.stragglers {
+            let busy = s.step..=s.step + s.delay_steps;
+            for o in &self.stragglers {
+                if std::ptr::eq(s, o) || o.worker != s.worker {
+                    continue;
+                }
+                if busy.contains(&o.step) {
+                    return Err(bad(
+                        "stragglers",
+                        format!("worker {} has overlapping straggler episodes", s.worker),
+                    ));
+                }
+            }
+            for c in &self.crashes {
+                if c.worker == s.worker && busy.contains(&c.step) {
+                    return Err(bad(
+                        "crashes",
+                        format!("worker {} crashes mid-straggle", c.worker),
+                    ));
+                }
+            }
+            if let Some(j) = self.joins.iter().find(|j| j.worker == s.worker) {
+                if s.step <= j.step {
+                    return Err(bad(
+                        "stragglers",
+                        format!("worker {} straggles before joining", s.worker),
+                    ));
+                }
+            }
+        }
+        for c in &self.crashes {
+            if let Some(j) = self.joins.iter().find(|j| j.worker == c.worker) {
+                if c.step <= j.step {
+                    return Err(bad(
+                        "crashes",
+                        format!("worker {} crashes before joining", c.worker),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The straggler episode starting at exactly `(worker, step)`, if any.
+    pub fn straggler_at(&self, worker: usize, step: usize) -> Option<&StragglerEvent> {
+        self.stragglers
+            .iter()
+            .find(|s| s.worker == worker && s.step == step)
+    }
+
+    /// Whether `worker` crashes at the start of `step`.
+    pub fn crash_at(&self, worker: usize, step: usize) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.worker == worker && c.step == step)
+    }
+
+    /// Workers joining at the start of `step`, in id order.
+    pub fn joins_at(&self, step: usize) -> Vec<&JoinEvent> {
+        let mut js: Vec<&JoinEvent> = self.joins.iter().filter(|j| j.step == step).collect();
+        js.sort_by_key(|j| j.worker);
+        js
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_validates() {
+        assert!(FaultPlan::none().validate(4, 10).is_ok());
+        assert_eq!(FaultPlan::none().max_workers(4), 4);
+    }
+
+    #[test]
+    fn worker_zero_is_protected() {
+        let p = FaultPlan {
+            crashes: vec![CrashEvent { worker: 0, step: 1 }],
+            ..FaultPlan::none()
+        };
+        assert!(matches!(p.validate(2, 10), Err(DistError::Config { .. })));
+        let p = FaultPlan {
+            stragglers: vec![StragglerEvent {
+                worker: 0,
+                step: 1,
+                delay_steps: 2,
+                delay_ms: 0,
+            }],
+            ..FaultPlan::none()
+        };
+        assert!(p.validate(2, 10).is_err());
+    }
+
+    #[test]
+    fn join_ids_must_be_fresh_and_raise_max_workers() {
+        let p = FaultPlan {
+            joins: vec![JoinEvent { worker: 1, step: 2 }],
+            ..FaultPlan::none()
+        };
+        assert!(p.validate(2, 10).is_err());
+        let p = FaultPlan {
+            joins: vec![JoinEvent { worker: 5, step: 2 }],
+            ..FaultPlan::none()
+        };
+        assert!(p.validate(2, 10).is_ok());
+        assert_eq!(p.max_workers(2), 6);
+    }
+
+    #[test]
+    fn overlapping_episodes_are_rejected() {
+        let p = FaultPlan {
+            stragglers: vec![StragglerEvent {
+                worker: 1,
+                step: 2,
+                delay_steps: 3,
+                delay_ms: 0,
+            }],
+            crashes: vec![CrashEvent { worker: 1, step: 4 }],
+            ..FaultPlan::none()
+        };
+        assert!(p.validate(2, 10).is_err());
+    }
+
+    #[test]
+    fn straggler_past_run_end_is_rejected() {
+        let p = FaultPlan {
+            stragglers: vec![StragglerEvent {
+                worker: 1,
+                step: 8,
+                delay_steps: 2,
+                delay_ms: 0,
+            }],
+            ..FaultPlan::none()
+        };
+        assert!(p.validate(2, 10).is_err());
+        assert!(p.validate(2, 11).is_ok());
+    }
+}

@@ -1,0 +1,161 @@
+//! Data-parallel Cuttlefish training with low-rank-compressed gradient
+//! exchange.
+//!
+//! The Pufferfish/Cuttlefish lineage observes that factorized training
+//! shrinks not only compute but *communication*: once a layer trains as
+//! `U·Vᵀ`, a data-parallel all-reduce moves the factor gradients instead
+//! of the dense gradient, cutting bytes on the wire by the same rank
+//! ratio ρ as the parameter count. This crate reproduces that effect in
+//! process: `N` worker threads train on disjoint shards of a synthetic
+//! vision task, exchange gradients through an in-memory collective every
+//! lockstep round, and worker 0 runs Algorithm 1 (stable-rank tracking →
+//! SVD switch) on behalf of the fleet — the coordinator then broadcasts
+//! the chosen per-layer ranks so every replica factorizes identically and
+//! the wire format flips from dense to factor frames in the same round.
+//!
+//! Structure:
+//!
+//! - [`schema`] — the wire format: a [`schema::ParamSchema`] describes the
+//!   exact parameter shapes a frame must carry; gradient and
+//!   parameter-state frames are length-validated little-endian `f32`
+//!   buffers so byte counts reported by the ledger are real.
+//! - [`exchange`] — the pluggable collective: [`GradientExchange`] with a
+//!   [`DenseAllReduce`] that refuses factorized schemas (modeling a
+//!   legacy fixed-schema collective) and a shape-aware
+//!   [`FactorAllReduce`].
+//! - [`shard`] — disjoint row-range dataset shards and per-worker RNG
+//!   seed derivation from a single run seed.
+//! - [`fault`] — a deterministic fault plan: injected stragglers (their
+//!   gradients arrive rounds late and are applied or dropped under a
+//!   staleness bound), worker crashes, and elastic joins with
+//!   digest-verified state catch-up.
+//! - [`worker`] — the per-worker thread: owns a model replica, a shard
+//!   adapter, and a [`cuttlefish::StepEngine`]; speaks a small
+//!   command/reply protocol over channels.
+//! - [`coordinator`] — the lockstep driver: [`run_distributed`] /
+//!   [`DistTrainer`], the communication ledger, and telemetry emission.
+//!
+//! Determinism is load-bearing: every replica is constructed from the
+//! same builder (identical initialization), applies the same averaged
+//! update each round (reduction folds contributions in worker-id order,
+//! so the f32 sum order is fixed), and derives its batch RNG from
+//! [`shard::worker_seed`]. Faults come from the plan, never from timing,
+//! so two runs of the same config are bit-identical — a property the
+//! integration tests assert by digesting final parameter state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cuttlefish::CuttlefishError;
+use cuttlefish_nn::NnError;
+use cuttlefish_tensor::TensorError;
+use std::fmt;
+
+pub mod coordinator;
+pub mod exchange;
+pub mod fault;
+pub mod schema;
+pub mod shard;
+pub mod worker;
+
+pub use coordinator::{
+    run_distributed, run_distributed_with, CommLedger, DistConfig, DistRunResult, ExchangeKind,
+    WorkerSummary,
+};
+pub use exchange::{DenseAllReduce, FactorAllReduce, GradientExchange};
+pub use fault::{CrashEvent, FaultPlan, JoinEvent, StragglerEvent};
+pub use schema::ParamSchema;
+pub use shard::{shard_vision_task, worker_seed};
+pub use worker::NetBuilder;
+
+/// Errors surfaced by the distributed runtime.
+#[derive(Debug)]
+pub enum DistError {
+    /// A run-level configuration value was invalid.
+    Config {
+        /// The offending field or concept.
+        field: &'static str,
+        /// Explanation of the rejected value.
+        detail: String,
+    },
+    /// A wire frame disagreed with the live parameter schema.
+    Frame {
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+    /// An exchange refused the current schema (e.g. [`DenseAllReduce`]
+    /// handed a factorized model).
+    Unsupported {
+        /// The exchange that refused.
+        exchange: &'static str,
+        /// Why the schema is not exchangeable.
+        detail: String,
+    },
+    /// A worker thread failed or stopped responding.
+    Worker {
+        /// The worker id.
+        worker: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Replicas diverged: a state digest did not match worker 0's.
+    Desync {
+        /// The worker whose digest disagreed.
+        worker: usize,
+        /// Worker 0's digest.
+        expected: u64,
+        /// The diverged digest.
+        got: u64,
+    },
+    /// An underlying training-stack error.
+    Train(CuttlefishError),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Config { field, detail } => {
+                write!(f, "invalid dist configuration: `{field}` {detail}")
+            }
+            DistError::Frame { detail } => write!(f, "frame/schema mismatch: {detail}"),
+            DistError::Unsupported { exchange, detail } => {
+                write!(f, "exchange `{exchange}` refused schema: {detail}")
+            }
+            DistError::Worker { worker, detail } => {
+                write!(f, "worker {worker} failed: {detail}")
+            }
+            DistError::Desync {
+                worker,
+                expected,
+                got,
+            } => write!(
+                f,
+                "worker {worker} desynchronized: state digest {got:#018x} != {expected:#018x}"
+            ),
+            DistError::Train(e) => write!(f, "training error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<CuttlefishError> for DistError {
+    fn from(e: CuttlefishError) -> Self {
+        DistError::Train(e)
+    }
+}
+
+impl From<NnError> for DistError {
+    fn from(e: NnError) -> Self {
+        DistError::Train(CuttlefishError::Nn(e))
+    }
+}
+
+impl From<TensorError> for DistError {
+    fn from(e: TensorError) -> Self {
+        DistError::Train(CuttlefishError::Tensor(e))
+    }
+}
+
+/// Result alias for this crate.
+pub type DistResult<T> = std::result::Result<T, DistError>;

@@ -1,0 +1,341 @@
+//! The wire format shared by every exchange.
+//!
+//! A [`ParamSchema`] is the flattened list of `(name, rows, cols)` for
+//! every trainable parameter of a replica, in `visit_params` order. Both
+//! frame kinds are raw little-endian `f32` buffers validated against the
+//! schema on decode, so the byte counts the coordinator's ledger reports
+//! are the real payload sizes — the ρ communication drop after the
+//! low-rank switch is measured, not estimated.
+//!
+//! Two frame kinds exist:
+//!
+//! - **Gradient frames** ([`encode_grads`] / [`decode_grads`]): the
+//!   concatenation of every parameter gradient, fixed-size per schema.
+//! - **State frames** ([`capture_state`] / [`apply_state`]): parameter
+//!   values *plus* optimizer slots (momentum / Adam moments), used for
+//!   elastic-join catch-up and straggler resync. Slots are lazily created
+//!   by the optimizer, so each is prefixed with its shape and count.
+//!
+//! [`state_digest`] hashes a frame (FNV-1a 64) so the coordinator can
+//! verify that a synced replica landed bit-identical to worker 0.
+
+use crate::{DistError, DistResult};
+use cuttlefish_nn::Network;
+use cuttlefish_tensor::Matrix;
+
+/// Shape of one trainable parameter on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSpec {
+    /// Parameter name (from `visit_params_named`).
+    pub name: String,
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+}
+
+/// The flattened parameter layout of a replica, in visitation order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSchema {
+    /// Per-parameter shapes.
+    pub specs: Vec<ParamSpec>,
+    /// Whether any factorization target of the model is currently
+    /// factorized (the schema carries `U`/`Vᵀ` factors, not dense
+    /// weights).
+    pub factored: bool,
+}
+
+impl ParamSchema {
+    /// Reads the live schema off a network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates target-resolution errors from the factorization probe.
+    pub fn of(net: &mut Network) -> DistResult<ParamSchema> {
+        let specs = net
+            .param_specs()
+            .into_iter()
+            .map(|(name, (rows, cols))| ParamSpec { name, rows, cols })
+            .collect();
+        let mut factored = false;
+        let names: Vec<String> = net.targets().iter().map(|t| t.name.clone()).collect();
+        for name in names {
+            if net.is_factored(&name)? {
+                factored = true;
+                break;
+            }
+        }
+        Ok(ParamSchema { specs, factored })
+    }
+
+    /// Total number of `f32` scalars in one gradient frame.
+    pub fn scalars(&self) -> usize {
+        self.specs.iter().map(|s| s.rows * s.cols).sum()
+    }
+
+    /// Size of one gradient frame in bytes.
+    pub fn frame_bytes(&self) -> usize {
+        self.scalars() * 4
+    }
+
+    /// Checks a matrix list against the schema, naming the first offender.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Frame`] on count or shape mismatch.
+    pub fn matches(&self, mats: &[Matrix]) -> DistResult<()> {
+        if mats.len() != self.specs.len() {
+            return Err(DistError::Frame {
+                detail: format!(
+                    "expected {} parameters, got {}",
+                    self.specs.len(),
+                    mats.len()
+                ),
+            });
+        }
+        for (spec, m) in self.specs.iter().zip(mats) {
+            if m.rows() != spec.rows || m.cols() != spec.cols {
+                return Err(DistError::Frame {
+                    detail: format!(
+                        "`{}` expects {}x{}, frame carries {}x{}",
+                        spec.name,
+                        spec.rows,
+                        spec.cols,
+                        m.rows(),
+                        m.cols()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serializes one gradient set into a wire frame.
+///
+/// # Errors
+///
+/// [`DistError::Frame`] when the gradients disagree with the schema.
+pub fn encode_grads(schema: &ParamSchema, grads: &[Matrix]) -> DistResult<Vec<u8>> {
+    schema.matches(grads)?;
+    let mut out = Vec::with_capacity(schema.frame_bytes());
+    for g in grads {
+        g.write_le_bytes(&mut out);
+    }
+    Ok(out)
+}
+
+/// Deserializes a wire frame back into per-parameter gradients.
+///
+/// # Errors
+///
+/// [`DistError::Frame`] when the byte length disagrees with the schema.
+pub fn decode_grads(schema: &ParamSchema, frame: &[u8]) -> DistResult<Vec<Matrix>> {
+    if frame.len() != schema.frame_bytes() {
+        return Err(DistError::Frame {
+            detail: format!(
+                "gradient frame is {} bytes, schema expects {}",
+                frame.len(),
+                schema.frame_bytes()
+            ),
+        });
+    }
+    let mut mats = Vec::with_capacity(schema.specs.len());
+    let mut off = 0usize;
+    for spec in &schema.specs {
+        let len = spec.rows * spec.cols * 4;
+        let bytes = frame.get(off..off + len).ok_or_else(|| DistError::Frame {
+            detail: format!("gradient frame truncated at `{}`", spec.name),
+        })?;
+        mats.push(Matrix::from_le_bytes(spec.rows, spec.cols, bytes)?);
+        off += len;
+    }
+    Ok(mats)
+}
+
+fn push_u32(out: &mut Vec<u8>, v: usize) {
+    out.extend_from_slice(&(v as u32).to_le_bytes());
+}
+
+fn read_u32(bytes: &[u8], off: &mut usize) -> DistResult<usize> {
+    let raw = bytes
+        .get(*off..*off + 4)
+        .ok_or_else(|| DistError::Frame {
+            detail: "state frame truncated in header".to_string(),
+        })?
+        .try_into()
+        .map_err(|_| DistError::Frame {
+            detail: "state frame header malformed".to_string(),
+        })?;
+    *off += 4;
+    Ok(u32::from_le_bytes(raw) as usize)
+}
+
+/// Captures a replica's full trainable state — parameter values and
+/// optimizer slots — as one frame for elastic-join / resync transfers.
+///
+/// Layout, per parameter in visitation order: `[u32 slot_count]`, the
+/// value's `f32` data, then each slot as `[u32 rows][u32 cols]` plus its
+/// `f32` data. Gradients are deliberately excluded: a synced replica
+/// starts its next step from zeroed gradients like everyone else.
+pub fn capture_state(net: &mut Network) -> Vec<u8> {
+    let mut out = Vec::new();
+    net.visit_params(&mut |p| {
+        push_u32(&mut out, p.slots.len());
+        p.value.write_le_bytes(&mut out);
+        for slot in &p.slots {
+            push_u32(&mut out, slot.rows());
+            push_u32(&mut out, slot.cols());
+            slot.write_le_bytes(&mut out);
+        }
+    });
+    out
+}
+
+/// Overwrites a replica's parameter values and optimizer slots from a
+/// state frame captured on a peer with the *same* schema, zeroing
+/// gradients afterwards.
+///
+/// # Errors
+///
+/// [`DistError::Frame`] when the frame does not line up with this
+/// replica's parameter shapes; the replica may be partially overwritten
+/// in that case and must be resynced before further use.
+pub fn apply_state(net: &mut Network, frame: &[u8]) -> DistResult<()> {
+    let mut off = 0usize;
+    let mut failure: Option<DistError> = None;
+    net.visit_params_named(&mut |name, p| {
+        if failure.is_some() {
+            return;
+        }
+        let mut step = || -> DistResult<()> {
+            let n_slots = read_u32(frame, &mut off)?;
+            let len = p.value.rows() * p.value.cols() * 4;
+            let bytes = frame.get(off..off + len).ok_or_else(|| DistError::Frame {
+                detail: format!("state frame truncated at `{name}`"),
+            })?;
+            p.value = Matrix::from_le_bytes(p.value.rows(), p.value.cols(), bytes)?;
+            off += len;
+            let mut slots = Vec::with_capacity(n_slots);
+            for _ in 0..n_slots {
+                let rows = read_u32(frame, &mut off)?;
+                let cols = read_u32(frame, &mut off)?;
+                let len = rows * cols * 4;
+                let bytes = frame.get(off..off + len).ok_or_else(|| DistError::Frame {
+                    detail: format!("state frame truncated in `{name}` slots"),
+                })?;
+                slots.push(Matrix::from_le_bytes(rows, cols, bytes)?);
+                off += len;
+            }
+            p.slots = slots;
+            Ok(())
+        };
+        if let Err(e) = step() {
+            failure = Some(e);
+        }
+    });
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    if off != frame.len() {
+        return Err(DistError::Frame {
+            detail: format!(
+                "state frame has {} trailing bytes after all parameters",
+                frame.len() - off
+            ),
+        });
+    }
+    net.zero_grads();
+    Ok(())
+}
+
+/// FNV-1a 64 digest of a frame, used to verify bit-identical sync.
+pub fn state_digest(frame: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in frame {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net() -> Network {
+        let mut rng = StdRng::seed_from_u64(7);
+        build_micro_resnet18(&MicroResNetConfig::tiny(10), &mut rng)
+    }
+
+    #[test]
+    fn grad_frame_roundtrip_is_exact() {
+        let mut net = tiny_net();
+        let schema = ParamSchema::of(&mut net).unwrap();
+        assert!(!schema.factored);
+        let grads: Vec<Matrix> = schema
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let data = (0..s.rows * s.cols)
+                    .map(|j| (i as f32 + 1.0) * 0.125 + j as f32 * 1e-3)
+                    .collect();
+                Matrix::from_vec(s.rows, s.cols, data).unwrap()
+            })
+            .collect();
+        let frame = encode_grads(&schema, &grads).unwrap();
+        assert_eq!(frame.len(), schema.frame_bytes());
+        let back = decode_grads(&schema, &frame).unwrap();
+        for (a, b) in grads.iter().zip(&back) {
+            assert_eq!(a.rows(), b.rows());
+            for i in 0..a.rows() {
+                for j in 0..a.cols() {
+                    assert_eq!(a.get(i, j), b.get(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_length() {
+        let mut net = tiny_net();
+        let schema = ParamSchema::of(&mut net).unwrap();
+        let short = vec![0u8; schema.frame_bytes() - 4];
+        assert!(matches!(
+            decode_grads(&schema, &short),
+            Err(DistError::Frame { .. })
+        ));
+    }
+
+    #[test]
+    fn state_frame_roundtrips_and_digest_matches() {
+        let mut a = tiny_net();
+        let mut b = tiny_net();
+        // Perturb `b` so the sync visibly changes it.
+        b.visit_params(&mut |p| {
+            let m = Matrix::zeros(p.value.rows(), p.value.cols());
+            p.value = m;
+        });
+        let frame = capture_state(&mut a);
+        apply_state(&mut b, &frame).unwrap();
+        let frame_b = capture_state(&mut b);
+        assert_eq!(state_digest(&frame), state_digest(&frame_b));
+        assert_eq!(frame, frame_b);
+    }
+
+    #[test]
+    fn apply_state_rejects_truncated_frame() {
+        let mut a = tiny_net();
+        let mut frame = capture_state(&mut a);
+        frame.truncate(frame.len() / 2);
+        let mut b = tiny_net();
+        assert!(matches!(
+            apply_state(&mut b, &frame),
+            Err(DistError::Frame { .. })
+        ));
+    }
+}

@@ -1,0 +1,120 @@
+//! Dataset sharding and per-worker seed derivation.
+
+use crate::{DistError, DistResult};
+use cuttlefish_data::VisionTask;
+
+/// Derives a worker's private RNG seed from the single run seed.
+///
+/// One run seed drives the whole fleet; each worker mixes its id through
+/// a SplitMix64 finalizer so the per-worker streams are decorrelated but
+/// fully determined by `(run_seed, worker)`. This replaces ad-hoc
+/// `seed + worker` schemes, whose streams collide across rounds (worker 1
+/// at round 10 reusing worker 11's round-0 seed) and silently correlate
+/// shuffles between workers.
+pub fn worker_seed(run_seed: u64, worker: usize) -> u64 {
+    let mut z = run_seed ^ (worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Cuts a disjoint training shard for one worker out of a vision task.
+///
+/// The training split is divided into `num_shards` equal row ranges
+/// (trailing remainder rows are dropped so every worker sees the same
+/// number of steps per epoch); the validation split is kept whole on
+/// every shard so any worker can evaluate the global metric. Sharding is
+/// by contiguous row range — the synthetic generators interleave classes,
+/// so contiguous ranges are already class-balanced.
+///
+/// # Errors
+///
+/// [`DistError::Config`] when `worker >= num_shards`, `num_shards` is
+/// zero, or the split is too small to give every shard at least one row.
+pub fn shard_vision_task(
+    task: &VisionTask,
+    worker: usize,
+    num_shards: usize,
+) -> DistResult<VisionTask> {
+    if num_shards == 0 {
+        return Err(DistError::Config {
+            field: "num_shards",
+            detail: "must be > 0".to_string(),
+        });
+    }
+    if worker >= num_shards {
+        return Err(DistError::Config {
+            field: "worker",
+            detail: format!("id {worker} out of range for {num_shards} shards"),
+        });
+    }
+    let n = task.train_x.rows();
+    let per = n / num_shards;
+    if per == 0 {
+        return Err(DistError::Config {
+            field: "num_shards",
+            detail: format!("{n} training rows cannot feed {num_shards} shards"),
+        });
+    }
+    let lo = worker * per;
+    let hi = lo + per;
+    Ok(VisionTask {
+        spec: task.spec.clone(),
+        train_x: task.train_x.row_range(lo, hi)?,
+        train_y: task.train_y[lo..hi].to_vec(),
+        val_x: task.val_x.clone(),
+        val_y: task.val_y.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuttlefish_data::VisionSpec;
+
+    #[test]
+    fn worker_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..16).map(|w| worker_seed(42, w)).collect();
+        for i in 0..seeds.len() {
+            for j in i + 1..seeds.len() {
+                assert_ne!(seeds[i], seeds[j], "workers {i} and {j} collide");
+            }
+        }
+        assert_eq!(worker_seed(42, 3), worker_seed(42, 3));
+        assert_ne!(worker_seed(42, 3), worker_seed(43, 3));
+    }
+
+    #[test]
+    fn shards_are_disjoint_and_cover_equal_rows() {
+        let task = VisionTask::generate(&VisionSpec::tiny(), 11);
+        let n = task.train_x.rows();
+        let shards: Vec<VisionTask> = (0..4)
+            .map(|w| shard_vision_task(&task, w, 4).unwrap())
+            .collect();
+        let per = n / 4;
+        for (w, s) in shards.iter().enumerate() {
+            assert_eq!(s.train_x.rows(), per);
+            assert_eq!(s.train_y.len(), per);
+            // Row 0 of shard w is row w*per of the source.
+            for j in 0..s.train_x.cols() {
+                assert_eq!(s.train_x.get(0, j), task.train_x.get(w * per, j));
+            }
+            // Validation stays global.
+            assert_eq!(s.val_x.rows(), task.val_x.rows());
+        }
+    }
+
+    #[test]
+    fn shard_rejects_out_of_range_worker() {
+        let task = VisionTask::generate(&VisionSpec::tiny(), 11);
+        assert!(matches!(
+            shard_vision_task(&task, 4, 4),
+            Err(DistError::Config { .. })
+        ));
+        assert!(matches!(
+            shard_vision_task(&task, 0, 0),
+            Err(DistError::Config { .. })
+        ));
+    }
+}

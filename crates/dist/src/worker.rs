@@ -1,0 +1,336 @@
+//! The per-worker thread.
+//!
+//! A worker owns one model replica, one dataset shard wrapped in a
+//! [`VisionAdapter`], one [`StepEngine`], and one collective instance. It
+//! speaks a small command/reply protocol over `mpsc` channels: the
+//! coordinator's per-worker sender carries [`Command`]s, a shared reply
+//! channel carries [`Reply`]s. Commands are processed strictly in FIFO
+//! order, which is what makes the lockstep protocol simple: `Apply` for
+//! round `r` is always queued before `Step` for round `r+1`, so a worker
+//! can never compute a step against pre-update parameters by accident.
+
+use crate::coordinator::ExchangeKind;
+use crate::exchange::GradientExchange;
+use crate::schema::{apply_state, capture_state, state_digest, ParamSchema};
+use crate::shard::worker_seed;
+use crate::{DistError, DistResult};
+use cuttlefish::adapter::{TaskAdapter, TaskBatch, VisionAdapter};
+use cuttlefish::factorize::{switch_to_low_rank, RankDecision, RankPlan, SwitchOptions};
+use cuttlefish::{OptimizerKind, StepEngine};
+use cuttlefish_data::VisionTask;
+use cuttlefish_nn::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Builds one fresh replica. Every worker calls the same builder, and the
+/// builder must be internally seeded, so all replicas start bit-identical.
+pub type NetBuilder = Arc<dyn Fn() -> Network + Send + Sync>;
+
+/// Per-worker static configuration, copied from the run config.
+#[derive(Clone)]
+pub(crate) struct WorkerSetup {
+    pub run_seed: u64,
+    pub batch_size: usize,
+    pub optimizer: OptimizerKind,
+    pub grad_clip: Option<f32>,
+    pub label_smoothing: f32,
+    pub augment: bool,
+    pub exchange: ExchangeKind,
+}
+
+/// Coordinator → worker.
+pub(crate) enum Command {
+    /// Compute one local step (forward/backward on the next shard batch)
+    /// and upload the gradient frame. `delay_ms` is a fault-plan sleep.
+    Step { step: usize, delay_ms: u64 },
+    /// Load the averaged gradient frame and take one optimizer step.
+    Apply { lr: f32, frame: Vec<u8> },
+    /// Worker 0 only: run the switch locally and report its decisions.
+    PlanSwitch { opts: SwitchOptions },
+    /// Everyone else: replay worker 0's chosen ranks exactly.
+    ApplySwitch {
+        ranks: Vec<(String, usize)>,
+        extra_bn: bool,
+        frobenius_decay: Option<f32>,
+    },
+    /// Upload the full parameter + optimizer-slot state.
+    CaptureState,
+    /// Upload the current 2-D weight matrices of the named targets (for
+    /// coordinator-side stable-rank tracking).
+    ReportWeights { names: Vec<String> },
+    /// Overwrite local state from a peer frame and fast-forward the
+    /// optimizer clock to `opt_steps` applied updates.
+    SyncState { frame: Vec<u8>, opt_steps: usize },
+    /// Evaluate the (global) validation split.
+    Evaluate,
+    /// Fault injection: die abruptly, replying nothing.
+    Crash,
+    /// Clean exit.
+    Shutdown,
+}
+
+/// Worker → coordinator.
+pub(crate) enum Reply {
+    Grads {
+        worker: usize,
+        step: usize,
+        loss: f32,
+        compute_ms: f64,
+        frame: Vec<u8>,
+    },
+    SwitchDone {
+        worker: usize,
+        decisions: Vec<RankDecision>,
+        digest: u64,
+        params: usize,
+    },
+    State {
+        worker: usize,
+        frame: Vec<u8>,
+    },
+    Weights {
+        worker: usize,
+        mats: Vec<cuttlefish_tensor::Matrix>,
+    },
+    Synced {
+        worker: usize,
+        digest: u64,
+    },
+    Metric {
+        worker: usize,
+        value: f32,
+    },
+    Stopped {
+        worker: usize,
+    },
+    Failed {
+        worker: usize,
+        detail: String,
+    },
+}
+
+/// A live worker from the coordinator's point of view (keyed by id in
+/// the coordinator's fleet map).
+pub(crate) struct WorkerHandle {
+    pub tx: Sender<Command>,
+    pub join: JoinHandle<()>,
+}
+
+struct WorkerState {
+    id: usize,
+    net: Network,
+    adapter: VisionAdapter,
+    engine: StepEngine,
+    exchange: Box<dyn GradientExchange>,
+    schema: ParamSchema,
+    rng: StdRng,
+    queue: VecDeque<TaskBatch>,
+    epoch: usize,
+    setup: WorkerSetup,
+}
+
+impl WorkerState {
+    fn new(
+        id: usize,
+        setup: WorkerSetup,
+        shard: VisionTask,
+        builder: &NetBuilder,
+    ) -> DistResult<Self> {
+        let mut net = builder();
+        let schema = ParamSchema::of(&mut net)?;
+        let mut adapter = VisionAdapter::new(shard);
+        adapter.augment = setup.augment;
+        let engine = StepEngine::new(setup.optimizer, setup.grad_clip, setup.label_smoothing);
+        let rng = StdRng::seed_from_u64(worker_seed(setup.run_seed, id));
+        Ok(WorkerState {
+            id,
+            net,
+            adapter,
+            engine,
+            exchange: setup.exchange.build(),
+            schema,
+            rng,
+            queue: VecDeque::new(),
+            epoch: 0,
+            setup,
+        })
+    }
+
+    fn next_batch(&mut self) -> DistResult<TaskBatch> {
+        if self.queue.is_empty() {
+            let batches =
+                self.adapter
+                    .train_batches(self.epoch, self.setup.batch_size, &mut self.rng)?;
+            self.epoch += 1;
+            self.queue = batches.into();
+        }
+        self.queue.pop_front().ok_or_else(|| DistError::Worker {
+            worker: self.id,
+            detail: "shard produced no batches".to_string(),
+        })
+    }
+
+    fn step(&mut self, step: usize, delay_ms: u64) -> DistResult<Reply> {
+        let t0 = Instant::now();
+        let batch = self.next_batch()?;
+        let loss = self
+            .engine
+            .forward_backward(&mut self.net, &self.adapter, batch)?;
+        let grads = self.net.collect_grads();
+        let frame = self.exchange.encode(&self.schema, &grads)?;
+        if delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(delay_ms));
+        }
+        Ok(Reply::Grads {
+            worker: self.id,
+            step,
+            loss,
+            compute_ms: t0.elapsed().as_secs_f64() * 1e3,
+            frame,
+        })
+    }
+
+    fn apply(&mut self, lr: f32, frame: &[u8]) -> DistResult<()> {
+        let grads = self.exchange.decode(&self.schema, frame)?;
+        self.net.load_grads(&grads)?;
+        let _ = self.engine.apply(&mut self.net, lr);
+        Ok(())
+    }
+
+    fn plan_switch(&mut self, opts: &SwitchOptions) -> DistResult<Reply> {
+        let decisions = switch_to_low_rank(&mut self.net, opts)?;
+        self.schema = ParamSchema::of(&mut self.net)?;
+        let digest = state_digest(&capture_state(&mut self.net));
+        Ok(Reply::SwitchDone {
+            worker: self.id,
+            decisions,
+            digest,
+            params: self.net.param_count(),
+        })
+    }
+
+    fn apply_switch(
+        &mut self,
+        ranks: Vec<(String, usize)>,
+        extra_bn: bool,
+        frobenius_decay: Option<f32>,
+    ) -> DistResult<Reply> {
+        let opts = SwitchOptions {
+            k: 0,
+            plan: RankPlan::Explicit {
+                ranks: ranks.into_iter().collect::<HashMap<String, usize>>(),
+            },
+            extra_bn,
+            frobenius_decay,
+        };
+        self.plan_switch(&opts)
+    }
+
+    fn sync_state(&mut self, frame: &[u8], opt_steps: usize) -> DistResult<Reply> {
+        apply_state(&mut self.net, frame)?;
+        // A synced replica must also match its peers' optimizer clock;
+        // rebuilding the engine discards any partial local history first.
+        self.engine = StepEngine::new(
+            self.setup.optimizer,
+            self.setup.grad_clip,
+            self.setup.label_smoothing,
+        );
+        self.engine.sync_time(opt_steps);
+        let digest = state_digest(&capture_state(&mut self.net));
+        Ok(Reply::Synced {
+            worker: self.id,
+            digest,
+        })
+    }
+}
+
+/// Spawns one worker thread and returns its command sender. The thread
+/// replies `Failed` and exits on the first error; it exits silently if
+/// the command channel closes.
+pub(crate) fn spawn_worker(
+    id: usize,
+    setup: WorkerSetup,
+    shard: VisionTask,
+    builder: NetBuilder,
+    reply: Sender<Reply>,
+) -> WorkerHandle {
+    let (tx, rx): (Sender<Command>, Receiver<Command>) = std::sync::mpsc::channel();
+    let join = std::thread::spawn(move || {
+        let mut state = match WorkerState::new(id, setup, shard, &builder) {
+            Ok(s) => s,
+            Err(e) => {
+                let _ = reply.send(Reply::Failed {
+                    worker: id,
+                    detail: e.to_string(),
+                });
+                return;
+            }
+        };
+        while let Ok(cmd) = rx.recv() {
+            let outcome: DistResult<Option<Reply>> = match cmd {
+                Command::Step { step, delay_ms } => state.step(step, delay_ms).map(Some),
+                Command::Apply { lr, frame } => state.apply(lr, &frame).map(|()| None),
+                Command::PlanSwitch { opts } => state.plan_switch(&opts).map(Some),
+                Command::ApplySwitch {
+                    ranks,
+                    extra_bn,
+                    frobenius_decay,
+                } => state
+                    .apply_switch(ranks, extra_bn, frobenius_decay)
+                    .map(Some),
+                Command::CaptureState => Ok(Some(Reply::State {
+                    worker: id,
+                    frame: capture_state(&mut state.net),
+                })),
+                Command::ReportWeights { names } => {
+                    let mut mats = Vec::with_capacity(names.len());
+                    let mut res = Ok(());
+                    for name in &names {
+                        match state.net.weight_matrix(name) {
+                            Ok(m) => mats.push(m),
+                            Err(e) => {
+                                res = Err(DistError::from(e));
+                                break;
+                            }
+                        }
+                    }
+                    res.map(|()| Some(Reply::Weights { worker: id, mats }))
+                }
+                Command::SyncState { frame, opt_steps } => {
+                    state.sync_state(&frame, opt_steps).map(Some)
+                }
+                Command::Evaluate => state
+                    .adapter
+                    .evaluate(&mut state.net)
+                    .map(|value| Some(Reply::Metric { worker: id, value }))
+                    .map_err(DistError::from),
+                Command::Crash => return,
+                Command::Shutdown => {
+                    let _ = reply.send(Reply::Stopped { worker: id });
+                    return;
+                }
+            };
+            match outcome {
+                Ok(Some(r)) => {
+                    if reply.send(r).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    let _ = reply.send(Reply::Failed {
+                        worker: id,
+                        detail: e.to_string(),
+                    });
+                    return;
+                }
+            }
+        }
+    });
+    WorkerHandle { tx, join }
+}

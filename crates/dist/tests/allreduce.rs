@@ -1,0 +1,163 @@
+//! All-reduce correctness: the distributed gradient must equal the
+//! single-worker gradient, dense and factorized.
+
+use cuttlefish::adapter::{TaskAdapter, TaskBatch, VisionAdapter};
+use cuttlefish::factorize::{switch_to_low_rank, RankPlan, SwitchOptions};
+use cuttlefish::{OptimizerKind, StepEngine};
+use cuttlefish_data::{VisionSpec, VisionTask};
+use cuttlefish_dist::schema::{decode_grads, ParamSchema};
+use cuttlefish_dist::{
+    shard_vision_task, worker_seed, DenseAllReduce, FactorAllReduce, GradientExchange,
+};
+use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
+use cuttlefish_nn::Network;
+use cuttlefish_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const WORKERS: usize = 4;
+const BATCH: usize = 16;
+const RUN_SEED: u64 = 99;
+
+fn build_net() -> Network {
+    let mut rng = StdRng::seed_from_u64(7);
+    build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut rng)
+}
+
+fn engine() -> StepEngine {
+    StepEngine::new(
+        OptimizerKind::Sgd {
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        },
+        None,
+        0.0,
+    )
+}
+
+/// One deterministic batch per worker, from that worker's shard and
+/// seeded RNG stream.
+fn worker_batches(task: &VisionTask) -> Vec<(VisionAdapter, TaskBatch)> {
+    (0..WORKERS)
+        .map(|w| {
+            let shard = shard_vision_task(task, w, WORKERS).unwrap();
+            let mut adapter = VisionAdapter::new(shard);
+            adapter.augment = false;
+            let mut rng = StdRng::seed_from_u64(worker_seed(RUN_SEED, w));
+            let batch = adapter
+                .train_batches(0, BATCH, &mut rng)
+                .unwrap()
+                .into_iter()
+                .next()
+                .unwrap();
+            (adapter, batch)
+        })
+        .collect()
+}
+
+/// Factorizes a freshly-built replica at a fixed global ratio. All
+/// replicas start identical, so repeating this per worker yields
+/// identical factor layouts and values.
+fn factorize(net: &mut Network, rho: f32) {
+    let opts = SwitchOptions {
+        k: 1,
+        plan: RankPlan::FixedRatio { rho },
+        extra_bn: false,
+        frobenius_decay: None,
+    };
+    switch_to_low_rank(net, &opts).unwrap();
+}
+
+/// Computes the reduced (mean) gradient over per-worker backward passes
+/// and the reference gradient from accumulating the same batches into a
+/// single replica, then asserts they agree within `tol`.
+fn assert_reduce_matches_accumulation(
+    exchange: &dyn GradientExchange,
+    prep: impl Fn(&mut Network),
+    tol: f32,
+) {
+    let task = VisionTask::generate(&VisionSpec::tiny(), 3);
+    let batches = worker_batches(&task);
+
+    // Per-worker gradients on separate (identical) replicas.
+    let mut frames: Vec<(usize, Vec<u8>)> = Vec::new();
+    let mut schema: Option<ParamSchema> = None;
+    for (w, (adapter, batch)) in batches.iter().enumerate() {
+        let mut net = build_net();
+        prep(&mut net);
+        let s = ParamSchema::of(&mut net).unwrap();
+        let eng = engine();
+        eng.forward_backward(&mut net, adapter, batch.clone())
+            .unwrap();
+        let grads = net.collect_grads();
+        frames.push((w, exchange.encode(&s, &grads).unwrap()));
+        schema = Some(s);
+    }
+    let schema = schema.unwrap();
+
+    // Reference: one replica accumulates all four batches (gradients sum
+    // in the network between applies), then scale by 1/N.
+    let mut reference = build_net();
+    prep(&mut reference);
+    let eng = engine();
+    for (adapter, batch) in &batches {
+        eng.forward_backward(&mut reference, adapter, batch.clone())
+            .unwrap();
+    }
+    let expected: Vec<Matrix> = reference
+        .collect_grads()
+        .into_iter()
+        .map(|g| g.scale(1.0 / WORKERS as f32))
+        .collect();
+
+    let reduced = decode_grads(&schema, &exchange.reduce(&schema, &frames).unwrap()).unwrap();
+    assert_eq!(reduced.len(), expected.len());
+    let mut checked = 0usize;
+    for (got, want) in reduced.iter().zip(&expected) {
+        for i in 0..got.rows() {
+            for j in 0..got.cols() {
+                let d = (got.get(i, j) - want.get(i, j)).abs();
+                assert!(d <= tol, "gradient mismatch {d} at ({i},{j}) exceeds {tol}");
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 0);
+}
+
+#[test]
+fn dense_allreduce_matches_single_worker_gradient() {
+    assert_reduce_matches_accumulation(&DenseAllReduce, |_| {}, 1e-6);
+}
+
+#[test]
+fn factor_allreduce_composes_exactly_at_quarter_rank() {
+    assert_reduce_matches_accumulation(&FactorAllReduce, |net| factorize(net, 0.25), 1e-6);
+}
+
+#[test]
+fn factor_allreduce_composes_exactly_at_half_rank() {
+    assert_reduce_matches_accumulation(&FactorAllReduce, |net| factorize(net, 0.5), 1e-6);
+}
+
+#[test]
+fn dense_allreduce_rejects_factorized_model() {
+    let mut net = build_net();
+    factorize(&mut net, 0.25);
+    let schema = ParamSchema::of(&mut net).unwrap();
+    assert!(schema.factored);
+    let err = DenseAllReduce.accepts(&schema).unwrap_err();
+    assert!(matches!(
+        err,
+        cuttlefish_dist::DistError::Unsupported {
+            exchange: "dense_allreduce",
+            ..
+        }
+    ));
+    // The shape-aware collective carries the same schema fine, and its
+    // factor frames are smaller than the dense layout by construction.
+    FactorAllReduce.accepts(&schema).unwrap();
+    let mut dense_net = build_net();
+    let dense_schema = ParamSchema::of(&mut dense_net).unwrap();
+    assert!(schema.frame_bytes() < dense_schema.frame_bytes());
+}

@@ -1,0 +1,52 @@
+//! Bit-identical replay: the same config must produce the same run.
+
+use cuttlefish_data::{VisionSpec, VisionTask};
+use cuttlefish_dist::{run_distributed, worker_seed, DistConfig, NetBuilder};
+use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn builder() -> NetBuilder {
+    Arc::new(|| {
+        let mut rng = StdRng::seed_from_u64(7);
+        build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut rng)
+    })
+}
+
+#[test]
+fn two_four_worker_runs_are_bit_identical() {
+    let task = VisionTask::generate(&VisionSpec::tiny(), 3);
+    let cfg = DistConfig::quick(4, 2, 3, 42);
+    let a = run_distributed(&cfg, &task, builder()).unwrap();
+    let b = run_distributed(&cfg, &task, builder()).unwrap();
+    assert_eq!(a.final_digest, b.final_digest);
+    // Loss curves must agree bitwise, not just approximately: the whole
+    // schedule (batch order, reduction order, apply order) is replayed.
+    assert_eq!(
+        a.loss_curve.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        b.loss_curve.iter().map(|l| l.to_bits()).collect::<Vec<_>>()
+    );
+    assert_eq!(a.ledger.total_bytes(), b.ledger.total_bytes());
+}
+
+#[test]
+fn different_run_seed_changes_the_trajectory() {
+    let task = VisionTask::generate(&VisionSpec::tiny(), 3);
+    let a = run_distributed(&DistConfig::quick(4, 1, 3, 42), &task, builder()).unwrap();
+    let b = run_distributed(&DistConfig::quick(4, 1, 3, 43), &task, builder()).unwrap();
+    assert_ne!(a.final_digest, b.final_digest);
+}
+
+#[test]
+fn worker_seeds_derive_distinct_streams_from_one_run_seed() {
+    let seeds: Vec<u64> = (0..8).map(|w| worker_seed(42, w)).collect();
+    for (i, a) in seeds.iter().enumerate() {
+        for b in &seeds[i + 1..] {
+            assert_ne!(a, b, "worker seeds collided");
+        }
+    }
+    // Same inputs, same seed; different run, different seed.
+    assert_eq!(worker_seed(42, 3), worker_seed(42, 3));
+    assert_ne!(worker_seed(42, 3), worker_seed(43, 3));
+}

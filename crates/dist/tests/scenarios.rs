@@ -1,0 +1,241 @@
+//! End-to-end distributed scenarios: convergence parity, the ρ
+//! communication drop, fault handling, and telemetry rendering.
+
+use cuttlefish::{CuttlefishConfig, SwitchPolicy};
+use cuttlefish_data::{VisionSpec, VisionTask};
+use cuttlefish_dist::{
+    run_distributed, run_distributed_with, CrashEvent, DistConfig, DistError, ExchangeKind,
+    FaultPlan, JoinEvent, NetBuilder, StragglerEvent,
+};
+use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
+use cuttlefish_telemetry::{MemoryRecorder, RunReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn builder() -> NetBuilder {
+    Arc::new(|| {
+        let mut rng = StdRng::seed_from_u64(7);
+        build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut rng)
+    })
+}
+
+fn tiny_task() -> VisionTask {
+    VisionTask::generate(&VisionSpec::tiny(), 3)
+}
+
+fn manual_policy(full_rank_epochs: usize) -> SwitchPolicy {
+    SwitchPolicy::Manual {
+        full_rank_epochs,
+        k: 1,
+        rank_ratio: 0.25,
+        extra_bn: false,
+        frobenius_decay: None,
+    }
+}
+
+#[test]
+fn four_worker_run_tracks_single_worker_loss() {
+    let task = tiny_task();
+    let four = run_distributed(&DistConfig::quick(4, 4, 2, 42), &task, builder()).unwrap();
+    let one = run_distributed(&DistConfig::quick(1, 4, 2, 42), &task, builder()).unwrap();
+    assert_eq!(four.loss_curve.len(), one.loss_curve.len());
+    // The runs sample different batches (disjoint shards vs full-set
+    // shuffle) and BatchNorm sees different batch compositions, so the
+    // curves agree statistically, not pointwise: both must converge and
+    // stay within a bounded gap of each other every epoch.
+    for (epoch, (a, b)) in four.loss_curve.iter().zip(&one.loss_curve).enumerate() {
+        assert!(a.is_finite() && b.is_finite());
+        assert!(
+            (a - b).abs() < 0.75,
+            "epoch {epoch}: 4-worker loss {a} strayed from single-worker loss {b}"
+        );
+    }
+    let (f0, f_end) = (four.loss_curve[0], *four.loss_curve.last().unwrap());
+    let (o0, o_end) = (one.loss_curve[0], *one.loss_curve.last().unwrap());
+    assert!(
+        f_end < 0.6 * f0,
+        "4-worker run failed to converge: {f0} -> {f_end}"
+    );
+    assert!(
+        o_end < 0.6 * o0,
+        "1-worker run failed to converge: {o0} -> {o_end}"
+    );
+}
+
+#[test]
+fn post_switch_comm_volume_drops_by_rank_ratio() {
+    let task = tiny_task();
+    let mut cfg = DistConfig::quick(4, 4, 2, 42);
+    cfg.policy = manual_policy(2);
+    let res = run_distributed(&cfg, &task, builder()).unwrap();
+
+    assert_eq!(res.e_hat, Some(2));
+    assert!(res.params_final < res.params_full);
+    let rho = res.params_final as f64 / res.params_full as f64;
+    let ratio = res
+        .ledger
+        .post_switch_ratio()
+        .expect("run crossed the switch, both phases must have rounds");
+    // Frames carry exactly one f32 per live parameter, so the measured
+    // per-step byte ratio IS the parameter ratio ρ.
+    assert!(
+        (ratio - rho).abs() < 1e-9,
+        "bytes/step ratio {ratio} != parameter ratio {rho}"
+    );
+    assert!(
+        ratio < 0.9,
+        "switch should shrink communication, got {ratio}"
+    );
+    assert!(res.ledger.full_rounds > 0 && res.ledger.low_rounds > 0);
+}
+
+#[test]
+fn dense_exchange_refuses_to_cross_the_switch() {
+    let task = tiny_task();
+    let mut cfg = DistConfig::quick(2, 3, 2, 42);
+    cfg.policy = manual_policy(1);
+    cfg.exchange = ExchangeKind::Dense;
+    let err = run_distributed(&cfg, &task, builder()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            DistError::Unsupported {
+                exchange: "dense_allreduce",
+                ..
+            }
+        ),
+        "expected typed refusal, got: {err}"
+    );
+}
+
+#[test]
+fn straggler_within_bound_contributes_stale_and_stays_deterministic() {
+    let task = tiny_task();
+    let mut cfg = DistConfig::quick(4, 2, 3, 42);
+    cfg.staleness_bound = 2;
+    cfg.faults = FaultPlan {
+        stragglers: vec![StragglerEvent {
+            worker: 1,
+            step: 1,
+            delay_steps: 1,
+            delay_ms: 5,
+        }],
+        crashes: vec![],
+        joins: vec![],
+    };
+    let a = run_distributed(&cfg, &task, builder()).unwrap();
+    let w1 = &a.workers[1];
+    assert!(w1.stale >= 1, "delayed gradient should apply as stale");
+    assert_eq!(w1.dropped, 0);
+    assert!(w1.lifecycle.iter().any(|(_, e)| e == "straggling"));
+    assert!(w1.lifecycle.iter().any(|(_, e)| e == "synced"));
+    // Fault injection must not break replay determinism.
+    let b = run_distributed(&cfg, &task, builder()).unwrap();
+    assert_eq!(a.final_digest, b.final_digest);
+}
+
+#[test]
+fn staleness_beyond_bound_drops_the_gradient() {
+    let task = tiny_task();
+    let mut cfg = DistConfig::quick(4, 2, 3, 42);
+    cfg.staleness_bound = 1;
+    cfg.faults = FaultPlan {
+        stragglers: vec![StragglerEvent {
+            worker: 2,
+            step: 1,
+            delay_steps: 3,
+            delay_ms: 5,
+        }],
+        crashes: vec![],
+        joins: vec![],
+    };
+    let res = run_distributed(&cfg, &task, builder()).unwrap();
+    let w2 = &res.workers[2];
+    assert!(w2.dropped >= 1, "over-stale gradient should be dropped");
+    assert!(w2.lifecycle.iter().any(|(_, e)| e == "stale_dropped"));
+}
+
+#[test]
+fn crashed_worker_leaves_and_the_run_completes() {
+    let task = tiny_task();
+    let mut cfg = DistConfig::quick(3, 2, 3, 42);
+    cfg.faults = FaultPlan {
+        stragglers: vec![],
+        crashes: vec![CrashEvent { worker: 2, step: 2 }],
+        joins: vec![],
+    };
+    let res = run_distributed(&cfg, &task, builder()).unwrap();
+    let w2 = &res.workers[2];
+    assert!(w2.lifecycle.iter().any(|(_, e)| e == "crashed"));
+    // The survivors keep stepping after the departure.
+    assert!(res.workers[0].steps > w2.steps);
+    assert!(res.loss_curve.iter().all(|l| l.is_finite()));
+}
+
+#[test]
+fn elastic_join_catches_up_and_is_digest_verified() {
+    let task = tiny_task();
+    let mut cfg = DistConfig::quick(2, 2, 3, 42);
+    cfg.faults = FaultPlan {
+        stragglers: vec![],
+        crashes: vec![],
+        joins: vec![JoinEvent { worker: 2, step: 2 }],
+    };
+    let res = run_distributed(&cfg, &task, builder()).unwrap();
+    assert_eq!(res.workers.len(), 3);
+    let joiner = &res.workers[2];
+    assert!(joiner.lifecycle.iter().any(|(_, e)| e == "joined"));
+    // `synced` only lands after the digest check passed, and the run-end
+    // fleet digest re-verifies the joiner stayed in lockstep afterwards.
+    assert!(joiner.lifecycle.iter().any(|(_, e)| e == "synced"));
+    assert!(joiner.steps > 0);
+    assert!(res.ledger.sync_bytes > 0);
+}
+
+#[test]
+fn cuttlefish_policy_switches_the_whole_fleet() {
+    let task = tiny_task();
+    let mut cfg = DistConfig::quick(2, 4, 2, 42);
+    // ε = ∞ makes the tracker converge on its first verdict, so the
+    // switch lands early regardless of the synthetic task's spectra; the
+    // vanilla rank rule is aggressive enough to shrink even the tiny
+    // model's near-full-rank layers.
+    cfg.policy = SwitchPolicy::Cuttlefish(CuttlefishConfig {
+        epsilon: f32::INFINITY,
+        window: 1,
+        rank_rule: cuttlefish::RankRule::Vanilla,
+        ..CuttlefishConfig::default()
+    });
+    let res = run_distributed(&cfg, &task, builder()).unwrap();
+    assert!(res.e_hat.is_some(), "automated switch should trigger");
+    assert!(res.k_hat.is_some());
+    assert!(!res.decisions.is_empty());
+    assert!(res.params_final < res.params_full);
+    assert!(res.ledger.post_switch_ratio().is_some());
+}
+
+#[test]
+fn telemetry_report_renders_communication_volume() {
+    let task = tiny_task();
+    let mut cfg = DistConfig::quick(2, 3, 2, 42);
+    cfg.policy = manual_policy(1);
+    let recorder = MemoryRecorder::new();
+    run_distributed_with(&cfg, &task, builder(), &recorder).unwrap();
+
+    let jsonl = recorder
+        .events()
+        .iter()
+        .map(|e| e.to_json().encode())
+        .collect::<Vec<_>>()
+        .join("\n");
+    let report = RunReport::from_jsonl(&jsonl);
+    let rendered = report.render();
+    assert!(rendered.contains("distributed training"), "{rendered}");
+    assert!(rendered.contains("communication volume"), "{rendered}");
+    assert!(
+        rendered.contains("post-switch bytes/step ratio"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("per-worker timeline"), "{rendered}");
+}

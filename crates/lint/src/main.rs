@@ -278,6 +278,7 @@ fn main() -> ExitCode {
         }
         if [
             "crates/core/src",
+            "crates/dist/src",
             "crates/nn/src",
             "crates/serve/src",
             "crates/tensor/src",

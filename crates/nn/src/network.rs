@@ -308,6 +308,70 @@ impl Network {
         self.visit_params(&mut |p| p.zero_grad());
     }
 
+    /// Name and `(rows, cols)` shape of every trainable parameter in
+    /// [`Network::visit_params`] order.
+    ///
+    /// This is the parameter schema a distributed gradient exchange agrees
+    /// on: identical replicas produce identical spec lists, and the list
+    /// changes in lockstep when all workers apply the same rank plan.
+    pub fn param_specs(&mut self) -> Vec<(String, (usize, usize))> {
+        let mut specs = Vec::new();
+        self.visit_params_named(&mut |name, p| {
+            specs.push((name.to_string(), p.value.shape()));
+        });
+        specs
+    }
+
+    /// Clones every parameter gradient in [`Network::visit_params`] order.
+    ///
+    /// Paired with [`Network::load_grads`] this gives data-parallel workers
+    /// a stable flat view of the gradient without exposing layer internals.
+    pub fn collect_grads(&mut self) -> Vec<Matrix> {
+        let mut grads = Vec::new();
+        self.visit_params(&mut |p| grads.push(p.grad.clone()));
+        grads
+    }
+
+    /// Overwrites every parameter gradient from a flat list produced by
+    /// [`Network::collect_grads`] (possibly reduced across workers).
+    ///
+    /// All shapes are validated against the live parameters before any
+    /// gradient is mutated, so a failed call leaves the network unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] naming the offending parameter when
+    /// the count or any shape disagrees.
+    pub fn load_grads(&mut self, grads: &[Matrix]) -> NnResult<()> {
+        let specs = self.param_specs();
+        if specs.len() != grads.len() {
+            return Err(NnError::BadConfig {
+                detail: format!(
+                    "gradient list has {} entries, network has {} parameters",
+                    grads.len(),
+                    specs.len()
+                ),
+            });
+        }
+        for ((name, shape), g) in specs.iter().zip(grads) {
+            if g.shape() != *shape {
+                return Err(NnError::BadConfig {
+                    detail: format!(
+                        "gradient for {name} has shape {:?}, parameter is {:?}",
+                        g.shape(),
+                        shape
+                    ),
+                });
+            }
+        }
+        let mut idx = 0usize;
+        self.visit_params(&mut |p| {
+            p.grad = grads[idx].clone();
+            idx += 1;
+        });
+        Ok(())
+    }
+
     /// Adds Frobenius-decay gradients on every factored weight that has FD
     /// enabled.
     ///
@@ -656,5 +720,43 @@ mod tests {
             last = loss;
         }
         assert!(last < first.unwrap() * 0.5, "{last} vs {first:?}");
+    }
+
+    #[test]
+    fn grad_collect_load_roundtrip_and_validation() {
+        use crate::loss::cross_entropy;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = two_layer_net(&mut rng);
+        let x = cuttlefish_tensor::init::randn_matrix(4, 4, 1.0, &mut rng);
+        let labels = vec![0usize, 1, 0, 1];
+        let logits = net.forward(Act::flat(x), Mode::Train).unwrap();
+        let (_, grad) = cross_entropy(logits.data(), &labels, 0.0).unwrap();
+        net.backward(Act::flat(grad)).unwrap();
+
+        let specs = net.param_specs();
+        let grads = net.collect_grads();
+        assert_eq!(specs.len(), grads.len());
+        assert!(grads.iter().any(|g| g.frobenius_norm() > 0.0));
+        for ((_, shape), g) in specs.iter().zip(&grads) {
+            assert_eq!(*shape, g.shape());
+        }
+
+        // Scaled grads load back exactly.
+        let scaled: Vec<Matrix> = grads.iter().map(|g| g.scale(0.5)).collect();
+        net.load_grads(&scaled).unwrap();
+        assert_eq!(net.collect_grads(), scaled);
+
+        // Wrong count and wrong shape are rejected without mutating.
+        assert!(matches!(
+            net.load_grads(&scaled[1..]),
+            Err(NnError::BadConfig { .. })
+        ));
+        let mut bad = scaled.clone();
+        bad[0] = Matrix::zeros(1, 1);
+        assert!(matches!(
+            net.load_grads(&bad),
+            Err(NnError::BadConfig { .. })
+        ));
+        assert_eq!(net.collect_grads(), scaled);
     }
 }

@@ -241,6 +241,55 @@ pub enum Event {
         /// Forward-pass wall time in milliseconds.
         wall_ms: f64,
     },
+    /// One worker finished the compute half of a lockstep round in a
+    /// `cuttlefish-dist` data-parallel run.
+    DistWorkerStep {
+        /// Global lockstep round index.
+        step: usize,
+        /// Worker id.
+        worker: usize,
+        /// Batch loss the worker observed this round.
+        loss: f32,
+        /// Wall-clock forward+backward time in milliseconds (including any
+        /// injected straggler delay).
+        compute_ms: f64,
+        /// How many rounds behind the contributed gradient is (0 for an
+        /// on-time contribution, `d` for a straggler included under the
+        /// bounded-staleness rule).
+        staleness: usize,
+    },
+    /// One lockstep gradient exchange (reduce + broadcast) completed.
+    DistExchange {
+        /// Global lockstep round index.
+        step: usize,
+        /// Exchange implementation name (`"dense_allreduce"`,
+        /// `"factor_allreduce"`).
+        exchange: String,
+        /// Gradient contributions reduced this round.
+        participants: usize,
+        /// Contributions that were stale but within the staleness bound.
+        stale: usize,
+        /// Stale contributions dropped for exceeding the bound.
+        dropped: usize,
+        /// Total uplink bytes (worker → coordinator gradient frames).
+        bytes_up: u64,
+        /// Total downlink bytes (coordinator → workers update frames).
+        bytes_down: u64,
+        /// Whether the model was factorized during this round (post-switch
+        /// rounds ship `(U, Vᵀ)` factor gradients only).
+        factored: bool,
+    },
+    /// A worker lifecycle transition driven by the deterministic fault
+    /// plan of a `cuttlefish-dist` run.
+    DistWorkerEvent {
+        /// Global lockstep round index the transition happened at.
+        step: usize,
+        /// Worker id.
+        worker: usize,
+        /// Transition: `"spawned"`, `"straggling"`, `"stale_applied"`,
+        /// `"stale_dropped"`, `"crashed"`, `"joined"`, or `"synced"`.
+        event: String,
+    },
     /// A named span closed (emitted by the [`crate::Span`] guard on drop).
     SpanClosed {
         /// Span name, e.g. `"epoch"`, `"profiling"`, `"switch"`.
@@ -267,6 +316,9 @@ impl Event {
             Event::NumericPoison { .. } => "numeric_poison",
             Event::ServeRequest { .. } => "serve_request",
             Event::ServeBatch { .. } => "serve_batch",
+            Event::DistWorkerStep { .. } => "dist_worker_step",
+            Event::DistExchange { .. } => "dist_exchange",
+            Event::DistWorkerEvent { .. } => "dist_worker_event",
             Event::SpanClosed { .. } => "span",
             Event::Manifest(_) => "manifest",
         }
@@ -440,6 +492,47 @@ impl Event {
                 pairs.push(("queue_depth", Json::Num(*queue_depth as f64)));
                 pairs.push(("wall_ms", Json::num(*wall_ms)));
             }
+            Event::DistWorkerStep {
+                step,
+                worker,
+                loss,
+                compute_ms,
+                staleness,
+            } => {
+                pairs.push(("step", Json::Num(*step as f64)));
+                pairs.push(("worker", Json::Num(*worker as f64)));
+                pairs.push(("loss", Json::num(*loss as f64)));
+                pairs.push(("compute_ms", Json::num(*compute_ms)));
+                pairs.push(("staleness", Json::Num(*staleness as f64)));
+            }
+            Event::DistExchange {
+                step,
+                exchange,
+                participants,
+                stale,
+                dropped,
+                bytes_up,
+                bytes_down,
+                factored,
+            } => {
+                pairs.push(("step", Json::Num(*step as f64)));
+                pairs.push(("exchange", Json::Str(exchange.clone())));
+                pairs.push(("participants", Json::Num(*participants as f64)));
+                pairs.push(("stale", Json::Num(*stale as f64)));
+                pairs.push(("dropped", Json::Num(*dropped as f64)));
+                pairs.push(("bytes_up", Json::Num(*bytes_up as f64)));
+                pairs.push(("bytes_down", Json::Num(*bytes_down as f64)));
+                pairs.push(("factored", Json::Bool(*factored)));
+            }
+            Event::DistWorkerEvent {
+                step,
+                worker,
+                event,
+            } => {
+                pairs.push(("step", Json::Num(*step as f64)));
+                pairs.push(("worker", Json::Num(*worker as f64)));
+                pairs.push(("event", Json::Str(event.clone())));
+            }
             Event::SpanClosed { name, wall_ms } => {
                 pairs.push(("name", Json::Str(name.clone())));
                 pairs.push(("wall_ms", Json::num(*wall_ms)));
@@ -583,6 +676,28 @@ impl Event {
                 queue_depth: v.get("queue_depth")?.as_usize()?,
                 wall_ms: v.get("wall_ms")?.as_f64()?,
             }),
+            "dist_worker_step" => Some(Event::DistWorkerStep {
+                step: v.get("step")?.as_usize()?,
+                worker: v.get("worker")?.as_usize()?,
+                loss: v.get("loss")?.as_f64()? as f32,
+                compute_ms: v.get("compute_ms")?.as_f64()?,
+                staleness: v.get("staleness")?.as_usize()?,
+            }),
+            "dist_exchange" => Some(Event::DistExchange {
+                step: v.get("step")?.as_usize()?,
+                exchange: v.get("exchange")?.as_str()?.to_string(),
+                participants: v.get("participants")?.as_usize()?,
+                stale: v.get("stale")?.as_usize()?,
+                dropped: v.get("dropped")?.as_usize()?,
+                bytes_up: v.get("bytes_up")?.as_u64()?,
+                bytes_down: v.get("bytes_down")?.as_u64()?,
+                factored: v.get("factored")?.as_bool()?,
+            }),
+            "dist_worker_event" => Some(Event::DistWorkerEvent {
+                step: v.get("step")?.as_usize()?,
+                worker: v.get("worker")?.as_usize()?,
+                event: v.get("event")?.as_str()?.to_string(),
+            }),
             "span" => Some(Event::SpanClosed {
                 name: v.get("name")?.as_str()?.to_string(),
                 wall_ms: v.get("wall_ms")?.as_f64()?,
@@ -654,6 +769,43 @@ mod tests {
         let back = Event::parse_jsonl_line(&batch.to_jsonl()).unwrap();
         assert_eq!(back, batch);
         assert_eq!(batch.kind(), "serve_batch");
+    }
+
+    #[test]
+    fn dist_events_roundtrip() {
+        let step = Event::DistWorkerStep {
+            step: 17,
+            worker: 3,
+            loss: 1.25,
+            compute_ms: 4.5,
+            staleness: 2,
+        };
+        let back = Event::parse_jsonl_line(&step.to_jsonl()).unwrap();
+        assert_eq!(back, step);
+        assert_eq!(step.kind(), "dist_worker_step");
+
+        let exch = Event::DistExchange {
+            step: 17,
+            exchange: "factor_allreduce".into(),
+            participants: 4,
+            stale: 1,
+            dropped: 0,
+            bytes_up: 123_456,
+            bytes_down: 98_304,
+            factored: true,
+        };
+        let back = Event::parse_jsonl_line(&exch.to_jsonl()).unwrap();
+        assert_eq!(back, exch);
+        assert_eq!(exch.kind(), "dist_exchange");
+
+        let life = Event::DistWorkerEvent {
+            step: 9,
+            worker: 5,
+            event: "joined".into(),
+        };
+        let back = Event::parse_jsonl_line(&life.to_jsonl()).unwrap();
+        assert_eq!(back, life);
+        assert_eq!(life.kind(), "dist_worker_event");
     }
 
     #[test]

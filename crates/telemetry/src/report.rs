@@ -60,6 +60,7 @@ impl RunReport {
         self.render_switch(&mut out);
         self.render_phases(&mut out);
         self.render_serving(&mut out);
+        self.render_dist(&mut out);
         self.render_kernels(&mut out);
         if !self.skipped_lines.is_empty() {
             let _ = writeln!(
@@ -350,6 +351,153 @@ impl RunReport {
         }
     }
 
+    fn render_dist(&self, out: &mut String) {
+        // Communication volume by phase (full-rank vs factorized rounds)
+        // plus a per-worker timeline of steps, staleness, and fault-plan
+        // lifecycle transitions.
+        struct Phase {
+            rounds: u64,
+            bytes: u64,
+        }
+        let mut full = Phase {
+            rounds: 0,
+            bytes: 0,
+        };
+        let mut low = Phase {
+            rounds: 0,
+            bytes: 0,
+        };
+        let mut exchange_names: Vec<&str> = Vec::new();
+        let mut bytes_up = 0u64;
+        let mut bytes_down = 0u64;
+        let mut stale = 0u64;
+        let mut dropped = 0u64;
+        struct WorkerLine {
+            steps: u64,
+            stale: u64,
+            compute_ms: f64,
+            lifecycle: Vec<String>,
+        }
+        let mut workers: BTreeMap<usize, WorkerLine> = BTreeMap::new();
+        for e in &self.events {
+            match e {
+                Event::DistExchange {
+                    exchange,
+                    stale: s,
+                    dropped: d,
+                    bytes_up: up,
+                    bytes_down: down,
+                    factored,
+                    ..
+                } => {
+                    let phase = if *factored { &mut low } else { &mut full };
+                    phase.rounds += 1;
+                    phase.bytes += up + down;
+                    if !exchange_names.contains(&exchange.as_str()) {
+                        exchange_names.push(exchange.as_str());
+                    }
+                    bytes_up += up;
+                    bytes_down += down;
+                    stale += *s as u64;
+                    dropped += *d as u64;
+                }
+                Event::DistWorkerStep {
+                    worker,
+                    compute_ms,
+                    staleness,
+                    ..
+                } => {
+                    let w = workers.entry(*worker).or_insert(WorkerLine {
+                        steps: 0,
+                        stale: 0,
+                        compute_ms: 0.0,
+                        lifecycle: Vec::new(),
+                    });
+                    w.steps += 1;
+                    if *staleness > 0 {
+                        w.stale += 1;
+                    }
+                    w.compute_ms += compute_ms;
+                }
+                Event::DistWorkerEvent {
+                    step,
+                    worker,
+                    event,
+                } => {
+                    let w = workers.entry(*worker).or_insert(WorkerLine {
+                        steps: 0,
+                        stale: 0,
+                        compute_ms: 0.0,
+                        lifecycle: Vec::new(),
+                    });
+                    w.lifecycle.push(format!("{event}@{step}"));
+                }
+                _ => {}
+            }
+        }
+        let rounds = full.rounds + low.rounds;
+        if rounds == 0 && workers.is_empty() {
+            return;
+        }
+        let _ = writeln!(out, "\n== distributed training ==");
+        let _ = writeln!(
+            out,
+            "workers {}  rounds {rounds}  exchange {}",
+            workers.len(),
+            exchange_names.join("+"),
+        );
+        let _ = writeln!(out, "\n-- communication volume --");
+        if full.rounds > 0 {
+            let _ = writeln!(
+                out,
+                "full-rank rounds {:>5}  {:>12.1} B/step",
+                full.rounds,
+                full.bytes as f64 / full.rounds as f64
+            );
+        }
+        if low.rounds > 0 {
+            let _ = writeln!(
+                out,
+                "low-rank rounds  {:>5}  {:>12.1} B/step",
+                low.rounds,
+                low.bytes as f64 / low.rounds as f64
+            );
+        }
+        if full.rounds > 0 && low.rounds > 0 {
+            let per_full = full.bytes as f64 / full.rounds as f64;
+            let per_low = low.bytes as f64 / low.rounds as f64;
+            let _ = writeln!(
+                out,
+                "post-switch bytes/step ratio {:.3} (~rho of the rank plan)",
+                per_low / per_full.max(1.0)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "uplink {:.3} MB  downlink {:.3} MB  stale contributions {stale} (dropped {dropped})",
+            bytes_up as f64 / 1e6,
+            bytes_down as f64 / 1e6,
+        );
+        if !workers.is_empty() {
+            let _ = writeln!(out, "\n-- per-worker timeline --");
+            let _ = writeln!(out, "worker  steps  stale  avg_compute_ms  lifecycle");
+            for (id, w) in &workers {
+                let avg = if w.steps > 0 {
+                    w.compute_ms / w.steps as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "{id:>6}  {:>5}  {:>5}  {avg:>14.3}  {}",
+                    w.steps,
+                    w.stale,
+                    w.lifecycle.join(" "),
+                );
+            }
+        }
+    }
+
     fn render_kernels(&self, out: &mut String) {
         let mut total = KernelCounters::default();
         let mut samples = 0usize;
@@ -526,6 +674,56 @@ mod tests {
             "batches 1",
             "max_queue_depth 3",
             "p50 3.000",
+        ] {
+            assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn dist_section_reports_comm_drop_and_timelines() {
+        let mut events = Vec::new();
+        // 2 full-rank rounds at 1000 B, 2 factorized rounds at 250 B.
+        for step in 0..4usize {
+            let factored = step >= 2;
+            let bytes = if factored { 125 } else { 500 };
+            events.push(Event::DistExchange {
+                step,
+                exchange: "factor_allreduce".to_string(),
+                participants: 2,
+                stale: usize::from(step == 3),
+                dropped: 0,
+                bytes_up: bytes,
+                bytes_down: bytes,
+                factored,
+            });
+            for worker in 0..2usize {
+                events.push(Event::DistWorkerStep {
+                    step,
+                    worker,
+                    loss: 1.0,
+                    compute_ms: 2.0,
+                    staleness: usize::from(step == 3 && worker == 1),
+                });
+            }
+        }
+        events.push(Event::DistWorkerEvent {
+            step: 3,
+            worker: 1,
+            event: "stale_applied".to_string(),
+        });
+        let jsonl: String = events.iter().map(|e| e.to_jsonl() + "\n").collect();
+        let report = RunReport::from_jsonl(&jsonl);
+        assert!(report.skipped_lines.is_empty());
+        let text = report.render();
+        for needle in [
+            "== distributed training ==",
+            "communication volume",
+            "full-rank rounds     2        1000.0 B/step",
+            "low-rank rounds      2         250.0 B/step",
+            "post-switch bytes/step ratio 0.250",
+            "stale contributions 1 (dropped 0)",
+            "per-worker timeline",
+            "stale_applied@3",
         ] {
             assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
         }

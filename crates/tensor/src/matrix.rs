@@ -521,6 +521,68 @@ impl Matrix {
             data: self.data[..r * self.cols].to_vec(),
         })
     }
+
+    /// Copies the half-open row range `[lo, hi)` into a new matrix.
+    ///
+    /// This is the sharding primitive of `cuttlefish-dist`: worker `i` of
+    /// `n` takes a disjoint row range of the training split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] when the range is empty or
+    /// extends past the last row.
+    pub fn row_range(&self, lo: usize, hi: usize) -> Result<Matrix> {
+        if lo >= hi || hi > self.rows {
+            return Err(TensorError::InvalidDimension {
+                op: "row_range",
+                detail: format!("range {lo}..{hi} out of bounds for {} rows", self.rows),
+            });
+        }
+        Ok(Matrix {
+            rows: hi - lo,
+            cols: self.cols,
+            data: self.data[lo * self.cols..hi * self.cols].to_vec(),
+        })
+    }
+
+    /// Number of bytes this matrix occupies on a little-endian FP32 wire.
+    pub fn byte_len(&self) -> usize {
+        self.data.len() * 4
+    }
+
+    /// Appends the elements in row-major order as little-endian FP32 bytes.
+    ///
+    /// This is the wire format used by the `cuttlefish-dist` gradient
+    /// exchange; shapes are carried out-of-band by the parameter schema.
+    pub fn write_le_bytes(&self, out: &mut Vec<u8>) {
+        out.reserve(self.byte_len());
+        for v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Reconstructs a `rows × cols` matrix from little-endian FP32 bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if `bytes.len()` is not
+    /// exactly `rows * cols * 4`.
+    pub fn from_le_bytes(rows: usize, cols: usize, bytes: &[u8]) -> Result<Matrix> {
+        if bytes.len() != rows * cols * 4 {
+            return Err(TensorError::InvalidDimension {
+                op: "from_le_bytes",
+                detail: format!(
+                    "{} bytes cannot be viewed as {rows}x{cols} FP32",
+                    bytes.len()
+                ),
+            });
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for chunk in bytes.chunks_exact(4) {
+            data.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
 }
 
 #[cfg(test)]
@@ -674,5 +736,28 @@ mod tests {
         let text = format!("{m:?}");
         assert!(text.contains("Matrix(2x2)"));
         assert!(text.contains("1.0000"));
+    }
+
+    #[test]
+    fn row_range_extracts_middle_rows() {
+        let m = sample();
+        let mid = m.row_range(1, 3).unwrap();
+        assert_eq!(mid.shape(), (2, 2));
+        assert_eq!(mid.row(0), &[3.0, 4.0]);
+        assert_eq!(mid.row(1), &[5.0, 6.0]);
+        assert!(m.row_range(2, 2).is_err());
+        assert!(m.row_range(1, 4).is_err());
+    }
+
+    #[test]
+    fn le_bytes_roundtrip_is_exact() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i as f32 - 1.5) * 0.37 + j as f32 * 1e-7);
+        let mut buf = Vec::new();
+        m.write_le_bytes(&mut buf);
+        assert_eq!(buf.len(), m.byte_len());
+        let back = Matrix::from_le_bytes(3, 5, &buf).unwrap();
+        assert_eq!(back, m);
+        assert!(Matrix::from_le_bytes(3, 4, &buf).is_err());
+        assert!(Matrix::from_le_bytes(3, 5, &buf[..buf.len() - 1]).is_err());
     }
 }

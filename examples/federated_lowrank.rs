@@ -3,11 +3,15 @@
 //! bandwidth, Kairouz et al.).
 //!
 //! A FedAvg server coordinates 4 clients on disjoint shards of a synthetic
-//! vision task. After a few full-rank warm-up rounds the server runs the
-//! Cuttlefish switch (stable-rank factorization with the paper's skip
-//! rules) and from then on only the `(U, Vᵀ)` factors travel — the
-//! per-round communication drops by the model's compression factor while
-//! accuracy keeps improving.
+//! vision task, built on the `cuttlefish-dist` primitives: shards come
+//! from [`shard_vision_task`], every client RNG derives from one run seed
+//! via [`worker_seed`], parameters travel as schema-validated wire frames,
+//! and the server-side FedAvg *is* the dist crate's all-reduce — the mean
+//! over client parameter frames in client order. After a few full-rank
+//! warm-up rounds the server runs the Cuttlefish switch (stable-rank
+//! factorization with the paper's skip rules) and from then on only the
+//! `(U, Vᵀ)` factors travel — the per-round communication drops by the
+//! model's compression factor while accuracy keeps improving.
 //!
 //! Run with: `cargo run --release --example federated_lowrank`
 
@@ -16,11 +20,14 @@ use cuttlefish::config::RankRule;
 use cuttlefish::factorize::{switch_to_low_rank, RankPlan, SwitchOptions};
 use cuttlefish::rank::initial_scale;
 use cuttlefish_data::vision::{VisionSpec, VisionTask};
+use cuttlefish_dist::schema::{decode_grads, encode_grads};
+use cuttlefish_dist::{
+    shard_vision_task, worker_seed, FactorAllReduce, GradientExchange, ParamSchema,
+};
 use cuttlefish_nn::checkpoint::Checkpoint;
 use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
 use cuttlefish_nn::optim::Sgd;
 use cuttlefish_nn::{Mode, Network};
-use cuttlefish_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -28,21 +35,7 @@ use std::collections::HashMap;
 const CLIENTS: usize = 4;
 const ROUNDS: usize = 8;
 const WARMUP_ROUNDS: usize = 3;
-
-fn client_shard(task: &VisionTask, client: usize) -> VisionTask {
-    // Disjoint row ranges of the training split.
-    let n = task.train_x.rows();
-    let per = n / CLIENTS;
-    let (lo, hi) = (client * per, (client + 1) * per);
-    let mut shard = task.clone();
-    let mut x = Matrix::zeros(hi - lo, task.train_x.cols());
-    for (row, src) in (lo..hi).enumerate() {
-        x.row_mut(row).copy_from_slice(task.train_x.row(src));
-    }
-    shard.train_x = x;
-    shard.train_y = task.train_y[lo..hi].to_vec();
-    shard
-}
+const RUN_SEED: u64 = 42;
 
 fn local_epoch(net: &mut Network, adapter: &mut VisionAdapter, rng: &mut StdRng) {
     let mut opt = Sgd::new(0.9, 5e-3);
@@ -55,24 +48,35 @@ fn local_epoch(net: &mut Network, adapter: &mut VisionAdapter, rng: &mut StdRng)
     }
 }
 
-/// Bytes to ship one model's trainable parameters (FP32).
-fn payload_bytes(net: &mut Network) -> usize {
-    net.param_count() * 4
+/// Serializes a model's trainable parameters as a schema-validated wire
+/// frame — the byte count is the real payload, not an estimate.
+fn param_frame(net: &mut Network, schema: &ParamSchema) -> Vec<u8> {
+    let mut params = Vec::new();
+    net.visit_params(&mut |p| params.push(p.value.clone()));
+    encode_grads(schema, &params).unwrap()
 }
 
 fn main() {
-    let task = VisionTask::generate(&VisionSpec::cifar10_like(), 42);
+    let task = VisionTask::generate(&VisionSpec::cifar10_like(), RUN_SEED);
     let mut server =
         build_micro_resnet18(&MicroResNetConfig::cifar(10), &mut StdRng::seed_from_u64(0));
     let server_eval = VisionAdapter::new(task.clone());
     // Statically verify the server model before any client sees it.
     print!("{}", server.verify().expect("server model is well-formed"));
+    let mut schema = ParamSchema::of(&mut server).unwrap();
     // Store ξ at initialization for the scaled stable rank.
     let mut xi = HashMap::new();
     for t in server.targets().to_vec() {
         let w = server.weight_matrix(&t.name).unwrap();
         xi.insert(t.name.clone(), initial_scale(&w).unwrap());
     }
+    // One RNG stream per client, all derived from the single run seed.
+    let mut client_rngs: Vec<StdRng> = (0..CLIENTS)
+        .map(|c| StdRng::seed_from_u64(worker_seed(RUN_SEED, c)))
+        .collect();
+    // FedAvg over parameter frames is exactly the dist collective: fold
+    // the clients' frames in client order, scale by 1/N.
+    let collective = FactorAllReduce;
 
     let mut total_bytes = 0usize;
     println!(
@@ -100,34 +104,31 @@ fn main() {
             .unwrap();
             let factored = decisions.iter().filter(|d| d.chosen.is_some()).count();
             println!("  -- switch: factorized {factored} layers --");
+            schema = ParamSchema::of(&mut server).unwrap();
         }
 
         // Broadcast server state, train each client, collect updates.
         let server_ckpt = Checkpoint::capture(&mut server);
-        let mut client_params: Vec<Vec<Matrix>> = Vec::new();
+        let mut frames: Vec<(usize, Vec<u8>)> = Vec::new();
         let mut round_bytes = 0usize;
         for c in 0..CLIENTS {
             let mut client =
                 build_micro_resnet18(&MicroResNetConfig::cifar(10), &mut StdRng::seed_from_u64(1));
             server_ckpt.restore(&mut client).unwrap();
-            round_bytes += payload_bytes(&mut client); // downlink
-            let mut adapter = VisionAdapter::new(client_shard(&task, c));
-            let mut rng = StdRng::seed_from_u64(round as u64 * 10 + c as u64);
-            local_epoch(&mut client, &mut adapter, &mut rng);
-            round_bytes += payload_bytes(&mut client); // uplink
-            let mut params = Vec::new();
-            client.visit_params(&mut |p| params.push(p.value.clone()));
-            client_params.push(params);
+            round_bytes += schema.frame_bytes(); // downlink
+            let mut adapter = VisionAdapter::new(shard_vision_task(&task, c, CLIENTS).unwrap());
+            local_epoch(&mut client, &mut adapter, &mut client_rngs[c]);
+            let frame = param_frame(&mut client, &schema);
+            round_bytes += frame.len(); // uplink
+            frames.push((c, frame));
         }
-        // FedAvg: server ← mean of client parameters.
-        let mut idx = 0usize;
+        // FedAvg: server ← mean of client parameters, via the collective.
+        let mean = decode_grads(&schema, &collective.reduce(&schema, &frames).unwrap()).unwrap();
+        let mut it = mean.into_iter();
         server.visit_params(&mut |p| {
-            let mut acc = Matrix::zeros(p.value.rows(), p.value.cols());
-            for cp in &client_params {
-                acc.axpy(1.0 / CLIENTS as f32, &cp[idx]).unwrap();
+            if let Some(m) = it.next() {
+                p.value = m;
             }
-            p.value = acc;
-            idx += 1;
         });
 
         total_bytes += round_bytes;
@@ -151,6 +152,7 @@ fn main() {
     println!("(a full-rank-only run would ship {:.2} MB)", {
         let mut fresh =
             build_micro_resnet18(&MicroResNetConfig::cifar(10), &mut StdRng::seed_from_u64(0));
-        (payload_bytes(&mut fresh) * 2 * CLIENTS * ROUNDS) as f64 / 1e6
+        let fresh_schema = ParamSchema::of(&mut fresh).unwrap();
+        (fresh_schema.frame_bytes() * 2 * CLIENTS * ROUNDS) as f64 / 1e6
     });
 }
