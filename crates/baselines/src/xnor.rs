@@ -32,12 +32,12 @@ pub struct XnorResult {
 pub fn binarize_columns(w: &Matrix) -> Matrix {
     let (rows, cols) = w.shape();
     let mut alphas = vec![0.0f32; cols];
-    for j in 0..cols {
+    for (j, alpha) in alphas.iter_mut().enumerate() {
         let mut acc = 0.0f32;
         for i in 0..rows {
             acc += w.get(i, j).abs();
         }
-        alphas[j] = acc / rows.max(1) as f32;
+        *alpha = acc / rows.max(1) as f32;
     }
     Matrix::from_fn(rows, cols, |i, j| {
         let v = w.get(i, j);

@@ -1,0 +1,376 @@
+//! GEMM kernel benchmark: scalar reference vs. cache-blocked vs. SIMD vs.
+//! multi-threaded, at the factorized hot-path shapes.
+//!
+//! Shapes are the im2col GEMMs that dominate the paper's three workloads —
+//! ResNet-18 and VGG-19 conv stages (`M = output positions`,
+//! `N = out channels`, `K = in_ch·k²`) and the MLP-Mixer token/channel MLPs —
+//! plus the rank-ρ factorization of each: replacing the single `M×K×N` GEMM
+//! with the two skinny GEMMs `(M×K)·(K×r)` and `(M×r)·(r×N)` at
+//! `r = ρ·min(K, N)`, which is the multiply Cuttlefish actually runs after
+//! the low-rank switch.
+//!
+//! Variants per shape:
+//!
+//! * `reference` — the textbook triple loop the repo shipped with.
+//! * `blocked` — packed cache-blocked kernel, scalar micro-kernel, 1 thread.
+//! * `simd` — same blocking with the best runtime-detected ISA (AVX2+FMA or
+//!   NEON), 1 thread.
+//! * `simd_2t` / `simd_4t` — SIMD plus striped threading (only when built
+//!   with `--features parallel`; bit-identical to 1 thread by construction).
+//!
+//! Results print as a table and persist to `bench_results/kernel_bench.json`.
+//! `--quick` runs a reduced shape set with single repetitions for CI smoke.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cuttlefish_bench::{print_table, results_dir};
+use cuttlefish_tensor::kernel::{active_isa, detected_isa, gemm_nn_with, reference_gemm_nn, Isa};
+
+/// Fractional rank for the factorized variant of each shape (the paper's
+/// default compression band).
+const RHO: f64 = 0.25;
+
+#[derive(Clone, Copy)]
+struct Shape {
+    name: &'static str,
+    m: usize,
+    n: usize,
+    k: usize,
+}
+
+const SHAPES: &[Shape] = &[
+    // ResNet-18 stages: 28²/14²/7² positions, 3×3 kernels.
+    Shape {
+        name: "resnet18_conv3x3_s2",
+        m: 784,
+        n: 128,
+        k: 1152,
+    },
+    Shape {
+        name: "resnet18_conv3x3_s3",
+        m: 196,
+        n: 256,
+        k: 2304,
+    },
+    Shape {
+        name: "resnet18_conv3x3_s4",
+        m: 49,
+        n: 512,
+        k: 4608,
+    },
+    // VGG-19 middle blocks at 28² positions.
+    Shape {
+        name: "vgg19_conv3x3_b4",
+        m: 196,
+        n: 512,
+        k: 4608,
+    },
+    // MLP-Mixer: token-mixing (196 tokens) and channel-mixing (512 dim) MLPs.
+    Shape {
+        name: "mixer_channel_mlp",
+        m: 196,
+        n: 2048,
+        k: 512,
+    },
+];
+
+/// Shape subset exercised by `--quick` (CI smoke): one conv, one MLP.
+const QUICK: &[&str] = &["resnet18_conv3x3_s3", "mixer_channel_mlp"];
+
+struct VariantResult {
+    variant: String,
+    threads: usize,
+    /// Wall-clock seconds per call, best of `reps`.
+    secs: f64,
+    gflops: f64,
+    speedup_vs_reference: f64,
+}
+
+struct ShapeResult {
+    name: String,
+    m: usize,
+    n: usize,
+    k: usize,
+    /// Rank of the factorized variant, `RHO * min(k, n)`.
+    rank: usize,
+    dense: Vec<VariantResult>,
+    factorized: Vec<VariantResult>,
+}
+
+struct Report {
+    detected_isa: String,
+    parallel_enabled: bool,
+    /// Physical parallelism of the benchmarking host. Thread-scaling numbers
+    /// are only meaningful when this exceeds the measured thread count —
+    /// on a 1-core host the 2t/4t variants just pay striping overhead.
+    host_cpus: usize,
+    rho: f64,
+    quick: bool,
+    shapes: Vec<ShapeResult>,
+}
+
+/// Deterministic xorshift64* fill — no RNG dependency, same data every run.
+fn fill(seed: u64, len: usize) -> Vec<f32> {
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.push((state >> 40) as f32 / (1u64 << 24) as f32 - 0.5);
+    }
+    out
+}
+
+/// Best-of-`reps` wall-clock seconds for `f`.
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn isa_name(isa: Isa) -> &'static str {
+    match isa {
+        Isa::Scalar => "scalar",
+        Isa::Avx2Fma => "avx2+fma",
+        Isa::Neon => "neon",
+    }
+}
+
+/// Thread counts to measure: always 1; 2 and 4 when threading is compiled in.
+fn thread_counts() -> Vec<usize> {
+    if cfg!(feature = "parallel") {
+        vec![1, 2, 4]
+    } else {
+        vec![1]
+    }
+}
+
+fn variant_label(isa: Isa, threads: usize) -> String {
+    let base = match isa {
+        Isa::Scalar => "blocked",
+        _ => "simd",
+    };
+    if threads == 1 {
+        base.to_string()
+    } else {
+        format!("{base}_{threads}t")
+    }
+}
+
+/// Measure every variant of a dense `m×k · k×n` GEMM.
+fn bench_dense(s: Shape, reps: usize) -> Vec<VariantResult> {
+    let a = fill(0x5eed ^ s.m as u64, s.m * s.k);
+    let b = fill(0xfeed ^ s.n as u64, s.k * s.n);
+    let mut c = vec![0.0f32; s.m * s.n];
+    let flops = 2.0 * s.m as f64 * s.n as f64 * s.k as f64;
+
+    let mut out = Vec::new();
+    let ref_secs = time_best(reps, || {
+        c.iter_mut().for_each(|v| *v = 0.0);
+        reference_gemm_nn(s.m, s.n, s.k, &a, &b, &mut c);
+    });
+    out.push(VariantResult {
+        variant: "reference".into(),
+        threads: 1,
+        secs: ref_secs,
+        gflops: flops / ref_secs / 1e9,
+        speedup_vs_reference: 1.0,
+    });
+
+    let mut isas = vec![Isa::Scalar];
+    if detected_isa() != Isa::Scalar {
+        isas.push(detected_isa());
+    }
+    for isa in isas {
+        for threads in thread_counts() {
+            // The blocked scalar path is single-thread-only in this table;
+            // thread scaling is reported on the SIMD variant.
+            if isa == Isa::Scalar && threads > 1 {
+                continue;
+            }
+            let secs = time_best(reps, || {
+                c.iter_mut().for_each(|v| *v = 0.0);
+                gemm_nn_with(isa, threads, s.m, s.n, s.k, &a, &b, &mut c);
+            });
+            out.push(VariantResult {
+                variant: variant_label(isa, threads),
+                threads,
+                secs,
+                gflops: flops / secs / 1e9,
+                speedup_vs_reference: ref_secs / secs,
+            });
+        }
+    }
+    out
+}
+
+/// Measure the factorized two-GEMM chain `(M×K)·(K×r)` then `(M×r)·(r×N)`.
+fn bench_factorized(s: Shape, rank: usize, reps: usize) -> Vec<VariantResult> {
+    let a = fill(0xabcd ^ s.m as u64, s.m * s.k);
+    let v = fill(0x1111 ^ rank as u64, s.k * rank);
+    let u = fill(0x2222 ^ rank as u64, rank * s.n);
+    let mut mid = vec![0.0f32; s.m * rank];
+    let mut c = vec![0.0f32; s.m * s.n];
+    let flops = 2.0 * s.m as f64 * rank as f64 * (s.k + s.n) as f64;
+
+    let mut out = Vec::new();
+    let ref_secs = time_best(reps, || {
+        mid.iter_mut().for_each(|x| *x = 0.0);
+        c.iter_mut().for_each(|x| *x = 0.0);
+        reference_gemm_nn(s.m, rank, s.k, &a, &v, &mut mid);
+        reference_gemm_nn(s.m, s.n, rank, &mid, &u, &mut c);
+    });
+    out.push(VariantResult {
+        variant: "reference".into(),
+        threads: 1,
+        secs: ref_secs,
+        gflops: flops / ref_secs / 1e9,
+        speedup_vs_reference: 1.0,
+    });
+
+    let mut isas = vec![Isa::Scalar];
+    if detected_isa() != Isa::Scalar {
+        isas.push(detected_isa());
+    }
+    for isa in isas {
+        for threads in thread_counts() {
+            if isa == Isa::Scalar && threads > 1 {
+                continue;
+            }
+            let secs = time_best(reps, || {
+                mid.iter_mut().for_each(|x| *x = 0.0);
+                c.iter_mut().for_each(|x| *x = 0.0);
+                gemm_nn_with(isa, threads, s.m, rank, s.k, &a, &v, &mut mid);
+                gemm_nn_with(isa, threads, s.m, s.n, rank, &mid, &u, &mut c);
+            });
+            out.push(VariantResult {
+                variant: variant_label(isa, threads),
+                threads,
+                secs,
+                gflops: flops / secs / 1e9,
+                speedup_vs_reference: ref_secs / secs,
+            });
+        }
+    }
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 1 } else { 3 };
+
+    println!(
+        "kernel_bench: detected ISA = {}, parallel = {}, mode = {}",
+        isa_name(detected_isa()),
+        cfg!(feature = "parallel"),
+        if quick { "quick" } else { "full" }
+    );
+
+    let mut shapes = Vec::new();
+    for &s in SHAPES {
+        if quick && !QUICK.contains(&s.name) {
+            continue;
+        }
+        let rank = ((RHO * s.k.min(s.n) as f64).round() as usize).max(1);
+        let dense = bench_dense(s, reps);
+        let factorized = bench_factorized(s, rank, reps);
+
+        let mut rows = Vec::new();
+        for (kind, variants) in [("dense", &dense), (&format!("rank-{rank}"), &factorized)] {
+            for r in variants {
+                rows.push(vec![
+                    format!("{} {}", s.name, kind),
+                    r.variant.clone(),
+                    format!("{:.3} ms", r.secs * 1e3),
+                    format!("{:.2} GF/s", r.gflops),
+                    format!("{:.2}x", r.speedup_vs_reference),
+                ]);
+            }
+        }
+        print_table(
+            &format!("{} ({}x{}x{})", s.name, s.m, s.n, s.k),
+            &["shape", "variant", "best", "rate", "vs ref"],
+            &rows,
+        );
+
+        shapes.push(ShapeResult {
+            name: s.name.into(),
+            m: s.m,
+            n: s.n,
+            k: s.k,
+            rank,
+            dense,
+            factorized,
+        });
+    }
+
+    let report = Report {
+        detected_isa: isa_name(active_isa()).into(),
+        parallel_enabled: cfg!(feature = "parallel"),
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        rho: RHO,
+        quick,
+        shapes,
+    };
+    let path = results_dir().join("kernel_bench.json");
+    match std::fs::write(&path, render_json(&report)) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Serialize the report by hand: the schema is small and fixed, and this keeps
+/// the artifact byte-stable across serde versions.
+fn render_json(r: &Report) -> String {
+    fn variants(out: &mut String, rows: &[VariantResult], indent: &str) {
+        for (i, v) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "{indent}{{\"variant\": \"{}\", \"threads\": {}, \"secs\": {:.6}, \
+                 \"gflops\": {:.2}, \"speedup_vs_reference\": {:.2}}}{comma}",
+                v.variant, v.threads, v.secs, v.gflops, v.speedup_vs_reference
+            );
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"detected_isa\": \"{}\",", r.detected_isa);
+    let _ = writeln!(out, "  \"parallel_enabled\": {},", r.parallel_enabled);
+    let _ = writeln!(out, "  \"host_cpus\": {},", r.host_cpus);
+    let _ = writeln!(out, "  \"rho\": {},", r.rho);
+    let _ = writeln!(out, "  \"quick\": {},", r.quick);
+    let _ = writeln!(out, "  \"shapes\": [");
+    for (i, s) in r.shapes.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(
+            out,
+            "      \"name\": \"{}\", \"m\": {}, \"n\": {}, \"k\": {}, \"rank\": {},",
+            s.name, s.m, s.n, s.k, s.rank
+        );
+        let _ = writeln!(out, "      \"dense\": [");
+        variants(&mut out, &s.dense, "        ");
+        let _ = writeln!(out, "      ],");
+        let _ = writeln!(out, "      \"factorized\": [");
+        variants(&mut out, &s.factorized, "        ");
+        let _ = writeln!(out, "      ]");
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if i + 1 < r.shapes.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push('}');
+    out.push('\n');
+    out
+}

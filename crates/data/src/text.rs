@@ -393,16 +393,16 @@ mod tests {
             panic!()
         };
         let mut correct = 0;
-        for i in 0..sst.val_x.rows() {
+        for (i, &label) in val_y.iter().enumerate().take(sst.val_x.rows()) {
             let mut scores = [0.0f32; 2];
             for j in 0..sst.val_x.cols() {
                 let tok = sst.val_x.get(i, j) as usize;
-                for c in 0..2 {
-                    scores[c] += hist[c][tok].ln();
+                for (score, h) in scores.iter_mut().zip(&hist) {
+                    *score += h[tok].ln();
                 }
             }
             let pred = if scores[1] > scores[0] { 1 } else { 0 };
-            if pred == val_y[i] {
+            if pred == label {
                 correct += 1;
             }
         }

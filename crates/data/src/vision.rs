@@ -150,13 +150,11 @@ impl VisionTask {
             let n = per_class * spec.classes;
             let mut x = Matrix::zeros(n, dim);
             let mut y = Vec::with_capacity(n);
-            for c in 0..spec.classes {
+            for (c, proto) in protos.iter().enumerate() {
                 for s in 0..per_class {
                     let row = x.row_mut(c * per_class + s);
-                    for j in 0..dim {
-                        row[j] = spec.signal * protos[c][j]
-                            + 0.3 * background[j]
-                            + spec.noise * standard_normal(rng);
+                    for ((r, &p), &b) in row.iter_mut().zip(proto).zip(&background) {
+                        *r = spec.signal * p + 0.3 * b + spec.noise * standard_normal(rng);
                     }
                     y.push(c);
                 }
@@ -274,8 +272,8 @@ mod tests {
         // Class means from train.
         let mut means = vec![vec![0.0f32; dim]; spec.classes];
         for (i, &y) in t.train_y.iter().enumerate() {
-            for j in 0..dim {
-                means[y][j] += t.train_x.get(i, j) / per as f32;
+            for (j, m) in means[y].iter_mut().enumerate() {
+                *m += t.train_x.get(i, j) / per as f32;
             }
         }
         let mut correct = 0;

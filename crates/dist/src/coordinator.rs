@@ -1202,7 +1202,8 @@ pub fn run_distributed_with(
                 }
             }
 
-            let evaluate = (epoch + 1) % cfg.eval_every_epochs == 0 || epoch + 1 == cfg.epochs;
+            let evaluate =
+                (epoch + 1).is_multiple_of(cfg.eval_every_epochs) || epoch + 1 == cfg.epochs;
             let metric = if evaluate {
                 co.send(0, Command::Evaluate)?;
                 let m = co.recv_metric()?;

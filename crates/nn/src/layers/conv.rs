@@ -95,8 +95,8 @@ impl Conv2d {
         for bi in 0..b {
             for p in 0..oh * ow {
                 let src = rows.row(bi * oh * ow + p);
-                for o in 0..out_c {
-                    out.set(bi, o * oh * ow + p, src[o]);
+                for (o, &v) in src.iter().enumerate().take(out_c) {
+                    out.set(bi, o * oh * ow + p, v);
                 }
             }
         }
@@ -135,13 +135,12 @@ impl Layer for Conv2d {
         let t4 = Tensor4::from_matrix(x.data(), c, h, w)?;
         // Unroll into the layer-owned workspace; the factorable weight
         // clones what its backward pass needs, so reuse is safe in both
-        // modes.
-        let mut patches = std::mem::replace(&mut self.patches, Matrix::zeros(0, 0));
-        im2col_into(&t4, &self.geom, &mut patches)?;
+        // modes. The workspace stays owned by `self` throughout — including
+        // every error path — so its high-water-mark allocation survives
+        // batches that shrink and later regrow.
+        im2col_into(&t4, &self.geom, &mut self.patches)?;
         let (oh, ow) = self.geom.output_hw(h, w)?;
-        let forwarded = self.weight.forward(&patches, mode);
-        self.patches = patches;
-        let mut y_rows = forwarded?;
+        let mut y_rows = self.weight.forward(&self.patches, mode)?;
         if let Some(bparam) = &self.bias {
             for i in 0..y_rows.rows() {
                 let row = y_rows.row_mut(i);
@@ -168,8 +167,8 @@ impl Layer for Conv2d {
         if let Some(bparam) = &mut self.bias {
             for i in 0..dy_rows.rows() {
                 let row = dy_rows.row(i);
-                for j in 0..row.len() {
-                    bparam.grad.set(0, j, bparam.grad.get(0, j) + row[j]);
+                for (j, &v) in row.iter().enumerate() {
+                    bparam.grad.set(0, j, bparam.grad.get(0, j) + v);
                 }
             }
         }
@@ -254,6 +253,44 @@ mod tests {
         let x = Act::image(Matrix::zeros(1, 4 * 8 * 8), 4, 8, 8).unwrap();
         let y = conv.forward(x, Mode::Eval).unwrap();
         assert_eq!(y.expect_image("t").unwrap(), (8, 4, 4));
+    }
+
+    #[test]
+    fn workspace_capacity_is_high_water_mark_sticky() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new("c1", geom(3, 8, 3, 1, 1), false, &mut rng);
+        let run = |conv: &mut Conv2d, batch: usize| {
+            let x = Act::image(Matrix::zeros(batch, 3 * 6 * 6), 3, 6, 6).unwrap();
+            conv.forward(x, Mode::Eval).unwrap();
+        };
+        run(&mut conv, 4);
+        let high_water = conv.patches.capacity();
+        assert!(high_water >= 4 * 36 * 27);
+        // Shrink the batch: rows drop but the allocation must not.
+        run(&mut conv, 1);
+        assert_eq!(conv.patches.rows(), 36);
+        assert_eq!(conv.patches.capacity(), high_water);
+        // Regrow to the original batch: no reallocation.
+        run(&mut conv, 4);
+        assert_eq!(conv.patches.capacity(), high_water);
+    }
+
+    #[test]
+    fn workspace_survives_forward_errors() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // Kernel 3, no padding: a 1×1 input makes im2col_into fail.
+        let mut conv = Conv2d::new("c1", geom(3, 8, 3, 1, 0), false, &mut rng);
+        let ok = Act::image(Matrix::zeros(2, 3 * 6 * 6), 3, 6, 6).unwrap();
+        conv.forward(ok, Mode::Eval).unwrap();
+        let high_water = conv.patches.capacity();
+        assert!(high_water > 0);
+        let bad = Act::image(Matrix::zeros(2, 3), 3, 1, 1).unwrap();
+        assert!(conv.forward(bad, Mode::Eval).is_err());
+        // The error path must not have dropped the workspace allocation.
+        assert_eq!(conv.patches.capacity(), high_water);
+        let ok = Act::image(Matrix::zeros(2, 3 * 6 * 6), 3, 6, 6).unwrap();
+        conv.forward(ok, Mode::Eval).unwrap();
+        assert_eq!(conv.patches.capacity(), high_water);
     }
 
     #[test]

@@ -85,9 +85,9 @@ impl Layer for Embedding {
         let d = self.table.value.cols();
         for (pos, &id) in ids.iter().enumerate() {
             let src = dy.data().row(pos);
-            for j in 0..d {
+            for (j, &v) in src.iter().enumerate().take(d) {
                 let cur = self.table.grad.get(id, j);
-                self.table.grad.set(id, j, cur + src[j]);
+                self.table.grad.set(id, j, cur + v);
             }
         }
         // Token ids are not differentiable; return a zero gradient.
@@ -183,9 +183,9 @@ impl Layer for PosEmbedding {
         for bi in 0..b {
             for ti in 0..t {
                 let src = dy.data().row(bi * t + ti);
-                for j in 0..d {
+                for (j, &v) in src.iter().enumerate().take(d) {
                     let cur = self.table.grad.get(ti, j);
-                    self.table.grad.set(ti, j, cur + src[j]);
+                    self.table.grad.set(ti, j, cur + v);
                 }
             }
         }

@@ -80,8 +80,8 @@ impl Layer for Linear {
         if let Some(b) = &mut self.bias {
             for i in 0..dy.data().rows() {
                 let row = dy.data().row(i);
-                for j in 0..row.len() {
-                    b.grad.set(0, j, b.grad.get(0, j) + row[j]);
+                for (j, &v) in row.iter().enumerate() {
+                    b.grad.set(0, j, b.grad.get(0, j) + v);
                 }
             }
         }

@@ -173,8 +173,8 @@ impl Layer for LayerNorm {
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let inv_std = 1.0 / (var + self.eps).sqrt();
             inv_stds.push(inv_std);
-            for j in 0..d {
-                let xh = (row[j] - mean) * inv_std;
+            for (j, &v) in row.iter().enumerate().take(d) {
+                let xh = (v - mean) * inv_std;
                 x_hat.set(i, j, xh);
                 out.set(
                     i,

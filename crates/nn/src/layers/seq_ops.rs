@@ -107,8 +107,8 @@ impl TokenTranspose {
         for bi in 0..b {
             for t in 0..tokens {
                 let src = x.data().row(bi * tokens + t);
-                for di in 0..d {
-                    out.set(bi * d + di, t, src[di]);
+                for (di, &v) in src.iter().enumerate().take(d) {
+                    out.set(bi * d + di, t, v);
                 }
             }
         }

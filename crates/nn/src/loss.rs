@@ -54,14 +54,14 @@ pub fn cross_entropy(logits: &Matrix, labels: &[usize], smoothing: f32) -> NnRes
     let on = 1.0 - smoothing + off;
     let mut loss = 0.0f64;
     let mut grad = Matrix::zeros(n, c);
-    for i in 0..n {
+    for (i, &label) in labels.iter().enumerate().take(n) {
         let lp = logp.row(i);
         let mut row_loss = 0.0f64;
-        for j in 0..c {
-            let target = if j == labels[i] { on } else { off };
-            row_loss -= (target * lp[j]) as f64;
+        for (j, &lpj) in lp.iter().enumerate().take(c) {
+            let target = if j == label { on } else { off };
+            row_loss -= (target * lpj) as f64;
             // d/dlogit = softmax - target.
-            grad.set(i, j, (lp[j].exp() - target) / n as f32);
+            grad.set(i, j, (lpj.exp() - target) / n as f32);
         }
         loss += row_loss;
     }

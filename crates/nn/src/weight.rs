@@ -123,9 +123,9 @@ impl BatchNormCore {
         } else {
             for i in 0..x.rows() {
                 let row = x.row(i);
-                for j in 0..c {
+                for (j, &v) in row.iter().enumerate().take(c) {
                     let inv = 1.0 / (self.running_var[j] + self.eps).sqrt();
-                    let xh = (row[j] - self.running_mean[j]) * inv;
+                    let xh = (v - self.running_mean[j]) * inv;
                     out.set(
                         i,
                         j,

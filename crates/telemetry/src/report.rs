@@ -640,7 +640,7 @@ mod tests {
 
     #[test]
     fn serving_section_aggregates_requests_and_batches() {
-        let events = vec![
+        let events = [
             Event::ServeRequest {
                 worker: 0,
                 batch_size: 2,

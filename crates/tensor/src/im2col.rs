@@ -101,21 +101,36 @@ pub fn im2col_into(input: &Tensor4, geom: &ConvGeometry, out: &mut Matrix) -> Re
     let cols = c * k * k;
     crate::counters::record_im2col(b * oh * ow * cols);
     out.reset_to(b * oh * ow, cols);
+    let src = input.as_slice();
+    let (pad, stride) = (geom.padding, geom.stride);
     for bi in 0..b {
         for oy in 0..oh {
+            let y0 = oy * stride;
             for ox in 0..ow {
-                let row_idx = (bi * oh + oy) * ow + ox;
-                let row = out.row_mut(row_idx);
+                let x0 = ox * stride;
+                // Consecutive kx map to consecutive input columns and
+                // consecutive patch columns, so each (channel, ky) pair is
+                // one contiguous copy of the in-bounds kx run; the zeroed
+                // workspace supplies the padding.
+                let kx_lo = pad.saturating_sub(x0);
+                let kx_hi = k.min((w + pad).saturating_sub(x0));
+                if kx_lo >= kx_hi {
+                    continue;
+                }
+                let run = kx_hi - kx_lo;
+                let ix0 = x0 + kx_lo - pad;
+                let row = out.row_mut((bi * oh + oy) * ow + ox);
                 for ci in 0..c {
+                    let plane = &src[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w];
                     for ky in 0..k {
-                        let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
-                        for kx in 0..k {
-                            let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
-                            let col_idx = (ci * k + ky) * k + kx;
-                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                row[col_idx] = input.get(bi, ci, iy as usize, ix as usize);
-                            }
+                        let y = y0 + ky;
+                        if y < pad || y >= h + pad {
+                            continue;
                         }
+                        let iy = y - pad;
+                        let col0 = (ci * k + ky) * k + kx_lo;
+                        row[col0..col0 + run]
+                            .copy_from_slice(&plane[iy * w + ix0..iy * w + ix0 + run]);
                     }
                 }
             }
@@ -150,20 +165,40 @@ pub fn col2im(
         });
     }
     let mut out = Tensor4::zeros(batch, c, h, w);
+    let dst = out.as_mut_slice();
+    let (pad, stride) = (geom.padding, geom.stride);
     for bi in 0..batch {
         for oy in 0..oh {
+            let y0 = oy * stride;
             for ox in 0..ow {
+                let x0 = ox * stride;
+                // Mirror of the im2col runs: scatter-add each contiguous
+                // in-bounds kx run back into the input plane. The loop
+                // order (b, oy, ox, c, ky, kx) matches the historical
+                // per-element scatter, so accumulation order — and thus
+                // every rounded bit — is unchanged.
+                let kx_lo = pad.saturating_sub(x0);
+                let kx_hi = k.min((w + pad).saturating_sub(x0));
+                if kx_lo >= kx_hi {
+                    continue;
+                }
+                let run = kx_hi - kx_lo;
+                let ix0 = x0 + kx_lo - pad;
                 let row = cols.row((bi * oh + oy) * ow + ox);
                 for ci in 0..c {
+                    let plane = &mut dst[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w];
                     for ky in 0..k {
-                        let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
-                        for kx in 0..k {
-                            let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
-                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                let col_idx = (ci * k + ky) * k + kx;
-                                let cur = out.get(bi, ci, iy as usize, ix as usize);
-                                out.set(bi, ci, iy as usize, ix as usize, cur + row[col_idx]);
-                            }
+                        let y = y0 + ky;
+                        if y < pad || y >= h + pad {
+                            continue;
+                        }
+                        let iy = y - pad;
+                        let col0 = (ci * k + ky) * k + kx_lo;
+                        for (d, &s) in plane[iy * w + ix0..iy * w + ix0 + run]
+                            .iter_mut()
+                            .zip(&row[col0..col0 + run])
+                        {
+                            *d += s;
                         }
                     }
                 }

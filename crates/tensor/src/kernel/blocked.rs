@@ -1,0 +1,92 @@
+//! The blocked GEMM driver and the portable scalar micro-kernel.
+//!
+//! BLIS-style loop nest: `jc` over `NC` column blocks, `pc` over `KC`
+//! contraction blocks (ascending — this is what keeps per-element
+//! accumulation order identical to the reference loops), `ic` over `MC` row
+//! blocks, then `NR`/`MR` micro-panels. `A` and `B` blocks are packed once
+//! per block into thread-local buffers and streamed by the micro-kernel.
+//!
+//! The output tile is copied into a stack buffer before the micro-kernel
+//! runs and copied back after. Loading the existing `C` values into the
+//! accumulators (rather than zeroing and adding at the end) is the load-C
+//! first strategy that makes the scalar path bit-identical to the textbook
+//! loop across `KC` block boundaries: an `f32` store/load round-trip is
+//! exact, so each element still sees one rounded `mul`+`add` per k, in
+//! ascending k order, on a single running value.
+
+use super::pack::{pack_a_block, pack_b_block};
+use super::{GemmView, MicroKernel, KC, MC, MR, NC, NR, TILE};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread packing buffers (`A` block, `B` block), grown once and
+    /// reused across every GEMM this thread runs.
+    static PACK_BUFS: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Runs the full blocked loop nest for one (stripe of a) GEMM, accumulating
+/// into the row-major `m×n` slice `c`.
+pub(crate) fn gemm_blocked(g: &GemmView<'_>, c: &mut [f32], kernel: MicroKernel) {
+    debug_assert_eq!(c.len(), g.m * g.n);
+    PACK_BUFS.with(|bufs| {
+        let (pa, pb) = &mut *bufs.borrow_mut();
+        pa.resize(MC * KC, 0.0);
+        pb.resize(KC * NC, 0.0);
+
+        let mut jc = 0;
+        while jc < g.n {
+            let nc = NC.min(g.n - jc);
+            let n_panels = nc.div_ceil(NR);
+            let mut pc = 0;
+            while pc < g.k {
+                let kc = KC.min(g.k - pc);
+                pack_b_block(g, pc, jc, kc, nc, pb);
+                let mut ic = 0;
+                while ic < g.m {
+                    let mc = MC.min(g.m - ic);
+                    let m_panels = mc.div_ceil(MR);
+                    pack_a_block(g, ic, pc, mc, kc, pa);
+                    for jp in 0..n_panels {
+                        let jr = jc + jp * NR;
+                        let nr = NR.min(jc + nc - jr);
+                        let pbp = &pb[jp * NR * kc..(jp + 1) * NR * kc];
+                        for ip in 0..m_panels {
+                            let ir = ic + ip * MR;
+                            let mr = MR.min(ic + mc - ir);
+                            let pap = &pa[ip * MR * kc..(ip + 1) * MR * kc];
+                            let mut tile = [0.0f32; TILE];
+                            let c_base = &mut c[ir * g.n..];
+                            for (trow, crow) in
+                                tile.chunks_exact_mut(NR).zip(c_base.chunks(g.n)).take(mr)
+                            {
+                                trow[..nr].copy_from_slice(&crow[jr..jr + nr]);
+                            }
+                            kernel(kc, pap, pbp, &mut tile);
+                            for (trow, crow) in
+                                tile.chunks_exact(NR).zip(c_base.chunks_mut(g.n)).take(mr)
+                            {
+                                crow[jr..jr + nr].copy_from_slice(&trow[..nr]);
+                            }
+                        }
+                    }
+                    ic += MC;
+                }
+                pc += KC;
+            }
+            jc += NC;
+        }
+    });
+}
+
+/// Portable scalar micro-kernel: one rounded `mul` + one rounded `add` per
+/// term (the compiler does not contract these into FMA), k ascending —
+/// bit-identical to the reference loops by construction.
+pub(crate) fn kernel_scalar(kc: usize, pa: &[f32], pb: &[f32], tile: &mut [f32; TILE]) {
+    for (a_lanes, b_lanes) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)).take(kc) {
+        for (trow, &av) in tile.chunks_exact_mut(NR).zip(a_lanes) {
+            for (t, &bv) in trow.iter_mut().zip(b_lanes) {
+                *t += av * bv;
+            }
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! Cache-blocked, SIMD-dispatched GEMM kernels for the factorized hot path.
+//!
+//! Every matmul in the reproduction (dense forward, `U·Vᵀ` factorized
+//! forward, the `im2col` convolution product, the Gram matrices inside the
+//! SVD estimators) funnels through this module. It is layered:
+//!
+//! 1. **Blocked core** ([`blocked`]) — a BLIS/faer-style loop nest that
+//!    packs `MC×KC` panels of `A` and `KC×NC` panels of `B` into
+//!    contiguous buffers and walks them with an `MR×NR` register
+//!    micro-kernel.
+//! 2. **ISA dispatch** — a portable scalar micro-kernel that is always
+//!    available, plus `std::arch` AVX2+FMA (x86_64) and NEON (aarch64)
+//!    micro-kernels selected once at startup by runtime feature detection
+//!    ([`detected_isa`]); benches and tests can pin a path with
+//!    [`force_isa`] or the explicit `*_with` entry points.
+//! 3. **Parallel stripes** (cargo feature `parallel`) — the output rows are
+//!    split into contiguous, `MR`-aligned stripes, one scoped thread per
+//!    stripe. Stripes are disjoint and each element's k-accumulation order
+//!    is unchanged, so results are **bit-identical at any thread count**.
+//!
+//! # Determinism contract
+//!
+//! * The scalar blocked path is bit-identical to the reference loops
+//!   ([`reference_gemm_nn`] and friends) at **every** size: the
+//!   micro-kernel loads the existing output tile into its accumulators,
+//!   adds one rounded `mul` + `add` per k in ascending order, and stores —
+//!   exactly the operation sequence of the textbook i-k-j loop (an `f32`
+//!   store/load round-trip is exact).
+//! * The AVX2/NEON paths fuse each `mul`+`add` into one FMA (a single
+//!   rounding instead of two). The resulting per-element drift is bounded
+//!   by `4 · ε · Σ_k |a_ik·b_kj|` and is asserted by the property tests in
+//!   `tests/kernel_props.rs`.
+//! * Thread count never affects results; only the ISA choice does.
+
+mod blocked;
+#[cfg(target_arch = "aarch64")]
+mod neon;
+mod pack;
+#[cfg(feature = "parallel")]
+mod parallel;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Micro-tile rows held in registers.
+pub(crate) const MR: usize = 6;
+/// Micro-tile columns held in registers (two AVX2 lanes / four NEON lanes).
+pub(crate) const NR: usize = 16;
+/// Elements in one `MR×NR` output tile.
+pub(crate) const TILE: usize = MR * NR;
+/// Rows of `A` packed per block (multiple of `MR`; sized for L2 residency).
+pub(crate) const MC: usize = 72;
+/// Shared (contraction) dimension packed per block.
+pub(crate) const KC: usize = 256;
+/// Columns of `B` packed per block (multiple of `NR`).
+pub(crate) const NC: usize = 512;
+
+/// `k·n` (B-operand element count) floor below which [`crate::Matrix`] uses
+/// the reference loops instead of the blocked path: packing such a small B
+/// costs as much as multiplying it. Deliberately independent of `m` — the
+/// kernel tier a weight runs on must not depend on the batch dimension, so a
+/// row's result is bit-identical whether it was computed in a batch of 1 or
+/// 1000 (serving relies on this).
+pub const SMALL_GEMM_FLOOR: usize = 32 * 32;
+
+/// FLOP floor (`2·m·n·k`) below which the `parallel` feature stays serial:
+/// spawning scoped threads costs more than the multiply saves.
+#[cfg(feature = "parallel")]
+pub(crate) const PAR_FLOP_FLOOR: usize = 1 << 23;
+
+/// One GEMM operand pair viewed through row/column strides, so the same
+/// packed core serves `A·B`, `Aᵀ·B`, and `A·Bᵀ` without materializing a
+/// transpose. `a[i·a_rs + p·a_cs]` is `A[i, p]` (output row `i`,
+/// contraction index `p`); `b[p·b_rs + j·b_cs]` is `B[p, j]`.
+pub(crate) struct GemmView<'a> {
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+    pub a: &'a [f32],
+    pub a_rs: usize,
+    pub a_cs: usize,
+    pub b: &'a [f32],
+    pub b_rs: usize,
+    pub b_cs: usize,
+}
+
+/// Signature every micro-kernel shares: accumulate `kc` rank-1 updates from
+/// the packed panels into a contiguous `MR×NR` output tile.
+pub(crate) type MicroKernel = fn(usize, &[f32], &[f32], &mut [f32; TILE]);
+
+/// Instruction-set paths the dispatch layer can select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Isa {
+    /// Portable scalar micro-kernel; bit-identical to the reference loops.
+    Scalar = 1,
+    /// AVX2 + FMA micro-kernel (x86_64), 6×16 tile in 12 `ymm` accumulators.
+    Avx2Fma = 2,
+    /// NEON micro-kernel (aarch64), 6×16 tile in 24 `q` accumulators.
+    Neon = 3,
+}
+
+/// `0` = auto (use [`detected_isa`]), otherwise an [`Isa`] discriminant.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+/// `0` = unset (read `CUTTLEFISH_THREADS` lazily), otherwise a count.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The best instruction set this machine supports, detected once at first
+/// use via `std::arch` runtime feature detection and cached.
+pub fn detected_isa() -> Isa {
+    static CACHE: OnceLock<Isa> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return Isa::Avx2Fma;
+        }
+        #[cfg(target_arch = "aarch64")]
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return Isa::Neon;
+        }
+        Isa::Scalar
+    })
+}
+
+/// Whether `isa` can run on this machine ([`Isa::Scalar`] always can).
+pub fn isa_supported(isa: Isa) -> bool {
+    isa == Isa::Scalar || isa == detected_isa()
+}
+
+/// Pins the dispatch layer to one ISA (`Some`) or restores auto-detection
+/// (`None`). Returns `false` — leaving the current setting untouched — if
+/// the requested ISA is not supported on this machine. Intended for benches
+/// and property tests; prefer the `*_with` entry points where possible
+/// because this is process-global state.
+pub fn force_isa(isa: Option<Isa>) -> bool {
+    match isa {
+        None => {
+            FORCED.store(0, Ordering::Relaxed);
+            true
+        }
+        Some(i) if isa_supported(i) => {
+            FORCED.store(i as u8, Ordering::Relaxed);
+            true
+        }
+        Some(_) => false,
+    }
+}
+
+/// The ISA the implicit entry points ([`gemm_nn`] etc.) will use: the
+/// forced one if set, otherwise [`detected_isa`].
+pub fn active_isa() -> Isa {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => Isa::Scalar,
+        2 => Isa::Avx2Fma,
+        3 => Isa::Neon,
+        _ => detected_isa(),
+    }
+}
+
+/// Sets the worker-thread count used by the `parallel` cargo feature
+/// (clamped to at least 1). Without that feature the value is recorded but
+/// kernels always run serially. Thread count never changes results — see
+/// the determinism contract in the module docs.
+pub fn set_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The configured worker-thread count: the last [`set_threads`] value, else
+/// the `CUTTLEFISH_THREADS` environment variable, else 1.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::env::var("CUTTLEFISH_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .map_or(1, |v| v.max(1));
+            THREADS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Resolves the micro-kernel for an ISA; unsupported-on-this-arch variants
+/// fall back to scalar (unreachable through the public API, which refuses
+/// to force an unsupported ISA).
+fn micro_kernel(isa: Isa) -> MicroKernel {
+    match isa {
+        Isa::Scalar => blocked::kernel_scalar,
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => x86::kernel_avx2,
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => neon::kernel_neon,
+        _ => blocked::kernel_scalar,
+    }
+}
+
+fn run(g: &GemmView<'_>, c: &mut [f32], isa: Isa, nthreads: usize) {
+    if g.m == 0 || g.n == 0 || g.k == 0 {
+        return;
+    }
+    let kernel = micro_kernel(isa);
+    #[cfg(feature = "parallel")]
+    if nthreads > 1 && g.m >= 2 * MR && 2 * g.m * g.n * g.k >= PAR_FLOP_FLOOR {
+        parallel::gemm_striped(g, c, kernel, nthreads);
+        return;
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = nthreads;
+    blocked::gemm_blocked(g, c, kernel);
+}
+
+/// `C += A·B` with the active ISA and configured thread count; `a` is
+/// `m×k`, `b` is `k×n`, `c` is `m×n`, all row-major.
+///
+/// # Panics
+///
+/// Panics if a buffer length disagrees with its stated shape.
+pub fn gemm_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_nn_with(active_isa(), threads(), m, n, k, a, b, c);
+}
+
+/// `C += Aᵀ·B` with the active ISA and configured thread count; `a` is
+/// stored `k×m` row-major (so `Aᵀ` is `m×k`), `b` is `k×n`, `c` is `m×n`.
+///
+/// # Panics
+///
+/// Panics if a buffer length disagrees with its stated shape.
+pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_tn_with(active_isa(), threads(), m, n, k, a, b, c);
+}
+
+/// `C += A·Bᵀ` with the active ISA and configured thread count; `a` is
+/// `m×k`, `b` is stored `n×k` row-major (so `Bᵀ` is `k×n`), `c` is `m×n`.
+///
+/// # Panics
+///
+/// Panics if a buffer length disagrees with its stated shape.
+pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_nt_with(active_isa(), threads(), m, n, k, a, b, c);
+}
+
+/// [`gemm_nn`] with an explicit ISA and thread count — the side-effect-free
+/// hook for benches and property tests. `nthreads` only takes effect with
+/// the `parallel` cargo feature.
+///
+/// # Panics
+///
+/// Panics if a buffer length disagrees with its stated shape.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nn_with(
+    isa: Isa,
+    nthreads: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm_nn: lhs is not m*k");
+    assert_eq!(b.len(), k * n, "gemm_nn: rhs is not k*n");
+    assert_eq!(c.len(), m * n, "gemm_nn: out is not m*n");
+    let g = GemmView {
+        m,
+        n,
+        k,
+        a,
+        a_rs: k,
+        a_cs: 1,
+        b,
+        b_rs: n,
+        b_cs: 1,
+    };
+    run(&g, c, isa, nthreads);
+}
+
+/// [`gemm_tn`] with an explicit ISA and thread count. `a` is stored `k×m`
+/// row-major and read through swapped strides — no transpose materialized.
+///
+/// # Panics
+///
+/// Panics if a buffer length disagrees with its stated shape.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tn_with(
+    isa: Isa,
+    nthreads: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    assert_eq!(a.len(), k * m, "gemm_tn: lhs is not k*m");
+    assert_eq!(b.len(), k * n, "gemm_tn: rhs is not k*n");
+    assert_eq!(c.len(), m * n, "gemm_tn: out is not m*n");
+    let g = GemmView {
+        m,
+        n,
+        k,
+        a,
+        a_rs: 1,
+        a_cs: m,
+        b,
+        b_rs: n,
+        b_cs: 1,
+    };
+    run(&g, c, isa, nthreads);
+}
+
+/// [`gemm_nt`] with an explicit ISA and thread count. `b` is stored `n×k`
+/// row-major and read through swapped strides — no transpose materialized.
+///
+/// # Panics
+///
+/// Panics if a buffer length disagrees with its stated shape.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_with(
+    isa: Isa,
+    nthreads: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm_nt: lhs is not m*k");
+    assert_eq!(b.len(), n * k, "gemm_nt: rhs is not n*k");
+    assert_eq!(c.len(), m * n, "gemm_nt: out is not m*n");
+    let g = GemmView {
+        m,
+        n,
+        k,
+        a,
+        a_rs: k,
+        a_cs: 1,
+        b,
+        b_rs: 1,
+        b_cs: k,
+    };
+    run(&g, c, isa, nthreads);
+}
+
+/// Reference `C += A·B`: the textbook i-k-j triple loop, one rounded `mul`
+/// plus one rounded `add` per term, k strictly ascending, no zero-skip.
+/// The scalar blocked path is bit-identical to this at every size.
+///
+/// # Panics
+///
+/// Panics if a buffer length disagrees with its stated shape.
+pub fn reference_gemm_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "reference_gemm_nn: lhs is not m*k");
+    assert_eq!(b.len(), k * n, "reference_gemm_nn: rhs is not k*n");
+    assert_eq!(c.len(), m * n, "reference_gemm_nn: out is not m*n");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    for (c_row, a_row) in c.chunks_exact_mut(n).zip(a.chunks_exact(k)) {
+        for (&av, b_row) in a_row.iter().zip(b.chunks_exact(n)) {
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Reference `C += Aᵀ·B` (`a` stored `k×m` row-major): k-outer loop order
+/// matching the historical `matmul_tn`, no zero-skip.
+///
+/// # Panics
+///
+/// Panics if a buffer length disagrees with its stated shape.
+pub fn reference_gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "reference_gemm_tn: lhs is not k*m");
+    assert_eq!(b.len(), k * n, "reference_gemm_tn: rhs is not k*n");
+    assert_eq!(c.len(), m * n, "reference_gemm_tn: out is not m*n");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    for (a_row, b_row) in a.chunks_exact(m).zip(b.chunks_exact(n)) {
+        for (&av, c_row) in a_row.iter().zip(c.chunks_exact_mut(n)) {
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Reference `C += A·Bᵀ` (`b` stored `n×k` row-major): per-element dot
+/// product with k strictly ascending, matching the historical `matmul_nt`.
+///
+/// # Panics
+///
+/// Panics if a buffer length disagrees with its stated shape.
+pub fn reference_gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "reference_gemm_nt: lhs is not m*k");
+    assert_eq!(b.len(), n * k, "reference_gemm_nt: rhs is not n*k");
+    assert_eq!(c.len(), m * n, "reference_gemm_nt: out is not m*n");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    for (c_row, a_row) in c.chunks_exact_mut(n).zip(a.chunks_exact(k)) {
+        for (cv, b_row) in c_row.iter_mut().zip(b.chunks_exact(k)) {
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *cv += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+        (0..len).map(f).collect()
+    }
+
+    #[test]
+    fn scalar_blocked_matches_reference_bitwise() {
+        for &(m, n, k) in &[(1, 1, 1), (7, 13, 5), (17, 33, 70), (65, 40, 300)] {
+            let a = fill(m * k, |i| ((i * 31 % 17) as f32 - 8.0) * 0.125);
+            let b = fill(k * n, |i| ((i * 13 % 29) as f32 - 14.0) * 0.0625);
+            let mut c_ref = vec![0.0f32; m * n];
+            reference_gemm_nn(m, n, k, &a, &b, &mut c_ref);
+            let mut c_blk = vec![0.0f32; m * n];
+            gemm_nn_with(Isa::Scalar, 1, m, n, k, &a, &b, &mut c_blk);
+            assert_eq!(c_ref, c_blk, "scalar blocked drifted at {m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn tn_and_nt_match_reference_bitwise() {
+        let (m, n, k) = (23, 19, 37);
+        let a_t = fill(k * m, |i| (i as f32).sin());
+        let b = fill(k * n, |i| (i as f32).cos());
+        let mut c_ref = vec![0.0f32; m * n];
+        reference_gemm_tn(m, n, k, &a_t, &b, &mut c_ref);
+        let mut c_blk = vec![0.0f32; m * n];
+        gemm_tn_with(Isa::Scalar, 1, m, n, k, &a_t, &b, &mut c_blk);
+        assert_eq!(c_ref, c_blk);
+
+        let a = fill(m * k, |i| (i as f32 * 0.7).sin());
+        let b_t = fill(n * k, |i| (i as f32 * 0.3).cos());
+        let mut c_ref = vec![0.0f32; m * n];
+        reference_gemm_nt(m, n, k, &a, &b_t, &mut c_ref);
+        let mut c_blk = vec![0.0f32; m * n];
+        gemm_nt_with(Isa::Scalar, 1, m, n, k, &a, &b_t, &mut c_blk);
+        assert_eq!(c_ref, c_blk);
+    }
+
+    #[test]
+    fn detected_isa_runs_and_is_close() {
+        let (m, n, k) = (50, 34, 260);
+        let a = fill(m * k, |i| ((i % 101) as f32 - 50.0) * 0.01);
+        let b = fill(k * n, |i| ((i % 89) as f32 - 44.0) * 0.02);
+        let mut c_ref = vec![0.0f32; m * n];
+        reference_gemm_nn(m, n, k, &a, &b, &mut c_ref);
+        let mut c_simd = vec![0.0f32; m * n];
+        gemm_nn_with(detected_isa(), 1, m, n, k, &a, &b, &mut c_simd);
+        for (i, (&x, &y)) in c_ref.iter().zip(&c_simd).enumerate() {
+            let bound = 4.0 * f32::EPSILON * k as f32 * x.abs().max(1.0);
+            assert!((x - y).abs() <= bound, "elem {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn force_isa_rejects_unsupported() {
+        assert!(force_isa(Some(Isa::Scalar)));
+        assert_eq!(active_isa(), Isa::Scalar);
+        assert!(force_isa(None));
+        #[cfg(target_arch = "x86_64")]
+        assert!(!force_isa(Some(Isa::Neon)));
+    }
+
+    #[test]
+    fn zero_dims_are_noops() {
+        let mut c = vec![0.0f32; 0];
+        gemm_nn(0, 0, 0, &[], &[], &mut c);
+        let mut c = vec![1.0f32; 4];
+        gemm_nn(2, 2, 0, &[], &[], &mut c);
+        assert_eq!(c, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn threads_are_clamped() {
+        set_threads(0);
+        assert_eq!(threads(), 1);
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(1);
+    }
+}

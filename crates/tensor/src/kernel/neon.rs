@@ -1,0 +1,56 @@
+//! NEON micro-kernel (aarch64).
+//!
+//! The 6×16 tile lives in 24 `q` accumulators (6 rows × 4 four-lane
+//! vectors) out of the 32 available, leaving room for the broadcast `A`
+//! scalar and the four `B` vectors. `vfmaq_f32` fuses each term into one
+//! rounding, so this path shares the FMA drift bound documented on the
+//! dispatch module, not bit-identity with the scalar path.
+//!
+//! See `x86.rs` for why `unsafe` is allowed here and nowhere else.
+#![allow(unsafe_code)]
+
+use super::{MR, NR, TILE};
+
+/// Safe wrapper: validates panel lengths, then enters the `target_feature`
+/// implementation. NEON is baseline on aarch64 and is additionally verified
+/// at dispatch time.
+pub(crate) fn kernel_neon(kc: usize, pa: &[f32], pb: &[f32], tile: &mut [f32; TILE]) {
+    assert!(pa.len() >= kc * MR, "packed A panel too short");
+    assert!(pb.len() >= kc * NR, "packed B panel too short");
+    // SAFETY: NEON presence was verified at dispatch time via
+    // `is_aarch64_feature_detected!`; bounds are asserted above; the tile
+    // is a fixed-size array, so every load/store below is in range.
+    unsafe { kernel_neon_impl(kc, pa, pb, tile) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn kernel_neon_impl(kc: usize, pa: &[f32], pb: &[f32], tile: &mut [f32; TILE]) {
+    use std::arch::aarch64::*;
+
+    let mut acc = [[vdupq_n_f32(0.0); 4]; MR];
+    for (r, lanes) in acc.iter_mut().enumerate() {
+        for (q, lane) in lanes.iter_mut().enumerate() {
+            *lane = vld1q_f32(tile.as_ptr().add(r * NR + q * 4));
+        }
+    }
+    for k in 0..kc {
+        let bp = pb.as_ptr().add(k * NR);
+        let b0 = vld1q_f32(bp);
+        let b1 = vld1q_f32(bp.add(4));
+        let b2 = vld1q_f32(bp.add(8));
+        let b3 = vld1q_f32(bp.add(12));
+        let ap = pa.as_ptr().add(k * MR);
+        for (r, lanes) in acc.iter_mut().enumerate() {
+            let av = vdupq_n_f32(*ap.add(r));
+            lanes[0] = vfmaq_f32(lanes[0], av, b0);
+            lanes[1] = vfmaq_f32(lanes[1], av, b1);
+            lanes[2] = vfmaq_f32(lanes[2], av, b2);
+            lanes[3] = vfmaq_f32(lanes[3], av, b3);
+        }
+    }
+    for (r, lanes) in acc.iter().enumerate() {
+        for (q, lane) in lanes.iter().enumerate() {
+            vst1q_f32(tile.as_mut_ptr().add(r * NR + q * 4), *lane);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Panel packing for the blocked GEMM core.
+//!
+//! Operands are repacked into the layout the micro-kernel streams:
+//!
+//! * `A` blocks become `ceil(mc/MR)` row panels; panel `p` holds rows
+//!   `p·MR..p·MR+MR` k-major, i.e. `panel[kk·MR + r] = A[i0 + p·MR + r,
+//!   k0 + kk]`.
+//! * `B` blocks become `ceil(nc/NR)` column panels; panel `p` holds columns
+//!   `p·NR..p·NR+NR` k-major, i.e. `panel[kk·NR + c] = B[k0 + kk,
+//!   j0 + p·NR + c]`.
+//!
+//! Partial edge panels are zero-padded to full `MR`/`NR` width so the
+//! micro-kernel never branches; padded lanes are discarded on tile
+//! store-back, so they cannot affect results. Reads go through the
+//! [`GemmView`] strides, which is how the transposed variants reuse this
+//! code without materializing a transpose.
+
+use super::{GemmView, MR, NR};
+
+/// Packs the `mc×kc` block of `A` starting at `(ic, pc)` into `out`
+/// (length at least `ceil(mc/MR)·MR·kc`).
+pub(crate) fn pack_a_block(
+    g: &GemmView<'_>,
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+    out: &mut [f32],
+) {
+    let panels = mc.div_ceil(MR);
+    for p in 0..panels {
+        let i0 = ic + p * MR;
+        let rows = MR.min(ic + mc - i0);
+        let panel = &mut out[p * MR * kc..(p + 1) * MR * kc];
+        for (kk, lanes) in panel.chunks_exact_mut(MR).enumerate() {
+            let koff = (pc + kk) * g.a_cs;
+            for (r, slot) in lanes.iter_mut().enumerate() {
+                *slot = if r < rows {
+                    g.a[(i0 + r) * g.a_rs + koff]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Packs the `kc×nc` block of `B` starting at `(pc, jc)` into `out`
+/// (length at least `ceil(nc/NR)·NR·kc`).
+pub(crate) fn pack_b_block(
+    g: &GemmView<'_>,
+    pc: usize,
+    jc: usize,
+    kc: usize,
+    nc: usize,
+    out: &mut [f32],
+) {
+    let panels = nc.div_ceil(NR);
+    for p in 0..panels {
+        let j0 = jc + p * NR;
+        let cols = NR.min(jc + nc - j0);
+        let panel = &mut out[p * NR * kc..(p + 1) * NR * kc];
+        for (kk, lanes) in panel.chunks_exact_mut(NR).enumerate() {
+            let base = (pc + kk) * g.b_rs;
+            if g.b_cs == 1 {
+                // Contiguous source row: bulk copy the valid run.
+                lanes[..cols].copy_from_slice(&g.b[base + j0..base + j0 + cols]);
+                for slot in &mut lanes[cols..] {
+                    *slot = 0.0;
+                }
+            } else {
+                for (c, slot) in lanes.iter_mut().enumerate() {
+                    *slot = if c < cols {
+                        g.b[base + (j0 + c) * g.b_cs]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Deterministic multi-threaded GEMM (cargo feature `parallel`).
+//!
+//! The output rows are split into contiguous, `MR`-aligned stripes and each
+//! stripe runs the *entire* blocked loop nest on its own scoped thread
+//! (`B` packing is duplicated per thread — a deliberate trade for
+//! determinism and zero cross-thread coordination). Stripes write disjoint
+//! row ranges of `C` and every element keeps the exact k-ascending
+//! accumulation order of the serial path, so the result is bit-identical
+//! at any thread count — there is no reduction step whose order could
+//! vary. Dependency-free: plain `std::thread::scope`, threads joined
+//! before return.
+
+use super::blocked::gemm_blocked;
+use super::{GemmView, MicroKernel, MR};
+
+/// Splits `c` into row stripes and runs [`gemm_blocked`] on each stripe in
+/// its own scoped thread. `nthreads >= 2` and `m >= 2·MR` are guaranteed by
+/// the dispatch threshold.
+pub(crate) fn gemm_striped(g: &GemmView<'_>, c: &mut [f32], kernel: MicroKernel, nthreads: usize) {
+    debug_assert_eq!(c.len(), g.m * g.n);
+    // Stripe height: even share, rounded up to a multiple of MR so only the
+    // final stripe carries a partial micro-panel.
+    let stripe = g.m.div_ceil(nthreads).div_ceil(MR) * MR;
+    std::thread::scope(|scope| {
+        let mut rest = c;
+        let mut i0 = 0usize;
+        while i0 < g.m {
+            let rows = stripe.min(g.m - i0);
+            let (chunk, tail) = rest.split_at_mut(rows * g.n);
+            rest = tail;
+            let sub = GemmView {
+                m: rows,
+                n: g.n,
+                k: g.k,
+                a: &g.a[i0 * g.a_rs..],
+                a_rs: g.a_rs,
+                a_cs: g.a_cs,
+                b: g.b,
+                b_rs: g.b_rs,
+                b_cs: g.b_cs,
+            };
+            scope.spawn(move || gemm_blocked(&sub, chunk, kernel));
+            i0 += rows;
+        }
+    });
+}

@@ -1,0 +1,55 @@
+//! AVX2 + FMA micro-kernel (x86_64).
+//!
+//! The 6×16 tile lives in 12 `ymm` accumulators (6 rows × 2 eight-lane
+//! vectors), leaving registers for the broadcast `A` scalar and the two `B`
+//! vectors. Each term is one fused multiply-add: a single rounding where
+//! the scalar path rounds twice, which is the entire (documented, bounded,
+//! property-tested) numeric difference between the ISA paths.
+//!
+//! This is the only unsafe code in the crate (with its NEON sibling): the
+//! crate-level `deny(unsafe_code)` is relaxed here because `std::arch`
+//! intrinsics require it. Safety rests on two invariants: the dispatch
+//! layer only hands out this kernel after runtime detection of AVX2+FMA,
+//! and every pointer dereference is covered by the panel/tile length
+//! checks in the safe wrapper.
+#![allow(unsafe_code)]
+
+use super::{MR, NR, TILE};
+
+/// Safe wrapper: validates panel lengths, then enters the `target_feature`
+/// implementation. Callers guarantee AVX2+FMA support by construction (the
+/// dispatch layer only selects this kernel when detection succeeded).
+pub(crate) fn kernel_avx2(kc: usize, pa: &[f32], pb: &[f32], tile: &mut [f32; TILE]) {
+    assert!(pa.len() >= kc * MR, "packed A panel too short");
+    assert!(pb.len() >= kc * NR, "packed B panel too short");
+    // SAFETY: AVX2+FMA presence was verified at dispatch time via
+    // `is_x86_feature_detected!`; bounds are asserted above; the tile is a
+    // fixed-size array, so every load/store below is in range.
+    unsafe { kernel_avx2_impl(kc, pa, pb, tile) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn kernel_avx2_impl(kc: usize, pa: &[f32], pb: &[f32], tile: &mut [f32; TILE]) {
+    use std::arch::x86_64::*;
+
+    let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+    for (r, lanes) in acc.iter_mut().enumerate() {
+        lanes[0] = _mm256_loadu_ps(tile.as_ptr().add(r * NR));
+        lanes[1] = _mm256_loadu_ps(tile.as_ptr().add(r * NR + 8));
+    }
+    for k in 0..kc {
+        let bp = pb.as_ptr().add(k * NR);
+        let b0 = _mm256_loadu_ps(bp);
+        let b1 = _mm256_loadu_ps(bp.add(8));
+        let ap = pa.as_ptr().add(k * MR);
+        for (r, lanes) in acc.iter_mut().enumerate() {
+            let av = _mm256_set1_ps(*ap.add(r));
+            lanes[0] = _mm256_fmadd_ps(av, b0, lanes[0]);
+            lanes[1] = _mm256_fmadd_ps(av, b1, lanes[1]);
+        }
+    }
+    for (r, lanes) in acc.iter().enumerate() {
+        _mm256_storeu_ps(tile.as_mut_ptr().add(r * NR), lanes[0]);
+        _mm256_storeu_ps(tile.as_mut_ptr().add(r * NR + 8), lanes[1]);
+    }
+}

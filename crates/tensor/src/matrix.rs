@@ -183,6 +183,14 @@ impl Matrix {
         self.data
     }
 
+    /// Allocated capacity of the underlying buffer, in elements.
+    ///
+    /// Workspace matrices resized with [`Matrix::reset_to`] keep their
+    /// high-water-mark allocation; this exposes it so reuse can be asserted.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Returns the element at `(i, j)`.
     ///
     /// # Panics
@@ -236,7 +244,12 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self * rhs` using a cache-friendly i-k-j loop order.
+    /// Matrix product `self * rhs` through the blocked, ISA-dispatched
+    /// kernel layer ([`crate::kernel`]); products whose `rhs` is smaller
+    /// than [`crate::kernel::SMALL_GEMM_FLOOR`] use the bit-identical
+    /// reference loop instead, where packing overhead would dominate. The
+    /// dispatch keys on `rhs` alone so the path taken — and therefore each
+    /// output row, bit for bit — never depends on the batch dimension.
     ///
     /// # Errors
     ///
@@ -250,26 +263,20 @@ impl Matrix {
             });
         }
         crate::counters::record_matmul(self.rows, rhs.cols, self.cols);
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        let n = rhs.cols;
-        for i in 0..self.rows {
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for (k, &a) in lhs_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * n..(k + 1) * n];
-                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * r;
-                }
-            }
+        let (m, n, k) = (self.rows, rhs.cols, self.cols);
+        let mut out = Matrix::zeros(m, n);
+        if rhs.data.len() >= crate::kernel::SMALL_GEMM_FLOOR {
+            crate::kernel::gemm_nn(m, n, k, &self.data, &rhs.data, &mut out.data);
+        } else {
+            crate::kernel::reference_gemm_nn(m, n, k, &self.data, &rhs.data, &mut out.data);
         }
         crate::checked::scan("matmul", &out.data);
         Ok(out)
     }
 
-    /// Computes `selfᵀ * rhs` without materializing the transpose.
+    /// Computes `selfᵀ * rhs` without materializing the transpose, through
+    /// the same kernel layer as [`Matrix::matmul`] (the packing routines
+    /// read through swapped strides).
     ///
     /// # Errors
     ///
@@ -283,26 +290,20 @@ impl Matrix {
             });
         }
         crate::counters::record_matmul(self.cols, rhs.cols, self.rows);
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        let n = rhs.cols;
-        for k in 0..self.rows {
-            let lhs_row = &self.data[k * self.cols..(k + 1) * self.cols];
-            let rhs_row = &rhs.data[k * n..(k + 1) * n];
-            for (i, &a) in lhs_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * r;
-                }
-            }
+        let (m, n, k) = (self.cols, rhs.cols, self.rows);
+        let mut out = Matrix::zeros(m, n);
+        if rhs.data.len() >= crate::kernel::SMALL_GEMM_FLOOR {
+            crate::kernel::gemm_tn(m, n, k, &self.data, &rhs.data, &mut out.data);
+        } else {
+            crate::kernel::reference_gemm_tn(m, n, k, &self.data, &rhs.data, &mut out.data);
         }
         crate::checked::scan("matmul_tn", &out.data);
         Ok(out)
     }
 
-    /// Computes `self * rhsᵀ` without materializing the transpose.
+    /// Computes `self * rhsᵀ` without materializing the transpose, through
+    /// the same kernel layer as [`Matrix::matmul`] (the packing routines
+    /// read through swapped strides).
     ///
     /// # Errors
     ///
@@ -316,14 +317,12 @@ impl Matrix {
             });
         }
         crate::counters::record_matmul(self.rows, rhs.rows, self.cols);
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..rhs.rows {
-                let rhs_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                let acc: f32 = lhs_row.iter().zip(rhs_row).map(|(&a, &b)| a * b).sum();
-                out.data[i * rhs.rows + j] = acc;
-            }
+        let (m, n, k) = (self.rows, rhs.rows, self.cols);
+        let mut out = Matrix::zeros(m, n);
+        if rhs.data.len() >= crate::kernel::SMALL_GEMM_FLOOR {
+            crate::kernel::gemm_nt(m, n, k, &self.data, &rhs.data, &mut out.data);
+        } else {
+            crate::kernel::reference_gemm_nt(m, n, k, &self.data, &rhs.data, &mut out.data);
         }
         crate::checked::scan("matmul_nt", &out.data);
         Ok(out)
@@ -426,7 +425,9 @@ impl Matrix {
     /// This is the workspace primitive behind kernel scratch buffers
     /// (e.g. the im2col patch matrix a serving replica reuses across
     /// forward passes): after the first call at a given size, subsequent
-    /// calls perform no allocation.
+    /// calls perform no allocation. The capacity is high-water-mark
+    /// sticky — shrinking never releases the allocation, so a batch that
+    /// shrinks and later regrows still reallocates nothing.
     pub fn reset_to(&mut self, rows: usize, cols: usize) {
         let len = rows * cols;
         self.data.clear();
@@ -747,6 +748,22 @@ mod tests {
         assert_eq!(mid.row(1), &[5.0, 6.0]);
         assert!(m.row_range(2, 2).is_err());
         assert!(m.row_range(1, 4).is_err());
+    }
+
+    #[test]
+    fn reset_to_keeps_high_water_capacity() {
+        let mut m = Matrix::zeros(0, 0);
+        m.reset_to(100, 10);
+        let cap = m.capacity();
+        let ptr = m.as_slice().as_ptr();
+        assert!(cap >= 1000);
+        // Shrink, then regrow to the high-water mark: the allocation (and
+        // therefore the buffer address) must be reused, not reissued.
+        m.reset_to(3, 10);
+        assert_eq!(m.capacity(), cap);
+        m.reset_to(100, 10);
+        assert_eq!(m.capacity(), cap);
+        assert_eq!(m.as_slice().as_ptr(), ptr);
     }
 
     #[test]

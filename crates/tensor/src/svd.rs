@@ -76,20 +76,27 @@ impl Svd {
     }
 
     /// One-sided Jacobi on a tall (m ≥ n) matrix.
+    ///
+    /// The working copy and the accumulated `V` are stored as single
+    /// contiguous column-major buffers (column `j` at `[j·len, (j+1)·len)`)
+    /// rather than nested `Vec<Vec<f64>>`: rotations and Gram dot products
+    /// then run over adjacent memory, which is where Jacobi spends all its
+    /// time. Accumulation order per column pair is unchanged from the
+    /// nested layout, so results are bit-identical.
     fn compute_tall(w: &Matrix) -> Result<Self> {
         let m = w.rows();
         let n = w.cols();
         // Column-major f64 working copy of W, plus accumulated V.
-        let mut b: Vec<Vec<f64>> = (0..n)
-            .map(|j| (0..m).map(|i| w.get(i, j) as f64).collect())
-            .collect();
-        let mut v: Vec<Vec<f64>> = (0..n)
-            .map(|j| {
-                let mut col = vec![0.0f64; n];
-                col[j] = 1.0;
-                col
-            })
-            .collect();
+        let mut b = vec![0.0f64; n * m];
+        for (j, col) in b.chunks_exact_mut(m).enumerate() {
+            for (i, slot) in col.iter_mut().enumerate() {
+                *slot = w.get(i, j) as f64;
+            }
+        }
+        let mut v = vec![0.0f64; n * n];
+        for (j, col) in v.chunks_exact_mut(n).enumerate() {
+            col[j] = 1.0;
+        }
 
         let mut converged = false;
         for _sweep in 0..MAX_SWEEPS {
@@ -97,14 +104,7 @@ impl Svd {
             let mut off = 0.0f64;
             for i in 0..n {
                 for j in (i + 1)..n {
-                    let mut alpha = 0.0;
-                    let mut beta = 0.0;
-                    let mut gamma = 0.0;
-                    for t in 0..m {
-                        alpha += b[i][t] * b[i][t];
-                        beta += b[j][t] * b[j][t];
-                        gamma += b[i][t] * b[j][t];
-                    }
+                    let (alpha, beta, gamma) = col_moments(&b, m, i, j);
                     if alpha == 0.0 || beta == 0.0 {
                         continue;
                     }
@@ -118,18 +118,10 @@ impl Svd {
                     let t_val = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
                     let c = 1.0 / (1.0 + t_val * t_val).sqrt();
                     let s = c * t_val;
-                    for t in 0..m {
-                        let bi = b[i][t];
-                        let bj = b[j][t];
-                        b[i][t] = c * bi - s * bj;
-                        b[j][t] = s * bi + c * bj;
-                    }
-                    for t in 0..n {
-                        let vi = v[i][t];
-                        let vj = v[j][t];
-                        v[i][t] = c * vi - s * vj;
-                        v[j][t] = s * vi + c * vj;
-                    }
+                    let (bi, bj) = col_pair_mut(&mut b, m, i, j);
+                    rotate_pair(bi, bj, c, s);
+                    let (vi, vj) = col_pair_mut(&mut v, n, i, j);
+                    rotate_pair(vi, vj, c, s);
                 }
             }
             if off <= JACOBI_TOL {
@@ -143,14 +135,7 @@ impl Svd {
             let mut worst = 0.0f64;
             for i in 0..n {
                 for j in (i + 1)..n {
-                    let mut alpha = 0.0;
-                    let mut beta = 0.0;
-                    let mut gamma = 0.0;
-                    for t in 0..m {
-                        alpha += b[i][t] * b[i][t];
-                        beta += b[j][t] * b[j][t];
-                        gamma += b[i][t] * b[j][t];
-                    }
+                    let (alpha, beta, gamma) = col_moments(&b, m, i, j);
                     if alpha > 0.0 && beta > 0.0 {
                         worst = worst.max(gamma.abs() / (alpha * beta).sqrt());
                     }
@@ -167,7 +152,7 @@ impl Svd {
         // Singular values = column norms; sort descending.
         let mut order: Vec<usize> = (0..n).collect();
         let norms: Vec<f64> = b
-            .iter()
+            .chunks_exact(m)
             .map(|col| col.iter().map(|x| x * x).sum::<f64>().sqrt())
             .collect();
         order.sort_by(|&a, &c| {
@@ -183,12 +168,12 @@ impl Svd {
             let sigma = norms[src];
             s.push(sigma as f32);
             if sigma > 0.0 {
-                for t in 0..m {
-                    u.set(t, rank, (b[src][t] / sigma) as f32);
+                for (t, &x) in b[src * m..(src + 1) * m].iter().enumerate() {
+                    u.set(t, rank, (x / sigma) as f32);
                 }
             }
-            for t in 0..n {
-                vt.set(rank, t, v[src][t] as f32);
+            for (t, &x) in v[src * n..(src + 1) * n].iter().enumerate() {
+                vt.set(rank, t, x as f32);
             }
         }
         Ok(Svd { u, s, vt })
@@ -276,6 +261,41 @@ impl Svd {
     }
 }
 
+/// Gram moments of columns `i < j` in a flat column-major buffer: returns
+/// `(‖cᵢ‖², ‖cⱼ‖², cᵢ·cⱼ)` with one fused pass over both columns. The three
+/// accumulators are independent and advance in ascending element order, so
+/// each matches its historical separate-loop value bit-for-bit.
+fn col_moments(buf: &[f64], len: usize, i: usize, j: usize) -> (f64, f64, f64) {
+    let ci = &buf[i * len..(i + 1) * len];
+    let cj = &buf[j * len..(j + 1) * len];
+    let mut alpha = 0.0f64;
+    let mut beta = 0.0f64;
+    let mut gamma = 0.0f64;
+    for (&x, &y) in ci.iter().zip(cj) {
+        alpha += x * x;
+        beta += y * y;
+        gamma += x * y;
+    }
+    (alpha, beta, gamma)
+}
+
+/// Disjoint mutable borrows of columns `i < j` in a flat column-major buffer.
+fn col_pair_mut(buf: &mut [f64], len: usize, i: usize, j: usize) -> (&mut [f64], &mut [f64]) {
+    debug_assert!(i < j);
+    let (head, tail) = buf.split_at_mut(j * len);
+    (&mut head[i * len..(i + 1) * len], &mut tail[..len])
+}
+
+/// Applies the Givens rotation `(x, y) ← (c·x − s·y, s·x + c·y)` elementwise.
+fn rotate_pair(xs: &mut [f64], ys: &mut [f64], c: f64, s: f64) {
+    for (x, y) in xs.iter_mut().zip(ys.iter_mut()) {
+        let xv = *x;
+        let yv = *y;
+        *x = c * xv - s * yv;
+        *y = s * xv + c * yv;
+    }
+}
+
 /// Computes the singular values of `w` in descending order, without singular
 /// vectors — the `scipy.linalg.svdvals` path used for per-epoch stable-rank
 /// estimation (§4.3).
@@ -338,19 +358,21 @@ pub fn symmetric_eigenvalues(a: &Matrix) -> Result<Vec<f64>> {
                 let t = theta.signum() / (theta.abs() + (1.0 + theta * theta).sqrt());
                 let c = 1.0 / (1.0 + t * t).sqrt();
                 let s = t * c;
-                // Apply rotation on both sides.
-                for k in 0..n {
-                    let akp = m[idx(k, p)];
-                    let akq = m[idx(k, q)];
-                    m[idx(k, p)] = c * akp - s * akq;
-                    m[idx(k, q)] = s * akp + c * akq;
+                // Apply rotation on both sides: one contiguous row walk for
+                // the column update (instead of two strided passes), then a
+                // split-borrow rotation of rows p and q. Same operations in
+                // the same order as the historical strided loops.
+                for row in m.chunks_exact_mut(n) {
+                    let akp = row[p];
+                    let akq = row[q];
+                    row[p] = c * akp - s * akq;
+                    row[q] = s * akp + c * akq;
                 }
-                for k in 0..n {
-                    let apk = m[idx(p, k)];
-                    let aqk = m[idx(q, k)];
-                    m[idx(p, k)] = c * apk - s * aqk;
-                    m[idx(q, k)] = s * apk + c * aqk;
-                }
+                let (rp, rq) = {
+                    let (head, tail) = m.split_at_mut(q * n);
+                    (&mut head[p * n..(p + 1) * n], &mut tail[..n])
+                };
+                rotate_pair(rp, rq, c, s);
             }
         }
         if off <= tol {
@@ -394,23 +416,16 @@ pub fn power_iteration(w: &Matrix, max_iters: usize, tol: f64) -> Result<f32> {
         // u = W v  (length m), then v' = Wᵀ u (length n).
         let m_rows = w.rows();
         let mut u = vec![0.0f64; m_rows];
-        for i in 0..m_rows {
-            let row = w.row(i);
-            let mut acc = 0.0f64;
-            for j in 0..n {
-                acc += row[j] as f64 * v[j];
-            }
-            u[i] = acc;
+        for (ui, row) in u.iter_mut().zip(w.as_slice().chunks_exact(n)) {
+            *ui = row.iter().zip(&v).map(|(&x, &vj)| x as f64 * vj).sum();
         }
         let mut v_next = vec![0.0f64; n];
-        for i in 0..m_rows {
-            let row = w.row(i);
-            let ui = u[i];
+        for (&ui, row) in u.iter().zip(w.as_slice().chunks_exact(n)) {
             if ui == 0.0 {
                 continue;
             }
-            for j in 0..n {
-                v_next[j] += row[j] as f64 * ui;
+            for (vn, &x) in v_next.iter_mut().zip(row) {
+                *vn += x as f64 * ui;
             }
         }
         let norm = normalize(&mut v_next);

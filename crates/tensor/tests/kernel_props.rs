@@ -1,0 +1,253 @@
+//! Property tests for the blocked/SIMD/threaded GEMM kernel subsystem.
+//!
+//! The determinism contract under test (see `kernel` module docs):
+//!
+//! * The blocked scalar path is **bit-identical** to the textbook reference
+//!   loops at every size — aligned, odd, prime, or tiny — for all three
+//!   layouts (NN, TN, NT).
+//! * SIMD paths (AVX2+FMA / NEON) may differ from the reference only by the
+//!   fused-rounding of FMA, bounded per element by `4 * eps * K * |a|·|b|`.
+//! * Thread count never changes the result: stripes are disjoint and each
+//!   stripe reuses the single-thread k-order, so outputs are bit-identical
+//!   at 1, 2, or 4 threads.
+#![recursion_limit = "256"]
+
+use cuttlefish_tensor::kernel::{
+    detected_isa, gemm_nn_with, gemm_nt_with, gemm_tn_with, reference_gemm_nn, reference_gemm_nt,
+    reference_gemm_tn, Isa,
+};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random fill (xorshift64*), independent of the `rand`
+/// crate so the same inputs are generated in every build configuration.
+fn fill(seed: u64, len: usize) -> Vec<f32> {
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        // Map to roughly [-1, 1) with a few larger outliers to exercise
+        // rounding at mixed magnitudes.
+        let unit = (state >> 40) as f32 / (1u64 << 24) as f32 - 0.5;
+        out.push(unit * 2.5);
+    }
+    out
+}
+
+/// Per-element FMA drift bound: `4 * eps * sum_k |a_ik * b_kj|`, with a small
+/// absolute floor for near-cancelling dot products.
+fn fma_bound(abs_dot: f32) -> f32 {
+    4.0 * f32::EPSILON * abs_dot + 1e-6
+}
+
+fn dims_strategy() -> impl Strategy<Value = (usize, usize, usize, u64)> {
+    // Ranges deliberately straddle the MR=6 / NR=16 tile edges so odd, prime,
+    // and tiny dimensions all appear alongside exact multiples.
+    (1usize..48, 1usize..48, 1usize..80, 0u64..1000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Blocked scalar NN path is bit-identical to the reference loops.
+    #[test]
+    fn blocked_scalar_nn_is_bit_exact((m, n, k, seed) in dims_strategy()) {
+        let a = fill(seed, m * k);
+        let b = fill(seed ^ 0x9e3779b97f4a7c15, k * n);
+        let mut c_ref = vec![0.0f32; m * n];
+        let mut c_blk = vec![0.0f32; m * n];
+        reference_gemm_nn(m, n, k, &a, &b, &mut c_ref);
+        gemm_nn_with(Isa::Scalar, 1, m, n, k, &a, &b, &mut c_blk);
+        prop_assert_eq!(c_ref, c_blk);
+    }
+
+    // Blocked scalar TN path (A stored K x M) is bit-identical to the reference.
+    #[test]
+    fn blocked_scalar_tn_is_bit_exact((m, n, k, seed) in dims_strategy()) {
+        let a = fill(seed, k * m);
+        let b = fill(seed ^ 0xa076_1d64_78bd_642f, k * n);
+        let mut c_ref = vec![0.0f32; m * n];
+        let mut c_blk = vec![0.0f32; m * n];
+        reference_gemm_tn(m, n, k, &a, &b, &mut c_ref);
+        gemm_tn_with(Isa::Scalar, 1, m, n, k, &a, &b, &mut c_blk);
+        prop_assert_eq!(c_ref, c_blk);
+    }
+
+    // Blocked scalar NT path (B stored N x K) is bit-identical to the reference.
+    #[test]
+    fn blocked_scalar_nt_is_bit_exact((m, n, k, seed) in dims_strategy()) {
+        let a = fill(seed, m * k);
+        let b = fill(seed ^ 0xe703_7ed1_a0b4_28db, n * k);
+        let mut c_ref = vec![0.0f32; m * n];
+        let mut c_blk = vec![0.0f32; m * n];
+        reference_gemm_nt(m, n, k, &a, &b, &mut c_ref);
+        gemm_nt_with(Isa::Scalar, 1, m, n, k, &a, &b, &mut c_blk);
+        prop_assert_eq!(c_ref, c_blk);
+    }
+
+    // The detected SIMD path stays within the documented FMA drift bound of
+    // the scalar reference. When no SIMD ISA is available this degenerates to
+    // the bit-exact scalar check, which the bound trivially admits.
+    #[test]
+    fn detected_isa_within_fma_bound((m, n, k, seed) in dims_strategy()) {
+        let a = fill(seed, m * k);
+        let b = fill(seed ^ 0x1234_5678_9abc_def0, k * n);
+        let mut c_ref = vec![0.0f32; m * n];
+        let mut c_opt = vec![0.0f32; m * n];
+        reference_gemm_nn(m, n, k, &a, &b, &mut c_ref);
+        gemm_nn_with(detected_isa(), 1, m, n, k, &a, &b, &mut c_opt);
+        for i in 0..m {
+            for j in 0..n {
+                let mut abs_dot = 0.0f32;
+                for p in 0..k {
+                    abs_dot += (a[i * k + p] * b[p * n + j]).abs();
+                }
+                let diff = (c_ref[i * n + j] - c_opt[i * n + j]).abs();
+                prop_assert!(
+                    diff <= fma_bound(abs_dot),
+                    "({}, {}) drifted {} > {}",
+                    i, j, diff, fma_bound(abs_dot)
+                );
+            }
+        }
+    }
+
+    // Thread count does not change a single bit of the output. Small shapes
+    // stay below the parallel FLOP floor (so this is also a no-regression
+    // check on the gate); the dedicated large-shape test below forces real
+    // striping.
+    #[test]
+    fn thread_count_is_bit_invariant((m, n, k, seed) in dims_strategy()) {
+        let a = fill(seed, m * k);
+        let b = fill(seed ^ 0x0f0f_f0f0_1357_9bdf, k * n);
+        let isa = detected_isa();
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        let mut c4 = vec![0.0f32; m * n];
+        gemm_nn_with(isa, 1, m, n, k, &a, &b, &mut c1);
+        gemm_nn_with(isa, 2, m, n, k, &a, &b, &mut c2);
+        gemm_nn_with(isa, 4, m, n, k, &a, &b, &mut c4);
+        prop_assert_eq!(&c1, &c2);
+        prop_assert_eq!(&c1, &c4);
+    }
+}
+
+/// Exact-tile-multiple ("aligned") sizes: scalar blocked path must match the
+/// reference bit-for-bit, per the aligned-size clause of the contract.
+#[test]
+fn aligned_sizes_are_bit_exact() {
+    for &(m, n, k) in &[(6, 16, 8), (12, 32, 64), (24, 48, 128), (72, 64, 256)] {
+        let a = fill(m as u64 * 31 + n as u64, m * k);
+        let b = fill(k as u64 * 17 + 7, k * n);
+        let mut c_ref = vec![0.0f32; m * n];
+        let mut c_blk = vec![0.0f32; m * n];
+        reference_gemm_nn(m, n, k, &a, &b, &mut c_ref);
+        gemm_nn_with(Isa::Scalar, 1, m, n, k, &a, &b, &mut c_blk);
+        assert_eq!(c_ref, c_blk, "aligned {}x{}x{} diverged", m, n, k);
+    }
+}
+
+/// Prime and tiny dimensions hit every edge-tile path in the packing code.
+#[test]
+fn prime_and_tiny_sizes_are_bit_exact() {
+    for &(m, n, k) in &[
+        (1, 1, 1),
+        (2, 3, 5),
+        (7, 13, 31),
+        (53, 17, 97),
+        (97, 101, 103),
+        (1, 47, 61),
+        (59, 1, 89),
+    ] {
+        let a = fill(m as u64 ^ (k as u64) << 8, m * k);
+        let b = fill(n as u64 ^ (k as u64) << 4, k * n);
+        let mut c_ref = vec![0.0f32; m * n];
+        let mut c_blk = vec![0.0f32; m * n];
+        reference_gemm_nn(m, n, k, &a, &b, &mut c_ref);
+        gemm_nn_with(Isa::Scalar, 1, m, n, k, &a, &b, &mut c_blk);
+        assert_eq!(c_ref, c_blk, "prime/tiny {}x{}x{} diverged", m, n, k);
+
+        let mut c_tn_ref = vec![0.0f32; m * n];
+        let mut c_tn_blk = vec![0.0f32; m * n];
+        let a_t = fill(m as u64 + 1000 * k as u64, k * m);
+        reference_gemm_tn(m, n, k, &a_t, &b, &mut c_tn_ref);
+        gemm_tn_with(Isa::Scalar, 1, m, n, k, &a_t, &b, &mut c_tn_blk);
+        assert_eq!(
+            c_tn_ref, c_tn_blk,
+            "TN prime/tiny {}x{}x{} diverged",
+            m, n, k
+        );
+    }
+}
+
+/// A shape large enough to clear the parallel FLOP floor (2*m*n*k >= 2^23), so
+/// with `--features parallel` the 2- and 4-thread runs genuinely stripe the
+/// output across scoped threads. Must still be bit-identical to 1 thread.
+#[test]
+fn large_gemm_is_bit_identical_across_threads() {
+    let (m, n, k) = (160, 256, 192);
+    let a = fill(0xdead_beef, m * k);
+    let b = fill(0xcafe_f00d, k * n);
+    let isa = detected_isa();
+    let mut c1 = vec![0.0f32; m * n];
+    gemm_nn_with(isa, 1, m, n, k, &a, &b, &mut c1);
+    for threads in [2, 3, 4] {
+        let mut ct = vec![0.0f32; m * n];
+        gemm_nn_with(isa, threads, m, n, k, &a, &b, &mut ct);
+        assert_eq!(c1, ct, "{} threads diverged from single-thread", threads);
+    }
+    // The scalar blocked path on the same large shape still matches the
+    // reference bit-for-bit.
+    let mut c_ref = vec![0.0f32; m * n];
+    let mut c_blk = vec![0.0f32; m * n];
+    reference_gemm_nn(m, n, k, &a, &b, &mut c_ref);
+    gemm_nn_with(Isa::Scalar, 4, m, n, k, &a, &b, &mut c_blk);
+    assert_eq!(c_ref, c_blk);
+}
+
+/// Batch invariance through the `Matrix::matmul` dispatch: a row's product
+/// with a fixed weight is bit-identical whether computed alone or inside a
+/// larger batch. The dispatch floor keys on the B operand only, and every
+/// kernel tier computes each output row with an m-independent rounding
+/// sequence, so this must hold for any batch size on any ISA.
+#[test]
+fn batch_size_never_changes_a_row() {
+    use cuttlefish_tensor::Matrix;
+    // Weight sizes straddling SMALL_GEMM_FLOOR (32*32 B elements).
+    for &(n, k) in &[(8, 24), (40, 48), (96, 300)] {
+        let w = Matrix::from_fn(k, n, |i, j| ((i * n + j) % 29) as f32 * 0.07 - 1.0);
+        let batch = Matrix::from_fn(13, k, |i, j| ((i * k + j) % 23) as f32 * 0.05 - 0.5);
+        let full = batch.matmul(&w).unwrap();
+        for i in 0..batch.rows() {
+            let single = Matrix::from_fn(1, k, |_, j| batch.get(i, j))
+                .matmul(&w)
+                .unwrap();
+            assert_eq!(
+                single.row(0),
+                full.row(i),
+                "row {i} of {k}x{n} weight changed with batch size"
+            );
+        }
+    }
+}
+
+/// With the `checked` feature, a NaN fed through the big-matrix blocked path
+/// is still localized to the first poisoned op by the sanitizer.
+#[cfg(feature = "checked")]
+#[test]
+fn checked_localizes_poison_through_blocked_path() {
+    use cuttlefish_tensor::{checked, Matrix};
+    checked::reset();
+    checked::set_label("kernel-props");
+    // 64x64x64 clears SMALL_GEMM_FLOOR so the blocked kernel runs.
+    let mut a = Matrix::from_fn(64, 64, |i, j| ((i * 64 + j) % 13) as f32 * 0.1 - 0.6);
+    let b = Matrix::from_fn(64, 64, |i, j| ((i * 7 + j) % 11) as f32 * 0.1 - 0.5);
+    a.set(10, 20, f32::NAN);
+    let _ = a.matmul(&b).unwrap();
+    let poison = checked::first_poison().expect("sanitizer should have fired");
+    assert_eq!(poison.op, "matmul");
+    checked::reset();
+}

@@ -111,13 +111,13 @@ fn main() {
         let server_ckpt = Checkpoint::capture(&mut server);
         let mut frames: Vec<(usize, Vec<u8>)> = Vec::new();
         let mut round_bytes = 0usize;
-        for c in 0..CLIENTS {
+        for (c, rng) in client_rngs.iter_mut().enumerate().take(CLIENTS) {
             let mut client =
                 build_micro_resnet18(&MicroResNetConfig::cifar(10), &mut StdRng::seed_from_u64(1));
             server_ckpt.restore(&mut client).unwrap();
             round_bytes += schema.frame_bytes(); // downlink
             let mut adapter = VisionAdapter::new(shard_vision_task(&task, c, CLIENTS).unwrap());
-            local_epoch(&mut client, &mut adapter, &mut client_rngs[c]);
+            local_epoch(&mut client, &mut adapter, rng);
             let frame = param_frame(&mut client, &schema);
             round_bytes += frame.len(); // uplink
             frames.push((c, frame));
