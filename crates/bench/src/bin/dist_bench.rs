@@ -13,7 +13,11 @@
 use cuttlefish::SwitchPolicy;
 use cuttlefish_bench::{print_table, save_json};
 use cuttlefish_data::{VisionSpec, VisionTask};
-use cuttlefish_dist::{run_distributed, DistConfig, ExchangeKind, NetBuilder};
+use cuttlefish_dist::{
+    run_distributed_observed, DistConfig, DistMetrics, ExchangeKind, NetBuilder,
+};
+use cuttlefish_telemetry::export::{append_snapshot_jsonl, write_prometheus_file};
+use cuttlefish_telemetry::{MetricsRegistry, NullRecorder};
 use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -56,7 +60,12 @@ fn builder() -> NetBuilder {
     })
 }
 
-fn run_cell(task: &VisionTask, workers: usize, factorized: bool) -> DistCell {
+fn run_cell(
+    task: &VisionTask,
+    workers: usize,
+    factorized: bool,
+    metrics: Option<&DistMetrics>,
+) -> DistCell {
     let mut cfg = DistConfig::quick(workers, EPOCHS, STEPS_PER_EPOCH, RUN_SEED);
     if factorized {
         cfg.policy = SwitchPolicy::Manual {
@@ -72,7 +81,8 @@ fn run_cell(task: &VisionTask, workers: usize, factorized: bool) -> DistCell {
         cfg.exchange = ExchangeKind::Dense;
     }
     let t0 = Instant::now();
-    let res = run_distributed(&cfg, task, builder()).expect("benchmark run");
+    let res =
+        run_distributed_observed(&cfg, task, builder(), &NullRecorder, metrics).expect("benchmark run");
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let steps = cfg.total_steps();
     DistCell {
@@ -91,11 +101,18 @@ fn run_cell(task: &VisionTask, workers: usize, factorized: bool) -> DistCell {
 }
 
 fn main() {
+    // `--metrics`: record into a live registry across every cell and dump
+    // the final snapshot next to the bench JSON (JSONL event form plus
+    // Prometheus text exposition).
+    let with_metrics = std::env::args().any(|a| a == "--metrics");
+    let registry = Arc::new(MetricsRegistry::new());
+    let metrics = with_metrics.then(|| DistMetrics::new(Arc::clone(&registry)));
+
     let task = VisionTask::generate(&VisionSpec::tiny(), 3);
     let mut cells = Vec::new();
     for &workers in &[1usize, 2, 4] {
         for &factorized in &[false, true] {
-            cells.push(run_cell(&task, workers, factorized));
+            cells.push(run_cell(&task, workers, factorized, metrics.as_ref()));
         }
     }
 
@@ -139,6 +156,25 @@ fn main() {
                 factor.params_final
             );
         }
+    }
+
+    if with_metrics {
+        cuttlefish_bench::publish_kernel_counters(&registry);
+        let snap = registry.snapshot();
+        let dir = cuttlefish_bench::results_dir();
+        let jsonl = dir.join("dist_metrics.jsonl");
+        let prom = dir.join("dist_metrics.prom");
+        if let Err(e) = append_snapshot_jsonl(&snap, "final", &jsonl) {
+            eprintln!("warning: could not write {}: {e}", jsonl.display());
+        }
+        if let Err(e) = write_prometheus_file(&snap, &prom) {
+            eprintln!("warning: could not write {}: {e}", prom.display());
+        }
+        eprintln!(
+            "[dist_bench] metrics snapshot: {} + {}",
+            jsonl.display(),
+            prom.display()
+        );
     }
 
     save_json(

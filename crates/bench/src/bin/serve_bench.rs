@@ -29,8 +29,11 @@ use cuttlefish_bench::{print_table, save_json};
 use cuttlefish_nn::checkpoint::Checkpoint;
 use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
 use cuttlefish_nn::Network;
-use cuttlefish_serve::{BatchPolicy, FrozenModel, ServeError, Server, ServerConfig};
-use cuttlefish_telemetry::{Event, MemoryRecorder, Recorder, RunReport};
+use cuttlefish_serve::{BatchPolicy, FrozenModel, ServeError, ServeMetrics, Server, ServerConfig};
+use cuttlefish_telemetry::export::{append_snapshot_jsonl, write_prometheus_file};
+use cuttlefish_telemetry::{
+    Event, Histogram, MemoryRecorder, MetricsRegistry, Recorder, RunReport,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -110,23 +113,22 @@ struct ServeLatencyReport {
     verdict: String,
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
 fn summarize(
     requests: usize,
     ok: usize,
     overloaded: usize,
     deadline_missed: usize,
     wall_s: f64,
-    mut latencies_ms: Vec<f64>,
+    latencies_ms: Vec<f64>,
 ) -> LoadResult {
-    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    // Constant-memory log-linear histogram in µs ticks — the same
+    // machinery the live registry uses, so the bench's percentiles and a
+    // live snapshot's agree to within one bucket width (≤1/128 relative).
+    let hist = Histogram::new();
+    for ms in &latencies_ms {
+        hist.record_f64(ms * 1e3);
+    }
+    let snap = hist.snapshot();
     LoadResult {
         requests,
         ok,
@@ -134,20 +136,26 @@ fn summarize(
         deadline_missed,
         wall_s,
         throughput_rps: ok as f64 / wall_s.max(1e-9),
-        p50_ms: percentile(&latencies_ms, 0.50),
-        p95_ms: percentile(&latencies_ms, 0.95),
-        p99_ms: percentile(&latencies_ms, 0.99),
+        p50_ms: snap.percentile(0.50) / 1e3,
+        p95_ms: snap.percentile(0.95) / 1e3,
+        p99_ms: snap.percentile(0.99) / 1e3,
     }
 }
 
 /// Closed loop: `clients` threads, each submitting its next request only
 /// after the previous one resolved. Latency is client-observed.
-fn closed_loop(model: &Arc<FrozenModel>, clients: usize, per_client: usize) -> LoadResult {
+fn closed_loop(
+    model: &Arc<FrozenModel>,
+    clients: usize,
+    per_client: usize,
+    metrics: Option<Arc<ServeMetrics>>,
+) -> LoadResult {
     let server = Arc::new(
-        Server::start(
+        Server::start_observed(
             Arc::clone(model),
             server_config(),
             Arc::new(cuttlefish_telemetry::NullRecorder),
+            metrics,
         )
         .expect("server start"),
     );
@@ -203,12 +211,14 @@ fn open_loop(
     requests: usize,
     interval: Duration,
     deadline: Duration,
+    metrics: Option<Arc<ServeMetrics>>,
 ) -> (LoadResult, Arc<MemoryRecorder>) {
     let recorder = Arc::new(MemoryRecorder::new());
-    let server = Server::start(
+    let server = Server::start_observed(
         Arc::clone(model),
         server_config(),
         Arc::clone(&recorder) as Arc<dyn Recorder + Send + Sync>,
+        metrics,
     )
     .expect("server start");
     let width = model.input_width();
@@ -254,6 +264,10 @@ fn open_loop(
 }
 
 fn main() {
+    // `--metrics`: record into a live registry while serving and dump
+    // the final snapshot next to the bench JSON (JSONL event form plus
+    // Prometheus text exposition).
+    let with_metrics = std::env::args().any(|a| a == "--metrics");
     let clients = env_usize("CUTTLEFISH_SERVE_CLIENTS", 4);
     let per_client = env_usize("CUTTLEFISH_SERVE_PER_CLIENT", 24);
     let open_requests = env_usize("CUTTLEFISH_SERVE_OPEN_REQUESTS", 64);
@@ -283,18 +297,21 @@ fn main() {
             }))
             .collect();
 
+    let registry = Arc::new(MetricsRegistry::new());
+    let metrics = with_metrics.then(|| Arc::new(ServeMetrics::new(Arc::clone(&registry))));
+
     let mut results = Vec::new();
     let mut last_recorder = None;
     for (name, ckpt) in variants {
         let params: usize = ckpt.params.iter().map(|m| m.len()).sum();
         let model = FrozenModel::freeze(build_net, ckpt).expect("freeze");
         eprintln!("[serve_bench] {name}: closed-loop ({clients} clients x {per_client}) ...");
-        let closed = closed_loop(&model, clients, per_client);
+        let closed = closed_loop(&model, clients, per_client, metrics.clone());
         eprintln!(
             "[serve_bench] {name}: open-loop ({open_requests} req @ {:?}) ...",
             interval
         );
-        let (open, recorder) = open_loop(&model, open_requests, interval, open_deadline);
+        let (open, recorder) = open_loop(&model, open_requests, interval, open_deadline, metrics.clone());
         last_recorder = Some(recorder);
         results.push(VariantResult {
             variant: name,
@@ -375,6 +392,25 @@ fn main() {
         if let Some(section) = rendered.split("== serving ==").nth(1) {
             println!("\n== serving (telemetry, last variant) =={section}");
         }
+    }
+
+    if with_metrics {
+        cuttlefish_bench::publish_kernel_counters(&registry);
+        let snap = registry.snapshot();
+        let dir = cuttlefish_bench::results_dir();
+        let jsonl = dir.join("serve_metrics.jsonl");
+        let prom = dir.join("serve_metrics.prom");
+        if let Err(e) = append_snapshot_jsonl(&snap, "final", &jsonl) {
+            eprintln!("warning: could not write {}: {e}", jsonl.display());
+        }
+        if let Err(e) = write_prometheus_file(&snap, &prom) {
+            eprintln!("warning: could not write {}: {e}", prom.display());
+        }
+        eprintln!(
+            "[serve_bench] metrics snapshot: {} + {}",
+            jsonl.display(),
+            prom.display()
+        );
     }
 
     save_json(

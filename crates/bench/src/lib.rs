@@ -82,6 +82,31 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Mirrors the process-global kernel counters into `registry`.
+///
+/// The tensor crate's counters and the telemetry registry are
+/// intentionally decoupled (neither crate depends on the other); this is
+/// the bridge. Each call raises the registry counters to the current
+/// kernel tallies, so repeated publishes stay monotonic and the final
+/// snapshot a bench dumps carries real kernel attribution. With the
+/// `telemetry` feature off the kernel counters are all zero and this is
+/// a no-op on fresh registries.
+pub fn publish_kernel_counters(registry: &cuttlefish_telemetry::MetricsRegistry) {
+    let snap = cuttlefish_tensor::counters::snapshot();
+    let pairs = [
+        ("kernel_matmul_calls_total", snap.matmul_calls),
+        ("kernel_matmul_flops_total", snap.matmul_flops),
+        ("kernel_im2col_calls_total", snap.im2col_calls),
+        ("kernel_im2col_elems_total", snap.im2col_elems),
+        ("kernel_svd_sweeps_total", snap.svd_sweeps),
+        ("kernel_power_iters_total", snap.power_iters),
+    ];
+    for (name, value) in pairs {
+        let counter = registry.counter(name);
+        counter.add(value.saturating_sub(counter.get()));
+    }
+}
+
 /// Formats a parameter count as `M` with the share of full size.
 pub fn fmt_params(params: usize, full: usize) -> String {
     format!(
@@ -122,5 +147,23 @@ mod tests {
         if std::env::var("CUTTLEFISH_EPOCHS").is_err() {
             assert_eq!(default_epochs(), 12);
         }
+    }
+
+    #[test]
+    fn publish_kernel_counters_is_monotone_and_idempotent() {
+        let registry = cuttlefish_telemetry::MetricsRegistry::new();
+        publish_kernel_counters(&registry);
+        let first = registry.snapshot();
+        // Publishing again without new kernel work must not move (or
+        // double-count) anything.
+        publish_kernel_counters(&registry);
+        let second = registry.snapshot();
+        for (name, value) in &first.counters {
+            assert_eq!(second.counter(name), Some(*value), "{name} drifted");
+        }
+        assert_eq!(
+            first.counter("kernel_matmul_calls_total"),
+            Some(cuttlefish_tensor::counters::snapshot().matmul_calls)
+        );
     }
 }

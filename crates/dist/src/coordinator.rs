@@ -26,6 +26,7 @@
 
 use crate::exchange::GradientExchange;
 use crate::fault::FaultPlan;
+use crate::metrics::DistMetrics;
 use crate::schema::{state_digest, ParamSchema};
 use crate::shard::shard_vision_task;
 use crate::worker::{spawn_worker, Command, NetBuilder, Reply, WorkerHandle, WorkerSetup};
@@ -39,7 +40,8 @@ use cuttlefish_data::VisionTask;
 use cuttlefish_nn::schedule::LrSchedule;
 use cuttlefish_nn::Network;
 use cuttlefish_perf::DeviceProfile;
-use cuttlefish_telemetry::{Event, LayerVerdict, NullRecorder, Recorder};
+use cuttlefish_telemetry::trace::stage;
+use cuttlefish_telemetry::{Event, LayerVerdict, NullRecorder, Recorder, TraceId};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::time::{Duration, Instant};
@@ -303,6 +305,21 @@ struct GradMsg {
     loss: f32,
     compute_ms: f64,
     frame: Vec<u8>,
+    trace: u64,
+}
+
+/// Emits one stage span through the recorder when the `obs` feature is
+/// on; compiles to nothing otherwise so the default lockstep loop
+/// carries no per-stage event traffic.
+#[allow(unused_variables)]
+fn emit_span(recorder: &dyn Recorder, trace: u64, stage: &str, worker: Option<usize>, wall_ms: f64) {
+    #[cfg(feature = "obs")]
+    recorder.record(Event::TraceSpan {
+        trace,
+        stage: stage.to_string(),
+        worker,
+        wall_ms,
+    });
 }
 
 /// Policy state mirrored on the coordinator (profiling, ξ calibration,
@@ -556,6 +573,7 @@ impl<'a> Coordinator<'a> {
                     loss,
                     compute_ms,
                     frame,
+                    trace,
                 } => {
                     // A straggler's late frame can arrive while we wait.
                     self.buffer.insert(
@@ -564,6 +582,7 @@ impl<'a> Coordinator<'a> {
                             loss,
                             compute_ms,
                             frame,
+                            trace,
                         },
                     );
                 }
@@ -608,6 +627,7 @@ impl<'a> Coordinator<'a> {
                     loss,
                     compute_ms,
                     frame,
+                    trace,
                 } => {
                     self.buffer.insert(
                         (w, s),
@@ -615,6 +635,7 @@ impl<'a> Coordinator<'a> {
                             loss,
                             compute_ms,
                             frame,
+                            trace,
                         },
                     );
                 }
@@ -658,6 +679,7 @@ impl<'a> Coordinator<'a> {
                     loss,
                     compute_ms,
                     frame,
+                    trace,
                 } => {
                     self.buffer.insert(
                         (worker, step),
@@ -665,6 +687,7 @@ impl<'a> Coordinator<'a> {
                             loss,
                             compute_ms,
                             frame,
+                            trace,
                         },
                     );
                 }
@@ -729,6 +752,7 @@ impl<'a> Coordinator<'a> {
                     loss,
                     compute_ms,
                     frame,
+                    trace,
                 } => {
                     self.buffer.insert(
                         (worker, step),
@@ -736,6 +760,7 @@ impl<'a> Coordinator<'a> {
                             loss,
                             compute_ms,
                             frame,
+                            trace,
                         },
                     );
                 }
@@ -769,6 +794,7 @@ impl<'a> Coordinator<'a> {
                 loss,
                 compute_ms,
                 frame,
+                trace,
             } = r
             {
                 self.buffer.insert(
@@ -777,6 +803,7 @@ impl<'a> Coordinator<'a> {
                         loss,
                         compute_ms,
                         frame,
+                        trace,
                     },
                 );
                 continue;
@@ -882,6 +909,31 @@ pub fn run_distributed_with(
     task: &VisionTask,
     builder: NetBuilder,
     recorder: &dyn Recorder,
+) -> DistResult<DistRunResult> {
+    run_distributed_observed(cfg, task, builder, recorder, None)
+}
+
+/// Runs a distributed training job with telemetry *and* live metrics.
+///
+/// See [`run_distributed_with`]. When `metrics` is provided, the
+/// coordinator additionally records lock-free registry metrics every
+/// round — per-phase round counters, uplink/downlink byte totals,
+/// stale/dropped contribution counters, and compute/exchange stage
+/// latency histograms — readable at any moment while the run continues.
+/// Every round also mints a [`TraceId`] that rides the worker protocol;
+/// with the `obs` feature on, the coordinator emits one `trace_span`
+/// event per gradient contribution (stage `compute`, attributed to the
+/// worker) and one per reduction (stage `exchange`, fleet-wide).
+///
+/// # Errors
+///
+/// Configuration, worker, schema, and desync errors.
+pub fn run_distributed_observed(
+    cfg: &DistConfig,
+    task: &VisionTask,
+    builder: NetBuilder,
+    recorder: &dyn Recorder,
+    metrics: Option<&DistMetrics>,
 ) -> DistResult<DistRunResult> {
     cfg.validate()?;
     let total_steps = cfg.total_steps();
@@ -1015,6 +1067,10 @@ pub fn run_distributed_with(
         }
 
         // -- Fire the round ------------------------------------------
+        // One trace id per lockstep round: it rides every `Step` command
+        // and comes back on the gradient reply, so a straggler's frame
+        // stays attributed to the round that computed it.
+        let round_trace = TraceId::mint();
         let mut on_time: Vec<usize> = Vec::new();
         let ids: Vec<usize> = co.live.iter().copied().collect();
         for w in ids {
@@ -1033,6 +1089,7 @@ pub fn run_distributed_with(
                     Command::Step {
                         step: round,
                         delay_ms: s.delay_ms,
+                        trace: round_trace.as_u64(),
                     },
                 )?;
                 co.busy.insert(w, (round + s.delay_steps, round));
@@ -1044,6 +1101,7 @@ pub fn run_distributed_with(
                 Command::Step {
                     step: round,
                     delay_ms: 0,
+                    trace: round_trace.as_u64(),
                 },
             )?;
             on_time.push(w);
@@ -1056,6 +1114,7 @@ pub fn run_distributed_with(
             .collect();
 
         // -- Gather frames -------------------------------------------
+        let t_exchange = Instant::now();
         let mut needed: BTreeSet<(usize, usize)> = on_time.iter().map(|&w| (w, round)).collect();
         for &(w, orig) in &due {
             needed.insert((w, orig));
@@ -1068,6 +1127,7 @@ pub fn run_distributed_with(
                     loss,
                     compute_ms,
                     frame,
+                    trace,
                 } => {
                     co.buffer.insert(
                         (worker, step),
@@ -1075,6 +1135,7 @@ pub fn run_distributed_with(
                             loss,
                             compute_ms,
                             frame,
+                            trace,
                         },
                     );
                 }
@@ -1105,6 +1166,12 @@ pub fn run_distributed_with(
                 compute_ms: msg.compute_ms,
                 staleness,
             });
+            // Compute happened whether or not the frame is folded in, so
+            // the compute stage is recorded before staleness filtering.
+            emit_span(recorder, msg.trace, stage::COMPUTE, Some(w), msg.compute_ms);
+            if let Some(m) = metrics {
+                m.stage_compute_us.record_f64(msg.compute_ms * 1e3);
+            }
             // A frame computed before the switch has the dense layout
             // and cannot be folded into a factor reduction.
             let pre_switch = co.switch_round.map(|s| orig < s).unwrap_or(false);
@@ -1157,6 +1224,19 @@ pub fn run_distributed_with(
             bytes_down,
             factored: co.switched,
         });
+        // The exchange stage is the coordinator's view of the round:
+        // gather (including waiting on worker compute) → reduce →
+        // broadcast of the averaged frame.
+        let exchange_ms = t_exchange.elapsed().as_secs_f64() * 1e3;
+        emit_span(recorder, round_trace.as_u64(), stage::EXCHANGE, None, exchange_ms);
+        if let Some(m) = metrics {
+            m.round_counter(co.switched).inc();
+            m.bytes_up.add(bytes_up);
+            m.bytes_down.add(bytes_down);
+            m.contributions_stale.add(stale_count as u64);
+            m.contributions_dropped.add(dropped_count as u64);
+            m.stage_exchange_us.record_f64(exchange_ms * 1e3);
+        }
 
         // -- Resync due stragglers to the post-apply anchor state ----
         for (w, _) in due {

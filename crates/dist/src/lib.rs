@@ -34,6 +34,12 @@
 //!   command/reply protocol over channels.
 //! - [`coordinator`] — the lockstep driver: [`run_distributed`] /
 //!   [`DistTrainer`], the communication ledger, and telemetry emission.
+//! - [`metrics`] — live observability: [`run_distributed_observed`]
+//!   records lock-free registry metrics each round ([`DistMetrics`]:
+//!   per-phase round counters, wire-byte totals, stale/dropped tallies,
+//!   compute/exchange stage histograms), and every round carries a trace
+//!   id through the worker protocol; the `obs` feature additionally
+//!   emits per-stage `trace_span` events through the recorder.
 //!
 //! Determinism is load-bearing: every replica is constructed from the
 //! same builder (identical initialization), applies the same averaged
@@ -54,14 +60,16 @@ use std::fmt;
 pub mod coordinator;
 pub mod exchange;
 pub mod fault;
+pub mod metrics;
 pub mod schema;
 pub mod shard;
 pub mod worker;
 
 pub use coordinator::{
-    run_distributed, run_distributed_with, CommLedger, DistConfig, DistRunResult, ExchangeKind,
-    WorkerSummary,
+    run_distributed, run_distributed_observed, run_distributed_with, CommLedger, DistConfig,
+    DistRunResult, ExchangeKind, WorkerSummary,
 };
+pub use metrics::DistMetrics;
 pub use exchange::{DenseAllReduce, FactorAllReduce, GradientExchange};
 pub use fault::{CrashEvent, FaultPlan, JoinEvent, StragglerEvent};
 pub use schema::ParamSchema;

@@ -1,0 +1,73 @@
+//! Live metrics for distributed runs: pre-resolved registry handles for
+//! the coordinator's round loop.
+//!
+//! [`DistMetrics::new`] registers every distributed-training metric once
+//! and keeps the `Arc` handles, so the lockstep loop records with
+//! lock-free atomic ops and never touches the registry's name map per
+//! round. Stage histograms are in microsecond ticks (the workspace
+//! convention); counters follow Prometheus naming (`*_total`, labels in
+//! `{k="v"}` form) so snapshots export cleanly through
+//! `cuttlefish_telemetry::prometheus_text`.
+//!
+//! The counters tally exactly what the [`crate::CommLedger`] and
+//! per-worker summaries account for offline, so a registry snapshot
+//! reconciles one-to-one with the [`crate::DistRunResult`] of the same
+//! run — a property the crate's observability test asserts.
+
+use std::sync::Arc;
+
+use cuttlefish_telemetry::{labeled, Counter, Histogram, MetricsRegistry};
+
+/// Shared handles to the distributed-training metrics of one registry.
+#[derive(Clone)]
+pub struct DistMetrics {
+    registry: Arc<MetricsRegistry>,
+    pub(crate) rounds_dense: Arc<Counter>,
+    pub(crate) rounds_factored: Arc<Counter>,
+    pub(crate) bytes_up: Arc<Counter>,
+    pub(crate) bytes_down: Arc<Counter>,
+    pub(crate) contributions_stale: Arc<Counter>,
+    pub(crate) contributions_dropped: Arc<Counter>,
+    pub(crate) stage_compute_us: Arc<Histogram>,
+    pub(crate) stage_exchange_us: Arc<Histogram>,
+}
+
+impl std::fmt::Debug for DistMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistMetrics")
+            .field("registry", &self.registry)
+            .finish()
+    }
+}
+
+impl DistMetrics {
+    /// Registers (or re-resolves) the distributed metrics in `registry`.
+    pub fn new(registry: Arc<MetricsRegistry>) -> DistMetrics {
+        let phase = |name: &str| registry.counter(&labeled("dist_rounds_total", &[("phase", name)]));
+        DistMetrics {
+            rounds_dense: phase("dense"),
+            rounds_factored: phase("factored"),
+            bytes_up: registry.counter("dist_exchange_bytes_up_total"),
+            bytes_down: registry.counter("dist_exchange_bytes_down_total"),
+            contributions_stale: registry.counter("dist_contributions_stale_total"),
+            contributions_dropped: registry.counter("dist_contributions_dropped_total"),
+            stage_compute_us: registry.histogram("dist_stage_compute_us"),
+            stage_exchange_us: registry.histogram("dist_stage_exchange_us"),
+            registry,
+        }
+    }
+
+    /// The registry these handles record into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The round counter for the current wire phase.
+    pub(crate) fn round_counter(&self, factored: bool) -> &Counter {
+        if factored {
+            &self.rounds_factored
+        } else {
+            &self.rounds_dense
+        }
+    }
+}

@@ -46,8 +46,14 @@ pub(crate) struct WorkerSetup {
 /// Coordinator → worker.
 pub(crate) enum Command {
     /// Compute one local step (forward/backward on the next shard batch)
-    /// and upload the gradient frame. `delay_ms` is a fault-plan sleep.
-    Step { step: usize, delay_ms: u64 },
+    /// and upload the gradient frame. `delay_ms` is a fault-plan sleep;
+    /// `trace` is the round's trace id, echoed back on the reply so
+    /// stragglers' frames stay attributable to their origin round.
+    Step {
+        step: usize,
+        delay_ms: u64,
+        trace: u64,
+    },
     /// Load the averaged gradient frame and take one optimizer step.
     Apply { lr: f32, frame: Vec<u8> },
     /// Worker 0 only: run the switch locally and report its decisions.
@@ -82,6 +88,7 @@ pub(crate) enum Reply {
         loss: f32,
         compute_ms: f64,
         frame: Vec<u8>,
+        trace: u64,
     },
     SwitchDone {
         worker: usize,
@@ -175,7 +182,7 @@ impl WorkerState {
         })
     }
 
-    fn step(&mut self, step: usize, delay_ms: u64) -> DistResult<Reply> {
+    fn step(&mut self, step: usize, delay_ms: u64, trace: u64) -> DistResult<Reply> {
         let t0 = Instant::now();
         let batch = self.next_batch()?;
         let loss = self
@@ -192,6 +199,7 @@ impl WorkerState {
             loss,
             compute_ms: t0.elapsed().as_secs_f64() * 1e3,
             frame,
+            trace,
         })
     }
 
@@ -273,7 +281,11 @@ pub(crate) fn spawn_worker(
         };
         while let Ok(cmd) = rx.recv() {
             let outcome: DistResult<Option<Reply>> = match cmd {
-                Command::Step { step, delay_ms } => state.step(step, delay_ms).map(Some),
+                Command::Step {
+                    step,
+                    delay_ms,
+                    trace,
+                } => state.step(step, delay_ms, trace).map(Some),
                 Command::Apply { lr, frame } => state.apply(lr, &frame).map(|()| None),
                 Command::PlanSwitch { opts } => state.plan_switch(&opts).map(Some),
                 Command::ApplySwitch {

@@ -1,0 +1,152 @@
+//! Reconciliation between the two observability planes of a distributed
+//! run: the live metrics registry must describe exactly the same run as
+//! the offline [`DistRunResult`] accounting — round counters equal to
+//! the ledger's phase totals, byte counters equal to the ledger's wire
+//! totals, and stale/dropped tallies equal to the per-worker summaries.
+
+use std::sync::Arc;
+
+use cuttlefish::SwitchPolicy;
+use cuttlefish_data::{VisionSpec, VisionTask};
+use cuttlefish_dist::{
+    run_distributed_observed, DistConfig, DistMetrics, FaultPlan, NetBuilder, StragglerEvent,
+};
+use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
+use cuttlefish_telemetry::{MemoryRecorder, MetricsRegistry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn builder() -> NetBuilder {
+    Arc::new(|| {
+        let mut rng = StdRng::seed_from_u64(7);
+        build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut rng)
+    })
+}
+
+/// A small run that exercises both wire phases (manual switch after the
+/// first epoch) and a straggler (so the stale path is live).
+fn observed_run() -> (
+    cuttlefish_dist::DistRunResult,
+    MemoryRecorder,
+    Arc<MetricsRegistry>,
+) {
+    let task = VisionTask::generate(&VisionSpec::tiny(), 3);
+    let mut cfg = DistConfig::quick(3, 2, 3, 42);
+    cfg.policy = SwitchPolicy::Manual {
+        full_rank_epochs: 1,
+        k: 1,
+        rank_ratio: 0.25,
+        extra_bn: false,
+        frobenius_decay: None,
+    };
+    cfg.faults = FaultPlan {
+        stragglers: vec![StragglerEvent {
+            worker: 1,
+            step: 1,
+            delay_steps: 1,
+            delay_ms: 5,
+        }],
+        crashes: vec![],
+        joins: vec![],
+    };
+    let recorder = MemoryRecorder::new();
+    let registry = Arc::new(MetricsRegistry::new());
+    let metrics = DistMetrics::new(Arc::clone(&registry));
+    let res =
+        run_distributed_observed(&cfg, &task, builder(), &recorder, Some(&metrics)).unwrap();
+    (res, recorder, registry)
+}
+
+#[test]
+fn registry_reconciles_exactly_with_run_result() {
+    let (res, _recorder, registry) = observed_run();
+    let snap = registry.snapshot();
+
+    // Round counters per wire phase match the ledger.
+    assert_eq!(
+        snap.counter("dist_rounds_total{phase=\"dense\"}"),
+        Some(res.ledger.full_rounds as u64)
+    );
+    assert_eq!(
+        snap.counter("dist_rounds_total{phase=\"factored\"}"),
+        Some(res.ledger.low_rounds as u64)
+    );
+    assert_eq!(res.ledger.full_rounds + res.ledger.low_rounds, 6);
+    assert!(res.ledger.full_rounds > 0 && res.ledger.low_rounds > 0);
+
+    // Wire bytes match the ledger exactly.
+    assert_eq!(
+        snap.counter("dist_exchange_bytes_up_total"),
+        Some(res.ledger.bytes_up)
+    );
+    assert_eq!(
+        snap.counter("dist_exchange_bytes_down_total"),
+        Some(res.ledger.bytes_down)
+    );
+
+    // Stale/dropped tallies match the per-worker summaries.
+    let stale: u64 = res.workers.iter().map(|w| w.stale as u64).sum();
+    let dropped: u64 = res.workers.iter().map(|w| w.dropped as u64).sum();
+    assert!(stale >= 1, "straggler should have contributed a stale frame");
+    assert_eq!(snap.counter("dist_contributions_stale_total"), Some(stale));
+    assert_eq!(
+        snap.counter("dist_contributions_dropped_total"),
+        Some(dropped)
+    );
+
+    // Every received contribution records a compute-stage sample (even
+    // dropped ones — the compute happened); every round records one
+    // exchange-stage sample.
+    let contributions: u64 = res
+        .workers
+        .iter()
+        .map(|w| (w.steps + w.dropped) as u64)
+        .sum();
+    let compute = snap.histogram("dist_stage_compute_us").unwrap();
+    assert_eq!(compute.count, contributions);
+    let exchange = snap.histogram("dist_stage_exchange_us").unwrap();
+    assert_eq!(exchange.count, 6);
+    assert!(compute.sum > 0, "compute stages should take measurable time");
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn trace_spans_attribute_compute_to_rounds() {
+    use std::collections::HashSet;
+
+    use cuttlefish_telemetry::Event;
+
+    let (res, recorder, _registry) = observed_run();
+    let mut exchange_traces: HashSet<u64> = HashSet::new();
+    let mut compute_traces: Vec<u64> = Vec::new();
+    for e in recorder.events() {
+        if let Event::TraceSpan {
+            trace,
+            stage,
+            worker,
+            wall_ms,
+        } = e
+        {
+            assert!(wall_ms >= 0.0);
+            match stage.as_str() {
+                "compute" => {
+                    assert!(worker.is_some(), "compute spans attribute a worker");
+                    compute_traces.push(trace);
+                }
+                "exchange" => {
+                    assert!(worker.is_none(), "exchange spans are fleet-wide");
+                    assert!(exchange_traces.insert(trace), "one exchange span per round");
+                }
+                other => panic!("unexpected dist stage {other}"),
+            }
+        }
+    }
+    assert_eq!(exchange_traces.len(), 6, "one trace per lockstep round");
+    let contributions: usize = res.workers.iter().map(|w| w.steps + w.dropped).sum();
+    assert_eq!(compute_traces.len(), contributions);
+    // A straggler's frame carries its origin round's trace, so every
+    // compute span joins to some exchange span's trace.
+    for t in &compute_traces {
+        assert!(exchange_traces.contains(t), "orphan compute span");
+    }
+}

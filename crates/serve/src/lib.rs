@@ -24,6 +24,15 @@
 //!   through any [`cuttlefish_telemetry::Recorder`], and
 //!   `telemetry_summary` renders them as a serving report (outcome
 //!   counts, batch shapes, latency percentiles).
+//! * Live metrics — [`Server::start_observed`] additionally records
+//!   lock-free per-stage latency histograms, per-outcome counters, batch
+//!   shapes, and a queue-depth gauge into a
+//!   [`cuttlefish_telemetry::MetricsRegistry`] (see [`ServeMetrics`]),
+//!   readable at any moment while serving continues. Every request also
+//!   carries a [`cuttlefish_telemetry::TraceId`] minted at admission;
+//!   with the `obs` feature on, workers emit one `trace_span` event per
+//!   queue/batch/infer/respond stage so reports can decompose tail
+//!   latency by stage.
 //!
 //! Batched and single-row inference agree bit-for-bit (per-row kernel
 //! accumulation is independent of batch composition), so the batcher is
@@ -60,8 +69,10 @@
 
 pub mod error;
 pub mod frozen;
+pub mod metrics;
 pub mod server;
 
 pub use error::{DeadlineStage, ServeError, ServeResult};
 pub use frozen::{FrozenModel, Replica};
+pub use metrics::ServeMetrics;
 pub use server::{BatchPolicy, ResponseHandle, Server, ServerConfig};

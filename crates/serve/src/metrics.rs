@@ -1,0 +1,79 @@
+//! Live serving metrics: pre-resolved registry handles for the server
+//! hot path.
+//!
+//! [`ServeMetrics::new`] registers every serving metric once and keeps
+//! the `Arc` handles, so workers record with lock-free atomic ops and
+//! never touch the registry's name map per request. Stage histograms are
+//! in microsecond ticks (the workspace convention); counters follow
+//! Prometheus naming (`*_total`, labels in `{k="v"}` form) so snapshots
+//! export cleanly through `cuttlefish_telemetry::prometheus_text`.
+//!
+//! Outcome counters tally exactly the terminal outcomes that
+//! `serve_request` events record, so a registry snapshot reconciles
+//! one-to-one with the event-log `RunReport` for the same run.
+
+use std::sync::Arc;
+
+use cuttlefish_telemetry::{labeled, Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Shared handles to the serving metrics of one registry.
+#[derive(Clone)]
+pub struct ServeMetrics {
+    registry: Arc<MetricsRegistry>,
+    pub(crate) requests_ok: Arc<Counter>,
+    pub(crate) requests_deadline_dequeue: Arc<Counter>,
+    pub(crate) requests_deadline_completion: Arc<Counter>,
+    pub(crate) requests_failed: Arc<Counter>,
+    pub(crate) batches: Arc<Counter>,
+    pub(crate) batch_size: Arc<Histogram>,
+    pub(crate) queue_depth: Arc<Gauge>,
+    pub(crate) stage_queue_us: Arc<Histogram>,
+    pub(crate) stage_batch_us: Arc<Histogram>,
+    pub(crate) stage_infer_us: Arc<Histogram>,
+    pub(crate) stage_respond_us: Arc<Histogram>,
+}
+
+impl std::fmt::Debug for ServeMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeMetrics")
+            .field("registry", &self.registry)
+            .finish()
+    }
+}
+
+impl ServeMetrics {
+    /// Registers (or re-resolves) the serving metrics in `registry`.
+    pub fn new(registry: Arc<MetricsRegistry>) -> ServeMetrics {
+        let outcome =
+            |name: &str| registry.counter(&labeled("serve_requests_total", &[("outcome", name)]));
+        ServeMetrics {
+            requests_ok: outcome("ok"),
+            requests_deadline_dequeue: outcome("deadline_dequeue"),
+            requests_deadline_completion: outcome("deadline_completion"),
+            requests_failed: outcome("failed"),
+            batches: registry.counter("serve_batches_total"),
+            batch_size: registry.histogram("serve_batch_size"),
+            queue_depth: registry.gauge("serve_queue_depth"),
+            stage_queue_us: registry.histogram("serve_stage_queue_us"),
+            stage_batch_us: registry.histogram("serve_stage_batch_us"),
+            stage_infer_us: registry.histogram("serve_stage_infer_us"),
+            stage_respond_us: registry.histogram("serve_stage_respond_us"),
+            registry,
+        }
+    }
+
+    /// The registry these handles record into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The outcome counter matching a `serve_request` outcome string.
+    pub(crate) fn outcome_counter(&self, outcome: &str) -> &Counter {
+        match outcome {
+            "ok" => &self.requests_ok,
+            "deadline_dequeue" => &self.requests_deadline_dequeue,
+            "deadline_completion" => &self.requests_deadline_completion,
+            _ => &self.requests_failed,
+        }
+    }
+}

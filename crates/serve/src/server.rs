@@ -28,10 +28,11 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cuttlefish_telemetry::{Event, Recorder};
+use cuttlefish_telemetry::{Event, Recorder, TraceId};
 
 use crate::error::{DeadlineStage, ServeError, ServeResult};
 use crate::frozen::{FrozenModel, Replica};
+use crate::metrics::ServeMetrics;
 
 /// How workers coalesce queued requests into batches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +106,9 @@ struct Pending {
     row: Vec<f32>,
     enqueued: Instant,
     deadline: Option<Instant>,
+    /// Minted at admission; follows the request across the queue and
+    /// worker so its stage spans share one id.
+    trace: TraceId,
     tx: mpsc::Sender<ServeResult<Vec<f32>>>,
 }
 
@@ -168,6 +172,27 @@ impl Server {
         config: ServerConfig,
         recorder: Arc<dyn Recorder + Send + Sync>,
     ) -> ServeResult<Server> {
+        Server::start_observed(model, config, recorder, None)
+    }
+
+    /// [`Server::start`] with an optional live metrics sink.
+    ///
+    /// When `metrics` is provided, workers additionally record per-stage
+    /// latency histograms (`serve_stage_{queue,batch,infer,respond}_us`),
+    /// per-outcome request counters, batch shapes, and the queue-depth
+    /// gauge — all lock-free, without storing per-request samples. Under
+    /// the `obs` feature, workers also emit one `trace_span` event per
+    /// stage per request through the recorder.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Server::start`].
+    pub fn start_observed(
+        model: Arc<FrozenModel>,
+        config: ServerConfig,
+        recorder: Arc<dyn Recorder + Send + Sync>,
+        metrics: Option<Arc<ServeMetrics>>,
+    ) -> ServeResult<Server> {
         if config.workers == 0 {
             return Err(ServeError::BadConfig {
                 detail: "workers must be >= 1".to_string(),
@@ -200,10 +225,11 @@ impl Server {
             .map(|(i, replica)| {
                 let shared = Arc::clone(&shared);
                 let recorder = Arc::clone(&recorder);
+                let metrics = metrics.clone();
                 let policy = config.policy;
                 std::thread::Builder::new()
                     .name(format!("cuttlefish-serve-{i}"))
-                    .spawn(move || worker_loop(i, replica, shared, policy, recorder))
+                    .spawn(move || worker_loop(i, replica, shared, policy, recorder, metrics))
                     .map_err(|e| ServeError::BadConfig {
                         detail: format!("failed to spawn worker {i}: {e}"),
                     })
@@ -252,6 +278,7 @@ impl Server {
                 row,
                 enqueued: now,
                 deadline: deadline.map(|d| now + d),
+                trace: TraceId::mint(),
                 tx,
             });
         }
@@ -315,6 +342,7 @@ fn worker_loop(
     shared: Arc<Shared>,
     policy: BatchPolicy,
     recorder: Arc<dyn Recorder + Send + Sync>,
+    metrics: Option<Arc<ServeMetrics>>,
 ) {
     loop {
         let (batch, depth_after) = {
@@ -360,8 +388,29 @@ fn worker_loop(
             // for idle peers; hand the leftover work to one of them.
             shared.not_empty.notify_one();
         }
-        run_batch(worker, &mut replica, batch, depth_after, &*recorder);
+        run_batch(
+            worker,
+            &mut replica,
+            batch,
+            depth_after,
+            &*recorder,
+            metrics.as_deref(),
+        );
     }
+}
+
+/// Emits one `trace_span` event when the `obs` feature is on; compiles
+/// to nothing otherwise, keeping the default hot path free of per-stage
+/// event traffic.
+#[allow(unused_variables)]
+fn emit_span(recorder: &dyn Recorder, trace: TraceId, stage: &str, worker: usize, wall_ms: f64) {
+    #[cfg(feature = "obs")]
+    recorder.record(Event::TraceSpan {
+        trace: trace.as_u64(),
+        stage: stage.to_string(),
+        worker: Some(worker),
+        wall_ms,
+    });
 }
 
 fn run_batch(
@@ -370,14 +419,25 @@ fn run_batch(
     batch: Vec<Pending>,
     queue_depth: usize,
     recorder: &dyn Recorder,
+    metrics: Option<&ServeMetrics>,
 ) {
     let dequeued = Instant::now();
+    if let Some(m) = metrics {
+        m.queue_depth.set(queue_depth as i64);
+    }
     // Deadline check #1: drop requests that expired while queued before
     // spending any inference on them.
     let mut live: Vec<(Pending, f64)> = Vec::with_capacity(batch.len());
     for p in batch {
         let queue_ms = ms(dequeued - p.enqueued);
+        if let Some(m) = metrics {
+            m.stage_queue_us.record_duration_us(dequeued - p.enqueued);
+        }
+        emit_span(recorder, p.trace, cuttlefish_telemetry::trace::stage::QUEUE, worker, queue_ms);
         if p.deadline.is_some_and(|d| dequeued > d) {
+            if let Some(m) = metrics {
+                m.outcome_counter("deadline_dequeue").inc();
+            }
             recorder.record(Event::ServeRequest {
                 worker,
                 batch_size: 0,
@@ -398,8 +458,23 @@ fn run_batch(
     let batch_size = live.len();
     let rows: Vec<Vec<f32>> = live.iter().map(|(p, _)| p.row.clone()).collect();
     let t0 = Instant::now();
+    // Batch-assembly stage: deadline checks plus row copies, attributed
+    // to every request that rode in the batch.
+    let batch_ms = ms(t0 - dequeued);
     let result = replica.infer_batch(&rows);
     let infer_ms = ms(t0.elapsed());
+    if let Some(m) = metrics {
+        m.batches.inc();
+        m.batch_size.record(batch_size as u64);
+        for _ in 0..batch_size {
+            m.stage_batch_us.record_f64(batch_ms * 1000.0);
+            m.stage_infer_us.record_f64(infer_ms * 1000.0);
+        }
+    }
+    for (p, _) in &live {
+        emit_span(recorder, p.trace, cuttlefish_telemetry::trace::stage::BATCH, worker, batch_ms);
+        emit_span(recorder, p.trace, cuttlefish_telemetry::trace::stage::INFER, worker, infer_ms);
+    }
     recorder.record(Event::ServeBatch {
         worker,
         batch_size,
@@ -421,6 +496,9 @@ fn run_batch(
                 } else {
                     ("ok", Ok(out))
                 };
+                if let Some(m) = metrics {
+                    m.outcome_counter(outcome).inc();
+                }
                 recorder.record(Event::ServeRequest {
                     worker,
                     batch_size,
@@ -428,11 +506,26 @@ fn run_batch(
                     infer_ms,
                     outcome: outcome.to_string(),
                 });
+                let trace = p.trace;
                 let _ = p.tx.send(terminal);
+                let respond_ms = ms(done.elapsed());
+                if let Some(m) = metrics {
+                    m.stage_respond_us.record_f64(respond_ms * 1000.0);
+                }
+                emit_span(
+                    recorder,
+                    trace,
+                    cuttlefish_telemetry::trace::stage::RESPOND,
+                    worker,
+                    respond_ms,
+                );
             }
         }
         Err(e) => {
             for (p, queue_ms) in live {
+                if let Some(m) = metrics {
+                    m.outcome_counter("failed").inc();
+                }
                 recorder.record(Event::ServeRequest {
                     worker,
                     batch_size,

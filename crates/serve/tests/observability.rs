@@ -1,0 +1,189 @@
+//! Reconciliation between the two observability planes: the live
+//! metrics registry and the event log must describe the same run
+//! exactly — per-outcome counter totals equal to the `serve_request`
+//! event counts, batch totals equal to `serve_batch` counts, and stage
+//! histogram populations consistent with the request flow.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cuttlefish_nn::checkpoint::Checkpoint;
+use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
+use cuttlefish_serve::{BatchPolicy, FrozenModel, Server, ServerConfig, ServeMetrics};
+use cuttlefish_telemetry::{Event, MemoryRecorder, MetricsRegistry, Recorder, RunReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn frozen() -> Arc<FrozenModel> {
+    let build = || build_micro_resnet18(&MicroResNetConfig::tiny(4), &mut StdRng::seed_from_u64(7));
+    let mut net = build();
+    let ckpt = Checkpoint::capture(&mut net);
+    FrozenModel::freeze(build, ckpt).unwrap()
+}
+
+fn row(model: &FrozenModel, seed: usize) -> Vec<f32> {
+    (0..model.input_width())
+        .map(|j| ((seed * 131 + j) % 11) as f32 * 0.05)
+        .collect()
+}
+
+/// Runs a small load with a mix of outcomes and returns the recorder
+/// and registry afterwards (server fully drained).
+fn run_load() -> (Arc<MemoryRecorder>, Arc<MetricsRegistry>) {
+    let model = frozen();
+    let recorder = Arc::new(MemoryRecorder::new());
+    let registry = Arc::new(MetricsRegistry::new());
+    let metrics = Arc::new(ServeMetrics::new(Arc::clone(&registry)));
+    let server = Server::start_observed(
+        Arc::clone(&model),
+        ServerConfig {
+            workers: 2,
+            queue_bound: 64,
+            policy: BatchPolicy {
+                max_batch_size: 4,
+                max_wait: Duration::from_millis(1),
+            },
+        },
+        Arc::clone(&recorder) as Arc<dyn Recorder + Send + Sync>,
+        Some(metrics),
+    )
+    .unwrap();
+    let mut handles = Vec::new();
+    for i in 0..40 {
+        // Every fourth request carries an already-expired deadline so the
+        // run exercises at least two outcomes.
+        let deadline = if i % 4 == 3 {
+            Some(Duration::ZERO)
+        } else {
+            None
+        };
+        if let Ok(h) = server.submit(row(&model, i), deadline) {
+            handles.push(h);
+        }
+    }
+    for h in handles {
+        let _ = h.wait();
+    }
+    server.shutdown().unwrap();
+    (recorder, registry)
+}
+
+#[test]
+fn registry_counters_reconcile_exactly_with_event_log() {
+    let (recorder, registry) = run_load();
+    let snapshot = registry.snapshot();
+
+    // Build the event-log view through the same RunReport machinery the
+    // offline report uses.
+    let jsonl: String = recorder
+        .events()
+        .iter()
+        .map(|e| e.to_jsonl() + "\n")
+        .collect();
+    let report = RunReport::from_jsonl(&jsonl);
+    assert!(report.skipped_lines.is_empty());
+
+    let mut event_outcomes: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut event_batches = 0u64;
+    let mut event_batch_items = 0u64;
+    for e in report.events() {
+        match e {
+            Event::ServeRequest { outcome, .. } => {
+                *event_outcomes.entry(outcome.clone()).or_insert(0) += 1;
+            }
+            Event::ServeBatch { batch_size, .. } => {
+                event_batches += 1;
+                event_batch_items += *batch_size as u64;
+            }
+            _ => {}
+        }
+    }
+    assert!(!event_outcomes.is_empty(), "no serve_request events recorded");
+
+    // Per-outcome counters reconcile exactly.
+    let mut total_requests = 0u64;
+    for (outcome, count) in &event_outcomes {
+        let name = format!("serve_requests_total{{outcome=\"{outcome}\"}}");
+        assert_eq!(
+            snapshot.counter(&name),
+            Some(*count),
+            "counter {name} disagrees with event log"
+        );
+        total_requests += count;
+    }
+    // Outcomes not hit in this run must read zero, not be missing.
+    for (name, value) in &snapshot.counters {
+        if let Some(outcome) = name
+            .strip_prefix("serve_requests_total{outcome=\"")
+            .and_then(|r| r.strip_suffix("\"}"))
+        {
+            if !event_outcomes.contains_key(outcome) {
+                assert_eq!(*value, 0, "counter {name} counted ghost requests");
+            }
+        }
+    }
+    assert_eq!(total_requests, 40);
+
+    // Batch totals reconcile exactly.
+    assert_eq!(snapshot.counter("serve_batches_total"), Some(event_batches));
+    let batch_hist = snapshot.histogram("serve_batch_size").unwrap();
+    assert_eq!(batch_hist.count, event_batches);
+    assert_eq!(batch_hist.sum, event_batch_items);
+
+    // Stage histogram populations: every admitted request passes the
+    // queue stage; only inferred (non-expired) requests hit infer.
+    let queue_hist = snapshot.histogram("serve_stage_queue_us").unwrap();
+    assert_eq!(queue_hist.count, total_requests);
+    let infer_hist = snapshot.histogram("serve_stage_infer_us").unwrap();
+    let inferred: u64 = event_outcomes
+        .iter()
+        .filter(|(k, _)| k.as_str() != "deadline_dequeue")
+        .map(|(_, n)| n)
+        .sum();
+    assert_eq!(infer_hist.count, inferred);
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn trace_spans_decompose_each_request_by_stage() {
+    use std::collections::HashMap;
+
+    let (recorder, _registry) = run_load();
+    let mut by_trace: HashMap<u64, Vec<String>> = HashMap::new();
+    let mut outcomes: HashMap<String, u64> = HashMap::new();
+    for e in recorder.events() {
+        match e {
+            Event::TraceSpan { trace, stage, worker, wall_ms } => {
+                assert!(worker.is_some(), "serve spans attribute a worker");
+                assert!(wall_ms >= 0.0);
+                by_trace.entry(trace).or_default().push(stage);
+            }
+            Event::ServeRequest { outcome, .. } => {
+                *outcomes.entry(outcome).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(by_trace.len(), 40, "one trace id per admitted request");
+    let ok = outcomes.get("ok").copied().unwrap_or(0);
+    let expired = outcomes.get("deadline_dequeue").copied().unwrap_or(0);
+    assert!(ok > 0 && expired > 0, "outcomes: {outcomes:?}");
+    let full_traces = by_trace
+        .values()
+        .filter(|stages| {
+            stages.len() == 4
+                && ["queue", "batch", "infer", "respond"]
+                    .iter()
+                    .all(|s| stages.iter().any(|x| x == s))
+        })
+        .count() as u64;
+    let queue_only = by_trace
+        .values()
+        .filter(|stages| stages.as_slice() == ["queue".to_string()])
+        .count() as u64;
+    // Delivered verdicts (ok or expired-at-completion) decompose into
+    // all four stages; requests expired at dequeue stop after queue.
+    let late = outcomes.get("deadline_completion").copied().unwrap_or(0);
+    assert_eq!(full_traces, ok + late);
+    assert_eq!(queue_only, expired);
+}

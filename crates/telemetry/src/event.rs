@@ -7,6 +7,8 @@
 
 use crate::json::Json;
 use crate::manifest::RunManifest;
+use crate::metrics::RegistrySnapshot;
+use crate::trace::TraceId;
 
 /// Per-layer stabilization verdict inside a [`Event::TrackerVerdict`].
 #[derive(Debug, Clone, PartialEq)]
@@ -290,6 +292,31 @@ pub enum Event {
         /// `"stale_dropped"`, `"crashed"`, `"joined"`, or `"synced"`.
         event: String,
     },
+    /// One timed stage of a traced request (serve) or round (dist). The
+    /// trace id ties the spans of a single unit of work together across
+    /// queues and worker threads; aggregate per-stage to decompose tail
+    /// latency. Emission is gated behind the `obs` feature of the
+    /// emitting crates — per-event cost is paid only when asked for.
+    TraceSpan {
+        /// Trace id minted at admission (serialized as 16-digit hex — a
+        /// JSON number cannot hold 64 bits losslessly).
+        trace: u64,
+        /// Stage name; canonical values live in [`crate::trace::stage`].
+        stage: String,
+        /// Worker that executed the stage, when one is attributable.
+        worker: Option<usize>,
+        /// Wall-clock duration of the stage in milliseconds.
+        wall_ms: f64,
+    },
+    /// A point-in-time dump of a live metrics registry, embedding the
+    /// measurement plane into the event log so reports can reconcile
+    /// both views of the same run.
+    MetricsSnapshot {
+        /// What triggered the dump, e.g. `"periodic"`, `"final"`.
+        scope: String,
+        /// The registry state.
+        snapshot: RegistrySnapshot,
+    },
     /// A named span closed (emitted by the [`crate::Span`] guard on drop).
     SpanClosed {
         /// Span name, e.g. `"epoch"`, `"profiling"`, `"switch"`.
@@ -319,6 +346,8 @@ impl Event {
             Event::DistWorkerStep { .. } => "dist_worker_step",
             Event::DistExchange { .. } => "dist_exchange",
             Event::DistWorkerEvent { .. } => "dist_worker_event",
+            Event::TraceSpan { .. } => "trace_span",
+            Event::MetricsSnapshot { .. } => "metrics_snapshot",
             Event::SpanClosed { .. } => "span",
             Event::Manifest(_) => "manifest",
         }
@@ -533,6 +562,27 @@ impl Event {
                 pairs.push(("worker", Json::Num(*worker as f64)));
                 pairs.push(("event", Json::Str(event.clone())));
             }
+            Event::TraceSpan {
+                trace,
+                stage,
+                worker,
+                wall_ms,
+            } => {
+                pairs.push(("trace", Json::Str(TraceId::from_u64(*trace).to_hex())));
+                pairs.push(("stage", Json::Str(stage.clone())));
+                pairs.push((
+                    "worker",
+                    match worker {
+                        Some(w) => Json::Num(*w as f64),
+                        None => Json::Null,
+                    },
+                ));
+                pairs.push(("wall_ms", Json::num(*wall_ms)));
+            }
+            Event::MetricsSnapshot { scope, snapshot } => {
+                pairs.push(("scope", Json::Str(scope.clone())));
+                pairs.push(("snapshot", snapshot.to_json()));
+            }
             Event::SpanClosed { name, wall_ms } => {
                 pairs.push(("name", Json::Str(name.clone())));
                 pairs.push(("wall_ms", Json::num(*wall_ms)));
@@ -698,6 +748,23 @@ impl Event {
                 worker: v.get("worker")?.as_usize()?,
                 event: v.get("event")?.as_str()?.to_string(),
             }),
+            "trace_span" => Some(Event::TraceSpan {
+                trace: TraceId::from_hex(v.get("trace")?.as_str()?)?.as_u64(),
+                stage: v.get("stage")?.as_str()?.to_string(),
+                worker: {
+                    let w = v.get("worker")?;
+                    if w.is_null() {
+                        None
+                    } else {
+                        Some(w.as_usize()?)
+                    }
+                },
+                wall_ms: v.get("wall_ms")?.as_f64()?,
+            }),
+            "metrics_snapshot" => Some(Event::MetricsSnapshot {
+                scope: v.get("scope")?.as_str()?.to_string(),
+                snapshot: RegistrySnapshot::from_json(v.get("snapshot")?)?,
+            }),
             "span" => Some(Event::SpanClosed {
                 name: v.get("name")?.as_str()?.to_string(),
                 wall_ms: v.get("wall_ms")?.as_f64()?,
@@ -806,6 +873,37 @@ mod tests {
         let back = Event::parse_jsonl_line(&life.to_jsonl()).unwrap();
         assert_eq!(back, life);
         assert_eq!(life.kind(), "dist_worker_event");
+    }
+
+    #[test]
+    fn trace_span_roundtrips_full_u64_ids() {
+        // Ids above 2^53 cannot survive a JSON number; the hex-string
+        // encoding must carry all 64 bits.
+        for (trace, worker) in [(u64::MAX, Some(3)), (0x0123_4567_89ab_cdef, None)] {
+            let e = Event::TraceSpan {
+                trace,
+                stage: crate::trace::stage::INFER.to_string(),
+                worker,
+                wall_ms: 1.75,
+            };
+            let back = Event::parse_jsonl_line(&e.to_jsonl()).unwrap();
+            assert_eq!(back, e);
+            assert_eq!(e.kind(), "trace_span");
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_roundtrips() {
+        let reg = crate::MetricsRegistry::new();
+        reg.counter("req_total").add(7);
+        reg.histogram("lat_us").record(1234);
+        let e = Event::MetricsSnapshot {
+            scope: "final".into(),
+            snapshot: reg.snapshot(),
+        };
+        let back = Event::parse_jsonl_line(&e.to_jsonl()).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(e.kind(), "metrics_snapshot");
     }
 
     #[test]

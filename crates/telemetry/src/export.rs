@@ -1,0 +1,374 @@
+//! Snapshot export: turning live [`MetricsRegistry`] state into JSONL
+//! events and Prometheus-style text exposition.
+//!
+//! Two paths out of the process:
+//!
+//! - [`record_snapshot`] folds a snapshot into the existing event-log
+//!   machinery as an [`Event::MetricsSnapshot`], so a run's JSONL stream
+//!   carries the measurement plane alongside the per-event log and
+//!   `RunReport` can reconcile the two.
+//! - [`SnapshotExporter`] is a background thread that periodically (and
+//!   once more on shutdown) appends `metrics_snapshot` lines to a JSONL
+//!   file and/or rewrites a Prometheus text file in place, for scraping
+//!   or tailing while the run is live.
+//!
+//! The Prometheus rendering ([`prometheus_text`]) emits counters and
+//! gauges verbatim and histograms as summaries (`quantile="0.5|0.95|0.99"`
+//! plus `_sum`/`_count`/`_max`), which keeps the exposition compact —
+//! the full sparse bucket list still travels in the JSONL form.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::event::Event;
+use crate::metrics::{MetricsRegistry, RegistrySnapshot};
+use crate::recorder::Recorder;
+
+/// Records the registry's current state into `recorder` as an
+/// [`Event::MetricsSnapshot`] with the given scope (e.g. `"final"`).
+pub fn record_snapshot(registry: &MetricsRegistry, recorder: &dyn Recorder, scope: &str) {
+    recorder.record(Event::MetricsSnapshot {
+        scope: scope.to_string(),
+        snapshot: registry.snapshot(),
+    });
+}
+
+/// Splits a registry key into its metric name and an optional
+/// `k="v",...` label body (no braces).
+fn split_labels(key: &str) -> (&str, Option<&str>) {
+    match (key.find('{'), key.ends_with('}')) {
+        (Some(open), true) => (&key[..open], Some(&key[open + 1..key.len() - 1])),
+        _ => (key, None),
+    }
+}
+
+/// Maps a metric name onto the Prometheus charset `[a-zA-Z0-9_:]`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// `name{labels}` with `extra` appended to any existing label body.
+fn with_labels(name: &str, labels: Option<&str>, extra: Option<&str>) -> String {
+    let body = match (labels, extra) {
+        (Some(l), Some(e)) => format!("{l},{e}"),
+        (Some(l), None) => l.to_string(),
+        (None, Some(e)) => e.to_string(),
+        (None, None) => return name.to_string(),
+    };
+    format!("{name}{{{body}}}")
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a snapshot as Prometheus text exposition (histograms as
+/// summaries; see the module docs).
+pub fn prometheus_text(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut last_type_line = String::new();
+    let mut type_line = |out: &mut String, name: &str, kind: &str| {
+        let line = format!("# TYPE {name} {kind}\n");
+        if line != last_type_line {
+            out.push_str(&line);
+            last_type_line = line;
+        }
+    };
+
+    for (key, value) in &snapshot.counters {
+        let (raw, labels) = split_labels(key);
+        let name = sanitize(raw);
+        type_line(&mut out, &name, "counter");
+        out.push_str(&format!(
+            "{} {}\n",
+            with_labels(&name, labels, None),
+            value
+        ));
+    }
+    for (key, value) in &snapshot.gauges {
+        let (raw, labels) = split_labels(key);
+        let name = sanitize(raw);
+        type_line(&mut out, &name, "gauge");
+        out.push_str(&format!(
+            "{} {}\n",
+            with_labels(&name, labels, None),
+            value
+        ));
+    }
+    for (key, hist) in &snapshot.histograms {
+        let (raw, labels) = split_labels(key);
+        let name = sanitize(raw);
+        type_line(&mut out, &name, "summary");
+        for q in [0.5, 0.95, 0.99] {
+            out.push_str(&format!(
+                "{} {}\n",
+                with_labels(&name, labels, Some(&format!("quantile=\"{q}\""))),
+                fmt_value(hist.percentile(q)),
+            ));
+        }
+        out.push_str(&format!(
+            "{} {}\n",
+            with_labels(&format!("{name}_sum"), labels, None),
+            hist.sum
+        ));
+        out.push_str(&format!(
+            "{} {}\n",
+            with_labels(&format!("{name}_count"), labels, None),
+            hist.count
+        ));
+        out.push_str(&format!(
+            "{} {}\n",
+            with_labels(&format!("{name}_max"), labels, None),
+            hist.max
+        ));
+    }
+    out
+}
+
+/// Writes the Prometheus rendering of `snapshot` to `path`, atomically
+/// (write-temp-then-rename), so a concurrent scraper never sees a
+/// half-written file.
+pub fn write_prometheus_file(snapshot: &RegistrySnapshot, path: &Path) -> std::io::Result<()> {
+    let tmp = path.with_extension("prom.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(prometheus_text(snapshot).as_bytes())?;
+        f.flush()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Appends one `metrics_snapshot` JSONL line for `snapshot` to `path`.
+pub fn append_snapshot_jsonl(
+    snapshot: &RegistrySnapshot,
+    scope: &str,
+    path: &Path,
+) -> std::io::Result<()> {
+    let event = Event::MetricsSnapshot {
+        scope: scope.to_string(),
+        snapshot: snapshot.clone(),
+    };
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", event.to_jsonl())
+}
+
+/// Where a [`SnapshotExporter`] writes.
+#[derive(Debug, Clone, Default)]
+pub struct ExportSinks {
+    /// Append `metrics_snapshot` events here (one line per tick).
+    pub jsonl: Option<PathBuf>,
+    /// Rewrite Prometheus text exposition here each tick.
+    pub prometheus: Option<PathBuf>,
+}
+
+struct ExporterShared {
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// A background thread exporting registry snapshots on an interval.
+///
+/// Each tick (and once more at shutdown, with scope `"final"`) the
+/// exporter snapshots the registry — without blocking writers — and
+/// writes to the configured [`ExportSinks`]. Dropping the exporter stops
+/// the thread and performs the final export.
+pub struct SnapshotExporter {
+    shared: Arc<ExporterShared>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SnapshotExporter {
+    /// Spawns the exporter thread.
+    pub fn spawn(
+        registry: Arc<MetricsRegistry>,
+        interval: Duration,
+        sinks: ExportSinks,
+    ) -> SnapshotExporter {
+        let shared = Arc::new(ExporterShared {
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let join = std::thread::Builder::new()
+            .name("obs-exporter".to_string())
+            .spawn(move || {
+                let export = |scope: &str| {
+                    let snap = registry.snapshot();
+                    if let Some(path) = &sinks.jsonl {
+                        let _ = append_snapshot_jsonl(&snap, scope, path);
+                    }
+                    if let Some(path) = &sinks.prometheus {
+                        let _ = write_prometheus_file(&snap, path);
+                    }
+                };
+                loop {
+                    let stopped = {
+                        let guard = thread_shared
+                            .stop
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        let (guard, _) = thread_shared
+                            .wake
+                            .wait_timeout_while(guard, interval, |stop| !*stop)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        *guard
+                    };
+                    if stopped {
+                        export("final");
+                        return;
+                    }
+                    export("periodic");
+                }
+            })
+            .expect("spawn obs-exporter thread");
+        SnapshotExporter {
+            shared,
+            join: Some(join),
+        }
+    }
+
+    /// Stops the thread, performing one final export before returning.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        *self
+            .shared
+            .stop
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+        self.shared.wake.notify_all();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for SnapshotExporter {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::labeled;
+    use crate::recorder::MemoryRecorder;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter(&labeled("serve_requests_total", &[("outcome", "ok")]))
+            .add(12);
+        reg.counter("serve_batches_total").add(4);
+        reg.gauge("serve_queue_depth").set(2);
+        let h = reg.histogram("serve_stage_infer_us");
+        for v in [100u64, 200, 300, 40_000] {
+            h.record(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn record_snapshot_lands_in_the_event_log() {
+        let reg = sample_registry();
+        let rec = MemoryRecorder::new();
+        record_snapshot(&reg, &rec, "final");
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            Event::MetricsSnapshot { scope, snapshot } => {
+                assert_eq!(scope, "final");
+                assert_eq!(
+                    snapshot.counter("serve_requests_total{outcome=\"ok\"}"),
+                    Some(12)
+                );
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prometheus_text_has_types_labels_and_summaries() {
+        let text = prometheus_text(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE serve_requests_total counter"));
+        assert!(text.contains("serve_requests_total{outcome=\"ok\"} 12"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge"));
+        assert!(text.contains("serve_queue_depth 2"));
+        assert!(text.contains("# TYPE serve_stage_infer_us summary"));
+        assert!(text.contains("serve_stage_infer_us{quantile=\"0.5\"}"));
+        assert!(text.contains("serve_stage_infer_us_count 4"));
+        assert!(text.contains("serve_stage_infer_us_sum 40600"));
+        assert!(text.contains("serve_stage_infer_us_max 40000"));
+        // Every non-comment line is "name[{labels}] value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn labeled_histograms_merge_quantile_into_existing_labels() {
+        let reg = MetricsRegistry::new();
+        reg.histogram(&labeled("lat_us", &[("tenant", "a")])).record(5);
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("lat_us{tenant=\"a\",quantile=\"0.5\"} 5"));
+        assert!(text.contains("lat_us_count{tenant=\"a\"} 1"));
+    }
+
+    #[test]
+    fn exporter_writes_both_sinks_and_final_snapshot() {
+        let dir = std::env::temp_dir().join(format!("cuttlefish-obs-export-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("metrics.jsonl");
+        let prom = dir.join("metrics.prom");
+        let _ = std::fs::remove_file(&jsonl);
+        let registry = Arc::new(sample_registry());
+        let exporter = SnapshotExporter::spawn(
+            Arc::clone(&registry),
+            Duration::from_millis(5),
+            ExportSinks {
+                jsonl: Some(jsonl.clone()),
+                prometheus: Some(prom.clone()),
+            },
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        exporter.stop();
+
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        let events: Vec<Event> = text
+            .lines()
+            .map(|l| Event::parse_jsonl_line(l).unwrap())
+            .collect();
+        assert!(!events.is_empty());
+        let scopes: Vec<&str> = events
+            .iter()
+            .map(|e| match e {
+                Event::MetricsSnapshot { scope, .. } => scope.as_str(),
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(*scopes.last().unwrap(), "final");
+
+        let prom_text = std::fs::read_to_string(&prom).unwrap();
+        assert!(prom_text.contains("serve_batches_total 4"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

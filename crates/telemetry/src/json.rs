@@ -178,12 +178,29 @@ impl Json {
     /// Returns a human-readable description of the first syntax error,
     /// including the byte offset.
     pub fn parse(text: &str) -> Result<Json, String> {
+        Json::parse_at(text).map_err(|(_, msg)| msg)
+    }
+
+    /// Whether `text` is a strict prefix of some valid JSON document —
+    /// i.e. parsing fails only by running out of input, never on a byte
+    /// that is already wrong. This is the signature of a JSONL line cut
+    /// short by a crashed writer, as opposed to a corrupt one.
+    pub fn is_truncated_prefix(text: &str) -> bool {
+        match Json::parse_at(text) {
+            Ok(_) => false,
+            Err((at, _)) => at >= text.len(),
+        }
+    }
+
+    /// Parser entry point reporting the byte offset the error occurred
+    /// at (`text.len()` means the input simply ended too early).
+    fn parse_at(text: &str) -> Result<Json, (usize, String)> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
         let value = parse_value(bytes, &mut pos)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
+            return Err((pos, format!("trailing garbage at byte {pos}")));
         }
         Ok(value)
     }
@@ -213,19 +230,23 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+/// Internal parse error: the byte offset it happened at plus a message.
+/// An offset of `bytes.len()` means the parser ran out of input.
+type ParseErr = (usize, String);
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), ParseErr> {
     if *pos < bytes.len() && bytes[*pos] == b {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!("expected '{}' at byte {}", b as char, *pos))
+        Err((*pos, format!("expected '{}' at byte {}", b as char, *pos)))
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseErr> {
     skip_ws(bytes, pos);
     let Some(&b) = bytes.get(*pos) else {
-        return Err("unexpected end of input".to_string());
+        return Err((bytes.len(), "unexpected end of input".to_string()));
     };
     match b {
         b'{' => parse_obj(bytes, pos),
@@ -238,34 +259,39 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
-    if bytes[*pos..].starts_with(lit.as_bytes()) {
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, ParseErr> {
+    let rest = &bytes[*pos..];
+    if rest.starts_with(lit.as_bytes()) {
         *pos += lit.len();
         Ok(value)
+    } else if lit.as_bytes().starts_with(rest) {
+        // The input ends partway through the literal — truncation, not
+        // a typo, so report the error at end-of-input.
+        Err((bytes.len(), format!("truncated literal at byte {}", *pos)))
     } else {
-        Err(format!("invalid literal at byte {}", *pos))
+        Err((*pos, format!("invalid literal at byte {}", *pos)))
     }
 }
 
-fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseErr> {
     let start = *pos;
     while *pos < bytes.len()
         && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
     {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| (start, e.to_string()))?;
     text.parse::<f64>()
         .map(Json::Num)
-        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+        .map_err(|_| (*pos, format!("invalid number '{text}' at byte {start}")))
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseErr> {
     expect(bytes, pos, b'"')?;
     let mut out = String::new();
     loop {
         let Some(&b) = bytes.get(*pos) else {
-            return Err("unterminated string".to_string());
+            return Err((bytes.len(), "unterminated string".to_string()));
         };
         match b {
             b'"' => {
@@ -275,7 +301,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             b'\\' => {
                 *pos += 1;
                 let Some(&esc) = bytes.get(*pos) else {
-                    return Err("unterminated escape".to_string());
+                    return Err((bytes.len(), "unterminated escape".to_string()));
                 };
                 *pos += 1;
                 match esc {
@@ -290,19 +316,23 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     b'u' => {
                         let hex = bytes
                             .get(*pos..*pos + 4)
-                            .ok_or_else(|| "truncated \\u escape".to_string())?;
-                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            .ok_or_else(|| (bytes.len(), "truncated \\u escape".to_string()))?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| (*pos, e.to_string()))?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|e| (*pos, e.to_string()))?;
                         *pos += 4;
                         out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                     }
-                    other => return Err(format!("bad escape '\\{}'", other as char)),
+                    other => {
+                        return Err((*pos - 1, format!("bad escape '\\{}'", other as char)))
+                    }
                 }
             }
             _ => {
                 // Consume one UTF-8 scalar (multi-byte sequences pass
                 // through unescaped).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|e| (*pos, e.to_string()))?;
                 let c = rest.chars().next().unwrap();
                 out.push(c);
                 *pos += c.len_utf8();
@@ -311,7 +341,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseErr> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -328,12 +358,12 @@ fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Arr(items));
             }
-            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            _ => return Err((*pos, format!("expected ',' or ']' at byte {}", *pos))),
         }
     }
 }
 
-fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseErr> {
     expect(bytes, pos, b'{')?;
     let mut pairs = Vec::new();
     skip_ws(bytes, pos);
@@ -355,7 +385,7 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Obj(pairs));
             }
-            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            _ => return Err((*pos, format!("expected ',' or '}}' at byte {}", *pos))),
         }
     }
 }
@@ -424,6 +454,35 @@ mod tests {
     fn rejects_malformed_input() {
         for text in ["{", "[1,", "\"open", "{\"a\" 1}", "12 34", "tru"] {
             assert!(Json::parse(text).is_err(), "{text}");
+        }
+    }
+
+    #[test]
+    fn truncated_prefixes_are_classified() {
+        // Every proper prefix of a real event line is a truncation.
+        let line = r#"{"kind":"serve_request","worker":1,"queue_ms":0.5,"outcome":"ok"}"#;
+        for cut in 1..line.len() {
+            if !line.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &line[..cut];
+            if Json::parse(prefix).is_ok() {
+                continue; // e.g. a prefix that happens to be complete
+            }
+            assert!(
+                Json::is_truncated_prefix(prefix),
+                "prefix not classified as truncation: {prefix}"
+            );
+        }
+        // Corruption (a wrong byte before the end) is not truncation.
+        for text in ["{\"a\" 1}", "12 34", "trx", "{\"a\":1}}", "[1,2]x"] {
+            assert!(!Json::is_truncated_prefix(text), "{text}");
+        }
+        // Complete documents are not truncation either.
+        assert!(!Json::is_truncated_prefix("{\"a\":1}"));
+        // Mid-literal and mid-escape cuts still count.
+        for text in ["{\"a\":tru", "{\"a\":\"x\\", "{\"a\":\"x\\u00"] {
+            assert!(Json::is_truncated_prefix(text), "{text}");
         }
     }
 

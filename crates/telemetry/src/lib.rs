@@ -24,28 +24,50 @@
 //!   monotonic wall time.
 //! - [`RunReport`] — parses a JSONL stream back into events and renders
 //!   the human-readable report behind the `telemetry_summary` binary.
+//! - [`metrics`] — the *live* measurement plane: a lock-free
+//!   [`MetricsRegistry`] of sharded counters, gauges, and log-linear
+//!   histograms with constant memory and mergeable snapshots, for
+//!   percentiles while the system is running (the event log answers
+//!   questions after the fact; the registry answers them now).
+//! - [`trace`] — [`TraceId`] minting and canonical stage names; serve
+//!   and dist propagate ids through queues and worker threads and emit
+//!   [`Event::TraceSpan`] per stage (behind their `obs` features).
+//! - [`export`] — [`SnapshotExporter`] and helpers turning registry
+//!   snapshots into JSONL events and Prometheus text exposition.
 //!
 //! ## Overhead
 //!
 //! Recording costs one virtual call per event against [`NullRecorder`].
-//! The hot-loop kernel counters live in `cuttlefish-tensor` behind its
-//! `telemetry` feature and compile to nothing when it is off; this crate
-//! only defines the [`KernelCounters`] snapshot type they report into.
+//! Registry metrics are lock-free on the hot path: a counter bump is one
+//! relaxed atomic add on a padded shard, a histogram record a handful of
+//! relaxed RMWs (`obs_bench` in `cuttlefish-bench` reports nanoseconds
+//! per record). The hot-loop kernel counters live in `cuttlefish-tensor`
+//! behind its `telemetry` feature and compile to nothing when it is off;
+//! this crate only defines the [`KernelCounters`] snapshot type they
+//! report into.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod export;
 pub mod json;
 pub mod manifest;
+pub mod metrics;
 pub mod recorder;
 pub mod report;
+pub mod trace;
 
 pub use event::{Event, KernelCounters, LayerVerdict, RankDecisionEvent};
+pub use export::{prometheus_text, SnapshotExporter};
 pub use json::Json;
 pub use manifest::{fnv1a_hash, git_describe, RankEntry, RunManifest, SCHEMA_VERSION};
+pub use metrics::{
+    labeled, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
+};
 pub use recorder::{span, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, Span};
 pub use report::RunReport;
+pub use trace::TraceId;
 
 #[cfg(test)]
 mod tests {
@@ -146,6 +168,31 @@ mod tests {
                 epoch: None,
                 counters: KernelCounters::default(),
             },
+            Event::TraceSpan {
+                trace: 0xfeed_face_cafe_f00d,
+                stage: trace::stage::QUEUE.to_string(),
+                worker: Some(2),
+                wall_ms: 0.4,
+            },
+            Event::TraceSpan {
+                trace: 1,
+                stage: trace::stage::EXCHANGE.to_string(),
+                worker: None,
+                wall_ms: 3.5,
+            },
+            Event::MetricsSnapshot {
+                scope: "final".to_string(),
+                snapshot: {
+                    let reg = MetricsRegistry::new();
+                    reg.counter(&labeled("serve_requests_total", &[("outcome", "ok")]))
+                        .add(9);
+                    reg.gauge("serve_queue_depth").set(4);
+                    let h = reg.histogram("serve_stage_infer_us");
+                    h.record(250);
+                    h.record(90_000);
+                    reg.snapshot()
+                },
+            },
             Event::SpanClosed {
                 name: "profiling".to_string(),
                 wall_ms: 7.25,
@@ -245,6 +292,8 @@ mod tests {
             "switch_triggered",
             "grad_clipped",
             "kernel_counters",
+            "trace_span",
+            "metrics_snapshot",
             "span",
             "manifest",
         ] {

@@ -1,0 +1,827 @@
+//! Live, lock-free metrics: sharded counters, gauges, log-linear
+//! histograms, and a named registry with mergeable snapshots.
+//!
+//! This is the *metrics* half of the observability story, complementing
+//! the *event-log* half ([`crate::Recorder`] + JSONL). Events are exact
+//! and replayable but cost O(events) storage and can only answer
+//! questions after the run; the registry costs O(metrics) storage — a
+//! histogram is a fixed array of buckets no matter how many values it
+//! absorbs — and can be snapshotted at any moment while recording
+//! continues.
+//!
+//! ## Hot-path cost model
+//!
+//! Recording never takes a lock and never allocates:
+//!
+//! - [`Counter::add`] is one relaxed atomic add on a per-thread shard
+//!   (shards are cache-line padded, so concurrent writers do not bounce a
+//!   line between cores).
+//! - [`Histogram::record`] is a branch-free bucket-index computation
+//!   (leading-zeros + shift) plus four relaxed atomic RMWs.
+//! - [`Gauge::set`] is one relaxed atomic store.
+//!
+//! Name lookup happens only at registration time
+//! ([`MetricsRegistry::counter`] & co. take a mutex and return a shared
+//! handle); hot paths hold the `Arc` and never touch the registry again.
+//! `obs_bench` measures the per-record cost in nanoseconds.
+//!
+//! ## Histogram bucket scheme
+//!
+//! Log-linear, like HdrHistogram: values 0..128 get exact unit buckets;
+//! above that, each power-of-two range splits into 128 linear
+//! sub-buckets, so the relative bucket width never exceeds 1/128 (~0.8%).
+//! Percentile estimates therefore land within one bucket width of the
+//! exact order statistic, without storing samples. Values are plain
+//! `u64` ticks — callers pick the unit (this workspace records latencies
+//! in microseconds). A histogram is ~58 KiB of buckets regardless of how
+//! many values it has seen.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+
+/// Number of linear sub-buckets per power-of-two range; also the bound
+/// below which every value gets its own exact bucket.
+const SUB: usize = 128;
+/// log2 of [`SUB`].
+const SUB_BITS: usize = 7;
+/// Total bucket count: `SUB` exact unit buckets plus `SUB` linear
+/// sub-buckets for each of the 57 power-of-two levels 2^7..2^63.
+const NBUCKETS: usize = SUB + (64 - SUB_BITS) * SUB;
+
+/// Counter shards; a power of two so the shard pick is a mask.
+const SHARDS: usize = 8;
+
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+thread_local! {
+    static SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+/// This thread's counter shard, assigned round-robin on first use.
+fn shard_index() -> usize {
+    SHARD.with(|s| {
+        let mut idx = s.get();
+        if idx == usize::MAX {
+            idx = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
+            s.set(idx);
+        }
+        idx
+    })
+}
+
+/// A monotone event counter, sharded across cache-line-padded atomics so
+/// concurrent writers on different cores do not contend.
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter {
+            shards: std::array::from_fn(|_| PaddedU64(AtomicU64::new(0))),
+        }
+    }
+
+    /// Adds `n`. Lock-free: one relaxed atomic add on this thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total across all shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter").field("value", &self.get()).finish()
+    }
+}
+
+/// A last-write-wins signed gauge (queue depths, in-flight counts, …).
+#[derive(Default)]
+pub struct Gauge {
+    value: std::sync::atomic::AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the gauge by `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gauge").field("value", &self.get()).finish()
+    }
+}
+
+/// Maps a value to its bucket index.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize; // >= SUB_BITS
+        let sub = ((v >> (exp - SUB_BITS)) as usize) & (SUB - 1);
+        (exp - SUB_BITS) * SUB + SUB + sub
+    }
+}
+
+/// Lower bound and width of a bucket.
+fn bucket_lo_width(idx: usize) -> (u64, u64) {
+    if idx < SUB {
+        (idx as u64, 1)
+    } else {
+        let level = idx / SUB - 1;
+        let sub = (idx % SUB) as u64;
+        ((SUB as u64 + sub) << level, 1u64 << level)
+    }
+}
+
+/// The value a bucket reports for percentiles: the exact value for unit
+/// buckets, the midpoint for wider ones.
+fn bucket_representative(idx: usize) -> f64 {
+    let (lo, width) = bucket_lo_width(idx);
+    if width == 1 {
+        lo as f64
+    } else {
+        lo as f64 + width as f64 / 2.0
+    }
+}
+
+/// A constant-memory log-linear histogram (see the module docs for the
+/// bucket scheme). Recording is lock-free; percentiles come from a
+/// [`HistogramSnapshot`] without ever storing individual samples.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Records one value. Lock-free, allocation-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Records a non-negative float, rounding to the nearest tick
+    /// (negative or non-finite values clamp to 0).
+    #[inline]
+    pub fn record_f64(&self, v: f64) {
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        self.record(v.round() as u64);
+    }
+
+    /// Records a duration in microsecond ticks — the workspace convention
+    /// for latency histograms.
+    #[inline]
+    pub fn record_duration_us(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// The width of the bucket that `v` falls into: the quantization
+    /// error bound for percentile estimates near `v`.
+    pub fn bucket_width(v: u64) -> u64 {
+        bucket_lo_width(bucket_index(v)).1
+    }
+
+    /// Snapshots the current state. Recording may continue concurrently;
+    /// the snapshot is then approximately consistent (bucket counts are
+    /// each exact, but a racing `record` may appear in one field and not
+    /// yet another). With writers quiesced it is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((i as u32, n));
+                count += n;
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &s.count)
+            .field("sum", &s.sum)
+            .finish()
+    }
+}
+
+/// A point-in-time copy of one histogram: sparse non-empty buckets plus
+/// exact count/sum/max/min. Mergeable and JSON-serializable.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Non-empty buckets as `(bucket index, count)`, index-ascending.
+    pub buckets: Vec<(u32, u64)>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (in ticks).
+    pub sum: u64,
+    /// Exact maximum recorded value (0 when empty).
+    pub max: u64,
+    /// Exact minimum recorded value (0 when empty).
+    pub min: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of recorded values, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Percentile estimate in ticks, within one bucket width of the exact
+    /// order statistic. Matches the sort-based convention used elsewhere
+    /// in the workspace: the element at (0-based) index
+    /// `round((count - 1) · p)` of the sorted samples.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((self.count as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as u64 + 1;
+        let mut cum = 0u64;
+        for &(idx, n) in &self.buckets {
+            cum += n;
+            if cum >= rank {
+                return bucket_representative(idx as usize);
+            }
+        }
+        self.max as f64
+    }
+
+    /// Folds `other` into `self` (bucket-count addition, exact).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut merged: BTreeMap<u32, u64> = self.buckets.iter().copied().collect();
+        for &(idx, n) in &other.buckets {
+            *merged.entry(idx).or_insert(0) += n;
+        }
+        self.buckets = merged.into_iter().collect();
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.max = self.max.max(other.max);
+            self.min = if self.count == other.count {
+                other.min
+            } else {
+                self.min.min(other.min)
+            };
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::Num(self.count as f64)),
+            ("sum", Json::Num(self.sum as f64)),
+            ("max", Json::Num(self.max as f64)),
+            ("min", Json::Num(self.min as f64)),
+            (
+                "buckets",
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|&(i, n)| {
+                            Json::Arr(vec![Json::Num(i as f64), Json::Num(n as f64)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<HistogramSnapshot> {
+        let mut buckets = Vec::new();
+        for pair in v.get("buckets")?.as_arr()? {
+            let pair = pair.as_arr()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            buckets.push((pair[0].as_u64()? as u32, pair[1].as_u64()?));
+        }
+        Some(HistogramSnapshot {
+            buckets,
+            count: v.get("count")?.as_u64()?,
+            sum: v.get("sum")?.as_u64()?,
+            max: v.get("max")?.as_u64()?,
+            min: v.get("min")?.as_u64()?,
+        })
+    }
+}
+
+/// Formats a metric name with Prometheus-style labels:
+/// `labeled("serve_requests_total", &[("outcome", "ok")])` →
+/// `serve_requests_total{outcome="ok"}`. The result is a plain registry
+/// key; the exporter passes it through unchanged.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect();
+    format!("{name}{{{}}}", body.join(","))
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A named collection of live metrics.
+///
+/// Registration (`counter` / `gauge` / `histogram`) takes a short mutex
+/// and returns a shared handle; recording through the handle is lock-free
+/// and never touches the registry again. [`MetricsRegistry::snapshot`]
+/// captures every metric without stopping writers.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            self.lock()
+                .counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(
+            self.lock()
+                .gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            self.lock()
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Snapshots every registered metric. Writers are not blocked; see
+    /// [`Histogram::snapshot`] for the consistency model.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let (counters, gauges, histograms) = {
+            let inner = self.lock();
+            (
+                inner
+                    .counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                    .collect::<Vec<_>>(),
+                inner
+                    .gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                    .collect::<Vec<_>>(),
+                inner
+                    .histograms
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        RegistrySnapshot {
+            counters: counters.into_iter().map(|(k, c)| (k, c.get())).collect(),
+            gauges: gauges.into_iter().map(|(k, g)| (k, g.get())).collect(),
+            histograms: histograms
+                .into_iter()
+                .map(|(k, h)| (k, h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+/// A point-in-time copy of a whole registry, name-sorted. Mergeable
+/// (counters and histogram buckets add; gauges keep the other side when
+/// absent locally, else sum) and JSON-round-trippable, so per-process
+/// snapshots can be combined into fleet totals.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RegistrySnapshot {
+    /// Counter totals by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram snapshots by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    /// Looks up a counter total.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge value.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram snapshot.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Folds `other` into `self`: counters and histograms add exactly,
+    /// gauges sum (document per-gauge semantics at the call site if that
+    /// is not what a merged view should mean).
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        let mut counters: BTreeMap<String, u64> = self.counters.drain(..).collect();
+        for (k, v) in &other.counters {
+            *counters.entry(k.clone()).or_insert(0) += v;
+        }
+        self.counters = counters.into_iter().collect();
+
+        let mut gauges: BTreeMap<String, i64> = self.gauges.drain(..).collect();
+        for (k, v) in &other.gauges {
+            *gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        self.gauges = gauges.into_iter().collect();
+
+        let mut histograms: BTreeMap<String, HistogramSnapshot> =
+            self.histograms.drain(..).collect();
+        for (k, h) in &other.histograms {
+            histograms.entry(k.clone()).or_default().merge(h);
+        }
+        self.histograms = histograms.into_iter().collect();
+    }
+
+    /// Encodes the snapshot as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes a snapshot from [`RegistrySnapshot::to_json`] output.
+    pub fn from_json(v: &Json) -> Option<RegistrySnapshot> {
+        let obj_pairs = |key: &str| -> Option<Vec<(String, Json)>> {
+            match v.get(key)? {
+                Json::Obj(pairs) => Some(pairs.clone()),
+                _ => None,
+            }
+        };
+        let mut counters = Vec::new();
+        for (k, val) in obj_pairs("counters")? {
+            counters.push((k, val.as_u64()?));
+        }
+        let mut gauges = Vec::new();
+        for (k, val) in obj_pairs("gauges")? {
+            let f = val.as_f64()?;
+            gauges.push((k, f as i64));
+        }
+        let mut histograms = Vec::new();
+        for (k, val) in obj_pairs("histograms")? {
+            histograms.push((k, HistogramSnapshot::from_json(&val)?));
+        }
+        Some(RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_total() {
+        let mut probes: Vec<u64> = vec![0, 1, u64::MAX];
+        for shift in 1..64u32 {
+            let p = 1u64 << shift;
+            probes.extend([p - 1, p, p + 1]);
+        }
+        probes.sort_unstable();
+        let mut last = 0usize;
+        for v in probes {
+            let idx = bucket_index(v);
+            assert!(idx < NBUCKETS, "index {idx} out of range for {v}");
+            assert!(idx >= last, "not monotone at {v}");
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        for v in [0u64, 1, 17, 127, 128, 129, 1000, 123_456, u64::MAX / 3] {
+            let idx = bucket_index(v);
+            let (lo, width) = bucket_lo_width(idx);
+            assert!(
+                v >= lo && v < lo.saturating_add(width).max(lo + 1),
+                "{v} outside bucket [{lo}, {lo}+{width})"
+            );
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..128u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 128);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 127);
+        // Every value below SUB has its own bucket and reports exactly.
+        assert_eq!(Histogram::bucket_width(100), 1);
+        assert_eq!(snap.percentile(0.0), 0.0);
+        assert_eq!(snap.percentile(1.0), 127.0);
+    }
+
+    #[test]
+    fn percentiles_match_exact_sort_within_one_bucket_width() {
+        // The satellite-pinning test: a deterministic heavy-tailed sample,
+        // exact sort-based percentiles vs histogram estimates.
+        let mut values: Vec<u64> = Vec::new();
+        let mut x = 9_876_543u64;
+        for _ in 0..10_000 {
+            // xorshift; spread over ~4 orders of magnitude.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            values.push(50 + x % 200_000);
+        }
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for p in [0.5, 0.95, 0.99] {
+            let exact = sorted[((sorted.len() as f64 - 1.0) * p).round() as usize];
+            let est = snap.percentile(p);
+            let width = Histogram::bucket_width(exact) as f64;
+            assert!(
+                (est - exact as f64).abs() <= width,
+                "p{p}: est {est} vs exact {exact} (bucket width {width})"
+            );
+        }
+        assert_eq!(snap.max, *sorted.last().unwrap());
+        assert_eq!(snap.min, sorted[0]);
+        assert_eq!(snap.count, sorted.len() as u64);
+        assert_eq!(snap.sum, values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn registry_hands_out_shared_handles() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("hits");
+        let b = reg.counter("hits");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.snapshot().counter("hits"), Some(2));
+        let h = reg.histogram("lat_us");
+        h.record(10);
+        let g = reg.gauge("depth");
+        g.set(3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("depth"), Some(3));
+        assert_eq!(snap.histogram("lat_us").unwrap().count, 1);
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn snapshot_merge_is_exact() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.counter("n").add(10);
+        b.counter("n").add(5);
+        b.counter("only_b").add(1);
+        for v in [3u64, 300, 30_000] {
+            a.histogram("h").record(v);
+            b.histogram("h").record(v * 2);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+
+        let seq = MetricsRegistry::new();
+        seq.counter("n").add(15);
+        seq.counter("only_b").add(1);
+        for v in [3u64, 300, 30_000] {
+            seq.histogram("h").record(v);
+            seq.histogram("h").record(v * 2);
+        }
+        let expect = seq.snapshot();
+        assert_eq!(merged.counters, expect.counters);
+        assert_eq!(
+            merged.histogram("h").unwrap().buckets,
+            expect.histogram("h").unwrap().buckets
+        );
+        assert_eq!(merged.histogram("h").unwrap().sum, expect.histogram("h").unwrap().sum);
+        assert_eq!(merged.histogram("h").unwrap().min, expect.histogram("h").unwrap().min);
+        assert_eq!(merged.histogram("h").unwrap().max, expect.histogram("h").unwrap().max);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter(&labeled("req", &[("outcome", "ok")])).add(3);
+        reg.gauge("depth").set(-2);
+        let h = reg.histogram("lat_us");
+        for v in [1u64, 200, 40_000, 900_000] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let back = RegistrySnapshot::from_json(&snap.to_json()).expect("decode");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn labeled_formats_prometheus_style() {
+        assert_eq!(labeled("x_total", &[]), "x_total");
+        assert_eq!(
+            labeled("x_total", &[("a", "1"), ("b", "two")]),
+            "x_total{a=\"1\",b=\"two\"}"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.percentile(0.99), 0.0);
+        assert_eq!(snap.mean(), 0.0);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 0);
+    }
+
+    #[test]
+    fn record_f64_clamps_garbage() {
+        let h = Histogram::new();
+        h.record_f64(-5.0);
+        h.record_f64(f64::NAN);
+        h.record_f64(2.6);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.max, 3);
+    }
+}

@@ -4,7 +4,9 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::event::{Event, KernelCounters};
+use crate::json::Json;
 use crate::manifest::RunManifest;
+use crate::metrics::Histogram;
 
 /// A parsed run, ready to render as a report.
 ///
@@ -17,22 +19,44 @@ pub struct RunReport {
     events: Vec<Event>,
     /// Lines that failed to parse, with their 1-based line numbers.
     pub skipped_lines: Vec<(usize, String)>,
+    /// 1-based line number of a final line that was cut short mid-write
+    /// (the crash signature: the file does not end in a newline and the
+    /// tail is a strict prefix of valid JSON). Skipped with a warning
+    /// rather than reported as corruption.
+    pub truncated_final_line: Option<usize>,
 }
 
 impl RunReport {
     /// Parses a JSONL document into a report. Blank lines are ignored;
     /// malformed lines are collected into
     /// [`skipped_lines`](Self::skipped_lines) rather than aborting, so a
-    /// truncated log from a crashed run still renders.
+    /// damaged log still renders. A final line cut short by a crashed
+    /// writer (no trailing newline, valid-JSON prefix) is recognized as
+    /// truncation and surfaced via
+    /// [`truncated_final_line`](Self::truncated_final_line) instead.
     pub fn from_jsonl(text: &str) -> RunReport {
         let mut report = RunReport::default();
-        for (i, line) in text.lines().enumerate() {
+        let lines: Vec<&str> = text.lines().collect();
+        let last_idx = lines
+            .iter()
+            .rposition(|l| !l.trim().is_empty())
+            .unwrap_or(usize::MAX);
+        for (i, line) in lines.iter().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
             match Event::parse_jsonl_line(line) {
                 Ok(event) => report.events.push(event),
-                Err(err) => report.skipped_lines.push((i + 1, err)),
+                Err(err) => {
+                    let is_final_partial_write = i == last_idx
+                        && !text.ends_with('\n')
+                        && Json::is_truncated_prefix(line.trim());
+                    if is_final_partial_write {
+                        report.truncated_final_line = Some(i + 1);
+                    } else {
+                        report.skipped_lines.push((i + 1, err));
+                    }
+                }
             }
         }
         report
@@ -60,7 +84,9 @@ impl RunReport {
         self.render_switch(&mut out);
         self.render_phases(&mut out);
         self.render_serving(&mut out);
+        self.render_stages(&mut out);
         self.render_dist(&mut out);
+        self.render_metrics(&mut out);
         self.render_kernels(&mut out);
         if !self.skipped_lines.is_empty() {
             let _ = writeln!(
@@ -71,6 +97,12 @@ impl RunReport {
             for (line_no, err) in self.skipped_lines.iter().take(5) {
                 let _ = writeln!(out, "  line {line_no}: {err}");
             }
+        }
+        if let Some(line_no) = self.truncated_final_line {
+            let _ = writeln!(
+                out,
+                "\nwarning: skipped 1 truncated final line (line {line_no}; the writer likely crashed mid-record)"
+            );
         }
         out
     }
@@ -285,8 +317,10 @@ impl RunReport {
     fn render_serving(&self, out: &mut String) {
         // Per-outcome request counts plus end-to-end latency percentiles
         // (queue + inference), and batch-shape/queue-depth aggregates.
+        // Latencies aggregate through the shared log-linear histogram in
+        // microsecond ticks — constant memory, no per-request storage.
         let mut outcomes: BTreeMap<&str, u64> = BTreeMap::new();
-        let mut latencies_ms: Vec<f64> = Vec::new();
+        let latency_us = Histogram::new();
         let mut batches = 0u64;
         let mut batch_items = 0u64;
         let mut max_batch = 0usize;
@@ -302,7 +336,7 @@ impl RunReport {
                 } => {
                     *outcomes.entry(outcome.as_str()).or_insert(0) += 1;
                     if outcome == "ok" {
-                        latencies_ms.push(queue_ms + infer_ms);
+                        latency_us.record_f64((queue_ms + infer_ms) * 1000.0);
                     }
                 }
                 Event::ServeBatch {
@@ -334,19 +368,107 @@ impl RunReport {
                 depth_sum as f64 / batches as f64,
             );
         }
-        if !latencies_ms.is_empty() {
-            latencies_ms.sort_by(|a, b| a.total_cmp(b));
-            let pct = |p: f64| -> f64 {
-                let idx = ((latencies_ms.len() as f64 - 1.0) * p).round() as usize;
-                latencies_ms[idx.min(latencies_ms.len() - 1)]
-            };
+        let lat = latency_us.snapshot();
+        if lat.count > 0 {
             let _ = writeln!(
                 out,
                 "latency ms  p50 {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}",
-                pct(0.50),
-                pct(0.95),
-                pct(0.99),
-                latencies_ms[latencies_ms.len() - 1],
+                lat.percentile(0.50) / 1000.0,
+                lat.percentile(0.95) / 1000.0,
+                lat.percentile(0.99) / 1000.0,
+                lat.max as f64 / 1000.0,
+            );
+        }
+    }
+
+    fn render_stages(&self, out: &mut String) {
+        // Aggregate `trace_span` events per stage so the report can say
+        // where the tail latency lives (queue vs batch vs infer vs …).
+        let mut stages: Vec<(String, Histogram)> = Vec::new();
+        let mut traces = std::collections::HashSet::new();
+        let mut spans = 0u64;
+        for e in &self.events {
+            if let Event::TraceSpan {
+                trace,
+                stage,
+                wall_ms,
+                ..
+            } = e
+            {
+                let hist = match stages.iter().position(|(name, _)| name == stage) {
+                    Some(i) => &stages[i].1,
+                    None => {
+                        stages.push((stage.clone(), Histogram::new()));
+                        &stages.last().unwrap().1
+                    }
+                };
+                hist.record_f64(wall_ms * 1000.0);
+                traces.insert(*trace);
+                spans += 1;
+            }
+        }
+        if stages.is_empty() {
+            return;
+        }
+        let _ = writeln!(out, "\n== stage latency (trace spans) ==");
+        let _ = writeln!(
+            out,
+            "{spans} spans across {} traces",
+            traces.len()
+        );
+        let _ = writeln!(
+            out,
+            "stage        count    avg_ms     p50_ms     p95_ms     p99_ms     max_ms"
+        );
+        for (name, hist) in &stages {
+            let s = hist.snapshot();
+            let _ = writeln!(
+                out,
+                "{name:<10}  {:>6}  {:>8.3}  {:>9.3}  {:>9.3}  {:>9.3}  {:>9.3}",
+                s.count,
+                s.mean() / 1000.0,
+                s.percentile(0.50) / 1000.0,
+                s.percentile(0.95) / 1000.0,
+                s.percentile(0.99) / 1000.0,
+                s.max as f64 / 1000.0,
+            );
+        }
+    }
+
+    fn render_metrics(&self, out: &mut String) {
+        // Render the last registry snapshot embedded in the log (the
+        // registry is cumulative, so the last dump supersedes earlier
+        // periodic ones).
+        let mut snapshots = 0usize;
+        let mut last = None;
+        for e in &self.events {
+            if let Event::MetricsSnapshot { scope, snapshot } = e {
+                snapshots += 1;
+                last = Some((scope, snapshot));
+            }
+        }
+        let Some((scope, snap)) = last else {
+            return;
+        };
+        let _ = writeln!(
+            out,
+            "\n== live metrics (snapshot {snapshots} of {snapshots}, scope '{scope}') =="
+        );
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "{name:<44}  {value}");
+        }
+        for (name, value) in &snap.gauges {
+            let _ = writeln!(out, "{name:<44}  {value}");
+        }
+        for (name, hist) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "{name:<44}  n {}  p50 {:.0}  p95 {:.0}  p99 {:.0}  max {}",
+                hist.count,
+                hist.percentile(0.50),
+                hist.percentile(0.95),
+                hist.percentile(0.99),
+                hist.max,
             );
         }
     }
@@ -739,6 +861,92 @@ mod tests {
         assert_eq!(report.events().len(), 1);
         assert_eq!(report.skipped_lines.len(), 2);
         assert!(report.render().contains("skipped 2 malformed line(s)"));
+    }
+
+    #[test]
+    fn truncated_final_line_is_skipped_with_a_warning() {
+        // A crashed writer leaves a half-written last line and no
+        // trailing newline.
+        let complete: String = [
+            Event::EpochStarted { epoch: 0, lr: 0.1 }.to_jsonl(),
+            Event::EpochStarted { epoch: 1, lr: 0.1 }.to_jsonl(),
+        ]
+        .join("\n");
+        let last = Event::EpochCompleted {
+            epoch: 1,
+            loss: 1.0,
+            metric: None,
+            lr: 0.1,
+            wall_ms: 9.0,
+        }
+        .to_jsonl();
+        let jsonl = format!("{complete}\n{}", &last[..last.len() / 2]);
+        let report = RunReport::from_jsonl(&jsonl);
+        assert_eq!(report.events().len(), 2);
+        assert!(report.skipped_lines.is_empty(), "{:?}", report.skipped_lines);
+        assert_eq!(report.truncated_final_line, Some(3));
+        let text = report.render();
+        assert!(text.contains("truncated final line"), "{text}");
+
+        // The same damaged tail mid-file (newline after it) is real
+        // corruption, not a crash signature.
+        let jsonl = format!("{}\n{complete}\n", &last[..last.len() / 2]);
+        let report = RunReport::from_jsonl(&jsonl);
+        assert_eq!(report.events().len(), 2);
+        assert_eq!(report.skipped_lines.len(), 1);
+        assert_eq!(report.truncated_final_line, None);
+    }
+
+    #[test]
+    fn stage_section_aggregates_trace_spans() {
+        let mut events = Vec::new();
+        for (i, wall) in [(0u64, 0.5f64), (1, 1.5), (2, 2.5)] {
+            events.push(Event::TraceSpan {
+                trace: i,
+                stage: crate::trace::stage::QUEUE.to_string(),
+                worker: Some(0),
+                wall_ms: wall,
+            });
+            events.push(Event::TraceSpan {
+                trace: i,
+                stage: crate::trace::stage::INFER.to_string(),
+                worker: Some(0),
+                wall_ms: wall * 2.0,
+            });
+        }
+        let jsonl: String = events.iter().map(|e| e.to_jsonl() + "\n").collect();
+        let report = RunReport::from_jsonl(&jsonl);
+        let text = report.render();
+        assert!(text.contains("== stage latency (trace spans) =="), "{text}");
+        assert!(text.contains("6 spans across 3 traces"), "{text}");
+        assert!(text.contains("queue"), "{text}");
+        assert!(text.contains("infer"), "{text}");
+    }
+
+    #[test]
+    fn metrics_section_renders_last_snapshot() {
+        let reg = crate::MetricsRegistry::new();
+        reg.counter("serve_requests_total{outcome=\"ok\"}").add(5);
+        reg.histogram("serve_stage_infer_us").record(2_000);
+        let events = [
+            Event::MetricsSnapshot {
+                scope: "periodic".to_string(),
+                snapshot: crate::MetricsRegistry::new().snapshot(),
+            },
+            Event::MetricsSnapshot {
+                scope: "final".to_string(),
+                snapshot: reg.snapshot(),
+            },
+        ];
+        let jsonl: String = events.iter().map(|e| e.to_jsonl() + "\n").collect();
+        let report = RunReport::from_jsonl(&jsonl);
+        let text = report.render();
+        assert!(text.contains("scope 'final'"), "{text}");
+        assert!(
+            text.contains("serve_requests_total{outcome=\"ok\"}"),
+            "{text}"
+        );
+        assert!(text.contains("serve_stage_infer_us"), "{text}");
     }
 
     #[test]

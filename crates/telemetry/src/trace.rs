@@ -1,0 +1,131 @@
+//! Trace identifiers and stage names for request-level tracing.
+//!
+//! A [`TraceId`] is minted once at admission (serve) or per round (dist)
+//! and rides along with the work as it crosses queues, batches, and
+//! worker threads. Every timed stage emits an [`crate::Event::TraceSpan`]
+//! carrying the id, so a report can reassemble a single request's
+//! queue→batch→infer→respond timeline — or aggregate spans per stage to
+//! answer "where did the p99 go".
+//!
+//! Minting is lock-free: a process-wide atomic sequence number mixed
+//! through a SplitMix64 finalizer with a per-process seed, so ids are
+//! unique within a process, well-distributed, and extremely unlikely to
+//! collide across processes in one run's logs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Canonical stage names used in `TraceSpan` events, so reports and
+/// metrics agree on spelling.
+pub mod stage {
+    /// Serve: admission → dequeue (time spent waiting in the queue).
+    pub const QUEUE: &str = "queue";
+    /// Serve: dequeue → batch assembled (deadline checks, row copies).
+    pub const BATCH: &str = "batch";
+    /// Serve: forward pass over the assembled batch.
+    pub const INFER: &str = "infer";
+    /// Serve: inference done → response handed to the caller.
+    pub const RESPOND: &str = "respond";
+    /// Dist: one worker's local forward/backward for a round.
+    pub const COMPUTE: &str = "compute";
+    /// Dist: gradient gather + reduce + broadcast for a round.
+    pub const EXCHANGE: &str = "exchange";
+}
+
+fn process_seed() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        nanos ^ (std::process::id() as u64).rotate_left(32)
+    })
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// An opaque identifier tying together the spans of one request (serve)
+/// or one round (dist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// Mints a fresh, process-unique id. Lock-free.
+    pub fn mint() -> TraceId {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        TraceId(splitmix64(process_seed() ^ seq.wrapping_mul(0x2545_f491_4f6c_dd1d)))
+    }
+
+    /// Wraps a raw id (e.g. decoded from a log).
+    pub fn from_u64(raw: u64) -> TraceId {
+        TraceId(raw)
+    }
+
+    /// The raw 64-bit value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Lowercase 16-digit hex form — the JSON wire format, since a JSON
+    /// number (f64) cannot hold all 64 bits losslessly.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses the [`TraceId::to_hex`] form.
+    pub fn from_hex(s: &str) -> Option<TraceId> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(TraceId)
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn minted_ids_are_unique() {
+        let ids: HashSet<u64> = (0..10_000).map(|_| TraceId::mint().as_u64()).collect();
+        assert_eq!(ids.len(), 10_000);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        for raw in [0u64, 1, 0xdead_beef, u64::MAX] {
+            let id = TraceId::from_u64(raw);
+            assert_eq!(TraceId::from_hex(&id.to_hex()), Some(id));
+        }
+        assert_eq!(TraceId::from_hex("xyz"), None);
+        assert_eq!(TraceId::from_hex("0"), None); // wrong length
+        assert_eq!(TraceId::from_hex("00000000000000000"), None); // 17 chars
+    }
+
+    #[test]
+    fn mint_is_thread_safe() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(|| (0..1000).map(|_| TraceId::mint().as_u64()).collect::<Vec<_>>()))
+            .collect();
+        let mut all = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(all.insert(id), "duplicate trace id {id:#x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Concurrency guarantees of the live metrics plane: recording from N
+//! threads — into one shared registry, or into per-thread registries
+//! whose snapshots are merged — must be indistinguishable from recording
+//! the same values sequentially. Counters must match exactly and
+//! histograms bucket-for-bucket (not just within tolerance).
+
+use std::sync::Arc;
+use std::thread;
+
+use cuttlefish_telemetry::{labeled, MetricsRegistry, RegistrySnapshot};
+
+const THREADS: u64 = 8;
+const PER_THREAD: u64 = 5_000;
+
+/// Deterministic per-thread value stream (xorshift), heavy-tailed enough
+/// to touch exact, narrow, and wide histogram buckets.
+fn values(thread: u64) -> impl Iterator<Item = u64> {
+    let mut x = 0x5eed_0000 + thread * 0x9e37 + 1;
+    (0..PER_THREAD).map(move |_| {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x % 1_000_000
+    })
+}
+
+fn record_all(reg: &MetricsRegistry, thread: u64) {
+    let requests = reg.counter(&labeled("requests_total", &[("outcome", "ok")]));
+    let hist = reg.histogram("lat_us");
+    for v in values(thread) {
+        requests.inc();
+        hist.record(v);
+    }
+    reg.counter("threads_total").inc();
+}
+
+fn sequential_snapshot() -> RegistrySnapshot {
+    let reg = MetricsRegistry::new();
+    for t in 0..THREADS {
+        record_all(&reg, t);
+    }
+    reg.snapshot()
+}
+
+fn assert_equivalent(actual: &RegistrySnapshot, expected: &RegistrySnapshot) {
+    assert_eq!(actual.counters, expected.counters, "counter totals differ");
+    let a = actual.histogram("lat_us").expect("histogram recorded");
+    let e = expected.histogram("lat_us").expect("histogram recorded");
+    assert_eq!(a.buckets, e.buckets, "bucket counts differ");
+    assert_eq!(a.count, e.count);
+    assert_eq!(a.sum, e.sum);
+    assert_eq!(a.min, e.min);
+    assert_eq!(a.max, e.max);
+}
+
+#[test]
+fn shared_registry_concurrent_equals_sequential() {
+    let reg = Arc::new(MetricsRegistry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || record_all(&reg, t))
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("threads_total"), Some(THREADS));
+    assert_eq!(
+        snap.counter("requests_total{outcome=\"ok\"}"),
+        Some(THREADS * PER_THREAD)
+    );
+    assert_equivalent(&snap, &sequential_snapshot());
+}
+
+#[test]
+fn merged_per_thread_snapshots_equal_sequential() {
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            thread::spawn(move || {
+                let reg = MetricsRegistry::new();
+                record_all(&reg, t);
+                reg.snapshot()
+            })
+        })
+        .collect();
+    let mut merged = RegistrySnapshot::default();
+    for h in handles {
+        merged.merge(&h.join().unwrap());
+    }
+    assert_equivalent(&merged, &sequential_snapshot());
+}
+
+#[test]
+fn percentiles_are_stable_across_merge_order() {
+    // Merging in any order must yield identical quantiles, because the
+    // sparse bucket representation is canonical (index-sorted).
+    let snaps: Vec<RegistrySnapshot> = (0..THREADS)
+        .map(|t| {
+            let reg = MetricsRegistry::new();
+            record_all(&reg, t);
+            reg.snapshot()
+        })
+        .collect();
+    let mut forward = RegistrySnapshot::default();
+    for s in &snaps {
+        forward.merge(s);
+    }
+    let mut backward = RegistrySnapshot::default();
+    for s in snaps.iter().rev() {
+        backward.merge(s);
+    }
+    assert_eq!(forward, backward);
+    let f = forward.histogram("lat_us").unwrap();
+    let b = backward.histogram("lat_us").unwrap();
+    for p in [0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(f.percentile(p), b.percentile(p));
+    }
+}
