@@ -16,9 +16,9 @@ use cuttlefish_data::{VisionSpec, VisionTask};
 use cuttlefish_dist::{
     run_distributed_observed, DistConfig, DistMetrics, ExchangeKind, NetBuilder,
 };
+use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
 use cuttlefish_telemetry::export::{append_snapshot_jsonl, write_prometheus_file};
 use cuttlefish_telemetry::{MetricsRegistry, NullRecorder};
-use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -81,8 +81,8 @@ fn run_cell(
         cfg.exchange = ExchangeKind::Dense;
     }
     let t0 = Instant::now();
-    let res =
-        run_distributed_observed(&cfg, task, builder(), &NullRecorder, metrics).expect("benchmark run");
+    let res = run_distributed_observed(&cfg, task, builder(), &NullRecorder, metrics)
+        .expect("benchmark run");
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let steps = cfg.total_steps();
     DistCell {

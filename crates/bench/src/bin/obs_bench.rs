@@ -107,7 +107,11 @@ fn micro_bench(quick: bool) -> Vec<MicroResult> {
         });
     };
 
-    push("counter.add", 1, time_ns(iters, |i| counter.add(black_box(i) & 7)));
+    push(
+        "counter.add",
+        1,
+        time_ns(iters, |i| counter.add(black_box(i) & 7)),
+    );
     {
         let c = Arc::clone(&counter);
         push(
@@ -116,13 +120,19 @@ fn micro_bench(quick: bool) -> Vec<MicroResult> {
             time_ns_contended(threads, iters, move |i| c.add(black_box(i) & 7)),
         );
     }
-    push("gauge.set", 1, time_ns(iters, |i| gauge.set(black_box(i as i64))));
+    push(
+        "gauge.set",
+        1,
+        time_ns(iters, |i| gauge.set(black_box(i as i64))),
+    );
     // A spread of values exercises both the exact sub-128 buckets and the
     // log-linear range.
     push(
         "histogram.record",
         1,
-        time_ns(iters, |i| hist.record(black_box(i.wrapping_mul(0x9e37_79b9) & 0xf_ffff))),
+        time_ns(iters, |i| {
+            hist.record(black_box(i.wrapping_mul(0x9e37_79b9) & 0xf_ffff))
+        }),
     );
     {
         let h = Arc::clone(&hist);
@@ -134,9 +144,13 @@ fn micro_bench(quick: bool) -> Vec<MicroResult> {
             }),
         );
     }
-    push("trace_id.mint", 1, time_ns(iters, |_| {
-        black_box(TraceId::mint());
-    }));
+    push(
+        "trace_id.mint",
+        1,
+        time_ns(iters, |_| {
+            black_box(TraceId::mint());
+        }),
+    );
 
     // Snapshot cost over a realistically-populated registry (the three
     // metrics above plus the serving set).
@@ -225,8 +239,12 @@ fn serve_overhead(quick: bool) -> ServeOverheadResult {
     for rep in 0..reps {
         eprintln!("[obs_bench] serve rep {}/{reps} ...", rep + 1);
         baseline = baseline.max(closed_loop_rps(&model, clients, per_client, None));
-        with_metrics =
-            with_metrics.max(closed_loop_rps(&model, clients, per_client, Some(Arc::clone(&metrics))));
+        with_metrics = with_metrics.max(closed_loop_rps(
+            &model,
+            clients,
+            per_client,
+            Some(Arc::clone(&metrics)),
+        ));
     }
     let overhead_pct = 100.0 * (1.0 - with_metrics / baseline.max(1e-9));
     ServeOverheadResult {
@@ -240,7 +258,10 @@ fn serve_overhead(quick: bool) -> ServeOverheadResult {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    eprintln!("[obs_bench] micro primitives ({}) ...", if quick { "quick" } else { "full" });
+    eprintln!(
+        "[obs_bench] micro primitives ({}) ...",
+        if quick { "quick" } else { "full" }
+    );
     let micro = micro_bench(quick);
     let rows: Vec<Vec<String>> = micro
         .iter()
@@ -252,15 +273,25 @@ fn main() {
             ]
         })
         .collect();
-    print_table("observability: per-record cost", &["op", "threads", "ns/op"], &rows);
+    print_table(
+        "observability: per-record cost",
+        &["op", "threads", "ns/op"],
+        &rows,
+    );
 
     let serve = serve_overhead(quick);
     print_table(
         "observability: closed-loop serving overhead",
         &["variant", "rps"],
         &[
-            vec!["no metrics".to_string(), format!("{:.1}", serve.baseline_rps)],
-            vec!["live registry".to_string(), format!("{:.1}", serve.metrics_rps)],
+            vec![
+                "no metrics".to_string(),
+                format!("{:.1}", serve.baseline_rps),
+            ],
+            vec![
+                "live registry".to_string(),
+                format!("{:.1}", serve.metrics_rps),
+            ],
         ],
     );
     let verdict = if serve.overhead_pct < 2.0 {

@@ -311,7 +311,13 @@ fn main() {
             "[serve_bench] {name}: open-loop ({open_requests} req @ {:?}) ...",
             interval
         );
-        let (open, recorder) = open_loop(&model, open_requests, interval, open_deadline, metrics.clone());
+        let (open, recorder) = open_loop(
+            &model,
+            open_requests,
+            interval,
+            open_deadline,
+            metrics.clone(),
+        );
         last_recorder = Some(recorder);
         results.push(VariantResult {
             variant: name,

@@ -1,0 +1,157 @@
+//! Instrumented unbounded MPSC channels.
+//!
+//! The shape the dist worker protocol uses: cloneable [`Sender`]s, one
+//! [`Receiver`], FIFO per channel. `send` and `recv` are scheduler
+//! choice points; `recv` on an empty queue parks the task (the scheduler
+//! marks it blocked, so an empty runnable set is reported as a deadlock
+//! with the blocked channel named). Because only one task executes
+//! between choice points, the check-then-block in `recv` cannot race
+//! with a concurrent `send` — serialization is what makes the model's
+//! blocking logic this simple.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::sched;
+
+struct Chan<T> {
+    id: usize,
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Chan<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The sending half; clone freely.
+pub struct Sender<T> {
+    inner: Arc<Chan<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message (choice point) and wakes blocked receivers.
+    pub fn send(&self, v: T) {
+        sched::yield_point();
+        self.inner.lock().push_back(v);
+        sched::wake_channel(self.inner.id);
+    }
+}
+
+/// The receiving half.
+pub struct Receiver<T> {
+    inner: Arc<Chan<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next message, parking (in model time) until one is
+    /// available. A park with no possible sender is a deadlock the
+    /// scheduler reports as a violation.
+    pub fn recv(&self) -> T {
+        loop {
+            sched::yield_point();
+            if let Some(v) = self.inner.lock().pop_front() {
+                return v;
+            }
+            sched::block_on_channel(self.inner.id);
+        }
+    }
+
+    /// Dequeues the next message if one is ready (choice point).
+    pub fn try_recv(&self) -> Option<T> {
+        sched::yield_point();
+        self.inner.lock().pop_front()
+    }
+
+    /// Number of queued messages. Not a choice point: this is an
+    /// assertion helper (e.g. "protocol left no unconsumed replies"),
+    /// not a modeled operation.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the queue is empty (assertion helper, not a choice point).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Creates a connected (sender, receiver) pair scoped to the current
+/// model run.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let id = sched::register_channel();
+    let inner = Arc::new(Chan {
+        id,
+        queue: Mutex::new(VecDeque::new()),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{Chooser, SplitMix64};
+    use crate::sched::{run_once, spawn, DEFAULT_MAX_STEPS};
+    use std::sync::Arc;
+
+    #[test]
+    fn messages_arrive_in_fifo_order_per_sender() {
+        let r = run_once(
+            Chooser::Random(SplitMix64::new(11)),
+            DEFAULT_MAX_STEPS,
+            Arc::new(|| {
+                let (tx, rx) = channel::<u32>();
+                let h = spawn(move || {
+                    for i in 0..4 {
+                        tx.send(i);
+                    }
+                });
+                let got: Vec<u32> = (0..4).map(|_| rx.recv()).collect();
+                assert_eq!(got, vec![0, 1, 2, 3]);
+                h.join();
+                assert!(rx.is_empty());
+            }),
+        );
+        assert!(r.failure.is_none(), "{:?}", r.failure);
+    }
+
+    #[test]
+    fn two_senders_interleave_but_lose_nothing() {
+        let r = run_once(
+            Chooser::Random(SplitMix64::new(13)),
+            DEFAULT_MAX_STEPS,
+            Arc::new(|| {
+                let (tx, rx) = channel::<u32>();
+                let tx2 = tx.clone();
+                let h1 = spawn(move || {
+                    tx.send(1);
+                    tx.send(2);
+                });
+                let h2 = spawn(move || {
+                    tx2.send(10);
+                    tx2.send(20);
+                });
+                let mut got: Vec<u32> = (0..4).map(|_| rx.recv()).collect();
+                got.sort_unstable();
+                assert_eq!(got, vec![1, 2, 10, 20]);
+                h1.join();
+                h2.join();
+            }),
+        );
+        assert!(r.failure.is_none(), "{:?}", r.failure);
+    }
+}

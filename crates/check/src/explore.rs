@@ -1,0 +1,332 @@
+//! Schedule exploration strategies and violation reporting.
+//!
+//! A schedule is fully determined by the sequence of choices made at
+//! branching choice points, so exploration is a search over choice
+//! traces: [`explore_random`] samples them from seeded PRNG streams
+//! (each iteration's seed derives from the base seed, so any single
+//! failure replays from one printed number), and [`explore_exhaustive`]
+//! enumerates them depth-first by re-running with the last incrementable
+//! choice bumped — the classic stateless-model-checking backtrack. Small
+//! models are provably *complete*; larger ones are explored up to a cap.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use crate::sched::{run_once, RunResult, DEFAULT_MAX_STEPS};
+
+/// SplitMix64: tiny, seedable, high-quality 64-bit PRNG — the same
+/// finalizer the telemetry trace-id minter uses.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// How the scheduler resolves choice points.
+#[derive(Debug, Clone)]
+pub enum Chooser {
+    /// Sample uniformly from a seeded stream.
+    Random(SplitMix64),
+    /// Follow a recorded prefix, then always pick option 0 — used both
+    /// for exhaustive enumeration and for replaying a recorded trace.
+    Guided {
+        /// Choices to follow, in order.
+        prefix: Vec<u32>,
+        /// Position of the next choice to consume.
+        pos: usize,
+    },
+}
+
+/// A failing schedule, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The assertion/deadlock/livelock message.
+    pub message: String,
+    /// The iteration seed, when found by random exploration — replay
+    /// with [`replay`] or `cuttlefish-check --replay <suite> <seed>`.
+    pub seed: Option<u64>,
+    /// The exact choice trace of the failing schedule (always present;
+    /// replayable via [`Chooser::Guided`]).
+    pub trace: Vec<u32>,
+}
+
+/// Outcome of exploring one model.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Suite name, for printing.
+    pub name: String,
+    /// Schedules executed.
+    pub executions: usize,
+    /// Distinct choice traces observed (trace-hash cardinality).
+    pub distinct: usize,
+    /// True when exhaustive exploration enumerated the entire space.
+    pub complete: bool,
+    /// The first violation found, if any; exploration stops on it.
+    pub violation: Option<Violation>,
+}
+
+impl Report {
+    /// Panics with a replay-ready message if the exploration found a
+    /// violation — the convenience form for unit tests.
+    pub fn assert_clean(&self) {
+        let msg = self
+            .violation
+            .as_ref()
+            .map(|v| {
+                let seed = v
+                    .seed
+                    .map(|s| format!("seed {s:#x}"))
+                    .unwrap_or_else(|| "exhaustive".to_string());
+                format!(
+                    "model `{}` violated: {} [replay: {seed}, trace {:?}]",
+                    self.name, v.message, v.trace
+                )
+            })
+            .unwrap_or_default();
+        assert!(self.violation.is_none(), "{msg}");
+    }
+}
+
+fn hash_trace(trace: &[u32]) -> u64 {
+    // FNV-1a over the trace bytes: cheap and collision-resistant enough
+    // for distinct-schedule counting.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &c in trace {
+        for b in c.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Derives the per-iteration seed from the base seed, so a violation at
+/// iteration `i` replays from a single printed value.
+pub fn derive_seed(base: u64, i: usize) -> u64 {
+    let mut rng = SplitMix64::new(base ^ (i as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+    rng.next_u64()
+}
+
+/// Runs `iters` randomized schedules of `body`, stopping at the first
+/// violation.
+pub fn explore_random(
+    name: &str,
+    iters: usize,
+    base_seed: u64,
+    body: Arc<dyn Fn() + Send + Sync>,
+) -> Report {
+    let mut distinct = HashSet::new();
+    for i in 0..iters {
+        let seed = derive_seed(base_seed, i);
+        let r = run_once(
+            Chooser::Random(SplitMix64::new(seed)),
+            DEFAULT_MAX_STEPS,
+            Arc::clone(&body),
+        );
+        distinct.insert(hash_trace(&r.trace));
+        if let Some(message) = r.failure {
+            return Report {
+                name: name.to_string(),
+                executions: i + 1,
+                distinct: distinct.len(),
+                complete: false,
+                violation: Some(Violation {
+                    message,
+                    seed: Some(seed),
+                    trace: r.trace,
+                }),
+            };
+        }
+    }
+    Report {
+        name: name.to_string(),
+        executions: iters,
+        distinct: distinct.len(),
+        complete: false,
+        violation: None,
+    }
+}
+
+/// Re-executes the single schedule that `seed` produces. Pass exactly
+/// the seed a [`Violation`] reported — it is already the derived
+/// per-iteration seed, not the exploration's base seed.
+pub fn replay(seed: u64, body: Arc<dyn Fn() + Send + Sync>) -> RunResult {
+    run_once(
+        Chooser::Random(SplitMix64::new(seed)),
+        DEFAULT_MAX_STEPS,
+        body,
+    )
+}
+
+/// Depth-first exhaustive enumeration of schedules, up to `cap`
+/// executions. After each run, the deepest choice point with an untried
+/// option is bumped and everything after it is reset — when no such
+/// point remains the space is exhausted and the report is `complete`.
+pub fn explore_exhaustive(name: &str, cap: usize, body: Arc<dyn Fn() + Send + Sync>) -> Report {
+    let mut prefix: Vec<u32> = Vec::new();
+    let mut executions = 0usize;
+    let mut distinct = HashSet::new();
+    loop {
+        let r = run_once(
+            Chooser::Guided {
+                prefix: prefix.clone(),
+                pos: 0,
+            },
+            DEFAULT_MAX_STEPS,
+            Arc::clone(&body),
+        );
+        executions += 1;
+        distinct.insert(hash_trace(&r.trace));
+        if let Some(message) = r.failure {
+            return Report {
+                name: name.to_string(),
+                executions,
+                distinct: distinct.len(),
+                complete: false,
+                violation: Some(Violation {
+                    message,
+                    seed: None,
+                    trace: r.trace,
+                }),
+            };
+        }
+        let mut bump = None;
+        for i in (0..r.trace.len()).rev() {
+            if r.trace[i] + 1 < r.widths[i] {
+                bump = Some(i);
+                break;
+            }
+        }
+        match bump {
+            None => {
+                return Report {
+                    name: name.to_string(),
+                    executions,
+                    distinct: distinct.len(),
+                    complete: true,
+                    violation: None,
+                }
+            }
+            Some(i) => {
+                prefix = r.trace[..i].to_vec();
+                prefix.push(r.trace[i] + 1);
+            }
+        }
+        if executions >= cap {
+            return Report {
+                name: name.to_string(),
+                executions,
+                distinct: distinct.len(),
+                complete: false,
+                violation: None,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::spawn;
+    use crate::sync::AtomicU64;
+
+    /// Two tasks, one visible op each (plus the spawn yield): the
+    /// schedule space is tiny and exhaustive search must cover it.
+    #[test]
+    fn exhaustive_enumerates_a_tiny_space_completely() {
+        let body: Arc<dyn Fn() + Send + Sync> = Arc::new(|| {
+            let a = Arc::new(AtomicU64::new(0));
+            let a2 = Arc::clone(&a);
+            let h = spawn(move || {
+                a2.fetch_add(1);
+            });
+            a.fetch_add(2);
+            h.join();
+            assert_eq!(a.load(), 3);
+        });
+        let rep = explore_exhaustive("tiny", 10_000, body);
+        rep.assert_clean();
+        assert!(rep.complete, "space should be fully enumerable");
+        assert!(
+            rep.distinct >= 2,
+            "expected both orders, got {} distinct",
+            rep.distinct
+        );
+        assert_eq!(rep.distinct, rep.executions);
+    }
+
+    /// An order-dependent bug: the exhaustive explorer must find the
+    /// interleaving where the reader runs between the two writes.
+    #[test]
+    fn exhaustive_finds_a_planted_ordering_bug() {
+        let body: Arc<dyn Fn() + Send + Sync> = Arc::new(|| {
+            let lo = Arc::new(AtomicU64::new(0));
+            let hi = Arc::new(AtomicU64::new(0));
+            let (lo2, hi2) = (Arc::clone(&lo), Arc::clone(&hi));
+            let h = spawn(move || {
+                // Writes the halves in the torn order: hi first.
+                hi2.store(1);
+                lo2.store(1);
+            });
+            let (l, h_) = (lo.load(), hi.load());
+            // Invariant (violated by the torn order): hi implies lo.
+            assert!(h_ <= l, "torn read: hi={h_} lo={l}");
+            h.join();
+        });
+        let rep = explore_exhaustive("torn-halves", 10_000, body);
+        let v = rep.violation;
+        assert!(v.is_some(), "explorer missed the planted torn read");
+        let trace = v.map(|v| v.trace).unwrap_or_default();
+        // The violating trace must itself replay to the same failure.
+        let r = run_once(
+            Chooser::Guided {
+                prefix: trace,
+                pos: 0,
+            },
+            DEFAULT_MAX_STEPS,
+            body_again(),
+        );
+        let msg = r.failure.unwrap_or_default();
+        assert!(msg.contains("torn read"), "replay diverged: {msg}");
+    }
+
+    fn body_again() -> Arc<dyn Fn() + Send + Sync> {
+        Arc::new(|| {
+            let lo = Arc::new(AtomicU64::new(0));
+            let hi = Arc::new(AtomicU64::new(0));
+            let (lo2, hi2) = (Arc::clone(&lo), Arc::clone(&hi));
+            let h = spawn(move || {
+                hi2.store(1);
+                lo2.store(1);
+            });
+            let (l, h_) = (lo.load(), hi.load());
+            assert!(h_ <= l, "torn read: hi={h_} lo={l}");
+            h.join();
+        })
+    }
+
+    #[test]
+    fn random_exploration_also_finds_it_and_replays_by_seed() {
+        let rep = explore_random("torn-halves-rand", 500, 0xDECAF, body_again());
+        let v = rep.violation;
+        assert!(v.is_some(), "random explorer missed the torn read");
+        let seed = v.and_then(|v| v.seed);
+        assert!(seed.is_some());
+        let r = replay(seed.unwrap_or(0), body_again());
+        let msg = r.failure.unwrap_or_default();
+        assert!(msg.contains("torn read"), "seed replay diverged: {msg}");
+    }
+}

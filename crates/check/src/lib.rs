@@ -1,0 +1,48 @@
+//! Deterministic-interleaving model checking for the workspace's
+//! concurrent protocols — a dependency-free "shuttle-lite".
+//!
+//! Real concurrency tests only witness the interleavings the OS
+//! scheduler happens to produce; the bugs live in the ones it doesn't.
+//! This crate serializes a model's tasks onto real OS threads under a
+//! token-passing scheduler: exactly one task runs at a time, every
+//! instrumented operation ([`sync::AtomicU64`] ops, [`channel`]
+//! send/recv, [`spawn`]) is a *choice point*, and at each choice point a
+//! pluggable [`Chooser`] decides which runnable task executes next. The
+//! resulting schedule is a pure function of the chooser's decisions, so:
+//!
+//! - **randomized exploration** ([`explore_random`]) samples thousands
+//!   of distinct schedules from seeded [`SplitMix64`] streams;
+//! - **bounded exhaustive exploration** ([`explore_exhaustive`])
+//!   enumerates schedules depth-first by backtracking the recorded
+//!   choice trace, and can prove small state spaces *complete*;
+//! - **replay** ([`replay`]) re-executes the exact failing schedule from
+//!   the seed printed in a violation, turning a one-in-ten-thousand
+//!   interleaving bug into a deterministic unit test.
+//!
+//! Failures are ordinary `assert!` panics inside the model, plus two the
+//! scheduler detects itself: deadlock (no task runnable, not all
+//! finished) and livelock (step budget exhausted). All of them surface
+//! as a [`Violation`] carrying the seed and choice trace.
+//!
+//! The models under [`models`] check three production protocols against
+//! the real workspace code they instrument: the sharded telemetry
+//! metrics plane (via [`cuttlefish_telemetry::metrics::bucket_index`]
+//! and `HistogramSnapshot::percentile`), the dist coordinator's lockstep
+//! round (via [`cuttlefish_dist::contribution_outcome`] and
+//! [`cuttlefish_dist::FaultPlan`]), and the parallel GEMM row-striping
+//! plan (via [`cuttlefish_tensor::kernel::stripe_rows`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod explore;
+pub mod models;
+pub mod sched;
+pub mod sync;
+
+pub use channel::{channel, Receiver, Sender};
+pub use explore::{
+    explore_exhaustive, explore_random, replay, Chooser, Report, SplitMix64, Violation,
+};
+pub use sched::{run_once, spawn, JoinHandle, RunResult};

@@ -1,0 +1,198 @@
+//! `cuttlefish-check`: explore the model suites and report.
+//!
+//! Default run: every suite under randomized + bounded-exhaustive
+//! exploration, printing per-suite schedule counts and failing (exit 1)
+//! on any violation — with the replay seed and trace in the message.
+//!
+//! Flags:
+//! - `--quick`: CI smoke — same suites, far fewer schedules;
+//! - `--replay <suite> <seed>`: re-execute one schedule of one suite;
+//! - `--list`: print suite names.
+//!
+//! Building with `RUSTFLAGS="--cfg check_demo"` adds the planted
+//! torn-histogram bug to the run; the checker must *catch* it (and
+//! print the replay seed) or the binary exits nonzero — a self-test
+//! that the explorer actually finds order-dependent bugs.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use cuttlefish_check::models::{lockstep, metrics, stripe};
+use cuttlefish_check::{explore_exhaustive, explore_random, replay, Report};
+
+type Body = Arc<dyn Fn() + Send + Sync>;
+
+fn suites() -> Vec<(&'static str, Body)> {
+    vec![
+        ("metrics-counter", Arc::new(metrics::counter_model) as Body),
+        ("metrics-histogram", Arc::new(metrics::histogram_model)),
+        (
+            "lockstep-switch",
+            Arc::new(|| lockstep::lockstep_model(&lockstep::scenario_switch())),
+        ),
+        (
+            "lockstep-straggler",
+            Arc::new(|| lockstep::lockstep_model(&lockstep::scenario_straggler_crossing_switch())),
+        ),
+        (
+            "lockstep-churn",
+            Arc::new(|| lockstep::lockstep_model(&lockstep::scenario_churn())),
+        ),
+        ("stripe-13x3", Arc::new(|| stripe::stripe_model(13, 3))),
+        ("stripe-29x4", Arc::new(|| stripe::stripe_model(29, 4))),
+    ]
+}
+
+fn body_for(name: &str) -> Option<Body> {
+    suites()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, b)| b)
+}
+
+fn print_report(kind: &str, rep: &Report) -> bool {
+    match &rep.violation {
+        Some(v) => {
+            let seed = v
+                .seed
+                .map(|s| format!("{s:#x}"))
+                .unwrap_or_else(|| "-".to_string());
+            println!(
+                "FAIL {:<22} {kind:<10} {} schedules | {}\n     replay seed {seed} trace {:?}",
+                rep.name, rep.executions, v.message, v.trace
+            );
+            false
+        }
+        None => {
+            println!(
+                "ok   {:<22} {kind:<10} {} schedules ({} distinct{})",
+                rep.name,
+                rep.executions,
+                rep.distinct,
+                if rep.complete { ", complete" } else { "" }
+            );
+            true
+        }
+    }
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn run_all(quick: bool) -> ExitCode {
+    let (rand_iters, ex_cap) = if quick { (60, 60) } else { (1_600, 400) };
+    let mut total_distinct = 0usize;
+    let mut ok = true;
+    for (name, body) in suites() {
+        let rep = explore_random(name, rand_iters, 0xCu64 ^ fnv(name), Arc::clone(&body));
+        total_distinct += rep.distinct;
+        ok &= print_report("random", &rep);
+        let rep = explore_exhaustive(name, ex_cap, body);
+        total_distinct += rep.distinct;
+        ok &= print_report("exhaustive", &rep);
+    }
+    println!("total distinct schedules explored: {total_distinct}");
+    if !ok {
+        return ExitCode::FAILURE;
+    }
+    if demo_outcome() == Some(false) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// With `--cfg check_demo`: runs the planted torn-order histogram and
+/// returns whether the checker caught it. `None` when not compiled in.
+#[cfg(check_demo)]
+fn demo_outcome() -> Option<bool> {
+    let rep = explore_random(
+        "histogram-torn-demo",
+        4_000,
+        0xBAD,
+        Arc::new(metrics::histogram_torn_model),
+    );
+    match &rep.violation {
+        Some(v) => {
+            let seed = v.seed.map(|s| format!("{s:#x}")).unwrap_or_default();
+            println!(
+                "demo: planted torn-read bug CAUGHT after {} schedules: {}\n      \
+                 replay: cuttlefish-check --replay histogram-torn-demo {seed}",
+                rep.executions, v.message
+            );
+            Some(true)
+        }
+        None => {
+            println!(
+                "demo: planted torn-read bug NOT caught in {} schedules — explorer is broken",
+                rep.executions
+            );
+            Some(false)
+        }
+    }
+}
+
+#[cfg(not(check_demo))]
+fn demo_outcome() -> Option<bool> {
+    None
+}
+
+fn replay_one(name: &str, seed_str: &str) -> ExitCode {
+    let seed = match seed_str.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => seed_str.parse().ok(),
+    };
+    let Some(seed) = seed else {
+        println!("unparseable seed `{seed_str}`");
+        return ExitCode::FAILURE;
+    };
+    let body = if name == "histogram-torn-demo" {
+        Some(Arc::new(metrics::histogram_torn_model) as Body)
+    } else {
+        body_for(name)
+    };
+    let Some(body) = body else {
+        println!("unknown suite `{name}` (try --list)");
+        return ExitCode::FAILURE;
+    };
+    let r = replay(seed, body);
+    match r.failure {
+        Some(msg) => {
+            println!(
+                "replay {name} seed {seed:#x}: VIOLATION\n  {msg}\n  trace {:?}",
+                r.trace
+            );
+            ExitCode::FAILURE
+        }
+        None => {
+            println!("replay {name} seed {seed:#x}: clean ({} steps)", r.steps);
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => run_all(false),
+        Some("--quick") => run_all(true),
+        Some("--list") => {
+            for (name, _) in suites() {
+                println!("{name}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--replay") if args.len() == 3 => replay_one(&args[1], &args[2]),
+        Some(other) => {
+            println!(
+                "usage: cuttlefish-check [--quick | --list | --replay <suite> <seed>] (got `{other}`)"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,553 @@
+//! Model 2: the dist coordinator's lockstep round.
+//!
+//! Ports the coordinator/worker protocol skeleton onto the instrumented
+//! channels: a coordinator task drives worker tasks through
+//! Step→Grads→reduce→Apply rounds, with the factorization-switch
+//! broadcast, straggler buffering, crash removal, and digest-verified
+//! elastic join of the production coordinator. Fault schedules come
+//! from the *production* [`FaultPlan`] (validated by the production
+//! validator) and apply-or-drop decisions from the production
+//! [`contribution_outcome`], so the explorer exercises exactly the
+//! policy the live coordinator runs. Worker state is a 64-bit digest
+//! mixed from every applied update — cheap enough to model-check, strong
+//! enough that any divergence in what was applied, or in which order,
+//! changes it.
+//!
+//! Checked invariants, on every schedule:
+//!
+//! - **no deadlock / no lost reply**: the run always completes, the
+//!   gradient buffer is empty at the end, the reply channel is drained,
+//!   and every Step produced exactly one settled frame (conservation);
+//! - **layout purity**: a reduction never folds a pre-switch (dense)
+//!   frame after the switch — [`contribution_outcome`]'s drop rule is
+//!   *sufficient* under adversarial scheduling, which is checked by
+//!   asserting the layout tag of every folded frame;
+//! - **digest agreement**: worker 0's digest equals the coordinator's
+//!   mirror at every sync point, and every live worker's final digest
+//!   (stragglers resynced mid-run, joiners synced at entry) equals the
+//!   mirror at the end.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cuttlefish_dist::{contribution_outcome, ContributionOutcome, FaultPlan};
+
+use crate::channel::{channel, Receiver, Sender};
+use crate::sched::{spawn, JoinHandle};
+
+/// Salt mixed into every digest at the factorization switch, modeling
+/// the SVD re-initialization changing parameter state on all replicas.
+const SWITCH_SALT: u64 = 0x5EED_0F0F_CAFE_D00D;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Digest transition: order-sensitive mix, so applying updates in a
+/// different order (or missing one) yields a different digest.
+fn mix(state: u64, update: u64) -> u64 {
+    splitmix64(state ^ update.rotate_left(17))
+}
+
+/// The gradient a worker computes for `step`; tagged with the layout it
+/// was computed against (false = dense, true = factorized).
+fn grad_of(worker: usize, step: usize, switched: bool) -> u64 {
+    splitmix64(((worker as u64) << 32) ^ (step as u64 + 1) ^ ((switched as u64) << 63))
+}
+
+enum Cmd {
+    /// Compute a gradient for this round.
+    Step { round: usize },
+    /// Fold the round's reduced update into local state.
+    Apply { update: u64 },
+    /// Switch to the factorized layout (rank-plan broadcast).
+    Switch,
+    /// Report current state digest.
+    Capture,
+    /// Overwrite local state/layout from the anchor (straggler resync,
+    /// elastic join catch-up).
+    Sync { state: u64, switched: bool },
+    /// Exit the worker loop.
+    Stop,
+}
+
+enum Rep {
+    Grads {
+        worker: usize,
+        step: usize,
+        layout_switched: bool,
+        grad: u64,
+    },
+    State {
+        worker: usize,
+        state: u64,
+    },
+    Synced {
+        worker: usize,
+        state: u64,
+    },
+    Stopped {
+        worker: usize,
+    },
+}
+
+fn worker_task(id: usize, rx: Receiver<Cmd>, tx: Sender<Rep>) {
+    let mut state = 0u64;
+    let mut switched = false;
+    loop {
+        match rx.recv() {
+            Cmd::Step { round } => tx.send(Rep::Grads {
+                worker: id,
+                step: round,
+                layout_switched: switched,
+                grad: grad_of(id, round, switched),
+            }),
+            Cmd::Apply { update } => state = mix(state, update),
+            Cmd::Switch => {
+                switched = true;
+                state = mix(state, SWITCH_SALT);
+            }
+            Cmd::Capture => tx.send(Rep::State { worker: id, state }),
+            Cmd::Sync {
+                state: s,
+                switched: sw,
+            } => {
+                state = s;
+                switched = sw;
+                tx.send(Rep::Synced { worker: id, state });
+            }
+            Cmd::Stop => {
+                tx.send(Rep::Stopped { worker: id });
+                return;
+            }
+        }
+    }
+}
+
+/// One lockstep run's shape: fleet size, length, switch round,
+/// staleness bound, and the injected fault schedule.
+pub struct Scenario {
+    /// Initial fleet size.
+    pub workers: usize,
+    /// Lockstep rounds.
+    pub rounds: usize,
+    /// Round at which the rank-plan broadcast flips the layout.
+    pub switch_round: Option<usize>,
+    /// Max rounds a late gradient may lag and still be applied.
+    pub staleness_bound: usize,
+    /// Injected stragglers/crashes/joins.
+    pub plan: FaultPlan,
+}
+
+struct Fleet {
+    cmd: BTreeMap<usize, Sender<Cmd>>,
+    handles: Vec<JoinHandle>,
+    rep_tx: Sender<Rep>,
+    rep_rx: Receiver<Rep>,
+}
+
+impl Fleet {
+    fn spawn_worker(&mut self, id: usize) {
+        let (tx, rx) = channel();
+        let rep = self.rep_tx.clone();
+        self.handles.push(spawn(move || worker_task(id, rx, rep)));
+        self.cmd.insert(id, tx);
+    }
+
+    fn send(&self, id: usize, cmd: Cmd) {
+        let Some(tx) = self.cmd.get(&id) else {
+            unreachable!("command to unknown worker {id}")
+        };
+        tx.send(cmd);
+    }
+}
+
+/// A buffered gradient frame.
+#[derive(Clone, Copy)]
+struct Frame {
+    layout_switched: bool,
+    grad: u64,
+}
+
+/// Receives replies until `pred` matches, buffering stray gradient
+/// frames (they may arrive from busy stragglers at any point); any
+/// other unexpected reply is a protocol violation.
+fn gather<T>(
+    rx: &Receiver<Rep>,
+    buffer: &mut BTreeMap<(usize, usize), Frame>,
+    mut pred: impl FnMut(&Rep) -> Option<T>,
+) -> T {
+    loop {
+        let rep = rx.recv();
+        if let Some(v) = pred(&rep) {
+            return v;
+        }
+        match rep {
+            Rep::Grads {
+                worker,
+                step,
+                layout_switched,
+                grad,
+            } => {
+                let prev = buffer.insert(
+                    (worker, step),
+                    Frame {
+                        layout_switched,
+                        grad,
+                    },
+                );
+                assert!(
+                    prev.is_none(),
+                    "duplicate gradient frame from worker {worker} step {step}"
+                );
+            }
+            Rep::State { worker, .. } => {
+                unreachable!("unsolicited State from worker {worker}")
+            }
+            Rep::Synced { worker, .. } => {
+                unreachable!("unsolicited Synced from worker {worker}")
+            }
+            Rep::Stopped { worker } => {
+                unreachable!("unsolicited Stopped from worker {worker}")
+            }
+        }
+    }
+}
+
+/// Receives exactly one reply, which must be a gradient frame, and
+/// buffers it — the coordinator's gather loop while frames are missing.
+fn absorb_frame(rx: &Receiver<Rep>, buffer: &mut BTreeMap<(usize, usize), Frame>) {
+    match rx.recv() {
+        Rep::Grads {
+            worker,
+            step,
+            layout_switched,
+            grad,
+        } => {
+            let prev = buffer.insert(
+                (worker, step),
+                Frame {
+                    layout_switched,
+                    grad,
+                },
+            );
+            assert!(
+                prev.is_none(),
+                "duplicate gradient frame from worker {worker} step {step}"
+            );
+        }
+        _ => unreachable!("non-gradient reply while gathering frames"),
+    }
+}
+
+/// Captures the anchor's digest and checks it against the coordinator's
+/// mirror — the digest-agreement invariant at every sync point.
+fn capture_anchor(fleet: &Fleet, buffer: &mut BTreeMap<(usize, usize), Frame>, mirror: u64) -> u64 {
+    fleet.send(0, Cmd::Capture);
+    let s = gather(&fleet.rep_rx, buffer, |rep| match rep {
+        Rep::State { worker: 0, state } => Some(*state),
+        _ => None,
+    });
+    assert_eq!(s, mirror, "anchor digest diverged from coordinator mirror");
+    s
+}
+
+/// Syncs `id` to the anchor state and verifies the digest echo.
+fn sync_worker(
+    fleet: &Fleet,
+    buffer: &mut BTreeMap<(usize, usize), Frame>,
+    id: usize,
+    state: u64,
+    switched: bool,
+) {
+    fleet.send(id, Cmd::Sync { state, switched });
+    let echoed = gather(&fleet.rep_rx, buffer, |rep| match rep {
+        Rep::Synced { worker, state: s } if *worker == id => Some(*s),
+        _ => None,
+    });
+    assert_eq!(echoed, state, "worker {id} synced to a diverged digest");
+}
+
+/// Runs one lockstep scenario to completion, asserting the protocol
+/// invariants along the way. Panics (→ violation) on any breach.
+pub fn lockstep_model(sc: &Scenario) {
+    assert!(
+        sc.plan.validate(sc.workers, sc.rounds).is_ok(),
+        "scenario fault plan must validate"
+    );
+    let (rep_tx, rep_rx) = channel();
+    let mut fleet = Fleet {
+        cmd: BTreeMap::new(),
+        handles: Vec::new(),
+        rep_tx,
+        rep_rx,
+    };
+    for id in 0..sc.workers {
+        fleet.spawn_worker(id);
+    }
+    let mut live: BTreeSet<usize> = (0..sc.workers).collect();
+    // worker -> (due round, origin round) for in-flight stragglers.
+    let mut busy: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
+    let mut buffer: BTreeMap<(usize, usize), Frame> = BTreeMap::new();
+    let mut mirror = 0u64;
+    let mut mirror_switched = false;
+    let mut steps_sent = 0usize;
+    let mut frames_settled = 0usize;
+
+    for round in 0..sc.rounds {
+        // Crashes at the start of the round: stop and remove. The plan
+        // validator guarantees a crashing worker is not mid-straggle.
+        let crashing: Vec<usize> = live
+            .iter()
+            .copied()
+            .filter(|&w| sc.plan.crash_at(w, round))
+            .collect();
+        for w in crashing {
+            fleet.send(w, Cmd::Stop);
+            gather(&fleet.rep_rx, &mut buffer, |rep| match rep {
+                Rep::Stopped { worker } if *worker == w => Some(()),
+                _ => None,
+            });
+            live.remove(&w);
+        }
+        // Elastic joins: spawn, catch up to the current layout and the
+        // anchor's exact state, digest-verified.
+        for j in sc.plan.joins_at(round) {
+            fleet.spawn_worker(j.worker);
+            let anchor = capture_anchor(&fleet, &mut buffer, mirror);
+            sync_worker(&fleet, &mut buffer, j.worker, anchor, mirror_switched);
+            live.insert(j.worker);
+        }
+        // Rank-plan broadcast: per-worker FIFO guarantees a worker sees
+        // Switch before this round's Step, so its frame is post-switch.
+        // Busy stragglers get caught up by their return resync instead.
+        if sc.switch_round == Some(round) {
+            for &w in &live {
+                if !busy.contains_key(&w) {
+                    fleet.send(w, Cmd::Switch);
+                }
+            }
+            mirror = mix(mirror, SWITCH_SALT);
+            mirror_switched = true;
+        }
+        // Step the available fleet; a worker starting a straggle episode
+        // still computes, but its frame settles `delay_steps` rounds late.
+        let mut on_time: Vec<usize> = Vec::new();
+        for &w in &live {
+            if busy.contains_key(&w) {
+                continue;
+            }
+            fleet.send(w, Cmd::Step { round });
+            steps_sent += 1;
+            if let Some(s) = sc.plan.straggler_at(w, round) {
+                busy.insert(w, (round + s.delay_steps, round));
+            } else {
+                on_time.push(w);
+            }
+        }
+        // This round's reduction folds on-time frames plus any straggler
+        // frames that are due, in worker-id order (deterministic f32-sum
+        // order in the real coordinator; deterministic mix order here).
+        let mut needed: BTreeMap<usize, usize> = on_time.iter().map(|&w| (w, round)).collect();
+        let returning: Vec<usize> = busy
+            .iter()
+            .filter(|&(_, &(due, _))| due == round)
+            .map(|(&w, _)| w)
+            .collect();
+        for &w in &returning {
+            let Some(&(_, origin)) = busy.get(&w) else {
+                unreachable!()
+            };
+            needed.insert(w, origin);
+        }
+        while !needed
+            .iter()
+            .all(|(&w, &step)| buffer.contains_key(&(w, step)))
+        {
+            absorb_frame(&fleet.rep_rx, &mut buffer);
+        }
+        let mut update = 0u64;
+        let mut applied = 0usize;
+        for (&w, &origin) in &needed {
+            let Some(frame) = buffer.remove(&(w, origin)) else {
+                unreachable!()
+            };
+            frames_settled += 1;
+            // The production coordinator's `switch_round` is `None` until
+            // the switch actually fires; before that, dense frames fold
+            // into the (still dense) reduction normally.
+            let switch = if mirror_switched {
+                sc.switch_round
+            } else {
+                None
+            };
+            match contribution_outcome(round, origin, sc.staleness_bound, switch) {
+                ContributionOutcome::Applied { .. } => {
+                    assert_eq!(
+                        frame.layout_switched, mirror_switched,
+                        "worker {w} frame from round {origin} folded across the layout switch"
+                    );
+                    update = mix(update, frame.grad);
+                    applied += 1;
+                }
+                ContributionOutcome::Dropped { .. } => {}
+            }
+        }
+        assert!(
+            applied >= 1,
+            "round {round} reduced zero contributions (anchor must always land)"
+        );
+        for &w in &on_time {
+            fleet.send(w, Cmd::Apply { update });
+        }
+        mirror = mix(mirror, update);
+        // Returning stragglers missed the applies while busy: resync
+        // them from the anchor, exactly like the production catch-up.
+        for w in returning {
+            busy.remove(&w);
+            let anchor = capture_anchor(&fleet, &mut buffer, mirror);
+            sync_worker(&fleet, &mut buffer, w, anchor, mirror_switched);
+        }
+    }
+
+    // Drain: every live worker's digest must equal the mirror, then all
+    // workers stop and every bookkeeping structure must be empty.
+    assert!(busy.is_empty(), "straggler never returned");
+    for &w in &live {
+        fleet.send(w, Cmd::Capture);
+        let s = gather(&fleet.rep_rx, &mut buffer, |rep| match rep {
+            Rep::State { worker, state } if *worker == w => Some(*state),
+            _ => None,
+        });
+        assert_eq!(s, mirror, "worker {w} final digest diverged");
+    }
+    for &w in &live {
+        fleet.send(w, Cmd::Stop);
+        gather(&fleet.rep_rx, &mut buffer, |rep| match rep {
+            Rep::Stopped { worker } if *worker == w => Some(()),
+            _ => None,
+        });
+    }
+    assert!(
+        buffer.is_empty(),
+        "lost replies: {} undrained gradient frames",
+        buffer.len()
+    );
+    assert!(fleet.rep_rx.is_empty(), "reply channel not drained");
+    assert_eq!(
+        steps_sent, frames_settled,
+        "frame conservation: {steps_sent} steps sent, {frames_settled} frames settled"
+    );
+    for h in fleet.handles {
+        h.join();
+    }
+}
+
+/// Scenario A: three workers, a mid-run factorization switch, no faults
+/// — the happy path under adversarial scheduling.
+pub fn scenario_switch() -> Scenario {
+    Scenario {
+        workers: 3,
+        rounds: 4,
+        switch_round: Some(2),
+        staleness_bound: 2,
+        plan: FaultPlan::none(),
+    }
+}
+
+/// Scenario B: a straggler whose delayed frame crosses the switch round
+/// — its dense frame arrives after the layout flip and must be dropped
+/// by the production policy, never folded.
+pub fn scenario_straggler_crossing_switch() -> Scenario {
+    Scenario {
+        workers: 3,
+        rounds: 5,
+        switch_round: Some(2),
+        staleness_bound: 3,
+        plan: FaultPlan {
+            stragglers: vec![cuttlefish_dist::StragglerEvent {
+                worker: 1,
+                step: 1,
+                delay_steps: 2,
+                delay_ms: 0,
+            }],
+            ..FaultPlan::none()
+        },
+    }
+}
+
+/// Scenario C: a crash and an elastic join in the same run — membership
+/// churn with digest-verified catch-up.
+pub fn scenario_churn() -> Scenario {
+    Scenario {
+        workers: 3,
+        rounds: 5,
+        switch_round: None,
+        staleness_bound: 1,
+        plan: FaultPlan {
+            crashes: vec![cuttlefish_dist::CrashEvent { worker: 2, step: 1 }],
+            joins: vec![cuttlefish_dist::JoinEvent { worker: 3, step: 3 }],
+            ..FaultPlan::none()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore_exhaustive, explore_random};
+    use std::sync::Arc;
+
+    #[test]
+    fn switch_scenario_clean_under_random_schedules() {
+        explore_random(
+            "lockstep-switch",
+            200,
+            0xD1,
+            Arc::new(|| lockstep_model(&scenario_switch())),
+        )
+        .assert_clean();
+    }
+
+    #[test]
+    fn straggler_crossing_switch_clean_under_random_schedules() {
+        explore_random(
+            "lockstep-straggler",
+            200,
+            0xD2,
+            Arc::new(|| lockstep_model(&scenario_straggler_crossing_switch())),
+        )
+        .assert_clean();
+    }
+
+    #[test]
+    fn churn_scenario_clean_under_random_schedules() {
+        explore_random(
+            "lockstep-churn",
+            200,
+            0xD3,
+            Arc::new(|| lockstep_model(&scenario_churn())),
+        )
+        .assert_clean();
+    }
+
+    #[test]
+    fn minimal_fleet_clean_under_bounded_exhaustive() {
+        explore_exhaustive(
+            "lockstep-ex",
+            300,
+            Arc::new(|| {
+                lockstep_model(&Scenario {
+                    workers: 2,
+                    rounds: 2,
+                    switch_round: Some(1),
+                    staleness_bound: 1,
+                    plan: FaultPlan::none(),
+                })
+            }),
+        )
+        .assert_clean();
+    }
+}

@@ -1,0 +1,245 @@
+//! Model 1: the sharded telemetry metrics plane.
+//!
+//! Mirrors `cuttlefish_telemetry::metrics` on the instrumented atomics:
+//! a sharded counter (writers land on per-task shards, readers sweep)
+//! and a histogram whose bucket math, snapshot assembly, and percentile
+//! estimation are the *production* functions
+//! ([`bucket_index`], [`HistogramSnapshot::percentile`]) — only the
+//! atomic cells are shims. Checked invariants:
+//!
+//! - counter totals are monotone across concurrent sweeps, never exceed
+//!   the true total, and both merge orders agree once quiesced;
+//! - every histogram snapshot is *coherent*: `count == Σ buckets`, and
+//!   when `count > 0` the bounds are real (`min != u64::MAX`,
+//!   `min <= max`) and `min <= p50 <= max`;
+//! - [`histogram_torn_model`] plants the pre-fix recording order
+//!   (bucket increment before the bounds) and must be *caught* — it is
+//!   the explorer's canary, wired to `--check-demo` in the binary.
+
+use std::sync::Arc;
+
+use cuttlefish_telemetry::metrics::bucket_index;
+use cuttlefish_telemetry::HistogramSnapshot;
+
+use crate::sched::spawn;
+use crate::sync::AtomicU64;
+
+const SHARDS: usize = 4;
+
+/// Sharded counter: adds go to the caller's shard, totals sweep all
+/// shards — the same layout as the production `Counter`.
+struct ShardedCounter {
+    shards: Vec<AtomicU64>,
+}
+
+impl ShardedCounter {
+    fn new() -> ShardedCounter {
+        ShardedCounter {
+            shards: (0..SHARDS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn add(&self, shard: usize, n: u64) {
+        self.shards[shard % SHARDS].fetch_add(n);
+    }
+
+    fn total_forward(&self) -> u64 {
+        self.shards.iter().map(|s| s.load()).sum()
+    }
+
+    fn total_reverse(&self) -> u64 {
+        self.shards.iter().rev().map(|s| s.load()).sum()
+    }
+}
+
+/// Counter model: two writers add 1+2+3 each to distinct shards while
+/// the root task sweeps totals twice, then everyone joins and the final
+/// totals must be exact in both merge orders.
+pub fn counter_model() {
+    let c = Arc::new(ShardedCounter::new());
+    let mut handles = Vec::new();
+    for w in 0..2usize {
+        let c2 = Arc::clone(&c);
+        handles.push(spawn(move || {
+            for i in 1..=3u64 {
+                c2.add(w, i);
+            }
+        }));
+    }
+    let t1 = c.total_forward();
+    let t2 = c.total_forward();
+    assert!(t2 >= t1, "counter total went backwards: {t1} -> {t2}");
+    assert!(t2 <= 12, "counter total overshot mid-run: {t2}");
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(c.total_forward(), 12, "quiesced forward total");
+    assert_eq!(c.total_reverse(), 12, "merge order must be immaterial");
+}
+
+/// Histogram mirror on the shims. `NB` covers the model's value range
+/// (all values < 128 land in unit sub-buckets of the production bucket
+/// scheme, so `bucket_index` is exercised unmodified).
+const NB: usize = 8;
+
+struct CHistogram {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl CHistogram {
+    fn new() -> CHistogram {
+        CHistogram {
+            buckets: (0..NB).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// The production recording order after the coherence fix: bounds
+    /// first, bucket increment last, so a snapshot that sees the count
+    /// also sees the bounds that produced it.
+    fn record_fixed(&self, v: u64) {
+        self.sum.fetch_add(v);
+        self.max.fetch_max(v);
+        self.min.fetch_min(v);
+        self.buckets[bucket_index(v)].fetch_add(1);
+    }
+
+    /// The pre-fix order: bucket first, bounds after. A snapshot between
+    /// the increment and the `fetch_min` observes `count > 0` with
+    /// `min == u64::MAX` — the torn read the fix eliminates.
+    fn record_torn(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1);
+        self.sum.fetch_add(v);
+        self.max.fetch_max(v);
+        self.min.fetch_min(v);
+    }
+
+    /// Snapshot in the production order: buckets first, then bounds —
+    /// assembled into the real [`HistogramSnapshot`] so `percentile`
+    /// is the production estimator.
+    fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load();
+            if n > 0 {
+                buckets.push((i as u32, n));
+                count += n;
+            }
+        }
+        let sum = self.sum.load();
+        let max = self.max.load();
+        let min = self.min.load();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+            max: if count == 0 { 0 } else { max },
+            min: if count == 0 { 0 } else { min },
+        }
+    }
+}
+
+fn assert_coherent(s: &HistogramSnapshot) {
+    let bucket_total: u64 = s.buckets.iter().map(|&(_, n)| n).sum();
+    assert_eq!(s.count, bucket_total, "count disagrees with bucket sum");
+    if s.count == 0 {
+        return;
+    }
+    assert!(
+        s.min != u64::MAX,
+        "snapshot saw a recorded value but no min bound (torn read)"
+    );
+    assert!(s.min <= s.max, "min {} > max {}", s.min, s.max);
+    let p50 = s.percentile(0.5);
+    assert!(
+        p50 >= s.min as f64 && p50 <= s.max as f64,
+        "p50 {p50} outside [{}, {}]",
+        s.min,
+        s.max
+    );
+}
+
+fn histogram_model_with(record: fn(&CHistogram, u64)) {
+    let h = Arc::new(CHistogram::new());
+    let h1 = Arc::clone(&h);
+    let t1 = spawn(move || {
+        record(&h1, 1);
+        record(&h1, 5);
+    });
+    let h2 = Arc::clone(&h);
+    let t2 = spawn(move || {
+        record(&h2, 2);
+        record(&h2, 7);
+    });
+    // Reader interleaved with the writers: every observable snapshot
+    // must be coherent, mid-stream or not.
+    assert_coherent(&h.snapshot());
+    assert_coherent(&h.snapshot());
+    t1.join();
+    t2.join();
+    let s = h.snapshot();
+    assert_coherent(&s);
+    assert_eq!(
+        (s.count, s.sum, s.min, s.max),
+        (4, 15, 1, 7),
+        "quiesced snapshot"
+    );
+}
+
+/// Histogram model with the fixed recording order — must pass every
+/// schedule.
+pub fn histogram_model() {
+    histogram_model_with(CHistogram::record_fixed);
+}
+
+/// Histogram model with the torn recording order — the checker must
+/// find the violating schedule (`count > 0`, `min == u64::MAX`).
+pub fn histogram_torn_model() {
+    histogram_model_with(CHistogram::record_torn);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore_exhaustive, explore_random};
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_clean_under_random_schedules() {
+        explore_random("counter", 300, 0xC0, Arc::new(counter_model)).assert_clean();
+    }
+
+    #[test]
+    fn counter_clean_under_bounded_exhaustive() {
+        explore_exhaustive("counter-ex", 400, Arc::new(counter_model)).assert_clean();
+    }
+
+    #[test]
+    fn fixed_histogram_clean_under_random_schedules() {
+        explore_random("histogram", 300, 0x41, Arc::new(histogram_model)).assert_clean();
+    }
+
+    #[test]
+    fn torn_histogram_is_caught_and_replays() {
+        let rep = explore_random(
+            "histogram-torn",
+            2_000,
+            0xBAD,
+            Arc::new(histogram_torn_model),
+        );
+        let v = rep.violation;
+        assert!(v.is_some(), "checker missed the torn snapshot bug");
+        let seed = v.and_then(|v| v.seed).unwrap_or(0);
+        let r = crate::explore::replay(seed, Arc::new(histogram_torn_model));
+        assert!(
+            r.failure.is_some(),
+            "violation seed {seed:#x} did not replay"
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Model-checked ports of the workspace's three concurrent protocols.
+//!
+//! Each model re-implements a protocol's *coordination skeleton* on the
+//! instrumented shims while importing the production crate's actual
+//! decision logic (bucket math, apply-or-drop policy, stripe plan), so
+//! a schedule that breaks the model breaks the same invariant the real
+//! code relies on.
+
+pub mod lockstep;
+pub mod metrics;
+pub mod stripe;

@@ -1,0 +1,605 @@
+//! The token-passing scheduler.
+//!
+//! A model run owns a set of *tasks*, each backed by a real OS thread,
+//! but only one task ever executes between two choice points: everyone
+//! else parks on a condvar waiting for `current` to name them. At each
+//! choice point the running task consults the run's [`Chooser`] to pick
+//! the next task among the runnable set (recording the decision in the
+//! choice trace whenever more than one task could run), hands the token
+//! over, and parks. Model code between two choice points is therefore
+//! atomic — exactly the semantics of a sequentially-consistent
+//! interleaving model.
+//!
+//! Failure handling: a model assertion panics inside the task; the panic
+//! is caught at the task boundary, recorded as the run's failure, and
+//! every other task is unwound with a private `StopToken` so the run
+//! tears down without executing further model code. The default panic
+//! hook is suppressed for task threads so ten thousand explored
+//! schedules don't print ten thousand backtraces.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, PoisonError};
+
+use crate::explore::Chooser;
+
+/// Default per-run step budget: exceeding it is reported as a livelock.
+pub const DEFAULT_MAX_STEPS: usize = 1 << 16;
+
+/// Private unwind payload used to tear down tasks after a failure or a
+/// step-budget stop; never reported as a failure itself.
+struct StopToken;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    /// Parked in `recv` on the channel with this id.
+    BlockedRecv(usize),
+    /// Parked in `join` on the task with this id.
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct RtState {
+    status: Vec<Status>,
+    current: usize,
+    chooser: Chooser,
+    trace: Vec<u32>,
+    widths: Vec<u32>,
+    failure: Option<String>,
+    stopping: bool,
+    steps: usize,
+    max_steps: usize,
+    next_channel: usize,
+}
+
+impl RtState {
+    fn runnable(&self) -> Vec<usize> {
+        self.status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn all_finished(&self) -> bool {
+        self.status.iter().all(|s| *s == Status::Finished)
+    }
+
+    /// Consults the chooser; records the decision only when it was a real
+    /// choice (width > 1), so traces stay minimal and exhaustive
+    /// enumeration never branches on forced moves.
+    fn choose(&mut self, width: usize) -> usize {
+        if width <= 1 {
+            return 0;
+        }
+        let c = match &mut self.chooser {
+            Chooser::Random(rng) => (rng.next_u64() % width as u64) as usize,
+            Chooser::Guided { prefix, pos } => {
+                let c = if *pos < prefix.len() {
+                    (prefix[*pos] as usize).min(width - 1)
+                } else {
+                    0
+                };
+                *pos += 1;
+                c
+            }
+        };
+        self.trace.push(c as u32);
+        self.widths.push(width as u32);
+        c
+    }
+
+    fn deadlock_message(&self) -> String {
+        let blocked: Vec<String> = self
+            .status
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Status::BlockedRecv(ch) => Some(format!("task {i} blocked on recv(ch{ch})")),
+                Status::BlockedJoin(t) => Some(format!("task {i} blocked on join(task {t})")),
+                _ => None,
+            })
+            .collect();
+        format!("deadlock: no runnable task [{}]", blocked.join(", "))
+    }
+}
+
+pub(crate) struct Runtime {
+    state: Mutex<RtState>,
+    cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Runtime {
+    fn new(chooser: Chooser, max_steps: usize) -> Runtime {
+        Runtime {
+            state: Mutex::new(RtState {
+                status: Vec::new(),
+                current: 0,
+                chooser,
+                trace: Vec::new(),
+                widths: Vec::new(),
+                failure: None,
+                stopping: false,
+                steps: 0,
+                max_steps,
+                next_channel: 0,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RtState> {
+        // A poisoned lock means a task panicked while holding it; the
+        // scheduler state is still coherent (we only ever panic via
+        // stop_unwind *after* releasing the guard), so recover.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Runtime>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> Option<(Arc<Runtime>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Suppresses the default panic hook for model-task threads only: their
+/// panics are caught and reported through [`RunResult::failure`], and an
+/// explorer intentionally triggers thousands of them.
+fn install_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let in_task = CTX.with(|c| c.borrow().is_some());
+            if !in_task {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn stop_unwind() -> ! {
+    panic::panic_any(StopToken)
+}
+
+/// Parks until the scheduler token names `me`; unwinds if the run is
+/// stopping. Consumes the guard so the lock is released while parked.
+fn wait_for_token(rt: &Runtime, mut st: MutexGuard<'_, RtState>, me: usize) {
+    loop {
+        if st.stopping {
+            drop(st);
+            stop_unwind();
+        }
+        if st.current == me {
+            return;
+        }
+        st = rt.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Picks the next task to run (recording the choice), hands the token
+/// over, and — unless `me` picked itself — parks until it comes back.
+fn hand_off(rt: &Runtime, mut st: MutexGuard<'_, RtState>, me: usize) {
+    let runnable = st.runnable();
+    if runnable.is_empty() {
+        // `me` just blocked and nobody can make progress.
+        let msg = st.deadlock_message();
+        st.failure.get_or_insert(msg);
+        st.stopping = true;
+        rt.cv.notify_all();
+        drop(st);
+        stop_unwind();
+    }
+    let c = st.choose(runnable.len());
+    let next = runnable[c];
+    st.current = next;
+    if next == me {
+        return;
+    }
+    rt.cv.notify_all();
+    wait_for_token(rt, st, me);
+}
+
+/// The instrumented-operation entry point: every shim calls this before
+/// touching shared state. Outside a model run it is a no-op, so the
+/// shims double as plain std wrappers in ordinary code.
+pub(crate) fn yield_point() {
+    let Some((rt, me)) = current() else { return };
+    let mut st = rt.lock();
+    if st.stopping {
+        drop(st);
+        stop_unwind();
+    }
+    st.steps += 1;
+    if st.steps > st.max_steps {
+        let msg = format!(
+            "step budget {} exhausted: livelock or runaway model loop",
+            st.max_steps
+        );
+        st.failure.get_or_insert(msg);
+        st.stopping = true;
+        rt.cv.notify_all();
+        drop(st);
+        stop_unwind();
+    }
+    hand_off(&rt, st, me);
+}
+
+/// Marks `me` blocked on `ch` and hands the token to someone else. The
+/// caller re-checks its queue when rescheduled (a `wake_channel` flips
+/// it back to runnable first).
+pub(crate) fn block_on_channel(ch: usize) {
+    let Some((rt, me)) = current() else { return };
+    let mut st = rt.lock();
+    if st.stopping {
+        drop(st);
+        stop_unwind();
+    }
+    st.status[me] = Status::BlockedRecv(ch);
+    hand_off(&rt, st, me);
+}
+
+/// Makes every task blocked on `ch` runnable again (a message landed).
+pub(crate) fn wake_channel(ch: usize) {
+    let Some((rt, _)) = current() else { return };
+    let mut st = rt.lock();
+    for s in st.status.iter_mut() {
+        if *s == Status::BlockedRecv(ch) {
+            *s = Status::Runnable;
+        }
+    }
+}
+
+/// Allocates a model-scoped channel id. Channels only work inside a run.
+pub(crate) fn register_channel() -> usize {
+    let ctx = current();
+    assert!(
+        ctx.is_some(),
+        "check::channel() must be called inside run_once"
+    );
+    let Some((rt, _)) = ctx else { unreachable!() };
+    let mut st = rt.lock();
+    let id = st.next_channel;
+    st.next_channel += 1;
+    id
+}
+
+/// Handle to a spawned model task; `join` is a scheduling point.
+pub struct JoinHandle {
+    target: usize,
+}
+
+impl JoinHandle {
+    /// Blocks (in model time) until the target task finishes. Panics in
+    /// the target surface as the run's failure, not here.
+    pub fn join(self) {
+        let Some((rt, me)) = current() else { return };
+        loop {
+            let mut st = rt.lock();
+            if st.stopping {
+                drop(st);
+                stop_unwind();
+            }
+            if st.status[self.target] == Status::Finished {
+                return;
+            }
+            st.status[me] = Status::BlockedJoin(self.target);
+            hand_off(&rt, st, me);
+        }
+    }
+}
+
+/// Spawns a model task on its own OS thread under the current run's
+/// scheduler. Must be called from inside a model.
+pub fn spawn<F>(f: F) -> JoinHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    let ctx = current();
+    assert!(ctx.is_some(), "check::spawn must be called inside run_once");
+    let Some((rt, _)) = ctx else { unreachable!() };
+    let id = {
+        let mut st = rt.lock();
+        st.status.push(Status::Runnable);
+        st.status.len() - 1
+    };
+    let rt2 = Arc::clone(&rt);
+    let spawned = std::thread::Builder::new()
+        .name(format!("check-task-{id}"))
+        .spawn(move || task_main(rt2, id, Box::new(f)));
+    match spawned {
+        Ok(h) => {
+            rt.handles
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(h);
+        }
+        Err(e) => {
+            let mut st = rt.lock();
+            st.status[id] = Status::Finished;
+            st.failure
+                .get_or_insert(format!("task thread spawn failed: {e}"));
+            st.stopping = true;
+            rt.cv.notify_all();
+        }
+    }
+    // A spawn is itself a visible event: give the scheduler the chance
+    // to run the child (or anyone else) before the parent continues.
+    yield_point();
+    JoinHandle { target: id }
+}
+
+fn payload_message(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "task panicked with a non-string payload".to_string()
+    }
+}
+
+fn task_main(rt: Arc<Runtime>, id: usize, f: Box<dyn FnOnce() + Send>) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&rt), id)));
+    {
+        let mut waited = rt.lock();
+        loop {
+            if waited.stopping {
+                drop(waited);
+                finish_stopping(&rt, id);
+                CTX.with(|c| *c.borrow_mut() = None);
+                return;
+            }
+            if waited.current == id {
+                break;
+            }
+            waited = rt.cv.wait(waited).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    let res = panic::catch_unwind(AssertUnwindSafe(f));
+    finish_task(&rt, id, res);
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Marks a task finished without it ever having run (teardown path).
+fn finish_stopping(rt: &Runtime, me: usize) {
+    let mut st = rt.lock();
+    st.status[me] = Status::Finished;
+    rt.cv.notify_all();
+}
+
+fn finish_task(rt: &Runtime, me: usize, res: Result<(), Box<dyn Any + Send>>) {
+    let mut st = rt.lock();
+    st.status[me] = Status::Finished;
+    if let Err(p) = res {
+        if !p.is::<StopToken>() {
+            st.failure.get_or_insert(payload_message(p.as_ref()));
+            st.stopping = true;
+        }
+    }
+    for s in st.status.iter_mut() {
+        if *s == Status::BlockedJoin(me) {
+            *s = Status::Runnable;
+        }
+    }
+    if st.stopping {
+        rt.cv.notify_all();
+        return;
+    }
+    let runnable = st.runnable();
+    if runnable.is_empty() {
+        if !st.all_finished() {
+            let msg = st.deadlock_message();
+            st.failure.get_or_insert(msg);
+            st.stopping = true;
+        }
+        rt.cv.notify_all();
+        return;
+    }
+    let c = st.choose(runnable.len());
+    st.current = runnable[c];
+    rt.cv.notify_all();
+}
+
+/// One executed schedule: the recorded choice trace, the branching width
+/// at each recorded choice, the failure (if any), and the step count.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Index chosen at each choice point with more than one option.
+    pub trace: Vec<u32>,
+    /// Number of options at each recorded choice point.
+    pub widths: Vec<u32>,
+    /// The first failure observed: a model assertion message, a
+    /// deadlock, or a livelock. `None` means the schedule passed.
+    pub failure: Option<String>,
+    /// Total instrumented operations executed.
+    pub steps: usize,
+}
+
+/// Executes `body` once as task 0 under `chooser`, returning the
+/// schedule's trace and outcome. Blocks until every task (including any
+/// it spawned) has finished and all OS threads are joined.
+pub fn run_once(
+    chooser: Chooser,
+    max_steps: usize,
+    body: Arc<dyn Fn() + Send + Sync>,
+) -> RunResult {
+    install_hook();
+    let rt = Arc::new(Runtime::new(chooser, max_steps));
+    {
+        let mut st = rt.lock();
+        st.status.push(Status::Runnable);
+        st.current = 0;
+    }
+    let rt2 = Arc::clone(&rt);
+    let spawned = std::thread::Builder::new()
+        .name("check-task-0".to_string())
+        .spawn(move || task_main(rt2, 0, Box::new(move || body())));
+    match spawned {
+        Ok(h) => rt
+            .handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(h),
+        Err(e) => {
+            let mut st = rt.lock();
+            st.status[0] = Status::Finished;
+            st.failure
+                .get_or_insert(format!("root thread spawn failed: {e}"));
+        }
+    }
+    let result = {
+        let mut st = rt.lock();
+        while !st.all_finished() {
+            st = rt.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        RunResult {
+            trace: st.trace.clone(),
+            widths: st.widths.clone(),
+            failure: st.failure.clone(),
+            steps: st.steps,
+        }
+    };
+    loop {
+        let h = rt
+            .handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop();
+        match h {
+            // The thread may have died unwinding a StopToken; that is
+            // expected teardown, not a failure.
+            Some(h) => {
+                let _ = h.join();
+            }
+            None => break,
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::SplitMix64;
+    use crate::sync::AtomicU64;
+
+    #[test]
+    fn trivial_body_finishes_clean() {
+        let r = run_once(
+            Chooser::Random(SplitMix64::new(1)),
+            DEFAULT_MAX_STEPS,
+            Arc::new(|| {}),
+        );
+        assert!(r.failure.is_none());
+        assert!(r.trace.is_empty());
+    }
+
+    #[test]
+    fn same_seed_replays_same_trace() {
+        let body: Arc<dyn Fn() + Send + Sync> = Arc::new(|| {
+            let a = Arc::new(AtomicU64::new(0));
+            let a2 = Arc::clone(&a);
+            let h = spawn(move || {
+                a2.fetch_add(1);
+                a2.fetch_add(1);
+            });
+            a.fetch_add(10);
+            h.join();
+            assert_eq!(a.load(), 12);
+        });
+        let r1 = run_once(
+            Chooser::Random(SplitMix64::new(42)),
+            DEFAULT_MAX_STEPS,
+            Arc::clone(&body),
+        );
+        let r2 = run_once(
+            Chooser::Random(SplitMix64::new(42)),
+            DEFAULT_MAX_STEPS,
+            Arc::clone(&body),
+        );
+        assert!(r1.failure.is_none());
+        assert_eq!(r1.trace, r2.trace);
+        assert_eq!(r1.widths, r2.widths);
+    }
+
+    #[test]
+    fn guided_prefix_reproduces_recorded_trace() {
+        let body: Arc<dyn Fn() + Send + Sync> = Arc::new(|| {
+            let a = Arc::new(AtomicU64::new(0));
+            let a2 = Arc::clone(&a);
+            let h = spawn(move || {
+                a2.fetch_add(1);
+            });
+            a.fetch_add(2);
+            h.join();
+        });
+        let r = run_once(
+            Chooser::Random(SplitMix64::new(7)),
+            DEFAULT_MAX_STEPS,
+            Arc::clone(&body),
+        );
+        let g = run_once(
+            Chooser::Guided {
+                prefix: r.trace.clone(),
+                pos: 0,
+            },
+            DEFAULT_MAX_STEPS,
+            body,
+        );
+        assert_eq!(g.trace, r.trace);
+    }
+
+    #[test]
+    fn recv_with_no_sender_reports_deadlock() {
+        let r = run_once(
+            Chooser::Random(SplitMix64::new(3)),
+            DEFAULT_MAX_STEPS,
+            Arc::new(|| {
+                let (_tx, rx) = crate::channel::<u32>();
+                let _v = rx.recv();
+            }),
+        );
+        let msg = r.failure.unwrap_or_default();
+        assert!(msg.contains("deadlock"), "expected deadlock, got: {msg}");
+    }
+
+    #[test]
+    fn model_assertion_becomes_failure() {
+        let r = run_once(
+            Chooser::Random(SplitMix64::new(5)),
+            DEFAULT_MAX_STEPS,
+            Arc::new(|| {
+                let sum = [1u32, 1].iter().sum::<u32>();
+                assert!(sum == 3, "arithmetic is broken");
+            }),
+        );
+        let msg = r.failure.unwrap_or_default();
+        assert!(msg.contains("arithmetic is broken"), "got: {msg}");
+    }
+
+    #[test]
+    fn runaway_loop_reports_livelock() {
+        let r = run_once(
+            Chooser::Random(SplitMix64::new(9)),
+            200,
+            Arc::new(|| {
+                let a = AtomicU64::new(0);
+                loop {
+                    if a.fetch_add(1) > 1_000_000 {
+                        break;
+                    }
+                }
+            }),
+        );
+        let msg = r.failure.unwrap_or_default();
+        assert!(msg.contains("step budget"), "got: {msg}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Instrumented atomics.
+//!
+//! Drop-in shims for the handful of `std::sync::atomic` operations the
+//! workspace's concurrent code actually uses. Each operation is a
+//! scheduler choice point; the operation itself then executes with
+//! `SeqCst`, because under the one-task-at-a-time token scheduler every
+//! schedule *is* a sequentially-consistent interleaving — the model
+//! explores reorderings of operations, not of hardware memory effects.
+//! Outside a model run the yield is a no-op and the shims behave like
+//! the plain std types.
+
+use std::sync::atomic::{self, Ordering};
+
+use crate::sched::yield_point;
+
+/// Instrumented `AtomicU64`: every op is a scheduling point.
+#[derive(Debug, Default)]
+pub struct AtomicU64 {
+    v: atomic::AtomicU64,
+}
+
+impl AtomicU64 {
+    /// Creates the atomic with an initial value.
+    pub const fn new(v: u64) -> AtomicU64 {
+        AtomicU64 {
+            v: atomic::AtomicU64::new(v),
+        }
+    }
+
+    /// Reads the value (choice point).
+    pub fn load(&self) -> u64 {
+        yield_point();
+        self.v.load(Ordering::SeqCst)
+    }
+
+    /// Writes the value (choice point).
+    pub fn store(&self, v: u64) {
+        yield_point();
+        self.v.store(v, Ordering::SeqCst);
+    }
+
+    /// Atomic add, returning the previous value (choice point).
+    pub fn fetch_add(&self, v: u64) -> u64 {
+        yield_point();
+        self.v.fetch_add(v, Ordering::SeqCst)
+    }
+
+    /// Atomic max, returning the previous value (choice point).
+    pub fn fetch_max(&self, v: u64) -> u64 {
+        yield_point();
+        self.v.fetch_max(v, Ordering::SeqCst)
+    }
+
+    /// Atomic min, returning the previous value (choice point).
+    pub fn fetch_min(&self, v: u64) -> u64 {
+        yield_point();
+        self.v.fetch_min(v, Ordering::SeqCst)
+    }
+}
+
+/// Instrumented `AtomicBool`: every op is a scheduling point.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    v: atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates the atomic with an initial value.
+    pub const fn new(v: bool) -> AtomicBool {
+        AtomicBool {
+            v: atomic::AtomicBool::new(v),
+        }
+    }
+
+    /// Reads the flag (choice point).
+    pub fn load(&self) -> bool {
+        yield_point();
+        self.v.load(Ordering::SeqCst)
+    }
+
+    /// Writes the flag (choice point).
+    pub fn store(&self, v: bool) {
+        yield_point();
+        self.v.store(v, Ordering::SeqCst);
+    }
+}

@@ -25,7 +25,7 @@
 //! [`CommLedger`] measures from actual frame bytes.
 
 use crate::exchange::GradientExchange;
-use crate::fault::FaultPlan;
+use crate::fault::{contribution_outcome, ContributionOutcome, FaultPlan};
 use crate::metrics::DistMetrics;
 use crate::schema::{state_digest, ParamSchema};
 use crate::shard::shard_vision_task;
@@ -312,7 +312,13 @@ struct GradMsg {
 /// on; compiles to nothing otherwise so the default lockstep loop
 /// carries no per-stage event traffic.
 #[allow(unused_variables)]
-fn emit_span(recorder: &dyn Recorder, trace: u64, stage: &str, worker: Option<usize>, wall_ms: f64) {
+fn emit_span(
+    recorder: &dyn Recorder,
+    trace: u64,
+    stage: &str,
+    worker: Option<usize>,
+    wall_ms: f64,
+) {
     #[cfg(feature = "obs")]
     recorder.record(Event::TraceSpan {
         trace,
@@ -1172,26 +1178,32 @@ pub fn run_distributed_observed(
             if let Some(m) = metrics {
                 m.stage_compute_us.record_f64(msg.compute_ms * 1e3);
             }
-            // A frame computed before the switch has the dense layout
-            // and cannot be folded into a factor reduction.
-            let pre_switch = co.switch_round.map(|s| orig < s).unwrap_or(false);
+            // Apply-or-drop is decided by the shared policy function in
+            // `fault` — the same seam the `cuttlefish-check` lockstep
+            // model explores — covering both bounded staleness and frames
+            // computed against the pre-switch dense layout.
             let summary = co.summaries.entry(w).or_insert_with(|| WorkerSummary {
                 id: w,
                 ..WorkerSummary::default()
             });
-            if staleness > cfg.staleness_bound || pre_switch {
-                summary.dropped += 1;
-                dropped_count += 1;
-                if staleness > 0 {
-                    co.lifecycle(w, round, "stale_dropped");
+            match contribution_outcome(round, orig, cfg.staleness_bound, co.switch_round) {
+                ContributionOutcome::Dropped { .. } => {
+                    summary.dropped += 1;
+                    dropped_count += 1;
+                    if staleness > 0 {
+                        co.lifecycle(w, round, "stale_dropped");
+                    }
+                    continue;
                 }
-                continue;
-            }
-            summary.steps += 1;
-            if staleness > 0 {
-                summary.stale += 1;
-                stale_count += 1;
-                co.lifecycle(w, round, "stale_applied");
+                ContributionOutcome::Applied { staleness: 0 } => {
+                    summary.steps += 1;
+                }
+                ContributionOutcome::Applied { .. } => {
+                    summary.steps += 1;
+                    summary.stale += 1;
+                    stale_count += 1;
+                    co.lifecycle(w, round, "stale_applied");
+                }
             }
             epoch_loss += msg.loss as f64;
             epoch_contribs += 1;
@@ -1228,7 +1240,13 @@ pub fn run_distributed_observed(
         // gather (including waiting on worker compute) → reduce →
         // broadcast of the averaged frame.
         let exchange_ms = t_exchange.elapsed().as_secs_f64() * 1e3;
-        emit_span(recorder, round_trace.as_u64(), stage::EXCHANGE, None, exchange_ms);
+        emit_span(
+            recorder,
+            round_trace.as_u64(),
+            stage::EXCHANGE,
+            None,
+            exchange_ms,
+        );
         if let Some(m) = metrics {
             m.round_counter(co.switched).inc();
             m.bytes_up.add(bytes_up);

@@ -9,6 +9,51 @@
 
 use crate::{DistError, DistResult};
 
+/// What the coordinator does with one gathered gradient frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContributionOutcome {
+    /// Folded into this round's reduction; `staleness` is how many rounds
+    /// late it arrived (0 = on time).
+    Applied {
+        /// Rounds between the frame's origin step and the current round.
+        staleness: usize,
+    },
+    /// Counted and discarded; `stale` distinguishes a bounded-staleness
+    /// drop from a layout drop (frame computed against the pre-switch
+    /// dense layout).
+    Dropped {
+        /// True when the drop was a staleness-bound violation (as opposed
+        /// to a pre-switch layout mismatch arriving on time).
+        stale: bool,
+    },
+}
+
+/// Decides apply-or-drop for a gradient frame computed at step `origin`
+/// and gathered at step `round`: frames older than `staleness_bound`
+/// rounds are dropped, and frames computed before the lockstep switch
+/// (`origin < switch_round`) are dropped regardless of staleness because
+/// their dense layout cannot fold into a factor reduction.
+///
+/// This is the single decision point shared by the live coordinator and
+/// the `cuttlefish-check` lockstep model, so the schedule explorer
+/// exercises exactly the policy production runs.
+pub fn contribution_outcome(
+    round: usize,
+    origin: usize,
+    staleness_bound: usize,
+    switch_round: Option<usize>,
+) -> ContributionOutcome {
+    let staleness = round.saturating_sub(origin);
+    let pre_switch = switch_round.is_some_and(|s| origin < s);
+    if staleness > staleness_bound || pre_switch {
+        ContributionOutcome::Dropped {
+            stale: staleness > staleness_bound,
+        }
+    } else {
+        ContributionOutcome::Applied { staleness }
+    }
+}
+
 /// One injected straggler episode: the worker receives its step command
 /// at `step`, but its gradient only reaches the coordinator `delay_steps`
 /// rounds later (and the worker computes nothing in between — it is
@@ -269,6 +314,38 @@ mod tests {
             ..FaultPlan::none()
         };
         assert!(p.validate(2, 10).is_err());
+    }
+
+    #[test]
+    fn contribution_outcome_applies_drops_and_labels() {
+        use ContributionOutcome::{Applied, Dropped};
+        // On time, no switch.
+        assert_eq!(
+            contribution_outcome(5, 5, 2, None),
+            Applied { staleness: 0 }
+        );
+        // Tolerably stale.
+        assert_eq!(
+            contribution_outcome(5, 3, 2, None),
+            Applied { staleness: 2 }
+        );
+        // Past the staleness bound.
+        assert_eq!(contribution_outcome(5, 2, 2, None), Dropped { stale: true });
+        // On time but computed against the pre-switch layout.
+        assert_eq!(
+            contribution_outcome(5, 5, 2, Some(6)),
+            Dropped { stale: false }
+        );
+        // Post-switch frames fold normally.
+        assert_eq!(
+            contribution_outcome(7, 6, 2, Some(6)),
+            Applied { staleness: 1 }
+        );
+        // Stale *and* pre-switch reports the staleness violation.
+        assert_eq!(
+            contribution_outcome(9, 4, 2, Some(6)),
+            Dropped { stale: true }
+        );
     }
 
     #[test]

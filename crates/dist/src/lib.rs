@@ -69,9 +69,11 @@ pub use coordinator::{
     run_distributed, run_distributed_observed, run_distributed_with, CommLedger, DistConfig,
     DistRunResult, ExchangeKind, WorkerSummary,
 };
-pub use metrics::DistMetrics;
 pub use exchange::{DenseAllReduce, FactorAllReduce, GradientExchange};
-pub use fault::{CrashEvent, FaultPlan, JoinEvent, StragglerEvent};
+pub use fault::{
+    contribution_outcome, ContributionOutcome, CrashEvent, FaultPlan, JoinEvent, StragglerEvent,
+};
+pub use metrics::DistMetrics;
 pub use schema::ParamSchema;
 pub use shard::{shard_vision_task, worker_seed};
 pub use worker::NetBuilder;

@@ -43,7 +43,8 @@ impl std::fmt::Debug for DistMetrics {
 impl DistMetrics {
     /// Registers (or re-resolves) the distributed metrics in `registry`.
     pub fn new(registry: Arc<MetricsRegistry>) -> DistMetrics {
-        let phase = |name: &str| registry.counter(&labeled("dist_rounds_total", &[("phase", name)]));
+        let phase =
+            |name: &str| registry.counter(&labeled("dist_rounds_total", &[("phase", name)]));
         DistMetrics {
             rounds_dense: phase("dense"),
             rounds_factored: phase("factored"),

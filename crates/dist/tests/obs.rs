@@ -52,8 +52,7 @@ fn observed_run() -> (
     let recorder = MemoryRecorder::new();
     let registry = Arc::new(MetricsRegistry::new());
     let metrics = DistMetrics::new(Arc::clone(&registry));
-    let res =
-        run_distributed_observed(&cfg, &task, builder(), &recorder, Some(&metrics)).unwrap();
+    let res = run_distributed_observed(&cfg, &task, builder(), &recorder, Some(&metrics)).unwrap();
     (res, recorder, registry)
 }
 
@@ -87,7 +86,10 @@ fn registry_reconciles_exactly_with_run_result() {
     // Stale/dropped tallies match the per-worker summaries.
     let stale: u64 = res.workers.iter().map(|w| w.stale as u64).sum();
     let dropped: u64 = res.workers.iter().map(|w| w.dropped as u64).sum();
-    assert!(stale >= 1, "straggler should have contributed a stale frame");
+    assert!(
+        stale >= 1,
+        "straggler should have contributed a stale frame"
+    );
     assert_eq!(snap.counter("dist_contributions_stale_total"), Some(stale));
     assert_eq!(
         snap.counter("dist_contributions_dropped_total"),
@@ -106,7 +108,10 @@ fn registry_reconciles_exactly_with_run_result() {
     assert_eq!(compute.count, contributions);
     let exchange = snap.histogram("dist_stage_exchange_us").unwrap();
     assert_eq!(exchange.count, 6);
-    assert!(compute.sum > 0, "compute stages should take measurable time");
+    assert!(
+        compute.sum > 0,
+        "compute stages should take measurable time"
+    );
 }
 
 #[cfg(feature = "obs")]

@@ -1,0 +1,612 @@
+//! The workspace lint analyzer (library half).
+//!
+//! A deliberately simple, std-only multi-pass line analyzer — no `syn`,
+//! no proc-macro machinery. Pass 1 computes per-line *masks* (which
+//! lines sit inside a `#[cfg(test)]`-gated item, tracked through brace
+//! nesting so test modules in the middle of a file no longer hide the
+//! code after them). Pass 2 runs the per-file rules against unmasked
+//! lines. Pass 3 is global: allowlist entries that no scanned line can
+//! still match are themselves violations, so the exception list can
+//! only shrink as code is fixed.
+//!
+//! Rules:
+//!
+//! 1. `no-panic` — no `.unwrap()` / `.expect(` / `panic!` in non-test
+//!    library code; binaries (`src/bin/`, `src/main.rs`) may crash on
+//!    bad CLI input.
+//! 2. `no-float-index` — no float→`usize` casts in tensor kernels.
+//! 3. `pub-fn-docs` — every `pub fn` in the core library crates carries
+//!    a doc comment.
+//! 4. `layer-impl-complete` — every `impl Layer for …` defines both
+//!    `forward` and `backward`.
+//! 5. `unsafe-contract` — every `unsafe` block/fn/impl carries a
+//!    `// SAFETY:` contract (or a `/// # Safety` doc section) in the
+//!    contiguous comment/attribute block above it or on the same line.
+//! 6. `relaxed-ordering` — `Ordering::Relaxed` outside the allowlisted
+//!    metrics/kernel hot paths must justify itself with a `RELAXED:`
+//!    comment at the site.
+//! 7. `stale-allowlist` — an allowlist entry whose `(prefix, needle)`
+//!    no longer matches any scanned non-test line fails the run.
+//!
+//! Allowlist format (`crates/lint/allowlist.txt`), one entry per line:
+//! `prefix:needle` forgives all rules, `rule@prefix:needle` forgives
+//! one rule, for lines in files under `prefix` that contain `needle`.
+
+use std::fmt;
+
+/// One lint violation, path-relative so output is stable across hosts.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Repo-relative path with `/` separators.
+    pub rel: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line (or a synthesized description).
+    pub excerpt: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.rel,
+            self.line,
+            self.rule,
+            self.excerpt.trim()
+        )
+    }
+}
+
+/// One allowlist entry: `rule@prefix:needle` or `prefix:needle`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Restricts the entry to one rule; `None` forgives any rule.
+    pub rule: Option<String>,
+    /// Repo-relative path prefix the entry applies to.
+    pub prefix: String,
+    /// Substring the forgiven line must contain.
+    pub needle: String,
+}
+
+impl fmt::Display for Allow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.rule {
+            Some(r) => write!(f, "{r}@{}:{}", self.prefix, self.needle),
+            None => write!(f, "{}:{}", self.prefix, self.needle),
+        }
+    }
+}
+
+/// Parses the allowlist text (comments `#`, blank lines skipped).
+pub fn parse_allowlist(text: &str) -> Vec<Allow> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (scope, needle) = l.split_once(':')?;
+            let (rule, prefix) = match scope.split_once('@') {
+                Some((r, p)) => (Some(r.trim().to_string()), p),
+                None => (None, scope),
+            };
+            Some(Allow {
+                rule,
+                prefix: prefix.trim().to_string(),
+                needle: needle.trim().to_string(),
+            })
+        })
+        .collect()
+}
+
+/// Whether `allows` forgives a `rule` violation on `line` of `rel`.
+pub fn is_allowed(allows: &[Allow], rule: &str, rel: &str, line: &str) -> bool {
+    allows.iter().any(|a| {
+        a.rule.as_deref().is_none_or(|r| r == rule)
+            && rel.starts_with(&a.prefix)
+            && line.contains(&a.needle)
+    })
+}
+
+/// Computes which lines sit inside a `#[cfg(test)]`-gated item.
+///
+/// The old scanner cut the file at the *first* `#[cfg(test)]` line,
+/// silently skipping any code after a mid-file test module. This pass
+/// instead tracks brace depth: when a `#[cfg(test)]` attribute is seen,
+/// the next item's braces open a masked region that closes when depth
+/// returns to the attribute's level — code after the module is scanned
+/// again.
+pub fn test_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut depth = 0isize;
+    // Depth at which the innermost active test region started.
+    let mut region_start: Option<isize> = None;
+    // A `#[cfg(test)]` was seen and its item hasn't opened braces yet.
+    let mut pending = false;
+    for (i, line) in lines.iter().enumerate() {
+        let trimmed = line.trim();
+        let in_region = region_start.is_some();
+        if trimmed.starts_with("#[cfg(test)]") && !in_region {
+            pending = true;
+        }
+        if pending || in_region {
+            mask[i] = true;
+        }
+        let mut opened_this_line = false;
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    if pending {
+                        region_start = Some(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                    opened_this_line = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_start.is_some_and(|d| depth <= d) {
+                        region_start = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // `#[cfg(test)] mod tests;` / `use` — attribute consumed by an
+        // item with no body.
+        if pending && !opened_this_line && trimmed.ends_with(';') {
+            pending = false;
+        }
+    }
+    mask
+}
+
+fn is_comment(trimmed: &str) -> bool {
+    trimmed.starts_with("//")
+}
+
+fn is_attr(trimmed: &str) -> bool {
+    trimmed.starts_with("#[") || trimmed.starts_with("#!")
+}
+
+/// Whether the contiguous comment/attribute block directly above line
+/// `i` (or line `i` itself) contains `marker`.
+fn block_above_contains(lines: &[&str], i: usize, marker: &str) -> bool {
+    if lines[i].contains(marker) {
+        return true;
+    }
+    for prev in lines[..i].iter().rev() {
+        let p = prev.trim();
+        if is_comment(p) {
+            if p.contains(marker) {
+                return true;
+            }
+        } else if !is_attr(p) {
+            return false;
+        }
+    }
+    false
+}
+
+fn push(out: &mut Vec<Violation>, rule: &'static str, rel: &str, i: usize, line: &str) {
+    out.push(Violation {
+        rule,
+        rel: rel.to_string(),
+        line: i + 1,
+        excerpt: line.to_string(),
+    });
+}
+
+/// Rule 1: panicking constructs in library code.
+fn check_panics(rel: &str, lines: &[&str], mask: &[bool], out: &mut Vec<Violation>) {
+    const NEEDLES: [&str; 3] = [".unwrap()", ".expect(", "panic!"];
+    for (i, line) in lines.iter().enumerate() {
+        if mask[i] || is_comment(line.trim()) {
+            continue;
+        }
+        if NEEDLES.iter().any(|n| line.contains(n)) {
+            push(out, "no-panic", rel, i, line);
+        }
+    }
+}
+
+/// Rule 2: float→usize casts in tensor kernels.
+fn check_float_casts(rel: &str, lines: &[&str], mask: &[bool], out: &mut Vec<Violation>) {
+    const NEEDLES: [&str; 6] = [
+        "f32 as usize",
+        "f64 as usize",
+        ".round() as usize",
+        ".floor() as usize",
+        ".ceil() as usize",
+        ".sqrt() as usize",
+    ];
+    for (i, line) in lines.iter().enumerate() {
+        if mask[i] || is_comment(line.trim()) {
+            continue;
+        }
+        if NEEDLES.iter().any(|n| line.contains(n)) {
+            push(out, "no-float-index", rel, i, line);
+        }
+    }
+}
+
+/// Rule 3: doc comments on `pub fn`.
+fn check_pub_fn_docs(rel: &str, lines: &[&str], mask: &[bool], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        let trimmed = line.trim();
+        if !(trimmed.starts_with("pub fn ") || trimmed.starts_with("pub const fn ")) {
+            continue;
+        }
+        let mut documented = false;
+        for prev in lines[..i].iter().rev() {
+            let p = prev.trim();
+            if p.starts_with("///") {
+                documented = true;
+                break;
+            }
+            if is_attr(p) {
+                continue;
+            }
+            break;
+        }
+        if !documented {
+            push(out, "pub-fn-docs", rel, i, line);
+        }
+    }
+}
+
+/// Rule 4: every `impl Layer for …` block defines `forward`/`backward`.
+fn check_layer_impls(rel: &str, lines: &[&str], mask: &[bool], out: &mut Vec<Violation>) {
+    let mut i = 0;
+    while i < lines.len() {
+        let trimmed = lines[i].trim();
+        if mask[i] || !trimmed.starts_with("impl Layer for ") {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut depth = 0isize;
+        let mut body = String::new();
+        let mut opened = false;
+        while i < lines.len() {
+            for ch in lines[i].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            body.push_str(lines[i]);
+            body.push('\n');
+            if opened && depth == 0 {
+                break;
+            }
+            i += 1;
+        }
+        for required in ["fn forward", "fn backward"] {
+            if !body.contains(required) {
+                out.push(Violation {
+                    rule: "layer-impl-complete",
+                    rel: rel.to_string(),
+                    line: start + 1,
+                    excerpt: format!("{trimmed} … missing `{required}`"),
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Rule 5: `unsafe` requires a written safety contract.
+///
+/// Matches `unsafe fn` / `unsafe {` / `unsafe impl` / `unsafe trait`
+/// outside attributes (so `#![forbid(unsafe_code)]` and
+/// `#[deny(unsafe_op_in_unsafe_fn)]` don't trip it). The contract is a
+/// `// SAFETY:` comment (for blocks) or a `/// # Safety` doc section
+/// (for `unsafe fn` signatures) in the contiguous block above, or an
+/// inline comment on the same line.
+fn check_unsafe_contracts(rel: &str, lines: &[&str], mask: &[bool], out: &mut Vec<Violation>) {
+    const FORMS: [&str; 4] = ["unsafe fn", "unsafe {", "unsafe impl", "unsafe trait"];
+    for (i, line) in lines.iter().enumerate() {
+        let trimmed = line.trim();
+        if mask[i] || is_comment(trimmed) || is_attr(trimmed) {
+            continue;
+        }
+        if !FORMS.iter().any(|f| line.contains(f)) {
+            continue;
+        }
+        let has_contract =
+            block_above_contains(lines, i, "SAFETY:") || block_above_contains(lines, i, "# Safety");
+        if !has_contract {
+            push(out, "unsafe-contract", rel, i, line);
+        }
+    }
+}
+
+/// Rule 6: `Ordering::Relaxed` must justify itself at the site with a
+/// `RELAXED:` comment, unless the file/line is allowlisted (the metrics
+/// and kernel hot paths, where per-site comments would be noise).
+fn check_relaxed_ordering(rel: &str, lines: &[&str], mask: &[bool], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        let trimmed = line.trim();
+        if mask[i] || is_comment(trimmed) {
+            continue;
+        }
+        if !line.contains("Ordering::Relaxed") {
+            continue;
+        }
+        if !block_above_contains(lines, i, "RELAXED:") {
+            push(out, "relaxed-ordering", rel, i, line);
+        }
+    }
+}
+
+/// Analyzes one file's source, returning raw (pre-allowlist)
+/// violations. `rel` is the repo-relative path with `/` separators;
+/// rule applicability is dispatched on it exactly as the binary does.
+pub fn analyze_source(rel: &str, text: &str) -> Vec<Violation> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mask = test_mask(&lines);
+    let mut out = Vec::new();
+    let in_bin = rel.contains("/bin/") || rel.ends_with("/src/main.rs");
+    if !in_bin {
+        check_panics(rel, &lines, &mask, &mut out);
+    }
+    if rel.starts_with("crates/tensor/src") {
+        check_float_casts(rel, &lines, &mask, &mut out);
+    }
+    if [
+        "crates/check/src",
+        "crates/core/src",
+        "crates/dist/src",
+        "crates/nn/src",
+        "crates/serve/src",
+        "crates/tensor/src",
+    ]
+    .iter()
+    .any(|p| rel.starts_with(p))
+        && !in_bin
+    {
+        check_pub_fn_docs(rel, &lines, &mask, &mut out);
+    }
+    if rel.starts_with("crates/nn/src/layers") {
+        check_layer_impls(rel, &lines, &mask, &mut out);
+    }
+    check_unsafe_contracts(rel, &lines, &mask, &mut out);
+    check_relaxed_ordering(rel, &lines, &mask, &mut out);
+    out
+}
+
+/// Rule 7: allowlist entries must still be live. An entry is *stale*
+/// when no scanned file both matches its prefix and contains its
+/// needle on a non-test line — the exception it was written for is
+/// gone, so the entry must be deleted before it silently forgives
+/// something new.
+pub fn stale_entries<'a>(allows: &'a [Allow], files: &[(String, String)]) -> Vec<&'a Allow> {
+    allows
+        .iter()
+        .filter(|a| {
+            !files.iter().any(|(rel, text)| {
+                if !rel.starts_with(&a.prefix) {
+                    return false;
+                }
+                let lines: Vec<&str> = text.lines().collect();
+                let mask = test_mask(&lines);
+                lines
+                    .iter()
+                    .enumerate()
+                    .any(|(i, l)| !mask[i] && l.contains(&a.needle))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(vs: &[Violation]) -> Vec<&'static str> {
+        vs.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn mid_file_test_module_no_longer_hides_later_code() {
+        // Regression for the "stop at first #[cfg(test)]" heuristic: the
+        // unwrap after the test module must be caught.
+        let src = "\
+pub struct A;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let _ = Some(1).unwrap();
+    }
+}
+
+fn later() {
+    let _ = Some(2).unwrap();
+}
+";
+        let vs = analyze_source("crates/nn/src/x.rs", src);
+        assert_eq!(rules(&vs), vec!["no-panic"]);
+        assert_eq!(vs[0].line, 12, "must flag the post-module unwrap only");
+    }
+
+    #[test]
+    fn nested_braces_inside_test_module_stay_masked() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn helper() {
+        if true {
+            let _ = Some(1).unwrap();
+        }
+    }
+}
+";
+        let vs = analyze_source("crates/nn/src/x.rs", src);
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn cfg_test_on_bodyless_item_does_not_mask_the_rest_of_the_file() {
+        let src = "\
+#[cfg(test)]
+use std::collections::HashMap;
+
+fn live() {
+    let _ = Some(1).unwrap();
+}
+";
+        let vs = analyze_source("crates/nn/src/x.rs", src);
+        assert_eq!(rules(&vs), vec!["no-panic"]);
+    }
+
+    #[test]
+    fn unsafe_without_contract_is_flagged_and_with_contract_passes() {
+        let bad = "\
+fn f(p: *const f32) -> f32 {
+    unsafe { *p }
+}
+";
+        let vs = analyze_source("crates/tensor/src/kernel/y.rs", bad);
+        assert_eq!(rules(&vs), vec!["unsafe-contract"]);
+
+        let good = "\
+fn f(p: *const f32) -> f32 {
+    // SAFETY: caller guarantees p is valid for reads.
+    unsafe { *p }
+}
+";
+        assert!(analyze_source("crates/tensor/src/kernel/y.rs", good).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_with_safety_doc_section_passes() {
+        let src = "\
+/// Does pointer things.
+///
+/// # Safety
+///
+/// `p` must be valid for `n` reads.
+/// And aligned.
+pub unsafe fn g(p: *const f32, n: usize) {}
+";
+        let vs = analyze_source("crates/tensor/src/kernel/y.rs", src);
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn unsafe_attrs_do_not_trip_the_contract_rule() {
+        let src = "\
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+fn fine() {}
+";
+        assert!(analyze_source("crates/nn/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_ordering_requires_site_justification() {
+        let bad = "\
+fn f(a: &std::sync::atomic::AtomicU64) {
+    a.store(1, Ordering::Relaxed);
+}
+";
+        let vs = analyze_source("crates/serve/src/x.rs", bad);
+        assert_eq!(rules(&vs), vec!["relaxed-ordering"]);
+
+        let good = "\
+fn f(a: &std::sync::atomic::AtomicU64) {
+    // RELAXED: independent tally, no happens-before needed.
+    a.store(1, Ordering::Relaxed);
+}
+";
+        assert!(analyze_source("crates/serve/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn rule_scoped_allowlist_forgives_only_its_rule() {
+        let allows =
+            parse_allowlist("relaxed-ordering@crates/telemetry/src/metrics.rs:Ordering::Relaxed\n");
+        assert!(is_allowed(
+            &allows,
+            "relaxed-ordering",
+            "crates/telemetry/src/metrics.rs",
+            "x.load(Ordering::Relaxed)",
+        ));
+        assert!(!is_allowed(
+            &allows,
+            "no-panic",
+            "crates/telemetry/src/metrics.rs",
+            "x.load(Ordering::Relaxed).unwrap()",
+        ));
+        assert!(!is_allowed(
+            &allows,
+            "relaxed-ordering",
+            "crates/serve/src/queue.rs",
+            "x.load(Ordering::Relaxed)",
+        ));
+    }
+
+    #[test]
+    fn unscoped_allowlist_forgives_any_rule() {
+        let allows = parse_allowlist("crates/nn/src/x.rs:launder(\n");
+        assert!(is_allowed(
+            &allows,
+            "no-panic",
+            "crates/nn/src/x.rs",
+            "launder(v).unwrap()"
+        ));
+        assert!(is_allowed(
+            &allows,
+            "pub-fn-docs",
+            "crates/nn/src/x.rs",
+            "pub fn launder("
+        ));
+    }
+
+    #[test]
+    fn stale_allowlist_entries_are_reported() {
+        let allows =
+            parse_allowlist("crates/nn/src/x.rs:still_here(\ncrates/nn/src/x.rs:long_gone(\n");
+        let files = vec![(
+            "crates/nn/src/x.rs".to_string(),
+            "fn still_here() {}\n".to_string(),
+        )];
+        let stale = stale_entries(&allows, &files);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].needle, "long_gone(");
+    }
+
+    #[test]
+    fn needle_only_in_test_code_counts_as_stale() {
+        let allows = parse_allowlist("crates/nn/src/x.rs:only_in_tests(\n");
+        let files = vec![(
+            "crates/nn/src/x.rs".to_string(),
+            "#[cfg(test)]\nmod tests {\n    fn t() { only_in_tests(); }\n}\n".to_string(),
+        )];
+        assert_eq!(stale_entries(&allows, &files).len(), 1);
+    }
+
+    #[test]
+    fn binaries_are_exempt_from_no_panic_but_not_unsafe_contract() {
+        let src = "\
+fn main() {
+    let x: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap();
+    let _ = unsafe { core::mem::transmute::<u32, i32>(x) };
+}
+";
+        let vs = analyze_source("crates/serve/src/main.rs", src);
+        assert_eq!(rules(&vs), vec!["unsafe-contract"]);
+    }
+}

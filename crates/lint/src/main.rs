@@ -1,86 +1,19 @@
 //! Workspace lint pass: `cargo run -p cuttlefish-lint`.
 //!
-//! A deliberately simple, std-only line scanner (no `syn`, no proc-macro
-//! machinery) that enforces the conventions the compiler cannot:
-//!
-//! 1. **No `unwrap()`/`expect(`/`panic!` in non-test library code.**
-//!    Library crates propagate typed errors; the curated exceptions live
-//!    in `crates/lint/allowlist.txt`.
-//! 2. **No float→`usize` casts in tensor kernels.** A silent `as usize`
-//!    on a float truncates NaN to 0 and hides shape bugs; kernels must
-//!    compute indices in integer arithmetic.
-//! 3. **Doc comments on every `pub fn`** in the core, nn, serve, and
-//!    tensor crates (extends `#![warn(missing_docs)]` to items the
-//!    compiler skips, and makes it an error).
-//! 4. **Every `impl Layer for …` defines both `forward` and `backward`.**
-//!    A layer relying on a default/stub for either would silently break
-//!    training.
-//!
-//! Scanning stops at the first `#[cfg(test)]` line of a file (the repo
-//! convention keeps test modules at the end), and `src/bin/` trees are
-//! exempt from rule 1 — binaries may crash on bad CLI input.
-//!
-//! Exit status is non-zero when any violation is found, so CI can gate on
-//! it. The allowlist format is `path-prefix:needle` per line: a violating
-//! line is forgiven when its file path starts with the prefix and the
-//! line contains the needle.
+//! Thin filesystem driver over the analyzer in `cuttlefish_lint`: walks
+//! every crate's `src/` tree (plus the root package's), runs the
+//! per-file rules, applies the allowlist, then checks the allowlist
+//! itself for stale entries. Non-zero exit on any violation so CI can
+//! gate on it. See the library crate docs for the rule catalogue and
+//! the `rule@prefix:needle` allowlist format.
 
-use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// One lint violation.
-struct Violation {
-    rule: &'static str,
-    file: PathBuf,
-    line: usize,
-    excerpt: String,
-}
+use cuttlefish_lint::{analyze_source, is_allowed, parse_allowlist, stale_entries, Violation};
 
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file.display(),
-            self.line,
-            self.rule,
-            self.excerpt.trim()
-        )
-    }
-}
-
-/// One `path-prefix:needle` allowlist entry.
-struct Allow {
-    prefix: String,
-    needle: String,
-}
-
-fn load_allowlist(path: &Path) -> Vec<Allow> {
-    let Ok(text) = fs::read_to_string(path) else {
-        return Vec::new();
-    };
-    text.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .filter_map(|l| {
-            let (prefix, needle) = l.split_once(':')?;
-            Some(Allow {
-                prefix: prefix.trim().to_string(),
-                needle: needle.trim().to_string(),
-            })
-        })
-        .collect()
-}
-
-fn is_allowed(allows: &[Allow], rel: &str, line: &str) -> bool {
-    allows
-        .iter()
-        .any(|a| rel.starts_with(&a.prefix) && line.contains(&a.needle))
-}
-
-/// Collects every `.rs` file under `dir`, recursively.
+/// Collects every `.rs` file under `dir`, recursively, sorted.
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = fs::read_dir(dir) else {
         return;
@@ -96,134 +29,6 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Whether a trimmed line is a comment (line, doc, or inner doc).
-fn is_comment(trimmed: &str) -> bool {
-    trimmed.starts_with("//")
-}
-
-/// Rule 1: panicking constructs in library code.
-fn check_panics(lines: &[&str], out: &mut Vec<Violation>, file: &Path) {
-    const NEEDLES: [&str; 3] = [".unwrap()", ".expect(", "panic!"];
-    for (i, line) in lines.iter().enumerate() {
-        let trimmed = line.trim();
-        if is_comment(trimmed) {
-            continue;
-        }
-        if NEEDLES.iter().any(|n| line.contains(n)) {
-            out.push(Violation {
-                rule: "no-panic",
-                file: file.to_path_buf(),
-                line: i + 1,
-                excerpt: (*line).to_string(),
-            });
-        }
-    }
-}
-
-/// Rule 2: float→usize casts in tensor kernels.
-fn check_float_casts(lines: &[&str], out: &mut Vec<Violation>, file: &Path) {
-    const NEEDLES: [&str; 6] = [
-        "f32 as usize",
-        "f64 as usize",
-        ".round() as usize",
-        ".floor() as usize",
-        ".ceil() as usize",
-        ".sqrt() as usize",
-    ];
-    for (i, line) in lines.iter().enumerate() {
-        let trimmed = line.trim();
-        if is_comment(trimmed) {
-            continue;
-        }
-        if NEEDLES.iter().any(|n| line.contains(n)) {
-            out.push(Violation {
-                rule: "no-float-index",
-                file: file.to_path_buf(),
-                line: i + 1,
-                excerpt: (*line).to_string(),
-            });
-        }
-    }
-}
-
-/// Rule 3: doc comments on `pub fn`.
-///
-/// A `pub fn` must have at least one `///` line in the contiguous block of
-/// doc comments and attributes immediately above it.
-fn check_pub_fn_docs(lines: &[&str], out: &mut Vec<Violation>, file: &Path) {
-    for (i, line) in lines.iter().enumerate() {
-        let trimmed = line.trim();
-        if !(trimmed.starts_with("pub fn ") || trimmed.starts_with("pub const fn ")) {
-            continue;
-        }
-        let mut documented = false;
-        for prev in lines[..i].iter().rev() {
-            let p = prev.trim();
-            if p.starts_with("///") {
-                documented = true;
-                break;
-            }
-            // Attributes and macro-ish lines between the docs and the fn
-            // are fine; anything else terminates the block.
-            if p.starts_with("#[") || p.starts_with("#!") {
-                continue;
-            }
-            break;
-        }
-        if !documented {
-            out.push(Violation {
-                rule: "pub-fn-docs",
-                file: file.to_path_buf(),
-                line: i + 1,
-                excerpt: (*line).to_string(),
-            });
-        }
-    }
-}
-
-/// Rule 4: every `impl Layer for …` block defines `forward` and `backward`.
-fn check_layer_impls(lines: &[&str], out: &mut Vec<Violation>, file: &Path) {
-    let mut i = 0;
-    while i < lines.len() {
-        let trimmed = lines[i].trim();
-        if trimmed.starts_with("impl Layer for ") {
-            let start = i;
-            let mut depth = 0isize;
-            let mut body = String::new();
-            let mut opened = false;
-            while i < lines.len() {
-                for ch in lines[i].chars() {
-                    match ch {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                }
-                body.push_str(lines[i]);
-                body.push('\n');
-                if opened && depth == 0 {
-                    break;
-                }
-                i += 1;
-            }
-            for required in ["fn forward", "fn backward"] {
-                if !body.contains(required) {
-                    out.push(Violation {
-                        rule: "layer-impl-complete",
-                        file: file.to_path_buf(),
-                        line: start + 1,
-                        excerpt: format!("{trimmed} … missing `{required}`"),
-                    });
-                }
-            }
-        }
-        i += 1;
-    }
-}
-
 fn main() -> ExitCode {
     // crates/lint/Cargo.toml → repo root is two levels up.
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -231,10 +36,11 @@ fn main() -> ExitCode {
         .and_then(Path::parent)
         .map(Path::to_path_buf)
         .unwrap_or_else(|| PathBuf::from("."));
-    let allows = load_allowlist(&root.join("crates/lint/allowlist.txt"));
+    let allow_text = fs::read_to_string(root.join("crates/lint/allowlist.txt")).unwrap_or_default();
+    let allows = parse_allowlist(&allow_text);
 
     // Library source trees: every crate's src/ plus the root package's.
-    let mut files = Vec::new();
+    let mut paths = Vec::new();
     if let Ok(entries) = fs::read_dir(root.join("crates")) {
         let mut crates: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
         crates.sort();
@@ -244,59 +50,39 @@ fn main() -> ExitCode {
             if c.file_name().is_some_and(|n| n == "lint") {
                 continue;
             }
-            rust_files(&c.join("src"), &mut files);
+            rust_files(&c.join("src"), &mut paths);
         }
     }
-    rust_files(&root.join("src"), &mut files);
+    rust_files(&root.join("src"), &mut paths);
+
+    let files: Vec<(String, String)> = paths
+        .iter()
+        .filter_map(|p| {
+            let text = fs::read_to_string(p).ok()?;
+            let rel = p
+                .strip_prefix(&root)
+                .unwrap_or(p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            Some((rel, text))
+        })
+        .collect();
 
     let mut violations: Vec<Violation> = Vec::new();
-    for file in &files {
-        let Ok(text) = fs::read_to_string(file) else {
-            continue;
-        };
-        let rel = file
-            .strip_prefix(&root)
-            .unwrap_or(file)
-            .to_string_lossy()
-            .replace('\\', "/");
-        // Scan only up to the test module; repo convention keeps
-        // `#[cfg(test)] mod tests` at the end of each file.
-        let all: Vec<&str> = text.lines().collect();
-        let cut = all
-            .iter()
-            .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
-            .unwrap_or(all.len());
-        let lines = &all[..cut];
-
-        let mut found: Vec<Violation> = Vec::new();
-        let in_bin = rel.contains("/bin/");
-        if !in_bin {
-            check_panics(lines, &mut found, file);
-        }
-        if rel.starts_with("crates/tensor/src") {
-            check_float_casts(lines, &mut found, file);
-        }
-        if [
-            "crates/core/src",
-            "crates/dist/src",
-            "crates/nn/src",
-            "crates/serve/src",
-            "crates/tensor/src",
-        ]
-        .iter()
-        .any(|p| rel.starts_with(p))
-            && !in_bin
-        {
-            check_pub_fn_docs(lines, &mut found, file);
-        }
-        if rel.starts_with("crates/nn/src/layers") {
-            check_layer_impls(lines, &mut found, file);
-        }
+    for (rel, text) in &files {
         violations.extend(
-            found
+            analyze_source(rel, text)
                 .into_iter()
-                .filter(|v| !is_allowed(&allows, &rel, &v.excerpt)),
+                .filter(|v| !is_allowed(&allows, v.rule, rel, &v.excerpt)),
         );
+    }
+    for stale in stale_entries(&allows, &files) {
+        violations.push(Violation {
+            rule: "stale-allowlist",
+            rel: "crates/lint/allowlist.txt".to_string(),
+            line: 0,
+            excerpt: format!("entry `{stale}` no longer matches any scanned line — delete it"),
+        });
     }
 
     if violations.is_empty() {

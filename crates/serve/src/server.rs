@@ -433,7 +433,13 @@ fn run_batch(
         if let Some(m) = metrics {
             m.stage_queue_us.record_duration_us(dequeued - p.enqueued);
         }
-        emit_span(recorder, p.trace, cuttlefish_telemetry::trace::stage::QUEUE, worker, queue_ms);
+        emit_span(
+            recorder,
+            p.trace,
+            cuttlefish_telemetry::trace::stage::QUEUE,
+            worker,
+            queue_ms,
+        );
         if p.deadline.is_some_and(|d| dequeued > d) {
             if let Some(m) = metrics {
                 m.outcome_counter("deadline_dequeue").inc();
@@ -472,8 +478,20 @@ fn run_batch(
         }
     }
     for (p, _) in &live {
-        emit_span(recorder, p.trace, cuttlefish_telemetry::trace::stage::BATCH, worker, batch_ms);
-        emit_span(recorder, p.trace, cuttlefish_telemetry::trace::stage::INFER, worker, infer_ms);
+        emit_span(
+            recorder,
+            p.trace,
+            cuttlefish_telemetry::trace::stage::BATCH,
+            worker,
+            batch_ms,
+        );
+        emit_span(
+            recorder,
+            p.trace,
+            cuttlefish_telemetry::trace::stage::INFER,
+            worker,
+            infer_ms,
+        );
     }
     recorder.record(Event::ServeBatch {
         worker,

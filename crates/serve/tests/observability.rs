@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use cuttlefish_nn::checkpoint::Checkpoint;
 use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
-use cuttlefish_serve::{BatchPolicy, FrozenModel, Server, ServerConfig, ServeMetrics};
+use cuttlefish_serve::{BatchPolicy, FrozenModel, ServeMetrics, Server, ServerConfig};
 use cuttlefish_telemetry::{Event, MemoryRecorder, MetricsRegistry, Recorder, RunReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -98,7 +98,10 @@ fn registry_counters_reconcile_exactly_with_event_log() {
             _ => {}
         }
     }
-    assert!(!event_outcomes.is_empty(), "no serve_request events recorded");
+    assert!(
+        !event_outcomes.is_empty(),
+        "no serve_request events recorded"
+    );
 
     // Per-outcome counters reconcile exactly.
     let mut total_requests = 0u64;
@@ -153,7 +156,12 @@ fn trace_spans_decompose_each_request_by_stage() {
     let mut outcomes: HashMap<String, u64> = HashMap::new();
     for e in recorder.events() {
         match e {
-            Event::TraceSpan { trace, stage, worker, wall_ms } => {
+            Event::TraceSpan {
+                trace,
+                stage,
+                worker,
+                wall_ms,
+            } => {
                 assert!(worker.is_some(), "serve spans attribute a worker");
                 assert!(wall_ms >= 0.0);
                 by_trace.entry(trace).or_default().push(stage);

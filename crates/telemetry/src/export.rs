@@ -93,21 +93,13 @@ pub fn prometheus_text(snapshot: &RegistrySnapshot) -> String {
         let (raw, labels) = split_labels(key);
         let name = sanitize(raw);
         type_line(&mut out, &name, "counter");
-        out.push_str(&format!(
-            "{} {}\n",
-            with_labels(&name, labels, None),
-            value
-        ));
+        out.push_str(&format!("{} {}\n", with_labels(&name, labels, None), value));
     }
     for (key, value) in &snapshot.gauges {
         let (raw, labels) = split_labels(key);
         let name = sanitize(raw);
         type_line(&mut out, &name, "gauge");
-        out.push_str(&format!(
-            "{} {}\n",
-            with_labels(&name, labels, None),
-            value
-        ));
+        out.push_str(&format!("{} {}\n", with_labels(&name, labels, None), value));
     }
     for (key, hist) in &snapshot.histograms {
         let (raw, labels) = split_labels(key);
@@ -327,7 +319,8 @@ mod tests {
     #[test]
     fn labeled_histograms_merge_quantile_into_existing_labels() {
         let reg = MetricsRegistry::new();
-        reg.histogram(&labeled("lat_us", &[("tenant", "a")])).record(5);
+        reg.histogram(&labeled("lat_us", &[("tenant", "a")]))
+            .record(5);
         let text = prometheus_text(&reg.snapshot());
         assert!(text.contains("lat_us{tenant=\"a\",quantile=\"0.5\"} 5"));
         assert!(text.contains("lat_us_count{tenant=\"a\"} 1"));
@@ -335,7 +328,8 @@ mod tests {
 
     #[test]
     fn exporter_writes_both_sinks_and_final_snapshot() {
-        let dir = std::env::temp_dir().join(format!("cuttlefish-obs-export-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("cuttlefish-obs-export-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let jsonl = dir.join("metrics.jsonl");
         let prom = dir.join("metrics.prom");

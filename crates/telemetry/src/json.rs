@@ -323,9 +323,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseErr> {
                         *pos += 4;
                         out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                     }
-                    other => {
-                        return Err((*pos - 1, format!("bad escape '\\{}'", other as char)))
-                    }
+                    other => return Err((*pos - 1, format!("bad escape '\\{}'", other as char))),
                 }
             }
             _ => {

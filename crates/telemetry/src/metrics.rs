@@ -118,7 +118,9 @@ impl Counter {
 
 impl std::fmt::Debug for Counter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Counter").field("value", &self.get()).finish()
+        f.debug_struct("Counter")
+            .field("value", &self.get())
+            .finish()
     }
 }
 
@@ -158,9 +160,11 @@ impl std::fmt::Debug for Gauge {
     }
 }
 
-/// Maps a value to its bucket index.
+/// Maps a value to its histogram bucket index. Public so the
+/// `cuttlefish-check` model checker can drive its instrumented histogram
+/// mirror through the exact bucket math the production histogram uses.
 #[inline]
-fn bucket_index(v: u64) -> usize {
+pub fn bucket_index(v: u64) -> usize {
     if v < SUB as u64 {
         v as usize
     } else {
@@ -170,8 +174,8 @@ fn bucket_index(v: u64) -> usize {
     }
 }
 
-/// Lower bound and width of a bucket.
-fn bucket_lo_width(idx: usize) -> (u64, u64) {
+/// Lower bound and width of a bucket (shared with `cuttlefish-check`).
+pub fn bucket_lo_width(idx: usize) -> (u64, u64) {
     if idx < SUB {
         (idx as u64, 1)
     } else {
@@ -182,8 +186,8 @@ fn bucket_lo_width(idx: usize) -> (u64, u64) {
 }
 
 /// The value a bucket reports for percentiles: the exact value for unit
-/// buckets, the midpoint for wider ones.
-fn bucket_representative(idx: usize) -> f64 {
+/// buckets, the midpoint for wider ones (shared with `cuttlefish-check`).
+pub fn bucket_representative(idx: usize) -> f64 {
     let (lo, width) = bucket_lo_width(idx);
     if width == 1 {
         lo as f64
@@ -220,12 +224,23 @@ impl Histogram {
     }
 
     /// Records one value. Lock-free, allocation-free.
+    ///
+    /// The field order is load-bearing: sum/max/min are updated *before*
+    /// the bucket increment, and the increment is a `Release` store paired
+    /// with the `Acquire` bucket loads in [`Histogram::snapshot`]. A
+    /// snapshot that observes a value's bucket therefore also observes its
+    /// min/max/sum contribution, so a mid-stream snapshot can never report
+    /// a percentile outside `[min, max]` (the torn-snapshot bug the
+    /// `cuttlefish-check` model checker catches when the order is
+    /// reversed — see `histogram_torn` in that crate).
     #[inline]
     pub fn record(&self, v: u64) {
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        // RELAXED: these three land before the Release increment below and
+        // become visible with it; no reader orders through them directly.
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Release);
     }
 
     /// Records a non-negative float, rounding to the nearest tick
@@ -250,14 +265,23 @@ impl Histogram {
     }
 
     /// Snapshots the current state. Recording may continue concurrently;
-    /// the snapshot is then approximately consistent (bucket counts are
-    /// each exact, but a racing `record` may appear in one field and not
-    /// yet another). With writers quiesced it is exact.
+    /// the snapshot is then approximately consistent: bucket counts are
+    /// each exact, a racing `record` may already show in `sum` but not yet
+    /// in a bucket, and `count` is always `Σ buckets`. What a mid-stream
+    /// snapshot can *not* show is a bucketed value without its min/max
+    /// bounds — the `Acquire` bucket loads pair with the `Release`
+    /// increment in [`Histogram::record`], so `min <= percentile(p) <= max`
+    /// holds on every snapshot with `count > 0` (model-checked and
+    /// thread-tested; see `crates/check`). With writers quiesced the
+    /// snapshot is exact.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = Vec::new();
         let mut count = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            let n = b.load(Ordering::Relaxed);
+            // Acquire pairs with the Release increment in `record`: any
+            // observed count makes that record's earlier min/max/sum
+            // updates visible to the loads below.
+            let n = b.load(Ordering::Acquire);
             if n > 0 {
                 buckets.push((i as u32, n));
                 count += n;
@@ -266,6 +290,8 @@ impl Histogram {
         HistogramSnapshot {
             buckets,
             count,
+            // RELAXED: ordered after the Acquire bucket loads by program
+            // order; the acquired edge already publishes these fields.
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
             min: if count == 0 {
@@ -316,7 +342,10 @@ impl HistogramSnapshot {
     /// Percentile estimate in ticks, within one bucket width of the exact
     /// order statistic. Matches the sort-based convention used elsewhere
     /// in the workspace: the element at (0-based) index
-    /// `round((count - 1) · p)` of the sorted samples.
+    /// `round((count - 1) · p)` of the sorted samples. The estimate is
+    /// clamped to `[min, max]` — a wide bucket's midpoint representative
+    /// can otherwise stick out past the true extremes the snapshot already
+    /// knows exactly.
     pub fn percentile(&self, p: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -326,7 +355,11 @@ impl HistogramSnapshot {
         for &(idx, n) in &self.buckets {
             cum += n;
             if cum >= rank {
-                return bucket_representative(idx as usize);
+                // Manual clamp: `f64::clamp` panics when min > max, and a
+                // merged snapshot from hostile JSON could present that.
+                return bucket_representative(idx as usize)
+                    .max(self.min as f64)
+                    .min(self.max as f64);
             }
         }
         self.max as f64
@@ -362,9 +395,7 @@ impl HistogramSnapshot {
                 Json::Arr(
                     self.buckets
                         .iter()
-                        .map(|&(i, n)| {
-                            Json::Arr(vec![Json::Num(i as f64), Json::Num(n as f64)])
-                        })
+                        .map(|&(i, n)| Json::Arr(vec![Json::Num(i as f64), Json::Num(n as f64)]))
                         .collect(),
                 ),
             ),
@@ -398,10 +429,7 @@ pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return name.to_string();
     }
-    let body: Vec<String> = labels
-        .iter()
-        .map(|(k, v)| format!("{k}=\"{v}\""))
-        .collect();
+    let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
     format!("{name}{{{}}}", body.join(","))
 }
 
@@ -535,10 +563,7 @@ impl RegistrySnapshot {
 
     /// Looks up a gauge value.
     pub fn gauge(&self, name: &str) -> Option<i64> {
-        self.gauges
-            .iter()
-            .find(|(k, _)| k == name)
-            .map(|(_, v)| *v)
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
     }
 
     /// Looks up a histogram snapshot.
@@ -720,6 +745,76 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_record_vs_snapshot_coherence() {
+        // The real-threads half of the satellite test (the model-checked
+        // half lives in `cuttlefish-check`): writers hammer one histogram
+        // while the main thread snapshots mid-stream. Every snapshot must
+        // satisfy count == Σ buckets and min <= p50 <= max; the final
+        // quiesced snapshot must be exact.
+        let h = Arc::new(Histogram::new());
+        const WRITERS: usize = 4;
+        let per: u64 = if cfg!(miri) { 64 } else { 20_000 };
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    let mut x = 0x9e37_79b9_u64 ^ (w as u64 + 1);
+                    let (mut sum, mut mn, mut mx) = (0u64, u64::MAX, 0u64);
+                    for _ in 0..per {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let v = 50 + x % 200_000;
+                        h.record(v);
+                        sum += v;
+                        mn = mn.min(v);
+                        mx = mx.max(v);
+                    }
+                    (sum, mn, mx)
+                })
+            })
+            .collect();
+        let mut mid_stream_snaps = 0usize;
+        loop {
+            let writers_live = handles.iter().any(|j| !j.is_finished());
+            let snap = h.snapshot();
+            let bucket_total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+            assert_eq!(snap.count, bucket_total, "count torn from buckets");
+            if snap.count > 0 {
+                assert!(snap.min <= snap.max, "min {} > max {}", snap.min, snap.max);
+                assert_ne!(snap.min, u64::MAX, "min torn (bucket visible, min not)");
+                let p50 = snap.percentile(0.5);
+                assert!(
+                    snap.min as f64 <= p50 && p50 <= snap.max as f64,
+                    "p50 {p50} outside [{}, {}]",
+                    snap.min,
+                    snap.max
+                );
+                assert!(snap.min >= 50 && snap.max < 50 + 200_000);
+            }
+            mid_stream_snaps += 1;
+            if !writers_live {
+                break;
+            }
+        }
+        let (mut sum, mut mn, mut mx) = (0u64, u64::MAX, 0u64);
+        for j in handles {
+            let (s, lo, hi) = j.join().expect("writer panicked");
+            sum += s;
+            mn = mn.min(lo);
+            mx = mx.max(hi);
+        }
+        let fin = h.snapshot();
+        assert_eq!(fin.count, WRITERS as u64 * per);
+        assert_eq!(fin.sum, sum);
+        assert_eq!(fin.min, mn);
+        assert_eq!(fin.max, mx);
+        // Not an assertion on scheduling, just a sanity signal that the
+        // loop above really did observe the histogram at least once.
+        assert!(mid_stream_snaps > 0);
+    }
+
+    #[test]
     fn counter_and_gauge_basics() {
         let c = Counter::new();
         c.inc();
@@ -776,9 +871,18 @@ mod tests {
             merged.histogram("h").unwrap().buckets,
             expect.histogram("h").unwrap().buckets
         );
-        assert_eq!(merged.histogram("h").unwrap().sum, expect.histogram("h").unwrap().sum);
-        assert_eq!(merged.histogram("h").unwrap().min, expect.histogram("h").unwrap().min);
-        assert_eq!(merged.histogram("h").unwrap().max, expect.histogram("h").unwrap().max);
+        assert_eq!(
+            merged.histogram("h").unwrap().sum,
+            expect.histogram("h").unwrap().sum
+        );
+        assert_eq!(
+            merged.histogram("h").unwrap().min,
+            expect.histogram("h").unwrap().min
+        );
+        assert_eq!(
+            merged.histogram("h").unwrap().max,
+            expect.histogram("h").unwrap().max
+        );
     }
 
     #[test]

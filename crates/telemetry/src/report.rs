@@ -399,7 +399,10 @@ impl RunReport {
                     Some(i) => &stages[i].1,
                     None => {
                         stages.push((stage.clone(), Histogram::new()));
-                        &stages.last().unwrap().1
+                        let Some(last) = stages.last() else {
+                            unreachable!("pushed one line above")
+                        };
+                        &last.1
                     }
                 };
                 hist.record_f64(wall_ms * 1000.0);
@@ -411,11 +414,7 @@ impl RunReport {
             return;
         }
         let _ = writeln!(out, "\n== stage latency (trace spans) ==");
-        let _ = writeln!(
-            out,
-            "{spans} spans across {} traces",
-            traces.len()
-        );
+        let _ = writeln!(out, "{spans} spans across {} traces", traces.len());
         let _ = writeln!(
             out,
             "stage        count    avg_ms     p50_ms     p95_ms     p99_ms     max_ms"
@@ -883,7 +882,11 @@ mod tests {
         let jsonl = format!("{complete}\n{}", &last[..last.len() / 2]);
         let report = RunReport::from_jsonl(&jsonl);
         assert_eq!(report.events().len(), 2);
-        assert!(report.skipped_lines.is_empty(), "{:?}", report.skipped_lines);
+        assert!(
+            report.skipped_lines.is_empty(),
+            "{:?}",
+            report.skipped_lines
+        );
         assert_eq!(report.truncated_final_line, Some(3));
         let text = report.render();
         assert!(text.contains("truncated final line"), "{text}");

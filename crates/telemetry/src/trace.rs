@@ -59,8 +59,12 @@ impl TraceId {
     /// Mints a fresh, process-unique id. Lock-free.
     pub fn mint() -> TraceId {
         static SEQ: AtomicU64 = AtomicU64::new(0);
+        // RELAXED: uniqueness needs only the RMW's atomicity — every caller
+        // gets a distinct sequence number; no other memory is published.
         let seq = SEQ.fetch_add(1, Ordering::Relaxed);
-        TraceId(splitmix64(process_seed() ^ seq.wrapping_mul(0x2545_f491_4f6c_dd1d)))
+        TraceId(splitmix64(
+            process_seed() ^ seq.wrapping_mul(0x2545_f491_4f6c_dd1d),
+        ))
     }
 
     /// Wraps a raw id (e.g. decoded from a log).
@@ -119,7 +123,13 @@ mod tests {
     #[test]
     fn mint_is_thread_safe() {
         let handles: Vec<_> = (0..4)
-            .map(|_| std::thread::spawn(|| (0..1000).map(|_| TraceId::mint().as_u64()).collect::<Vec<_>>()))
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (0..1000)
+                        .map(|_| TraceId::mint().as_u64())
+                        .collect::<Vec<_>>()
+                })
+            })
             .collect();
         let mut all = HashSet::new();
         for h in handles {

@@ -94,6 +94,10 @@ pub fn scan(op: &'static str, data: &[f32]) {
     #[cfg(feature = "checked")]
     {
         use std::sync::atomic::Ordering;
+        // RELAXED: POISONED is a monotone fast-path hint; the authoritative
+        // poison record lives behind the POISON mutex, whose lock/unlock
+        // provides the happens-before edge. A stale `false` here only costs
+        // one extra scan before the mutex settles the race.
         if live::POISONED.load(Ordering::Relaxed) {
             return;
         }
@@ -107,6 +111,8 @@ pub fn scan(op: &'static str, data: &[f32]) {
                     index,
                     value,
                 });
+                // RELAXED: set inside the POISON critical section; readers
+                // that need the record take the mutex (see load above).
                 live::POISONED.store(true, Ordering::Relaxed);
             }
         }
@@ -136,6 +142,8 @@ pub fn reset() {
         use std::sync::atomic::Ordering;
         *live::lock(&live::POISON) = None;
         live::lock(&live::LABEL).clear();
+        // RELAXED: cleared after the mutexed record above; the hint flag
+        // never carries ordering on its own (see `scan`).
         live::POISONED.store(false, Ordering::Relaxed);
     }
 }

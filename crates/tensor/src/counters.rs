@@ -67,11 +67,16 @@ mod live {
 
     #[inline]
     pub(super) fn add(counter: &AtomicU64, n: u64) {
+        // RELAXED: each counter is an independent monotone tally; readers
+        // only ever fold totals, never infer cross-counter ordering, so no
+        // happens-before edge is needed and the cheapest ordering is correct.
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
     #[inline]
     pub(super) fn load(counter: &AtomicU64) -> u64 {
+        // RELAXED: see `add` — snapshots are advisory telemetry, each load
+        // is independently coherent and nothing synchronizes through it.
         counter.load(Ordering::Relaxed)
     }
 }
@@ -143,12 +148,18 @@ pub fn reset() {
     #[cfg(feature = "telemetry")]
     {
         use std::sync::atomic::Ordering;
-        live::MATMUL_CALLS.store(0, Ordering::Relaxed);
-        live::MATMUL_FLOPS.store(0, Ordering::Relaxed);
-        live::IM2COL_CALLS.store(0, Ordering::Relaxed);
-        live::IM2COL_ELEMS.store(0, Ordering::Relaxed);
-        live::SVD_SWEEPS.store(0, Ordering::Relaxed);
-        live::POWER_ITERS.store(0, Ordering::Relaxed);
+        for counter in [
+            &live::MATMUL_CALLS,
+            &live::MATMUL_FLOPS,
+            &live::IM2COL_CALLS,
+            &live::IM2COL_ELEMS,
+            &live::SVD_SWEEPS,
+            &live::POWER_ITERS,
+        ] {
+            // RELAXED: resets are test/bench bookkeeping between quiesced
+            // phases; a racing writer makes any ordering ambiguous anyway.
+            counter.store(0, Ordering::Relaxed);
+        }
     }
 }
 

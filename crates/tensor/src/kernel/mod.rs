@@ -184,6 +184,28 @@ pub fn threads() -> usize {
     }
 }
 
+/// Splits `m` output rows into the contiguous stripes the `parallel`
+/// feature assigns to worker threads: an even share per thread, rounded up
+/// to a multiple of [`MR`] so only the final stripe carries a partial
+/// micro-panel. Returns `(first_row, rows)` pairs that cover `0..m` exactly
+/// once with no overlap — the disjointness the striped GEMM's correctness
+/// rests on, model-checked by `cuttlefish-check` against this very
+/// function and property-tested below.
+pub fn stripe_rows(m: usize, nthreads: usize) -> Vec<(usize, usize)> {
+    if m == 0 {
+        return Vec::new();
+    }
+    let stripe = m.div_ceil(nthreads.max(1)).div_ceil(MR) * MR;
+    let mut out = Vec::new();
+    let mut i0 = 0usize;
+    while i0 < m {
+        let rows = stripe.min(m - i0);
+        out.push((i0, rows));
+        i0 += rows;
+    }
+    out
+}
+
 /// Resolves the micro-kernel for an ISA; unsupported-on-this-arch variants
 /// fall back to scalar (unreachable through the public API, which refuses
 /// to force an unsupported ISA).
@@ -487,6 +509,34 @@ mod tests {
         let mut c = vec![1.0f32; 4];
         gemm_nn(2, 2, 0, &[], &[], &mut c);
         assert_eq!(c, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn stripe_rows_cover_exactly_once_and_stay_aligned() {
+        for m in 0..=200usize {
+            for nthreads in 1..=8usize {
+                let stripes = stripe_rows(m, nthreads);
+                assert!(
+                    stripes.len() <= nthreads.max(1),
+                    "{m} rows / {nthreads} threads"
+                );
+                // Contiguous, complete, non-overlapping coverage of 0..m.
+                let mut next = 0usize;
+                for (idx, &(i0, rows)) in stripes.iter().enumerate() {
+                    assert_eq!(i0, next, "gap or overlap at stripe {idx} ({m}/{nthreads})");
+                    assert!(rows > 0, "empty stripe {idx} ({m}/{nthreads})");
+                    // Every stripe start — and so every stripe except the
+                    // last — is MR-aligned.
+                    assert_eq!(i0 % MR, 0, "unaligned stripe start ({m}/{nthreads})");
+                    if idx + 1 < stripes.len() {
+                        assert_eq!(rows % MR, 0, "interior stripe not MR-aligned");
+                    }
+                    next = i0 + rows;
+                }
+                assert_eq!(next, m, "stripes do not cover all rows ({m}/{nthreads})");
+            }
+        }
+        assert!(stripe_rows(0, 4).is_empty());
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! rounding, so this path shares the FMA drift bound documented on the
 //! dispatch module, not bit-identity with the scalar path.
 //!
-//! See `x86.rs` for why `unsafe` is allowed here and nowhere else.
+//! See `x86.rs` for why `unsafe` is allowed here and nowhere else, and for
+//! the `unsafe_op_in_unsafe_fn` + per-block `// SAFETY:` convention.
 #![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use super::{MR, NR, TILE};
 
@@ -18,11 +20,17 @@ pub(crate) fn kernel_neon(kc: usize, pa: &[f32], pb: &[f32], tile: &mut [f32; TI
     assert!(pa.len() >= kc * MR, "packed A panel too short");
     assert!(pb.len() >= kc * NR, "packed B panel too short");
     // SAFETY: NEON presence was verified at dispatch time via
-    // `is_aarch64_feature_detected!`; bounds are asserted above; the tile
-    // is a fixed-size array, so every load/store below is in range.
+    // `is_aarch64_feature_detected!`, satisfying the callee's
+    // target-feature contract; the panel-length asserts above satisfy its
+    // bounds contract.
     unsafe { kernel_neon_impl(kc, pa, pb, tile) }
 }
 
+/// # Safety
+///
+/// The caller must guarantee that the CPU supports NEON, that
+/// `pa.len() >= kc * MR`, and that `pb.len() >= kc * NR`. The tile is a
+/// fixed-size `MR*NR` array, so tile accesses are in range by construction.
 #[target_feature(enable = "neon")]
 unsafe fn kernel_neon_impl(kc: usize, pa: &[f32], pb: &[f32], tile: &mut [f32; TILE]) {
     use std::arch::aarch64::*;
@@ -30,18 +38,29 @@ unsafe fn kernel_neon_impl(kc: usize, pa: &[f32], pb: &[f32], tile: &mut [f32; T
     let mut acc = [[vdupq_n_f32(0.0); 4]; MR];
     for (r, lanes) in acc.iter_mut().enumerate() {
         for (q, lane) in lanes.iter_mut().enumerate() {
-            *lane = vld1q_f32(tile.as_ptr().add(r * NR + q * 4));
+            // SAFETY: r < MR and q < 4, so r*NR + q*4 + 4 <= MR*NR = TILE
+            // and the 4-lane load stays inside the fixed-size tile array.
+            *lane = unsafe { vld1q_f32(tile.as_ptr().add(r * NR + q * 4)) };
         }
     }
     for k in 0..kc {
-        let bp = pb.as_ptr().add(k * NR);
-        let b0 = vld1q_f32(bp);
-        let b1 = vld1q_f32(bp.add(4));
-        let b2 = vld1q_f32(bp.add(8));
-        let b3 = vld1q_f32(bp.add(12));
-        let ap = pa.as_ptr().add(k * MR);
+        // SAFETY: k < kc and the caller guarantees pb.len() >= kc*NR, so
+        // k*NR + 12 + 4 <= kc*NR and all four B loads are in bounds.
+        let (b0, b1, b2, b3) = unsafe {
+            let bp = pb.as_ptr().add(k * NR);
+            (
+                vld1q_f32(bp),
+                vld1q_f32(bp.add(4)),
+                vld1q_f32(bp.add(8)),
+                vld1q_f32(bp.add(12)),
+            )
+        };
+        let ap = pa.as_ptr();
         for (r, lanes) in acc.iter_mut().enumerate() {
-            let av = vdupq_n_f32(*ap.add(r));
+            // SAFETY: k < kc, r < MR, and the caller guarantees
+            // pa.len() >= kc*MR, so k*MR + r indexes inside the A panel.
+            let a = unsafe { *ap.add(k * MR + r) };
+            let av = vdupq_n_f32(a);
             lanes[0] = vfmaq_f32(lanes[0], av, b0);
             lanes[1] = vfmaq_f32(lanes[1], av, b1);
             lanes[2] = vfmaq_f32(lanes[2], av, b2);
@@ -50,7 +69,9 @@ unsafe fn kernel_neon_impl(kc: usize, pa: &[f32], pb: &[f32], tile: &mut [f32; T
     }
     for (r, lanes) in acc.iter().enumerate() {
         for (q, lane) in lanes.iter().enumerate() {
-            vst1q_f32(tile.as_mut_ptr().add(r * NR + q * 4), *lane);
+            // SAFETY: r < MR and q < 4, so r*NR + q*4 + 4 <= TILE and the
+            // 4-lane store stays inside the fixed-size tile array.
+            unsafe { vst1q_f32(tile.as_mut_ptr().add(r * NR + q * 4), *lane) };
         }
     }
 }

@@ -11,21 +11,19 @@
 //! before return.
 
 use super::blocked::gemm_blocked;
-use super::{GemmView, MicroKernel, MR};
+use super::{stripe_rows, GemmView, MicroKernel};
 
-/// Splits `c` into row stripes and runs [`gemm_blocked`] on each stripe in
-/// its own scoped thread. `nthreads >= 2` and `m >= 2·MR` are guaranteed by
-/// the dispatch threshold.
+/// Splits `c` into the row stripes computed by [`stripe_rows`] and runs
+/// [`gemm_blocked`] on each stripe in its own scoped thread. `nthreads >= 2`
+/// and `m >= 2·MR` are guaranteed by the dispatch threshold. The stripe
+/// plan is the single source of truth shared with the `cuttlefish-check`
+/// model checker, which asserts its disjointness and coverage under every
+/// explored interleaving.
 pub(crate) fn gemm_striped(g: &GemmView<'_>, c: &mut [f32], kernel: MicroKernel, nthreads: usize) {
     debug_assert_eq!(c.len(), g.m * g.n);
-    // Stripe height: even share, rounded up to a multiple of MR so only the
-    // final stripe carries a partial micro-panel.
-    let stripe = g.m.div_ceil(nthreads).div_ceil(MR) * MR;
     std::thread::scope(|scope| {
         let mut rest = c;
-        let mut i0 = 0usize;
-        while i0 < g.m {
-            let rows = stripe.min(g.m - i0);
+        for (i0, rows) in stripe_rows(g.m, nthreads) {
             let (chunk, tail) = rest.split_at_mut(rows * g.n);
             rest = tail;
             let sub = GemmView {
@@ -40,7 +38,6 @@ pub(crate) fn gemm_striped(g: &GemmView<'_>, c: &mut [f32], kernel: MicroKernel,
                 b_cs: g.b_cs,
             };
             scope.spawn(move || gemm_blocked(&sub, chunk, kernel));
-            i0 += rows;
         }
     });
 }

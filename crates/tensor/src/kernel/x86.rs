@@ -11,8 +11,11 @@
 //! intrinsics require it. Safety rests on two invariants: the dispatch
 //! layer only hands out this kernel after runtime detection of AVX2+FMA,
 //! and every pointer dereference is covered by the panel/tile length
-//! checks in the safe wrapper.
+//! checks in the safe wrapper. `unsafe_op_in_unsafe_fn` is denied so each
+//! pointer operation sits in its own `unsafe` block with its own
+//! `// SAFETY:` contract (enforced workspace-wide by `cuttlefish-lint`).
 #![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use super::{MR, NR, TILE};
 
@@ -23,33 +26,52 @@ pub(crate) fn kernel_avx2(kc: usize, pa: &[f32], pb: &[f32], tile: &mut [f32; TI
     assert!(pa.len() >= kc * MR, "packed A panel too short");
     assert!(pb.len() >= kc * NR, "packed B panel too short");
     // SAFETY: AVX2+FMA presence was verified at dispatch time via
-    // `is_x86_feature_detected!`; bounds are asserted above; the tile is a
-    // fixed-size array, so every load/store below is in range.
+    // `is_x86_feature_detected!`, satisfying the callee's target-feature
+    // contract; the panel-length asserts above satisfy its bounds contract.
     unsafe { kernel_avx2_impl(kc, pa, pb, tile) }
 }
 
+/// # Safety
+///
+/// The caller must guarantee that the CPU supports AVX2 and FMA, that
+/// `pa.len() >= kc * MR`, and that `pb.len() >= kc * NR`. The tile is a
+/// fixed-size `MR*NR` array, so tile accesses are in range by construction.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn kernel_avx2_impl(kc: usize, pa: &[f32], pb: &[f32], tile: &mut [f32; TILE]) {
     use std::arch::x86_64::*;
 
     let mut acc = [[_mm256_setzero_ps(); 2]; MR];
     for (r, lanes) in acc.iter_mut().enumerate() {
-        lanes[0] = _mm256_loadu_ps(tile.as_ptr().add(r * NR));
-        lanes[1] = _mm256_loadu_ps(tile.as_ptr().add(r * NR + 8));
+        // SAFETY: r < MR, so r*NR + 8 + 8 <= MR*NR = TILE and both 8-lane
+        // loads stay inside the fixed-size tile array.
+        unsafe {
+            lanes[0] = _mm256_loadu_ps(tile.as_ptr().add(r * NR));
+            lanes[1] = _mm256_loadu_ps(tile.as_ptr().add(r * NR + 8));
+        }
     }
     for k in 0..kc {
-        let bp = pb.as_ptr().add(k * NR);
-        let b0 = _mm256_loadu_ps(bp);
-        let b1 = _mm256_loadu_ps(bp.add(8));
-        let ap = pa.as_ptr().add(k * MR);
+        // SAFETY: k < kc and the caller guarantees pb.len() >= kc*NR, so
+        // k*NR + 8 + 8 <= kc*NR and both B loads are in bounds.
+        let (b0, b1) = unsafe {
+            let bp = pb.as_ptr().add(k * NR);
+            (_mm256_loadu_ps(bp), _mm256_loadu_ps(bp.add(8)))
+        };
+        let ap = pa.as_ptr();
         for (r, lanes) in acc.iter_mut().enumerate() {
-            let av = _mm256_set1_ps(*ap.add(r));
+            // SAFETY: k < kc, r < MR, and the caller guarantees
+            // pa.len() >= kc*MR, so k*MR + r indexes inside the A panel.
+            let a = unsafe { *ap.add(k * MR + r) };
+            let av = _mm256_set1_ps(a);
             lanes[0] = _mm256_fmadd_ps(av, b0, lanes[0]);
             lanes[1] = _mm256_fmadd_ps(av, b1, lanes[1]);
         }
     }
     for (r, lanes) in acc.iter().enumerate() {
-        _mm256_storeu_ps(tile.as_mut_ptr().add(r * NR), lanes[0]);
-        _mm256_storeu_ps(tile.as_mut_ptr().add(r * NR + 8), lanes[1]);
+        // SAFETY: r < MR, so r*NR + 8 + 8 <= TILE and both 8-lane stores
+        // stay inside the fixed-size tile array.
+        unsafe {
+            _mm256_storeu_ps(tile.as_mut_ptr().add(r * NR), lanes[0]);
+            _mm256_storeu_ps(tile.as_mut_ptr().add(r * NR + 8), lanes[1]);
+        }
     }
 }
