@@ -1,0 +1,515 @@
+//! Fleet load benchmark: an open-loop, multi-tenant, multi-model
+//! workload against the fleet registry, with one hot-swap mid-run.
+//!
+//! The generator models a small inference fleet the way the serving
+//! literature does: ≥3 models whose popularity follows a Zipf law, many
+//! tenants (also Zipf-skewed) with per-tenant token-bucket quotas and
+//! deadline classes, and arrivals on a fixed clock regardless of
+//! completions. Halfway through the run the most popular model is
+//! hot-swapped to a new checkpoint version while traffic keeps flowing;
+//! the bench asserts **zero dropped in-flight requests** across the swap
+//! and reports the rollout latency blip (p99 inside the rollout window
+//! vs. steady state).
+//!
+//! Per-tenant p50/p99 come from the live `MetricsRegistry` histograms
+//! (`fleet_latency_us{tenant=…}`), not from a side channel, so the
+//! printed table is exactly what a scrape of the registry would show.
+//! Results persist to `bench_results/fleet_bench.json` and the telemetry
+//! fleet section renders at the end from the recorded event log.
+//!
+//! Flags: `--quick` shrinks the run for CI smoke. Knobs:
+//! `CUTTLEFISH_FLEET_REQUESTS`, `CUTTLEFISH_FLEET_INTERVAL_US`,
+//! `CUTTLEFISH_FLEET_TENANTS`.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use cuttlefish_bench::{print_table, save_json};
+use cuttlefish_fleet::{
+    DeadlineClass, FleetError, FleetMetrics, FleetTicket, ModelRegistry, TenantPolicy,
+};
+use cuttlefish_nn::checkpoint::Checkpoint;
+use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
+use cuttlefish_nn::Network;
+use cuttlefish_serve::{BatchPolicy, ServeError, ServerConfig};
+use cuttlefish_telemetry::{Event, Histogram, MemoryRecorder, MetricsRegistry, RunReport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Input width of the tiny micro-ResNet used for every fleet model.
+const WIDTH: usize = 3 * 8 * 8;
+
+fn builder(seed: u64) -> impl Fn() -> Network + Send + Sync + 'static {
+    move || {
+        build_micro_resnet18(
+            &MicroResNetConfig::tiny(4),
+            &mut StdRng::seed_from_u64(seed),
+        )
+    }
+}
+
+fn checkpoint(seed: u64) -> Checkpoint {
+    Checkpoint::capture(&mut builder(seed)())
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn request_row(seed: usize) -> Vec<f32> {
+    (0..WIDTH)
+        .map(|j| (((seed * 193 + j * 17) % 29) as f32 - 14.0) * 0.05)
+        .collect()
+}
+
+/// Cumulative Zipf(s) distribution over ranks `1..=n` (rank 0 hottest).
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+fn sample(cdf: &[f64], u: f64) -> usize {
+    cdf.iter().position(|&c| u <= c).unwrap_or(cdf.len() - 1)
+}
+
+/// One completed (or terminally failed) request as observed client-side.
+struct Completion {
+    /// Seconds since the load clock started, at submit time.
+    submit_offset_s: f64,
+    latency_ms: f64,
+    outcome: Outcome,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Outcome {
+    Ok,
+    Deadline,
+    /// Typed drain rejection that survived the one resubmit — an
+    /// admitted request the fleet failed to carry across the swap.
+    Dropped,
+    Error,
+}
+
+#[derive(Serialize)]
+struct TenantRow {
+    tenant: String,
+    class: String,
+    requests: u64,
+    ok: u64,
+    throttled: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Serialize)]
+struct ModelRow {
+    model: String,
+    ok: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Serialize)]
+struct RolloutRow {
+    model: String,
+    from_version: u32,
+    to_version: u32,
+    wall_ms: f64,
+    phases: Vec<String>,
+}
+
+#[derive(Serialize)]
+struct FleetBenchReport {
+    quick: bool,
+    models: usize,
+    tenants: usize,
+    requests: usize,
+    interval_us: u64,
+    zipf_s: f64,
+    ok: usize,
+    deadline_missed: usize,
+    dropped: usize,
+    errors: usize,
+    drain_retries: usize,
+    tenant_rows: Vec<TenantRow>,
+    model_rows: Vec<ModelRow>,
+    rollout: RolloutRow,
+    steady_p99_ms: f64,
+    rollout_window_p99_ms: f64,
+    blip_ratio: f64,
+    verdict: String,
+}
+
+fn class_for(tenant_idx: usize) -> DeadlineClass {
+    match tenant_idx % 3 {
+        0 => DeadlineClass::Standard,
+        1 => DeadlineClass::Batch,
+        _ => DeadlineClass::Interactive,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Arrival clocks leave headroom in unoptimized builds: the bench
+    // measures the rollout blip against a loaded-but-stable fleet, not a
+    // saturated queue.
+    let (default_requests, default_interval) = if quick { (400, 4_000) } else { (2_000, 1_500) };
+    let total_requests = env_usize("CUTTLEFISH_FLEET_REQUESTS", default_requests);
+    let interval =
+        Duration::from_micros(env_usize("CUTTLEFISH_FLEET_INTERVAL_US", default_interval) as u64);
+    let n_tenants = env_usize("CUTTLEFISH_FLEET_TENANTS", 8);
+    let zipf_s = 1.2;
+
+    let models = ["resnet-a", "resnet-b", "resnet-c"];
+    let tenants: Vec<String> = (0..n_tenants).map(|i| format!("tenant-{i}")).collect();
+
+    let recorder = Arc::new(MemoryRecorder::new());
+    let metrics_registry = Arc::new(MetricsRegistry::new());
+    let registry = Arc::new(
+        ModelRegistry::with_observability(
+            Arc::clone(&recorder) as _,
+            Some(Arc::clone(&metrics_registry)),
+        )
+        .with_server_config(ServerConfig {
+            workers: 2,
+            queue_bound: 512,
+            policy: BatchPolicy {
+                max_batch_size: 8,
+                max_wait: Duration::from_millis(1),
+            },
+        }),
+    );
+
+    // Tenant quotas: everyone gets a generous bucket except the last
+    // tenant, whose tight budget demonstrates token-bucket throttling as
+    // a typed outcome rather than queueing pressure.
+    for (i, t) in tenants.iter().enumerate() {
+        let tight = i + 1 == n_tenants;
+        registry.set_tenant_policy(
+            t,
+            TenantPolicy {
+                class: class_for(i),
+                rate_per_sec: if tight { 2.0 } else { 5_000.0 },
+                burst: if tight { 4.0 } else { 512.0 },
+            },
+        );
+    }
+
+    eprintln!("[fleet_bench] deploying {} models ...", models.len());
+    for (i, m) in models.iter().enumerate() {
+        let seed = 10 + i as u64;
+        let v = registry
+            .rollout(m, builder(seed), checkpoint(seed))
+            .expect("initial rollout");
+        assert_eq!(v, 1);
+    }
+
+    // Waiter pool: arrivals are open-loop, so ticket waits happen off the
+    // arrival clock. Each waiter records client-observed completions.
+    let (tx, rx) = mpsc::channel::<(FleetTicket, f64, Instant)>();
+    let rx = Arc::new(Mutex::new(rx));
+    let waiters: Vec<_> = (0..4)
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            std::thread::spawn(move || {
+                let mut done: Vec<Completion> = Vec::new();
+                loop {
+                    let job = rx.lock().expect("waiter lock").recv();
+                    let Ok((ticket, submit_offset_s, submitted)) = job else {
+                        return done;
+                    };
+                    let outcome = match ticket.wait() {
+                        Ok(_) => Outcome::Ok,
+                        Err(FleetError::Serve(ServeError::DeadlineExceeded { .. })) => {
+                            Outcome::Deadline
+                        }
+                        Err(FleetError::Serve(ServeError::Draining))
+                        | Err(FleetError::Serve(ServeError::ShuttingDown)) => Outcome::Dropped,
+                        Err(_) => Outcome::Error,
+                    };
+                    done.push(Completion {
+                        submit_offset_s,
+                        latency_ms: submitted.elapsed().as_secs_f64() * 1e3,
+                        outcome,
+                    });
+                }
+            })
+        })
+        .collect();
+
+    // Mid-run hot-swap of the hottest model, on its own thread so the
+    // arrival clock never pauses. Offsets are relative to the load clock.
+    let swap_at = total_requests / 2;
+    let hot_model = models[0];
+    let mut swap_thread: Option<std::thread::JoinHandle<(f64, f64, u32)>> = None;
+
+    let model_cdf = zipf_cdf(models.len(), zipf_s);
+    let tenant_cdf = zipf_cdf(n_tenants, zipf_s);
+    let mut rng = StdRng::seed_from_u64(0xF1EE7);
+    let mut throttled = 0usize;
+    let mut drain_retries = 0usize;
+    let mut door_drops = 0usize;
+    let t0 = Instant::now();
+
+    eprintln!(
+        "[fleet_bench] open loop: {total_requests} req @ {interval:?} across {} tenants ...",
+        n_tenants
+    );
+    for i in 0..total_requests {
+        if i == swap_at {
+            let registry = Arc::clone(&registry);
+            let load_t0 = t0;
+            swap_thread = Some(std::thread::spawn(move || {
+                let start = load_t0.elapsed().as_secs_f64();
+                let v = registry
+                    .rollout(hot_model, builder(99), checkpoint(99))
+                    .expect("hot swap");
+                (start, load_t0.elapsed().as_secs_f64(), v)
+            }));
+        }
+        let next_tick = t0 + interval * i as u32;
+        if let Some(wait) = next_tick.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let model = models[sample(&model_cdf, rng.gen::<f64>())];
+        let tenant = tenants[sample(&tenant_cdf, rng.gen::<f64>())].clone();
+        let submitted = Instant::now();
+        let submit_offset_s = t0.elapsed().as_secs_f64();
+        // One resubmit on a typed drain rejection: the retry re-reads the
+        // routing pointer, which the swap has already moved.
+        let mut attempt = registry.submit(model, &tenant, request_row(i));
+        if matches!(
+            attempt,
+            Err(FleetError::Serve(ServeError::Draining))
+                | Err(FleetError::Serve(ServeError::ShuttingDown))
+        ) {
+            drain_retries += 1;
+            attempt = registry.submit(model, &tenant, request_row(i));
+        }
+        match attempt {
+            Ok(ticket) => tx.send((ticket, submit_offset_s, submitted)).expect("send"),
+            Err(FleetError::Throttled { .. }) => throttled += 1,
+            Err(FleetError::Serve(ServeError::Draining))
+            | Err(FleetError::Serve(ServeError::ShuttingDown)) => door_drops += 1,
+            Err(e) => panic!("fleet admission failed: {e}"),
+        }
+    }
+    drop(tx);
+    let mut completions: Vec<Completion> = Vec::new();
+    for w in waiters {
+        completions.extend(w.join().expect("waiter thread"));
+    }
+    let (swap_start, swap_end, new_version) = swap_thread
+        .expect("swap scheduled")
+        .join()
+        .expect("swap thread");
+    assert_eq!(new_version, 2, "hot swap should mint version 2");
+    registry.drain_all();
+
+    // --- Zero-drop accounting -------------------------------------------
+    let ok = completions
+        .iter()
+        .filter(|c| c.outcome == Outcome::Ok)
+        .count();
+    let deadline_missed = completions
+        .iter()
+        .filter(|c| c.outcome == Outcome::Deadline)
+        .count();
+    let dropped = door_drops
+        + completions
+            .iter()
+            .filter(|c| c.outcome == Outcome::Dropped)
+            .count();
+    let errors = completions
+        .iter()
+        .filter(|c| c.outcome == Outcome::Error)
+        .count();
+    assert_eq!(
+        ok + deadline_missed + throttled + dropped + errors,
+        total_requests,
+        "every arrival must reach exactly one terminal outcome"
+    );
+    assert_eq!(dropped, 0, "hot swap dropped in-flight requests");
+    assert_eq!(errors, 0, "unexpected terminal errors under load");
+
+    // --- Rollout blip: p99 inside vs. outside the rollout window --------
+    let steady = Histogram::new();
+    let during = Histogram::new();
+    for c in completions.iter().filter(|c| c.outcome == Outcome::Ok) {
+        let h = if c.submit_offset_s >= swap_start && c.submit_offset_s <= swap_end {
+            &during
+        } else {
+            &steady
+        };
+        h.record_f64(c.latency_ms * 1e3);
+    }
+    let steady_p99_ms = steady.snapshot().percentile(0.99) / 1e3;
+    let rollout_window_p99_ms = during.snapshot().percentile(0.99) / 1e3;
+    let blip_ratio = rollout_window_p99_ms / steady_p99_ms.max(1e-9);
+
+    // --- Per-tenant table straight from the live registry ---------------
+    let fleet_metrics = FleetMetrics::new(Arc::clone(&metrics_registry));
+    let tenant_rows: Vec<TenantRow> = tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let snap = fleet_metrics.tenant_latency(t).snapshot();
+            let ok = fleet_metrics.request_counter(t, "ok").get();
+            let throttled = fleet_metrics.request_counter(t, "throttled").get();
+            let deadline = fleet_metrics.request_counter(t, "deadline").get();
+            TenantRow {
+                tenant: t.clone(),
+                class: class_for(i).name().to_string(),
+                requests: ok + throttled + deadline,
+                ok,
+                throttled,
+                p50_ms: snap.percentile(0.50) / 1e3,
+                p99_ms: snap.percentile(0.99) / 1e3,
+            }
+        })
+        .collect();
+    let model_rows: Vec<ModelRow> = models
+        .iter()
+        .map(|m| {
+            let snap = fleet_metrics.model_latency(m).snapshot();
+            ModelRow {
+                model: m.to_string(),
+                ok: snap.count,
+                p50_ms: snap.percentile(0.50) / 1e3,
+                p99_ms: snap.percentile(0.99) / 1e3,
+            }
+        })
+        .collect();
+
+    // Rollout phase trail for the swap, from the event log.
+    let phases: Vec<String> = recorder
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::FleetRollout {
+                model,
+                version,
+                phase,
+                ..
+            } if model == hot_model && *version == 2 => Some(phase.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        phases,
+        [
+            "loading",
+            "verifying",
+            "warming",
+            "shifting",
+            "draining_old",
+            "committed"
+        ],
+        "hot swap should walk the full rollout state machine"
+    );
+    let rollout = RolloutRow {
+        model: hot_model.to_string(),
+        from_version: 1,
+        to_version: 2,
+        wall_ms: (swap_end - swap_start) * 1e3,
+        phases,
+    };
+
+    let t_headers = [
+        "tenant",
+        "class",
+        "reqs",
+        "ok",
+        "throttled",
+        "p50ms",
+        "p99ms",
+    ];
+    let t_rows: Vec<Vec<String>> = tenant_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.tenant.clone(),
+                r.class.clone(),
+                r.requests.to_string(),
+                r.ok.to_string(),
+                r.throttled.to_string(),
+                format!("{:.2}", r.p50_ms),
+                format!("{:.2}", r.p99_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "fleet: per-tenant (live registry histograms)",
+        &t_headers,
+        &t_rows,
+    );
+    let m_headers = ["model", "ok", "p50ms", "p99ms"];
+    let m_rows: Vec<Vec<String>> = model_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.ok.to_string(),
+                format!("{:.2}", r.p50_ms),
+                format!("{:.2}", r.p99_ms),
+            ]
+        })
+        .collect();
+    print_table("fleet: per-model", &m_headers, &m_rows);
+
+    let verdict = format!(
+        "hot swap {hot_model} v1→v2 committed in {:.1} ms under open-loop load; \
+         0 dropped of {total_requests} arrivals; rollout-window p99 {rollout_window_p99_ms:.2} ms \
+         vs steady {steady_p99_ms:.2} ms ({blip_ratio:.2}x blip)",
+        rollout.wall_ms
+    );
+    println!("\n{verdict}");
+
+    let report = FleetBenchReport {
+        quick,
+        models: models.len(),
+        tenants: n_tenants,
+        requests: total_requests,
+        interval_us: interval.as_micros() as u64,
+        zipf_s,
+        ok,
+        deadline_missed,
+        dropped,
+        errors,
+        drain_retries,
+        tenant_rows,
+        model_rows,
+        rollout,
+        steady_p99_ms,
+        rollout_window_p99_ms,
+        blip_ratio,
+        verdict,
+    };
+    save_json("fleet_bench", &report);
+
+    // Prove the events flow end-to-end into the telemetry summary.
+    let jsonl: String = recorder
+        .events()
+        .iter()
+        .map(|e| e.to_jsonl() + "\n")
+        .collect();
+    let rendered = RunReport::from_jsonl(&jsonl).render();
+    if let Some(section) = rendered.split("== fleet ==").nth(1) {
+        println!("\n== fleet (telemetry) =={section}");
+    } else {
+        panic!("telemetry report is missing the fleet section");
+    }
+}

@@ -17,7 +17,7 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use cuttlefish_check::models::{lockstep, metrics, stripe};
+use cuttlefish_check::models::{lockstep, metrics, rollout, stripe};
 use cuttlefish_check::{explore_exhaustive, explore_random, replay, Report};
 
 type Body = Arc<dyn Fn() + Send + Sync>;
@@ -40,6 +40,8 @@ fn suites() -> Vec<(&'static str, Body)> {
         ),
         ("stripe-13x3", Arc::new(|| stripe::stripe_model(13, 3))),
         ("stripe-29x4", Arc::new(|| stripe::stripe_model(29, 4))),
+        ("fleet-rollout-swap", Arc::new(rollout::swap_model)),
+        ("fleet-rollout-rollback", Arc::new(rollout::rollback_model)),
     ]
 }
 

@@ -1,4 +1,4 @@
-//! Model-checked ports of the workspace's three concurrent protocols.
+//! Model-checked ports of the workspace's concurrent protocols.
 //!
 //! Each model re-implements a protocol's *coordination skeleton* on the
 //! instrumented shims while importing the production crate's actual
@@ -8,4 +8,5 @@
 
 pub mod lockstep;
 pub mod metrics;
+pub mod rollout;
 pub mod stripe;

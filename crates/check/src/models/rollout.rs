@@ -1,0 +1,300 @@
+//! Model 4: the fleet hot-swap rollout.
+//!
+//! Ports the `cuttlefish-fleet` registry's rollout protocol onto the
+//! instrumented shims while driving the *production*
+//! [`RolloutMachine`] for phase legality — the same typed state machine
+//! the live registry advances, so an ordering the model proves unsafe
+//! is unsafe for the real rollout too. Router tasks race a rollout task
+//! that verifies, shifts the routing pointer, and drains the old
+//! version; the old (and, in the rollback scenario, new) version's
+//! admission is a lock-free gate atomic (`bit0` = closed, upper bits =
+//! 2·in-flight) modeling the real server's under-the-queue-lock
+//! shutdown check.
+//!
+//! Checked invariants, on every schedule:
+//!
+//! - **no routing before verification**: a router that observes the new
+//!   version in the routing pointer must also observe the verification
+//!   flag — the machine's `routable()` gating survives adversarial
+//!   interleaving;
+//! - **drained before join**: no request is ever in a version's serving
+//!   window after that version's workers joined (the gate admits only
+//!   while open, and the drain waits for in-flight zero before the
+//!   join);
+//! - **typed drain, no lost requests**: a request rejected by a closing
+//!   gate retries against the re-read routing pointer and is served —
+//!   every request is served exactly once, by old or new;
+//! - **rollback ordering**: after a failed post-shift health probe the
+//!   pointer swings back *before* the new version's reject-drain
+//!   closes, so a drain-rejected request always finds the old version
+//!   routable.
+
+use std::sync::Arc;
+
+use cuttlefish_fleet::{RolloutMachine, RolloutPhase};
+
+use crate::channel::channel;
+use crate::sched::spawn;
+use crate::sync::{AtomicBool, AtomicU64};
+
+/// Wrapping `-2` for the gate's in-flight decrement.
+const DEC2: u64 = u64::MAX - 1;
+
+const ROUTERS: usize = 2;
+const REQUESTS_PER_ROUTER: usize = 2;
+
+/// Advances the production machine one phase; an illegal transition is a
+/// checker violation (the panic surfaces with the schedule trace).
+fn advance(m: &mut RolloutMachine) {
+    let step = m.advance();
+    assert!(step.is_ok(), "rollout machine refused to advance: {step:?}");
+}
+
+/// Admission gate ops, shared by both scenarios.
+///
+/// Admit: `fetch_add(2)`; even `prev` means admitted (in-flight while
+/// the +2 is held), odd means the gate closed first. Either way the
+/// caller must release with [`release`]. Close: `fetch_add(1)` sets
+/// `bit0` forever; a non-zero `prev` means in-flight (or about-to-undo)
+/// requests exist and the closer must wait for the drain notification
+/// sent by whichever release brings the count to zero.
+fn release(gate: &AtomicU64, drained: &crate::channel::Sender<()>) {
+    let prev = gate.fetch_add(DEC2);
+    // prev == 3: gate closed and this release took the in-flight count
+    // to zero — exactly the drain-complete condition the closer awaits.
+    if prev == 3 {
+        drained.send(());
+    }
+}
+
+/// Clean-swap scenario: verification succeeds, the pointer shifts, the
+/// old version drains gracefully and joins, the rollout commits.
+pub fn swap_model() {
+    let routable = Arc::new(AtomicU64::new(1));
+    let verified = Arc::new(AtomicBool::new(false));
+    let old_gate = Arc::new(AtomicU64::new(0));
+    let old_joined = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    let (drained_tx, drained_rx) = channel::<()>();
+
+    let mut handles = Vec::new();
+    for _ in 0..ROUTERS {
+        let routable = Arc::clone(&routable);
+        let verified = Arc::clone(&verified);
+        let old_gate = Arc::clone(&old_gate);
+        let old_joined = Arc::clone(&old_joined);
+        let served = Arc::clone(&served);
+        let drained_tx = drained_tx.clone();
+        handles.push(spawn(move || {
+            for _ in 0..REQUESTS_PER_ROUTER {
+                let v = routable.load();
+                if v == 2 {
+                    // Invariant: the pointer never names an unverified
+                    // version, under any interleaving.
+                    assert!(
+                        verified.load(),
+                        "router saw v2 routable before verification completed"
+                    );
+                    served.fetch_add(1);
+                    continue;
+                }
+                let prev = old_gate.fetch_add(2);
+                if prev & 1 == 0 {
+                    // Admitted by the old version: its workers must not
+                    // have joined while we are in the serving window.
+                    assert!(
+                        !old_joined.load(),
+                        "request in flight on the old version after its workers joined"
+                    );
+                    served.fetch_add(1);
+                    assert!(
+                        !old_joined.load(),
+                        "old workers joined before the in-flight request completed"
+                    );
+                    release(&old_gate, &drained_tx);
+                } else {
+                    // Typed Draining rejection. The drain only begins
+                    // after the shift, so the retry must find v2 — and
+                    // v2 must already be verified.
+                    release(&old_gate, &drained_tx);
+                    let v = routable.load();
+                    assert_eq!(
+                        v, 2,
+                        "old version began draining before the routing pointer shifted"
+                    );
+                    assert!(verified.load(), "retry routed to an unverified version");
+                    served.fetch_add(1);
+                }
+            }
+        }));
+    }
+
+    let rollout = {
+        let routable = Arc::clone(&routable);
+        let verified = Arc::clone(&verified);
+        let old_gate = Arc::clone(&old_gate);
+        let old_joined = Arc::clone(&old_joined);
+        spawn(move || {
+            let mut m = RolloutMachine::new("m", 2, Some(1));
+            advance(&mut m); // Loading -> Verifying
+            advance(&mut m); // Verifying -> Warming: verification passed
+            assert!(m.verified());
+            verified.store(true);
+            advance(&mut m); // Warming -> Shifting
+            assert!(m.routable(), "machine gates routability until Shifting");
+            routable.store(2);
+            advance(&mut m); // Shifting -> DrainingOld
+            let prev = old_gate.fetch_add(1); // close old admission
+            if prev != 0 {
+                // In-flight requests exist; the release that takes the
+                // count to zero sends the drain notification.
+                drained_rx.recv();
+            }
+            old_joined.store(true); // join the old workers
+            advance(&mut m); // DrainingOld -> Committed
+            assert_eq!(m.phase(), RolloutPhase::Committed);
+        })
+    };
+
+    for h in handles {
+        h.join();
+    }
+    rollout.join();
+    assert_eq!(
+        served.load(),
+        (ROUTERS * REQUESTS_PER_ROUTER) as u64,
+        "every request must be served exactly once across the swap"
+    );
+    assert_eq!(routable.load(), 2);
+}
+
+/// Rollback scenario: verification and warm-up pass, the pointer
+/// shifts, but the post-shift health probe fails — the pointer swings
+/// back to v1 and the new version is reject-drained and joined, while
+/// the old version never stops serving.
+pub fn rollback_model() {
+    let routable = Arc::new(AtomicU64::new(1));
+    let verified = Arc::new(AtomicBool::new(false));
+    let new_gate = Arc::new(AtomicU64::new(0));
+    let new_joined = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    let (drained_tx, drained_rx) = channel::<()>();
+
+    let mut handles = Vec::new();
+    for _ in 0..ROUTERS {
+        let routable = Arc::clone(&routable);
+        let verified = Arc::clone(&verified);
+        let new_gate = Arc::clone(&new_gate);
+        let new_joined = Arc::clone(&new_joined);
+        let served = Arc::clone(&served);
+        let drained_tx = drained_tx.clone();
+        handles.push(spawn(move || {
+            for _ in 0..REQUESTS_PER_ROUTER {
+                let v = routable.load();
+                if v == 2 {
+                    assert!(
+                        verified.load(),
+                        "router saw v2 routable before verification completed"
+                    );
+                    let prev = new_gate.fetch_add(2);
+                    if prev & 1 == 0 {
+                        assert!(
+                            !new_joined.load(),
+                            "request in flight on the new version after its reject-drain joined"
+                        );
+                        served.fetch_add(1);
+                        assert!(
+                            !new_joined.load(),
+                            "new workers joined before the in-flight request completed"
+                        );
+                        release(&new_gate, &drained_tx);
+                    } else {
+                        // Reject-drained by the rollback: the pointer
+                        // must already have swung back to the old
+                        // version, which never stopped serving.
+                        release(&new_gate, &drained_tx);
+                        assert_eq!(
+                            routable.load(),
+                            1,
+                            "reject drain began before the pointer swung back to v1"
+                        );
+                        served.fetch_add(1);
+                    }
+                } else {
+                    // Old version serves throughout; its gate never
+                    // closes in a rollback.
+                    served.fetch_add(1);
+                }
+            }
+        }));
+    }
+
+    let rollout = {
+        let routable = Arc::clone(&routable);
+        let verified = Arc::clone(&verified);
+        let new_gate = Arc::clone(&new_gate);
+        let new_joined = Arc::clone(&new_joined);
+        spawn(move || {
+            let mut m = RolloutMachine::new("m", 2, Some(1));
+            advance(&mut m); // Verifying
+            advance(&mut m); // Warming
+            verified.store(true);
+            advance(&mut m); // Shifting
+            routable.store(2);
+            // Health probe fails: pointer back first, then the machine
+            // records the rollback, then the new version reject-drains.
+            routable.store(1);
+            let rb = m.roll_back();
+            assert!(rb.is_ok(), "rollback refused: {rb:?}");
+            assert!(!m.routable(), "a rolled-back version must not be routable");
+            let prev = new_gate.fetch_add(1);
+            if prev != 0 {
+                drained_rx.recv();
+            }
+            new_joined.store(true);
+            assert_eq!(m.phase(), RolloutPhase::RolledBack);
+        })
+    };
+
+    for h in handles {
+        h.join();
+    }
+    rollout.join();
+    assert_eq!(
+        served.load(),
+        (ROUTERS * REQUESTS_PER_ROUTER) as u64,
+        "every request must be served exactly once across the rollback"
+    );
+    assert_eq!(
+        routable.load(),
+        1,
+        "the old version holds the pointer after rollback"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore_exhaustive, explore_random};
+
+    #[test]
+    fn swap_clean_under_random_schedules() {
+        explore_random("fleet-rollout-swap", 200, 0xF1, Arc::new(swap_model)).assert_clean();
+    }
+
+    #[test]
+    fn rollback_clean_under_random_schedules() {
+        explore_random(
+            "fleet-rollout-rollback",
+            200,
+            0xF2,
+            Arc::new(rollback_model),
+        )
+        .assert_clean();
+    }
+
+    #[test]
+    fn swap_clean_under_bounded_exhaustive() {
+        explore_exhaustive("fleet-rollout-swap-ex", 300, Arc::new(swap_model)).assert_clean();
+    }
+}

@@ -1,0 +1,202 @@
+//! Typed errors for the fleet layer.
+//!
+//! Same discipline as `cuttlefish-serve`: every failure a client or
+//! operator can observe is a [`FleetError`] variant, and an admitted
+//! request always resolves to exactly one terminal outcome. Rollout
+//! failures are typed precisely enough for an operator to distinguish
+//! "the new checkpoint is bad" ([`FleetError::VerificationFailed`]) from
+//! "the new version misbehaved under real traffic"
+//! ([`FleetError::HealthCheckFailed`]) — both of which leave the old
+//! version serving.
+
+use cuttlefish_nn::NnError;
+use cuttlefish_serve::ServeError;
+use std::error::Error;
+use std::fmt;
+
+/// Result alias for the fleet crate.
+pub type FleetResult<T> = std::result::Result<T, FleetError>;
+
+/// Error type for registry operations, rollouts, and fleet requests.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// The request named a model id the registry has never deployed.
+    UnknownModel {
+        /// The unrecognized model id.
+        model: String,
+    },
+    /// The operation named a version the model does not have.
+    UnknownVersion {
+        /// Model id.
+        model: String,
+        /// The version that does not exist.
+        version: u32,
+    },
+    /// The model exists but no version is currently routable (its first
+    /// rollout is still in flight or was rolled back).
+    NoActiveVersion {
+        /// Model id.
+        model: String,
+    },
+    /// The tenant's token bucket is empty: admission control sheds the
+    /// request at the fleet front door before it can occupy queue space.
+    Throttled {
+        /// Tenant whose quota was exhausted.
+        tenant: String,
+    },
+    /// Another rollout for this model is already in flight; rollouts are
+    /// serialized per model so the routing pointer has one writer.
+    RolloutInProgress {
+        /// Model id.
+        model: String,
+    },
+    /// A rollout state machine was asked for a transition its current
+    /// phase does not allow; the rollout logic itself is broken if this
+    /// ever surfaces.
+    IllegalTransition {
+        /// Phase the machine was in.
+        from: &'static str,
+        /// Phase the caller asked for.
+        to: &'static str,
+    },
+    /// The new version failed `Network::verify()` (or checkpoint restore)
+    /// at freeze time. The rollout rolled back before the version was
+    /// ever routable; the old version keeps serving.
+    VerificationFailed {
+        /// Model id.
+        model: String,
+        /// The version that failed.
+        version: u32,
+        /// Rendered verification / restore error.
+        detail: String,
+    },
+    /// The new version passed verification but its post-shift health
+    /// probe failed; traffic was shifted back to the old version.
+    HealthCheckFailed {
+        /// Model id.
+        model: String,
+        /// The version that failed.
+        version: u32,
+        /// Rendered probe error.
+        detail: String,
+    },
+    /// An underlying serving operation failed; the wrapped error is the
+    /// request's terminal outcome (overload, deadline, drain, …).
+    Serve(ServeError),
+    /// A checkpoint store operation (versioned save/load) failed.
+    Checkpoint(NnError),
+    /// Invalid fleet configuration (empty model id, zero quota, missing
+    /// checkpoint store, …).
+    BadConfig {
+        /// Explanation of the invalid configuration.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::UnknownModel { model } => {
+                write!(f, "unknown model `{model}`")
+            }
+            FleetError::UnknownVersion { model, version } => {
+                write!(f, "model `{model}` has no version {version}")
+            }
+            FleetError::NoActiveVersion { model } => {
+                write!(f, "model `{model}` has no routable version")
+            }
+            FleetError::Throttled { tenant } => {
+                write!(
+                    f,
+                    "tenant `{tenant}` is over its admission quota; retry later"
+                )
+            }
+            FleetError::RolloutInProgress { model } => {
+                write!(f, "a rollout for model `{model}` is already in flight")
+            }
+            FleetError::IllegalTransition { from, to } => {
+                write!(f, "illegal rollout transition {from} -> {to}")
+            }
+            FleetError::VerificationFailed {
+                model,
+                version,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "model `{model}` v{version} failed verification, rolled back: {detail}"
+                )
+            }
+            FleetError::HealthCheckFailed {
+                model,
+                version,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "model `{model}` v{version} failed its health probe, rolled back: {detail}"
+                )
+            }
+            FleetError::Serve(e) => write!(f, "serving error: {e}"),
+            FleetError::Checkpoint(e) => write!(f, "checkpoint store error: {e}"),
+            FleetError::BadConfig { detail } => write!(f, "bad fleet configuration: {detail}"),
+        }
+    }
+}
+
+impl Error for FleetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FleetError::Serve(e) => Some(e),
+            FleetError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeError> for FleetError {
+    fn from(e: ServeError) -> Self {
+        FleetError::Serve(e)
+    }
+}
+
+impl From<NnError> for FleetError {
+    fn from(e: NnError) -> Self {
+        FleetError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(FleetError::UnknownModel {
+            model: "resnet".into()
+        }
+        .to_string()
+        .contains("resnet"));
+        assert!(FleetError::Throttled {
+            tenant: "t7".into()
+        }
+        .to_string()
+        .contains("t7"));
+        assert!(FleetError::VerificationFailed {
+            model: "m".into(),
+            version: 3,
+            detail: "shape".into()
+        }
+        .to_string()
+        .contains("v3"));
+        let e: FleetError = ServeError::ShuttingDown.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_clone() {
+        fn assert_bounds<T: Send + Sync + Clone>() {}
+        assert_bounds::<FleetError>();
+    }
+}

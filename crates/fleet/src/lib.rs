@@ -1,0 +1,69 @@
+//! **cuttlefish-fleet**: production-shaped fleet serving on top of
+//! `cuttlefish-serve` — many models, many tenants, zero-downtime model
+//! updates.
+//!
+//! The serving crate runs one model well; this crate runs a *fleet* of
+//! them the way a model-serving platform does:
+//!
+//! * [`ModelRegistry`] ([`registry`]) — model ids → versioned
+//!   checkpoints → live servers. Versions are published to an on-disk
+//!   store with the checkpoint layer's atomic + fsync'd versioned
+//!   naming (`<model>-v<n>.ckpt.json`), and become routable only after
+//!   **verified activation**: `Network::verify()` at freeze plus a
+//!   smoke forward pass through every warmed replica.
+//! * [`RolloutMachine`] ([`rollout`]) — the typed hot-swap state
+//!   machine (`Loading → Verifying → Warming → Shifting → DrainingOld →
+//!   Committed`, with `RolledBack` reachable from every live phase). A
+//!   new version is never routable before verification, and the old
+//!   version's workers are fully drained before they join — both
+//!   invariants are also model-checked in `cuttlefish-check` against
+//!   adversarial interleavings.
+//! * Per-tenant QoS ([`qos`]) — token-bucket admission quotas per
+//!   tenant and deadline classes that map onto the serving layer's
+//!   dual-deadline batcher. Fair-share across models is structural:
+//!   every model version owns its own bounded queue and worker pool.
+//! * Telemetry — the front door records one `fleet_request` event per
+//!   terminal outcome and bumps the matching labeled registry series at
+//!   the same call site ([`FleetMetrics`]), so the live registry and
+//!   the event-log run report reconcile exactly; rollouts emit one
+//!   `fleet_rollout` event per phase.
+//!
+//! The open-loop load generator `fleet_bench` (in `cuttlefish-bench`)
+//! drives all of this: Zipf-distributed model popularity across many
+//! tenants, a mid-run hot swap, and per-tenant p99 + rollout-blip
+//! reporting.
+//!
+//! # Example
+//!
+//! ```
+//! use cuttlefish_fleet::ModelRegistry;
+//! use cuttlefish_nn::checkpoint::Checkpoint;
+//! use cuttlefish_nn::models::{build_micro_resnet18, MicroResNetConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let build = || build_micro_resnet18(&MicroResNetConfig::tiny(4),
+//!                                     &mut StdRng::seed_from_u64(0));
+//! let ckpt = Checkpoint::capture(&mut build());
+//! let registry = ModelRegistry::new();
+//! let v1 = registry.rollout("demo", build, ckpt).unwrap();
+//! assert_eq!(registry.active_version("demo"), Some(v1));
+//! let logits = registry.call("demo", "tenant-a", vec![0.1; 3 * 8 * 8]).unwrap();
+//! assert_eq!(logits.len(), 4);
+//! registry.drain_all();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod metrics;
+pub mod qos;
+pub mod registry;
+pub mod rollout;
+
+pub use error::{FleetError, FleetResult};
+pub use metrics::FleetMetrics;
+pub use qos::{AdmissionController, DeadlineClass, TenantPolicy, TokenBucket};
+pub use registry::{FleetTicket, ModelRegistry, VersionState};
+pub use rollout::{RolloutMachine, RolloutPhase};

@@ -1,0 +1,204 @@
+//! Live fleet metrics, and the sink that keeps them reconciled with the
+//! event log.
+//!
+//! Every terminal request outcome goes through [`FleetSink::request`],
+//! which records the `fleet_request` event **and** bumps the matching
+//! registry counter/histogram at the same call site. Because no outcome
+//! can take one path without the other, a registry snapshot reconciles
+//! exactly with the event-log `RunReport` for the same run — the same
+//! guarantee the serve and dist layers provide, extended to tenant- and
+//! model-labeled series.
+//!
+//! Names follow the workspace conventions: Prometheus-style
+//! `fleet_*_total{label="v"}` counters and `_us` histograms in
+//! microsecond ticks.
+
+use std::sync::Arc;
+
+use cuttlefish_telemetry::{labeled, Counter, Event, Histogram, MetricsRegistry, Recorder};
+
+/// Shared handles to the fleet metrics of one registry.
+///
+/// Per-tenant and per-model series are resolved through the registry's
+/// name map on demand (the fleet front door is not the per-batch hot
+/// path); fleet-wide totals are pre-resolved.
+#[derive(Clone)]
+pub struct FleetMetrics {
+    registry: Arc<MetricsRegistry>,
+    rollouts_committed: Arc<Counter>,
+    rollouts_rolled_back: Arc<Counter>,
+}
+
+impl std::fmt::Debug for FleetMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetMetrics")
+            .field("registry", &self.registry)
+            .finish()
+    }
+}
+
+impl FleetMetrics {
+    /// Registers (or re-resolves) the fleet metrics in `registry`.
+    pub fn new(registry: Arc<MetricsRegistry>) -> FleetMetrics {
+        FleetMetrics {
+            rollouts_committed: registry.counter(&labeled(
+                "fleet_rollouts_total",
+                &[("outcome", "committed")],
+            )),
+            rollouts_rolled_back: registry.counter(&labeled(
+                "fleet_rollouts_total",
+                &[("outcome", "rolled_back")],
+            )),
+            registry,
+        }
+    }
+
+    /// The registry these handles record into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Counter for one `(tenant, outcome)` pair:
+    /// `fleet_requests_total{tenant="…",outcome="…"}`.
+    pub fn request_counter(&self, tenant: &str, outcome: &str) -> Arc<Counter> {
+        self.registry.counter(&labeled(
+            "fleet_requests_total",
+            &[("tenant", tenant), ("outcome", outcome)],
+        ))
+    }
+
+    /// Ok-latency histogram for one tenant, microsecond ticks:
+    /// `fleet_latency_us{tenant="…"}`.
+    pub fn tenant_latency(&self, tenant: &str) -> Arc<Histogram> {
+        self.registry
+            .histogram(&labeled("fleet_latency_us", &[("tenant", tenant)]))
+    }
+
+    /// Ok-latency histogram for one model, microsecond ticks:
+    /// `fleet_model_latency_us{model="…"}`.
+    pub fn model_latency(&self, model: &str) -> Arc<Histogram> {
+        self.registry
+            .histogram(&labeled("fleet_model_latency_us", &[("model", model)]))
+    }
+
+    /// Counter for terminal rollout outcomes.
+    pub fn rollout_counter(&self, committed: bool) -> &Counter {
+        if committed {
+            &self.rollouts_committed
+        } else {
+            &self.rollouts_rolled_back
+        }
+    }
+}
+
+/// The single recording point for fleet outcomes: event log and metrics
+/// registry move together or not at all.
+pub(crate) struct FleetSink {
+    pub(crate) recorder: Arc<dyn Recorder + Send + Sync>,
+    pub(crate) metrics: Option<FleetMetrics>,
+}
+
+impl std::fmt::Debug for FleetSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetSink")
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+impl FleetSink {
+    /// Records one terminal request outcome in both planes.
+    pub(crate) fn request(&self, model: &str, tenant: &str, outcome: &str, latency_ms: f64) {
+        if let Some(m) = &self.metrics {
+            m.request_counter(tenant, outcome).inc();
+            if outcome == "ok" {
+                m.tenant_latency(tenant).record_f64(latency_ms * 1000.0);
+                m.model_latency(model).record_f64(latency_ms * 1000.0);
+            }
+        }
+        self.recorder.record(Event::FleetRequest {
+            model: model.to_string(),
+            tenant: tenant.to_string(),
+            outcome: outcome.to_string(),
+            latency_ms,
+        });
+    }
+
+    /// Records one rollout phase transition; terminal phases also bump
+    /// the rollout outcome counter.
+    pub(crate) fn rollout(
+        &self,
+        model: &str,
+        version: u32,
+        from: Option<u32>,
+        phase: &'static str,
+        wall_ms: f64,
+    ) {
+        if let Some(m) = &self.metrics {
+            match phase {
+                "committed" => m.rollout_counter(true).inc(),
+                "rolled_back" => m.rollout_counter(false).inc(),
+                _ => {}
+            }
+        }
+        self.recorder.record(Event::FleetRollout {
+            model: model.to_string(),
+            version,
+            from,
+            phase: phase.to_string(),
+            wall_ms,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuttlefish_telemetry::MemoryRecorder;
+
+    #[test]
+    fn sink_keeps_events_and_counters_in_lockstep() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let recorder = Arc::new(MemoryRecorder::new());
+        let sink = FleetSink {
+            recorder: recorder.clone(),
+            metrics: Some(FleetMetrics::new(Arc::clone(&reg))),
+        };
+        sink.request("m1", "t0", "ok", 2.0);
+        sink.request("m1", "t0", "ok", 4.0);
+        sink.request("m1", "t1", "throttled", 0.0);
+        sink.rollout("m1", 2, Some(1), "committed", 10.0);
+
+        let events = recorder.events();
+        let ok_events = events
+            .iter()
+            .filter(|e| matches!(e, Event::FleetRequest { outcome, .. } if outcome == "ok"))
+            .count();
+        let ok_counter = reg
+            .counter(&labeled(
+                "fleet_requests_total",
+                &[("tenant", "t0"), ("outcome", "ok")],
+            ))
+            .get();
+        assert_eq!(ok_events as u64, ok_counter);
+        let throttled = reg
+            .counter(&labeled(
+                "fleet_requests_total",
+                &[("tenant", "t1"), ("outcome", "throttled")],
+            ))
+            .get();
+        assert_eq!(throttled, 1);
+        let lat = FleetMetrics::new(Arc::clone(&reg))
+            .tenant_latency("t0")
+            .snapshot();
+        assert_eq!(lat.count, 2);
+        assert_eq!(
+            reg.counter(&labeled(
+                "fleet_rollouts_total",
+                &[("outcome", "committed")]
+            ))
+            .get(),
+            1
+        );
+    }
+}

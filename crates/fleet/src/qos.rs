@@ -1,0 +1,272 @@
+//! Per-tenant QoS: token-bucket admission quotas and deadline classes.
+//!
+//! Admission happens at the fleet front door, before a request touches
+//! any model's queue, so one tenant's burst cannot occupy queue slots
+//! that belong to others — the per-model bounded queues then provide
+//! fair-share *across models* structurally (each model has its own
+//! queue and worker pool), while the buckets provide fair-share *across
+//! tenants* within the shared admission path.
+//!
+//! Deadline classes map tenants onto the serving layer's existing
+//! dual-deadline enforcement ([`cuttlefish_serve::ServeError::DeadlineExceeded`]
+//! is checked at dequeue and again at completion): admission stamps the
+//! class's deadline onto the request, and the batcher does the rest.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::error::{FleetError, FleetResult};
+
+/// Latency class a tenant's requests are served under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeadlineClass {
+    /// Tight per-request deadline; late responses are dropped rather
+    /// than delivered.
+    Interactive,
+    /// Moderate deadline for ordinary traffic.
+    #[default]
+    Standard,
+    /// No deadline: throughput-oriented traffic that tolerates queueing.
+    Batch,
+}
+
+impl DeadlineClass {
+    /// The deadline stamped onto requests of this class, measured from
+    /// admission. `None` means the request never expires.
+    pub fn deadline(self) -> Option<Duration> {
+        match self {
+            DeadlineClass::Interactive => Some(Duration::from_millis(50)),
+            DeadlineClass::Standard => Some(Duration::from_millis(500)),
+            DeadlineClass::Batch => None,
+        }
+    }
+
+    /// Stable lowercase name (for labels and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            DeadlineClass::Interactive => "interactive",
+            DeadlineClass::Standard => "standard",
+            DeadlineClass::Batch => "batch",
+        }
+    }
+}
+
+/// Admission policy for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantPolicy {
+    /// Deadline class stamped onto the tenant's requests.
+    pub class: DeadlineClass,
+    /// Sustained admission rate in requests per second.
+    pub rate_per_sec: f64,
+    /// Burst allowance: the token bucket's capacity. The bucket starts
+    /// full, so a tenant may burst this many requests instantly.
+    pub burst: f64,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        TenantPolicy {
+            class: DeadlineClass::Standard,
+            rate_per_sec: 1000.0,
+            burst: 100.0,
+        }
+    }
+}
+
+/// A classic token bucket: capacity `burst`, refilled continuously at
+/// `rate_per_sec`, one token per admitted request.
+#[derive(Debug)]
+pub struct TokenBucket {
+    capacity: f64,
+    refill_per_sec: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// A full bucket with the given burst capacity and refill rate.
+    pub fn new(burst: f64, rate_per_sec: f64) -> TokenBucket {
+        TokenBucket {
+            capacity: burst.max(0.0),
+            refill_per_sec: rate_per_sec.max(0.0),
+            tokens: burst.max(0.0),
+            last: Instant::now(),
+        }
+    }
+
+    /// Tries to take one token now.
+    pub fn try_take(&mut self) -> bool {
+        self.try_take_at(Instant::now())
+    }
+
+    /// Tries to take one token at an explicit instant — the testable
+    /// core: refills `elapsed · rate` (clamped to capacity), then admits
+    /// iff at least one whole token is available.
+    pub fn try_take_at(&mut self, now: Instant) -> bool {
+        let elapsed = now.saturating_duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + elapsed * self.refill_per_sec).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (diagnostic).
+    pub fn available(&self) -> f64 {
+        self.tokens
+    }
+}
+
+struct TenantState {
+    policy: TenantPolicy,
+    bucket: TokenBucket,
+}
+
+/// The fleet front door's admission controller: one token bucket per
+/// tenant, created on first sight from the default policy unless an
+/// explicit policy was registered.
+pub struct AdmissionController {
+    default_policy: TenantPolicy,
+    tenants: Mutex<BTreeMap<String, TenantState>>,
+}
+
+impl std::fmt::Debug for AdmissionController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionController")
+            .field("default_policy", &self.default_policy)
+            .finish()
+    }
+}
+
+impl AdmissionController {
+    /// A controller that admits unknown tenants under `default_policy`.
+    pub fn new(default_policy: TenantPolicy) -> AdmissionController {
+        AdmissionController {
+            default_policy,
+            tenants: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Registers (or replaces) `tenant`'s policy; the bucket resets to
+    /// full at the new capacity.
+    pub fn set_policy(&self, tenant: &str, policy: TenantPolicy) {
+        let mut tenants = self.lock();
+        tenants.insert(
+            tenant.to_string(),
+            TenantState {
+                policy,
+                bucket: TokenBucket::new(policy.burst, policy.rate_per_sec),
+            },
+        );
+    }
+
+    /// The policy `tenant` is admitted under.
+    pub fn policy(&self, tenant: &str) -> TenantPolicy {
+        self.lock()
+            .get(tenant)
+            .map(|s| s.policy)
+            .unwrap_or(self.default_policy)
+    }
+
+    /// Admits one request for `tenant`, charging its token bucket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Throttled`] when the bucket is empty.
+    pub fn admit(&self, tenant: &str) -> FleetResult<DeadlineClass> {
+        let mut tenants = self.lock();
+        let state = tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantState {
+                policy: self.default_policy,
+                bucket: TokenBucket::new(
+                    self.default_policy.burst,
+                    self.default_policy.rate_per_sec,
+                ),
+            });
+        if state.bucket.try_take() {
+            Ok(state.policy.class)
+        } else {
+            Err(FleetError::Throttled {
+                tenant: tenant.to_string(),
+            })
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, TenantState>> {
+        self.tenants.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bursts_then_refills_at_rate() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(3.0, 10.0);
+        // Burst: the full capacity is available immediately.
+        assert!(b.try_take_at(t0));
+        assert!(b.try_take_at(t0));
+        assert!(b.try_take_at(t0));
+        assert!(!b.try_take_at(t0), "capacity 3 admits exactly 3 instantly");
+        // 100 ms at 10/s refills exactly one token.
+        assert!(b.try_take_at(t0 + Duration::from_millis(100)));
+        assert!(!b.try_take_at(t0 + Duration::from_millis(100)));
+        // Refill clamps at capacity: a long idle stretch doesn't bank
+        // more than `burst` tokens.
+        let later = t0 + Duration::from_secs(60);
+        for _ in 0..3 {
+            assert!(b.try_take_at(later));
+        }
+        assert!(!b.try_take_at(later));
+    }
+
+    #[test]
+    fn controller_throttles_per_tenant_independently() {
+        let ctl = AdmissionController::new(TenantPolicy {
+            class: DeadlineClass::Standard,
+            rate_per_sec: 0.0,
+            burst: 2.0,
+        });
+        ctl.set_policy(
+            "vip",
+            TenantPolicy {
+                class: DeadlineClass::Interactive,
+                rate_per_sec: 0.0,
+                burst: 4.0,
+            },
+        );
+        assert_eq!(ctl.admit("vip").unwrap(), DeadlineClass::Interactive);
+        for _ in 0..2 {
+            assert_eq!(ctl.admit("small").unwrap(), DeadlineClass::Standard);
+        }
+        // `small` exhausted its own bucket; `vip` is unaffected.
+        assert!(matches!(
+            ctl.admit("small"),
+            Err(FleetError::Throttled { tenant }) if tenant == "small"
+        ));
+        for _ in 0..3 {
+            ctl.admit("vip").unwrap();
+        }
+        assert!(matches!(
+            ctl.admit("vip"),
+            Err(FleetError::Throttled { .. })
+        ));
+    }
+
+    #[test]
+    fn deadline_classes_map_to_batcher_deadlines() {
+        assert!(
+            DeadlineClass::Interactive.deadline().unwrap()
+                < DeadlineClass::Standard.deadline().unwrap()
+        );
+        assert_eq!(DeadlineClass::Batch.deadline(), None);
+        assert_eq!(DeadlineClass::Interactive.name(), "interactive");
+    }
+}

@@ -1,0 +1,626 @@
+//! The model registry: model ids → versioned checkpoints → live servers,
+//! with zero-downtime hot-swap rollouts and per-tenant admission.
+//!
+//! # Ownership
+//!
+//! The registry owns the replica lifecycle end to end: it builds and
+//! smoke-tests replicas during warm-up, hands them to
+//! [`Server::start_with_replicas`], holds every version's server in an
+//! `Arc`, and drains retired versions through
+//! [`Server::drain`] while clients still hold submission clones. The
+//! serving layer never learns about versions; the registry's routing
+//! pointer (one `active` version per model) is the only coupling.
+//!
+//! # Rollout path
+//!
+//! [`ModelRegistry::rollout`] drives the [`RolloutMachine`] through
+//! `Loading → Verifying → Warming → Shifting → DrainingOld → Committed`:
+//!
+//! 1. **Loading/Verifying** — [`FrozenModel::freeze`] restores the
+//!    checkpoint into a probe network and runs `Network::verify()`. A
+//!    failure rolls back before the version was ever routable.
+//! 2. **Warming** — every replica is built and smoke-forwarded on the
+//!    calling thread; the server starts with warm replicas, so the first
+//!    real request never pays construction cost.
+//! 3. **Shifting** — the routing pointer swaps under the registry lock;
+//!    a post-shift health probe runs one request through the new server.
+//!    A probe failure swaps the pointer back (typed
+//!    [`FleetError::HealthCheckFailed`]) and reject-drains the new
+//!    version — the old version never stopped serving.
+//! 4. **DrainingOld** — the old server drains gracefully: requests it
+//!    admitted before the shift are served to completion, then its
+//!    workers join. New traffic already flows to the new version, so
+//!    clients observe no gap; a client that raced the shift and got a
+//!    typed [`ServeError::ShuttingDown`] / [`ServeError::Draining`]
+//!    rejection is retried once against the new routing pointer by
+//!    [`ModelRegistry::call`].
+//!
+//! Every phase transition emits a `fleet_rollout` event, so the run
+//! report can reconstruct the exact path (and its timing) of every
+//! rollout, including rollbacks.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use cuttlefish_nn::checkpoint::Checkpoint;
+use cuttlefish_nn::Network;
+use cuttlefish_serve::{DrainMode, FrozenModel, ResponseHandle, ServeError, Server, ServerConfig};
+use cuttlefish_telemetry::{MetricsRegistry, NullRecorder, Recorder};
+
+use crate::error::{FleetError, FleetResult};
+use crate::metrics::{FleetMetrics, FleetSink};
+use crate::qos::{AdmissionController, TenantPolicy};
+use crate::rollout::RolloutMachine;
+
+/// Lifecycle state of one deployed version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VersionState {
+    /// Verified, warmed, and currently holding (or sharing) live workers.
+    Serving,
+    /// Drained and joined after a newer version took the routing pointer,
+    /// or reject-drained by a rollback.
+    Retired,
+}
+
+struct VersionRecord {
+    server: Arc<Server>,
+    state: VersionState,
+}
+
+struct ModelEntry {
+    versions: BTreeMap<u32, VersionRecord>,
+    /// The routing pointer: requests go to this version. `None` only
+    /// while the model's first rollout is still in flight (or after it
+    /// rolled back).
+    active: Option<u32>,
+    rollout_in_progress: bool,
+}
+
+/// A client's handle to one in-flight fleet request.
+///
+/// Dropping the ticket without waiting forfeits the response but the
+/// outcome is still recorded when the ticket is waited; prefer
+/// [`FleetTicket::wait`] (or [`ModelRegistry::call`], which also retries
+/// across a concurrent rollout's drain).
+#[derive(Debug)]
+pub struct FleetTicket {
+    handle: ResponseHandle,
+    admitted: Instant,
+    model: String,
+    tenant: String,
+    sink: Arc<crate::metrics::FleetSink>,
+}
+
+impl FleetTicket {
+    /// Blocks until the request's terminal outcome, recording it in the
+    /// event log and metrics registry (one record per admitted request).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Serve`] wrapping the typed serving outcome
+    /// (deadline, drain, worker failure, …).
+    pub fn wait(self) -> FleetResult<Vec<f32>> {
+        let result = self.handle.wait();
+        let latency_ms = self.admitted.elapsed().as_secs_f64() * 1e3;
+        let outcome = match &result {
+            Ok(_) => "ok",
+            Err(ServeError::DeadlineExceeded { .. }) => "deadline",
+            Err(ServeError::Draining) | Err(ServeError::ShuttingDown) => "draining",
+            Err(ServeError::Overloaded { .. }) => "overloaded",
+            Err(_) => "error",
+        };
+        self.sink
+            .request(&self.model, &self.tenant, outcome, latency_ms);
+        result.map_err(FleetError::from)
+    }
+}
+
+/// The fleet registry. See the module docs for the rollout protocol.
+pub struct ModelRegistry {
+    models: Mutex<BTreeMap<String, ModelEntry>>,
+    admission: AdmissionController,
+    sink: Arc<FleetSink>,
+    store: Option<PathBuf>,
+    server_config: ServerConfig,
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("store", &self.store)
+            .field("server_config", &self.server_config)
+            .finish()
+    }
+}
+
+impl ModelRegistry {
+    /// A registry with no telemetry, default QoS, and default server
+    /// sizing — the zero-setup entry point for tests and examples.
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::with_observability(Arc::new(NullRecorder), None)
+    }
+
+    /// A registry that emits `fleet_request` / `fleet_rollout` events
+    /// through `recorder` and (optionally) records live labeled series
+    /// into a metrics registry.
+    pub fn with_observability(
+        recorder: Arc<dyn Recorder + Send + Sync>,
+        metrics: Option<Arc<MetricsRegistry>>,
+    ) -> ModelRegistry {
+        ModelRegistry {
+            models: Mutex::new(BTreeMap::new()),
+            admission: AdmissionController::new(TenantPolicy::default()),
+            sink: Arc::new(FleetSink {
+                recorder,
+                metrics: metrics.map(FleetMetrics::new),
+            }),
+            store: None,
+            server_config: ServerConfig::default(),
+        }
+    }
+
+    /// Sets the on-disk checkpoint store used by
+    /// [`ModelRegistry::publish`] and [`ModelRegistry::activate`].
+    /// Artifacts are named `<model>-v<version>.ckpt.json` via the
+    /// checkpoint layer's versioned naming.
+    pub fn with_store(mut self, dir: impl Into<PathBuf>) -> ModelRegistry {
+        self.store = Some(dir.into());
+        self
+    }
+
+    /// Sets the server sizing every deployed version starts with.
+    pub fn with_server_config(mut self, config: ServerConfig) -> ModelRegistry {
+        self.server_config = config;
+        self
+    }
+
+    /// Sets the default admission policy for tenants without an explicit
+    /// one.
+    pub fn with_default_policy(mut self, policy: TenantPolicy) -> ModelRegistry {
+        self.admission = AdmissionController::new(policy);
+        self
+    }
+
+    /// Registers an explicit admission policy for one tenant.
+    pub fn set_tenant_policy(&self, tenant: &str, policy: TenantPolicy) {
+        self.admission.set_policy(tenant, policy);
+    }
+
+    /// Saves `checkpoint` into the store as the next version of `model`
+    /// and returns that version number. Publishing does not deploy: the
+    /// artifact becomes routable only after [`ModelRegistry::activate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::BadConfig`] without a store, and
+    /// [`FleetError::Checkpoint`] when the save fails.
+    pub fn publish(&self, model: &str, checkpoint: &Checkpoint) -> FleetResult<u32> {
+        let dir = self.store.as_ref().ok_or_else(|| FleetError::BadConfig {
+            detail: "publish requires a checkpoint store (with_store)".to_string(),
+        })?;
+        let version = Checkpoint::latest_version(dir, model)?.unwrap_or(0) + 1;
+        checkpoint.save_versioned(dir, model, version)?;
+        Ok(version)
+    }
+
+    /// Loads `model` version `version` from the store and rolls it out
+    /// (hot-swapping any currently active version).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::BadConfig`] without a store,
+    /// [`FleetError::UnknownVersion`] when the artifact is missing, and
+    /// everything [`ModelRegistry::rollout`] can return.
+    pub fn activate(
+        &self,
+        model: &str,
+        version: u32,
+        builder: impl Fn() -> Network + Send + Sync + 'static,
+    ) -> FleetResult<u32> {
+        let dir = self.store.as_ref().ok_or_else(|| FleetError::BadConfig {
+            detail: "activate requires a checkpoint store (with_store)".to_string(),
+        })?;
+        if !Checkpoint::list_versions(dir, model)?.contains(&version) {
+            return Err(FleetError::UnknownVersion {
+                model: model.to_string(),
+                version,
+            });
+        }
+        let ckpt = Checkpoint::load_versioned(dir, model, version)?;
+        self.rollout_inner(model, builder, ckpt, Some(version))
+    }
+
+    /// Deploys `checkpoint` as the next version of `model`, hot-swapping
+    /// any currently active version with zero downtime, and returns the
+    /// new version number.
+    ///
+    /// On any failure the old version (if one was active) keeps or
+    /// regains the routing pointer; the error names the phase that
+    /// failed.
+    ///
+    /// # Errors
+    ///
+    /// * [`FleetError::RolloutInProgress`] — rollouts are serialized per
+    ///   model.
+    /// * [`FleetError::VerificationFailed`] — restore or
+    ///   `Network::verify()` rejected the checkpoint (never routable).
+    /// * [`FleetError::HealthCheckFailed`] — the post-shift probe failed;
+    ///   traffic was shifted back.
+    /// * [`FleetError::Serve`] — replica warm-up or server start failed.
+    pub fn rollout(
+        &self,
+        model: &str,
+        builder: impl Fn() -> Network + Send + Sync + 'static,
+        checkpoint: Checkpoint,
+    ) -> FleetResult<u32> {
+        self.rollout_inner(model, builder, checkpoint, None)
+    }
+
+    fn rollout_inner(
+        &self,
+        model: &str,
+        builder: impl Fn() -> Network + Send + Sync + 'static,
+        checkpoint: Checkpoint,
+        explicit_version: Option<u32>,
+    ) -> FleetResult<u32> {
+        if model.is_empty() {
+            return Err(FleetError::BadConfig {
+                detail: "model id must be non-empty".to_string(),
+            });
+        }
+        let t0 = Instant::now();
+        // Claim the per-model rollout slot and pick the version number.
+        let (version, from) = {
+            let mut models = self.lock();
+            let entry = models
+                .entry(model.to_string())
+                .or_insert_with(|| ModelEntry {
+                    versions: BTreeMap::new(),
+                    active: None,
+                    rollout_in_progress: false,
+                });
+            if entry.rollout_in_progress {
+                return Err(FleetError::RolloutInProgress {
+                    model: model.to_string(),
+                });
+            }
+            let next = entry
+                .versions
+                .last_key_value()
+                .map(|(v, _)| v + 1)
+                .unwrap_or(1);
+            let version = explicit_version.unwrap_or(next);
+            if entry.versions.contains_key(&version) {
+                return Err(FleetError::BadConfig {
+                    detail: format!("model `{model}` already deployed version {version}"),
+                });
+            }
+            entry.rollout_in_progress = true;
+            (version, entry.active)
+        };
+        let mut machine = RolloutMachine::new(model, version, from);
+        self.emit(&machine, t0);
+
+        let result = self.drive_rollout(&mut machine, builder, checkpoint, t0);
+        {
+            let mut models = self.lock();
+            if let Some(entry) = models.get_mut(model) {
+                entry.rollout_in_progress = false;
+                // A first deployment that rolled back leaves nothing to
+                // route to; drop the placeholder entry so the model reads
+                // as unknown rather than permanently empty.
+                if result.is_err() && entry.versions.is_empty() {
+                    models.remove(model);
+                }
+            }
+        }
+        result.map(|()| version)
+    }
+
+    /// The phase-by-phase body; any error here triggers the rollback
+    /// transition (with the routing pointer already restored by the
+    /// failing step itself).
+    fn drive_rollout(
+        &self,
+        machine: &mut RolloutMachine,
+        builder: impl Fn() -> Network + Send + Sync + 'static,
+        checkpoint: Checkpoint,
+        t0: Instant,
+    ) -> FleetResult<()> {
+        let model = machine.model().to_string();
+        let version = machine.version();
+        let from = machine.from();
+
+        // Loading -> Verifying: freeze restores into a probe network and
+        // runs Network::verify(); a bad checkpoint dies here, before any
+        // replica or routing change exists.
+        machine.advance()?;
+        self.emit(machine, t0);
+        let frozen = match FrozenModel::freeze(builder, checkpoint) {
+            Ok(f) => f,
+            Err(e) => {
+                machine.roll_back()?;
+                self.emit(machine, t0);
+                return Err(FleetError::VerificationFailed {
+                    model,
+                    version,
+                    detail: e.to_string(),
+                });
+            }
+        };
+        // Verifying -> Warming: build every replica and smoke-forward it
+        // so the server starts with proven-warm workers.
+        machine.advance()?;
+        self.emit(machine, t0);
+        let smoke = vec![0.0f32; frozen.input_width()];
+        let workers = self.server_config.workers.max(1);
+        let mut replicas = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let built = frozen.replica().and_then(|mut r| {
+                r.infer_one(&smoke)?;
+                Ok(r)
+            });
+            match built {
+                Ok(r) => replicas.push(r),
+                Err(e) => {
+                    machine.roll_back()?;
+                    self.emit(machine, t0);
+                    return Err(FleetError::VerificationFailed {
+                        model,
+                        version,
+                        detail: format!("replica warm-up failed: {e}"),
+                    });
+                }
+            }
+        }
+        let server = match Server::start_with_replicas(
+            replicas,
+            self.server_config,
+            Arc::clone(&self.sink.recorder),
+            None,
+        ) {
+            Ok(s) => Arc::new(s),
+            Err(e) => {
+                machine.roll_back()?;
+                self.emit(machine, t0);
+                return Err(FleetError::Serve(e));
+            }
+        };
+
+        // Warming -> Shifting: install the version and move the routing
+        // pointer under the lock. From this instant new submissions go to
+        // the new server; the old one still finishes what it admitted.
+        machine.advance()?;
+        debug_assert!(machine.routable());
+        let old_server = {
+            let mut models = self.lock();
+            let entry = models.get_mut(&model).ok_or(FleetError::UnknownModel {
+                model: model.clone(),
+            })?;
+            entry.versions.insert(
+                version,
+                VersionRecord {
+                    server: Arc::clone(&server),
+                    state: VersionState::Serving,
+                },
+            );
+            entry.active = Some(version);
+            from.and_then(|v| entry.versions.get(&v).map(|r| Arc::clone(&r.server)))
+        };
+        self.emit(machine, t0);
+
+        // Post-shift health probe: one request through the full serving
+        // path of the new version. Failure swaps the pointer back and
+        // reject-drains the new version — the old one never stopped.
+        let probe = server
+            .submit(smoke, None)
+            .map_err(FleetError::from)
+            .and_then(|h| h.wait().map_err(FleetError::from));
+        if let Err(e) = probe {
+            {
+                let mut models = self.lock();
+                if let Some(entry) = models.get_mut(&model) {
+                    entry.active = from;
+                    if let Some(rec) = entry.versions.get_mut(&version) {
+                        rec.state = VersionState::Retired;
+                    }
+                }
+            }
+            let _ = server.drain(DrainMode::Reject);
+            machine.roll_back()?;
+            self.emit(machine, t0);
+            return Err(FleetError::HealthCheckFailed {
+                model,
+                version,
+                detail: e.to_string(),
+            });
+        }
+
+        // Shifting -> DrainingOld: the old version serves out its queue,
+        // then its workers join. Graceful mode means no admitted request
+        // is rejected by the swap.
+        machine.advance()?;
+        self.emit(machine, t0);
+        if let Some(old) = old_server {
+            let _ = old.drain(DrainMode::Graceful);
+            let mut models = self.lock();
+            if let Some(entry) = models.get_mut(&model) {
+                if let Some(v) = from {
+                    if let Some(rec) = entry.versions.get_mut(&v) {
+                        rec.state = VersionState::Retired;
+                    }
+                }
+            }
+        }
+
+        machine.advance()?;
+        self.emit(machine, t0);
+        Ok(())
+    }
+
+    /// Submits one request for `tenant` to `model`'s active version.
+    /// Admission charges the tenant's token bucket and stamps its
+    /// deadline class onto the request; rejections at the door are
+    /// recorded as terminal outcomes (`throttled`, `unknown_model`,
+    /// `overloaded`, `draining`) so the event log accounts for every
+    /// arrival.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Throttled`], [`FleetError::UnknownModel`],
+    /// [`FleetError::NoActiveVersion`], or [`FleetError::Serve`] wrapping
+    /// the admission rejection.
+    pub fn submit(&self, model: &str, tenant: &str, row: Vec<f32>) -> FleetResult<FleetTicket> {
+        let admitted = Instant::now();
+        let class = match self.admission.admit(tenant) {
+            Ok(c) => c,
+            Err(e) => {
+                self.sink.request(model, tenant, "throttled", 0.0);
+                return Err(e);
+            }
+        };
+        let server = match self.active_server(model) {
+            Ok(s) => s,
+            Err(e) => {
+                self.sink.request(model, tenant, "unknown_model", 0.0);
+                return Err(e);
+            }
+        };
+        match server.submit(row, class.deadline()) {
+            Ok(handle) => Ok(FleetTicket {
+                handle,
+                admitted,
+                model: model.to_string(),
+                tenant: tenant.to_string(),
+                sink: Arc::clone(&self.sink),
+            }),
+            Err(e) => {
+                let outcome = match &e {
+                    ServeError::Overloaded { .. } => "overloaded",
+                    ServeError::ShuttingDown | ServeError::Draining => "draining",
+                    _ => "error",
+                };
+                self.sink.request(model, tenant, outcome, 0.0);
+                Err(FleetError::Serve(e))
+            }
+        }
+    }
+
+    /// Submits and waits, retrying once when the request raced a
+    /// rollout's drain (typed `ShuttingDown` / `Draining` rejections):
+    /// the retry re-reads the routing pointer, which by then targets the
+    /// replacement version. This is the client loop fleet_bench and the
+    /// rollout tests use to demonstrate zero dropped requests across a
+    /// hot swap.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ModelRegistry::submit`] and [`FleetTicket::wait`]
+    /// return, after the one drain retry is spent.
+    pub fn call(&self, model: &str, tenant: &str, row: Vec<f32>) -> FleetResult<Vec<f32>> {
+        let first = self
+            .submit(model, tenant, row.clone())
+            .and_then(FleetTicket::wait);
+        match first {
+            Err(FleetError::Serve(ServeError::Draining))
+            | Err(FleetError::Serve(ServeError::ShuttingDown)) => {
+                self.submit(model, tenant, row).and_then(FleetTicket::wait)
+            }
+            other => other,
+        }
+    }
+
+    /// The currently routable version of `model`, if any.
+    pub fn active_version(&self, model: &str) -> Option<u32> {
+        self.lock().get(model).and_then(|e| e.active)
+    }
+
+    /// All deployed versions of `model` with their lifecycle states,
+    /// ascending.
+    pub fn versions(&self, model: &str) -> Vec<(u32, VersionState)> {
+        self.lock()
+            .get(model)
+            .map(|e| e.versions.iter().map(|(v, r)| (*v, r.state)).collect())
+            .unwrap_or_default()
+    }
+
+    /// All model ids with at least one deployed version.
+    pub fn models(&self) -> Vec<String> {
+        self.lock().keys().cloned().collect()
+    }
+
+    /// Queue depth of `model`'s active server (diagnostic).
+    pub fn queue_depth(&self, model: &str) -> Option<usize> {
+        self.active_server(model).ok().map(|s| s.queue_depth())
+    }
+
+    /// Drains every version of every model gracefully. The registry is
+    /// unusable for submissions afterwards.
+    pub fn drain_all(&self) {
+        let servers: Vec<Arc<Server>> = {
+            let mut models = self.lock();
+            models
+                .values_mut()
+                .flat_map(|e| {
+                    e.active = None;
+                    e.versions.values_mut().map(|r| {
+                        r.state = VersionState::Retired;
+                        Arc::clone(&r.server)
+                    })
+                })
+                .collect()
+        };
+        for s in servers {
+            let _ = s.drain(DrainMode::Graceful);
+        }
+    }
+
+    fn active_server(&self, model: &str) -> FleetResult<Arc<Server>> {
+        let models = self.lock();
+        let entry = models.get(model).ok_or_else(|| FleetError::UnknownModel {
+            model: model.to_string(),
+        })?;
+        let active = entry.active.ok_or_else(|| FleetError::NoActiveVersion {
+            model: model.to_string(),
+        })?;
+        entry
+            .versions
+            .get(&active)
+            .map(|r| Arc::clone(&r.server))
+            .ok_or(FleetError::UnknownVersion {
+                model: model.to_string(),
+                version: active,
+            })
+    }
+
+    fn emit(&self, machine: &RolloutMachine, t0: Instant) {
+        self.sink.rollout(
+            machine.model(),
+            machine.version(),
+            machine.from(),
+            machine.phase().name(),
+            t0.elapsed().as_secs_f64() * 1e3,
+        );
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, ModelEntry>> {
+        self.models.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        ModelRegistry::new()
+    }
+}
+
+impl Drop for ModelRegistry {
+    /// Registries dropped without [`ModelRegistry::drain_all`] still
+    /// resolve every admitted request (each server's own drop drains
+    /// gracefully), but draining here makes the order deterministic.
+    fn drop(&mut self) {
+        self.drain_all();
+    }
+}

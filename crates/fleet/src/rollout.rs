@@ -1,0 +1,285 @@
+//! The rollout state machine: the single source of truth for what a
+//! hot-swap is allowed to do next.
+//!
+//! A rollout moves a model from version `from` to `version` through a
+//! fixed phase sequence:
+//!
+//! ```text
+//! Loading ─▶ Verifying ─▶ Warming ─▶ Shifting ─▶ DrainingOld ─▶ Committed
+//!    │           │           │           │            │
+//!    └───────────┴───────────┴───────────┴────────────┴──▶ RolledBack
+//! ```
+//!
+//! The machine is pure state — no clocks, no threads, no I/O — so the
+//! same type drives the production registry
+//! ([`crate::registry::ModelRegistry`]) and the `cuttlefish-check`
+//! model-checker scenario that explores interleavings of routers against
+//! a rollout. Two invariants are encoded here and model-checked there:
+//!
+//! * **No routing before verification**: [`RolloutMachine::routable`] is
+//!   `false` until the machine has passed both `Verifying` (static
+//!   `Network::verify()`) and `Warming` (a smoke forward pass on every
+//!   replica) — a version becomes eligible for traffic only in
+//!   `Shifting` and later.
+//! * **Old replicas drain before join**: `DrainingOld` is reachable only
+//!   from `Shifting`, i.e. only after the routing pointer moved, so the
+//!   old version stops receiving new traffic before its workers are
+//!   drained and joined; `Committed` is reachable only through
+//!   `DrainingOld`.
+
+use crate::error::{FleetError, FleetResult};
+
+/// One phase of a rollout. Names match the `fleet_rollout` telemetry
+/// event's `phase` strings (see [`RolloutPhase::name`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RolloutPhase {
+    /// Reading the candidate checkpoint (from the store or memory).
+    Loading,
+    /// Restoring into a probe network and running `Network::verify()`.
+    Verifying,
+    /// Building per-worker replicas and smoke-forwarding each one.
+    Warming,
+    /// The routing pointer now targets the new version; both versions'
+    /// workers are alive.
+    Shifting,
+    /// The old version no longer receives traffic; its queue is being
+    /// drained and its workers joined.
+    DrainingOld,
+    /// Terminal success: the new version serves alone.
+    Committed,
+    /// Terminal failure: the old version (if any) kept or regained the
+    /// routing pointer; the new version never serves again.
+    RolledBack,
+}
+
+impl RolloutPhase {
+    /// The telemetry string for this phase (the `fleet_rollout` event's
+    /// `phase` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            RolloutPhase::Loading => "loading",
+            RolloutPhase::Verifying => "verifying",
+            RolloutPhase::Warming => "warming",
+            RolloutPhase::Shifting => "shifting",
+            RolloutPhase::DrainingOld => "draining_old",
+            RolloutPhase::Committed => "committed",
+            RolloutPhase::RolledBack => "rolled_back",
+        }
+    }
+
+    /// The phase that follows this one on the success path, if any.
+    fn successor(self) -> Option<RolloutPhase> {
+        match self {
+            RolloutPhase::Loading => Some(RolloutPhase::Verifying),
+            RolloutPhase::Verifying => Some(RolloutPhase::Warming),
+            RolloutPhase::Warming => Some(RolloutPhase::Shifting),
+            RolloutPhase::Shifting => Some(RolloutPhase::DrainingOld),
+            RolloutPhase::DrainingOld => Some(RolloutPhase::Committed),
+            RolloutPhase::Committed | RolloutPhase::RolledBack => None,
+        }
+    }
+}
+
+/// The typed state machine for one rollout of one model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RolloutMachine {
+    model: String,
+    version: u32,
+    from: Option<u32>,
+    phase: RolloutPhase,
+}
+
+impl RolloutMachine {
+    /// Starts a rollout of `model` to `version` in [`RolloutPhase::Loading`].
+    /// `from` is the currently-active version (`None` for a model's first
+    /// deployment).
+    pub fn new(model: impl Into<String>, version: u32, from: Option<u32>) -> RolloutMachine {
+        RolloutMachine {
+            model: model.into(),
+            version,
+            from,
+            phase: RolloutPhase::Loading,
+        }
+    }
+
+    /// Model id under rollout.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Target version of the rollout.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Version active before the rollout began.
+    pub fn from(&self) -> Option<u32> {
+        self.from
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> RolloutPhase {
+        self.phase
+    }
+
+    /// `true` once the machine reached a terminal phase.
+    pub fn terminal(&self) -> bool {
+        matches!(
+            self.phase,
+            RolloutPhase::Committed | RolloutPhase::RolledBack
+        )
+    }
+
+    /// `true` while the new version may receive traffic: only from
+    /// [`RolloutPhase::Shifting`] onward on the success path — never
+    /// before verification and warming completed, and never after a
+    /// rollback.
+    pub fn routable(&self) -> bool {
+        matches!(
+            self.phase,
+            RolloutPhase::Shifting | RolloutPhase::DrainingOld | RolloutPhase::Committed
+        )
+    }
+
+    /// `true` once the new version passed static verification (the
+    /// machine advanced beyond [`RolloutPhase::Verifying`] on the success
+    /// path).
+    pub fn verified(&self) -> bool {
+        matches!(
+            self.phase,
+            RolloutPhase::Warming
+                | RolloutPhase::Shifting
+                | RolloutPhase::DrainingOld
+                | RolloutPhase::Committed
+        )
+    }
+
+    /// Advances to the next phase on the success path and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::IllegalTransition`] from a terminal phase.
+    pub fn advance(&mut self) -> FleetResult<RolloutPhase> {
+        match self.phase.successor() {
+            Some(next) => {
+                self.phase = next;
+                Ok(next)
+            }
+            None => Err(FleetError::IllegalTransition {
+                from: self.phase.name(),
+                to: "<next>",
+            }),
+        }
+    }
+
+    /// Moves to [`RolloutPhase::RolledBack`] from any non-terminal phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::IllegalTransition`] from a terminal phase —
+    /// a committed rollout cannot be un-committed (that is a new
+    /// rollout), and rolling back twice is a logic error.
+    pub fn roll_back(&mut self) -> FleetResult<RolloutPhase> {
+        if self.terminal() {
+            return Err(FleetError::IllegalTransition {
+                from: self.phase.name(),
+                to: RolloutPhase::RolledBack.name(),
+            });
+        }
+        self.phase = RolloutPhase::RolledBack;
+        Ok(self.phase)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_path_orders_phases_and_gates_routability() {
+        let mut m = RolloutMachine::new("resnet", 2, Some(1));
+        assert_eq!(m.phase(), RolloutPhase::Loading);
+        assert!(!m.routable());
+        assert!(!m.verified());
+
+        assert_eq!(m.advance().unwrap(), RolloutPhase::Verifying);
+        assert!(!m.routable(), "must not route while verifying");
+        assert_eq!(m.advance().unwrap(), RolloutPhase::Warming);
+        assert!(m.verified());
+        assert!(!m.routable(), "must not route before warm-up completes");
+        assert_eq!(m.advance().unwrap(), RolloutPhase::Shifting);
+        assert!(m.routable());
+        assert_eq!(m.advance().unwrap(), RolloutPhase::DrainingOld);
+        assert!(m.routable());
+        assert_eq!(m.advance().unwrap(), RolloutPhase::Committed);
+        assert!(m.terminal());
+        assert!(m.routable());
+        assert!(matches!(
+            m.advance(),
+            Err(FleetError::IllegalTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn rollback_is_reachable_from_every_live_phase_and_absorbs() {
+        for steps in 0..5 {
+            let mut m = RolloutMachine::new("m", 1, None);
+            for _ in 0..steps {
+                m.advance().unwrap();
+            }
+            m.roll_back().unwrap();
+            assert_eq!(m.phase(), RolloutPhase::RolledBack);
+            assert!(m.terminal());
+            assert!(!m.routable(), "a rolled-back version must never route");
+            assert!(matches!(
+                m.roll_back(),
+                Err(FleetError::IllegalTransition { .. })
+            ));
+            assert!(matches!(
+                m.advance(),
+                Err(FleetError::IllegalTransition { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn committed_cannot_roll_back() {
+        let mut m = RolloutMachine::new("m", 1, None);
+        while !m.terminal() {
+            m.advance().unwrap();
+        }
+        assert_eq!(m.phase(), RolloutPhase::Committed);
+        assert!(matches!(
+            m.roll_back(),
+            Err(FleetError::IllegalTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn phase_names_match_event_vocabulary() {
+        let names: Vec<&str> = [
+            RolloutPhase::Loading,
+            RolloutPhase::Verifying,
+            RolloutPhase::Warming,
+            RolloutPhase::Shifting,
+            RolloutPhase::DrainingOld,
+            RolloutPhase::Committed,
+            RolloutPhase::RolledBack,
+        ]
+        .iter()
+        .map(|p| p.name())
+        .collect();
+        assert_eq!(
+            names,
+            vec![
+                "loading",
+                "verifying",
+                "warming",
+                "shifting",
+                "draining_old",
+                "committed",
+                "rolled_back"
+            ]
+        );
+    }
+}

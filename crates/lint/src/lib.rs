@@ -366,6 +366,7 @@ pub fn analyze_source(rel: &str, text: &str) -> Vec<Violation> {
         "crates/check/src",
         "crates/core/src",
         "crates/dist/src",
+        "crates/fleet/src",
         "crates/nn/src",
         "crates/serve/src",
         "crates/tensor/src",

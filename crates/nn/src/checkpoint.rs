@@ -183,16 +183,26 @@ impl Checkpoint {
         })
     }
 
-    /// Saves this checkpoint to `path` atomically: the JSON is written to
-    /// a temporary file in the same directory and renamed into place, so a
-    /// crash mid-write can never leave a truncated checkpoint under the
-    /// final name.
+    /// Saves this checkpoint to `path` atomically and durably: the JSON
+    /// is written to a temporary file in the same directory, **fsynced**,
+    /// and then renamed into place.
+    ///
+    /// Durability contract: the rename is what makes the write atomic
+    /// (readers see either the old complete file or the new complete
+    /// file, never a mixture), and the fsync before it is what makes it
+    /// durable — without it, a power loss shortly after the rename could
+    /// leave the *new name* pointing at *unwritten data* on journaled
+    /// filesystems that reorder data behind metadata. After this returns,
+    /// the checkpoint contents are on stable storage; the directory entry
+    /// itself is not fsynced, so the hardest crash window is "the save
+    /// never happened" (old file intact), never a corrupt artifact.
     ///
     /// # Errors
     ///
     /// Returns [`NnError::CheckpointIo`] when the temp file cannot be
-    /// written or the rename fails, and propagates serialization errors.
+    /// written, synced, or renamed, and propagates serialization errors.
     pub fn save_to_path(&self, path: impl AsRef<std::path::Path>) -> NnResult<()> {
+        use std::io::Write as _;
         let path = path.as_ref();
         let json = self.to_json()?;
         let io_err = |detail: String| NnError::CheckpointIo {
@@ -207,7 +217,17 @@ impl Checkpoint {
         // Same directory as the destination so the rename stays on one
         // filesystem (rename across filesystems is not atomic).
         let tmp = path.with_file_name(format!(".{file_name}.tmp{}", std::process::id()));
-        std::fs::write(&tmp, json.as_bytes()).map_err(|e| io_err(e.to_string()))?;
+        let write_synced = || -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(json.as_bytes())?;
+            // Flush file contents to stable storage before the rename
+            // publishes the name (see the durability contract above).
+            f.sync_all()
+        };
+        if let Err(e) = write_synced() {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(io_err(e.to_string()));
+        }
         if let Err(e) = std::fs::rename(&tmp, path) {
             let _ = std::fs::remove_file(&tmp);
             return Err(io_err(e.to_string()));
@@ -233,6 +253,113 @@ impl Checkpoint {
             path: path.display().to_string(),
             detail: e.to_string(),
         })
+    }
+
+    /// Canonical artifact file name for version `version` of model
+    /// `model`: `<model>-v<version>.ckpt.json`. This is the naming scheme
+    /// the fleet registry's versioned store uses; [`Checkpoint::save_versioned`]
+    /// and [`Checkpoint::list_versions`] round-trip through it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for an empty model id, one
+    /// containing a path separator, or `version == 0` (versions are
+    /// 1-based so "no version yet" has no ambiguous encoding).
+    pub fn versioned_file_name(model: &str, version: u32) -> NnResult<String> {
+        if model.is_empty() || model.contains('/') || model.contains('\\') {
+            return Err(NnError::BadConfig {
+                detail: format!("model id `{model}` must be non-empty and path-separator-free"),
+            });
+        }
+        if version == 0 {
+            return Err(NnError::BadConfig {
+                detail: "checkpoint versions are 1-based".to_string(),
+            });
+        }
+        Ok(format!("{model}-v{version}.ckpt.json"))
+    }
+
+    /// Saves this checkpoint as version `version` of `model` under `dir`
+    /// (created if missing), using the atomic + fsynced
+    /// [`Checkpoint::save_to_path`] write. Returns the artifact path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates naming errors from [`Checkpoint::versioned_file_name`]
+    /// and I/O errors from the atomic save.
+    pub fn save_versioned(
+        &self,
+        dir: impl AsRef<std::path::Path>,
+        model: &str,
+        version: u32,
+    ) -> NnResult<std::path::PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| NnError::CheckpointIo {
+            path: dir.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        let path = dir.join(Self::versioned_file_name(model, version)?);
+        self.save_to_path(&path)?;
+        Ok(path)
+    }
+
+    /// Loads version `version` of `model` from `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Checkpoint::load_from_path`], plus naming
+    /// errors from [`Checkpoint::versioned_file_name`].
+    pub fn load_versioned(
+        dir: impl AsRef<std::path::Path>,
+        model: &str,
+        version: u32,
+    ) -> NnResult<Self> {
+        Self::load_from_path(
+            dir.as_ref()
+                .join(Self::versioned_file_name(model, version)?),
+        )
+    }
+
+    /// Lists the versions of `model` present under `dir`, ascending.
+    /// Files that do not match the canonical `<model>-v<n>.ckpt.json`
+    /// naming (including other models' artifacts and temp files) are
+    /// ignored; a missing directory is simply an empty list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for an invalid model id.
+    pub fn list_versions(dir: impl AsRef<std::path::Path>, model: &str) -> NnResult<Vec<u32>> {
+        // Validate the id through the same gate the writers use.
+        let _ = Self::versioned_file_name(model, 1)?;
+        let prefix = format!("{model}-v");
+        let suffix = ".ckpt.json";
+        let mut versions = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(dir.as_ref()) {
+            for entry in entries.filter_map(|e| e.ok()) {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if let Some(rest) = name.strip_prefix(&prefix) {
+                    if let Some(num) = rest.strip_suffix(suffix) {
+                        if let Ok(v) = num.parse::<u32>() {
+                            if v > 0 {
+                                versions.push(v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        versions.sort_unstable();
+        versions.dedup();
+        Ok(versions)
+    }
+
+    /// The newest version of `model` stored under `dir`, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for an invalid model id.
+    pub fn latest_version(dir: impl AsRef<std::path::Path>, model: &str) -> NnResult<Option<u32>> {
+        Ok(Self::list_versions(dir, model)?.pop())
     }
 }
 
@@ -391,6 +518,44 @@ mod tests {
             Checkpoint::load_from_path(&truncated),
             Err(NnError::CheckpointCorrupt { .. })
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn versioned_naming_roundtrip_and_listing() {
+        let mut a = net(21);
+        let ckpt = Checkpoint::capture(&mut a);
+        let dir = std::env::temp_dir().join(format!("cuttlefish-vers-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Missing directory lists as empty, not an error.
+        assert_eq!(Checkpoint::list_versions(&dir, "resnet").unwrap(), vec![]);
+        assert_eq!(Checkpoint::latest_version(&dir, "resnet").unwrap(), None);
+
+        let p1 = ckpt.save_versioned(&dir, "resnet", 1).unwrap();
+        let p3 = ckpt.save_versioned(&dir, "resnet", 3).unwrap();
+        ckpt.save_versioned(&dir, "resnet-wide", 2).unwrap();
+        assert!(p1.ends_with("resnet-v1.ckpt.json"));
+        assert!(p3.ends_with("resnet-v3.ckpt.json"));
+        // Listing sees only this model's artifacts, ascending; the
+        // similarly-prefixed sibling model does not bleed in.
+        assert_eq!(
+            Checkpoint::list_versions(&dir, "resnet").unwrap(),
+            vec![1, 3]
+        );
+        assert_eq!(Checkpoint::latest_version(&dir, "resnet").unwrap(), Some(3));
+        assert_eq!(
+            Checkpoint::list_versions(&dir, "resnet-wide").unwrap(),
+            vec![2]
+        );
+        let back = Checkpoint::load_versioned(&dir, "resnet", 3).unwrap();
+        assert_eq!(back, ckpt);
+
+        // Typed naming rejections: empty id, separators, version 0.
+        assert!(Checkpoint::versioned_file_name("", 1).is_err());
+        assert!(Checkpoint::versioned_file_name("a/b", 1).is_err());
+        assert!(Checkpoint::versioned_file_name("m", 0).is_err());
+        assert!(ckpt.save_versioned(&dir, "m", 0).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

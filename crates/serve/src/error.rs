@@ -51,6 +51,12 @@ pub enum ServeError {
     /// The server is shutting down (or already shut down) and admits no
     /// new requests.
     ShuttingDown,
+    /// The request was admitted but still queued when a drain began under
+    /// [`crate::server::DrainMode::Reject`], or was left queued after the
+    /// worker pool exited; the request was never inferred. Routers (e.g.
+    /// the fleet registry during a hot-swap) treat this as a retryable
+    /// signal: resubmit to the replacement server.
+    Draining,
     /// The request payload does not match the model's input contract.
     BadInput {
         /// What was wrong with the payload.
@@ -88,6 +94,9 @@ impl fmt::Display for ServeError {
                 write!(f, "deadline exceeded at {stage}")
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Draining => {
+                write!(f, "server drained before the queued request was served")
+            }
             ServeError::BadInput { detail } => write!(f, "bad request input: {detail}"),
             ServeError::Model(e) => write!(f, "model error: {e}"),
             ServeError::Verify(detail) => {

@@ -166,6 +166,14 @@ pub struct Replica {
 }
 
 impl Replica {
+    /// Number of `f32` features one request row must carry — the same
+    /// contract as [`FrozenModel::input_width`], exposed here so a server
+    /// built from bare replicas ([`crate::Server::start_with_replicas`])
+    /// can validate requests without the frozen handle.
+    pub fn input_width(&self) -> usize {
+        self.input.width()
+    }
+
     /// Runs eval-mode inference on a batch of request rows, one output row
     /// per input row, in order.
     ///

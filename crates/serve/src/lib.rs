@@ -75,4 +75,4 @@ pub mod server;
 pub use error::{DeadlineStage, ServeError, ServeResult};
 pub use frozen::{FrozenModel, Replica};
 pub use metrics::ServeMetrics;
-pub use server::{BatchPolicy, ResponseHandle, Server, ServerConfig};
+pub use server::{BatchPolicy, DrainMode, ResponseHandle, Server, ServerConfig};

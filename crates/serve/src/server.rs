@@ -34,6 +34,22 @@ use crate::error::{DeadlineStage, ServeError, ServeResult};
 use crate::frozen::{FrozenModel, Replica};
 use crate::metrics::ServeMetrics;
 
+/// What happens to requests that are admitted but still queued when a
+/// drain begins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DrainMode {
+    /// Workers keep serving until the queue is empty, then exit — no
+    /// admitted request is lost, at the cost of drain latency. This is
+    /// what [`Server::shutdown`] does.
+    #[default]
+    Graceful,
+    /// Queued requests resolve immediately to the typed
+    /// [`ServeError::Draining`] rejection; only batches already picked up
+    /// by a worker complete. Used by the fleet registry's rollback path,
+    /// where the router will resubmit rejected requests elsewhere.
+    Reject,
+}
+
 /// How workers coalesce queued requests into batches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchPolicy {
@@ -115,6 +131,10 @@ struct Pending {
 struct State {
     queue: VecDeque<Pending>,
     shutting_down: bool,
+    /// `true` once a [`DrainMode::Reject`] drain began: workers flush the
+    /// queue with typed [`ServeError::Draining`] rejections instead of
+    /// serving it.
+    drain_reject: bool,
 }
 
 struct Shared {
@@ -136,7 +156,10 @@ impl Shared {
 /// model.
 pub struct Server {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// Behind a mutex so [`Server::drain`] can join the pool through
+    /// `&self` — the fleet registry holds servers in `Arc`s and drains the
+    /// old version's pool while clients still hold clones for submission.
+    workers: Mutex<Vec<JoinHandle<()>>>,
     config: ServerConfig,
     input_width: usize,
 }
@@ -144,7 +167,6 @@ pub struct Server {
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
-            .field("workers", &self.workers.len())
             .field("config", &self.config)
             .finish()
     }
@@ -198,6 +220,35 @@ impl Server {
                 detail: "workers must be >= 1".to_string(),
             });
         }
+        let mut replicas = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            replicas.push(model.replica()?);
+        }
+        Server::start_with_replicas(replicas, config, recorder, metrics)
+    }
+
+    /// Starts a server over caller-constructed replicas — the replica
+    /// lifecycle entry point for registries that build, warm, and retire
+    /// replicas themselves (see `cuttlefish-fleet`). One worker thread is
+    /// spawned per replica; `config.workers` is ignored in favor of
+    /// `replicas.len()`. All replicas must serve the same model: the first
+    /// replica's input width becomes the request contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for an empty replica set,
+    /// mismatched replica input widths, or zero queue bound / batch size.
+    pub fn start_with_replicas(
+        replicas: Vec<Replica>,
+        config: ServerConfig,
+        recorder: Arc<dyn Recorder + Send + Sync>,
+        metrics: Option<Arc<ServeMetrics>>,
+    ) -> ServeResult<Server> {
+        if replicas.is_empty() {
+            return Err(ServeError::BadConfig {
+                detail: "at least one replica is required".to_string(),
+            });
+        }
         if config.queue_bound == 0 {
             return Err(ServeError::BadConfig {
                 detail: "queue_bound must be >= 1".to_string(),
@@ -208,14 +259,20 @@ impl Server {
                 detail: "max_batch_size must be >= 1".to_string(),
             });
         }
-        let mut replicas = Vec::with_capacity(config.workers);
-        for _ in 0..config.workers {
-            replicas.push(model.replica()?);
+        let input_width = replicas[0].input_width();
+        if let Some(i) = replicas.iter().position(|r| r.input_width() != input_width) {
+            return Err(ServeError::BadConfig {
+                detail: format!(
+                    "replica {i} expects {} input features, replica 0 expects {input_width}",
+                    replicas[i].input_width()
+                ),
+            });
         }
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::with_capacity(config.queue_bound),
                 shutting_down: false,
+                drain_reject: false,
             }),
             not_empty: Condvar::new(),
         });
@@ -237,9 +294,9 @@ impl Server {
             .collect::<ServeResult<Vec<_>>>()?;
         Ok(Server {
             shared,
-            workers,
+            workers: Mutex::new(workers),
             config,
-            input_width: model.input_width(),
+            input_width,
         })
     }
 
@@ -296,18 +353,52 @@ impl Server {
     /// are joined before this returns — so afterwards every admitted
     /// request has its terminal outcome and no response arrives later.
     ///
+    /// Equivalent to [`Server::drain`] with [`DrainMode::Graceful`], but
+    /// consumes the server so a stray handle cannot submit afterwards.
+    ///
     /// # Errors
     ///
     /// Returns [`ServeError::WorkerPanicked`] naming the first worker
     /// whose thread join reported a panic (remaining workers are still
     /// joined).
-    pub fn shutdown(mut self) -> ServeResult<()> {
-        self.begin_shutdown();
+    pub fn shutdown(self) -> ServeResult<()> {
+        self.drain(DrainMode::Graceful)
+    }
+
+    /// Drains the server through a shared reference: signals shutdown,
+    /// resolves the queue per `mode`, and joins every worker thread.
+    ///
+    /// When this returns, every admitted request has received its terminal
+    /// outcome: under [`DrainMode::Graceful`] queued requests were served,
+    /// under [`DrainMode::Reject`] they resolved to
+    /// [`ServeError::Draining`]. Any request still queued after the pool
+    /// exited (possible only if every worker panicked) is also flushed
+    /// with [`ServeError::Draining`] — an admitted request is never
+    /// silently dropped. Idempotent: later calls join an empty pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WorkerPanicked`] naming the first worker
+    /// whose thread join reported a panic (remaining workers are still
+    /// joined and the queue is still flushed).
+    pub fn drain(&self, mode: DrainMode) -> ServeResult<()> {
+        self.begin_shutdown(mode);
+        let handles: Vec<JoinHandle<()>> = {
+            let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+            workers.drain(..).collect()
+        };
         let mut panicked = None;
-        for (i, handle) in self.workers.drain(..).enumerate() {
+        for (i, handle) in handles.into_iter().enumerate() {
             if handle.join().is_err() && panicked.is_none() {
                 panicked = Some(i);
             }
+        }
+        // The pool is gone; nothing can serve what is still queued. Flush
+        // it with the typed rejection so "admitted ⇒ terminal outcome"
+        // holds even if every worker panicked mid-run.
+        let leftovers: Vec<Pending> = self.shared.lock().queue.drain(..).collect();
+        for p in leftovers {
+            let _ = p.tx.send(Err(ServeError::Draining));
         }
         match panicked {
             Some(worker) => Err(ServeError::WorkerPanicked { worker }),
@@ -315,24 +406,24 @@ impl Server {
         }
     }
 
-    fn begin_shutdown(&self) {
-        self.shared.lock().shutting_down = true;
+    fn begin_shutdown(&self, mode: DrainMode) {
+        {
+            let mut st = self.shared.lock();
+            st.shutting_down = true;
+            if mode == DrainMode::Reject {
+                st.drain_reject = true;
+            }
+        }
         self.shared.not_empty.notify_all();
     }
 }
 
 impl Drop for Server {
-    /// Fallback for servers dropped without [`Server::shutdown`]: signals
-    /// shutdown and joins the workers so queued requests still drain and
-    /// no detached thread outlives the server.
+    /// Fallback for servers dropped without [`Server::shutdown`]: drains
+    /// gracefully so queued requests still resolve and no detached thread
+    /// outlives the server.
     fn drop(&mut self) {
-        if self.workers.is_empty() {
-            return;
-        }
-        self.begin_shutdown();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        let _ = self.drain(DrainMode::Graceful);
     }
 }
 
@@ -349,6 +440,17 @@ fn worker_loop(
             let mut st = shared.lock();
             // Wait for work or shutdown.
             loop {
+                if st.drain_reject {
+                    // Reject-mode drain: everything still queued resolves
+                    // to the typed Draining rejection; nothing new is
+                    // inferred.
+                    let queued: Vec<Pending> = st.queue.drain(..).collect();
+                    drop(st);
+                    for p in queued {
+                        let _ = p.tx.send(Err(ServeError::Draining));
+                    }
+                    return;
+                }
                 if !st.queue.is_empty() {
                     break;
                 }
@@ -378,6 +480,17 @@ fn worker_loop(
                         break;
                     }
                 }
+            }
+            if st.drain_reject {
+                // A reject drain began while this worker was coalescing:
+                // requests it never picked up get the rejection, not a
+                // late batch.
+                let queued: Vec<Pending> = st.queue.drain(..).collect();
+                drop(st);
+                for p in queued {
+                    let _ = p.tx.send(Err(ServeError::Draining));
+                }
+                return;
             }
             let take = st.queue.len().min(policy.max_batch_size);
             let batch: Vec<Pending> = st.queue.drain(..take).collect();
@@ -664,6 +777,72 @@ mod tests {
             .map(|e| e.kind().to_string())
             .collect();
         assert!(kinds.contains(&"serve_request".to_string()), "{kinds:?}");
+    }
+
+    #[test]
+    fn reject_drain_resolves_queued_requests_with_typed_draining() {
+        let model = frozen();
+        // One worker stalled coalescing (huge batch, long straggler wait)
+        // so submissions pile up in the queue deterministically.
+        let server = Server::start(
+            Arc::clone(&model),
+            ServerConfig {
+                workers: 1,
+                queue_bound: 32,
+                policy: BatchPolicy {
+                    max_batch_size: 32,
+                    max_wait: Duration::from_secs(5),
+                },
+            },
+            Arc::new(NullRecorder),
+        )
+        .unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|i| server.submit(row(&model, i), None).unwrap())
+            .collect();
+        server.drain(DrainMode::Reject).unwrap();
+        // Every admitted request has a terminal outcome already, and the
+        // queued ones are the typed Draining rejection — never a silent
+        // drop (channel disconnect) and never a served response after a
+        // reject drain completed.
+        let mut drained = 0usize;
+        for h in handles {
+            match h.poll().expect("queued request left without an outcome") {
+                Err(ServeError::Draining) => drained += 1,
+                Ok(_) => {} // picked up before the drain began
+                Err(other) => panic!("unexpected terminal outcome: {other:?}"),
+            }
+        }
+        assert!(drained > 0, "no request was queued when the drain began");
+        // Idempotent: a second drain joins an empty pool.
+        server.drain(DrainMode::Reject).unwrap();
+    }
+
+    #[test]
+    fn start_with_replicas_serves_and_validates() {
+        let model = frozen();
+        let replicas = vec![model.replica().unwrap(), model.replica().unwrap()];
+        let server = Server::start_with_replicas(
+            replicas,
+            ServerConfig::default(),
+            Arc::new(NullRecorder),
+            None,
+        )
+        .unwrap();
+        let mut direct = model.replica().unwrap();
+        let r = row(&model, 5);
+        let served = server.submit(r.clone(), None).unwrap().wait().unwrap();
+        assert_eq!(served, direct.infer_one(&r).unwrap());
+        server.shutdown().unwrap();
+        assert!(matches!(
+            Server::start_with_replicas(
+                Vec::new(),
+                ServerConfig::default(),
+                Arc::new(NullRecorder),
+                None,
+            ),
+            Err(ServeError::BadConfig { .. })
+        ));
     }
 
     #[test]

@@ -292,6 +292,41 @@ pub enum Event {
         /// `"stale_dropped"`, `"crashed"`, `"joined"`, or `"synced"`.
         event: String,
     },
+    /// One request routed through the fleet front door: admission, tenant
+    /// attribution, and terminal outcome. Emitted by the fleet registry's
+    /// ticket wrapper at the same point the live [`crate::MetricsRegistry`]
+    /// counters are bumped, so the event log and the metrics plane
+    /// reconcile exactly.
+    FleetRequest {
+        /// Model id the request was routed to.
+        model: String,
+        /// Tenant the request was attributed (and quota-charged) to.
+        tenant: String,
+        /// Terminal outcome: `"ok"`, `"deadline"`, `"overloaded"`,
+        /// `"throttled"`, `"draining"`, `"unknown_model"`, or `"error"`.
+        outcome: String,
+        /// End-to-end latency (admission to terminal outcome) in
+        /// milliseconds; 0 for requests rejected at the door.
+        latency_ms: f64,
+    },
+    /// A fleet rollout phase transition: one hot-swap (or rollback) of a
+    /// model to a new checkpoint version emits one event per phase, so the
+    /// report can reconstruct the full state machine path and its timing.
+    FleetRollout {
+        /// Model id being rolled out.
+        model: String,
+        /// Target checkpoint version of the rollout.
+        version: u32,
+        /// Version serving before the rollout began (`None` for the
+        /// initial deployment of a model).
+        from: Option<u32>,
+        /// Phase entered: `"loading"`, `"verifying"`, `"warming"`,
+        /// `"shifting"`, `"draining_old"`, `"committed"`, or
+        /// `"rolled_back"`.
+        phase: String,
+        /// Wall-clock milliseconds since the rollout began.
+        wall_ms: f64,
+    },
     /// One timed stage of a traced request (serve) or round (dist). The
     /// trace id ties the spans of a single unit of work together across
     /// queues and worker threads; aggregate per-stage to decompose tail
@@ -346,6 +381,8 @@ impl Event {
             Event::DistWorkerStep { .. } => "dist_worker_step",
             Event::DistExchange { .. } => "dist_exchange",
             Event::DistWorkerEvent { .. } => "dist_worker_event",
+            Event::FleetRequest { .. } => "fleet_request",
+            Event::FleetRollout { .. } => "fleet_rollout",
             Event::TraceSpan { .. } => "trace_span",
             Event::MetricsSnapshot { .. } => "metrics_snapshot",
             Event::SpanClosed { .. } => "span",
@@ -562,6 +599,36 @@ impl Event {
                 pairs.push(("worker", Json::Num(*worker as f64)));
                 pairs.push(("event", Json::Str(event.clone())));
             }
+            Event::FleetRequest {
+                model,
+                tenant,
+                outcome,
+                latency_ms,
+            } => {
+                pairs.push(("model", Json::Str(model.clone())));
+                pairs.push(("tenant", Json::Str(tenant.clone())));
+                pairs.push(("outcome", Json::Str(outcome.clone())));
+                pairs.push(("latency_ms", Json::num(*latency_ms)));
+            }
+            Event::FleetRollout {
+                model,
+                version,
+                from,
+                phase,
+                wall_ms,
+            } => {
+                pairs.push(("model", Json::Str(model.clone())));
+                pairs.push(("version", Json::Num(*version as f64)));
+                pairs.push((
+                    "from",
+                    match from {
+                        Some(f) => Json::Num(*f as f64),
+                        None => Json::Null,
+                    },
+                ));
+                pairs.push(("phase", Json::Str(phase.clone())));
+                pairs.push(("wall_ms", Json::num(*wall_ms)));
+            }
             Event::TraceSpan {
                 trace,
                 stage,
@@ -748,6 +815,26 @@ impl Event {
                 worker: v.get("worker")?.as_usize()?,
                 event: v.get("event")?.as_str()?.to_string(),
             }),
+            "fleet_request" => Some(Event::FleetRequest {
+                model: v.get("model")?.as_str()?.to_string(),
+                tenant: v.get("tenant")?.as_str()?.to_string(),
+                outcome: v.get("outcome")?.as_str()?.to_string(),
+                latency_ms: v.get("latency_ms")?.as_f64()?,
+            }),
+            "fleet_rollout" => Some(Event::FleetRollout {
+                model: v.get("model")?.as_str()?.to_string(),
+                version: v.get("version")?.as_u64()? as u32,
+                from: {
+                    let f = v.get("from")?;
+                    if f.is_null() {
+                        None
+                    } else {
+                        Some(f.as_u64()? as u32)
+                    }
+                },
+                phase: v.get("phase")?.as_str()?.to_string(),
+                wall_ms: v.get("wall_ms")?.as_f64()?,
+            }),
             "trace_span" => Some(Event::TraceSpan {
                 trace: TraceId::from_hex(v.get("trace")?.as_str()?)?.as_u64(),
                 stage: v.get("stage")?.as_str()?.to_string(),
@@ -873,6 +960,32 @@ mod tests {
         let back = Event::parse_jsonl_line(&life.to_jsonl()).unwrap();
         assert_eq!(back, life);
         assert_eq!(life.kind(), "dist_worker_event");
+    }
+
+    #[test]
+    fn fleet_events_roundtrip() {
+        let req = Event::FleetRequest {
+            model: "resnet-a".into(),
+            tenant: "tenant-07".into(),
+            outcome: "ok".into(),
+            latency_ms: 3.5,
+        };
+        let back = Event::parse_jsonl_line(&req.to_jsonl()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(req.kind(), "fleet_request");
+
+        for from in [None, Some(2)] {
+            let roll = Event::FleetRollout {
+                model: "resnet-a".into(),
+                version: 3,
+                from,
+                phase: "committed".into(),
+                wall_ms: 120.25,
+            };
+            let back = Event::parse_jsonl_line(&roll.to_jsonl()).unwrap();
+            assert_eq!(back, roll);
+            assert_eq!(roll.kind(), "fleet_rollout");
+        }
     }
 
     #[test]

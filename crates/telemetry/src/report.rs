@@ -84,6 +84,7 @@ impl RunReport {
         self.render_switch(&mut out);
         self.render_phases(&mut out);
         self.render_serving(&mut out);
+        self.render_fleet(&mut out);
         self.render_stages(&mut out);
         self.render_dist(&mut out);
         self.render_metrics(&mut out);
@@ -377,6 +378,119 @@ impl RunReport {
                 lat.percentile(0.95) / 1000.0,
                 lat.percentile(0.99) / 1000.0,
                 lat.max as f64 / 1000.0,
+            );
+        }
+    }
+
+    fn render_fleet(&self, out: &mut String) {
+        // Multi-model / multi-tenant serving view: per-model and
+        // per-tenant outcome counts with ok-latency percentiles, plus the
+        // phase path of every rollout. Latencies aggregate through the
+        // shared log-linear histogram in microsecond ticks, so this is the
+        // same estimator fleet_bench reads from the live registry — the
+        // two views reconcile.
+        struct Agg {
+            count: u64,
+            ok: u64,
+            lat_us: Histogram,
+        }
+        impl Agg {
+            fn new() -> Agg {
+                Agg {
+                    count: 0,
+                    ok: 0,
+                    lat_us: Histogram::new(),
+                }
+            }
+        }
+        let mut outcomes: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut models: BTreeMap<&str, Agg> = BTreeMap::new();
+        let mut tenants: BTreeMap<&str, Agg> = BTreeMap::new();
+        // (model, version, from) -> ordered (phase, wall_ms) path.
+        type RolloutKey<'a> = (&'a str, u32, Option<u32>);
+        let mut rollouts: Vec<(RolloutKey<'_>, Vec<(&str, f64)>)> = Vec::new();
+        for e in &self.events {
+            match e {
+                Event::FleetRequest {
+                    model,
+                    tenant,
+                    outcome,
+                    latency_ms,
+                } => {
+                    *outcomes.entry(outcome.as_str()).or_insert(0) += 1;
+                    for agg in [
+                        models.entry(model.as_str()).or_insert_with(Agg::new),
+                        tenants.entry(tenant.as_str()).or_insert_with(Agg::new),
+                    ] {
+                        agg.count += 1;
+                        if outcome == "ok" {
+                            agg.ok += 1;
+                            agg.lat_us.record_f64(latency_ms * 1000.0);
+                        }
+                    }
+                }
+                Event::FleetRollout {
+                    model,
+                    version,
+                    from,
+                    phase,
+                    wall_ms,
+                } => {
+                    let key = (model.as_str(), *version, *from);
+                    let at = match rollouts.iter().position(|(k, _)| *k == key) {
+                        Some(i) => i,
+                        None => {
+                            rollouts.push((key, Vec::new()));
+                            rollouts.len() - 1
+                        }
+                    };
+                    rollouts[at].1.push((phase.as_str(), *wall_ms));
+                }
+                _ => {}
+            }
+        }
+        if outcomes.is_empty() && rollouts.is_empty() {
+            return;
+        }
+        let _ = writeln!(out, "\n== fleet ==");
+        let total: u64 = outcomes.values().sum();
+        if total > 0 {
+            let parts: Vec<String> = outcomes.iter().map(|(k, n)| format!("{k}:{n}")).collect();
+            let _ = writeln!(out, "requests {total}  ({})", parts.join("  "));
+        }
+        for (label, table) in [("model", &models), ("tenant", &tenants)] {
+            for (name, agg) in table {
+                let lat = agg.lat_us.snapshot();
+                if lat.count > 0 {
+                    let _ = writeln!(
+                        out,
+                        "{label} {name:<12} requests {:<6} ok {:<6} p50 {:.3} ms  p99 {:.3} ms",
+                        agg.count,
+                        agg.ok,
+                        lat.percentile(0.50) / 1000.0,
+                        lat.percentile(0.99) / 1000.0,
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "{label} {name:<12} requests {:<6} ok {:<6}",
+                        agg.count, agg.ok,
+                    );
+                }
+            }
+        }
+        for ((model, version, from), path) in &rollouts {
+            let origin = match from {
+                Some(f) => format!("v{f}→v{version}"),
+                None => format!("deploy v{version}"),
+            };
+            let terminal = path.last().map(|(p, _)| *p).unwrap_or("?");
+            let wall = path.last().map(|(_, w)| *w).unwrap_or(0.0);
+            let steps: Vec<String> = path.iter().map(|(p, w)| format!("{p} @{w:.1}ms")).collect();
+            let _ = writeln!(
+                out,
+                "rollout {model} {origin}  {terminal} in {wall:.1} ms  [{}]",
+                steps.join(" → ")
             );
         }
     }
@@ -795,6 +909,63 @@ mod tests {
             "batches 1",
             "max_queue_depth 3",
             "p50 3.000",
+        ] {
+            assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn fleet_section_aggregates_tenants_models_and_rollouts() {
+        let events = [
+            Event::FleetRequest {
+                model: "resnet-a".to_string(),
+                tenant: "t0".to_string(),
+                outcome: "ok".to_string(),
+                latency_ms: 3.0,
+            },
+            Event::FleetRequest {
+                model: "resnet-a".to_string(),
+                tenant: "t1".to_string(),
+                outcome: "throttled".to_string(),
+                latency_ms: 0.0,
+            },
+            Event::FleetRequest {
+                model: "resnet-b".to_string(),
+                tenant: "t0".to_string(),
+                outcome: "ok".to_string(),
+                latency_ms: 5.0,
+            },
+            Event::FleetRollout {
+                model: "resnet-a".to_string(),
+                version: 2,
+                from: Some(1),
+                phase: "loading".to_string(),
+                wall_ms: 1.0,
+            },
+            Event::FleetRollout {
+                model: "resnet-a".to_string(),
+                version: 2,
+                from: Some(1),
+                phase: "committed".to_string(),
+                wall_ms: 42.0,
+            },
+        ];
+        let jsonl: String = events.iter().map(|e| e.to_jsonl() + "\n").collect();
+        let report = RunReport::from_jsonl(&jsonl);
+        assert!(report.skipped_lines.is_empty());
+        let text = report.render();
+        for needle in [
+            "== fleet ==",
+            "requests 3",
+            "ok:2",
+            "throttled:1",
+            "model resnet-a",
+            "model resnet-b",
+            "tenant t0",
+            "tenant t1",
+            "rollout resnet-a v1\u{2192}v2",
+            "committed in 42.0 ms",
+            "loading @1.0ms",
         ] {
             assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
         }
